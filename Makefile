@@ -1,0 +1,47 @@
+# Convenience targets for the lulesh-go reproduction.
+
+GO ?= go
+
+.PHONY: all build test race cover bench verify figures examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# The artifact-style correctness gate.
+verify:
+	$(GO) run ./cmd/luleshverify
+
+# Regenerate every table/figure of the paper's evaluation.
+figures:
+	$(GO) run ./cmd/luleshbench -fig 9
+	$(GO) run ./cmd/luleshbench -fig 10
+	$(GO) run ./cmd/luleshbench -fig 11
+	$(GO) run ./cmd/luleshbench -fig naive
+	$(GO) run ./cmd/luleshbench -fig dist
+	$(GO) run ./cmd/luleshbench -table 1
+	$(GO) run ./cmd/luleshbench -ablation
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/taskgraph
+	$(GO) run ./examples/regions
+	$(GO) run ./examples/ablation
+	$(GO) run ./examples/distributed
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,86 @@
+// Command amtbench microbenchmarks the two parallel runtimes the LULESH
+// backends are built on: the fork-join pool (internal/omp) and the AMT
+// scheduler (internal/amt). It reports the raw synchronization costs that
+// explain the application-level results — the cost of one fork-join
+// dispatch (what the OpenMP reference pays per loop) versus the cost of
+// task spawning, chaining and when_all joins (what the task backend pays).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"time"
+
+	"lulesh/internal/amt"
+	"lulesh/internal/omp"
+)
+
+func main() {
+	workers := flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
+	n := flag.Int("n", 20000, "operations per measurement")
+	flag.Parse()
+
+	fmt.Printf("runtime microbenchmarks, %d threads, %d ops each\n\n", *workers, *n)
+
+	bench := func(name string, once func()) {
+		// Warm up, then measure.
+		for i := 0; i < 100; i++ {
+			once()
+		}
+		t0 := time.Now()
+		for i := 0; i < *n; i++ {
+			once()
+		}
+		fmt.Printf("  %-34s %v/op\n", name, time.Since(t0)/time.Duration(*n))
+	}
+
+	p := omp.NewPool(*workers)
+	bench("omp: empty parallel region", func() {
+		p.Parallel(func(tid int) {})
+	})
+	bench("omp: empty parallel-for (1k iters)", func() {
+		p.ParallelFor(1000, func(i int) {})
+	})
+	p.Close()
+
+	s := amt.NewScheduler(amt.WithWorkers(*workers))
+	defer s.Close()
+
+	bench("amt: spawn+complete one task", func() {
+		amt.Run(s, func() {}).Get()
+	})
+	bench("amt: chain of 4 continuations", func() {
+		f := amt.Run(s, func() {})
+		for i := 0; i < 3; i++ {
+			f = amt.ThenRun(f, func(amt.Unit) {})
+		}
+		f.Get()
+	})
+	fs := make([]*amt.Void, 0, 2**workers)
+	bench("amt: fork/join across workers", func() {
+		fs = fs[:0]
+		for i := 0; i < 2**workers; i++ {
+			fs = append(fs, amt.Run(s, func() {}))
+		}
+		amt.AfterAll(s, fs).Get()
+	})
+	bench("amt: for_each (1k iters, chunked)", func() {
+		amt.ForEach(s, 0, 1000, 128, func(i int) {}).Get()
+	})
+
+	// Fire-and-forget throughput: how many empty tasks per second the
+	// scheduler drains.
+	const burst = 200000
+	t0 := time.Now()
+	for i := 0; i < burst; i++ {
+		s.Spawn(func() {})
+	}
+	s.Quiesce()
+	d := time.Since(t0)
+	fmt.Printf("  %-34s %v/op (%.1fM tasks/s)\n", "amt: fire-and-forget throughput",
+		d/time.Duration(burst), float64(burst)/d.Seconds()/1e6)
+
+	c := s.CountersSnapshot()
+	fmt.Printf("\nscheduler counters: %v\n", c)
+}

@@ -1,0 +1,207 @@
+// Command lulesh runs one LULESH Sedov problem under a selected parallel
+// backend, mirroring the artifact CLI of the paper:
+//
+//	lulesh --s 45 --r 11 --i 100 --threads 24 --backend task --q
+//
+// At the end it prints a CSV-compatible result line with the header
+// size,regions,iterations,threads,runtime,result — the format the paper's
+// artifact-evaluation scripts consume.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"lulesh/internal/checkpoint"
+	"lulesh/internal/core"
+	"lulesh/internal/domain"
+	"lulesh/internal/trace"
+	"lulesh/internal/vtk"
+)
+
+func main() {
+	var (
+		size     = flag.Int("s", 30, "problem size (mesh elements per edge)")
+		regions  = flag.Int("r", 11, "number of material regions")
+		iters    = flag.Int("i", 0, "maximum iterations (0 = run to stop time)")
+		balance  = flag.Int("b", 1, "region size balance exponent")
+		cost     = flag.Int("c", 1, "extra region cost multiplier")
+		quiet    = flag.Bool("q", false, "suppress verbose output")
+		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "execution threads")
+		backend  = flag.String("backend", "task", "backend: serial | omp | naive | task")
+		partN    = flag.Int("part-nodal", 0, "task partition size for node loops (0 = Table I default)")
+		partE    = flag.Int("part-elem", 0, "task partition size for element loops (0 = Table I default)")
+		priority = flag.Bool("priority-regions", false, "schedule expensive region chains at high priority (task backend)")
+		showCtr  = flag.Bool("counters", false, "print utilization counters")
+		traceOut = flag.String("trace", "", "write a Chrome trace of task/region spans to this file")
+		profile  = flag.Bool("profile", false, "print per-phase wall times (serial backend only)")
+		progress = flag.Bool("p", false, "print cycle/time/dt every iteration (reference -p)")
+		vtkOut   = flag.String("vtk", "", "write the final state as a legacy VTK file")
+		saveOut  = flag.String("save", "", "write a checkpoint of the final state to this file")
+		restore  = flag.String("restore", "", "resume from a checkpoint file instead of a fresh Sedov setup")
+	)
+	flag.Parse()
+
+	domCfg := domain.Config{
+		EdgeElems: *size, NumReg: *regions, Balance: *balance, Cost: *cost,
+	}
+	var d *domain.Domain
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "restore: %v\n", err)
+			os.Exit(1)
+		}
+		d, err = checkpoint.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "restore: %v\n", err)
+			os.Exit(1)
+		}
+		*size = d.Mesh.EdgeElems
+		domCfg = domain.Config{EdgeElems: d.Mesh.Nx, NumReg: d.Regions.NumReg,
+			Balance: d.Regions.Balance, Cost: d.Regions.Cost}
+	} else {
+		d = domain.NewSedov(domCfg)
+	}
+
+	var b core.Backend
+	switch *backend {
+	case "serial":
+		b = core.NewBackendSerial(d)
+	case "omp":
+		b = core.NewBackendOMP(d, *threads)
+	case "naive":
+		b = core.NewBackendNaive(d, *threads)
+	case "task":
+		opt := core.DefaultOptions(*size, *threads)
+		if *partN > 0 {
+			opt.PartNodal = *partN
+		}
+		if *partE > 0 {
+			opt.PartElem = *partE
+		}
+		opt.PrioritizeHeavyRegions = *priority
+		b = core.NewBackendTask(d, opt)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown backend %q\n", *backend)
+		os.Exit(2)
+	}
+	defer b.Close()
+
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		if src, ok := b.(core.TraceSource); ok {
+			rec = trace.NewRecorder(0)
+			src.SetObserver(func(worker int, start time.Time, dur time.Duration) {
+				rec.Record(*backend, worker, start, dur)
+			})
+		} else {
+			fmt.Fprintf(os.Stderr, "backend %s does not support tracing\n", *backend)
+			os.Exit(2)
+		}
+	}
+	if *profile {
+		if sb, ok := b.(*core.BackendSerial); ok {
+			sb.EnableProfiling()
+		} else {
+			fmt.Fprintln(os.Stderr, "-profile requires -backend serial")
+			os.Exit(2)
+		}
+	}
+
+	if !*quiet {
+		fmt.Printf("Running problem size %d^3 per domain, %d regions, backend %s, %d threads\n",
+			*size, *regions, b.Name(), *threads)
+	}
+
+	runCfg := core.RunConfig{MaxIterations: *iters}
+	if *progress {
+		runCfg.Progress = func(cycle int, t, dt float64) {
+			fmt.Printf("cycle = %d, time = %e, dt=%e\n", cycle, t, dt)
+		}
+	}
+	res, err := core.Run(d, b, runCfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	if !*quiet {
+		fmt.Printf("Run completed:\n")
+		fmt.Printf("  Problem size          = %d\n", res.Size)
+		fmt.Printf("  Iteration count       = %d\n", res.Iterations)
+		fmt.Printf("  Final simulation time = %.6e\n", res.FinalTime)
+		fmt.Printf("  Final origin energy   = %.6e\n", res.OriginEnergy)
+		fmt.Printf("  Elapsed time          = %v\n", res.Elapsed)
+		fmt.Printf("  FOM                   = %.2f (z/s)\n", res.FOM())
+		if res.HasUtil {
+			fmt.Printf("  Worker utilization    = %.1f%%\n", 100*res.Utilization)
+		}
+	}
+	if *showCtr && res.HasUtil {
+		fmt.Printf("utilization=%.4f\n", res.Utilization)
+	}
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		if !*quiet {
+			fmt.Printf("wrote %d spans to %s\n", rec.Len(), *traceOut)
+		}
+	}
+	if *profile {
+		sb := b.(*core.BackendSerial)
+		fmt.Println("\nPer-phase wall time:")
+		total := time.Duration(0)
+		for _, ph := range sb.Profile() {
+			total += ph.Total
+		}
+		for _, ph := range sb.Profile() {
+			fmt.Printf("  %-16s %12v  %5.1f%%\n", ph.Name, ph.Total,
+				100*float64(ph.Total)/float64(total))
+		}
+	}
+	if *saveOut != "" {
+		f, err := os.Create(*saveOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "save: %v\n", err)
+			os.Exit(1)
+		}
+		if err := checkpoint.SaveCube(f, d, domCfg); err != nil {
+			fmt.Fprintf(os.Stderr, "save: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		if !*quiet {
+			fmt.Printf("wrote checkpoint to %s (cycle %d)\n", *saveOut, d.Cycle)
+		}
+	}
+	if *vtkOut != "" {
+		f, err := os.Create(*vtkOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vtk: %v\n", err)
+			os.Exit(1)
+		}
+		if err := vtk.Write(f, d); err != nil {
+			fmt.Fprintf(os.Stderr, "vtk: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		if !*quiet {
+			fmt.Printf("wrote VTK snapshot to %s\n", *vtkOut)
+		}
+	}
+	fmt.Println(core.CSVHeader())
+	fmt.Println(res.CSVLine())
+}

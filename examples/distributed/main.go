@@ -1,0 +1,57 @@
+// Distributed demonstrates the paper's future-work experiment: LULESH
+// decomposed across simulated ranks, comparing the synchronous MPI-style
+// exchange (block at every phase boundary) against the asynchronous
+// schedule that overlaps communication with interior computation — the
+// benefit the paper anticipates from HPX's asynchronous mechanisms over
+// "the mostly synchronous data exchange mechanisms of MPI".
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"lulesh/internal/dist"
+	"lulesh/internal/stats"
+)
+
+func main() {
+	const size = 12 // per-rank slab: size x size x size elements
+	const iters = 40
+	const latency = 500 * time.Microsecond // simulated interconnect
+
+	fmt.Printf("Multi-domain LULESH: %d^3 elements per rank, %d iterations, "+
+		"%v link latency\n\n", size, iters, latency)
+
+	t := stats.NewTable("ranks", "schedule", "runtime [s]", "max comm wait [s]",
+		"origin energy")
+	for _, ranks := range []int{1, 2, 3} {
+		for _, async := range []bool{false, true} {
+			cfg := dist.DefaultConfig(size, ranks)
+			cfg.Async = async
+			cfg.Latency = latency
+			cfg.MaxIterations = iters
+			res, err := dist.Run(cfg)
+			if err != nil {
+				log.Fatalf("ranks=%d async=%v: %v", ranks, async, err)
+			}
+			maxWait := 0.0
+			for _, rs := range res.Ranks {
+				if w := rs.Comm.Wait.Seconds(); w > maxWait {
+					maxWait = w
+				}
+			}
+			name := "sync (MPI-style)"
+			if async {
+				name = "async (overlap)"
+			}
+			t.AddRow(ranks, name, res.Elapsed.Seconds(), maxWait, res.OriginEnergy)
+		}
+	}
+	t.Write(os.Stdout)
+
+	fmt.Println("\nBoth schedules compute bitwise-identical physics (same origin")
+	fmt.Println("energy); the async schedule hides message latency behind the")
+	fmt.Println("interior computation, shrinking the time ranks spend blocked.")
+}

@@ -1,0 +1,79 @@
+// Regions studies the mechanism behind the paper's Figure 10: material
+// regions create load imbalance (unequal sizes, 1x/2x/20x EOS repetition),
+// and the fork-join reference pays one barrier per loop per region while
+// the task backend runs all region chains concurrently. Sweeping the
+// region count shows the fork-join runtime degrading and the task backend
+// staying nearly flat.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+
+	"lulesh/internal/core"
+	"lulesh/internal/domain"
+	"lulesh/internal/mesh"
+	"lulesh/internal/stats"
+)
+
+func main() {
+	const size = 16
+	const iters = 25
+	threads := runtime.GOMAXPROCS(0)
+
+	// First show the imbalance itself for the default decomposition.
+	m := mesh.New(size)
+	regs := mesh.NewRegions(m, 11, 1, 1)
+	fmt.Printf("Region decomposition of a %d^3 mesh (11 regions):\n\n", size)
+	rt := stats.NewTable("region", "elements", "EOS reps", "relative cost")
+	total := 0.0
+	costs := make([]float64, regs.NumReg)
+	for r, list := range regs.ElemList {
+		costs[r] = float64(len(list) * regs.Rep(r))
+		total += costs[r]
+	}
+	for r, list := range regs.ElemList {
+		rt.AddRow(r, len(list), regs.Rep(r), costs[r]/total)
+	}
+	rt.Write(os.Stdout)
+	fmt.Println()
+
+	// Then sweep the region count, comparing the two runtimes.
+	fmt.Printf("Runtime vs region count (%d iterations, %d threads):\n\n", iters, threads)
+	t := stats.NewTable("regions", "omp [s]", "task [s]", "speedup")
+	for _, nr := range []int{1, 6, 11, 16, 21, 31} {
+		omp := run(size, nr, iters, func(d *domain.Domain) core.Backend {
+			return core.NewBackendOMP(d, threads)
+		})
+		task := run(size, nr, iters, func(d *domain.Domain) core.Backend {
+			return core.NewBackendTask(d, core.DefaultOptions(size, threads))
+		})
+		t.AddRow(nr, omp, task, omp/task)
+	}
+	t.Write(os.Stdout)
+	fmt.Println("\nExpected shape (paper Fig 10): the task advantage grows with")
+	fmt.Println("the region count, because each extra region adds many small")
+	fmt.Println("barriered loops to the fork-join version while the task graph")
+	fmt.Println("size stays constant.")
+}
+
+// run reports the best of three repetitions to damp scheduler noise.
+func run(size, nr, iters int, mk func(*domain.Domain) core.Backend) float64 {
+	best := math.Inf(1)
+	for rep := 0; rep < 3; rep++ {
+		d := domain.NewSedov(domain.Config{EdgeElems: size, NumReg: nr, Balance: 1, Cost: 1})
+		b := mk(d)
+		res, err := core.Run(d, b, core.RunConfig{MaxIterations: iters})
+		b.Close()
+		if err != nil {
+			log.Fatalf("run failed: %v", err)
+		}
+		if s := res.Elapsed.Seconds(); s < best {
+			best = s
+		}
+	}
+	return best
+}

@@ -1,0 +1,3 @@
+module lulesh
+
+go 1.22

@@ -1,0 +1,66 @@
+package amt
+
+import "testing"
+
+// Microbenchmarks of the runtime primitives that set the task backend's
+// overhead floor. Run with `go test -bench=. ./internal/amt/`.
+
+func BenchmarkSpawnThroughput(b *testing.B) {
+	s := NewScheduler(WithWorkers(2))
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Spawn(func() {})
+	}
+	s.Quiesce()
+}
+
+func BenchmarkRunGetLatency(b *testing.B) {
+	s := NewScheduler(WithWorkers(2))
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(s, func() {}).Get()
+	}
+}
+
+func BenchmarkThenChain(b *testing.B) {
+	s := NewScheduler(WithWorkers(2))
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := Run(s, func() {})
+		for k := 0; k < 3; k++ {
+			f = ThenRun(f, func(Unit) {})
+		}
+		f.Get()
+	}
+}
+
+func BenchmarkAfterAllJoin(b *testing.B) {
+	s := NewScheduler(WithWorkers(2))
+	defer s.Close()
+	fs := make([]*Void, 0, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs = fs[:0]
+		for k := 0; k < 16; k++ {
+			fs = append(fs, Run(s, func() {}))
+		}
+		AfterAll(s, fs).Get()
+	}
+}
+
+func BenchmarkForEachChunked(b *testing.B) {
+	s := NewScheduler(WithWorkers(2))
+	defer s.Close()
+	data := make([]float64, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ForEachBlock(s, 0, len(data), 4096, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				data[j] += 1
+			}
+		}).Get()
+	}
+}

@@ -1,0 +1,184 @@
+package amt
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDataflowTwoInputs(t *testing.T) {
+	s := newTestScheduler(t)
+	fa := Async(s, func() int { return 6 })
+	fb := Async(s, func() int { return 7 })
+	out := Dataflow(s, fa, fb, func(a, b int) int { return a * b })
+	if got := out.Get(); got != 42 {
+		t.Fatalf("dataflow = %d, want 42", got)
+	}
+}
+
+func TestDataflowMixedTypes(t *testing.T) {
+	s := newTestScheduler(t)
+	fa := Async(s, func() string { return "x" })
+	fb := Async(s, func() int { return 3 })
+	out := Dataflow(s, fa, fb, func(a string, b int) string {
+		return strings.Repeat(a, b)
+	})
+	if got := out.Get(); got != "xxx" {
+		t.Fatalf("dataflow = %q", got)
+	}
+}
+
+func TestDataflowWaitsForBoth(t *testing.T) {
+	s := newTestScheduler(t)
+	var done atomic.Int32
+	fa := Async(s, func() Unit { done.Add(1); return Unit{} })
+	fb := Async(s, func() Unit {
+		time.Sleep(10 * time.Millisecond)
+		done.Add(1)
+		return Unit{}
+	})
+	var seen int32
+	Dataflow(s, fa, fb, func(Unit, Unit) Unit {
+		seen = done.Load()
+		return Unit{}
+	}).Get()
+	if seen != 2 {
+		t.Fatalf("dataflow body ran with %d of 2 inputs done", seen)
+	}
+}
+
+func TestDataflowOnReadyFutures(t *testing.T) {
+	s := newTestScheduler(t)
+	out := Dataflow(s, MakeReady(s, 1), MakeReady(s, 2),
+		func(a, b int) int { return a + b })
+	if got := out.Get(); got != 3 {
+		t.Fatalf("dataflow on ready inputs = %d", got)
+	}
+}
+
+func TestDataflow3(t *testing.T) {
+	s := newTestScheduler(t)
+	out := Dataflow3(s,
+		Async(s, func() int { return 1 }),
+		Async(s, func() int { return 2 }),
+		Async(s, func() int { return 3 }),
+		func(a, b, c int) int { return a + 10*b + 100*c })
+	if got := out.Get(); got != 321 {
+		t.Fatalf("dataflow3 = %d", got)
+	}
+}
+
+func TestWhenAnyFirstWins(t *testing.T) {
+	s := newTestScheduler(t)
+	slow := Async(s, func() int { time.Sleep(50 * time.Millisecond); return 1 })
+	fast := Async(s, func() int { return 2 })
+	res := WhenAny(s, []*Future[int]{slow, fast}).Get()
+	if res.Index != 1 || res.Value != 2 {
+		t.Fatalf("WhenAny = %+v, want fast future (index 1)", res)
+	}
+}
+
+func TestWhenAnySingle(t *testing.T) {
+	s := newTestScheduler(t)
+	res := WhenAny(s, []*Future[int]{MakeReady(s, 9)}).Get()
+	if res.Index != 0 || res.Value != 9 {
+		t.Fatalf("WhenAny single = %+v", res)
+	}
+}
+
+func TestWhenAnyEmptyPanics(t *testing.T) {
+	s := newTestScheduler(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WhenAny(nil) should panic")
+		}
+	}()
+	WhenAny[int](s, nil)
+}
+
+func TestWhenAnyFiresOnce(t *testing.T) {
+	s := newTestScheduler(t)
+	fs := make([]*Future[int], 16)
+	for i := range fs {
+		i := i
+		fs[i] = Async(s, func() int { return i })
+	}
+	res := WhenAny(s, fs).Get()
+	if res.Value != res.Index {
+		t.Fatalf("index/value mismatch: %+v", res)
+	}
+	s.Quiesce() // remaining futures completing must not re-set
+}
+
+func TestAsyncSafeNormalPath(t *testing.T) {
+	s := newTestScheduler(t)
+	f := AsyncSafe(s, func() int { return 5 })
+	if got := f.Get(); got != 5 {
+		t.Fatalf("AsyncSafe value = %d", got)
+	}
+	if f.Err() != nil {
+		t.Fatalf("Err = %v on clean future", f.Err())
+	}
+}
+
+func TestAsyncSafeCapturesPanic(t *testing.T) {
+	s := newTestScheduler(t)
+	f := AsyncSafe(s, func() int { panic("boom") })
+	// Wait for completion without Get (which would rethrow).
+	for !f.Ready() {
+		time.Sleep(time.Millisecond)
+	}
+	err := f.Err()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Err = %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom" {
+		t.Fatalf("panic value not preserved: %v", err)
+	}
+}
+
+func TestGetRethrowsPanic(t *testing.T) {
+	s := newTestScheduler(t)
+	f := AsyncSafe(s, func() int { panic("kaput") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Get should rethrow the task panic")
+		}
+		pe, ok := r.(*PanicError)
+		if !ok || pe.Value != "kaput" {
+			t.Fatalf("rethrown value = %v", r)
+		}
+	}()
+	f.Get()
+}
+
+func TestGetRethrowsPanicAfterBlocking(t *testing.T) {
+	s := newTestScheduler(t)
+	f := AsyncSafe(s, func() int {
+		time.Sleep(10 * time.Millisecond)
+		panic("late")
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("blocking Get should rethrow")
+		}
+	}()
+	f.Get()
+}
+
+func TestAsyncSafeContinuationsStillFire(t *testing.T) {
+	// Even an exceptional future completes, so dependent barriers do not
+	// deadlock (the continuation sees the zero value).
+	s := newTestScheduler(t)
+	f := AsyncSafe(s, func() int { panic("x") })
+	done := ThenRun(f, func(v int) {
+		if v != 0 {
+			t.Errorf("continuation saw %d, want zero value", v)
+		}
+	})
+	done.Get()
+}

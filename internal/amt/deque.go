@@ -1,0 +1,80 @@
+package amt
+
+import "sync"
+
+// deque is a mutex-protected double-ended task queue backed by a growable
+// ring buffer. The owner worker pushes and pops at the bottom; thieves pop
+// from the top. LULESH tasks are coarse (tens of microseconds to
+// milliseconds), so a short critical section per operation is negligible
+// next to task bodies while staying trivially correct under the race
+// detector.
+type deque struct {
+	mu   sync.Mutex
+	buf  []Task
+	head int // index of the oldest element (steal end)
+	n    int // number of elements
+}
+
+const dequeMinCap = 64
+
+// pushBottom appends t at the bottom (the owner end).
+func (d *deque) pushBottom(t Task) {
+	d.mu.Lock()
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = t
+	d.n++
+	d.mu.Unlock()
+}
+
+// popBottom removes and returns the most recently pushed task, or nil.
+func (d *deque) popBottom() Task {
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	d.n--
+	i := (d.head + d.n) % len(d.buf)
+	t := d.buf[i]
+	d.buf[i] = nil
+	d.mu.Unlock()
+	return t
+}
+
+// popTop removes and returns the oldest task (the steal end), or nil.
+func (d *deque) popTop() Task {
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	t := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	d.mu.Unlock()
+	return t
+}
+
+// size reports the current number of queued tasks.
+func (d *deque) size() int {
+	d.mu.Lock()
+	n := d.n
+	d.mu.Unlock()
+	return n
+}
+
+func (d *deque) grow() {
+	newCap := len(d.buf) * 2
+	if newCap < dequeMinCap {
+		newCap = dequeMinCap
+	}
+	nb := make([]Task, newCap)
+	for i := 0; i < d.n; i++ {
+		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = nb
+	d.head = 0
+}

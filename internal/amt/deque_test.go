@@ -1,0 +1,166 @@
+package amt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeLIFOForOwner(t *testing.T) {
+	var d deque
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		d.pushBottom(func() { got = append(got, i) })
+	}
+	for {
+		task := d.popBottom()
+		if task == nil {
+			break
+		}
+		task()
+	}
+	for i, v := range got {
+		if v != 9-i {
+			t.Fatalf("popBottom order: got %v, want descending from 9", got)
+		}
+	}
+}
+
+func TestDequeFIFOForThief(t *testing.T) {
+	var d deque
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		d.pushBottom(func() { got = append(got, i) })
+	}
+	for {
+		task := d.popTop()
+		if task == nil {
+			break
+		}
+		task()
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("popTop order: got %v, want ascending from 0", got)
+		}
+	}
+}
+
+func TestDequeEmptyPops(t *testing.T) {
+	var d deque
+	if d.popBottom() != nil {
+		t.Error("popBottom on empty deque should return nil")
+	}
+	if d.popTop() != nil {
+		t.Error("popTop on empty deque should return nil")
+	}
+	d.pushBottom(func() {})
+	d.popBottom()
+	if d.popTop() != nil {
+		t.Error("popTop after drain should return nil")
+	}
+}
+
+func TestDequeSize(t *testing.T) {
+	var d deque
+	if d.size() != 0 {
+		t.Fatalf("empty size = %d", d.size())
+	}
+	for i := 1; i <= 100; i++ {
+		d.pushBottom(func() {})
+		if d.size() != i {
+			t.Fatalf("size after %d pushes = %d", i, d.size())
+		}
+	}
+	for i := 99; i >= 0; i-- {
+		d.popTop()
+		if d.size() != i {
+			t.Fatalf("size after pops = %d, want %d", d.size(), i)
+		}
+	}
+}
+
+func TestDequeGrowthPreservesOrder(t *testing.T) {
+	var d deque
+	const n = 1000 // forces several grow() cycles
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		d.pushBottom(func() { got = append(got, i) })
+	}
+	for {
+		task := d.popTop()
+		if task == nil {
+			break
+		}
+		task()
+	}
+	if len(got) != n {
+		t.Fatalf("drained %d tasks, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestDequeInterleavedWraparound(t *testing.T) {
+	// Property: any interleaving of pushes with top-pops behaves like a
+	// FIFO queue.
+	f := func(ops []bool) bool {
+		var d deque
+		var pushed, popped []int
+		next := 0
+		for _, isPush := range ops {
+			if isPush {
+				v := next
+				next++
+				pushed = append(pushed, v)
+				d.pushBottom(func() { popped = append(popped, v) })
+			} else if task := d.popTop(); task != nil {
+				task()
+			}
+		}
+		for {
+			task := d.popTop()
+			if task == nil {
+				break
+			}
+			task()
+		}
+		if len(popped) != len(pushed) {
+			return false
+		}
+		for i := range popped {
+			if popped[i] != pushed[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDequeMixedBottomTop(t *testing.T) {
+	var d deque
+	mark := func(v int, out *[]int) Task { return func() { *out = append(*out, v) } }
+	var got []int
+	d.pushBottom(mark(1, &got))
+	d.pushBottom(mark(2, &got))
+	d.pushBottom(mark(3, &got))
+	d.popTop()()    // 1
+	d.popBottom()() // 3
+	d.pushBottom(mark(4, &got))
+	d.popTop()() // 2
+	d.popTop()() // 4
+	want := []int{1, 3, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package amt_test
+
+import (
+	"fmt"
+
+	"lulesh/internal/amt"
+)
+
+// The futurization style of the paper's Figure 1: create a task, attach a
+// continuation, and block only when the result is needed.
+func Example_futurization() {
+	s := amt.NewScheduler(amt.WithWorkers(2))
+	defer s.Close()
+
+	// create task (executed asynchronously)
+	f1 := amt.Async(s, func() int { return 42 })
+
+	// attach continuation
+	f2 := amt.Then(f1, func(v int) int { return v + 1 })
+
+	// create more tasks ...
+
+	// block until the result is ready
+	fmt.Println(f2.Get())
+	// Output: 43
+}
+
+// The paper's Figure 6 pattern: partition a loop into tasks, chain the
+// next kernel as a continuation per partition, and synchronize once.
+func Example_taskChains() {
+	s := amt.NewScheduler(amt.WithWorkers(2))
+	defer s.Close()
+
+	const n, p = 1000, 250
+	data := make([]float64, n)
+
+	var chains []*amt.Void
+	for lo := 0; lo < n; lo += p {
+		lo, hi := lo, min(lo+p, n)
+		f := amt.Run(s, func() { // kernel 1 on this partition
+			for i := lo; i < hi; i++ {
+				data[i] = float64(i)
+			}
+		})
+		f = amt.ThenRun(f, func(amt.Unit) { // kernel 2, chained
+			for i := lo; i < hi; i++ {
+				data[i] *= 2
+			}
+		})
+		chains = append(chains, f)
+	}
+	amt.WaitAll(chains) // the single synchronization barrier
+
+	fmt.Println(data[10], data[999])
+	// Output: 20 1998
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,93 @@
+package amt
+
+// Parallel algorithms in the style of hpx::for_each and hpx::reduce.
+// The naive LULESH port the paper criticizes ([16]) is built from exactly
+// these: every loop becomes a ForEach followed by a wait, which reintroduces
+// one synchronization barrier per loop.
+
+// ForEachBlock partitions the index range [begin, end) into chunks of at
+// most grain indices, runs body(lo, hi) for each chunk as an independent
+// task, and returns a Void future that becomes ready when every chunk has
+// finished. grain < 1 is treated as a single chunk spanning the whole range.
+func ForEachBlock(s *Scheduler, begin, end, grain int, body func(lo, hi int)) *Void {
+	out := newFuture[Unit](s)
+	if end <= begin {
+		out.done = true
+		return out
+	}
+	if grain < 1 {
+		grain = end - begin
+	}
+	nchunks := (end - begin + grain - 1) / grain
+	cd := &countdown{left: nchunks, done: func() { out.set(Unit{}) }}
+	c := 0
+	for lo := begin; lo < end; lo += grain {
+		hi := lo + grain
+		if hi > end {
+			hi = end
+		}
+		lo, hi := lo, hi
+		s.spawnAt(c, func() {
+			body(lo, hi)
+			cd.fire()
+		})
+		c++
+	}
+	return out
+}
+
+// ForEach applies body to every index in [begin, end) using chunked tasks,
+// analogous to hpx::for_each with a parallel execution policy.
+func ForEach(s *Scheduler, begin, end, grain int, body func(i int)) *Void {
+	return ForEachBlock(s, begin, end, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// Reduce computes a deterministic parallel reduction over [begin, end):
+// each chunk folds its indices with fold starting from identity, and the
+// per-chunk partial results are combined *in chunk order* with combine, so
+// the result is bitwise reproducible for a fixed grain regardless of the
+// number of workers.
+func Reduce[T any](s *Scheduler, begin, end, grain int, identity T,
+	fold func(acc T, i int) T, combine func(a, b T) T) *Future[T] {
+
+	out := newFuture[T](s)
+	if end <= begin {
+		out.done = true
+		out.val = identity
+		return out
+	}
+	if grain < 1 {
+		grain = end - begin
+	}
+	nchunks := (end - begin + grain - 1) / grain
+	partial := make([]T, nchunks)
+	cd := &countdown{left: nchunks, done: func() {
+		acc := identity
+		for _, p := range partial {
+			acc = combine(acc, p)
+		}
+		out.set(acc)
+	}}
+	c := 0
+	for lo := begin; lo < end; lo += grain {
+		hi := lo + grain
+		if hi > end {
+			hi = end
+		}
+		lo, hi, idx := lo, hi, c
+		s.spawnAt(idx, func() {
+			acc := identity
+			for i := lo; i < hi; i++ {
+				acc = fold(acc, i)
+			}
+			partial[idx] = acc
+			cd.fire()
+		})
+		c++
+	}
+	return out
+}

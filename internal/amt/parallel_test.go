@@ -1,0 +1,185 @@
+package amt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachBlockCoversRangeExactlyOnce(t *testing.T) {
+	s := newTestScheduler(t)
+	f := func(n8 uint8, g8 uint8) bool {
+		n := int(n8)
+		grain := int(g8)
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		ForEachBlock(s, 0, n, grain, func(lo, hi int) {
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+			mu.Unlock()
+		}).Get()
+		if len(seen) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if seen[i] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEachBlockEmptyRange(t *testing.T) {
+	s := newTestScheduler(t)
+	ran := false
+	f := ForEachBlock(s, 5, 5, 2, func(lo, hi int) { ran = true })
+	if !f.Ready() {
+		t.Fatal("empty range should complete immediately")
+	}
+	f.Get()
+	if ran {
+		t.Fatal("body should not run for empty range")
+	}
+}
+
+func TestForEachBlockReversedRange(t *testing.T) {
+	s := newTestScheduler(t)
+	f := ForEachBlock(s, 10, 3, 2, func(lo, hi int) { t.Error("body ran") })
+	f.Get()
+}
+
+func TestForEachBlockNonPositiveGrain(t *testing.T) {
+	s := newTestScheduler(t)
+	var calls atomic.Int64
+	ForEachBlock(s, 0, 100, 0, func(lo, hi int) {
+		calls.Add(1)
+		if lo != 0 || hi != 100 {
+			t.Errorf("grain<=0 should make one chunk, got [%d,%d)", lo, hi)
+		}
+	}).Get()
+	if calls.Load() != 1 {
+		t.Fatalf("chunks = %d, want 1", calls.Load())
+	}
+}
+
+func TestForEachBlockChunkBounds(t *testing.T) {
+	s := newTestScheduler(t)
+	var mu sync.Mutex
+	var chunks [][2]int
+	ForEachBlock(s, 0, 10, 3, func(lo, hi int) {
+		mu.Lock()
+		chunks = append(chunks, [2]int{lo, hi})
+		mu.Unlock()
+	}).Get()
+	if len(chunks) != 4 {
+		t.Fatalf("10/3 should make 4 chunks, got %d: %v", len(chunks), chunks)
+	}
+	for _, c := range chunks {
+		if c[1]-c[0] > 3 || c[1]-c[0] < 1 {
+			t.Fatalf("chunk %v exceeds grain", c)
+		}
+	}
+}
+
+func TestForEachAppliesPerIndex(t *testing.T) {
+	s := newTestScheduler(t)
+	n := 1000
+	out := make([]int64, n)
+	ForEach(s, 0, n, 37, func(i int) {
+		atomic.AddInt64(&out[i], int64(i))
+	}).Get()
+	for i, v := range out {
+		if v != int64(i) {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	s := newTestScheduler(t)
+	n := 10000
+	got := Reduce(s, 0, n, 61, 0,
+		func(acc int, i int) int { return acc + i },
+		func(a, b int) int { return a + b }).Get()
+	want := n * (n - 1) / 2
+	if got != want {
+		t.Fatalf("Reduce sum = %d, want %d", got, want)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	s := newTestScheduler(t)
+	got := Reduce(s, 3, 3, 10, -7,
+		func(acc int, i int) int { return acc + i },
+		func(a, b int) int { return a + b }).Get()
+	if got != -7 {
+		t.Fatalf("empty Reduce = %d, want identity -7", got)
+	}
+}
+
+func TestReduceDeterministicFloatOrder(t *testing.T) {
+	// Floating-point reduction must be bitwise reproducible for a fixed
+	// grain, regardless of scheduling: partials combine in chunk order.
+	run := func(workers int) float64 {
+		s := NewScheduler(WithWorkers(workers))
+		defer s.Close()
+		return Reduce(s, 0, 100000, 173, 0.0,
+			func(acc float64, i int) float64 { return acc + 1.0/float64(i+1) },
+			func(a, b float64) float64 { return a + b }).Get()
+	}
+	r1 := run(1)
+	r2 := run(4)
+	if r1 != r2 {
+		t.Fatalf("Reduce not deterministic across worker counts: %v vs %v", r1, r2)
+	}
+}
+
+func TestReduceMin(t *testing.T) {
+	s := newTestScheduler(t)
+	vals := []float64{5, 3, 8, 1.5, 9, 2}
+	got := Reduce(s, 0, len(vals), 2, 1e300,
+		func(acc float64, i int) float64 {
+			if vals[i] < acc {
+				return vals[i]
+			}
+			return acc
+		},
+		func(a, b float64) float64 {
+			if b < a {
+				return b
+			}
+			return a
+		}).Get()
+	if got != 1.5 {
+		t.Fatalf("Reduce min = %v, want 1.5", got)
+	}
+}
+
+func TestForEachBlockParallelismActuallyConcurrent(t *testing.T) {
+	s := newTestScheduler(t) // 2 workers
+	var inFlight, maxInFlight atomic.Int64
+	ForEachBlock(s, 0, 8, 1, func(lo, hi int) {
+		cur := inFlight.Add(1)
+		for {
+			m := maxInFlight.Load()
+			if cur <= m || maxInFlight.CompareAndSwap(m, cur) {
+				break
+			}
+		}
+		for i := 0; i < 100000; i++ {
+			_ = i * i
+		}
+		inFlight.Add(-1)
+	}).Get()
+	if maxInFlight.Load() < 2 {
+		t.Logf("no overlap observed (possible on a loaded machine): max=%d",
+			maxInFlight.Load())
+	}
+}

@@ -1,0 +1,133 @@
+package amt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSpawnHighRunsAllTasks(t *testing.T) {
+	s := NewScheduler(WithWorkers(2))
+	defer s.Close()
+	var n atomic.Int64
+	for i := 0; i < 1000; i++ {
+		s.SpawnHigh(func() { n.Add(1) })
+	}
+	s.Quiesce()
+	if n.Load() != 1000 {
+		t.Fatalf("ran %d of 1000 high-priority tasks", n.Load())
+	}
+}
+
+func TestSpawnHighNilPanics(t *testing.T) {
+	s := NewScheduler(WithWorkers(1))
+	defer s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SpawnHigh(nil) should panic")
+		}
+	}()
+	s.SpawnHigh(nil)
+}
+
+func TestHighPriorityJumpsQueue(t *testing.T) {
+	// Single worker: fill the normal queue behind a long-running blocker,
+	// then submit a high-priority task. It must run before the queued
+	// normal tasks.
+	s := NewScheduler(WithWorkers(1))
+	defer s.Close()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	blocker := Run(s, func() {
+		close(started)
+		<-release
+	})
+	<-started
+
+	var order []string
+	var mu sync.Mutex
+	mark := func(tag string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+		}
+	}
+	var fs []*Void
+	for i := 0; i < 5; i++ {
+		fs = append(fs, Run(s, mark("normal")))
+	}
+	fs = append(fs, RunHigh(s, mark("high")))
+	close(release)
+	blocker.Get()
+	WaitAll(fs)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 6 {
+		t.Fatalf("ran %d tasks", len(order))
+	}
+	if order[0] != "high" {
+		t.Fatalf("high-priority task did not jump the queue: %v", order)
+	}
+}
+
+func TestRunHighFuture(t *testing.T) {
+	s := NewScheduler(WithWorkers(2))
+	defer s.Close()
+	var hit atomic.Bool
+	RunHigh(s, func() { hit.Store(true) }).Get()
+	if !hit.Load() {
+		t.Fatal("RunHigh body did not run")
+	}
+}
+
+func TestThenRunHighChains(t *testing.T) {
+	s := NewScheduler(WithWorkers(2))
+	defer s.Close()
+	f := Async(s, func() int { return 7 })
+	var got atomic.Int64
+	ThenRunHigh(f, func(v int) { got.Store(int64(v)) }).Get()
+	if got.Load() != 7 {
+		t.Fatalf("continuation saw %d", got.Load())
+	}
+}
+
+func TestHighPriorityStealing(t *testing.T) {
+	// High-priority tasks parked on a busy worker's queue must be stolen
+	// by idle workers before they touch normal backlog.
+	s := NewScheduler(WithWorkers(4))
+	defer s.Close()
+	var n atomic.Int64
+	var fs []*Void
+	for i := 0; i < 64; i++ {
+		fs = append(fs, RunHigh(s, func() {
+			time.Sleep(200 * time.Microsecond)
+			n.Add(1)
+		}))
+	}
+	WaitAll(fs)
+	if n.Load() != 64 {
+		t.Fatalf("ran %d of 64", n.Load())
+	}
+}
+
+func TestMixedPrioritiesComplete(t *testing.T) {
+	s := NewScheduler(WithWorkers(3))
+	defer s.Close()
+	var hi, lo atomic.Int64
+	var fs []*Void
+	for i := 0; i < 500; i++ {
+		if i%3 == 0 {
+			fs = append(fs, RunHigh(s, func() { hi.Add(1) }))
+		} else {
+			fs = append(fs, Run(s, func() { lo.Add(1) }))
+		}
+	}
+	WaitAll(fs)
+	if hi.Load() != 167 || lo.Load() != 333 {
+		t.Fatalf("hi=%d lo=%d", hi.Load(), lo.Load())
+	}
+}

@@ -1,0 +1,363 @@
+// Package amt implements an asynchronous many-task (AMT) runtime in the
+// spirit of the HPX C++ framework: lightweight tasks scheduled onto a fixed
+// pool of worker goroutines (one per "execution thread"), futures with
+// continuations, when_all-style combinators, parallel algorithms, and
+// utilization counters.
+//
+// The runtime reproduces the properties of HPX that the paper
+// "Speeding-Up LULESH on HPX" (Kalkhof & Koch, SC 2024) relies on:
+//
+//   - cheap task creation relative to OS threads,
+//   - dynamic load balancing via work stealing between workers,
+//   - dependency graphs expressed through futures and continuations rather
+//     than barriers,
+//   - per-worker busy/idle accounting (HPX's idle-rate performance counter).
+//
+// A Scheduler owns N workers. Each worker has a private double-ended task
+// queue: the owner pushes and pops at the bottom (LIFO, cache friendly),
+// thieves steal from the top (FIFO). Tasks submitted from outside the pool
+// are distributed round-robin across worker queues. Idle workers first scan
+// every queue and then park on a condition variable; producers wake them.
+package amt
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is the unit of work executed by the scheduler.
+type Task func()
+
+// Scheduler runs tasks on a fixed set of worker goroutines.
+// It must be created with NewScheduler and released with Close.
+type Scheduler struct {
+	workers []*worker
+	nw      int
+
+	// pending counts queued-but-not-yet-started tasks. It is the ticket
+	// that keeps the park/wake protocol free of lost wakeups: producers
+	// increment it before checking for sleepers, and workers re-check it
+	// under the lock before sleeping.
+	pending atomic.Int64
+
+	// inflight counts tasks that have been submitted and not yet finished
+	// executing. Quiesce waits for it to reach zero.
+	inflight atomic.Int64
+
+	rr atomic.Uint64 // round-robin cursor for external submissions
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	idle   atomic.Int32 // workers parked or about to park
+	closed bool
+
+	epoch time.Time // start of the current counter epoch
+
+	observer atomic.Pointer[func(worker int, start time.Time, dur time.Duration)]
+
+	wg sync.WaitGroup
+}
+
+type worker struct {
+	id    int
+	dq    deque // normal-priority tasks
+	hp    deque // high-priority tasks (HPX's priority local scheduling)
+	rng   *rand.Rand
+	busy  atomic.Int64 // nanoseconds spent executing task bodies
+	tasks atomic.Int64 // number of tasks executed
+	steal atomic.Int64 // number of successful steals
+}
+
+// Option configures a Scheduler.
+type Option func(*config)
+
+type config struct {
+	numWorkers int
+	observer   func(worker int, start time.Time, dur time.Duration)
+}
+
+// WithObserver installs a hook invoked after every executed task with the
+// worker id and the task's execution span. Used to feed a trace.Recorder
+// (the APEX-style timeline of internal/trace); the hook runs on the worker
+// and must be cheap and concurrency-safe.
+func WithObserver(fn func(worker int, start time.Time, dur time.Duration)) Option {
+	return func(c *config) { c.observer = fn }
+}
+
+// SetObserver installs or replaces the task observer at runtime.
+func (s *Scheduler) SetObserver(fn func(worker int, start time.Time, dur time.Duration)) {
+	if fn == nil {
+		s.observer.Store(nil)
+		return
+	}
+	s.observer.Store(&fn)
+}
+
+// WithWorkers sets the number of worker goroutines ("execution threads").
+// Values below 1 are treated as 1.
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.numWorkers = n
+	}
+}
+
+// NewScheduler creates a scheduler with the given options. The default
+// worker count is runtime.GOMAXPROCS(0), mirroring HPX's default of one
+// worker OS-thread per core.
+func NewScheduler(opts ...Option) *Scheduler {
+	cfg := config{numWorkers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Scheduler{nw: cfg.numWorkers, epoch: time.Now()}
+	if cfg.observer != nil {
+		s.observer.Store(&cfg.observer)
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.workers = make([]*worker, s.nw)
+	for i := range s.workers {
+		s.workers[i] = &worker{
+			id:  i,
+			rng: rand.New(rand.NewSource(int64(i)*0x9E3779B9 + 1)),
+		}
+	}
+	s.wg.Add(s.nw)
+	for _, w := range s.workers {
+		go s.run(w)
+	}
+	return s
+}
+
+// Workers reports the number of worker goroutines.
+func (s *Scheduler) Workers() int { return s.nw }
+
+// Spawn submits a task for asynchronous execution. It never blocks.
+// Spawning on a closed scheduler panics.
+func (s *Scheduler) Spawn(t Task) {
+	if t == nil {
+		panic("amt: Spawn called with nil task")
+	}
+	s.inflight.Add(1)
+	s.pending.Add(1)
+	i := int(s.rr.Add(1)-1) % s.nw
+	s.workers[i].dq.pushBottom(t)
+	s.wake()
+}
+
+// SpawnHigh submits a high-priority task: workers drain high-priority
+// queues (their own and steals) before any normal task, mirroring HPX's
+// priority local scheduling policy. Relative order among equal-priority
+// tasks is unchanged.
+func (s *Scheduler) SpawnHigh(t Task) {
+	if t == nil {
+		panic("amt: SpawnHigh called with nil task")
+	}
+	s.inflight.Add(1)
+	s.pending.Add(1)
+	i := int(s.rr.Add(1)-1) % s.nw
+	s.workers[i].hp.pushBottom(t)
+	s.wake()
+}
+
+// spawnAt submits a task preferring the queue of worker i. Used by parallel
+// algorithms to spread chunks evenly.
+func (s *Scheduler) spawnAt(i int, t Task) {
+	s.inflight.Add(1)
+	s.pending.Add(1)
+	s.workers[i%s.nw].dq.pushBottom(t)
+	s.wake()
+}
+
+func (s *Scheduler) wake() {
+	if s.idle.Load() == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// spinRounds bounds the busy-wait of an idle worker before it parks,
+// mirroring HPX's brief active wait between task arrivals.
+const spinRounds = 1 << 12
+
+// run is the worker loop.
+func (s *Scheduler) run(w *worker) {
+	defer s.wg.Done()
+	for {
+		t := s.find(w)
+		for spun := 0; t == nil && spun < spinRounds; spun++ {
+			runtime.Gosched()
+			if s.pending.Load() > 0 {
+				t = s.find(w)
+			}
+		}
+		if t == nil {
+			if s.park() {
+				return // closed
+			}
+			continue
+		}
+		start := time.Now()
+		t()
+		dur := time.Since(start)
+		w.busy.Add(int64(dur))
+		w.tasks.Add(1)
+		if obs := s.observer.Load(); obs != nil {
+			(*obs)(w.id, start, dur)
+		}
+		s.inflight.Add(-1)
+	}
+}
+
+// find looks for runnable work: own high-priority queue, every other
+// worker's high-priority queue, own normal queue, then normal steals.
+func (s *Scheduler) find(w *worker) Task {
+	if t := w.hp.popBottom(); t != nil {
+		s.pending.Add(-1)
+		return t
+	}
+	off := w.rng.Intn(s.nw)
+	for k := 0; k < s.nw; k++ {
+		v := s.workers[(off+k)%s.nw]
+		if v == w {
+			continue
+		}
+		if t := v.hp.popTop(); t != nil {
+			s.pending.Add(-1)
+			w.steal.Add(1)
+			return t
+		}
+	}
+	if t := w.dq.popBottom(); t != nil {
+		s.pending.Add(-1)
+		return t
+	}
+	// Steal: scan victims starting from a random offset so thieves spread.
+	for k := 0; k < s.nw; k++ {
+		v := s.workers[(off+k)%s.nw]
+		if v == w {
+			continue
+		}
+		if t := v.dq.popTop(); t != nil {
+			s.pending.Add(-1)
+			w.steal.Add(1)
+			return t
+		}
+	}
+	return nil
+}
+
+// park blocks until work may be available or the scheduler closes.
+// It returns true when the scheduler has been closed.
+func (s *Scheduler) park() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return true
+		}
+		// Register as idle before re-checking pending: producers bump
+		// pending before inspecting the idle count, so one side always
+		// sees the other (no lost wakeup).
+		s.idle.Add(1)
+		if s.pending.Load() > 0 {
+			s.idle.Add(-1)
+			return false
+		}
+		s.cond.Wait()
+		s.idle.Add(-1)
+	}
+}
+
+// Quiesce blocks until every submitted task (including continuations spawned
+// by running tasks) has finished executing. It may be called from outside
+// the pool only.
+func (s *Scheduler) Quiesce() {
+	for s.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+}
+
+// Close shuts the scheduler down and waits for the workers to exit.
+// All submitted work is allowed to drain first.
+func (s *Scheduler) Close() {
+	s.Quiesce()
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Counters is a snapshot of scheduler activity since the last ResetCounters
+// (or scheduler creation). It mirrors the HPX idle-rate performance counter
+// the paper uses for Figure 11.
+type Counters struct {
+	Workers    int           // number of workers
+	Wall       time.Duration // wall time covered by the snapshot
+	Busy       time.Duration // summed task-body execution time, all workers
+	Tasks      int64         // tasks executed
+	Steals     int64         // successful steals
+	PerWorker  []time.Duration
+	Utilizable time.Duration // Wall * Workers
+}
+
+// Utilization is the ratio of productive time to total worker time,
+// i.e. the quantity plotted in the paper's Figure 11.
+func (c Counters) Utilization() float64 {
+	if c.Utilizable <= 0 {
+		return 0
+	}
+	u := float64(c.Busy) / float64(c.Utilizable)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+func (c Counters) String() string {
+	return fmt.Sprintf("workers=%d wall=%v busy=%v util=%.1f%% tasks=%d steals=%d",
+		c.Workers, c.Wall, c.Busy, 100*c.Utilization(), c.Tasks, c.Steals)
+}
+
+// ResetCounters starts a new measurement epoch.
+func (s *Scheduler) ResetCounters() {
+	for _, w := range s.workers {
+		w.busy.Store(0)
+		w.tasks.Store(0)
+		w.steal.Store(0)
+	}
+	s.mu.Lock()
+	s.epoch = time.Now()
+	s.mu.Unlock()
+}
+
+// CountersSnapshot returns activity accumulated since the last ResetCounters.
+func (s *Scheduler) CountersSnapshot() Counters {
+	s.mu.Lock()
+	epoch := s.epoch
+	s.mu.Unlock()
+	c := Counters{Workers: s.nw, Wall: time.Since(epoch)}
+	c.PerWorker = make([]time.Duration, s.nw)
+	for i, w := range s.workers {
+		b := time.Duration(w.busy.Load())
+		c.PerWorker[i] = b
+		c.Busy += b
+		c.Tasks += w.tasks.Load()
+		c.Steals += w.steal.Load()
+	}
+	c.Utilizable = c.Wall * time.Duration(s.nw)
+	return c
+}
+
+// Inflight reports the number of submitted-but-unfinished tasks. Intended
+// for tests and debugging assertions.
+func (s *Scheduler) Inflight() int64 { return s.inflight.Load() }

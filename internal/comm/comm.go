@@ -1,0 +1,278 @@
+// Package comm is the message-passing substrate of the multi-domain
+// LULESH (internal/dist): a simulated cluster fabric in which each rank is
+// a goroutine and messages travel over buffered channels. It stands in for
+// MPI point-to-point communication in the paper's future-work experiment
+// (multi-node LULESH, synchronous MPI-style exchange versus asynchronous
+// overlap), preserving the properties that matter for that comparison:
+// per-pair message ordering, blocking receives with measurable wait time,
+// and payload copying on send (no shared mutable buffers).
+package comm
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Tag identifies the exchange phase a message belongs to, mirroring MPI
+// message tags.
+type Tag int
+
+// Exchange phases of the multi-domain leapfrog.
+const (
+	TagNodalMass Tag = iota + 1
+	TagForceX
+	TagForceY
+	TagForceZ
+	TagDelvXi
+	TagDelvEta
+	TagDelvZeta
+	TagReduce
+)
+
+func (t Tag) String() string {
+	switch t {
+	case TagNodalMass:
+		return "nodalMass"
+	case TagForceX:
+		return "forceX"
+	case TagForceY:
+		return "forceY"
+	case TagForceZ:
+		return "forceZ"
+	case TagDelvXi:
+		return "delvXi"
+	case TagDelvEta:
+		return "delvEta"
+	case TagDelvZeta:
+		return "delvZeta"
+	case TagReduce:
+		return "reduce"
+	default:
+		return fmt.Sprintf("tag(%d)", int(t))
+	}
+}
+
+type message struct {
+	tag   Tag
+	data  []float64
+	ready time.Time // earliest delivery instant (simulated link latency)
+}
+
+// Cluster is a fully connected fabric of size ranks.
+type Cluster struct {
+	size    int
+	latency time.Duration
+	pipes   [][]chan message // pipes[from][to]
+}
+
+// channel capacity per directed pair; the leapfrog protocol has at most a
+// handful of in-flight messages per pair per iteration.
+const pipeCap = 16
+
+// NewCluster creates a zero-latency fabric connecting n ranks.
+func NewCluster(n int) *Cluster { return NewClusterLatency(n, 0) }
+
+// NewClusterLatency creates a fabric whose messages become visible to the
+// receiver only after the given one-way latency — the model of a real
+// interconnect that makes the synchronous-vs-overlapped comparison
+// meaningful: a blocking receive pays the remaining latency as wait time,
+// while an overlapped schedule computes through it.
+func NewClusterLatency(n int, latency time.Duration) *Cluster {
+	if n < 1 {
+		panic(fmt.Sprintf("comm: cluster size must be >= 1, got %d", n))
+	}
+	c := &Cluster{size: n, latency: latency, pipes: make([][]chan message, n)}
+	for from := 0; from < n; from++ {
+		c.pipes[from] = make([]chan message, n)
+		for to := 0; to < n; to++ {
+			if from != to {
+				c.pipes[from][to] = make(chan message, pipeCap)
+			}
+		}
+	}
+	return c
+}
+
+// Latency reports the fabric's one-way message latency.
+func (c *Cluster) Latency() time.Duration { return c.latency }
+
+// Size reports the number of ranks.
+func (c *Cluster) Size() int { return c.size }
+
+// Endpoint returns rank r's communication endpoint.
+func (c *Cluster) Endpoint(r int) *Endpoint {
+	if r < 0 || r >= c.size {
+		panic(fmt.Sprintf("comm: rank %d out of [0,%d)", r, c.size))
+	}
+	return &Endpoint{c: c, rank: r, heads: make(map[int]message)}
+}
+
+// Endpoint is one rank's view of the fabric. Each endpoint must be used by
+// a single goroutine (like an MPI rank).
+type Endpoint struct {
+	c    *Cluster
+	rank int
+
+	// heads holds one popped-but-not-yet-deliverable message per peer
+	// (TryRecv may pull a message from the pipe before its latency has
+	// elapsed). Endpoints are single-goroutine, so no locking.
+	heads map[int]message
+
+	waitNanos atomic.Int64 // time spent blocked in Recv
+	sent      atomic.Int64 // messages sent
+	received  atomic.Int64 // messages received
+	bytesSent atomic.Int64
+}
+
+// Rank reports this endpoint's rank.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Size reports the cluster size.
+func (e *Endpoint) Size() int { return e.c.size }
+
+// Send transmits a copy of data to rank `to`. It is non-blocking as long
+// as fewer than pipeCap messages are in flight to the same peer (the
+// analog of MPI eager sends); exceeding that blocks until the peer drains.
+func (e *Endpoint) Send(to int, tag Tag, data []float64) {
+	if to == e.rank {
+		panic("comm: send to self")
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	m := message{tag: tag, data: cp}
+	if e.c.latency > 0 {
+		m.ready = time.Now().Add(e.c.latency)
+	}
+	e.c.pipes[e.rank][to] <- m
+	e.sent.Add(1)
+	e.bytesSent.Add(int64(8 * len(data)))
+}
+
+// Recv blocks until the next message from rank `from` has arrived and its
+// simulated link latency has elapsed, then returns its payload. The
+// message's tag must match: the exchange protocol is deterministic per
+// pair, so a mismatch is a protocol error and panics. Blocked time —
+// both waiting for the sender and waiting out the latency — is accounted
+// to the endpoint's wait counter.
+func (e *Endpoint) Recv(from int, tag Tag) []float64 {
+	m, ok := e.takeHead(from)
+	if !ok {
+		ch := e.c.pipes[from][e.rank]
+		select {
+		case m = <-ch:
+		default:
+			start := time.Now()
+			m = <-ch
+			e.waitNanos.Add(int64(time.Since(start)))
+		}
+	}
+	if !m.ready.IsZero() {
+		if remaining := time.Until(m.ready); remaining > 0 {
+			time.Sleep(remaining)
+			e.waitNanos.Add(int64(remaining))
+		}
+	}
+	e.checkTag(from, tag, m.tag)
+	e.received.Add(1)
+	return m.data
+}
+
+// takeHead pops a previously peeked message for the given peer.
+func (e *Endpoint) takeHead(from int) (message, bool) {
+	m, ok := e.heads[from]
+	if ok {
+		delete(e.heads, from)
+	}
+	return m, ok
+}
+
+func (e *Endpoint) checkTag(from int, want, got Tag) {
+	if want != got {
+		panic(fmt.Sprintf("comm: rank %d expected %v from rank %d, got %v",
+			e.rank, want, from, got))
+	}
+}
+
+// TryRecv returns the next message from `from` if one has arrived and its
+// latency has elapsed, without blocking. Used by asynchronous exchanges to
+// poll while overlapping computation.
+func (e *Endpoint) TryRecv(from int, tag Tag) ([]float64, bool) {
+	m, ok := e.takeHead(from)
+	if !ok {
+		select {
+		case m = <-e.c.pipes[from][e.rank]:
+		default:
+			return nil, false
+		}
+	}
+	if !m.ready.IsZero() && time.Now().Before(m.ready) {
+		e.heads[from] = m // keep for a later attempt
+		return nil, false
+	}
+	e.checkTag(from, tag, m.tag)
+	e.received.Add(1)
+	return m.data, true
+}
+
+// Stats summarizes an endpoint's communication activity.
+type Stats struct {
+	Rank      int
+	Wait      time.Duration // time blocked in Recv
+	Sent      int64
+	Received  int64
+	BytesSent int64
+}
+
+// StatsSnapshot returns the endpoint's accumulated counters.
+func (e *Endpoint) StatsSnapshot() Stats {
+	return Stats{
+		Rank:      e.rank,
+		Wait:      time.Duration(e.waitNanos.Load()),
+		Sent:      e.sent.Load(),
+		Received:  e.received.Load(),
+		BytesSent: e.bytesSent.Load(),
+	}
+}
+
+// ResetStats zeroes the endpoint counters.
+func (e *Endpoint) ResetStats() {
+	e.waitNanos.Store(0)
+	e.sent.Store(0)
+	e.received.Store(0)
+	e.bytesSent.Store(0)
+}
+
+// AllReduceMin folds vals element-wise with min across all ranks and
+// returns the global result on every rank. Implemented as a gather to
+// rank 0 and a broadcast, with a deterministic (rank-ascending) fold
+// order; min is exact, so the order does not affect the value.
+func (e *Endpoint) AllReduceMin(vals []float64) []float64 {
+	n := e.c.size
+	if n == 1 {
+		out := make([]float64, len(vals))
+		copy(out, vals)
+		return out
+	}
+	if e.rank == 0 {
+		acc := make([]float64, len(vals))
+		copy(acc, vals)
+		for from := 1; from < n; from++ {
+			theirs := e.Recv(from, TagReduce)
+			if len(theirs) != len(acc) {
+				panic("comm: AllReduceMin length mismatch")
+			}
+			for i, v := range theirs {
+				if v < acc[i] {
+					acc[i] = v
+				}
+			}
+		}
+		for to := 1; to < n; to++ {
+			e.Send(to, TagReduce, acc)
+		}
+		return acc
+	}
+	e.Send(0, TagReduce, vals)
+	return e.Recv(0, TagReduce)
+}

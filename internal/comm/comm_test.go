@@ -1,0 +1,267 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClusterSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCluster(0) should panic")
+		}
+	}()
+	NewCluster(0)
+}
+
+func TestEndpointRankValidation(t *testing.T) {
+	c := NewCluster(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range endpoint should panic")
+		}
+	}()
+	c.Endpoint(2)
+}
+
+func TestSendRecvRoundtrip(t *testing.T) {
+	c := NewCluster(2)
+	a, b := c.Endpoint(0), c.Endpoint(1)
+	want := []float64{1, 2, 3}
+	go a.Send(1, TagForceX, want)
+	got := b.Recv(0, TagForceX)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	c := NewCluster(2)
+	a, b := c.Endpoint(0), c.Endpoint(1)
+	buf := []float64{1, 2}
+	a.Send(1, TagForceX, buf)
+	buf[0] = 99 // mutate after send: receiver must see the original
+	got := b.Recv(0, TagForceX)
+	if got[0] != 1 {
+		t.Fatalf("payload aliased: got %v", got)
+	}
+}
+
+func TestMessagesOrderedPerPair(t *testing.T) {
+	c := NewCluster(2)
+	a, b := c.Endpoint(0), c.Endpoint(1)
+	for i := 0; i < 10; i++ {
+		a.Send(1, TagForceX, []float64{float64(i)})
+	}
+	for i := 0; i < 10; i++ {
+		if got := b.Recv(0, TagForceX); got[0] != float64(i) {
+			t.Fatalf("message %d out of order: %v", i, got)
+		}
+	}
+}
+
+func TestTagMismatchPanics(t *testing.T) {
+	c := NewCluster(2)
+	a, b := c.Endpoint(0), c.Endpoint(1)
+	a.Send(1, TagForceX, []float64{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tag mismatch should panic")
+		}
+	}()
+	b.Recv(0, TagDelvXi)
+}
+
+func TestSendToSelfPanics(t *testing.T) {
+	c := NewCluster(2)
+	a := c.Endpoint(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send to self should panic")
+		}
+	}()
+	a.Send(0, TagForceX, nil)
+}
+
+func TestTryRecv(t *testing.T) {
+	c := NewCluster(2)
+	a, b := c.Endpoint(0), c.Endpoint(1)
+	if _, ok := b.TryRecv(0, TagForceX); ok {
+		t.Fatal("TryRecv on empty pipe returned a message")
+	}
+	a.Send(1, TagForceX, []float64{7})
+	got, ok := b.TryRecv(0, TagForceX)
+	if !ok || got[0] != 7 {
+		t.Fatalf("TryRecv = %v, %v", got, ok)
+	}
+}
+
+func TestRecvWaitAccounting(t *testing.T) {
+	c := NewCluster(2)
+	a, b := c.Endpoint(0), c.Endpoint(1)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		a.Send(1, TagForceX, []float64{1})
+	}()
+	b.Recv(0, TagForceX)
+	if w := b.StatsSnapshot().Wait; w < 10*time.Millisecond {
+		t.Fatalf("blocked receive accounted only %v wait", w)
+	}
+	// An eager receive must not accumulate wait.
+	a.Send(1, TagForceX, []float64{2})
+	time.Sleep(time.Millisecond)
+	before := b.StatsSnapshot().Wait
+	b.Recv(0, TagForceX)
+	if after := b.StatsSnapshot().Wait; after != before {
+		t.Fatalf("eager receive accumulated wait: %v -> %v", before, after)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	c := NewCluster(2)
+	a, b := c.Endpoint(0), c.Endpoint(1)
+	a.Send(1, TagForceX, make([]float64, 5))
+	b.Recv(0, TagForceX)
+	sa, sb := a.StatsSnapshot(), b.StatsSnapshot()
+	if sa.Sent != 1 || sa.BytesSent != 40 || sb.Received != 1 {
+		t.Fatalf("stats: a=%+v b=%+v", sa, sb)
+	}
+	a.ResetStats()
+	if s := a.StatsSnapshot(); s.Sent != 0 || s.BytesSent != 0 {
+		t.Fatalf("reset failed: %+v", s)
+	}
+}
+
+func TestAllReduceMinSingleRank(t *testing.T) {
+	c := NewCluster(1)
+	e := c.Endpoint(0)
+	in := []float64{3, 1}
+	out := e.AllReduceMin(in)
+	if out[0] != 3 || out[1] != 1 {
+		t.Fatalf("got %v", out)
+	}
+	out[0] = 99
+	if in[0] != 3 {
+		t.Fatal("AllReduceMin must not alias its input")
+	}
+}
+
+func TestAllReduceMinAcrossRanks(t *testing.T) {
+	const n = 5
+	c := NewCluster(n)
+	results := make([][]float64, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := c.Endpoint(r)
+			vals := []float64{float64(10 + r), float64(10 - r), 0}
+			results[r] = e.AllReduceMin(vals)
+		}()
+	}
+	wg.Wait()
+	for r := 0; r < n; r++ {
+		got := results[r]
+		if got[0] != 10 || got[1] != float64(10-(n-1)) || got[2] != 0 {
+			t.Fatalf("rank %d reduced to %v", r, got)
+		}
+	}
+}
+
+func TestAllReduceMinRepeatedRounds(t *testing.T) {
+	// Repeated reductions must not cross-talk between rounds.
+	const n = 3
+	c := NewCluster(n)
+	var wg sync.WaitGroup
+	errc := make(chan string, n)
+	for r := 0; r < n; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := c.Endpoint(r)
+			for round := 0; round < 50; round++ {
+				got := e.AllReduceMin([]float64{float64(round*10 + r)})
+				if got[0] != float64(round*10) {
+					errc <- "round mixup"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for msg := range errc {
+		t.Fatal(msg)
+	}
+}
+
+func TestTagStrings(t *testing.T) {
+	for _, tag := range []Tag{TagNodalMass, TagForceX, TagForceY, TagForceZ,
+		TagDelvXi, TagDelvEta, TagDelvZeta, TagReduce, Tag(99)} {
+		if tag.String() == "" {
+			t.Fatalf("empty string for tag %d", tag)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c := NewClusterLatency(3, 5*time.Millisecond)
+	if c.Size() != 3 || c.Latency() != 5*time.Millisecond {
+		t.Fatalf("cluster accessors: size=%d latency=%v", c.Size(), c.Latency())
+	}
+	e := c.Endpoint(2)
+	if e.Rank() != 2 || e.Size() != 3 {
+		t.Fatalf("endpoint accessors: rank=%d size=%d", e.Rank(), e.Size())
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	c := NewClusterLatency(2, 10*time.Millisecond)
+	a, b := c.Endpoint(0), c.Endpoint(1)
+	t0 := time.Now()
+	a.Send(1, TagForceX, []float64{1})
+	got := b.Recv(0, TagForceX)
+	elapsed := time.Since(t0)
+	if got[0] != 1 {
+		t.Fatalf("payload %v", got)
+	}
+	if elapsed < 8*time.Millisecond {
+		t.Fatalf("latency not applied: delivered after %v", elapsed)
+	}
+	if w := b.StatsSnapshot().Wait; w < 5*time.Millisecond {
+		t.Fatalf("latency wait not accounted: %v", w)
+	}
+}
+
+func TestTryRecvHonorsLatency(t *testing.T) {
+	c := NewClusterLatency(2, 20*time.Millisecond)
+	a, b := c.Endpoint(0), c.Endpoint(1)
+	a.Send(1, TagForceX, []float64{7})
+	if _, ok := b.TryRecv(0, TagForceX); ok {
+		t.Fatal("TryRecv delivered a message before its latency elapsed")
+	}
+	time.Sleep(25 * time.Millisecond)
+	got, ok := b.TryRecv(0, TagForceX)
+	if !ok || got[0] != 7 {
+		t.Fatalf("TryRecv after latency: %v %v", got, ok)
+	}
+}
+
+func TestHeadBufferThenBlockingRecv(t *testing.T) {
+	// A message parked in the head buffer by TryRecv must be delivered by
+	// a subsequent blocking Recv.
+	c := NewClusterLatency(2, 15*time.Millisecond)
+	a, b := c.Endpoint(0), c.Endpoint(1)
+	a.Send(1, TagForceX, []float64{3})
+	if _, ok := b.TryRecv(0, TagForceX); ok {
+		t.Fatal("premature delivery")
+	}
+	got := b.Recv(0, TagForceX) // must find the head and wait out latency
+	if got[0] != 3 {
+		t.Fatalf("payload %v", got)
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"lulesh/internal/domain"
+)
+
+func TestTimeIncrementFirstCycle(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(3))
+	dt0 := d.Deltatime
+	TimeIncrement(d)
+	if d.Cycle != 1 {
+		t.Fatalf("cycle = %d", d.Cycle)
+	}
+	if d.Deltatime != dt0 {
+		t.Fatalf("first cycle must keep the initial dt: %v vs %v", d.Deltatime, dt0)
+	}
+	if d.Time != dt0 {
+		t.Fatalf("time = %v, want %v", d.Time, dt0)
+	}
+}
+
+func TestTimeIncrementCourantLimits(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(3))
+	TimeIncrement(d) // prime cycle 1
+	d.Dtcourant = 1e-5
+	d.Dthydro = 1e20
+	old := d.Deltatime
+	TimeIncrement(d)
+	want := 1e-5 / 2.0
+	// Growth clamping may cap it at old*ub instead.
+	if want > old*d.Par.DeltaTimeMultUB {
+		want = old * d.Par.DeltaTimeMultUB
+	}
+	if math.Abs(d.Deltatime-want) > 1e-20 {
+		t.Fatalf("dt = %v, want %v", d.Deltatime, want)
+	}
+}
+
+func TestTimeIncrementHydroLimit(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(3))
+	TimeIncrement(d)
+	d.Dtcourant = 1e20
+	d.Dthydro = 3e-6
+	old := d.Deltatime
+	TimeIncrement(d)
+	want := 3e-6 * 2.0 / 3.0
+	if want/old >= 1 {
+		if want/old < d.Par.DeltaTimeMultLB {
+			want = old
+		} else if want/old > d.Par.DeltaTimeMultUB {
+			want = old * d.Par.DeltaTimeMultUB
+		}
+	}
+	if math.Abs(d.Deltatime-want) > 1e-20 {
+		t.Fatalf("dt = %v, want %v", d.Deltatime, want)
+	}
+}
+
+func TestTimeIncrementGrowthClampLB(t *testing.T) {
+	// A candidate dt only slightly above the old one (ratio < LB) keeps
+	// the old dt, damping oscillations.
+	d := domain.NewSedov(domain.DefaultConfig(3))
+	TimeIncrement(d)
+	old := d.Deltatime
+	d.Dtcourant = old * 2.1 // newdt = old * 1.05 < old * 1.1 (LB)
+	d.Dthydro = 1e20
+	TimeIncrement(d)
+	if d.Deltatime != old {
+		t.Fatalf("dt = %v, want unchanged %v", d.Deltatime, old)
+	}
+}
+
+func TestTimeIncrementDtMaxCap(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(3))
+	d.Deltatime = 9e-3
+	TimeIncrement(d)
+	d.Dtcourant = 1e20
+	d.Dthydro = 1e20
+	TimeIncrement(d)
+	if d.Deltatime > d.Par.DtMax {
+		t.Fatalf("dt %v exceeds DtMax %v", d.Deltatime, d.Par.DtMax)
+	}
+}
+
+func TestTimeIncrementFixedDt(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(3))
+	d.Par.DtFixed = 1e-6
+	TimeIncrement(d)
+	TimeIncrement(d)
+	if d.Deltatime != 1e-6 {
+		t.Fatalf("fixed dt = %v", d.Deltatime)
+	}
+	if math.Abs(d.Time-2e-6) > 1e-18 {
+		t.Fatalf("time = %v", d.Time)
+	}
+}
+
+func TestTimeIncrementStopsAtStopTime(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(3))
+	d.Par.DtFixed = 1e-6
+	d.Par.StopTime = 2.5e-6
+	TimeIncrement(d) // t = 1e-6
+	TimeIncrement(d) // targetdt = 1.5e-6 ∈ (dt, 4dt/3)? 1.5 > 4/3 → t = 2e-6
+	TimeIncrement(d) // targetdt = 0.5e-6 < dt → dt clamps to remainder
+	if d.Time > d.Par.StopTime+1e-18 {
+		t.Fatalf("time %v overshot stop time %v", d.Time, d.Par.StopTime)
+	}
+}
+
+func TestTimeIncrementSmallTailSplit(t *testing.T) {
+	// When the remaining time is just above dt (within 4/3), the step is
+	// reduced to 2/3 of dt so the final two steps are balanced.
+	d := domain.NewSedov(domain.DefaultConfig(3))
+	d.Par.DtFixed = 1e-6
+	d.Par.StopTime = 1.2e-6
+	TimeIncrement(d)
+	want := 2.0 / 3.0 * 1e-6
+	if math.Abs(d.Deltatime-want) > 1e-18 {
+		t.Fatalf("tail dt = %v, want %v", d.Deltatime, want)
+	}
+}
+
+func TestRunRespectsMaxIterations(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(5))
+	b := NewBackendSerial(d)
+	defer b.Close()
+	res, err := Run(d, b, RunConfig{MaxIterations: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 7 {
+		t.Fatalf("iterations = %d, want 7", res.Iterations)
+	}
+	if res.Backend != "serial" || res.Size != 5 || res.Regions != 11 {
+		t.Fatalf("result metadata wrong: %+v", res)
+	}
+	if res.OriginEnergy <= 0 {
+		t.Fatal("origin energy should remain positive early in the run")
+	}
+}
+
+func TestRunToCompletion(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(4))
+	b := NewBackendSerial(d)
+	defer b.Close()
+	res, err := Run(d, b, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalTime < d.Par.StopTime-1e-12 {
+		t.Fatalf("run stopped at t=%v before stop time %v", res.FinalTime, d.Par.StopTime)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations executed")
+	}
+}
+
+func TestResultFOM(t *testing.T) {
+	r := Result{Size: 10, Iterations: 100, Elapsed: time.Second}
+	if got := r.FOM(); math.Abs(got-100.0) > 1e-12 {
+		t.Fatalf("FOM = %v, want 100 kz/s", got)
+	}
+	if (Result{Size: 10}).FOM() != 0 {
+		t.Fatal("zero-elapsed FOM should be 0")
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	if CSVHeader() != "size,regions,iterations,threads,runtime,result" {
+		t.Fatalf("header = %q", CSVHeader())
+	}
+	r := Result{Size: 45, Regions: 11, Iterations: 10, Threads: 24,
+		Elapsed: 1500 * time.Millisecond, OriginEnergy: 2.5e5}
+	line := r.CSVLine()
+	if !strings.HasPrefix(line, "45,11,10,24,1.500000,") {
+		t.Fatalf("csv line = %q", line)
+	}
+	if len(strings.Split(line, ",")) != 6 {
+		t.Fatalf("csv line has wrong field count: %q", line)
+	}
+}
+
+func TestBackendNames(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(3))
+	cases := []struct {
+		b    Backend
+		want string
+	}{
+		{NewBackendSerial(d), "serial"},
+		{NewBackendOMP(d, 2), "omp"},
+		{NewBackendNaive(d, 2), "naive"},
+		{NewBackendTask(d, DefaultOptions(3, 2)), "task"},
+	}
+	for _, c := range cases {
+		if c.b.Name() != c.want {
+			t.Errorf("name = %q, want %q", c.b.Name(), c.want)
+		}
+		c.b.Close()
+	}
+}
+
+func TestBackendThreadsReporting(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(3))
+	b := NewBackendOMP(d, 3)
+	if backendThreads(b) != 3 {
+		t.Errorf("omp threads = %d", backendThreads(b))
+	}
+	b.Close()
+	tk := NewBackendTask(d, DefaultOptions(3, 2))
+	if backendThreads(tk) != 2 {
+		t.Errorf("task threads = %d", backendThreads(tk))
+	}
+	tk.Close()
+}
+
+func TestSerialUtilizationNotMeasured(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(3))
+	b := NewBackendSerial(d)
+	defer b.Close()
+	if _, ok := b.Utilization(); ok {
+		t.Fatal("serial backend should not report utilization")
+	}
+}
+
+func TestRunProgressCallback(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(4))
+	b := NewBackendSerial(d)
+	defer b.Close()
+	var cycles []int
+	var lastTime float64
+	_, err := Run(d, b, RunConfig{
+		MaxIterations: 6,
+		Progress: func(cycle int, tm, dt float64) {
+			cycles = append(cycles, cycle)
+			if tm <= lastTime {
+				t.Errorf("time did not advance: %v -> %v", lastTime, tm)
+			}
+			if dt <= 0 {
+				t.Errorf("non-positive dt %v", dt)
+			}
+			lastTime = tm
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cycles) != 6 {
+		t.Fatalf("progress fired %d times, want 6", len(cycles))
+	}
+	for i, c := range cycles {
+		if c != i+1 {
+			t.Fatalf("cycle sequence %v", cycles)
+		}
+	}
+}

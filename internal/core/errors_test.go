@@ -1,0 +1,107 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"lulesh/internal/domain"
+	"lulesh/internal/kernels"
+)
+
+// backendFactories enumerates all backends for failure-injection tests.
+func backendFactories(threads int) []struct {
+	name string
+	mk   func(*domain.Domain) Backend
+} {
+	return []struct {
+		name string
+		mk   func(*domain.Domain) Backend
+	}{
+		{"serial", func(d *domain.Domain) Backend { return NewBackendSerial(d) }},
+		{"omp", func(d *domain.Domain) Backend { return NewBackendOMP(d, threads) }},
+		{"naive", func(d *domain.Domain) Backend { return NewBackendNaive(d, threads) }},
+		{"task", func(d *domain.Domain) Backend {
+			return NewBackendTask(d, DefaultOptions(d.Mesh.EdgeElems, threads))
+		}},
+	}
+}
+
+func TestAllBackendsDetectVolumeError(t *testing.T) {
+	for _, f := range backendFactories(2) {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			d := domain.NewSedov(domain.DefaultConfig(4))
+			b := f.mk(d)
+			defer b.Close()
+			// Invert an element by crossing its nodes: kinematics will
+			// compute a non-positive volume.
+			d.V[5] = -1.0
+			TimeIncrement(d)
+			err := b.Step(d)
+			if !errors.Is(err, kernels.ErrVolume) {
+				t.Fatalf("err = %v, want ErrVolume", err)
+			}
+		})
+	}
+}
+
+func TestAllBackendsDetectQStop(t *testing.T) {
+	for _, f := range backendFactories(2) {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			d := domain.NewSedov(domain.DefaultConfig(4))
+			b := f.mk(d)
+			defer b.Close()
+			d.Par.QStop = 1e-30 // any developing viscosity trips the check
+			// Run a few steps so a shock forms and q becomes nonzero.
+			var err error
+			for i := 0; i < 50 && err == nil; i++ {
+				TimeIncrement(d)
+				err = b.Step(d)
+			}
+			if !errors.Is(err, kernels.ErrQStop) {
+				t.Fatalf("err = %v, want ErrQStop", err)
+			}
+		})
+	}
+}
+
+func TestRunPropagatesErrorWithCycle(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(4))
+	b := NewBackendSerial(d)
+	defer b.Close()
+	d.V[0] = -1
+	_, err := Run(d, b, RunConfig{MaxIterations: 5})
+	if err == nil || !errors.Is(err, kernels.ErrVolume) {
+		t.Fatalf("Run err = %v", err)
+	}
+	if got := fmt.Sprint(err); got == kernels.ErrVolume.Error() {
+		t.Fatalf("error should carry cycle context: %q", got)
+	}
+}
+
+func TestBackendsRecoverAfterErrorReset(t *testing.T) {
+	// After an error the backend's sticky flag must reset on the next
+	// Step call (fresh domain).
+	for _, f := range backendFactories(2) {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			bad := domain.NewSedov(domain.DefaultConfig(3))
+			bad.V[1] = -1
+			b := f.mk(bad)
+			defer b.Close()
+			TimeIncrement(bad)
+			if err := b.Step(bad); !errors.Is(err, kernels.ErrVolume) {
+				t.Fatalf("setup: %v", err)
+			}
+			// Heal the domain and step again: the flag must have been
+			// cleared, so no stale error.
+			bad.V[1] = 1
+			TimeIncrement(bad)
+			if err := b.Step(bad); err != nil {
+				t.Fatalf("flag not reset: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,23 @@
+package core_test
+
+import (
+	"fmt"
+
+	"lulesh/internal/core"
+	"lulesh/internal/domain"
+)
+
+// Run a small Sedov problem on the paper's task-based backend.
+func Example() {
+	d := domain.NewSedov(domain.DefaultConfig(8))
+	b := core.NewBackendTask(d, core.DefaultOptions(8, 2))
+	defer b.Close()
+
+	res, err := core.Run(d, b, core.RunConfig{MaxIterations: 10})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s backend, %d cycles, origin energy %.3e\n",
+		res.Backend, res.Iterations, res.OriginEnergy)
+	// Output: task backend, 10 cycles, origin energy 1.330e+05
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIPartitionsPaperValues(t *testing.T) {
+	// The tuned values of the paper's Table I.
+	cases := []struct{ size, nodal, elem int }{
+		{45, 2048, 2048},
+		{60, 4096, 2048},
+		{75, 8192, 4096},
+		{90, 8192, 4096},
+		{120, 8192, 2048},
+		{150, 8192, 2048},
+	}
+	for _, c := range cases {
+		n, e := TableIPartitions(c.size, 24)
+		if n != c.nodal || e != c.elem {
+			t.Errorf("size %d: partitions (%d,%d), want (%d,%d)",
+				c.size, n, e, c.nodal, c.elem)
+		}
+	}
+}
+
+func TestTableIPartitionsHeuristicBounds(t *testing.T) {
+	f := func(s8, t8 uint8) bool {
+		size := int(s8)%40 + 2 // off-table sizes
+		threads := int(t8)%8 + 1
+		n, e := TableIPartitions(size, threads)
+		return n >= 64 && n <= 8192 && e >= 64 && e <= 8192
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableIPartitionsHeuristicPowerOfTwo(t *testing.T) {
+	for _, size := range []int{5, 10, 20, 30, 40} {
+		n, _ := TableIPartitions(size, 2)
+		if n&(n-1) != 0 {
+			t.Errorf("size %d: heuristic partition %d is not a power of two", size, n)
+		}
+	}
+}
+
+func TestNearestPow2(t *testing.T) {
+	// Ties between the two neighbouring powers round down.
+	cases := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 4}, {5, 4}, {6, 4}, {7, 8},
+		{8, 8}, {12, 8}, {13, 16}, {1024, 1024}, {1500, 1024}, {1600, 2048},
+	}
+	for _, c := range cases {
+		if got := nearestPow2(c.in); got != c.want {
+			t.Errorf("nearestPow2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDefaultOptionsEnablesAllTechniques(t *testing.T) {
+	o := DefaultOptions(45, 24)
+	if !o.Chain || !o.Fuse || !o.ParallelForces || !o.ParallelRegions {
+		t.Fatalf("paper configuration must enable all techniques: %+v", o)
+	}
+	if o.PartNodal != 2048 || o.PartElem != 2048 {
+		t.Fatalf("size 45 partitions = (%d,%d)", o.PartNodal, o.PartElem)
+	}
+	if o.Threads != 24 {
+		t.Fatalf("threads = %d", o.Threads)
+	}
+}
+
+func TestPartitionCoversRange(t *testing.T) {
+	f := func(n16 uint16, p8 uint8) bool {
+		n := int(n16) % 10000
+		part := int(p8)
+		next := 0
+		ok := true
+		partition(n, part, func(lo, hi int) {
+			if lo != next || hi <= lo {
+				ok = false
+			}
+			if part >= 1 && hi-lo > part {
+				ok = false
+			}
+			next = hi
+		})
+		return ok && next == n || (n == 0 && next == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumPartitions(t *testing.T) {
+	cases := []struct{ n, part, want int }{
+		{0, 10, 0}, {1, 10, 1}, {10, 10, 1}, {11, 10, 2}, {100, 7, 15},
+		{5, 0, 1}, {5, -3, 1},
+	}
+	for _, c := range cases {
+		if got := numPartitions(c.n, c.part); got != c.want {
+			t.Errorf("numPartitions(%d,%d) = %d, want %d", c.n, c.part, got, c.want)
+		}
+	}
+	// Consistency with partition().
+	for _, n := range []int{0, 1, 7, 100, 1001} {
+		for _, p := range []int{1, 3, 64} {
+			count := 0
+			partition(n, p, func(lo, hi int) { count++ })
+			if count != numPartitions(n, p) {
+				t.Errorf("partition(%d,%d) made %d chunks, numPartitions says %d",
+					n, p, count, numPartitions(n, p))
+			}
+		}
+	}
+}
+
+func TestTaskBackendDefaultsAppliedWhenZero(t *testing.T) {
+	d := newSmallDomain()
+	opt := Options{Threads: 2, Chain: true, Fuse: true,
+		ParallelForces: true, ParallelRegions: true}
+	b := NewBackendTask(d, opt)
+	defer b.Close()
+	got := b.Options()
+	if got.PartNodal < 1 || got.PartElem < 1 {
+		t.Fatalf("zero partitions not defaulted: %+v", got)
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import "time"
+
+// PhaseTime is one leapfrog phase's accumulated wall time.
+type PhaseTime struct {
+	Name  string
+	Total time.Duration
+}
+
+// profiler accumulates per-phase times in first-seen order. It is used by
+// the serial backend only (single goroutine, no locking).
+type profiler struct {
+	order []string
+	total map[string]time.Duration
+}
+
+func newProfiler() *profiler {
+	return &profiler{total: map[string]time.Duration{}}
+}
+
+func (p *profiler) add(name string, d time.Duration) {
+	if _, ok := p.total[name]; !ok {
+		p.order = append(p.order, name)
+	}
+	p.total[name] += d
+}
+
+func (p *profiler) snapshot() []PhaseTime {
+	out := make([]PhaseTime, 0, len(p.order))
+	for _, n := range p.order {
+		out = append(out, PhaseTime{Name: n, Total: p.total[n]})
+	}
+	return out
+}
+
+// EnableProfiling turns on per-phase wall-time accounting for subsequent
+// steps. The phase split matches the paper's discussion of where LULESH
+// spends its time (stress and hourglass force calculation dominating
+// LagrangeNodal, kinematics and the region-wise EOS dominating
+// LagrangeElements).
+func (b *BackendSerial) EnableProfiling() {
+	if b.prof == nil {
+		b.prof = newProfiler()
+	}
+}
+
+// Profile returns the accumulated per-phase times (nil unless
+// EnableProfiling was called).
+func (b *BackendSerial) Profile() []PhaseTime {
+	if b.prof == nil {
+		return nil
+	}
+	return b.prof.snapshot()
+}
+
+// section runs fn, attributing its wall time to the named phase when
+// profiling is enabled.
+func (b *BackendSerial) section(name string, fn func()) {
+	if b.prof == nil {
+		fn()
+		return
+	}
+	t0 := time.Now()
+	fn()
+	b.prof.add(name, time.Since(t0))
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lulesh/internal/domain"
+	"lulesh/internal/trace"
+)
+
+func TestSerialProfilingPhases(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(6))
+	b := NewBackendSerial(d)
+	defer b.Close()
+	b.EnableProfiling()
+	if _, err := Run(d, b, RunConfig{MaxIterations: 5}); err != nil {
+		t.Fatal(err)
+	}
+	prof := b.Profile()
+	want := []string{"stress-force", "hourglass-force", "nodal-update",
+		"kinematics", "monotonic-q", "eos", "constraints"}
+	if len(prof) != len(want) {
+		t.Fatalf("%d phases, want %d: %+v", len(prof), len(want), prof)
+	}
+	for i, name := range want {
+		if prof[i].Name != name {
+			t.Fatalf("phase[%d] = %q, want %q", i, prof[i].Name, name)
+		}
+		if prof[i].Total <= 0 {
+			t.Fatalf("phase %q has zero time", name)
+		}
+	}
+}
+
+func TestProfileNilWithoutEnable(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(4))
+	b := NewBackendSerial(d)
+	defer b.Close()
+	if _, err := Run(d, b, RunConfig{MaxIterations: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Profile() != nil {
+		t.Fatal("Profile should be nil unless enabled")
+	}
+}
+
+func TestProfilingDoesNotChangeResults(t *testing.T) {
+	run := func(profile bool) float64 {
+		d := domain.NewSedov(domain.DefaultConfig(5))
+		b := NewBackendSerial(d)
+		defer b.Close()
+		if profile {
+			b.EnableProfiling()
+		}
+		res, err := Run(d, b, RunConfig{MaxIterations: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.OriginEnergy
+	}
+	if run(false) != run(true) {
+		t.Fatal("profiling altered results")
+	}
+}
+
+func TestBackendsImplementTraceSource(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(4))
+	for _, b := range []Backend{
+		NewBackendOMP(d, 2),
+		NewBackendNaive(d, 2),
+		NewBackendTask(d, DefaultOptions(4, 2)),
+	} {
+		if _, ok := b.(TraceSource); !ok {
+			t.Errorf("%s does not implement TraceSource", b.Name())
+		}
+		b.Close()
+	}
+}
+
+func TestTaskBackendFeedsTraceRecorder(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(5))
+	b := NewBackendTask(d, DefaultOptions(5, 2))
+	defer b.Close()
+	rec := trace.NewRecorder(0)
+	var mu sync.Mutex
+	maxWorker := -1
+	b.SetObserver(func(worker int, start time.Time, dur time.Duration) {
+		rec.Record("task", worker, start, dur)
+		mu.Lock()
+		if worker > maxWorker {
+			maxWorker = worker
+		}
+		mu.Unlock()
+	})
+	if _, err := Run(d, b, RunConfig{MaxIterations: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("no spans recorded")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if maxWorker < 0 || maxWorker > 1 {
+		t.Fatalf("worker ids out of range: max %d", maxWorker)
+	}
+}
+
+func TestOMPBackendFeedsTraceRecorder(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(5))
+	b := NewBackendOMP(d, 2)
+	defer b.Close()
+	rec := trace.NewRecorder(0)
+	b.SetObserver(func(worker int, start time.Time, dur time.Duration) {
+		rec.Record("region", worker, start, dur)
+	})
+	if _, err := Run(d, b, RunConfig{MaxIterations: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Two threads per region, dozens of regions per iteration.
+	if rec.Len() < 50 {
+		t.Fatalf("only %d spans for a fork-join run", rec.Len())
+	}
+}

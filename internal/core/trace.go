@@ -1,0 +1,23 @@
+package core
+
+import "time"
+
+// SpanObserver receives one callback per executed task (AMT backends) or
+// per region body (fork-join backend), for feeding a trace.Recorder
+// timeline. Backends implementing TraceSource accept one.
+type SpanObserver = func(worker int, start time.Time, dur time.Duration)
+
+// TraceSource is implemented by backends whose runtime can report
+// execution spans.
+type TraceSource interface {
+	SetObserver(SpanObserver)
+}
+
+// SetObserver forwards spans from the fork-join team.
+func (b *BackendOMP) SetObserver(fn SpanObserver) { b.pool.SetObserver(fn) }
+
+// SetObserver forwards spans from the AMT scheduler.
+func (b *BackendTask) SetObserver(fn SpanObserver) { b.s.SetObserver(fn) }
+
+// SetObserver forwards spans from the AMT scheduler.
+func (b *BackendNaive) SetObserver(fn SpanObserver) { b.s.SetObserver(fn) }

@@ -1,0 +1,358 @@
+// Package dist implements the paper's future-work experiment: multi-domain
+// LULESH across simulated ranks, comparing a synchronous MPI-style
+// exchange (compute everything, then block on neighbour data at each phase
+// boundary) against an asynchronous exchange that overlaps communication
+// with computation (boundary data is computed and sent first, interior
+// work proceeds while messages are in flight) — the advantage the paper
+// anticipates from "the asynchronous mechanisms of HPX instead of the
+// mostly synchronous data exchange mechanisms of MPI".
+//
+// The global problem is an Nx × Ny × (Ranks·NzPerRank) box decomposed into
+// slabs along zeta, one rank per slab, mirroring LULESH 2.0's domain
+// decomposition restricted to one dimension. Each rank runs the identical
+// kernels from internal/kernels; the per-iteration protocol exchanges
+//
+//   - boundary-plane nodal forces (summed on both owners, LULESH's
+//     CommSBN),
+//   - boundary-plane monotonic-Q velocity gradients into ghost element
+//     slots (LULESH's CommMonoQ),
+//   - the global minima of the Courant and hydro time constraints
+//     (the dt allreduce).
+//
+// The synchronous and asynchronous schedules execute bitwise-identical
+// arithmetic — only the overlap differs — which the tests assert.
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lulesh/internal/comm"
+	"lulesh/internal/core"
+	"lulesh/internal/domain"
+	"lulesh/internal/kernels"
+	"lulesh/internal/omp"
+)
+
+// Config describes a multi-domain run.
+type Config struct {
+	// Nx, Ny are the per-rank (and global) lateral element counts;
+	// NzPerRank is each slab's height. Ranks stacks that many slabs.
+	Nx, Ny, NzPerRank int
+	Ranks             int
+
+	NumReg  int
+	Balance int
+	Cost    int
+
+	// Async selects the overlapped exchange schedule.
+	Async bool
+
+	// ThreadsPerRank enables hybrid "MPI+X" execution: each rank
+	// parallelizes its loops over a fork-join team of this size
+	// (<= 1 = serial per rank, the MPI-everywhere model). Results are
+	// bitwise independent of this setting.
+	ThreadsPerRank int
+
+	// Latency is the simulated one-way link latency of the fabric
+	// (0 = instant delivery). With a nonzero latency the synchronous
+	// schedule pays it as blocked time at every phase boundary while the
+	// overlapped schedule computes through it.
+	Latency time.Duration
+
+	// MaxIterations caps the cycle count (0 = run to stop time).
+	MaxIterations int
+}
+
+// DefaultConfig gives a cubic slab per rank with the reference region
+// defaults.
+func DefaultConfig(size, ranks int) Config {
+	return Config{
+		Nx: size, Ny: size, NzPerRank: size, Ranks: ranks,
+		NumReg: 11, Balance: 1, Cost: 1,
+	}
+}
+
+// RankStats reports one rank's communication behaviour.
+type RankStats struct {
+	Rank     int
+	Comm     comm.Stats
+	StepTime time.Duration // total time inside Step
+}
+
+// Result summarizes a completed multi-domain run.
+type Result struct {
+	Iterations   int
+	FinalTime    float64
+	OriginEnergy float64 // e(0) of rank 0, the global origin element
+	TotalEnergy  float64 // sum of e*volo over all ranks
+	Elapsed      time.Duration
+	Ranks        []RankStats
+}
+
+// Run executes the multi-domain problem and returns the global result.
+// Each rank runs on its own goroutine with serial in-rank kernels (the
+// MPI-everywhere execution model).
+func Run(cfg Config) (Result, error) {
+	if cfg.Ranks < 1 {
+		return Result{}, fmt.Errorf("dist: need at least 1 rank, got %d", cfg.Ranks)
+	}
+	cluster := comm.NewClusterLatency(cfg.Ranks, cfg.Latency)
+	ranks := make([]*rank, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		ranks[r] = newRank(cfg, cluster, r)
+	}
+
+	start := time.Now()
+	errs := make([]error, cfg.Ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Ranks; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[r] = ranks[r].run(cfg.MaxIterations)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, rk := range ranks {
+		rk.close()
+	}
+
+	for r, err := range errs {
+		if err != nil {
+			return Result{}, fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+
+	res := Result{
+		Iterations: ranks[0].d.Cycle,
+		FinalTime:  ranks[0].d.Time,
+		Elapsed:    elapsed,
+	}
+	res.OriginEnergy = ranks[0].d.E[0]
+	for _, rk := range ranks {
+		for e := 0; e < rk.d.NumElem(); e++ {
+			res.TotalEnergy += rk.d.E[e] * rk.d.Volo[e]
+		}
+		res.Ranks = append(res.Ranks, RankStats{
+			Rank:     rk.id,
+			Comm:     rk.ep.StatsSnapshot(),
+			StepTime: rk.stepTime,
+		})
+	}
+	return res, nil
+}
+
+// Domains builds the per-rank domains of a configuration without running
+// them (and without the init-time nodal-mass exchange) — used by tests
+// that inspect the decomposition.
+func Domains(cfg Config) []*domain.Domain {
+	cluster := comm.NewCluster(cfg.Ranks)
+	out := make([]*domain.Domain, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		out[r] = newRank(cfg, cluster, r).d
+	}
+	return out
+}
+
+// rank is one slab's executor.
+type rank struct {
+	id    int
+	cfg   Config
+	d     *domain.Domain
+	ep    *comm.Endpoint
+	flag  kernels.Flag
+	async bool
+
+	// Mesh-sized temporaries (the serial backend's working set).
+	sigxx, sigyy, sigzz []float64
+	determS, determH    []float64
+	fxS, fyS, fzS       []float64
+	fxH, fyH, fzH       []float64
+	dvdx, dvdy, dvdz    []float64
+	x8n, y8n, z8n       []float64
+	vnewc               []float64
+	scratch             *kernels.EOSScratch
+
+	// pool is the per-rank fork-join team for hybrid MPI+X execution
+	// (nil = serial rank). scratches holds one EOS scratch per team
+	// thread for the partitioned region evaluation.
+	pool      *omp.Pool
+	scratches []*kernels.EOSScratch
+	dtcPart   []float64
+	dthPart   []float64
+
+	planeN int // nodes per z-plane
+	planeE int // elements per z-plane
+
+	// Packing buffers for plane exchanges.
+	packX, packY, packZ []float64
+
+	stepTime time.Duration
+}
+
+func newRank(cfg Config, cluster *comm.Cluster, id int) *rank {
+	bc := domain.BoxConfig{
+		Nx: cfg.Nx, Ny: cfg.Ny, Nz: cfg.NzPerRank,
+		NumReg: cfg.NumReg, Balance: cfg.Balance, Cost: cfg.Cost,
+		CommZMin:      id > 0,
+		CommZMax:      id < cfg.Ranks-1,
+		DepositEnergy: id == 0,
+	}
+	spacing := 1.125 / float64(cfg.Nx)
+	bc.Spacing = spacing
+	bc.ZOffset = spacing * float64(cfg.NzPerRank*id)
+	d := domain.NewSedovBox(bc)
+
+	ne := d.NumElem()
+	maxReg := 0
+	for _, l := range d.Regions.ElemList {
+		if len(l) > maxReg {
+			maxReg = len(l)
+		}
+	}
+	r := &rank{
+		id: id, cfg: cfg, d: d,
+		ep:      cluster.Endpoint(id),
+		async:   cfg.Async,
+		sigxx:   make([]float64, ne),
+		sigyy:   make([]float64, ne),
+		sigzz:   make([]float64, ne),
+		determS: make([]float64, ne),
+		determH: make([]float64, ne),
+		fxS:     make([]float64, 8*ne),
+		fyS:     make([]float64, 8*ne),
+		fzS:     make([]float64, 8*ne),
+		fxH:     make([]float64, 8*ne),
+		fyH:     make([]float64, 8*ne),
+		fzH:     make([]float64, 8*ne),
+		dvdx:    make([]float64, 8*ne),
+		dvdy:    make([]float64, 8*ne),
+		dvdz:    make([]float64, 8*ne),
+		x8n:     make([]float64, 8*ne),
+		y8n:     make([]float64, 8*ne),
+		z8n:     make([]float64, 8*ne),
+		vnewc:   make([]float64, ne),
+		scratch: kernels.NewEOSScratch(maxReg),
+		planeN:  (cfg.Nx + 1) * (cfg.Ny + 1),
+		planeE:  cfg.Nx * cfg.Ny,
+	}
+	r.packX = make([]float64, r.planeN)
+	r.packY = make([]float64, r.planeN)
+	r.packZ = make([]float64, r.planeN)
+	if cfg.ThreadsPerRank > 1 {
+		r.pool = omp.NewPool(cfg.ThreadsPerRank)
+		r.scratches = make([]*kernels.EOSScratch, cfg.ThreadsPerRank)
+		for i := range r.scratches {
+			r.scratches[i] = kernels.NewEOSScratch(maxReg)
+		}
+		r.dtcPart = make([]float64, cfg.ThreadsPerRank)
+		r.dthPart = make([]float64, cfg.ThreadsPerRank)
+	}
+	return r
+}
+
+// rangeBlock applies body over [lo, hi), splitting it across the rank's
+// team when hybrid execution is enabled.
+func (r *rank) rangeBlock(lo, hi int, body func(lo, hi int)) {
+	if r.pool == nil || hi-lo == 0 {
+		if lo < hi {
+			body(lo, hi)
+		}
+		return
+	}
+	r.pool.ParallelForBlock(hi-lo, func(a, b int) {
+		body(lo+a, lo+b)
+	})
+}
+
+// close releases the rank's team.
+func (r *rank) close() {
+	if r.pool != nil {
+		r.pool.Close()
+	}
+}
+
+func (r *rank) hasLower() bool { return r.id > 0 }
+func (r *rank) hasUpper() bool { return r.id < r.cfg.Ranks-1 }
+
+// lowerNodes / upperNodes index the shared node planes.
+func (r *rank) lowerNodeBase() int { return 0 }
+func (r *rank) upperNodeBase() int { return r.d.NumNode() - r.planeN }
+
+// exchangeNodalMass sums the shared-plane nodal masses across neighbour
+// ranks during initialization (both owners end up with the global value).
+func (r *rank) exchangeNodalMass() {
+	if r.hasLower() {
+		copy(r.packX, r.d.NodalMass[:r.planeN])
+		r.ep.Send(r.id-1, comm.TagNodalMass, r.packX)
+	}
+	if r.hasUpper() {
+		copy(r.packX, r.d.NodalMass[r.upperNodeBase():])
+		r.ep.Send(r.id+1, comm.TagNodalMass, r.packX)
+	}
+	if r.hasLower() {
+		theirs := r.ep.Recv(r.id-1, comm.TagNodalMass)
+		for i, v := range theirs {
+			r.d.NodalMass[i] += v
+		}
+	}
+	if r.hasUpper() {
+		theirs := r.ep.Recv(r.id+1, comm.TagNodalMass)
+		base := r.upperNodeBase()
+		for i, v := range theirs {
+			r.d.NodalMass[base+i] += v
+		}
+	}
+}
+
+// run drives the leapfrog to the stop time (or the iteration cap). All
+// ranks make identical time-stepping decisions because the constraint
+// minima are globally reduced every cycle.
+func (r *rank) run(maxIter int) error {
+	d := r.d
+	// The init-time mass exchange happens here, where every rank has a
+	// live goroutine to answer.
+	r.exchangeNodalMass()
+	for d.Time < d.Par.StopTime {
+		if maxIter > 0 && d.Cycle >= maxIter {
+			break
+		}
+		core.TimeIncrement(d)
+		t0 := time.Now()
+		err := r.step()
+		r.stepTime += time.Since(t0)
+
+		// Propagate errors to every rank through the reduction so no one
+		// deadlocks waiting for a failed neighbour.
+		code := 0.0
+		if err != nil {
+			code = -1
+		}
+		mins := r.ep.AllReduceMin([]float64{d.Dtcourant, d.Dthydro, code})
+		if err != nil {
+			return fmt.Errorf("cycle %d: %w", d.Cycle, err)
+		}
+		if mins[2] < 0 {
+			return fmt.Errorf("cycle %d: aborted by failing peer", d.Cycle)
+		}
+		d.Dtcourant, d.Dthydro = mins[0], mins[1]
+	}
+	return nil
+}
+
+// step advances one leapfrog iteration with the selected exchange
+// schedule. The constraint minima are left in d.Dtcourant / d.Dthydro for
+// the caller's global reduction.
+func (r *rank) step() error {
+	if r.async {
+		return r.stepOverlapped()
+	}
+	return r.stepSynchronous()
+}
+
+// newCommCluster is a test seam for building a fabric of the right size.
+func newCommCluster(n int) *comm.Cluster { return comm.NewCluster(n) }

@@ -1,0 +1,7 @@
+//go:build race
+
+package dist
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation distorts the timing assumptions of latency tests.
+const raceEnabled = true

@@ -1,0 +1,356 @@
+package dist
+
+import (
+	"lulesh/internal/comm"
+	"lulesh/internal/kernels"
+	"lulesh/internal/omp"
+)
+
+// The per-iteration protocol, in both exchange schedules. Helper methods
+// operate on index ranges so the overlapped schedule can run boundary
+// planes first; both schedules execute the same arithmetic per datum.
+
+// computeForces runs the stress and hourglass element kernels for
+// elements [lo, hi), filling the per-corner force arrays. In hybrid mode
+// the range is split over the rank's team.
+func (r *rank) computeForces(lo, hi int) {
+	d := r.d
+	r.rangeBlock(lo, hi, func(a, b int) {
+		kernels.InitStressTerms(d, r.sigxx, r.sigyy, r.sigzz, a, b)
+		kernels.IntegrateStress(d, r.sigxx, r.sigyy, r.sigzz, r.determS,
+			r.fxS, r.fyS, r.fzS, a, b)
+		kernels.CheckDeterm(r.determS, a, b, &r.flag)
+		kernels.HourglassPrep(d, r.dvdx, r.dvdy, r.dvdz,
+			r.x8n, r.y8n, r.z8n, r.determH, 0, a, b, &r.flag)
+		if d.Par.HGCoef > 0 {
+			kernels.FBHourglass(d, r.dvdx, r.dvdy, r.dvdz,
+				r.x8n, r.y8n, r.z8n, r.determH, d.Par.HGCoef, 0, a, b,
+				r.fxH, r.fyH, r.fzH)
+		}
+	})
+}
+
+// gatherForces sums corner forces into nodal forces for nodes [lo, hi).
+func (r *rank) gatherForces(lo, hi int) {
+	d := r.d
+	r.rangeBlock(lo, hi, func(a, b int) {
+		kernels.GatherCornerForces(d, r.fxS, r.fyS, r.fzS, a, b, false)
+		if d.Par.HGCoef > 0 {
+			kernels.GatherCornerForces(d, r.fxH, r.fyH, r.fzH, a, b, true)
+		}
+	})
+}
+
+// sendBoundaryForces transmits the shared-plane nodal forces to the
+// neighbours (LULESH's CommSend for the SBN phase).
+func (r *rank) sendBoundaryForces() {
+	d := r.d
+	if r.hasLower() {
+		copy(r.packX, d.Fx[:r.planeN])
+		copy(r.packY, d.Fy[:r.planeN])
+		copy(r.packZ, d.Fz[:r.planeN])
+		r.ep.Send(r.id-1, comm.TagForceX, r.packX)
+		r.ep.Send(r.id-1, comm.TagForceY, r.packY)
+		r.ep.Send(r.id-1, comm.TagForceZ, r.packZ)
+	}
+	if r.hasUpper() {
+		base := r.upperNodeBase()
+		copy(r.packX, d.Fx[base:])
+		copy(r.packY, d.Fy[base:])
+		copy(r.packZ, d.Fz[base:])
+		r.ep.Send(r.id+1, comm.TagForceX, r.packX)
+		r.ep.Send(r.id+1, comm.TagForceY, r.packY)
+		r.ep.Send(r.id+1, comm.TagForceZ, r.packZ)
+	}
+}
+
+// recvBoundaryForces receives the neighbours' shared-plane forces and sums
+// them into the local planes (LULESH's CommSBN: sum boundary nodes).
+func (r *rank) recvBoundaryForces() {
+	d := r.d
+	if r.hasLower() {
+		fx := r.ep.Recv(r.id-1, comm.TagForceX)
+		fy := r.ep.Recv(r.id-1, comm.TagForceY)
+		fz := r.ep.Recv(r.id-1, comm.TagForceZ)
+		for i := 0; i < r.planeN; i++ {
+			d.Fx[i] += fx[i]
+			d.Fy[i] += fy[i]
+			d.Fz[i] += fz[i]
+		}
+	}
+	if r.hasUpper() {
+		base := r.upperNodeBase()
+		fx := r.ep.Recv(r.id+1, comm.TagForceX)
+		fy := r.ep.Recv(r.id+1, comm.TagForceY)
+		fz := r.ep.Recv(r.id+1, comm.TagForceZ)
+		for i := 0; i < r.planeN; i++ {
+			d.Fx[base+i] += fx[i]
+			d.Fy[base+i] += fy[i]
+			d.Fz[base+i] += fz[i]
+		}
+	}
+}
+
+// nodalUpdate integrates acceleration, boundary conditions, velocity and
+// position for all nodes.
+func (r *rank) nodalUpdate() {
+	d := r.d
+	nn := d.NumNode()
+	delt := d.Deltatime
+	r.rangeBlock(0, nn, func(a, b int) { kernels.CalcAcceleration(d, a, b) })
+	r.rangeBlock(0, len(d.Mesh.SymmX), func(a, b int) {
+		kernels.ApplyAccelBCList(d, d.Mesh.SymmX, 0, a, b)
+	})
+	r.rangeBlock(0, len(d.Mesh.SymmY), func(a, b int) {
+		kernels.ApplyAccelBCList(d, d.Mesh.SymmY, 1, a, b)
+	})
+	r.rangeBlock(0, len(d.Mesh.SymmZ), func(a, b int) {
+		kernels.ApplyAccelBCList(d, d.Mesh.SymmZ, 2, a, b)
+	})
+	r.rangeBlock(0, nn, func(a, b int) {
+		kernels.CalcVelocity(d, delt, d.Par.UCut, a, b)
+	})
+	r.rangeBlock(0, nn, func(a, b int) { kernels.CalcPosition(d, delt, a, b) })
+}
+
+// kinematicsRange runs the element kinematics and monotonic-Q gradients
+// for elements [lo, hi).
+func (r *rank) kinematicsRange(lo, hi int) {
+	d := r.d
+	r.rangeBlock(lo, hi, func(a, b int) {
+		kernels.CalcKinematics(d, d.Deltatime, a, b)
+		kernels.CalcStrainRate(d, a, b, &r.flag)
+		kernels.MonoQGradients(d, a, b)
+	})
+}
+
+// sendBoundaryGradients transmits the boundary element planes' delv
+// gradients (LULESH's CommMonoQ).
+func (r *rank) sendBoundaryGradients() {
+	d := r.d
+	ne := d.NumElem()
+	if r.hasLower() {
+		r.ep.Send(r.id-1, comm.TagDelvXi, d.DelvXi[:r.planeE])
+		r.ep.Send(r.id-1, comm.TagDelvEta, d.DelvEta[:r.planeE])
+		r.ep.Send(r.id-1, comm.TagDelvZeta, d.DelvZeta[:r.planeE])
+	}
+	if r.hasUpper() {
+		base := ne - r.planeE
+		r.ep.Send(r.id+1, comm.TagDelvXi, d.DelvXi[base:ne])
+		r.ep.Send(r.id+1, comm.TagDelvEta, d.DelvEta[base:ne])
+		r.ep.Send(r.id+1, comm.TagDelvZeta, d.DelvZeta[base:ne])
+	}
+}
+
+// recvBoundaryGradients fills the ghost gradient slots with the
+// neighbours' boundary planes.
+func (r *rank) recvBoundaryGradients() {
+	d := r.d
+	m := d.Mesh
+	if r.hasLower() {
+		xi := r.ep.Recv(r.id-1, comm.TagDelvXi)
+		eta := r.ep.Recv(r.id-1, comm.TagDelvEta)
+		zeta := r.ep.Recv(r.id-1, comm.TagDelvZeta)
+		copy(d.DelvXi[m.GhostZMin:m.GhostZMin+r.planeE], xi)
+		copy(d.DelvEta[m.GhostZMin:m.GhostZMin+r.planeE], eta)
+		copy(d.DelvZeta[m.GhostZMin:m.GhostZMin+r.planeE], zeta)
+	}
+	if r.hasUpper() {
+		xi := r.ep.Recv(r.id+1, comm.TagDelvXi)
+		eta := r.ep.Recv(r.id+1, comm.TagDelvEta)
+		zeta := r.ep.Recv(r.id+1, comm.TagDelvZeta)
+		copy(d.DelvXi[m.GhostZMax:m.GhostZMax+r.planeE], xi)
+		copy(d.DelvEta[m.GhostZMax:m.GhostZMax+r.planeE], eta)
+		copy(d.DelvZeta[m.GhostZMax:m.GhostZMax+r.planeE], zeta)
+	}
+}
+
+// materialsAndConstraints runs the region Q, EOS, volume commit and local
+// time-constraint minima — entirely rank-local. Error flags raised here
+// are reported by the caller after the step: unlike the single-domain
+// backends, a distributed rank must never abandon the exchange protocol
+// mid-iteration, or its peers would deadlock or read mismatched tags; the
+// failure travels through the dt reduction instead.
+func (r *rank) materialsAndConstraints() error {
+	d := r.d
+	ne := d.NumElem()
+	p := &d.Par
+
+	for _, regList := range d.Regions.ElemList {
+		regList := regList
+		r.rangeBlock(0, len(regList), func(a, b int) {
+			kernels.MonoQRegion(d, regList, a, b)
+		})
+	}
+	r.rangeBlock(0, ne, func(a, b int) { kernels.QStopCheck(d, a, b, &r.flag) })
+
+	r.rangeBlock(0, ne, func(a, b int) {
+		kernels.CopyVnewc(d, r.vnewc, a, b)
+		if p.EOSvMin != 0 {
+			kernels.ClampVnewcLow(r.vnewc, p.EOSvMin, a, b)
+		}
+		if p.EOSvMax != 0 {
+			kernels.ClampVnewcHigh(r.vnewc, p.EOSvMax, a, b)
+		}
+		kernels.CheckVBounds(d, a, b, &r.flag)
+	})
+	for reg, regList := range d.Regions.ElemList {
+		rep := d.Regions.Rep(reg)
+		r.evalEOSRegion(regList, rep)
+	}
+	r.rangeBlock(0, ne, func(a, b int) { kernels.UpdateVolumes(d, p.VCut, a, b) })
+
+	d.Dtcourant = kernels.HugeDt
+	d.Dthydro = kernels.HugeDt
+	for _, regList := range d.Regions.ElemList {
+		dtc, dth := r.constraintMins(regList)
+		if dtc < d.Dtcourant {
+			d.Dtcourant = dtc
+		}
+		if dth < d.Dthydro {
+			d.Dthydro = dth
+		}
+	}
+	return nil
+}
+
+// evalEOSRegion evaluates one region's EOS. In hybrid mode the region list
+// is partitioned across the team, each thread with its own scratch — the
+// partitioned evaluation is value-identical to the whole-region one.
+func (r *rank) evalEOSRegion(regList []int32, rep int) {
+	if r.pool == nil {
+		kernels.EvalEOS(r.d, r.vnewc, regList, r.scratch, rep, 0, len(regList))
+		return
+	}
+	n := len(regList)
+	nth := r.pool.Threads()
+	r.pool.Parallel(func(tid int) {
+		lo, hi := omp.StaticRange(tid, nth, n)
+		if lo < hi {
+			kernels.EvalEOS(r.d, r.vnewc, regList, r.scratches[tid], rep, lo, hi)
+		}
+	})
+}
+
+// constraintMins folds the region's time constraints, splitting across the
+// team in hybrid mode (min is exact, so the split cannot change the value).
+func (r *rank) constraintMins(regList []int32) (float64, float64) {
+	if r.pool == nil {
+		return kernels.CourantConstraint(r.d, regList, 0, len(regList)),
+			kernels.HydroConstraint(r.d, regList, 0, len(regList))
+	}
+	n := len(regList)
+	nth := r.pool.Threads()
+	r.pool.Parallel(func(tid int) {
+		lo, hi := omp.StaticRange(tid, nth, n)
+		r.dtcPart[tid] = kernels.CourantConstraint(r.d, regList, lo, hi)
+		r.dthPart[tid] = kernels.HydroConstraint(r.d, regList, lo, hi)
+	})
+	dtc, dth := kernels.HugeDt, kernels.HugeDt
+	for tid := 0; tid < nth; tid++ {
+		if r.dtcPart[tid] < dtc {
+			dtc = r.dtcPart[tid]
+		}
+		if r.dthPart[tid] < dth {
+			dth = r.dthPart[tid]
+		}
+	}
+	return dtc, dth
+}
+
+// stepSynchronous is the MPI-style schedule: compute a full phase, then
+// block on the exchange at the phase boundary.
+func (r *rank) stepSynchronous() error {
+	d := r.d
+	ne := d.NumElem()
+	nn := d.NumNode()
+	r.flag.Reset()
+
+	// LagrangeNodal.
+	r.rangeBlock(0, nn, func(a, b int) { kernels.ZeroForces(d, a, b) })
+	r.computeForces(0, ne)
+	r.gatherForces(0, nn)
+	r.sendBoundaryForces()
+	r.recvBoundaryForces() // blocking phase boundary
+	r.nodalUpdate()
+
+	// LagrangeElements.
+	r.kinematicsRange(0, ne)
+	r.sendBoundaryGradients()
+	r.recvBoundaryGradients() // blocking phase boundary
+
+	if err := r.materialsAndConstraints(); err != nil {
+		return err
+	}
+	return r.flag.Err()
+}
+
+// stepOverlapped is the asynchronous schedule: boundary planes are
+// computed and sent first, the interior overlaps the message flight, and
+// receives happen as late as the data dependency allows.
+func (r *rank) stepOverlapped() error {
+	d := r.d
+	ne := d.NumElem()
+	nn := d.NumNode()
+	pe, pn := r.planeE, r.planeN
+	r.flag.Reset()
+
+	r.rangeBlock(0, nn, func(a, b int) { kernels.ZeroForces(d, a, b) })
+
+	// Boundary element planes first so their nodal planes can be sent
+	// while the interior computes.
+	lowE, highE := 0, ne
+	if r.hasLower() {
+		r.computeForces(0, pe)
+		lowE = pe
+	}
+	if r.hasUpper() {
+		r.computeForces(ne-pe, ne)
+		highE = ne - pe
+	}
+	if r.hasLower() {
+		r.gatherForces(0, pn)
+	}
+	if r.hasUpper() {
+		r.gatherForces(nn-pn, nn)
+	}
+	r.sendBoundaryForces()
+
+	// Interior overlaps the force messages.
+	if lowE < highE {
+		r.computeForces(lowE, highE)
+	}
+	lo, hi := 0, nn
+	if r.hasLower() {
+		lo = pn
+	}
+	if r.hasUpper() {
+		hi = nn - pn
+	}
+	if lo < hi {
+		r.gatherForces(lo, hi)
+	}
+	r.recvBoundaryForces()
+	r.nodalUpdate()
+
+	// Boundary kinematics/gradients first, send, interior overlaps.
+	lowE, highE = 0, ne
+	if r.hasLower() {
+		r.kinematicsRange(0, pe)
+		lowE = pe
+	}
+	if r.hasUpper() {
+		r.kinematicsRange(ne-pe, ne)
+		highE = ne - pe
+	}
+	r.sendBoundaryGradients()
+	if lowE < highE {
+		r.kinematicsRange(lowE, highE)
+	}
+	r.recvBoundaryGradients()
+
+	if err := r.materialsAndConstraints(); err != nil {
+		return err
+	}
+	return r.flag.Err()
+}

@@ -1,0 +1,249 @@
+package domain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// unitCube fills corner arrays with the canonical unit hexahedron in the
+// LULESH local node order.
+func unitCube() (x, y, z [8]float64) {
+	coords := [8][3]float64{
+		{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1},
+	}
+	for c := 0; c < 8; c++ {
+		x[c], y[c], z[c] = coords[c][0], coords[c][1], coords[c][2]
+	}
+	return
+}
+
+func TestElemVolumeUnitCube(t *testing.T) {
+	x, y, z := unitCube()
+	if v := ElemVolume(&x, &y, &z); math.Abs(v-1.0) > 1e-14 {
+		t.Fatalf("unit cube volume = %v, want 1", v)
+	}
+}
+
+func TestElemVolumeScaledBox(t *testing.T) {
+	x, y, z := unitCube()
+	a, b, c := 2.0, 3.0, 0.5
+	for i := 0; i < 8; i++ {
+		x[i] *= a
+		y[i] *= b
+		z[i] *= c
+	}
+	if v := ElemVolume(&x, &y, &z); math.Abs(v-a*b*c) > 1e-12 {
+		t.Fatalf("box volume = %v, want %v", v, a*b*c)
+	}
+}
+
+func TestElemVolumeTranslationInvariant(t *testing.T) {
+	f := func(dx, dy, dz float64) bool {
+		dx = math.Mod(dx, 1e3)
+		dy = math.Mod(dy, 1e3)
+		dz = math.Mod(dz, 1e3)
+		if math.IsNaN(dx) || math.IsNaN(dy) || math.IsNaN(dz) {
+			return true
+		}
+		x, y, z := unitCube()
+		for i := 0; i < 8; i++ {
+			x[i] += dx
+			y[i] += dy
+			z[i] += dz
+		}
+		v := ElemVolume(&x, &y, &z)
+		return math.Abs(v-1.0) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElemVolumeDegenerate(t *testing.T) {
+	// Collapse the cube onto the z=0 plane: zero volume.
+	x, y, z := unitCube()
+	for i := 0; i < 8; i++ {
+		z[i] = 0
+	}
+	if v := ElemVolume(&x, &y, &z); v != 0 {
+		t.Fatalf("flat element volume = %v, want 0", v)
+	}
+}
+
+func TestElemVolumeInvertedIsNegative(t *testing.T) {
+	// Swapping the top and bottom faces inverts the element.
+	x, y, z := unitCube()
+	for i := 0; i < 4; i++ {
+		z[i], z[i+4] = z[i+4], z[i]
+	}
+	if v := ElemVolume(&x, &y, &z); v >= 0 {
+		t.Fatalf("inverted element volume = %v, want negative", v)
+	}
+}
+
+func TestElemVolumeShearInvariant(t *testing.T) {
+	// A pure shear preserves volume.
+	x, y, z := unitCube()
+	for i := 0; i < 8; i++ {
+		x[i] += 0.3 * z[i]
+	}
+	if v := ElemVolume(&x, &y, &z); math.Abs(v-1.0) > 1e-12 {
+		t.Fatalf("sheared cube volume = %v, want 1", v)
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.HGCoef != 3.0 || p.Qqc != 2.0 || p.RefDens != 1.0 {
+		t.Errorf("core constants wrong: %+v", p)
+	}
+	if p.SS4o3 != 4.0/3.0 {
+		t.Errorf("SS4o3 = %v", p.SS4o3)
+	}
+	if p.DtFixed > 0 {
+		t.Error("default time stepping should be variable (DtFixed <= 0)")
+	}
+	if p.StopTime != 1.0e-2 {
+		t.Errorf("StopTime = %v", p.StopTime)
+	}
+	if p.Emin != -1.0e15 || p.Pmin != 0 {
+		t.Errorf("floors wrong: emin=%v pmin=%v", p.Emin, p.Pmin)
+	}
+}
+
+func TestNewSedovPanicsOnBadRegions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NumReg=0 should panic")
+		}
+	}()
+	NewSedov(Config{EdgeElems: 2, NumReg: 0})
+}
+
+func TestNewSedovGeometry(t *testing.T) {
+	d := NewSedov(DefaultConfig(4))
+	// Total reference volume is the cube volume (1.125)^3.
+	sum := 0.0
+	for _, v := range d.Volo {
+		sum += v
+	}
+	want := 1.125 * 1.125 * 1.125
+	if math.Abs(sum-want) > 1e-12 {
+		t.Errorf("total volume = %v, want %v", sum, want)
+	}
+	// Per-element volume is uniform.
+	per := want / float64(d.NumElem())
+	for e, v := range d.Volo {
+		if math.Abs(v-per) > 1e-12 {
+			t.Fatalf("volo[%d] = %v, want %v", e, v, per)
+		}
+	}
+	// The far corner node carries the max coordinate.
+	last := d.NumNode() - 1
+	if math.Abs(d.X[last]-1.125) > 1e-12 || math.Abs(d.Y[last]-1.125) > 1e-12 ||
+		math.Abs(d.Z[last]-1.125) > 1e-12 {
+		t.Errorf("far corner at (%v,%v,%v)", d.X[last], d.Y[last], d.Z[last])
+	}
+}
+
+func TestNewSedovMassConservation(t *testing.T) {
+	d := NewSedov(DefaultConfig(5))
+	elemMass, nodalMass := 0.0, 0.0
+	for _, m := range d.ElemMass {
+		elemMass += m
+	}
+	for _, m := range d.NodalMass {
+		nodalMass += m
+	}
+	if math.Abs(elemMass-nodalMass) > 1e-9 {
+		t.Errorf("mass mismatch: elem %v vs nodal %v", elemMass, nodalMass)
+	}
+}
+
+func TestNewSedovEnergyDeposit(t *testing.T) {
+	d := NewSedov(DefaultConfig(45))
+	if math.Abs(d.E[0]-3.948746e7) > 1 {
+		t.Errorf("s=45 origin energy = %v, want 3.948746e7", d.E[0])
+	}
+	for e := 1; e < d.NumElem(); e++ {
+		if d.E[e] != 0 {
+			t.Fatalf("element %d has nonzero initial energy", e)
+		}
+	}
+}
+
+func TestNewSedovEnergyScaling(t *testing.T) {
+	// einit scales with (s/45)^3, keeping the problem self-similar.
+	d90 := NewSedov(DefaultConfig(6))
+	d45 := NewSedov(DefaultConfig(3))
+	ratio := d90.E[0] / d45.E[0]
+	if math.Abs(ratio-8.0) > 1e-9 {
+		t.Errorf("energy ratio for 2x size = %v, want 8", ratio)
+	}
+}
+
+func TestNewSedovInitialState(t *testing.T) {
+	d := NewSedov(DefaultConfig(3))
+	for e := 0; e < d.NumElem(); e++ {
+		if d.V[e] != 1.0 {
+			t.Fatalf("initial relative volume V[%d] = %v", e, d.V[e])
+		}
+	}
+	if d.Deltatime <= 0 {
+		t.Error("initial deltatime must be positive")
+	}
+	if d.Time != 0 || d.Cycle != 0 {
+		t.Error("clock not zeroed")
+	}
+	if d.Dtcourant != 1e20 || d.Dthydro != 1e20 {
+		t.Error("constraint sentinels not set")
+	}
+	for n := 0; n < d.NumNode(); n++ {
+		if d.Xd[n] != 0 || d.Yd[n] != 0 || d.Zd[n] != 0 {
+			t.Fatal("initial velocities must be zero")
+		}
+	}
+}
+
+func TestCollectElemNodes(t *testing.T) {
+	d := NewSedov(DefaultConfig(2))
+	var x, y, z [8]float64
+	d.CollectElemNodes(0, &x, &y, &z)
+	// Element 0 spans [0, h] in each dimension with h = 1.125/2.
+	h := 1.125 / 2
+	if x[0] != 0 || y[0] != 0 || z[0] != 0 {
+		t.Errorf("corner 0 at (%v,%v,%v)", x[0], y[0], z[0])
+	}
+	if math.Abs(x[6]-h) > 1e-15 || math.Abs(y[6]-h) > 1e-15 || math.Abs(z[6]-h) > 1e-15 {
+		t.Errorf("corner 6 at (%v,%v,%v), want (%v,%v,%v)", x[6], y[6], z[6], h, h, h)
+	}
+	if v := ElemVolume(&x, &y, &z); math.Abs(v-h*h*h) > 1e-12 {
+		t.Errorf("element 0 volume %v, want %v", v, h*h*h)
+	}
+}
+
+func TestTotalEnergy(t *testing.T) {
+	d := NewSedov(DefaultConfig(3))
+	if got := d.TotalEnergy(); got != d.E[0] {
+		t.Errorf("TotalEnergy = %v, want %v (only origin has energy)", got, d.E[0])
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig(30)
+	if c.EdgeElems != 30 || c.NumReg != 11 || c.Balance != 1 || c.Cost != 1 {
+		t.Errorf("DefaultConfig = %+v", c)
+	}
+}
+
+func TestDomainDimensions(t *testing.T) {
+	d := NewSedov(DefaultConfig(4))
+	if d.NumElem() != 64 || d.NumNode() != 125 {
+		t.Fatalf("dims: %d elems, %d nodes", d.NumElem(), d.NumNode())
+	}
+	if len(d.E) != 64 || len(d.X) != 125 || len(d.DelvXi) != 64 {
+		t.Fatal("array lengths inconsistent with mesh")
+	}
+}

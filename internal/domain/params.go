@@ -1,0 +1,68 @@
+package domain
+
+// Params collects every tunable constant of the LULESH 2.0 Sedov problem.
+// Field names and defaults match the reference implementation's Domain
+// accessors (lulesh-init.cc).
+type Params struct {
+	// Cutoffs below which small values are snapped to zero.
+	ECut float64 // energy tolerance
+	PCut float64 // pressure tolerance
+	QCut float64 // artificial viscosity tolerance
+	VCut float64 // relative volume tolerance
+	UCut float64 // velocity tolerance
+
+	// Other constants.
+	HGCoef           float64 // hourglass control coefficient
+	SS4o3            float64 // 4/3, used by the sound-speed constraint
+	QStop            float64 // excessive q indicator
+	MonoqMaxSlope    float64
+	MonoqLimiterMult float64
+	QlcMonoq         float64 // linear term coefficient for q
+	QqcMonoq         float64 // quadratic term coefficient for q
+	Qqc              float64
+	EOSvMax          float64
+	EOSvMin          float64
+	Pmin             float64 // pressure floor
+	Emin             float64 // energy floor
+	Dvovmax          float64 // maximum allowable volume change
+	RefDens          float64 // reference density
+
+	// Time stepping.
+	DtFixed         float64 // fixed dt when > 0, variable dt when <= 0
+	DeltaTimeMultLB float64
+	DeltaTimeMultUB float64
+	DtMax           float64
+	StopTime        float64
+}
+
+// DefaultParams returns the LULESH 2.0 defaults for the Sedov problem.
+func DefaultParams() Params {
+	return Params{
+		ECut: 1.0e-7,
+		PCut: 1.0e-7,
+		QCut: 1.0e-7,
+		VCut: 1.0e-10,
+		UCut: 1.0e-7,
+
+		HGCoef:           3.0,
+		SS4o3:            4.0 / 3.0,
+		QStop:            1.0e12,
+		MonoqMaxSlope:    1.0,
+		MonoqLimiterMult: 2.0,
+		QlcMonoq:         0.5,
+		QqcMonoq:         2.0 / 3.0,
+		Qqc:              2.0,
+		EOSvMax:          1.0e9,
+		EOSvMin:          1.0e-9,
+		Pmin:             0.0,
+		Emin:             -1.0e15,
+		Dvovmax:          0.1,
+		RefDens:          1.0,
+
+		DtFixed:         -1.0e-6,
+		DeltaTimeMultLB: 1.1,
+		DeltaTimeMultUB: 1.2,
+		DtMax:           1.0e-2,
+		StopTime:        1.0e-2,
+	}
+}

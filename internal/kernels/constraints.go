@@ -1,0 +1,52 @@
+package kernels
+
+import (
+	"math"
+
+	"lulesh/internal/domain"
+)
+
+// Time-constraint kernels (CalcTimeConstraintsForElems).
+
+// HugeDt is the sentinel "no constraint" time step of the reference.
+const HugeDt = 1.0e20
+
+// CourantConstraint returns the minimum Courant-limited time step over the
+// elements regList[lo:hi] (CalcCourantConstraintForElems). Elements with
+// zero vdov impose no constraint.
+func CourantConstraint(d *domain.Domain, regList []int32, lo, hi int) float64 {
+	qqc := d.Par.Qqc
+	qqc2 := 64.0 * qqc * qqc
+	dtcourant := HugeDt
+	for i := lo; i < hi; i++ {
+		indx := regList[i]
+		dtf := d.SS[indx] * d.SS[indx]
+		if d.Vdov[indx] < 0 {
+			dtf += qqc2 * d.Arealg[indx] * d.Arealg[indx] *
+				d.Vdov[indx] * d.Vdov[indx]
+		}
+		dtf = math.Sqrt(dtf)
+		dtf = d.Arealg[indx] / dtf
+		if d.Vdov[indx] != 0 && dtf < dtcourant {
+			dtcourant = dtf
+		}
+	}
+	return dtcourant
+}
+
+// HydroConstraint returns the minimum volume-change-limited time step over
+// the elements regList[lo:hi] (CalcHydroConstraintForElems).
+func HydroConstraint(d *domain.Domain, regList []int32, lo, hi int) float64 {
+	dvovmax := d.Par.Dvovmax
+	dthydro := HugeDt
+	for i := lo; i < hi; i++ {
+		indx := regList[i]
+		if d.Vdov[indx] != 0 {
+			dtdvov := dvovmax / (math.Abs(d.Vdov[indx]) + 1.0e-20)
+			if dthydro > dtdvov {
+				dthydro = dtdvov
+			}
+		}
+	}
+	return dthydro
+}

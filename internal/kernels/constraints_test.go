@@ -1,0 +1,106 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCourantConstraintBasic(t *testing.T) {
+	d := testDomain(2)
+	regList := []int32{0, 1, 2}
+	for _, e := range regList {
+		d.SS[e] = 2.0
+		d.Arealg[e] = 0.1
+		d.Vdov[e] = 0.5 // expanding, nonzero: constraint active
+	}
+	// dtf = arealg / sqrt(ss^2) = 0.1/2 = 0.05 (no quadratic term since
+	// vdov > 0).
+	got := CourantConstraint(d, regList, 0, len(regList))
+	if math.Abs(got-0.05) > 1e-15 {
+		t.Fatalf("courant = %v, want 0.05", got)
+	}
+}
+
+func TestCourantConstraintCompressionTerm(t *testing.T) {
+	d := testDomain(2)
+	regList := []int32{0}
+	d.SS[0] = 1.0
+	d.Arealg[0] = 0.5
+	d.Vdov[0] = -2.0
+	qqc2 := 64.0 * d.Par.Qqc * d.Par.Qqc
+	want := 0.5 / math.Sqrt(1.0+qqc2*0.25*4.0)
+	got := CourantConstraint(d, regList, 0, 1)
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("courant with compression = %v, want %v", got, want)
+	}
+}
+
+func TestCourantConstraintIgnoresStaticElements(t *testing.T) {
+	d := testDomain(2)
+	regList := []int32{0, 1}
+	d.SS[0] = 1e-6
+	d.Arealg[0] = 1e-9
+	d.Vdov[0] = 0 // static: no constraint even though dtf would be tiny
+	d.SS[1] = 1.0
+	d.Arealg[1] = 1.0
+	d.Vdov[1] = 1.0
+	got := CourantConstraint(d, regList, 0, 2)
+	if math.Abs(got-1.0) > 1e-15 {
+		t.Fatalf("courant = %v, want 1 (static element must be ignored)", got)
+	}
+}
+
+func TestCourantConstraintEmptyRange(t *testing.T) {
+	d := testDomain(2)
+	if got := CourantConstraint(d, nil, 0, 0); got != HugeDt {
+		t.Fatalf("empty range courant = %v, want HugeDt", got)
+	}
+}
+
+func TestHydroConstraintBasic(t *testing.T) {
+	d := testDomain(2)
+	regList := []int32{0, 1, 2}
+	d.Vdov[0] = 0.01
+	d.Vdov[1] = -0.5 // dominates: dvovmax/0.5
+	d.Vdov[2] = 0
+	want := d.Par.Dvovmax / (0.5 + 1e-20)
+	got := HydroConstraint(d, regList, 0, 3)
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("hydro = %v, want %v", got, want)
+	}
+}
+
+func TestHydroConstraintAllStatic(t *testing.T) {
+	d := testDomain(2)
+	regList := []int32{0, 1}
+	got := HydroConstraint(d, regList, 0, 2)
+	if got != HugeDt {
+		t.Fatalf("hydro with zero vdov = %v, want HugeDt", got)
+	}
+}
+
+func TestConstraintPartitionMinEqualsWholeMin(t *testing.T) {
+	// min over partitions == min over the whole region (exactness of the
+	// min reduction the task backend relies on).
+	d := testDomain(3)
+	regList := d.Regions.ElemList[0]
+	for e := 0; e < d.NumElem(); e++ {
+		d.SS[e] = 1.0 + 0.01*float64(e%13)
+		d.Arealg[e] = 0.1 + 0.001*float64(e%7)
+		d.Vdov[e] = -0.1 * float64(e%3)
+	}
+	whole := CourantConstraint(d, regList, 0, len(regList))
+	part := HugeDt
+	for lo := 0; lo < len(regList); lo += 4 {
+		hi := lo + 4
+		if hi > len(regList) {
+			hi = len(regList)
+		}
+		if v := CourantConstraint(d, regList, lo, hi); v < part {
+			part = v
+		}
+	}
+	if whole != part {
+		t.Fatalf("partitioned min %v != whole min %v", part, whole)
+	}
+}

@@ -1,0 +1,190 @@
+// Package kernels contains the computational kernels of LULESH 2.0, ported
+// function-for-function from the reference implementation. Two layers are
+// exposed:
+//
+//   - element-local micro-kernels (this file and hourglass.go) operating on
+//     fixed-size [8]float64 corner arrays, and
+//   - range kernels (force.go, nodal.go, elements.go, eos.go,
+//     constraints.go) operating on half-open index ranges [lo, hi) of a
+//     Domain, so that every parallel backend — fork-join, naive task, or the
+//     paper's many-task approach — can impose its own partitioning without
+//     duplicating physics.
+//
+// All loop bodies, constants and even floating-point operation orders match
+// LULESH 2.0, which makes results bitwise comparable across backends and
+// thread counts.
+package kernels
+
+import "math"
+
+// ShapeFunctionDerivatives computes the shape-function derivative matrix
+// b[3][8] and the element volume (determinant) from the corner coordinates,
+// replicating CalcElemShapeFunctionDerivatives.
+func ShapeFunctionDerivatives(x, y, z *[8]float64, b *[3][8]float64) (volume float64) {
+	fjxxi := 0.125 * ((x[6] - x[0]) + (x[5] - x[3]) - (x[7] - x[1]) - (x[4] - x[2]))
+	fjxet := 0.125 * ((x[6] - x[0]) - (x[5] - x[3]) + (x[7] - x[1]) - (x[4] - x[2]))
+	fjxze := 0.125 * ((x[6] - x[0]) + (x[5] - x[3]) + (x[7] - x[1]) + (x[4] - x[2]))
+
+	fjyxi := 0.125 * ((y[6] - y[0]) + (y[5] - y[3]) - (y[7] - y[1]) - (y[4] - y[2]))
+	fjyet := 0.125 * ((y[6] - y[0]) - (y[5] - y[3]) + (y[7] - y[1]) - (y[4] - y[2]))
+	fjyze := 0.125 * ((y[6] - y[0]) + (y[5] - y[3]) + (y[7] - y[1]) + (y[4] - y[2]))
+
+	fjzxi := 0.125 * ((z[6] - z[0]) + (z[5] - z[3]) - (z[7] - z[1]) - (z[4] - z[2]))
+	fjzet := 0.125 * ((z[6] - z[0]) - (z[5] - z[3]) + (z[7] - z[1]) - (z[4] - z[2]))
+	fjzze := 0.125 * ((z[6] - z[0]) + (z[5] - z[3]) + (z[7] - z[1]) + (z[4] - z[2]))
+
+	// Cofactors of the Jacobian.
+	cjxxi := (fjyet * fjzze) - (fjzet * fjyze)
+	cjxet := -(fjyxi * fjzze) + (fjzxi * fjyze)
+	cjxze := (fjyxi * fjzet) - (fjzxi * fjyet)
+
+	cjyxi := -(fjxet * fjzze) + (fjzet * fjxze)
+	cjyet := (fjxxi * fjzze) - (fjzxi * fjxze)
+	cjyze := -(fjxxi * fjzet) + (fjzxi * fjxet)
+
+	cjzxi := (fjxet * fjyze) - (fjyet * fjxze)
+	cjzet := -(fjxxi * fjyze) + (fjyxi * fjxze)
+	cjzze := (fjxxi * fjyet) - (fjyxi * fjxet)
+
+	// Partials for nodes 0..3; (4..7) follow by symmetry.
+	b[0][0] = -cjxxi - cjxet - cjxze
+	b[0][1] = cjxxi - cjxet - cjxze
+	b[0][2] = cjxxi + cjxet - cjxze
+	b[0][3] = -cjxxi + cjxet - cjxze
+	b[0][4] = -b[0][2]
+	b[0][5] = -b[0][3]
+	b[0][6] = -b[0][0]
+	b[0][7] = -b[0][1]
+
+	b[1][0] = -cjyxi - cjyet - cjyze
+	b[1][1] = cjyxi - cjyet - cjyze
+	b[1][2] = cjyxi + cjyet - cjyze
+	b[1][3] = -cjyxi + cjyet - cjyze
+	b[1][4] = -b[1][2]
+	b[1][5] = -b[1][3]
+	b[1][6] = -b[1][0]
+	b[1][7] = -b[1][1]
+
+	b[2][0] = -cjzxi - cjzet - cjzze
+	b[2][1] = cjzxi - cjzet - cjzze
+	b[2][2] = cjzxi + cjzet - cjzze
+	b[2][3] = -cjzxi + cjzet - cjzze
+	b[2][4] = -b[2][2]
+	b[2][5] = -b[2][3]
+	b[2][6] = -b[2][0]
+	b[2][7] = -b[2][1]
+
+	return 8.0 * (fjxet*cjxet + fjyet*cjyet + fjzet*cjzet)
+}
+
+// sumElemFaceNormal adds one face's area contribution to the normals of the
+// four face corners (SumElemFaceNormal).
+func sumElemFaceNormal(pfx, pfy, pfz *[8]float64, n0, n1, n2, n3 int,
+	x, y, z *[8]float64) {
+
+	bisectX0 := 0.5 * (x[n3] + x[n2] - x[n1] - x[n0])
+	bisectY0 := 0.5 * (y[n3] + y[n2] - y[n1] - y[n0])
+	bisectZ0 := 0.5 * (z[n3] + z[n2] - z[n1] - z[n0])
+	bisectX1 := 0.5 * (x[n2] + x[n1] - x[n3] - x[n0])
+	bisectY1 := 0.5 * (y[n2] + y[n1] - y[n3] - y[n0])
+	bisectZ1 := 0.5 * (z[n2] + z[n1] - z[n3] - z[n0])
+	areaX := 0.25 * (bisectY0*bisectZ1 - bisectZ0*bisectY1)
+	areaY := 0.25 * (bisectZ0*bisectX1 - bisectX0*bisectZ1)
+	areaZ := 0.25 * (bisectX0*bisectY1 - bisectY0*bisectX1)
+
+	pfx[n0] += areaX
+	pfx[n1] += areaX
+	pfx[n2] += areaX
+	pfx[n3] += areaX
+	pfy[n0] += areaY
+	pfy[n1] += areaY
+	pfy[n2] += areaY
+	pfy[n3] += areaY
+	pfz[n0] += areaZ
+	pfz[n1] += areaZ
+	pfz[n2] += areaZ
+	pfz[n3] += areaZ
+}
+
+// ElemNodeNormals computes the area-weighted node normals of an element by
+// summing its six face normals (CalcElemNodeNormals).
+func ElemNodeNormals(pfx, pfy, pfz *[8]float64, x, y, z *[8]float64) {
+	for i := 0; i < 8; i++ {
+		pfx[i] = 0
+		pfy[i] = 0
+		pfz[i] = 0
+	}
+	sumElemFaceNormal(pfx, pfy, pfz, 0, 1, 2, 3, x, y, z)
+	sumElemFaceNormal(pfx, pfy, pfz, 0, 4, 5, 1, x, y, z)
+	sumElemFaceNormal(pfx, pfy, pfz, 1, 5, 6, 2, x, y, z)
+	sumElemFaceNormal(pfx, pfy, pfz, 2, 6, 7, 3, x, y, z)
+	sumElemFaceNormal(pfx, pfy, pfz, 3, 7, 4, 0, x, y, z)
+	sumElemFaceNormal(pfx, pfy, pfz, 4, 7, 6, 5, x, y, z)
+}
+
+// SumElemStressesToNodeForces turns the stress components and node normals
+// into per-corner force contributions (SumElemStressesToNodeForces).
+func SumElemStressesToNodeForces(b *[3][8]float64, stressXX, stressYY, stressZZ float64,
+	fx, fy, fz *[8]float64) {
+	for i := 0; i < 8; i++ {
+		fx[i] = -stressXX * b[0][i]
+		fy[i] = -stressYY * b[1][i]
+		fz[i] = -stressZZ * b[2][i]
+	}
+}
+
+// areaFace computes the squared-area metric of one quadrilateral face used
+// by the characteristic-length calculation (AreaFace).
+func areaFace(x0, x1, x2, x3, y0, y1, y2, y3, z0, z1, z2, z3 float64) float64 {
+	fx := (x2 - x0) - (x3 - x1)
+	fy := (y2 - y0) - (y3 - y1)
+	fz := (z2 - z0) - (z3 - z1)
+	gx := (x2 - x0) + (x3 - x1)
+	gy := (y2 - y0) + (y3 - y1)
+	gz := (z2 - z0) + (z3 - z1)
+	return (fx*fx+fy*fy+fz*fz)*(gx*gx+gy*gy+gz*gz) -
+		(fx*gx+fy*gy+fz*gz)*(fx*gx+fy*gy+fz*gz)
+}
+
+// ElemCharacteristicLength computes the element characteristic length from
+// its corner coordinates and volume (CalcElemCharacteristicLength).
+func ElemCharacteristicLength(x, y, z *[8]float64, volume float64) float64 {
+	charLength := 0.0
+	a := areaFace(x[0], x[1], x[2], x[3], y[0], y[1], y[2], y[3], z[0], z[1], z[2], z[3])
+	charLength = math.Max(a, charLength)
+	a = areaFace(x[4], x[5], x[6], x[7], y[4], y[5], y[6], y[7], z[4], z[5], z[6], z[7])
+	charLength = math.Max(a, charLength)
+	a = areaFace(x[0], x[1], x[5], x[4], y[0], y[1], y[5], y[4], z[0], z[1], z[5], z[4])
+	charLength = math.Max(a, charLength)
+	a = areaFace(x[1], x[2], x[6], x[5], y[1], y[2], y[6], y[5], z[1], z[2], z[6], z[5])
+	charLength = math.Max(a, charLength)
+	a = areaFace(x[2], x[3], x[7], x[6], y[2], y[3], y[7], y[6], z[2], z[3], z[7], z[6])
+	charLength = math.Max(a, charLength)
+	a = areaFace(x[3], x[0], x[4], x[7], y[3], y[0], y[4], y[7], z[3], z[0], z[4], z[7])
+	charLength = math.Max(a, charLength)
+	return 4.0 * volume / math.Sqrt(charLength)
+}
+
+// ElemVelocityGradient computes the principal velocity gradient components
+// d[0..2] (CalcElemVelocityGradient; the off-diagonal components the
+// reference computes into d[3..5] are dead values there and omitted here).
+func ElemVelocityGradient(xvel, yvel, zvel *[8]float64, b *[3][8]float64,
+	detJ float64, d *[3]float64) {
+
+	invDetJ := 1.0 / detJ
+	pfx := &b[0]
+	pfy := &b[1]
+	pfz := &b[2]
+	d[0] = invDetJ * (pfx[0]*(xvel[0]-xvel[6]) +
+		pfx[1]*(xvel[1]-xvel[7]) +
+		pfx[2]*(xvel[2]-xvel[4]) +
+		pfx[3]*(xvel[3]-xvel[5]))
+	d[1] = invDetJ * (pfy[0]*(yvel[0]-yvel[6]) +
+		pfy[1]*(yvel[1]-yvel[7]) +
+		pfy[2]*(yvel[2]-yvel[4]) +
+		pfy[3]*(yvel[3]-yvel[5]))
+	d[2] = invDetJ * (pfz[0]*(zvel[0]-zvel[6]) +
+		pfz[1]*(zvel[1]-zvel[7]) +
+		pfz[2]*(zvel[2]-zvel[4]) +
+		pfz[3]*(zvel[3]-zvel[5]))
+}

@@ -1,0 +1,346 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lulesh/internal/domain"
+)
+
+func unitCube() (x, y, z [8]float64) {
+	coords := [8][3]float64{
+		{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1},
+	}
+	for c := 0; c < 8; c++ {
+		x[c], y[c], z[c] = coords[c][0], coords[c][1], coords[c][2]
+	}
+	return
+}
+
+// perturbedCube returns a mildly distorted hexahedron that is still convex.
+func perturbedCube(rng *rand.Rand, eps float64) (x, y, z [8]float64) {
+	x, y, z = unitCube()
+	for c := 0; c < 8; c++ {
+		x[c] += eps * (rng.Float64() - 0.5)
+		y[c] += eps * (rng.Float64() - 0.5)
+		z[c] += eps * (rng.Float64() - 0.5)
+	}
+	return
+}
+
+func TestShapeFunctionDerivativesVolumeCube(t *testing.T) {
+	x, y, z := unitCube()
+	var b [3][8]float64
+	v := ShapeFunctionDerivatives(&x, &y, &z, &b)
+	if math.Abs(v-1.0) > 1e-14 {
+		t.Fatalf("jacobian volume = %v, want 1", v)
+	}
+}
+
+func TestShapeFunctionDerivativesMatchVolumeForBoxes(t *testing.T) {
+	// For affine elements the Jacobian determinant equals the exact
+	// hexahedron volume.
+	x, y, z := unitCube()
+	for i := 0; i < 8; i++ {
+		x[i] = 2*x[i] + 0.5*y[i] // sheared, scaled box
+		y[i] *= 3
+		z[i] *= 0.25
+	}
+	var b [3][8]float64
+	v := ShapeFunctionDerivatives(&x, &y, &z, &b)
+	want := domain.ElemVolume(&x, &y, &z)
+	if math.Abs(v-want) > 1e-12*math.Abs(want) {
+		t.Fatalf("jacobian volume = %v, triple-product volume = %v", v, want)
+	}
+}
+
+func TestShapeFunctionDerivativesGradientProperty(t *testing.T) {
+	// b[d][n] / volume approximates the gradient of node n's shape
+	// function, so sum_n b[d][n] = 0 (partition of unity) and
+	// sum_n b[d][n] * coord_e[n] = volume * delta_de (linear completeness).
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		x, y, z := perturbedCube(rng, 0.2)
+		var b [3][8]float64
+		v := ShapeFunctionDerivatives(&x, &y, &z, &b)
+		for dim := 0; dim < 3; dim++ {
+			sum := 0.0
+			for n := 0; n < 8; n++ {
+				sum += b[dim][n]
+			}
+			if math.Abs(sum) > 1e-12 {
+				t.Fatalf("partition of unity violated: dim %d sum %v", dim, sum)
+			}
+		}
+		coords := [3]*[8]float64{&x, &y, &z}
+		for dim := 0; dim < 3; dim++ {
+			for e := 0; e < 3; e++ {
+				dot := 0.0
+				for n := 0; n < 8; n++ {
+					dot += b[dim][n] * coords[e][n]
+				}
+				want := 0.0
+				if dim == e {
+					want = v
+				}
+				if math.Abs(dot-want) > 1e-9*math.Max(1, math.Abs(v)) {
+					t.Fatalf("linear completeness violated: b[%d]·%d = %v, want %v",
+						dim, e, dot, want)
+				}
+			}
+		}
+	}
+}
+
+func TestElemNodeNormalsClosedSurface(t *testing.T) {
+	// The outward area normals of a closed polyhedron sum to zero.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		x, y, z := perturbedCube(rng, 0.3)
+		var pfx, pfy, pfz [8]float64
+		ElemNodeNormals(&pfx, &pfy, &pfz, &x, &y, &z)
+		var sx, sy, sz float64
+		for n := 0; n < 8; n++ {
+			sx += pfx[n]
+			sy += pfy[n]
+			sz += pfz[n]
+		}
+		if math.Abs(sx) > 1e-12 || math.Abs(sy) > 1e-12 || math.Abs(sz) > 1e-12 {
+			t.Fatalf("normals sum to (%v,%v,%v), want 0", sx, sy, sz)
+		}
+	}
+}
+
+func TestElemNodeNormalsUnitCubeValues(t *testing.T) {
+	// Each unit-cube face has area 1 split over 4 corners (0.25 each);
+	// every node touches one face per axis, so |pf| = 0.25 per axis with
+	// sign matching the outward direction.
+	x, y, z := unitCube()
+	var pfx, pfy, pfz [8]float64
+	ElemNodeNormals(&pfx, &pfy, &pfz, &x, &y, &z)
+	for n := 0; n < 8; n++ {
+		wantX := -0.25
+		if x[n] == 1 {
+			wantX = 0.25
+		}
+		wantY := -0.25
+		if y[n] == 1 {
+			wantY = 0.25
+		}
+		wantZ := -0.25
+		if z[n] == 1 {
+			wantZ = 0.25
+		}
+		if math.Abs(pfx[n]-wantX) > 1e-14 ||
+			math.Abs(pfy[n]-wantY) > 1e-14 ||
+			math.Abs(pfz[n]-wantZ) > 1e-14 {
+			t.Fatalf("node %d normal (%v,%v,%v), want (%v,%v,%v)",
+				n, pfx[n], pfy[n], pfz[n], wantX, wantY, wantZ)
+		}
+	}
+}
+
+func TestSumElemStressesToNodeForces(t *testing.T) {
+	var b [3][8]float64
+	for n := 0; n < 8; n++ {
+		b[0][n] = float64(n + 1)
+		b[1][n] = float64(n) * 2
+		b[2][n] = -float64(n)
+	}
+	var fx, fy, fz [8]float64
+	SumElemStressesToNodeForces(&b, 2.0, 3.0, -1.0, &fx, &fy, &fz)
+	for n := 0; n < 8; n++ {
+		if fx[n] != -2.0*b[0][n] || fy[n] != -3.0*b[1][n] || fz[n] != 1.0*b[2][n] {
+			t.Fatalf("node %d forces (%v,%v,%v)", n, fx[n], fy[n], fz[n])
+		}
+	}
+}
+
+func TestElemCharacteristicLengthUnitCube(t *testing.T) {
+	x, y, z := unitCube()
+	if l := ElemCharacteristicLength(&x, &y, &z, 1.0); math.Abs(l-1.0) > 1e-12 {
+		t.Fatalf("unit cube characteristic length = %v, want 1", l)
+	}
+}
+
+func TestElemCharacteristicLengthScales(t *testing.T) {
+	x, y, z := unitCube()
+	h := 0.37
+	for i := 0; i < 8; i++ {
+		x[i] *= h
+		y[i] *= h
+		z[i] *= h
+	}
+	if l := ElemCharacteristicLength(&x, &y, &z, h*h*h); math.Abs(l-h) > 1e-12 {
+		t.Fatalf("scaled cube characteristic length = %v, want %v", l, h)
+	}
+}
+
+func TestElemVelocityGradientUniformExpansion(t *testing.T) {
+	// v = (ax, by, cz) gives principal gradients (a, b, c).
+	x, y, z := unitCube()
+	a, bb, c := 0.5, -0.25, 1.5
+	var xd, yd, zd [8]float64
+	for n := 0; n < 8; n++ {
+		xd[n] = a * x[n]
+		yd[n] = bb * y[n]
+		zd[n] = c * z[n]
+	}
+	var b [3][8]float64
+	detJ := ShapeFunctionDerivatives(&x, &y, &z, &b)
+	var d [3]float64
+	ElemVelocityGradient(&xd, &yd, &zd, &b, detJ, &d)
+	if math.Abs(d[0]-a) > 1e-12 || math.Abs(d[1]-bb) > 1e-12 || math.Abs(d[2]-c) > 1e-12 {
+		t.Fatalf("gradient = %v, want (%v,%v,%v)", d, a, bb, c)
+	}
+}
+
+func TestElemVelocityGradientRigidTranslation(t *testing.T) {
+	x, y, z := unitCube()
+	var xd, yd, zd [8]float64
+	for n := 0; n < 8; n++ {
+		xd[n], yd[n], zd[n] = 3, -2, 7
+	}
+	var b [3][8]float64
+	detJ := ShapeFunctionDerivatives(&x, &y, &z, &b)
+	var d [3]float64
+	ElemVelocityGradient(&xd, &yd, &zd, &b, detJ, &d)
+	for i := 0; i < 3; i++ {
+		if math.Abs(d[i]) > 1e-12 {
+			t.Fatalf("rigid translation produced gradient %v", d)
+		}
+	}
+}
+
+func TestElemVolumeDerivativeFiniteDifference(t *testing.T) {
+	// dvdx[n] must equal dV/dx_n; verify against central differences on
+	// random distorted hexahedra.
+	rng := rand.New(rand.NewSource(11))
+	const h = 1e-6
+	for trial := 0; trial < 20; trial++ {
+		x, y, z := perturbedCube(rng, 0.2)
+		var dvdx, dvdy, dvdz [8]float64
+		ElemVolumeDerivative(&dvdx, &dvdy, &dvdz, &x, &y, &z)
+		for n := 0; n < 8; n++ {
+			check := func(coord *[8]float64, got float64, name string) {
+				orig := coord[n]
+				coord[n] = orig + h
+				vp := domain.ElemVolume(&x, &y, &z)
+				coord[n] = orig - h
+				vm := domain.ElemVolume(&x, &y, &z)
+				coord[n] = orig
+				fd := (vp - vm) / (2 * h)
+				if math.Abs(fd-got) > 1e-6 {
+					t.Fatalf("trial %d node %d %s: analytic %v vs FD %v",
+						trial, n, name, got, fd)
+				}
+			}
+			check(&x, dvdx[n], "dvdx")
+			check(&y, dvdy[n], "dvdy")
+			check(&z, dvdz[n], "dvdz")
+		}
+	}
+}
+
+func TestFBHourglassForceZeroForLinearField(t *testing.T) {
+	// The hourglass shape vectors are orthogonal to linear velocity
+	// fields; a rigid or linear motion must produce zero hourglass force.
+	x, y, z := unitCube()
+	var dvdx, dvdy, dvdz [8]float64
+	ElemVolumeDerivative(&dvdx, &dvdy, &dvdz, &x, &y, &z)
+	volinv := 1.0
+	var hourgam [8][4]float64
+	for i1 := 0; i1 < 4; i1++ {
+		var hmx, hmy, hmz float64
+		for n := 0; n < 8; n++ {
+			hmx += x[n] * gamma[i1][n]
+			hmy += y[n] * gamma[i1][n]
+			hmz += z[n] * gamma[i1][n]
+		}
+		for n := 0; n < 8; n++ {
+			hourgam[n][i1] = gamma[i1][n] - volinv*(dvdx[n]*hmx+dvdy[n]*hmy+dvdz[n]*hmz)
+		}
+	}
+	// Linear velocity field v = A·r + b.
+	var xd, yd, zd [8]float64
+	for n := 0; n < 8; n++ {
+		xd[n] = 1.5*x[n] - 0.5*y[n] + 2*z[n] + 3
+		yd[n] = 0.25*x[n] + y[n] - z[n] - 1
+		zd[n] = -x[n] + 0.75*y[n] + 0.1*z[n] + 0.5
+	}
+	var hgfx, hgfy, hgfz [8]float64
+	ElemFBHourglassForce(&xd, &yd, &zd, &hourgam, 1.0, &hgfx, &hgfy, &hgfz)
+	for n := 0; n < 8; n++ {
+		if math.Abs(hgfx[n]) > 1e-12 || math.Abs(hgfy[n]) > 1e-12 || math.Abs(hgfz[n]) > 1e-12 {
+			t.Fatalf("linear field produced hourglass force at node %d: (%v,%v,%v)",
+				n, hgfx[n], hgfy[n], hgfz[n])
+		}
+	}
+}
+
+func TestFBHourglassForceResistsHourglassMode(t *testing.T) {
+	// A velocity field proportional to an hourglass mode must produce a
+	// force opposing it (negative coefficient => force opposite velocity).
+	x, y, z := unitCube()
+	var dvdx, dvdy, dvdz [8]float64
+	ElemVolumeDerivative(&dvdx, &dvdy, &dvdz, &x, &y, &z)
+	var hourgam [8][4]float64
+	for i1 := 0; i1 < 4; i1++ {
+		var hmx, hmy, hmz float64
+		for n := 0; n < 8; n++ {
+			hmx += x[n] * gamma[i1][n]
+			hmy += y[n] * gamma[i1][n]
+			hmz += z[n] * gamma[i1][n]
+		}
+		for n := 0; n < 8; n++ {
+			hourgam[n][i1] = gamma[i1][n] - (dvdx[n]*hmx + dvdy[n]*hmy + dvdz[n]*hmz)
+		}
+	}
+	var xd, yd, zd [8]float64
+	for n := 0; n < 8; n++ {
+		xd[n] = gamma[0][n] // pure hourglass mode in x
+	}
+	var hgfx, hgfy, hgfz [8]float64
+	ElemFBHourglassForce(&xd, &yd, &zd, &hourgam, -1.0, &hgfx, &hgfy, &hgfz)
+	dot := 0.0
+	for n := 0; n < 8; n++ {
+		dot += hgfx[n] * xd[n]
+	}
+	if dot >= 0 {
+		t.Fatalf("hourglass force does not oppose the mode: dot = %v", dot)
+	}
+	for n := 0; n < 8; n++ {
+		if hgfy[n] != 0 || hgfz[n] != 0 {
+			t.Fatalf("x-mode produced cross-axis force at node %d", n)
+		}
+	}
+}
+
+func TestGammaModesOrthogonalToLinear(t *testing.T) {
+	// Each gamma vector sums to zero and is orthogonal to the reference
+	// cube coordinates (the defining property of hourglass modes).
+	x, y, z := unitCube()
+	for i1 := 0; i1 < 4; i1++ {
+		var sum, dx, dy, dz float64
+		for n := 0; n < 8; n++ {
+			sum += gamma[i1][n]
+			dx += gamma[i1][n] * (x[n] - 0.5)
+			dy += gamma[i1][n] * (y[n] - 0.5)
+			dz += gamma[i1][n] * (z[n] - 0.5)
+		}
+		if sum != 0 || dx != 0 || dy != 0 || dz != 0 {
+			t.Fatalf("gamma[%d] not orthogonal: sum=%v dot=(%v,%v,%v)",
+				i1, sum, dx, dy, dz)
+		}
+	}
+}
+
+func TestAreaFaceUnitSquare(t *testing.T) {
+	// areaFace returns 16*A^2 for a planar quadrilateral of area A.
+	a := areaFace(0, 1, 1, 0, 0, 0, 1, 1, 0, 0, 0, 0)
+	if math.Abs(a-16.0) > 1e-12 {
+		t.Fatalf("unit square face metric = %v, want 16", a)
+	}
+}

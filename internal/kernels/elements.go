@@ -1,0 +1,387 @@
+package kernels
+
+import (
+	"math"
+
+	"lulesh/internal/domain"
+	"lulesh/internal/mesh"
+)
+
+// Element update kernels: kinematics, strain rates, monotonic artificial
+// viscosity, volume bookkeeping (the LagrangeElements phase).
+
+// Ptiny is the tiny-denominator guard of the monotonic Q kernels.
+const Ptiny = 1.0e-36
+
+// CalcKinematics computes new element volumes, characteristic lengths and
+// principal velocity gradients for elements [lo, hi)
+// (CalcKinematicsForElems).
+func CalcKinematics(d *domain.Domain, dt float64, lo, hi int) {
+	var x, y, z [8]float64
+	var xd, yd, zd [8]float64
+	var b [3][8]float64
+	var dvel [3]float64
+	for k := lo; k < hi; k++ {
+		nl := d.Mesh.Nodelist[8*k : 8*k+8]
+		for c := 0; c < 8; c++ {
+			n := nl[c]
+			x[c] = d.X[n]
+			y[c] = d.Y[n]
+			z[c] = d.Z[n]
+		}
+
+		volume := domain.ElemVolume(&x, &y, &z)
+		relativeVolume := volume / d.Volo[k]
+		d.Vnew[k] = relativeVolume
+		d.Delv[k] = relativeVolume - d.V[k]
+		d.Arealg[k] = ElemCharacteristicLength(&x, &y, &z, volume)
+
+		for c := 0; c < 8; c++ {
+			n := nl[c]
+			xd[c] = d.Xd[n]
+			yd[c] = d.Yd[n]
+			zd[c] = d.Zd[n]
+		}
+		dt2 := 0.5 * dt
+		for j := 0; j < 8; j++ {
+			x[j] -= dt2 * xd[j]
+			y[j] -= dt2 * yd[j]
+			z[j] -= dt2 * zd[j]
+		}
+		detJ := ShapeFunctionDerivatives(&x, &y, &z, &b)
+		ElemVelocityGradient(&xd, &yd, &zd, &b, detJ, &dvel)
+		d.Dxx[k] = dvel[0]
+		d.Dyy[k] = dvel[1]
+		d.Dzz[k] = dvel[2]
+	}
+}
+
+// CalcStrainRate converts principal strains to deviatoric form and records
+// vdov for elements [lo, hi), raising a volume error on non-positive new
+// volumes (the second loop of CalcLagrangeElements).
+func CalcStrainRate(d *domain.Domain, lo, hi int, flag *Flag) {
+	for k := lo; k < hi; k++ {
+		vdov := d.Dxx[k] + d.Dyy[k] + d.Dzz[k]
+		vdovthird := vdov / 3.0
+		d.Vdov[k] = vdov
+		d.Dxx[k] -= vdovthird
+		d.Dyy[k] -= vdovthird
+		d.Dzz[k] -= vdovthird
+		if d.Vnew[k] <= 0 {
+			flag.RaiseVolume()
+		}
+	}
+}
+
+// MonoQGradients computes the velocity and position gradients used by the
+// monotonic Q for elements [lo, hi) (CalcMonotonicQGradientsForElems).
+func MonoQGradients(d *domain.Domain, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		nl := d.Mesh.Nodelist[8*i : 8*i+8]
+		n0, n1, n2, n3 := nl[0], nl[1], nl[2], nl[3]
+		n4, n5, n6, n7 := nl[4], nl[5], nl[6], nl[7]
+
+		x0, x1, x2, x3 := d.X[n0], d.X[n1], d.X[n2], d.X[n3]
+		x4, x5, x6, x7 := d.X[n4], d.X[n5], d.X[n6], d.X[n7]
+		y0, y1, y2, y3 := d.Y[n0], d.Y[n1], d.Y[n2], d.Y[n3]
+		y4, y5, y6, y7 := d.Y[n4], d.Y[n5], d.Y[n6], d.Y[n7]
+		z0, z1, z2, z3 := d.Z[n0], d.Z[n1], d.Z[n2], d.Z[n3]
+		z4, z5, z6, z7 := d.Z[n4], d.Z[n5], d.Z[n6], d.Z[n7]
+
+		xv0, xv1, xv2, xv3 := d.Xd[n0], d.Xd[n1], d.Xd[n2], d.Xd[n3]
+		xv4, xv5, xv6, xv7 := d.Xd[n4], d.Xd[n5], d.Xd[n6], d.Xd[n7]
+		yv0, yv1, yv2, yv3 := d.Yd[n0], d.Yd[n1], d.Yd[n2], d.Yd[n3]
+		yv4, yv5, yv6, yv7 := d.Yd[n4], d.Yd[n5], d.Yd[n6], d.Yd[n7]
+		zv0, zv1, zv2, zv3 := d.Zd[n0], d.Zd[n1], d.Zd[n2], d.Zd[n3]
+		zv4, zv5, zv6, zv7 := d.Zd[n4], d.Zd[n5], d.Zd[n6], d.Zd[n7]
+
+		vol := d.Volo[i] * d.Vnew[i]
+		norm := 1.0 / (vol + Ptiny)
+
+		dxj := -0.25 * ((x0 + x1 + x5 + x4) - (x3 + x2 + x6 + x7))
+		dyj := -0.25 * ((y0 + y1 + y5 + y4) - (y3 + y2 + y6 + y7))
+		dzj := -0.25 * ((z0 + z1 + z5 + z4) - (z3 + z2 + z6 + z7))
+
+		dxi := 0.25 * ((x1 + x2 + x6 + x5) - (x0 + x3 + x7 + x4))
+		dyi := 0.25 * ((y1 + y2 + y6 + y5) - (y0 + y3 + y7 + y4))
+		dzi := 0.25 * ((z1 + z2 + z6 + z5) - (z0 + z3 + z7 + z4))
+
+		dxk := 0.25 * ((x4 + x5 + x6 + x7) - (x0 + x1 + x2 + x3))
+		dyk := 0.25 * ((y4 + y5 + y6 + y7) - (y0 + y1 + y2 + y3))
+		dzk := 0.25 * ((z4 + z5 + z6 + z7) - (z0 + z1 + z2 + z3))
+
+		// find delvk and delxk ( i cross j )
+		ax := dyi*dzj - dzi*dyj
+		ay := dzi*dxj - dxi*dzj
+		az := dxi*dyj - dyi*dxj
+
+		d.DelxZeta[i] = vol / math.Sqrt(ax*ax+ay*ay+az*az+Ptiny)
+
+		ax *= norm
+		ay *= norm
+		az *= norm
+
+		dxv := 0.25 * ((xv4 + xv5 + xv6 + xv7) - (xv0 + xv1 + xv2 + xv3))
+		dyv := 0.25 * ((yv4 + yv5 + yv6 + yv7) - (yv0 + yv1 + yv2 + yv3))
+		dzv := 0.25 * ((zv4 + zv5 + zv6 + zv7) - (zv0 + zv1 + zv2 + zv3))
+
+		d.DelvZeta[i] = ax*dxv + ay*dyv + az*dzv
+
+		// find delxi and delvi ( j cross k )
+		ax = dyj*dzk - dzj*dyk
+		ay = dzj*dxk - dxj*dzk
+		az = dxj*dyk - dyj*dxk
+
+		d.DelxXi[i] = vol / math.Sqrt(ax*ax+ay*ay+az*az+Ptiny)
+
+		ax *= norm
+		ay *= norm
+		az *= norm
+
+		dxv = 0.25 * ((xv1 + xv2 + xv6 + xv5) - (xv0 + xv3 + xv7 + xv4))
+		dyv = 0.25 * ((yv1 + yv2 + yv6 + yv5) - (yv0 + yv3 + yv7 + yv4))
+		dzv = 0.25 * ((zv1 + zv2 + zv6 + zv5) - (zv0 + zv3 + zv7 + zv4))
+
+		d.DelvXi[i] = ax*dxv + ay*dyv + az*dzv
+
+		// find delxj and delvj ( k cross i )
+		ax = dyk*dzi - dzk*dyi
+		ay = dzk*dxi - dxk*dzi
+		az = dxk*dyi - dyk*dxi
+
+		d.DelxEta[i] = vol / math.Sqrt(ax*ax+ay*ay+az*az+Ptiny)
+
+		ax *= norm
+		ay *= norm
+		az *= norm
+
+		dxv = -0.25 * ((xv0 + xv1 + xv5 + xv4) - (xv3 + xv2 + xv6 + xv7))
+		dyv = -0.25 * ((yv0 + yv1 + yv5 + yv4) - (yv3 + yv2 + yv6 + yv7))
+		dzv = -0.25 * ((zv0 + zv1 + zv5 + zv4) - (zv3 + zv2 + zv6 + zv7))
+
+		d.DelvEta[i] = ax*dxv + ay*dyv + az*dzv
+	}
+}
+
+// MonoQRegion applies the monotonic slope limiter and computes the linear
+// and quadratic artificial-viscosity terms for the elements
+// regList[lo:hi] of one region (CalcMonotonicQRegionForElems).
+func MonoQRegion(d *domain.Domain, regList []int32, lo, hi int) {
+	p := &d.Par
+	monoqLimiterMult := p.MonoqLimiterMult
+	monoqMaxSlope := p.MonoqMaxSlope
+	qlcMonoq := p.QlcMonoq
+	qqcMonoq := p.QqcMonoq
+
+	for ielem := lo; ielem < hi; ielem++ {
+		i := regList[ielem]
+		bcMask := d.Mesh.ElemBC[i]
+
+		// phixi
+		norm := 1.0 / (d.DelvXi[i] + Ptiny)
+		var delvm, delvp float64
+		switch bcMask & mesh.XiM {
+		case mesh.XiMComm, 0:
+			delvm = d.DelvXi[d.Mesh.Lxim[i]]
+		case mesh.XiMSymm:
+			delvm = d.DelvXi[i]
+		case mesh.XiMFree:
+			delvm = 0
+		}
+		switch bcMask & mesh.XiP {
+		case mesh.XiPComm, 0:
+			delvp = d.DelvXi[d.Mesh.Lxip[i]]
+		case mesh.XiPSymm:
+			delvp = d.DelvXi[i]
+		case mesh.XiPFree:
+			delvp = 0
+		}
+		delvm *= norm
+		delvp *= norm
+		phixi := 0.5 * (delvm + delvp)
+		delvm *= monoqLimiterMult
+		delvp *= monoqLimiterMult
+		if delvm < phixi {
+			phixi = delvm
+		}
+		if delvp < phixi {
+			phixi = delvp
+		}
+		if phixi < 0 {
+			phixi = 0
+		}
+		if phixi > monoqMaxSlope {
+			phixi = monoqMaxSlope
+		}
+
+		// phieta
+		norm = 1.0 / (d.DelvEta[i] + Ptiny)
+		switch bcMask & mesh.EtaM {
+		case mesh.EtaMComm, 0:
+			delvm = d.DelvEta[d.Mesh.Letam[i]]
+		case mesh.EtaMSymm:
+			delvm = d.DelvEta[i]
+		case mesh.EtaMFree:
+			delvm = 0
+		}
+		switch bcMask & mesh.EtaP {
+		case mesh.EtaPComm, 0:
+			delvp = d.DelvEta[d.Mesh.Letap[i]]
+		case mesh.EtaPSymm:
+			delvp = d.DelvEta[i]
+		case mesh.EtaPFree:
+			delvp = 0
+		}
+		delvm *= norm
+		delvp *= norm
+		phieta := 0.5 * (delvm + delvp)
+		delvm *= monoqLimiterMult
+		delvp *= monoqLimiterMult
+		if delvm < phieta {
+			phieta = delvm
+		}
+		if delvp < phieta {
+			phieta = delvp
+		}
+		if phieta < 0 {
+			phieta = 0
+		}
+		if phieta > monoqMaxSlope {
+			phieta = monoqMaxSlope
+		}
+
+		// phizeta
+		norm = 1.0 / (d.DelvZeta[i] + Ptiny)
+		switch bcMask & mesh.ZetaM {
+		case mesh.ZetaMComm, 0:
+			delvm = d.DelvZeta[d.Mesh.Lzetam[i]]
+		case mesh.ZetaMSymm:
+			delvm = d.DelvZeta[i]
+		case mesh.ZetaMFree:
+			delvm = 0
+		}
+		switch bcMask & mesh.ZetaP {
+		case mesh.ZetaPComm, 0:
+			delvp = d.DelvZeta[d.Mesh.Lzetap[i]]
+		case mesh.ZetaPSymm:
+			delvp = d.DelvZeta[i]
+		case mesh.ZetaPFree:
+			delvp = 0
+		}
+		delvm *= norm
+		delvp *= norm
+		phizeta := 0.5 * (delvm + delvp)
+		delvm *= monoqLimiterMult
+		delvp *= monoqLimiterMult
+		if delvm < phizeta {
+			phizeta = delvm
+		}
+		if delvp < phizeta {
+			phizeta = delvp
+		}
+		if phizeta < 0 {
+			phizeta = 0
+		}
+		if phizeta > monoqMaxSlope {
+			phizeta = monoqMaxSlope
+		}
+
+		// Remove length scale.
+		var qlin, qquad float64
+		if d.Vdov[i] > 0 {
+			qlin = 0
+			qquad = 0
+		} else {
+			delvxxi := d.DelvXi[i] * d.DelxXi[i]
+			delvxeta := d.DelvEta[i] * d.DelxEta[i]
+			delvxzeta := d.DelvZeta[i] * d.DelxZeta[i]
+			if delvxxi > 0 {
+				delvxxi = 0
+			}
+			if delvxeta > 0 {
+				delvxeta = 0
+			}
+			if delvxzeta > 0 {
+				delvxzeta = 0
+			}
+			rho := d.ElemMass[i] / (d.Volo[i] * d.Vnew[i])
+			qlin = -qlcMonoq * rho *
+				(delvxxi*(1.0-phixi) + delvxeta*(1.0-phieta) + delvxzeta*(1.0-phizeta))
+			qquad = qqcMonoq * rho *
+				(delvxxi*delvxxi*(1.0-phixi*phixi) +
+					delvxeta*delvxeta*(1.0-phieta*phieta) +
+					delvxzeta*delvxzeta*(1.0-phizeta*phizeta))
+		}
+		d.Qq[i] = qquad
+		d.Ql[i] = qlin
+	}
+}
+
+// QStopCheck raises a qstop error if any artificial viscosity in [lo, hi)
+// exceeds the stability threshold (the check at the end of CalcQForElems).
+func QStopCheck(d *domain.Domain, lo, hi int, flag *Flag) {
+	qstop := d.Par.QStop
+	for i := lo; i < hi; i++ {
+		if d.Q[i] > qstop {
+			flag.RaiseQStop()
+			return
+		}
+	}
+}
+
+// CopyVnewc copies the new relative volumes into the working array for
+// elements [lo, hi) (start of ApplyMaterialPropertiesForElems).
+func CopyVnewc(d *domain.Domain, vnewc []float64, lo, hi int) {
+	copy(vnewc[lo:hi], d.Vnew[lo:hi])
+}
+
+// ClampVnewcLow applies the eosvmin floor to vnewc for elements [lo, hi).
+func ClampVnewcLow(vnewc []float64, eosvmin float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if vnewc[i] < eosvmin {
+			vnewc[i] = eosvmin
+		}
+	}
+}
+
+// ClampVnewcHigh applies the eosvmax ceiling to vnewc for elements [lo, hi).
+func ClampVnewcHigh(vnewc []float64, eosvmax float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if vnewc[i] > eosvmax {
+			vnewc[i] = eosvmax
+		}
+	}
+}
+
+// CheckVBounds raises a volume error if any (clamped) old relative volume
+// in [lo, hi) is non-positive (the abort check in
+// ApplyMaterialPropertiesForElems).
+func CheckVBounds(d *domain.Domain, lo, hi int, flag *Flag) {
+	eosvmin := d.Par.EOSvMin
+	eosvmax := d.Par.EOSvMax
+	for i := lo; i < hi; i++ {
+		vc := d.V[i]
+		if eosvmin != 0 && vc < eosvmin {
+			vc = eosvmin
+		}
+		if eosvmax != 0 && vc > eosvmax {
+			vc = eosvmax
+		}
+		if vc <= 0 {
+			flag.RaiseVolume()
+			return
+		}
+	}
+}
+
+// UpdateVolumes commits the new relative volumes for elements [lo, hi),
+// snapping values within vCut of 1.0 (UpdateVolumesForElems).
+func UpdateVolumes(d *domain.Domain, vCut float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		tmpV := d.Vnew[i]
+		if math.Abs(tmpV-1.0) < vCut {
+			tmpV = 1.0
+		}
+		d.V[i] = tmpV
+	}
+}

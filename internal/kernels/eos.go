@@ -1,0 +1,326 @@
+package kernels
+
+import (
+	"math"
+
+	"lulesh/internal/domain"
+)
+
+// Equation-of-state kernels (ApplyMaterialPropertiesForElems /
+// EvalEOSForElems / CalcEnergyForElems / CalcPressureForElems /
+// CalcSoundSpeedForElems).
+//
+// The EOS operates on a compacted view of one region's elements: scratch
+// arrays are indexed by position within the region element list, and
+// regList maps back to element numbers. Each function below corresponds to
+// one worksharing loop of the reference so the fork-join backend can put a
+// barrier after each, while the task backend calls them back-to-back inside
+// one region-chain task.
+
+// EOSScratch holds the per-region temporary arrays of EvalEOSForElems. The
+// paper's HPX version allocates these task-locally for data locality; the
+// reference allocates them per region call. Ensure resizes lazily so
+// backends can pool scratch across iterations.
+type EOSScratch struct {
+	EOld, Delvc, POld, QOld   []float64
+	Compression, CompHalfStep []float64
+	QqOld, QlOld, Work        []float64
+	PNew, ENew, QNew          []float64
+	Bvc, Pbvc, PHalfStep      []float64
+}
+
+// NewEOSScratch allocates scratch for up to n region elements.
+func NewEOSScratch(n int) *EOSScratch {
+	s := &EOSScratch{}
+	s.Ensure(n)
+	return s
+}
+
+// Ensure grows the scratch arrays to hold at least n entries.
+func (s *EOSScratch) Ensure(n int) {
+	if len(s.EOld) >= n {
+		return
+	}
+	s.EOld = make([]float64, n)
+	s.Delvc = make([]float64, n)
+	s.POld = make([]float64, n)
+	s.QOld = make([]float64, n)
+	s.Compression = make([]float64, n)
+	s.CompHalfStep = make([]float64, n)
+	s.QqOld = make([]float64, n)
+	s.QlOld = make([]float64, n)
+	s.Work = make([]float64, n)
+	s.PNew = make([]float64, n)
+	s.ENew = make([]float64, n)
+	s.QNew = make([]float64, n)
+	s.Bvc = make([]float64, n)
+	s.Pbvc = make([]float64, n)
+	s.PHalfStep = make([]float64, n)
+}
+
+// EOSGather compresses the element state of regList[lo:hi] into the scratch
+// arrays (the gather loop of EvalEOSForElems). base is the scratch offset
+// of regList[lo] (0 when scratch covers the whole region; lo's partition
+// offset for task-local scratch).
+func EOSGather(d *domain.Domain, regList []int32, s *EOSScratch, base, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		elem := regList[i]
+		j := i - lo + base
+		s.EOld[j] = d.E[elem]
+		s.Delvc[j] = d.Delv[elem]
+		s.POld[j] = d.P[elem]
+		s.QOld[j] = d.Q[elem]
+		s.QqOld[j] = d.Qq[elem]
+		s.QlOld[j] = d.Ql[elem]
+	}
+}
+
+// EOSCompression computes compression and half-step compression for
+// regList[lo:hi] (the second loop of EvalEOSForElems).
+func EOSCompression(d *domain.Domain, vnewc []float64, regList []int32,
+	s *EOSScratch, base, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		elem := regList[i]
+		j := i - lo + base
+		s.Compression[j] = 1.0/vnewc[elem] - 1.0
+		vchalf := vnewc[elem] - s.Delvc[j]*0.5
+		s.CompHalfStep[j] = 1.0/vchalf - 1.0
+	}
+}
+
+// EOSClampVMin applies the eosvmin special case.
+func EOSClampVMin(d *domain.Domain, vnewc []float64, regList []int32,
+	s *EOSScratch, eosvmin float64, base, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		elem := regList[i]
+		j := i - lo + base
+		if vnewc[elem] <= eosvmin {
+			s.CompHalfStep[j] = s.Compression[j]
+		}
+	}
+}
+
+// EOSClampVMax applies the eosvmax special case.
+func EOSClampVMax(d *domain.Domain, vnewc []float64, regList []int32,
+	s *EOSScratch, eosvmax float64, base, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		elem := regList[i]
+		j := i - lo + base
+		if vnewc[elem] >= eosvmax {
+			s.POld[j] = 0
+			s.Compression[j] = 0
+			s.CompHalfStep[j] = 0
+		}
+	}
+}
+
+// EOSZeroWork clears the work array (LULESH carries a work term that is
+// identically zero for the Sedov problem but participates in the energy
+// update).
+func EOSZeroWork(s *EOSScratch, base, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s.Work[i-lo+base] = 0
+	}
+}
+
+// CalcPressure computes pressure from energy and compression for scratch
+// entries [jlo, jhi) (CalcPressureForElems). vnewc is element-indexed via
+// regList; regOff maps scratch index j to regList position j+regOff.
+func CalcPressure(pNew, bvc, pbvc, eOld, compression []float64,
+	vnewc []float64, regList []int32, regOff int,
+	pmin, pCut, eosvmax float64, jlo, jhi int) {
+
+	const c1s = 2.0 / 3.0
+	for i := jlo; i < jhi; i++ {
+		bvc[i] = c1s * (compression[i] + 1.0)
+		pbvc[i] = c1s
+	}
+	for i := jlo; i < jhi; i++ {
+		pNew[i] = bvc[i] * eOld[i]
+		if math.Abs(pNew[i]) < pCut {
+			pNew[i] = 0
+		}
+		if vnewc[regList[i+regOff]] >= eosvmax {
+			pNew[i] = 0
+		}
+		if pNew[i] < pmin {
+			pNew[i] = pmin
+		}
+	}
+}
+
+// EnergyStep1 is the first energy predictor of CalcEnergyForElems.
+func EnergyStep1(s *EOSScratch, emin float64, jlo, jhi int) {
+	for i := jlo; i < jhi; i++ {
+		s.ENew[i] = s.EOld[i] - 0.5*s.Delvc[i]*(s.POld[i]+s.QOld[i]) + 0.5*s.Work[i]
+		if s.ENew[i] < emin {
+			s.ENew[i] = emin
+		}
+	}
+}
+
+// EnergyStep2 computes the half-step viscosity and corrects the energy
+// (second loop of CalcEnergyForElems).
+func EnergyStep2(s *EOSScratch, rho0 float64, jlo, jhi int) {
+	for i := jlo; i < jhi; i++ {
+		vhalf := 1.0 / (1.0 + s.CompHalfStep[i])
+		if s.Delvc[i] > 0 {
+			s.QNew[i] = 0
+		} else {
+			ssc := (s.Pbvc[i]*s.ENew[i] + vhalf*vhalf*s.Bvc[i]*s.PHalfStep[i]) / rho0
+			if ssc <= 0.1111111e-36 {
+				ssc = 0.3333333e-18
+			} else {
+				ssc = math.Sqrt(ssc)
+			}
+			s.QNew[i] = ssc*s.QlOld[i] + s.QqOld[i]
+		}
+		s.ENew[i] = s.ENew[i] + 0.5*s.Delvc[i]*
+			(3.0*(s.POld[i]+s.QOld[i])-4.0*(s.PHalfStep[i]+s.QNew[i]))
+	}
+}
+
+// EnergyStep3 adds the remaining work term and applies cutoffs (third loop
+// of CalcEnergyForElems).
+func EnergyStep3(s *EOSScratch, eCut, emin float64, jlo, jhi int) {
+	for i := jlo; i < jhi; i++ {
+		s.ENew[i] += 0.5 * s.Work[i]
+		if math.Abs(s.ENew[i]) < eCut {
+			s.ENew[i] = 0
+		}
+		if s.ENew[i] < emin {
+			s.ENew[i] = emin
+		}
+	}
+}
+
+// EnergyStep4 applies the full-step corrector (fourth loop of
+// CalcEnergyForElems).
+func EnergyStep4(s *EOSScratch, vnewc []float64, regList []int32, regOff int,
+	rho0, eCut, emin float64, jlo, jhi int) {
+
+	const sixth = 1.0 / 6.0
+	for i := jlo; i < jhi; i++ {
+		var qTilde float64
+		if s.Delvc[i] > 0 {
+			qTilde = 0
+		} else {
+			v := vnewc[regList[i+regOff]]
+			ssc := (s.Pbvc[i]*s.ENew[i] + v*v*s.Bvc[i]*s.PNew[i]) / rho0
+			if ssc <= 0.1111111e-36 {
+				ssc = 0.3333333e-18
+			} else {
+				ssc = math.Sqrt(ssc)
+			}
+			qTilde = ssc*s.QlOld[i] + s.QqOld[i]
+		}
+		s.ENew[i] = s.ENew[i] - (7.0*(s.POld[i]+s.QOld[i])-
+			8.0*(s.PHalfStep[i]+s.QNew[i])+(s.PNew[i]+qTilde))*s.Delvc[i]*sixth
+		if math.Abs(s.ENew[i]) < eCut {
+			s.ENew[i] = 0
+		}
+		if s.ENew[i] < emin {
+			s.ENew[i] = emin
+		}
+	}
+}
+
+// EnergyStep5 finalizes the viscosity (fifth loop of CalcEnergyForElems).
+func EnergyStep5(s *EOSScratch, vnewc []float64, regList []int32, regOff int,
+	rho0, qCut float64, jlo, jhi int) {
+
+	for i := jlo; i < jhi; i++ {
+		if s.Delvc[i] <= 0 {
+			v := vnewc[regList[i+regOff]]
+			ssc := (s.Pbvc[i]*s.ENew[i] + v*v*s.Bvc[i]*s.PNew[i]) / rho0
+			if ssc <= 0.1111111e-36 {
+				ssc = 0.3333333e-18
+			} else {
+				ssc = math.Sqrt(ssc)
+			}
+			s.QNew[i] = ssc*s.QlOld[i] + s.QqOld[i]
+			if math.Abs(s.QNew[i]) < qCut {
+				s.QNew[i] = 0
+			}
+		}
+	}
+}
+
+// CalcEnergy runs the complete energy/pressure update of CalcEnergyForElems
+// for scratch entries [jlo, jhi).
+func CalcEnergy(d *domain.Domain, vnewc []float64, regList []int32,
+	s *EOSScratch, regOff, jlo, jhi int) {
+
+	p := &d.Par
+	rho0 := p.RefDens
+	EnergyStep1(s, p.Emin, jlo, jhi)
+	CalcPressure(s.PHalfStep, s.Bvc, s.Pbvc, s.ENew, s.CompHalfStep,
+		vnewc, regList, regOff, p.Pmin, p.PCut, p.EOSvMax, jlo, jhi)
+	EnergyStep2(s, rho0, jlo, jhi)
+	EnergyStep3(s, p.ECut, p.Emin, jlo, jhi)
+	CalcPressure(s.PNew, s.Bvc, s.Pbvc, s.ENew, s.Compression,
+		vnewc, regList, regOff, p.Pmin, p.PCut, p.EOSvMax, jlo, jhi)
+	EnergyStep4(s, vnewc, regList, regOff, rho0, p.ECut, p.Emin, jlo, jhi)
+	CalcPressure(s.PNew, s.Bvc, s.Pbvc, s.ENew, s.Compression,
+		vnewc, regList, regOff, p.Pmin, p.PCut, p.EOSvMax, jlo, jhi)
+	EnergyStep5(s, vnewc, regList, regOff, rho0, p.QCut, jlo, jhi)
+}
+
+// EOSStore writes the new pressure, energy and viscosity back to the
+// domain for regList[lo:hi].
+func EOSStore(d *domain.Domain, regList []int32, s *EOSScratch, base, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		elem := regList[i]
+		j := i - lo + base
+		d.P[elem] = s.PNew[j]
+		d.E[elem] = s.ENew[j]
+		d.Q[elem] = s.QNew[j]
+	}
+}
+
+// CalcSoundSpeed updates the element sound speeds for regList[lo:hi]
+// (CalcSoundSpeedForElems).
+func CalcSoundSpeed(d *domain.Domain, vnewc []float64, regList []int32,
+	s *EOSScratch, base, lo, hi int) {
+
+	rho0 := d.Par.RefDens
+	for i := lo; i < hi; i++ {
+		elem := regList[i]
+		j := i - lo + base
+		ssTmp := (s.Pbvc[j]*s.ENew[j] +
+			vnewc[elem]*vnewc[elem]*s.Bvc[j]*s.PNew[j]) / rho0
+		if ssTmp <= 0.1111111e-36 {
+			ssTmp = 0.3333333e-18
+		} else {
+			ssTmp = math.Sqrt(ssTmp)
+		}
+		d.SS[elem] = ssTmp
+	}
+}
+
+// EvalEOS runs the full equation-of-state update for the elements
+// regList[lo:hi] of one region, repeating the computation rep times to
+// model expensive materials exactly as the reference does (only the last
+// repetition's values are stored). Scratch must hold hi-lo entries
+// starting at index 0.
+func EvalEOS(d *domain.Domain, vnewc []float64, regList []int32,
+	s *EOSScratch, rep, lo, hi int) {
+
+	p := &d.Par
+	n := hi - lo
+	s.Ensure(n)
+	for j := 0; j < rep; j++ {
+		EOSGather(d, regList, s, 0, lo, hi)
+		EOSCompression(d, vnewc, regList, s, 0, lo, hi)
+		if p.EOSvMin != 0 {
+			EOSClampVMin(d, vnewc, regList, s, p.EOSvMin, 0, lo, hi)
+		}
+		if p.EOSvMax != 0 {
+			EOSClampVMax(d, vnewc, regList, s, p.EOSvMax, 0, lo, hi)
+		}
+		EOSZeroWork(s, 0, lo, hi)
+		CalcEnergy(d, vnewc, regList, s, lo, 0, n)
+	}
+	EOSStore(d, regList, s, 0, lo, hi)
+	CalcSoundSpeed(d, vnewc, regList, s, 0, lo, hi)
+}

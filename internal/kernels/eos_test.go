@@ -1,0 +1,306 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEOSScratchEnsure(t *testing.T) {
+	s := NewEOSScratch(4)
+	if len(s.EOld) != 4 || len(s.PHalfStep) != 4 {
+		t.Fatal("initial sizing wrong")
+	}
+	s.Ensure(2) // shrink request is a no-op
+	if len(s.EOld) != 4 {
+		t.Fatal("Ensure shrank scratch")
+	}
+	s.Ensure(10)
+	if len(s.EOld) != 10 || len(s.QNew) != 10 || len(s.Work) != 10 {
+		t.Fatal("Ensure did not grow all arrays")
+	}
+}
+
+func TestEOSGatherBaseConventions(t *testing.T) {
+	d := testDomain(2)
+	for e := range d.E {
+		d.E[e] = float64(e)
+		d.Delv[e] = 2 * float64(e)
+		d.P[e] = 3 * float64(e)
+		d.Q[e] = 4 * float64(e)
+		d.Qq[e] = 5 * float64(e)
+		d.Ql[e] = 6 * float64(e)
+	}
+	regList := []int32{1, 3, 5, 7}
+	// Global scratch convention: base = lo.
+	g := NewEOSScratch(4)
+	EOSGather(d, regList, g, 2, 2, 4)
+	if g.EOld[2] != 5 || g.EOld[3] != 7 || g.QlOld[3] != 42 {
+		t.Fatalf("global gather wrong: %v", g.EOld)
+	}
+	// Task-local scratch convention: base = 0.
+	l := NewEOSScratch(2)
+	EOSGather(d, regList, l, 0, 2, 4)
+	if l.EOld[0] != 5 || l.EOld[1] != 7 || l.POld[1] != 21 {
+		t.Fatalf("local gather wrong: %v", l.EOld)
+	}
+}
+
+func TestEOSCompression(t *testing.T) {
+	d := testDomain(2)
+	regList := []int32{0, 1}
+	vnewc := make([]float64, d.NumElem())
+	vnewc[0] = 0.5 // compression = 1/0.5 - 1 = 1
+	vnewc[1] = 2.0 // compression = -0.5
+	s := NewEOSScratch(2)
+	s.Delvc[0] = 0 // vchalf = vnewc
+	s.Delvc[1] = 1 // vchalf = 2 - 0.5 = 1.5
+	EOSCompression(d, vnewc, regList, s, 0, 0, 2)
+	if math.Abs(s.Compression[0]-1.0) > 1e-15 || math.Abs(s.Compression[1]+0.5) > 1e-15 {
+		t.Fatalf("compression = %v", s.Compression[:2])
+	}
+	if math.Abs(s.CompHalfStep[0]-1.0) > 1e-15 ||
+		math.Abs(s.CompHalfStep[1]-(1.0/1.5-1.0)) > 1e-15 {
+		t.Fatalf("compHalfStep = %v", s.CompHalfStep[:2])
+	}
+}
+
+func TestEOSClamps(t *testing.T) {
+	d := testDomain(2)
+	regList := []int32{0, 1}
+	vnewc := []float64{1e-10, 1e10}
+	for len(vnewc) < d.NumElem() {
+		vnewc = append(vnewc, 1)
+	}
+	s := NewEOSScratch(2)
+	s.Compression[0] = 7
+	s.CompHalfStep[0] = 1
+	s.POld[1] = 5
+	s.Compression[1] = 5
+	s.CompHalfStep[1] = 5
+	EOSClampVMin(d, vnewc, regList, s, 1e-9, 0, 0, 2)
+	if s.CompHalfStep[0] != 7 {
+		t.Fatalf("vmin clamp: compHalfStep = %v, want compression 7", s.CompHalfStep[0])
+	}
+	EOSClampVMax(d, vnewc, regList, s, 1e9, 0, 0, 2)
+	if s.POld[1] != 0 || s.Compression[1] != 0 || s.CompHalfStep[1] != 0 {
+		t.Fatal("vmax clamp did not zero state")
+	}
+}
+
+func TestCalcPressureIdealCase(t *testing.T) {
+	// p = (2/3) * (compression + 1) * e; with compression 0 and e = 3,
+	// p = 2.
+	pNew := make([]float64, 1)
+	bvc := make([]float64, 1)
+	pbvc := make([]float64, 1)
+	e := []float64{3.0}
+	comp := []float64{0.0}
+	vnewc := []float64{1.0}
+	regList := []int32{0}
+	CalcPressure(pNew, bvc, pbvc, e, comp, vnewc, regList, 0, 0, 1e-7, 1e9, 0, 1)
+	if math.Abs(pNew[0]-2.0) > 1e-15 {
+		t.Fatalf("p = %v, want 2", pNew[0])
+	}
+	if bvc[0] != 2.0/3.0 || pbvc[0] != 2.0/3.0 {
+		t.Fatalf("bvc/pbvc = %v/%v", bvc[0], pbvc[0])
+	}
+}
+
+func TestCalcPressureCutoffsAndFloor(t *testing.T) {
+	pNew := make([]float64, 3)
+	bvc := make([]float64, 3)
+	pbvc := make([]float64, 3)
+	e := []float64{1e-9, -5.0, 1.0}
+	comp := []float64{0, 0, 0}
+	vnewc := []float64{1, 1, 2e9}
+	regList := []int32{0, 1, 2}
+	CalcPressure(pNew, bvc, pbvc, e, comp, vnewc, regList, 0, 0, 1e-7, 1e9, 0, 3)
+	if pNew[0] != 0 {
+		t.Errorf("tiny pressure not cut: %v", pNew[0])
+	}
+	if pNew[1] != 0 {
+		t.Errorf("pressure floor (pmin=0) not applied: %v", pNew[1])
+	}
+	if pNew[2] != 0 {
+		t.Errorf("eosvmax pressure not zeroed: %v", pNew[2])
+	}
+}
+
+func TestCalcEnergyZeroDelvKeepsEnergy(t *testing.T) {
+	// With delvc = 0 and work = 0 the predictor/corrector collapses to
+	// e_new = e_old.
+	d := testDomain(2)
+	regList := []int32{0, 1, 2}
+	n := len(regList)
+	vnewc := make([]float64, d.NumElem())
+	for i := range vnewc {
+		vnewc[i] = 1
+	}
+	s := NewEOSScratch(n)
+	for i := 0; i < n; i++ {
+		s.EOld[i] = float64(i + 1)
+		s.POld[i] = 0.5
+		s.QOld[i] = 0.1
+		s.Delvc[i] = 0
+		s.Compression[i] = 0
+		s.CompHalfStep[i] = 0
+		s.Work[i] = 0
+		s.QqOld[i] = 0.2
+		s.QlOld[i] = 0.3
+	}
+	CalcEnergy(d, vnewc, regList, s, 0, 0, n)
+	for i := 0; i < n; i++ {
+		if math.Abs(s.ENew[i]-float64(i+1)) > 1e-12 {
+			t.Fatalf("e_new[%d] = %v, want %v", i, s.ENew[i], float64(i+1))
+		}
+		// q_new for delvc <= 0: ssc*ql + qq with e,p > 0 — positive.
+		if s.QNew[i] <= 0 {
+			t.Fatalf("q_new[%d] = %v, want > 0", i, s.QNew[i])
+		}
+	}
+}
+
+func TestCalcEnergyEminFloor(t *testing.T) {
+	d := testDomain(2)
+	regList := []int32{0}
+	vnewc := make([]float64, d.NumElem())
+	vnewc[0] = 1
+	s := NewEOSScratch(1)
+	s.EOld[0] = d.Par.Emin * 2 // far below the floor
+	s.Delvc[0] = 0
+	CalcEnergy(d, vnewc, regList, s, 0, 0, 1)
+	if s.ENew[0] < d.Par.Emin {
+		t.Fatalf("energy below floor: %v", s.ENew[0])
+	}
+}
+
+func TestEOSStoreWritesBack(t *testing.T) {
+	d := testDomain(2)
+	regList := []int32{2, 4}
+	s := NewEOSScratch(2)
+	s.PNew[0], s.ENew[0], s.QNew[0] = 1, 2, 3
+	s.PNew[1], s.ENew[1], s.QNew[1] = 4, 5, 6
+	EOSStore(d, regList, s, 0, 0, 2)
+	if d.P[2] != 1 || d.E[2] != 2 || d.Q[2] != 3 {
+		t.Fatal("store elem 2 wrong")
+	}
+	if d.P[4] != 4 || d.E[4] != 5 || d.Q[4] != 6 {
+		t.Fatal("store elem 4 wrong")
+	}
+}
+
+func TestCalcSoundSpeed(t *testing.T) {
+	d := testDomain(2)
+	regList := []int32{0}
+	vnewc := make([]float64, d.NumElem())
+	vnewc[0] = 1
+	s := NewEOSScratch(1)
+	s.Pbvc[0] = 2.0 / 3.0
+	s.ENew[0] = 3.0
+	s.Bvc[0] = 2.0 / 3.0
+	s.PNew[0] = 2.0
+	CalcSoundSpeed(d, vnewc, regList, s, 0, 0, 1)
+	want := math.Sqrt((2.0/3.0)*3.0 + (2.0/3.0)*2.0)
+	if math.Abs(d.SS[0]-want) > 1e-14 {
+		t.Fatalf("ss = %v, want %v", d.SS[0], want)
+	}
+}
+
+func TestCalcSoundSpeedFloor(t *testing.T) {
+	d := testDomain(2)
+	regList := []int32{0}
+	vnewc := make([]float64, d.NumElem())
+	vnewc[0] = 1
+	s := NewEOSScratch(1)
+	// Negative energy drives the argument negative: the floor applies.
+	s.Pbvc[0] = 2.0 / 3.0
+	s.ENew[0] = -1
+	s.Bvc[0] = 0
+	s.PNew[0] = 0
+	CalcSoundSpeed(d, vnewc, regList, s, 0, 0, 1)
+	if d.SS[0] != 0.3333333e-18 {
+		t.Fatalf("ss floor = %v", d.SS[0])
+	}
+}
+
+func TestEvalEOSRepRedundancy(t *testing.T) {
+	// Repeating the EOS evaluation rep times must not change the result:
+	// the reference re-gathers unmodified inputs each repetition and only
+	// stores after the loop. This is the property the paper's region-level
+	// load imbalance rests on.
+	d1 := testDomain(3)
+	d2 := testDomain(3)
+	prime := func(d *[]float64, mul float64) {
+		for i := range *d {
+			(*d)[i] = mul * float64(i%7+1) * 1e-3
+		}
+	}
+	// Prime identical nontrivial state on both domains.
+	for _, dd := range [2]*[]float64{&d1.E, &d2.E} {
+		prime(dd, 2)
+	}
+	for _, dd := range [2]*[]float64{&d1.Delv, &d2.Delv} {
+		prime(dd, -1)
+	}
+	for _, dd := range [2]*[]float64{&d1.P, &d2.P} {
+		prime(dd, 0.5)
+	}
+	for _, dd := range [2]*[]float64{&d1.Qq, &d2.Qq} {
+		prime(dd, 0.1)
+	}
+	for _, dd := range [2]*[]float64{&d1.Ql, &d2.Ql} {
+		prime(dd, 0.2)
+	}
+	vnewc := make([]float64, d1.NumElem())
+	for i := range vnewc {
+		vnewc[i] = 1.0 - 1e-3*float64(i%5)
+	}
+	regList := d1.Regions.ElemList[0]
+	s1 := NewEOSScratch(len(regList))
+	s2 := NewEOSScratch(len(regList))
+	EvalEOS(d1, vnewc, regList, s1, 1, 0, len(regList))
+	EvalEOS(d2, vnewc, regList, s2, 20, 0, len(regList))
+	for _, e := range regList {
+		if d1.P[e] != d2.P[e] || d1.E[e] != d2.E[e] || d1.Q[e] != d2.Q[e] ||
+			d1.SS[e] != d2.SS[e] {
+			t.Fatalf("rep changed the result at element %d", e)
+		}
+	}
+}
+
+func TestEvalEOSPartitionedEqualsWhole(t *testing.T) {
+	// Evaluating a region in partitions (the task backend) must equal
+	// evaluating it in one piece (the reference).
+	d1 := testDomain(3)
+	d2 := testDomain(3)
+	for i := range d1.E {
+		d1.E[i] = float64(i%11) * 1e-2
+		d2.E[i] = d1.E[i]
+		d1.Delv[i] = -1e-4 * float64(i%3)
+		d2.Delv[i] = d1.Delv[i]
+	}
+	vnewc := make([]float64, d1.NumElem())
+	for i := range vnewc {
+		vnewc[i] = 1.0 - 1e-4*float64(i%7)
+	}
+	regList := d1.Regions.ElemList[1]
+	n := len(regList)
+	s := NewEOSScratch(n)
+	EvalEOS(d1, vnewc, regList, s, 2, 0, n)
+
+	part := 3
+	for lo := 0; lo < n; lo += part {
+		hi := lo + part
+		if hi > n {
+			hi = n
+		}
+		sp := NewEOSScratch(hi - lo)
+		EvalEOS(d2, vnewc, regList, sp, 2, lo, hi)
+	}
+	for _, e := range regList {
+		if d1.P[e] != d2.P[e] || d1.E[e] != d2.E[e] || d1.Q[e] != d2.Q[e] ||
+			d1.SS[e] != d2.SS[e] {
+			t.Fatalf("partitioned EOS differs at element %d", e)
+		}
+	}
+}

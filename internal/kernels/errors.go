@@ -1,0 +1,50 @@
+package kernels
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Simulation abort conditions, mirroring the reference's VolumeError and
+// QStopError exit codes.
+var (
+	ErrVolume = errors.New("lulesh: volume error (non-positive element volume)")
+	ErrQStop  = errors.New("lulesh: artificial viscosity exceeded qstop")
+)
+
+const (
+	codeOK int32 = iota
+	codeVolume
+	codeQStop
+)
+
+// Flag is a sticky error indicator that parallel kernels raise and the
+// driver checks at synchronization points. The first raised code wins.
+type Flag struct {
+	v atomic.Int32
+}
+
+func (f *Flag) raise(code int32) {
+	f.v.CompareAndSwap(codeOK, code)
+}
+
+// RaiseVolume records a volume error.
+func (f *Flag) RaiseVolume() { f.raise(codeVolume) }
+
+// RaiseQStop records a qstop error.
+func (f *Flag) RaiseQStop() { f.raise(codeQStop) }
+
+// Err returns the recorded error, or nil.
+func (f *Flag) Err() error {
+	switch f.v.Load() {
+	case codeVolume:
+		return ErrVolume
+	case codeQStop:
+		return ErrQStop
+	default:
+		return nil
+	}
+}
+
+// Reset clears the flag.
+func (f *Flag) Reset() { f.v.Store(codeOK) }

@@ -1,0 +1,206 @@
+package kernels
+
+import (
+	"math"
+
+	"lulesh/internal/domain"
+)
+
+// Force-calculation range kernels (the LagrangeNodal force phase):
+// stress terms, stress integration, hourglass control, and the
+// element-corner to node force gather.
+//
+// As in the parallel reference implementation, element kernels write
+// per-element-corner force arrays (fxElem[8*e+c]) and a node-indexed gather
+// pass sums the corners afterwards; this avoids scatter races and keeps the
+// summation order — and therefore the floating-point result — identical for
+// every backend and thread count.
+
+// InitStressTerms fills the stress arrays for elements [lo, hi):
+// sig·· = -p - q (InitStressTermsForElems).
+func InitStressTerms(d *domain.Domain, sigxx, sigyy, sigzz []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := -d.P[i] - d.Q[i]
+		sigxx[i] = s
+		sigyy[i] = s
+		sigzz[i] = s
+	}
+}
+
+// IntegrateStress integrates the stress over elements [lo, hi), producing
+// per-corner forces and element volumes (IntegrateStressForElems). determ
+// and the fxElem arrays are element-indexed over the whole mesh.
+func IntegrateStress(d *domain.Domain, sigxx, sigyy, sigzz, determ,
+	fxElem, fyElem, fzElem []float64, lo, hi int) {
+
+	var x, y, z [8]float64
+	var fx, fy, fz [8]float64
+	var b [3][8]float64
+	for k := lo; k < hi; k++ {
+		d.CollectElemNodes(k, &x, &y, &z)
+		determ[k] = ShapeFunctionDerivatives(&x, &y, &z, &b)
+		ElemNodeNormals(&b[0], &b[1], &b[2], &x, &y, &z)
+		SumElemStressesToNodeForces(&b, sigxx[k], sigyy[k], sigzz[k], &fx, &fy, &fz)
+		copy(fxElem[8*k:8*k+8], fx[:])
+		copy(fyElem[8*k:8*k+8], fy[:])
+		copy(fzElem[8*k:8*k+8], fz[:])
+	}
+}
+
+// CheckDeterm raises a volume error if any element volume in [lo, hi) is
+// non-positive (the determinant check in CalcVolumeForceForElems).
+func CheckDeterm(determ []float64, lo, hi int, flag *Flag) {
+	for k := lo; k < hi; k++ {
+		if determ[k] <= 0 {
+			flag.RaiseVolume()
+			return
+		}
+	}
+}
+
+// HourglassPrep computes the volume derivatives and gathers coordinates for
+// elements [lo, hi) (the first loop of CalcHourglassControlForElems).
+// The dvdx..z8n scratch arrays are indexed at (e-base)*8, so callers may
+// pass either mesh-sized arrays with base 0 (the reference's layout) or
+// task-local arrays with base lo (the paper's task-local temporaries).
+// determ is element-indexed over the whole mesh and receives volo*v.
+func HourglassPrep(d *domain.Domain, dvdx, dvdy, dvdz, x8n, y8n, z8n,
+	determ []float64, base, lo, hi int, flag *Flag) {
+
+	var x, y, z [8]float64
+	var pfx, pfy, pfz [8]float64
+	for i := lo; i < hi; i++ {
+		d.CollectElemNodes(i, &x, &y, &z)
+		ElemVolumeDerivative(&pfx, &pfy, &pfz, &x, &y, &z)
+		o := (i - base) * 8
+		for c := 0; c < 8; c++ {
+			dvdx[o+c] = pfx[c]
+			dvdy[o+c] = pfy[c]
+			dvdz[o+c] = pfz[c]
+			x8n[o+c] = x[c]
+			y8n[o+c] = y[c]
+			z8n[o+c] = z[c]
+		}
+		determ[i] = d.Volo[i] * d.V[i]
+		if d.V[i] <= 0 {
+			flag.RaiseVolume()
+		}
+	}
+}
+
+// FBHourglass computes the Flanagan-Belytschko hourglass force for elements
+// [lo, hi) into per-corner force arrays (CalcFBHourglassForceForElems).
+// Scratch arrays use the same base convention as HourglassPrep.
+func FBHourglass(d *domain.Domain, dvdx, dvdy, dvdz, x8n, y8n, z8n,
+	determ []float64, hourg float64, base, lo, hi int,
+	fxElem, fyElem, fzElem []float64) {
+
+	var hourgam [8][4]float64
+	var xd1, yd1, zd1 [8]float64
+	var hgfx, hgfy, hgfz [8]float64
+	for i2 := lo; i2 < hi; i2++ {
+		nl := d.Mesh.Nodelist[8*i2 : 8*i2+8]
+		o := (i2 - base) * 8
+		volinv := 1.0 / determ[i2]
+		for i1 := 0; i1 < 4; i1++ {
+			g := &gamma[i1]
+			hourmodx := x8n[o]*g[0] + x8n[o+1]*g[1] + x8n[o+2]*g[2] + x8n[o+3]*g[3] +
+				x8n[o+4]*g[4] + x8n[o+5]*g[5] + x8n[o+6]*g[6] + x8n[o+7]*g[7]
+			hourmody := y8n[o]*g[0] + y8n[o+1]*g[1] + y8n[o+2]*g[2] + y8n[o+3]*g[3] +
+				y8n[o+4]*g[4] + y8n[o+5]*g[5] + y8n[o+6]*g[6] + y8n[o+7]*g[7]
+			hourmodz := z8n[o]*g[0] + z8n[o+1]*g[1] + z8n[o+2]*g[2] + z8n[o+3]*g[3] +
+				z8n[o+4]*g[4] + z8n[o+5]*g[5] + z8n[o+6]*g[6] + z8n[o+7]*g[7]
+			for j := 0; j < 8; j++ {
+				hourgam[j][i1] = g[j] - volinv*(dvdx[o+j]*hourmodx+
+					dvdy[o+j]*hourmody+dvdz[o+j]*hourmodz)
+			}
+		}
+
+		ss1 := d.SS[i2]
+		mass1 := d.ElemMass[i2]
+		volume13 := math.Cbrt(determ[i2])
+		for c := 0; c < 8; c++ {
+			n := nl[c]
+			xd1[c] = d.Xd[n]
+			yd1[c] = d.Yd[n]
+			zd1[c] = d.Zd[n]
+		}
+		coefficient := -hourg * 0.01 * ss1 * mass1 / volume13
+		ElemFBHourglassForce(&xd1, &yd1, &zd1, &hourgam, coefficient, &hgfx, &hgfy, &hgfz)
+		copy(fxElem[8*i2:8*i2+8], hgfx[:])
+		copy(fyElem[8*i2:8*i2+8], hgfy[:])
+		copy(fzElem[8*i2:8*i2+8], hgfz[:])
+	}
+}
+
+// ZeroForces clears the nodal force arrays for nodes [lo, hi)
+// (the start of CalcForceForNodes).
+func ZeroForces(d *domain.Domain, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		d.Fx[i] = 0
+		d.Fy[i] = 0
+		d.Fz[i] = 0
+	}
+}
+
+// GatherCornerForces sums per-element-corner forces into the nodal force
+// arrays for nodes [lo, hi). With add=false the nodal force is overwritten
+// (the stress gather); with add=true contributions are accumulated on top
+// (the hourglass gather of the reference).
+func GatherCornerForces(d *domain.Domain, fxElem, fyElem, fzElem []float64,
+	lo, hi int, add bool) {
+
+	m := d.Mesh
+	for n := lo; n < hi; n++ {
+		start := m.NodeElemStart[n]
+		end := m.NodeElemStart[n+1]
+		var fx, fy, fz float64
+		for idx := start; idx < end; idx++ {
+			c := m.NodeElemCornerList[idx]
+			fx += fxElem[c]
+			fy += fyElem[c]
+			fz += fzElem[c]
+		}
+		if add {
+			d.Fx[n] += fx
+			d.Fy[n] += fy
+			d.Fz[n] += fz
+		} else {
+			d.Fx[n] = fx
+			d.Fy[n] = fy
+			d.Fz[n] = fz
+		}
+	}
+}
+
+// GatherTwoCornerForces performs the stress gather and the hourglass gather
+// for nodes [lo, hi) in one pass (used by the task backend to fuse the two
+// node loops into one task). The result is bitwise identical to calling
+// GatherCornerForces twice: each family is summed separately and the two
+// partial sums are added last, exactly as the reference's += does.
+func GatherTwoCornerForces(d *domain.Domain, sxElem, syElem, szElem,
+	hxElem, hyElem, hzElem []float64, lo, hi int) {
+
+	m := d.Mesh
+	for n := lo; n < hi; n++ {
+		start := m.NodeElemStart[n]
+		end := m.NodeElemStart[n+1]
+		var sx, sy, sz float64
+		for idx := start; idx < end; idx++ {
+			c := m.NodeElemCornerList[idx]
+			sx += sxElem[c]
+			sy += syElem[c]
+			sz += szElem[c]
+		}
+		var hx, hy, hz float64
+		for idx := start; idx < end; idx++ {
+			c := m.NodeElemCornerList[idx]
+			hx += hxElem[c]
+			hy += hyElem[c]
+			hz += hzElem[c]
+		}
+		d.Fx[n] = sx + hx
+		d.Fy[n] = sy + hy
+		d.Fz[n] = sz + hz
+	}
+}

@@ -1,0 +1,294 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lulesh/internal/domain"
+)
+
+func testDomain(s int) *domain.Domain {
+	return domain.NewSedov(domain.DefaultConfig(s))
+}
+
+func TestInitStressTerms(t *testing.T) {
+	d := testDomain(2)
+	for e := range d.P {
+		d.P[e] = float64(e)
+		d.Q[e] = 0.5 * float64(e)
+	}
+	ne := d.NumElem()
+	sigxx := make([]float64, ne)
+	sigyy := make([]float64, ne)
+	sigzz := make([]float64, ne)
+	InitStressTerms(d, sigxx, sigyy, sigzz, 0, ne)
+	for e := 0; e < ne; e++ {
+		want := -1.5 * float64(e)
+		if sigxx[e] != want || sigyy[e] != want || sigzz[e] != want {
+			t.Fatalf("sig[%d] = (%v,%v,%v), want %v", e, sigxx[e], sigyy[e], sigzz[e], want)
+		}
+	}
+}
+
+func TestIntegrateStressVolumes(t *testing.T) {
+	// With zero stress the forces vanish but determ still carries the
+	// element volumes.
+	d := testDomain(3)
+	ne := d.NumElem()
+	zero := make([]float64, ne)
+	determ := make([]float64, ne)
+	fx := make([]float64, 8*ne)
+	fy := make([]float64, 8*ne)
+	fz := make([]float64, 8*ne)
+	IntegrateStress(d, zero, zero, zero, determ, fx, fy, fz, 0, ne)
+	for e := 0; e < ne; e++ {
+		if math.Abs(determ[e]-d.Volo[e]) > 1e-12 {
+			t.Fatalf("determ[%d] = %v, want %v", e, determ[e], d.Volo[e])
+		}
+	}
+	for i := range fx {
+		if fx[i] != 0 || fy[i] != 0 || fz[i] != 0 {
+			t.Fatal("zero stress must give zero forces")
+		}
+	}
+}
+
+func TestIntegrateStressUniformPressureNetForce(t *testing.T) {
+	// Uniform pressure on the whole mesh: interior node forces cancel,
+	// and the total force over all nodes is zero (closed surface of the
+	// summed contributions ... corner contributions cancel pairwise).
+	d := testDomain(3)
+	ne := d.NumElem()
+	nn := d.NumNode()
+	sig := make([]float64, ne)
+	for e := range sig {
+		sig[e] = -2.5 // sig = -p with p = 2.5
+	}
+	determ := make([]float64, ne)
+	fx := make([]float64, 8*ne)
+	fy := make([]float64, 8*ne)
+	fz := make([]float64, 8*ne)
+	IntegrateStress(d, sig, sig, sig, determ, fx, fy, fz, 0, ne)
+	GatherCornerForces(d, fx, fy, fz, 0, nn, false)
+
+	var sx, sy, sz float64
+	for n := 0; n < nn; n++ {
+		sx += d.Fx[n]
+		sy += d.Fy[n]
+		sz += d.Fz[n]
+	}
+	if math.Abs(sx) > 1e-9 || math.Abs(sy) > 1e-9 || math.Abs(sz) > 1e-9 {
+		t.Fatalf("net force (%v,%v,%v), want 0", sx, sy, sz)
+	}
+	// A strictly interior node sees balanced contributions: zero force.
+	en := d.Mesh.EdgeNodes
+	inner := 1*en*en + 1*en + 1
+	if math.Abs(d.Fx[inner]) > 1e-9 || math.Abs(d.Fy[inner]) > 1e-9 ||
+		math.Abs(d.Fz[inner]) > 1e-9 {
+		t.Fatalf("interior node force (%v,%v,%v), want 0",
+			d.Fx[inner], d.Fy[inner], d.Fz[inner])
+	}
+}
+
+func TestCheckDeterm(t *testing.T) {
+	determ := []float64{1, 2, 3, -0.5, 4}
+	var f Flag
+	CheckDeterm(determ, 0, 3, &f)
+	if f.Err() != nil {
+		t.Fatal("positive prefix should not raise")
+	}
+	CheckDeterm(determ, 0, 5, &f)
+	if f.Err() != ErrVolume {
+		t.Fatalf("err = %v, want ErrVolume", f.Err())
+	}
+}
+
+func TestHourglassPrepDetermAndError(t *testing.T) {
+	d := testDomain(2)
+	ne := d.NumElem()
+	sc := make([]float64, 8*ne)
+	sc2 := make([]float64, 8*ne)
+	sc3 := make([]float64, 8*ne)
+	x8 := make([]float64, 8*ne)
+	y8 := make([]float64, 8*ne)
+	z8 := make([]float64, 8*ne)
+	determ := make([]float64, ne)
+	var f Flag
+	d.V[3] = 0.5
+	HourglassPrep(d, sc, sc2, sc3, x8, y8, z8, determ, 0, 0, ne, &f)
+	if f.Err() != nil {
+		t.Fatalf("unexpected error: %v", f.Err())
+	}
+	for e := 0; e < ne; e++ {
+		if math.Abs(determ[e]-d.Volo[e]*d.V[e]) > 1e-15 {
+			t.Fatalf("determ[%d] = %v, want volo*v = %v", e, determ[e], d.Volo[e]*d.V[e])
+		}
+	}
+	d.V[1] = -0.1
+	HourglassPrep(d, sc, sc2, sc3, x8, y8, z8, determ, 0, 0, ne, &f)
+	if f.Err() != ErrVolume {
+		t.Fatalf("negative volume not detected: %v", f.Err())
+	}
+}
+
+func TestHourglassPrepBaseOffset(t *testing.T) {
+	// Task-local scratch (base = lo) must produce the same values as
+	// global scratch (base = 0).
+	d := testDomain(3)
+	ne := d.NumElem()
+	lo, hi := 5, 17
+	n := hi - lo
+	mk := func(sz int) []float64 { return make([]float64, 8*sz) }
+	g1, g2, g3, g4, g5, g6 := mk(ne), mk(ne), mk(ne), mk(ne), mk(ne), mk(ne)
+	l1, l2, l3, l4, l5, l6 := mk(n), mk(n), mk(n), mk(n), mk(n), mk(n)
+	dg := make([]float64, ne)
+	dl := make([]float64, ne)
+	var f Flag
+	HourglassPrep(d, g1, g2, g3, g4, g5, g6, dg, 0, lo, hi, &f)
+	HourglassPrep(d, l1, l2, l3, l4, l5, l6, dl, lo, lo, hi, &f)
+	for i := 0; i < 8*n; i++ {
+		if g1[8*lo+i] != l1[i] || g4[8*lo+i] != l4[i] {
+			t.Fatalf("base-offset scratch mismatch at %d", i)
+		}
+	}
+	for e := lo; e < hi; e++ {
+		if dg[e] != dl[e] {
+			t.Fatalf("determ mismatch at %d", e)
+		}
+	}
+}
+
+func TestFBHourglassZeroVelocity(t *testing.T) {
+	d := testDomain(2)
+	ne := d.NumElem()
+	mk := func() []float64 { return make([]float64, 8*ne) }
+	dv1, dv2, dv3, x8, y8, z8 := mk(), mk(), mk(), mk(), mk(), mk()
+	determ := make([]float64, ne)
+	var f Flag
+	for e := range d.SS {
+		d.SS[e] = 1.0
+	}
+	HourglassPrep(d, dv1, dv2, dv3, x8, y8, z8, determ, 0, 0, ne, &f)
+	fx, fy, fz := mk(), mk(), mk()
+	FBHourglass(d, dv1, dv2, dv3, x8, y8, z8, determ, 3.0, 0, 0, ne, fx, fy, fz)
+	for i := range fx {
+		if fx[i] != 0 || fy[i] != 0 || fz[i] != 0 {
+			t.Fatal("zero velocities must give zero hourglass force")
+		}
+	}
+}
+
+func TestZeroForces(t *testing.T) {
+	d := testDomain(2)
+	for n := range d.Fx {
+		d.Fx[n], d.Fy[n], d.Fz[n] = 1, 2, 3
+	}
+	ZeroForces(d, 0, d.NumNode())
+	for n := range d.Fx {
+		if d.Fx[n] != 0 || d.Fy[n] != 0 || d.Fz[n] != 0 {
+			t.Fatal("forces not zeroed")
+		}
+	}
+}
+
+func TestGatherCornerForcesMatchesScatter(t *testing.T) {
+	// The CSR gather must equal a direct scatter-add over elements.
+	d := testDomain(3)
+	ne := d.NumElem()
+	nn := d.NumNode()
+	rng := rand.New(rand.NewSource(5))
+	fx := make([]float64, 8*ne)
+	fy := make([]float64, 8*ne)
+	fz := make([]float64, 8*ne)
+	for i := range fx {
+		fx[i] = rng.Float64()
+		fy[i] = rng.Float64()
+		fz[i] = rng.Float64()
+	}
+	wantX := make([]float64, nn)
+	wantY := make([]float64, nn)
+	wantZ := make([]float64, nn)
+	for e := 0; e < ne; e++ {
+		for c := 0; c < 8; c++ {
+			n := d.Mesh.Nodelist[8*e+c]
+			wantX[n] += fx[8*e+c]
+			wantY[n] += fy[8*e+c]
+			wantZ[n] += fz[8*e+c]
+		}
+	}
+	GatherCornerForces(d, fx, fy, fz, 0, nn, false)
+	for n := 0; n < nn; n++ {
+		if math.Abs(d.Fx[n]-wantX[n]) > 1e-12 ||
+			math.Abs(d.Fy[n]-wantY[n]) > 1e-12 ||
+			math.Abs(d.Fz[n]-wantZ[n]) > 1e-12 {
+			t.Fatalf("gather mismatch at node %d", n)
+		}
+	}
+}
+
+func TestGatherCornerForcesAdd(t *testing.T) {
+	d := testDomain(2)
+	ne := d.NumElem()
+	nn := d.NumNode()
+	ones := make([]float64, 8*ne)
+	for i := range ones {
+		ones[i] = 1
+	}
+	GatherCornerForces(d, ones, ones, ones, 0, nn, false)
+	base := make([]float64, nn)
+	copy(base, d.Fx)
+	GatherCornerForces(d, ones, ones, ones, 0, nn, true)
+	for n := 0; n < nn; n++ {
+		if d.Fx[n] != 2*base[n] {
+			t.Fatalf("add gather: node %d = %v, want %v", n, d.Fx[n], 2*base[n])
+		}
+	}
+}
+
+func TestGatherTwoEqualsSequentialGathers(t *testing.T) {
+	// The fused task-backend gather must be bitwise identical to the
+	// reference's overwrite-then-add pair.
+	d1 := testDomain(3)
+	d2 := testDomain(3)
+	ne := d1.NumElem()
+	nn := d1.NumNode()
+	rng := rand.New(rand.NewSource(9))
+	mk := func() []float64 {
+		v := make([]float64, 8*ne)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	}
+	sx, sy, sz := mk(), mk(), mk()
+	hx, hy, hz := mk(), mk(), mk()
+	GatherCornerForces(d1, sx, sy, sz, 0, nn, false)
+	GatherCornerForces(d1, hx, hy, hz, 0, nn, true)
+	GatherTwoCornerForces(d2, sx, sy, sz, hx, hy, hz, 0, nn)
+	for n := 0; n < nn; n++ {
+		if d1.Fx[n] != d2.Fx[n] || d1.Fy[n] != d2.Fy[n] || d1.Fz[n] != d2.Fz[n] {
+			t.Fatalf("fused gather differs at node %d: %v vs %v", n, d1.Fx[n], d2.Fx[n])
+		}
+	}
+}
+
+func TestFlagPrecedenceAndReset(t *testing.T) {
+	var f Flag
+	if f.Err() != nil {
+		t.Fatal("fresh flag should be nil")
+	}
+	f.RaiseQStop()
+	f.RaiseVolume() // first raise wins
+	if f.Err() != ErrQStop {
+		t.Fatalf("err = %v, want ErrQStop (first raise wins)", f.Err())
+	}
+	f.Reset()
+	if f.Err() != nil {
+		t.Fatal("reset flag should be nil")
+	}
+	f.RaiseVolume()
+	if f.Err() != ErrVolume {
+		t.Fatalf("err = %v, want ErrVolume", f.Err())
+	}
+}

@@ -1,0 +1,110 @@
+package kernels
+
+// Hourglass-control micro-kernels: the volume derivatives and the
+// Flanagan-Belytschko anti-hourglass force of LULESH 2.0.
+
+// hourglass mode shape vectors (the Gamma matrix of Flanagan-Belytschko).
+var gamma = [4][8]float64{
+	{1, 1, -1, -1, -1, -1, 1, 1},
+	{1, -1, -1, 1, -1, 1, 1, -1},
+	{1, -1, 1, -1, 1, -1, 1, -1},
+	{-1, 1, -1, 1, 1, -1, 1, -1},
+}
+
+// voluDer computes one node's volume derivative contribution (VoluDer).
+func voluDer(x0, x1, x2, x3, x4, x5,
+	y0, y1, y2, y3, y4, y5,
+	z0, z1, z2, z3, z4, z5 float64) (dvdx, dvdy, dvdz float64) {
+
+	const twelfth = 1.0 / 12.0
+
+	dvdx = (y1+y2)*(z0+z1) - (y0+y1)*(z1+z2) +
+		(y0+y4)*(z3+z4) - (y3+y4)*(z0+z4) -
+		(y2+y5)*(z3+z5) + (y3+y5)*(z2+z5)
+	dvdy = -(x1+x2)*(z0+z1) + (x0+x1)*(z1+z2) -
+		(x0+x4)*(z3+z4) + (x3+x4)*(z0+z4) +
+		(x2+x5)*(z3+z5) - (x3+x5)*(z2+z5)
+	dvdz = -(y1+y2)*(x0+x1) + (y0+y1)*(x1+x2) -
+		(y0+y4)*(x3+x4) + (y3+y4)*(x0+x4) +
+		(y2+y5)*(x3+x5) - (y3+y5)*(x2+x5)
+
+	return dvdx * twelfth, dvdy * twelfth, dvdz * twelfth
+}
+
+// ElemVolumeDerivative computes the volume derivatives at all eight corners
+// of an element (CalcElemVolumeDerivative).
+func ElemVolumeDerivative(dvdx, dvdy, dvdz *[8]float64, x, y, z *[8]float64) {
+	dvdx[0], dvdy[0], dvdz[0] = voluDer(
+		x[1], x[2], x[3], x[4], x[5], x[7],
+		y[1], y[2], y[3], y[4], y[5], y[7],
+		z[1], z[2], z[3], z[4], z[5], z[7])
+	dvdx[3], dvdy[3], dvdz[3] = voluDer(
+		x[0], x[1], x[2], x[7], x[4], x[6],
+		y[0], y[1], y[2], y[7], y[4], y[6],
+		z[0], z[1], z[2], z[7], z[4], z[6])
+	dvdx[2], dvdy[2], dvdz[2] = voluDer(
+		x[3], x[0], x[1], x[6], x[7], x[5],
+		y[3], y[0], y[1], y[6], y[7], y[5],
+		z[3], z[0], z[1], z[6], z[7], z[5])
+	dvdx[1], dvdy[1], dvdz[1] = voluDer(
+		x[2], x[3], x[0], x[5], x[6], x[4],
+		y[2], y[3], y[0], y[5], y[6], y[4],
+		z[2], z[3], z[0], z[5], z[6], z[4])
+	dvdx[4], dvdy[4], dvdz[4] = voluDer(
+		x[7], x[6], x[5], x[0], x[3], x[1],
+		y[7], y[6], y[5], y[0], y[3], y[1],
+		z[7], z[6], z[5], z[0], z[3], z[1])
+	dvdx[5], dvdy[5], dvdz[5] = voluDer(
+		x[4], x[7], x[6], x[1], x[0], x[2],
+		y[4], y[7], y[6], y[1], y[0], y[2],
+		z[4], z[7], z[6], z[1], z[0], z[2])
+	dvdx[6], dvdy[6], dvdz[6] = voluDer(
+		x[5], x[4], x[7], x[2], x[1], x[3],
+		y[5], y[4], y[7], y[2], y[1], y[3],
+		z[5], z[4], z[7], z[2], z[1], z[3])
+	dvdx[7], dvdy[7], dvdz[7] = voluDer(
+		x[6], x[5], x[4], x[3], x[2], x[0],
+		y[6], y[5], y[4], y[3], y[2], y[0],
+		z[6], z[5], z[4], z[3], z[2], z[0])
+}
+
+// ElemFBHourglassForce applies the hourglass-resisting force to the eight
+// corners from the velocities and hourglass shape matrix
+// (CalcElemFBHourglassForce).
+func ElemFBHourglassForce(xd, yd, zd *[8]float64, hourgam *[8][4]float64,
+	coefficient float64, hgfx, hgfy, hgfz *[8]float64) {
+
+	var hxx [4]float64
+	for i := 0; i < 4; i++ {
+		hxx[i] = hourgam[0][i]*xd[0] + hourgam[1][i]*xd[1] +
+			hourgam[2][i]*xd[2] + hourgam[3][i]*xd[3] +
+			hourgam[4][i]*xd[4] + hourgam[5][i]*xd[5] +
+			hourgam[6][i]*xd[6] + hourgam[7][i]*xd[7]
+	}
+	for i := 0; i < 8; i++ {
+		hgfx[i] = coefficient * (hourgam[i][0]*hxx[0] + hourgam[i][1]*hxx[1] +
+			hourgam[i][2]*hxx[2] + hourgam[i][3]*hxx[3])
+	}
+
+	for i := 0; i < 4; i++ {
+		hxx[i] = hourgam[0][i]*yd[0] + hourgam[1][i]*yd[1] +
+			hourgam[2][i]*yd[2] + hourgam[3][i]*yd[3] +
+			hourgam[4][i]*yd[4] + hourgam[5][i]*yd[5] +
+			hourgam[6][i]*yd[6] + hourgam[7][i]*yd[7]
+	}
+	for i := 0; i < 8; i++ {
+		hgfy[i] = coefficient * (hourgam[i][0]*hxx[0] + hourgam[i][1]*hxx[1] +
+			hourgam[i][2]*hxx[2] + hourgam[i][3]*hxx[3])
+	}
+
+	for i := 0; i < 4; i++ {
+		hxx[i] = hourgam[0][i]*zd[0] + hourgam[1][i]*zd[1] +
+			hourgam[2][i]*zd[2] + hourgam[3][i]*zd[3] +
+			hourgam[4][i]*zd[4] + hourgam[5][i]*zd[5] +
+			hourgam[6][i]*zd[6] + hourgam[7][i]*zd[7]
+	}
+	for i := 0; i < 8; i++ {
+		hgfz[i] = coefficient * (hourgam[i][0]*hxx[0] + hourgam[i][1]*hxx[1] +
+			hourgam[i][2]*hxx[2] + hourgam[i][3]*hxx[3])
+	}
+}

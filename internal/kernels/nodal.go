@@ -1,0 +1,98 @@
+package kernels
+
+import (
+	"math"
+
+	"lulesh/internal/domain"
+	"lulesh/internal/mesh"
+)
+
+// Nodal update kernels: acceleration, acceleration boundary conditions,
+// velocity and position integration (the back half of LagrangeNodal).
+
+// CalcAcceleration computes nodal accelerations from forces and masses for
+// nodes [lo, hi) (CalcAccelerationForNodes).
+func CalcAcceleration(d *domain.Domain, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		d.Xdd[i] = d.Fx[i] / d.NodalMass[i]
+		d.Ydd[i] = d.Fy[i] / d.NodalMass[i]
+		d.Zdd[i] = d.Fz[i] / d.NodalMass[i]
+	}
+}
+
+// ApplyAccelBCList zeroes one acceleration component for the nodes listed
+// in list[lo:hi], mirroring the reference's three symmetry-plane loops in
+// ApplyAccelerationBoundaryConditionsForNodes. axis is 0, 1 or 2 for the
+// x, y and z symmetry planes.
+func ApplyAccelBCList(d *domain.Domain, list []int32, axis, lo, hi int) {
+	var acc []float64
+	switch axis {
+	case 0:
+		acc = d.Xdd
+	case 1:
+		acc = d.Ydd
+	default:
+		acc = d.Zdd
+	}
+	for i := lo; i < hi; i++ {
+		acc[list[i]] = 0
+	}
+}
+
+// ApplyAccelBCFlags zeroes the acceleration components of symmetry-plane
+// nodes in [lo, hi) using the per-node symmetry flags. Numerically
+// identical to ApplyAccelBCList over the three planes; the flag form lets
+// the task backend fuse the boundary condition into its node-partition
+// tasks instead of running three extra loops.
+func ApplyAccelBCFlags(d *domain.Domain, lo, hi int) {
+	flags := d.Mesh.SymmFlags
+	for i := lo; i < hi; i++ {
+		f := flags[i]
+		if f == 0 {
+			continue
+		}
+		if f&mesh.SymmFlagX != 0 {
+			d.Xdd[i] = 0
+		}
+		if f&mesh.SymmFlagY != 0 {
+			d.Ydd[i] = 0
+		}
+		if f&mesh.SymmFlagZ != 0 {
+			d.Zdd[i] = 0
+		}
+	}
+}
+
+// CalcVelocity integrates nodal velocities for nodes [lo, hi), snapping
+// tiny components to zero (CalcVelocityForNodes).
+func CalcVelocity(d *domain.Domain, dt, uCut float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		xdtmp := d.Xd[i] + d.Xdd[i]*dt
+		if math.Abs(xdtmp) < uCut {
+			xdtmp = 0
+		}
+		d.Xd[i] = xdtmp
+
+		ydtmp := d.Yd[i] + d.Ydd[i]*dt
+		if math.Abs(ydtmp) < uCut {
+			ydtmp = 0
+		}
+		d.Yd[i] = ydtmp
+
+		zdtmp := d.Zd[i] + d.Zdd[i]*dt
+		if math.Abs(zdtmp) < uCut {
+			zdtmp = 0
+		}
+		d.Zd[i] = zdtmp
+	}
+}
+
+// CalcPosition integrates nodal positions for nodes [lo, hi)
+// (CalcPositionForNodes).
+func CalcPosition(d *domain.Domain, dt float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		d.X[i] += d.Xd[i] * dt
+		d.Y[i] += d.Yd[i] * dt
+		d.Z[i] += d.Zd[i] * dt
+	}
+}

@@ -1,0 +1,149 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lulesh/internal/mesh"
+)
+
+func TestCalcAcceleration(t *testing.T) {
+	d := testDomain(2)
+	for n := range d.Fx {
+		d.Fx[n] = 2 * float64(n+1)
+		d.Fy[n] = -float64(n + 1)
+		d.Fz[n] = 0.5 * float64(n+1)
+	}
+	CalcAcceleration(d, 0, d.NumNode())
+	for n := range d.Xdd {
+		m := d.NodalMass[n]
+		if d.Xdd[n] != d.Fx[n]/m || d.Ydd[n] != d.Fy[n]/m || d.Zdd[n] != d.Fz[n]/m {
+			t.Fatalf("acceleration wrong at node %d", n)
+		}
+	}
+}
+
+func TestAccelBCFlagsMatchesLists(t *testing.T) {
+	// The fused flag-based boundary condition must be exactly equivalent
+	// to the reference's three list loops.
+	d1 := testDomain(3)
+	d2 := testDomain(3)
+	rng := rand.New(rand.NewSource(2))
+	for n := range d1.Xdd {
+		v := rng.NormFloat64()
+		d1.Xdd[n], d2.Xdd[n] = v, v
+		v = rng.NormFloat64()
+		d1.Ydd[n], d2.Ydd[n] = v, v
+		v = rng.NormFloat64()
+		d1.Zdd[n], d2.Zdd[n] = v, v
+	}
+	ApplyAccelBCList(d1, d1.Mesh.SymmX, 0, 0, len(d1.Mesh.SymmX))
+	ApplyAccelBCList(d1, d1.Mesh.SymmY, 1, 0, len(d1.Mesh.SymmY))
+	ApplyAccelBCList(d1, d1.Mesh.SymmZ, 2, 0, len(d1.Mesh.SymmZ))
+	ApplyAccelBCFlags(d2, 0, d2.NumNode())
+	for n := range d1.Xdd {
+		if d1.Xdd[n] != d2.Xdd[n] || d1.Ydd[n] != d2.Ydd[n] || d1.Zdd[n] != d2.Zdd[n] {
+			t.Fatalf("BC mismatch at node %d", n)
+		}
+	}
+}
+
+func TestAccelBCZeroesOnlySymmetryComponents(t *testing.T) {
+	d := testDomain(2)
+	for n := range d.Xdd {
+		d.Xdd[n], d.Ydd[n], d.Zdd[n] = 1, 1, 1
+	}
+	ApplyAccelBCFlags(d, 0, d.NumNode())
+	for n := range d.Xdd {
+		f := d.Mesh.SymmFlags[n]
+		if (f&mesh.SymmFlagX != 0) != (d.Xdd[n] == 0) {
+			t.Fatalf("x BC wrong at node %d", n)
+		}
+		if (f&mesh.SymmFlagY != 0) != (d.Ydd[n] == 0) {
+			t.Fatalf("y BC wrong at node %d", n)
+		}
+		if (f&mesh.SymmFlagZ != 0) != (d.Zdd[n] == 0) {
+			t.Fatalf("z BC wrong at node %d", n)
+		}
+	}
+}
+
+func TestCalcVelocityIntegration(t *testing.T) {
+	d := testDomain(2)
+	dt := 0.25
+	for n := range d.Xd {
+		d.Xd[n] = 1.0
+		d.Xdd[n] = 4.0
+		d.Yd[n] = -2.0
+		d.Ydd[n] = 0.0
+		d.Zd[n] = 0.0
+		d.Zdd[n] = -8.0
+	}
+	CalcVelocity(d, dt, 1e-7, 0, d.NumNode())
+	for n := range d.Xd {
+		if d.Xd[n] != 2.0 || d.Yd[n] != -2.0 || d.Zd[n] != -2.0 {
+			t.Fatalf("velocity at node %d = (%v,%v,%v)", n, d.Xd[n], d.Yd[n], d.Zd[n])
+		}
+	}
+}
+
+func TestCalcVelocityCutoff(t *testing.T) {
+	d := testDomain(1)
+	d.Xd[0] = 1e-9
+	d.Xdd[0] = 0
+	d.Yd[0] = -1e-8
+	d.Ydd[0] = 0
+	d.Zd[0] = 1e-6 // above the cut
+	d.Zdd[0] = 0
+	CalcVelocity(d, 1.0, 1e-7, 0, 1)
+	if d.Xd[0] != 0 || d.Yd[0] != 0 {
+		t.Fatalf("sub-cutoff velocities not snapped: %v %v", d.Xd[0], d.Yd[0])
+	}
+	if d.Zd[0] != 1e-6 {
+		t.Fatalf("above-cutoff velocity altered: %v", d.Zd[0])
+	}
+}
+
+func TestCalcPosition(t *testing.T) {
+	d := testDomain(2)
+	dt := 0.5
+	x0 := make([]float64, d.NumNode())
+	copy(x0, d.X)
+	for n := range d.Xd {
+		d.Xd[n] = float64(n)
+		d.Yd[n] = 1.0
+		d.Zd[n] = -1.0
+	}
+	y0 := make([]float64, d.NumNode())
+	copy(y0, d.Y)
+	z0 := make([]float64, d.NumNode())
+	copy(z0, d.Z)
+	CalcPosition(d, dt, 0, d.NumNode())
+	for n := range d.X {
+		if math.Abs(d.X[n]-(x0[n]+float64(n)*dt)) > 1e-15 ||
+			math.Abs(d.Y[n]-(y0[n]+dt)) > 1e-15 ||
+			math.Abs(d.Z[n]-(z0[n]-dt)) > 1e-15 {
+			t.Fatalf("position at node %d wrong", n)
+		}
+	}
+}
+
+func TestNodalKernelsRangeRestriction(t *testing.T) {
+	// Kernels must touch only [lo, hi).
+	d := testDomain(3)
+	for n := range d.Fx {
+		d.Fx[n], d.Fy[n], d.Fz[n] = 1, 1, 1
+	}
+	lo, hi := 5, 12
+	CalcAcceleration(d, lo, hi)
+	for n := 0; n < d.NumNode(); n++ {
+		inside := n >= lo && n < hi
+		if inside && d.Xdd[n] == 0 {
+			t.Fatalf("node %d in range not updated", n)
+		}
+		if !inside && d.Xdd[n] != 0 {
+			t.Fatalf("node %d outside range modified", n)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests on kernel invariants under randomized (bounded) state.
+
+func TestMonoQRegionNonNegativeProperty(t *testing.T) {
+	// The artificial viscosity terms are never negative: the limiter phi
+	// is clamped to [0, monoq_max_slope] and the velocity-gradient
+	// products are clamped non-positive before entering qlin/qquad.
+	d := testDomain(4)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		for e := 0; e < d.NumElem(); e++ {
+			d.Vnew[e] = 0.5 + rng.Float64()
+			d.Vdov[e] = 2 * (rng.Float64() - 0.5)
+			d.DelvXi[e] = 2 * (rng.Float64() - 0.5)
+			d.DelvEta[e] = 2 * (rng.Float64() - 0.5)
+			d.DelvZeta[e] = 2 * (rng.Float64() - 0.5)
+			d.DelxXi[e] = 0.01 + rng.Float64()
+			d.DelxEta[e] = 0.01 + rng.Float64()
+			d.DelxZeta[e] = 0.01 + rng.Float64()
+		}
+		for _, regList := range d.Regions.ElemList {
+			MonoQRegion(d, regList, 0, len(regList))
+		}
+		for e := 0; e < d.NumElem(); e++ {
+			if d.Ql[e] < 0 || d.Qq[e] < 0 {
+				t.Fatalf("trial %d: negative q terms at %d: ql=%v qq=%v",
+					trial, e, d.Ql[e], d.Qq[e])
+			}
+			if math.IsNaN(d.Ql[e]) || math.IsNaN(d.Qq[e]) {
+				t.Fatalf("trial %d: NaN q terms at %d", trial, e)
+			}
+		}
+	}
+}
+
+func TestCalcPressureInvariants(t *testing.T) {
+	// For any bounded inputs: p >= pmin, and p is either 0 or at least
+	// pCut in magnitude (the cutoff snaps small values).
+	f := func(e16, c16 int16) bool {
+		e := float64(e16) / 100.0
+		comp := math.Abs(float64(c16)) / 1e4 // compression >= 0
+		pNew := make([]float64, 1)
+		bvc := make([]float64, 1)
+		pbvc := make([]float64, 1)
+		eArr := []float64{e}
+		cArr := []float64{comp}
+		vnewc := []float64{1.0}
+		regList := []int32{0}
+		const pmin, pCut = 0.0, 1e-7
+		CalcPressure(pNew, bvc, pbvc, eArr, cArr, vnewc, regList, 0,
+			pmin, pCut, 1e9, 0, 1)
+		p := pNew[0]
+		if p < pmin {
+			return false
+		}
+		if p != 0 && math.Abs(p) < pCut {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalcEnergyFloorProperty(t *testing.T) {
+	// Whatever the (bounded) inputs, the final energy respects the floor
+	// and the final q is finite and non-negative for compression.
+	d := testDomain(2)
+	rng := rand.New(rand.NewSource(77))
+	regList := []int32{0}
+	vnewc := make([]float64, d.NumElem())
+	s := NewEOSScratch(1)
+	for trial := 0; trial < 200; trial++ {
+		vnewc[0] = 0.3 + rng.Float64()
+		s.EOld[0] = 200 * (rng.Float64() - 0.25)
+		s.POld[0] = 10 * rng.Float64()
+		s.QOld[0] = rng.Float64()
+		s.Delvc[0] = 0.2 * (rng.Float64() - 0.5)
+		s.Compression[0] = 1.0/vnewc[0] - 1.0
+		vchalf := vnewc[0] - s.Delvc[0]*0.5
+		s.CompHalfStep[0] = 1.0/vchalf - 1.0
+		s.QqOld[0] = rng.Float64()
+		s.QlOld[0] = rng.Float64()
+		s.Work[0] = 0
+		CalcEnergy(d, vnewc, regList, s, 0, 0, 1)
+		if s.ENew[0] < d.Par.Emin {
+			t.Fatalf("trial %d: energy %v below floor", trial, s.ENew[0])
+		}
+		if math.IsNaN(s.ENew[0]) || math.IsNaN(s.QNew[0]) {
+			t.Fatalf("trial %d: NaN output", trial)
+		}
+		if s.Delvc[0] <= 0 && s.QNew[0] < 0 {
+			t.Fatalf("trial %d: negative viscosity %v under compression",
+				trial, s.QNew[0])
+		}
+	}
+}
+
+func TestUpdateVolumesSnapProperty(t *testing.T) {
+	f := func(raw int16) bool {
+		d := testDomain(1)
+		v := 1.0 + float64(raw)/1e7 // values straddling the cut
+		d.Vnew[0] = v
+		UpdateVolumes(d, d.Par.VCut, 0, 1)
+		if math.Abs(v-1.0) < d.Par.VCut {
+			return d.V[0] == 1.0
+		}
+		return d.V[0] == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVelocityCutoffIdempotent(t *testing.T) {
+	// Applying the velocity update with zero acceleration twice changes
+	// nothing (cutoff is idempotent).
+	d := testDomain(2)
+	rng := rand.New(rand.NewSource(5))
+	for n := range d.Xd {
+		d.Xd[n] = (rng.Float64() - 0.5) * 1e-6
+		d.Yd[n] = (rng.Float64() - 0.5) * 10
+		d.Zd[n] = 0
+		d.Xdd[n], d.Ydd[n], d.Zdd[n] = 0, 0, 0
+	}
+	CalcVelocity(d, 0.1, d.Par.UCut, 0, d.NumNode())
+	snapshot := make([]float64, d.NumNode())
+	copy(snapshot, d.Xd)
+	CalcVelocity(d, 0.1, d.Par.UCut, 0, d.NumNode())
+	for n := range d.Xd {
+		if d.Xd[n] != snapshot[n] {
+			t.Fatalf("cutoff not idempotent at node %d", n)
+		}
+	}
+}
+
+func TestCourantMonotoneInSoundSpeed(t *testing.T) {
+	// A faster sound speed can only tighten (reduce) the Courant dt.
+	d := testDomain(2)
+	regList := []int32{0}
+	d.Arealg[0] = 0.1
+	d.Vdov[0] = 1
+	d.SS[0] = 1.0
+	slow := CourantConstraint(d, regList, 0, 1)
+	d.SS[0] = 2.0
+	fast := CourantConstraint(d, regList, 0, 1)
+	if fast >= slow {
+		t.Fatalf("courant not monotone: ss=1 -> %v, ss=2 -> %v", slow, fast)
+	}
+}
+
+func TestHydroInverselyProportionalToVdov(t *testing.T) {
+	d := testDomain(2)
+	regList := []int32{0}
+	d.Vdov[0] = 0.01
+	loose := HydroConstraint(d, regList, 0, 1)
+	d.Vdov[0] = 0.1
+	tight := HydroConstraint(d, regList, 0, 1)
+	if tight >= loose {
+		t.Fatalf("hydro not monotone in |vdov|: %v vs %v", tight, loose)
+	}
+	ratio := loose / tight
+	if math.Abs(ratio-10) > 1e-9 {
+		t.Fatalf("hydro should scale inversely with vdov: ratio %v", ratio)
+	}
+}

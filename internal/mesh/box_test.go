@@ -1,0 +1,147 @@
+package mesh
+
+import "testing"
+
+func TestNewBoxDimensions(t *testing.T) {
+	m := NewBox(2, 3, 4)
+	if m.NumElem != 24 || m.NumNode != 3*4*5 {
+		t.Fatalf("box dims: %d elems %d nodes", m.NumElem, m.NumNode)
+	}
+	if m.Nx != 2 || m.Ny != 3 || m.Nz != 4 {
+		t.Fatalf("box extents %dx%dx%d", m.Nx, m.Ny, m.Nz)
+	}
+}
+
+func TestNewBoxPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBox(0,1,1) should panic")
+		}
+	}()
+	NewBox(0, 1, 1)
+}
+
+func TestCubeEqualsBox(t *testing.T) {
+	a := New(3)
+	b := NewBox(3, 3, 3)
+	for i := range a.Nodelist {
+		if a.Nodelist[i] != b.Nodelist[i] {
+			t.Fatal("cube and box connectivity differ")
+		}
+	}
+	for i := range a.ElemBC {
+		if a.ElemBC[i] != b.ElemBC[i] {
+			t.Fatal("cube and box boundary conditions differ")
+		}
+	}
+	for i := range a.Lzetam {
+		if a.Lzetam[i] != b.Lzetam[i] || a.Letam[i] != b.Letam[i] {
+			t.Fatal("cube and box neighbour tables differ")
+		}
+	}
+}
+
+func TestBoxNeighboursInterior(t *testing.T) {
+	m := NewBox(3, 4, 5)
+	elem := func(i, j, k int) int { return k*12 + j*3 + i }
+	e := elem(1, 2, 2)
+	if int(m.Letam[e]) != elem(1, 1, 2) || int(m.Letap[e]) != elem(1, 3, 2) {
+		t.Fatal("eta neighbours wrong for box")
+	}
+	if int(m.Lzetam[e]) != elem(1, 2, 1) || int(m.Lzetap[e]) != elem(1, 2, 3) {
+		t.Fatal("zeta neighbours wrong for box")
+	}
+}
+
+func TestCommZFacesFlagsAndGhosts(t *testing.T) {
+	m := NewBox(2, 2, 3, WithCommZ(true, true))
+	plane := 4
+	if m.GhostZMin != m.NumElem || m.GhostZMax != m.NumElem+plane {
+		t.Fatalf("ghost bases %d/%d", m.GhostZMin, m.GhostZMax)
+	}
+	if m.NumElemGhost != m.NumElem+2*plane {
+		t.Fatalf("NumElemGhost = %d", m.NumElemGhost)
+	}
+	for i := 0; i < plane; i++ {
+		if m.ElemBC[i]&ZetaMComm == 0 || m.ElemBC[i]&ZetaMSymm != 0 {
+			t.Fatalf("bottom-plane elem %d BC %#x", i, m.ElemBC[i])
+		}
+		if int(m.Lzetam[i]) != m.GhostZMin+i {
+			t.Fatalf("bottom lzetam[%d] = %d", i, m.Lzetam[i])
+		}
+		top := m.NumElem - plane + i
+		if m.ElemBC[top]&ZetaPComm == 0 || m.ElemBC[top]&ZetaPFree != 0 {
+			t.Fatalf("top-plane elem %d BC %#x", top, m.ElemBC[top])
+		}
+		if int(m.Lzetap[top]) != m.GhostZMax+i {
+			t.Fatalf("top lzetap[%d] = %d", top, m.Lzetap[top])
+		}
+	}
+}
+
+func TestCommZMinOnly(t *testing.T) {
+	m := NewBox(2, 2, 2, WithCommZ(true, false))
+	if m.GhostZMin != m.NumElem || m.GhostZMax != -1 {
+		t.Fatalf("ghost bases %d/%d", m.GhostZMin, m.GhostZMax)
+	}
+	if m.NumElemGhost != m.NumElem+4 {
+		t.Fatalf("NumElemGhost = %d", m.NumElemGhost)
+	}
+	// z-max stays a free surface.
+	top := m.NumElem - 1
+	if m.ElemBC[top]&ZetaPFree == 0 {
+		t.Fatal("z-max should remain free")
+	}
+	// No z symmetry node list when z-min is a comm face.
+	if len(m.SymmZ) != 0 {
+		t.Fatalf("SymmZ should be empty, has %d", len(m.SymmZ))
+	}
+	for n := 0; n < m.NumNode; n++ {
+		if m.SymmFlags[n]&SymmFlagZ != 0 {
+			t.Fatalf("node %d carries z symmetry flag on a comm face", n)
+		}
+	}
+}
+
+func TestPlaneNodes(t *testing.T) {
+	m := NewBox(2, 3, 4)
+	bottom := m.PlaneNodes(0)
+	if len(bottom) != 3*4 {
+		t.Fatalf("plane node count %d", len(bottom))
+	}
+	for i, n := range bottom {
+		if int(n) != i {
+			t.Fatalf("bottom plane node %d = %d", i, n)
+		}
+	}
+	top := m.PlaneNodes(4)
+	if int(top[0]) != m.NumNode-3*4 {
+		t.Fatalf("top plane starts at %d", top[0])
+	}
+}
+
+func TestPlaneElems(t *testing.T) {
+	m := NewBox(2, 3, 4)
+	p := m.PlaneElems(2)
+	if len(p) != 6 {
+		t.Fatalf("plane elem count %d", len(p))
+	}
+	for i, e := range p {
+		if int(e) != 2*6+i {
+			t.Fatalf("plane elem %d = %d", i, e)
+		}
+	}
+}
+
+func TestBoxSymmetryListSizes(t *testing.T) {
+	m := NewBox(2, 3, 4)
+	if len(m.SymmX) != 4*5 {
+		t.Fatalf("SymmX size %d, want %d", len(m.SymmX), 4*5)
+	}
+	if len(m.SymmY) != 3*5 {
+		t.Fatalf("SymmY size %d, want %d", len(m.SymmY), 3*5)
+	}
+	if len(m.SymmZ) != 3*4 {
+		t.Fatalf("SymmZ size %d, want %d", len(m.SymmZ), 3*4)
+	}
+}

@@ -1,0 +1,373 @@
+// Package mesh builds the regular hexahedral mesh used by the LULESH proxy
+// application: element-to-node connectivity, element face neighbours,
+// boundary-condition flags, symmetry-plane node sets, node-to-element-corner
+// gather lists, and the weighted random region decomposition.
+//
+// New builds the classic cubic single-domain mesh (s^3 elements,
+// (s+1)^3 nodes). NewBox builds a general nx×ny×nz box, optionally with
+// communication faces in the zeta direction — the building block of the
+// multi-domain decomposition in internal/dist, where a stack of boxes
+// forms one global problem and boundary planes are exchanged between
+// ranks (the COMM boundary conditions of the MPI reference).
+//
+// Index conventions, neighbour tables and boundary-condition encodings
+// replicate LULESH 2.0 (LLNL-TR-490254) exactly, including its quirks
+// (see the neighbour-table comment below).
+package mesh
+
+import "fmt"
+
+// Boundary-condition flags for each element face, exactly as encoded in
+// LULESH 2.0. M is the face on the negative side of the axis, P the
+// positive side. SYMM marks a symmetry plane, FREE a free surface, COMM a
+// face owned by a neighbouring domain whose gradients arrive as ghost
+// values.
+const (
+	XiM       = 0x00007
+	XiMSymm   = 0x00001
+	XiMFree   = 0x00002
+	XiMComm   = 0x00004
+	XiP       = 0x00038
+	XiPSymm   = 0x00008
+	XiPFree   = 0x00010
+	XiPComm   = 0x00020
+	EtaM      = 0x001c0
+	EtaMSymm  = 0x00040
+	EtaMFree  = 0x00080
+	EtaMComm  = 0x00100
+	EtaP      = 0x00e00
+	EtaPSymm  = 0x00200
+	EtaPFree  = 0x00400
+	EtaPComm  = 0x00800
+	ZetaM     = 0x07000
+	ZetaMSymm = 0x01000
+	ZetaMFree = 0x02000
+	ZetaMComm = 0x04000
+	ZetaP     = 0x38000
+	ZetaPSymm = 0x08000
+	ZetaPFree = 0x10000
+	ZetaPComm = 0x20000
+)
+
+// Symmetry flags per node (SymmFlags), used by backends that fuse the
+// acceleration boundary condition into the acceleration kernel.
+const (
+	SymmFlagX = 1 << iota
+	SymmFlagY
+	SymmFlagZ
+)
+
+// Mesh holds the immutable topology of a LULESH domain.
+type Mesh struct {
+	// Nx, Ny, Nz are the element counts per dimension. The classic cubic
+	// problem has Nx = Ny = Nz = EdgeElems.
+	Nx, Ny, Nz int
+	EdgeElems  int // Nx, kept for the cubic problem-size convention
+	EdgeNodes  int // Nx + 1
+	NumElem    int // Nx*Ny*Nz
+	NumNode    int // (Nx+1)*(Ny+1)*(Nz+1)
+
+	// CommZMin / CommZMax mark the zeta faces owned by a neighbouring
+	// domain (internal/dist). Those faces carry COMM boundary conditions
+	// instead of SYMM/FREE, and their face neighbours point into the
+	// ghost ranges below.
+	CommZMin, CommZMax bool
+
+	// GhostZMin / GhostZMax are the starting indices of the ghost element
+	// ranges appended (virtually) after NumElem in gradient arrays, or -1
+	// when the corresponding face is not a communication face. Each ghost
+	// range holds Nx*Ny entries, indexed like the adjacent plane.
+	GhostZMin, GhostZMax int
+	// NumElemGhost is NumElem plus all ghost slots; gradient arrays
+	// (delv_xi/eta/zeta) must have this length.
+	NumElemGhost int
+
+	// Nodelist maps element e to its 8 corner nodes,
+	// Nodelist[8*e : 8*e+8], in the LULESH local node order.
+	Nodelist []int32
+
+	// Element face neighbours in the xi (column), eta (row) and zeta
+	// (plane) directions. As in LULESH 2.0, the xi table is filled with
+	// plain i-1 / i+1 even across row boundaries: the boundary-condition
+	// flags guarantee those entries are never dereferenced, and we keep
+	// the quirk for bit-exact fidelity with the reference. On COMM faces
+	// the zeta neighbours point into the ghost ranges.
+	Lxim, Lxip     []int32
+	Letam, Letap   []int32
+	Lzetam, Lzetap []int32
+
+	// ElemBC holds the per-element boundary-condition flag word.
+	ElemBC []int32
+
+	// SymmX, SymmY and SymmZ list the nodes lying on the x=0, y=0 and
+	// z=0 symmetry planes. SymmZ is empty when the z=0 face is a
+	// communication face.
+	SymmX, SymmY, SymmZ []int32
+
+	// SymmFlags[n] is the bitwise OR of SymmFlag{X,Y,Z} for node n.
+	SymmFlags []uint8
+
+	// NodeElemStart / NodeElemCornerList form the CSR-style gather map
+	// from node n to the element corners that touch it: entries
+	// NodeElemCornerList[NodeElemStart[n]:NodeElemStart[n+1]] hold
+	// elem*8+corner indices into per-corner force arrays.
+	NodeElemStart      []int32
+	NodeElemCornerList []int32
+}
+
+// New builds the classic cubic single-domain mesh with edgeElems elements
+// per edge.
+func New(edgeElems int) *Mesh {
+	return NewBox(edgeElems, edgeElems, edgeElems)
+}
+
+// BoxOption configures NewBox.
+type BoxOption func(*Mesh)
+
+// WithCommZ marks the z-min and/or z-max faces as communication faces
+// shared with neighbouring domains.
+func WithCommZ(zmin, zmax bool) BoxOption {
+	return func(m *Mesh) {
+		m.CommZMin = zmin
+		m.CommZMax = zmax
+	}
+}
+
+// NewBox builds the full topology for an nx × ny × nz element box.
+func NewBox(nx, ny, nz int, opts ...BoxOption) *Mesh {
+	if nx < 1 || ny < 1 || nz < 1 {
+		panic(fmt.Sprintf("mesh: dimensions must be >= 1, got %dx%dx%d", nx, ny, nz))
+	}
+	m := &Mesh{
+		Nx: nx, Ny: ny, Nz: nz,
+		EdgeElems: nx,
+		EdgeNodes: nx + 1,
+	}
+	m.NumElem = nx * ny * nz
+	m.NumNode = (nx + 1) * (ny + 1) * (nz + 1)
+	for _, o := range opts {
+		o(m)
+	}
+	m.GhostZMin, m.GhostZMax = -1, -1
+	m.NumElemGhost = m.NumElem
+	plane := nx * ny
+	if m.CommZMin {
+		m.GhostZMin = m.NumElemGhost
+		m.NumElemGhost += plane
+	}
+	if m.CommZMax {
+		m.GhostZMax = m.NumElemGhost
+		m.NumElemGhost += plane
+	}
+	m.buildNodelist()
+	m.buildNeighbours()
+	m.buildBoundaryConditions()
+	m.buildSymmetryPlanes()
+	m.buildNodeElemCorners()
+	return m
+}
+
+func (m *Mesh) buildNodelist() {
+	enx := m.Nx + 1
+	eny := m.Ny + 1
+	m.Nodelist = make([]int32, 8*m.NumElem)
+	zidx := 0
+	nidx := 0
+	for plane := 0; plane < m.Nz; plane++ {
+		for row := 0; row < m.Ny; row++ {
+			for col := 0; col < m.Nx; col++ {
+				nl := m.Nodelist[8*zidx : 8*zidx+8]
+				nl[0] = int32(nidx)
+				nl[1] = int32(nidx + 1)
+				nl[2] = int32(nidx + enx + 1)
+				nl[3] = int32(nidx + enx)
+				nl[4] = int32(nidx + enx*eny)
+				nl[5] = int32(nidx + enx*eny + 1)
+				nl[6] = int32(nidx + enx*eny + enx + 1)
+				nl[7] = int32(nidx + enx*eny + enx)
+				zidx++
+				nidx++
+			}
+			nidx++ // skip the last node of the row
+		}
+		nidx += enx // skip the last row of the plane
+	}
+}
+
+func (m *Mesh) buildNeighbours() {
+	ne := m.NumElem
+	nx := m.Nx
+	plane := m.Nx * m.Ny
+	m.Lxim = make([]int32, ne)
+	m.Lxip = make([]int32, ne)
+	m.Letam = make([]int32, ne)
+	m.Letap = make([]int32, ne)
+	m.Lzetam = make([]int32, ne)
+	m.Lzetap = make([]int32, ne)
+
+	// xi direction (LULESH fills these across row boundaries on purpose;
+	// the BC masks shield the bogus entries).
+	m.Lxim[0] = 0
+	for i := 1; i < ne; i++ {
+		m.Lxim[i] = int32(i - 1)
+		m.Lxip[i-1] = int32(i)
+	}
+	m.Lxip[ne-1] = int32(ne - 1)
+
+	// eta direction (stride nx; the same quirk applies across planes).
+	for i := 0; i < nx; i++ {
+		m.Letam[i] = int32(i)
+		m.Letap[ne-nx+i] = int32(ne - nx + i)
+	}
+	for i := nx; i < ne; i++ {
+		m.Letam[i] = int32(i - nx)
+		m.Letap[i-nx] = int32(i)
+	}
+
+	// zeta direction (stride nx*ny). On communication faces the
+	// neighbours point into the ghost ranges.
+	for i := 0; i < plane; i++ {
+		if m.CommZMin {
+			m.Lzetam[i] = int32(m.GhostZMin + i)
+		} else {
+			m.Lzetam[i] = int32(i)
+		}
+		if m.CommZMax {
+			m.Lzetap[ne-plane+i] = int32(m.GhostZMax + i)
+		} else {
+			m.Lzetap[ne-plane+i] = int32(ne - plane + i)
+		}
+	}
+	for i := plane; i < ne; i++ {
+		m.Lzetam[i] = int32(i - plane)
+		m.Lzetap[i-plane] = int32(i)
+	}
+}
+
+func (m *Mesh) buildBoundaryConditions() {
+	nx, ny, nz := m.Nx, m.Ny, m.Nz
+	ne := m.NumElem
+	plane := nx * ny
+	m.ElemBC = make([]int32, ne)
+	elem := func(i, j, k int) int { return k*plane + j*nx + i }
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				e := elem(i, j, k)
+				if i == 0 {
+					m.ElemBC[e] |= XiMSymm
+				}
+				if i == nx-1 {
+					m.ElemBC[e] |= XiPFree
+				}
+				if j == 0 {
+					m.ElemBC[e] |= EtaMSymm
+				}
+				if j == ny-1 {
+					m.ElemBC[e] |= EtaPFree
+				}
+				if k == 0 {
+					if m.CommZMin {
+						m.ElemBC[e] |= ZetaMComm
+					} else {
+						m.ElemBC[e] |= ZetaMSymm
+					}
+				}
+				if k == nz-1 {
+					if m.CommZMax {
+						m.ElemBC[e] |= ZetaPComm
+					} else {
+						m.ElemBC[e] |= ZetaPFree
+					}
+				}
+			}
+		}
+	}
+	_ = ne
+}
+
+func (m *Mesh) buildSymmetryPlanes() {
+	enx, eny, enz := m.Nx+1, m.Ny+1, m.Nz+1
+	node := func(i, j, k int) int32 { return int32(k*enx*eny + j*enx + i) }
+
+	m.SymmX = m.SymmX[:0]
+	m.SymmY = m.SymmY[:0]
+	m.SymmZ = m.SymmZ[:0]
+	for k := 0; k < enz; k++ {
+		for j := 0; j < eny; j++ {
+			m.SymmX = append(m.SymmX, node(0, j, k))
+		}
+	}
+	for k := 0; k < enz; k++ {
+		for i := 0; i < enx; i++ {
+			m.SymmY = append(m.SymmY, node(i, 0, k))
+		}
+	}
+	if !m.CommZMin {
+		for j := 0; j < eny; j++ {
+			for i := 0; i < enx; i++ {
+				m.SymmZ = append(m.SymmZ, node(i, j, 0))
+			}
+		}
+	}
+	m.SymmFlags = make([]uint8, m.NumNode)
+	for _, n := range m.SymmX {
+		m.SymmFlags[n] |= SymmFlagX
+	}
+	for _, n := range m.SymmY {
+		m.SymmFlags[n] |= SymmFlagY
+	}
+	for _, n := range m.SymmZ {
+		m.SymmFlags[n] |= SymmFlagZ
+	}
+}
+
+func (m *Mesh) buildNodeElemCorners() {
+	count := make([]int32, m.NumNode)
+	for e := 0; e < m.NumElem; e++ {
+		for c := 0; c < 8; c++ {
+			count[m.Nodelist[8*e+c]]++
+		}
+	}
+	m.NodeElemStart = make([]int32, m.NumNode+1)
+	for n := 0; n < m.NumNode; n++ {
+		m.NodeElemStart[n+1] = m.NodeElemStart[n] + count[n]
+	}
+	m.NodeElemCornerList = make([]int32, m.NodeElemStart[m.NumNode])
+	fill := make([]int32, m.NumNode)
+	copy(fill, m.NodeElemStart[:m.NumNode])
+	for e := 0; e < m.NumElem; e++ {
+		for c := 0; c < 8; c++ {
+			n := m.Nodelist[8*e+c]
+			m.NodeElemCornerList[fill[n]] = int32(8*e + c)
+			fill[n]++
+		}
+	}
+}
+
+// PlaneNodes returns the node indices of the z = kPlane node plane
+// (kPlane in [0, Nz]), in row-major (j, i) order — the exchange unit of
+// the multi-domain decomposition.
+func (m *Mesh) PlaneNodes(kPlane int) []int32 {
+	enx, eny := m.Nx+1, m.Ny+1
+	out := make([]int32, 0, enx*eny)
+	base := kPlane * enx * eny
+	for j := 0; j < eny; j++ {
+		for i := 0; i < enx; i++ {
+			out = append(out, int32(base+j*enx+i))
+		}
+	}
+	return out
+}
+
+// PlaneElems returns the element indices of the z = kPlane element plane
+// (kPlane in [0, Nz-1]), in row-major order — the ghost-exchange unit of
+// the monotonic-Q gradients.
+func (m *Mesh) PlaneElems(kPlane int) []int32 {
+	plane := m.Nx * m.Ny
+	out := make([]int32, plane)
+	for i := range out {
+		out[i] = int32(kPlane*plane + i)
+	}
+	return out
+}

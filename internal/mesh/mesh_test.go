@@ -1,0 +1,295 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) should panic")
+		}
+	}()
+	New(0)
+}
+
+func TestCounts(t *testing.T) {
+	for _, s := range []int{1, 2, 3, 5, 8} {
+		m := New(s)
+		if m.NumElem != s*s*s {
+			t.Errorf("s=%d: NumElem = %d", s, m.NumElem)
+		}
+		if m.NumNode != (s+1)*(s+1)*(s+1) {
+			t.Errorf("s=%d: NumNode = %d", s, m.NumNode)
+		}
+		if len(m.Nodelist) != 8*m.NumElem {
+			t.Errorf("s=%d: Nodelist len %d", s, len(m.Nodelist))
+		}
+	}
+}
+
+// nodeAt returns the node index of lattice coordinates (i, j, k).
+func nodeAt(m *Mesh, i, j, k int) int32 {
+	en := m.EdgeNodes
+	return int32(k*en*en + j*en + i)
+}
+
+// elemAt returns the element index of lattice coordinates (i, j, k).
+func elemAt(m *Mesh, i, j, k int) int {
+	s := m.EdgeElems
+	return k*s*s + j*s + i
+}
+
+func TestNodelistGeometry(t *testing.T) {
+	m := New(3)
+	for k := 0; k < 3; k++ {
+		for j := 0; j < 3; j++ {
+			for i := 0; i < 3; i++ {
+				e := elemAt(m, i, j, k)
+				nl := m.Nodelist[8*e : 8*e+8]
+				want := []int32{
+					nodeAt(m, i, j, k),
+					nodeAt(m, i+1, j, k),
+					nodeAt(m, i+1, j+1, k),
+					nodeAt(m, i, j+1, k),
+					nodeAt(m, i, j, k+1),
+					nodeAt(m, i+1, j, k+1),
+					nodeAt(m, i+1, j+1, k+1),
+					nodeAt(m, i, j+1, k+1),
+				}
+				for c := 0; c < 8; c++ {
+					if nl[c] != want[c] {
+						t.Fatalf("elem(%d,%d,%d) corner %d = %d, want %d",
+							i, j, k, c, nl[c], want[c])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNodelistInRangeAndDistinct(t *testing.T) {
+	m := New(4)
+	for e := 0; e < m.NumElem; e++ {
+		seen := map[int32]bool{}
+		for c := 0; c < 8; c++ {
+			n := m.Nodelist[8*e+c]
+			if n < 0 || int(n) >= m.NumNode {
+				t.Fatalf("elem %d corner %d out of range: %d", e, c, n)
+			}
+			if seen[n] {
+				t.Fatalf("elem %d has duplicate corner node %d", e, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestInteriorNeighbours(t *testing.T) {
+	m := New(4)
+	s := m.EdgeElems
+	for k := 1; k < s-1; k++ {
+		for j := 1; j < s-1; j++ {
+			for i := 1; i < s-1; i++ {
+				e := elemAt(m, i, j, k)
+				if int(m.Lxim[e]) != elemAt(m, i-1, j, k) {
+					t.Fatalf("lxim(%d)", e)
+				}
+				if int(m.Lxip[e]) != elemAt(m, i+1, j, k) {
+					t.Fatalf("lxip(%d)", e)
+				}
+				if int(m.Letam[e]) != elemAt(m, i, j-1, k) {
+					t.Fatalf("letam(%d)", e)
+				}
+				if int(m.Letap[e]) != elemAt(m, i, j+1, k) {
+					t.Fatalf("letap(%d)", e)
+				}
+				if int(m.Lzetam[e]) != elemAt(m, i, j, k-1) {
+					t.Fatalf("lzetam(%d)", e)
+				}
+				if int(m.Lzetap[e]) != elemAt(m, i, j, k+1) {
+					t.Fatalf("lzetap(%d)", e)
+				}
+			}
+		}
+	}
+}
+
+func TestBoundaryConditionFaceCounts(t *testing.T) {
+	m := New(5)
+	s := m.EdgeElems
+	counts := map[int32]int{}
+	for _, bc := range m.ElemBC {
+		for _, flag := range []int32{XiMSymm, XiPFree, EtaMSymm, EtaPFree, ZetaMSymm, ZetaPFree} {
+			if bc&flag != 0 {
+				counts[flag]++
+			}
+		}
+	}
+	for _, flag := range []int32{XiMSymm, XiPFree, EtaMSymm, EtaPFree, ZetaMSymm, ZetaPFree} {
+		if counts[flag] != s*s {
+			t.Errorf("flag %#x set on %d elements, want %d", flag, counts[flag], s*s)
+		}
+	}
+}
+
+func TestBoundaryConditionPlacement(t *testing.T) {
+	m := New(4)
+	s := m.EdgeElems
+	for k := 0; k < s; k++ {
+		for j := 0; j < s; j++ {
+			for i := 0; i < s; i++ {
+				bc := m.ElemBC[elemAt(m, i, j, k)]
+				check := func(cond bool, flag int32, name string) {
+					if cond != (bc&flag != 0) {
+						t.Fatalf("elem(%d,%d,%d): %s flag mismatch", i, j, k, name)
+					}
+				}
+				check(i == 0, XiMSymm, "XiMSymm")
+				check(i == s-1, XiPFree, "XiPFree")
+				check(j == 0, EtaMSymm, "EtaMSymm")
+				check(j == s-1, EtaPFree, "EtaPFree")
+				check(k == 0, ZetaMSymm, "ZetaMSymm")
+				check(k == s-1, ZetaPFree, "ZetaPFree")
+			}
+		}
+	}
+}
+
+func TestNoCommFlags(t *testing.T) {
+	m := New(3)
+	comm := int32(XiMComm | XiPComm | EtaMComm | EtaPComm | ZetaMComm | ZetaPComm)
+	for e, bc := range m.ElemBC {
+		if bc&comm != 0 {
+			t.Fatalf("single-domain mesh has COMM flag on element %d", e)
+		}
+	}
+}
+
+func TestSymmetryPlaneLists(t *testing.T) {
+	m := New(4)
+	en := m.EdgeNodes
+	if len(m.SymmX) != en*en || len(m.SymmY) != en*en || len(m.SymmZ) != en*en {
+		t.Fatalf("symmetry list sizes: %d %d %d, want %d",
+			len(m.SymmX), len(m.SymmY), len(m.SymmZ), en*en)
+	}
+	for _, n := range m.SymmX {
+		if int(n)%en != 0 {
+			t.Fatalf("SymmX node %d is not on the x=0 plane", n)
+		}
+	}
+	for _, n := range m.SymmY {
+		if (int(n)/en)%en != 0 {
+			t.Fatalf("SymmY node %d is not on the y=0 plane", n)
+		}
+	}
+	for _, n := range m.SymmZ {
+		if int(n)/(en*en) != 0 {
+			t.Fatalf("SymmZ node %d is not on the z=0 plane", n)
+		}
+	}
+}
+
+func TestSymmFlagsMatchLists(t *testing.T) {
+	m := New(5)
+	want := make([]uint8, m.NumNode)
+	for _, n := range m.SymmX {
+		want[n] |= SymmFlagX
+	}
+	for _, n := range m.SymmY {
+		want[n] |= SymmFlagY
+	}
+	for _, n := range m.SymmZ {
+		want[n] |= SymmFlagZ
+	}
+	for n := range want {
+		if m.SymmFlags[n] != want[n] {
+			t.Fatalf("SymmFlags[%d] = %b, want %b", n, m.SymmFlags[n], want[n])
+		}
+	}
+	// The origin node lies on all three planes.
+	if m.SymmFlags[0] != SymmFlagX|SymmFlagY|SymmFlagZ {
+		t.Fatalf("origin flags = %b", m.SymmFlags[0])
+	}
+}
+
+func TestNodeElemCornerListComplete(t *testing.T) {
+	m := New(4)
+	if int(m.NodeElemStart[m.NumNode]) != 8*m.NumElem {
+		t.Fatalf("corner list covers %d corners, want %d",
+			m.NodeElemStart[m.NumNode], 8*m.NumElem)
+	}
+	// Every (elem, corner) pair appears exactly once, under its node.
+	seen := make([]bool, 8*m.NumElem)
+	for n := 0; n < m.NumNode; n++ {
+		for idx := m.NodeElemStart[n]; idx < m.NodeElemStart[n+1]; idx++ {
+			c := m.NodeElemCornerList[idx]
+			if seen[c] {
+				t.Fatalf("corner %d listed twice", c)
+			}
+			seen[c] = true
+			if m.Nodelist[c] != int32(n) {
+				t.Fatalf("corner %d filed under node %d but belongs to node %d",
+					c, n, m.Nodelist[c])
+			}
+		}
+	}
+	for c, ok := range seen {
+		if !ok {
+			t.Fatalf("corner %d missing from gather list", c)
+		}
+	}
+}
+
+func TestNodeElemCornerCounts(t *testing.T) {
+	m := New(3)
+	// A corner node of the cube touches 1 element, an interior node 8.
+	origin := m.NodeElemStart[1] - m.NodeElemStart[0]
+	if origin != 1 {
+		t.Errorf("origin node touches %d elements, want 1", origin)
+	}
+	inner := nodeAt(m, 1, 1, 1)
+	cnt := m.NodeElemStart[inner+1] - m.NodeElemStart[inner]
+	if cnt != 8 {
+		t.Errorf("interior node touches %d elements, want 8", cnt)
+	}
+}
+
+func TestMeshDeterministic(t *testing.T) {
+	f := func(s8 uint8) bool {
+		s := int(s8)%5 + 1
+		a, b := New(s), New(s)
+		if len(a.Nodelist) != len(b.Nodelist) {
+			return false
+		}
+		for i := range a.Nodelist {
+			if a.Nodelist[i] != b.Nodelist[i] {
+				return false
+			}
+		}
+		for i := range a.ElemBC {
+			if a.ElemBC[i] != b.ElemBC[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeOneMesh(t *testing.T) {
+	m := New(1)
+	if m.NumElem != 1 || m.NumNode != 8 {
+		t.Fatalf("1-element mesh: %d elems %d nodes", m.NumElem, m.NumNode)
+	}
+	// The single element has every boundary flag.
+	bc := m.ElemBC[0]
+	for _, flag := range []int32{XiMSymm, XiPFree, EtaMSymm, EtaPFree, ZetaMSymm, ZetaPFree} {
+		if bc&flag == 0 {
+			t.Errorf("flag %#x missing on the only element", flag)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionsPanicOnBadCount(t *testing.T) {
+	m := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRegions with numReg=0 should panic")
+		}
+	}()
+	NewRegions(m, 0, 1, 1)
+}
+
+func TestSingleRegionCoversEverything(t *testing.T) {
+	m := New(4)
+	r := NewRegions(m, 1, 1, 1)
+	if len(r.ElemList) != 1 || len(r.ElemList[0]) != m.NumElem {
+		t.Fatalf("single region does not own all elements")
+	}
+	for _, rn := range r.RegNumList {
+		if rn != 1 {
+			t.Fatalf("region number %d, want 1", rn)
+		}
+	}
+}
+
+func TestRegionListsPartitionElements(t *testing.T) {
+	m := New(6)
+	for _, nr := range []int{2, 5, 11, 16, 21} {
+		r := NewRegions(m, nr, 1, 1)
+		seen := make([]bool, m.NumElem)
+		total := 0
+		for reg, list := range r.ElemList {
+			prev := int32(-1)
+			for _, e := range list {
+				if e <= prev {
+					t.Fatalf("region %d list not ascending", reg)
+				}
+				prev = e
+				if seen[e] {
+					t.Fatalf("element %d in two regions", e)
+				}
+				seen[e] = true
+				if int(r.RegNumList[e]) != reg+1 {
+					t.Fatalf("RegNumList[%d] = %d, want %d", e, r.RegNumList[e], reg+1)
+				}
+				total++
+			}
+		}
+		if total != m.NumElem {
+			t.Fatalf("nr=%d: regions cover %d of %d elements", nr, total, m.NumElem)
+		}
+	}
+}
+
+func TestRegionNumbersInRange(t *testing.T) {
+	m := New(5)
+	r := NewRegions(m, 11, 1, 1)
+	for e, rn := range r.RegNumList {
+		if rn < 1 || int(rn) > 11 {
+			t.Fatalf("element %d has region number %d", e, rn)
+		}
+	}
+}
+
+func TestRegionsDeterministic(t *testing.T) {
+	m := New(5)
+	a := NewRegions(m, 11, 1, 1)
+	b := NewRegions(m, 11, 1, 1)
+	for e := range a.RegNumList {
+		if a.RegNumList[e] != b.RegNumList[e] {
+			t.Fatalf("region assignment not deterministic at element %d", e)
+		}
+	}
+}
+
+func TestRegionsAreRuns(t *testing.T) {
+	// The assignment proceeds in runs of consecutive elements, so adjacent
+	// elements usually share a region; count the run transitions and check
+	// they are far fewer than the element count.
+	m := New(8)
+	r := NewRegions(m, 11, 1, 1)
+	transitions := 0
+	for e := 1; e < m.NumElem; e++ {
+		if r.RegNumList[e] != r.RegNumList[e-1] {
+			transitions++
+		}
+	}
+	if transitions == 0 {
+		t.Fatal("expected more than one run for 512 elements")
+	}
+	if transitions > m.NumElem/2 {
+		t.Fatalf("too many transitions (%d of %d): not run-structured",
+			transitions, m.NumElem)
+	}
+	// Consecutive runs always change region (the reference redraws until
+	// the region differs).
+	// (Already implied by counting transitions between runs.)
+}
+
+func TestRepLoadImbalanceModel(t *testing.T) {
+	// Reference formula with cost=1: first half 1x, middle 1+cost,
+	// last (numReg+15)/20 regions 10*(1+cost).
+	m := New(2)
+	r := NewRegions(m, 11, 1, 1)
+	wantReps := map[int]int{
+		0: 1, 1: 1, 2: 1, 3: 1, 4: 1, // r < 11/2 = 5
+		5: 2, 6: 2, 7: 2, 8: 2, 9: 2, // r < 11 - (26/20=1) = 10
+		10: 20, // the expensive 5%
+	}
+	for reg, want := range wantReps {
+		if got := r.Rep(reg); got != want {
+			t.Errorf("Rep(%d) = %d, want %d", reg, got, want)
+		}
+	}
+}
+
+func TestRepWithHigherCost(t *testing.T) {
+	m := New(2)
+	r := NewRegions(m, 20, 1, 3)
+	if r.Rep(0) != 1 {
+		t.Errorf("cheap region rep = %d", r.Rep(0))
+	}
+	if r.Rep(10) != 4 { // 1 + cost
+		t.Errorf("middle region rep = %d, want 4", r.Rep(10))
+	}
+	if r.Rep(19) != 40 { // 10 * (1 + cost)
+		t.Errorf("expensive region rep = %d, want 40", r.Rep(19))
+	}
+}
+
+func TestBalanceSkewsRegionSizes(t *testing.T) {
+	// With balance > 1 the weight of region i is (i+1)^balance, so
+	// later regions receive far more elements on average.
+	m := New(10)
+	r := NewRegions(m, 8, 3, 1)
+	firstHalf, secondHalf := 0, 0
+	for reg, list := range r.ElemList {
+		if reg < 4 {
+			firstHalf += len(list)
+		} else {
+			secondHalf += len(list)
+		}
+	}
+	if secondHalf <= firstHalf {
+		t.Errorf("balance=3 should skew sizes: first half %d, second half %d",
+			firstHalf, secondHalf)
+	}
+}
+
+func TestRegionsSizesVary(t *testing.T) {
+	// The random-run construction should produce unequal region sizes —
+	// that inequality is the load imbalance the paper exploits.
+	m := New(10)
+	r := NewRegions(m, 11, 1, 1)
+	min, max := m.NumElem, 0
+	for _, list := range r.ElemList {
+		if len(list) < min {
+			min = len(list)
+		}
+		if len(list) > max {
+			max = len(list)
+		}
+	}
+	if min == max {
+		t.Error("all regions identical in size; expected imbalance")
+	}
+}
+
+func TestLCGRange(t *testing.T) {
+	r := &lcg{state: 0}
+	for i := 0; i < 100000; i++ {
+		v := r.next()
+		if v < 0 || v > 0x7fff {
+			t.Fatalf("lcg output %d out of [0, 32767]", v)
+		}
+	}
+}
+
+func TestLCGDeterministic(t *testing.T) {
+	a, b := &lcg{state: 0}, &lcg{state: 0}
+	for i := 0; i < 1000; i++ {
+		if a.next() != b.next() {
+			t.Fatal("lcg streams diverge for equal seeds")
+		}
+	}
+}
+
+func TestIpow(t *testing.T) {
+	cases := []struct{ base, exp, want int }{
+		{2, 0, 1}, {2, 1, 2}, {2, 10, 1024}, {3, 3, 27}, {1, 100, 1}, {7, 2, 49},
+	}
+	for _, c := range cases {
+		if got := ipow(c.base, c.exp); got != c.want {
+			t.Errorf("ipow(%d,%d) = %d, want %d", c.base, c.exp, got, c.want)
+		}
+	}
+}
+
+func TestRegionsPropertyPartition(t *testing.T) {
+	f := func(s8, nr8 uint8) bool {
+		s := int(s8)%4 + 2
+		nr := int(nr8)%12 + 1
+		m := New(s)
+		r := NewRegions(m, nr, 1, 1)
+		count := 0
+		for _, list := range r.ElemList {
+			count += len(list)
+		}
+		return count == m.NumElem && len(r.ElemList) == nr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,43 @@
+package omp
+
+import "testing"
+
+// Microbenchmarks of the fork-join primitives: the per-loop cost the
+// OpenMP-style backend pays that the task backend's restructuring avoids.
+
+func BenchmarkEmptyRegion(b *testing.B) {
+	p := NewPool(2)
+	defer p.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Parallel(func(tid int) {})
+	}
+}
+
+func BenchmarkParallelForStatic(b *testing.B) {
+	p := NewPool(2)
+	defer p.Close()
+	data := make([]float64, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ParallelForBlock(len(data), func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				data[j] += 1
+			}
+		})
+	}
+}
+
+func BenchmarkParallelForDynamic(b *testing.B) {
+	p := NewPool(2)
+	defer p.Close()
+	data := make([]float64, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ParallelForDynamic(len(data), 4096, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				data[j] += 1
+			}
+		})
+	}
+}

@@ -1,0 +1,262 @@
+// Package omp implements a fork-join parallel runtime modeled on OpenMP's
+// execution of `#pragma omp parallel for` and parallel regions: a persistent
+// team of threads, static loop scheduling, and a full synchronization
+// barrier at the end of every loop or region.
+//
+// It is the comparator runtime for the paper's OpenMP reference
+// implementation of LULESH: the cost model of that code — one static split
+// plus one barrier per parallel loop, ~30 parallel regions per iteration —
+// is exactly what this package reproduces. Like production OpenMP runtimes
+// (OMP_WAIT_POLICY), team threads spin briefly at the release and join
+// points before parking on a condition variable, so back-to-back loops do
+// not pay a futex round trip each. Per-thread productive-time counters
+// mirror the paper's manual instrumentation of each parallel region
+// (Figure 11).
+package omp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// spinRounds bounds the busy-wait at dispatch and join points before a
+// thread parks. Tuned to roughly the 10-100 microsecond active-wait window
+// of OpenMP runtimes.
+const spinRounds = 1 << 14
+
+// Pool is a persistent team of execution threads. Thread 0 is the calling
+// goroutine (the "master" thread, as in OpenMP); the remaining n-1 are
+// worker goroutines that idle between regions.
+//
+// A Pool is not reentrant: regions must not be started from inside a region
+// (OpenMP without nested parallelism).
+type Pool struct {
+	n int
+
+	gen  atomic.Int64              // region generation; bumped per dispatch
+	job  atomic.Pointer[func(int)] // current region body
+	left atomic.Int64              // workers still inside the region
+
+	mu       sync.Mutex
+	cond     *sync.Cond // workers park here between regions
+	sleepers atomic.Int32
+	closed   atomic.Bool
+
+	busy       []atomic.Int64 // per-thread nanoseconds inside region bodies
+	regionWall atomic.Int64   // summed wall time of all regions
+	regions    atomic.Int64   // number of regions executed
+
+	observer atomic.Pointer[func(tid int, start time.Time, dur time.Duration)]
+
+	wg sync.WaitGroup
+}
+
+// SetObserver installs a hook invoked after each thread finishes its part
+// of a region, with the thread id and execution span — the fork-join
+// feed for a trace.Recorder timeline. The hook runs on the team threads
+// and must be cheap and concurrency-safe.
+func (p *Pool) SetObserver(fn func(tid int, start time.Time, dur time.Duration)) {
+	if fn == nil {
+		p.observer.Store(nil)
+		return
+	}
+	p.observer.Store(&fn)
+}
+
+// NewPool creates a team with n execution threads (n < 1 is treated as 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{n: n}
+	p.cond = sync.NewCond(&p.mu)
+	p.busy = make([]atomic.Int64, n)
+	p.wg.Add(n - 1)
+	for tid := 1; tid < n; tid++ {
+		go p.worker(tid)
+	}
+	return p
+}
+
+// Threads reports the team size.
+func (p *Pool) Threads() int { return p.n }
+
+// Close shuts the team down. No region may be in flight.
+func (p *Pool) Close() {
+	p.closed.Store(true)
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool) worker(tid int) {
+	defer p.wg.Done()
+	lastGen := int64(0)
+	for {
+		// Spin for a new region, then park.
+		g := p.gen.Load()
+		spun := 0
+		for g == lastGen {
+			if p.closed.Load() {
+				return
+			}
+			spun++
+			if spun < spinRounds {
+				runtime.Gosched()
+				g = p.gen.Load()
+				continue
+			}
+			p.mu.Lock()
+			// Register as sleeper before re-checking gen: the master
+			// checks sleepers after bumping gen, so one of the two sides
+			// is guaranteed to see the other (no lost wakeup).
+			p.sleepers.Add(1)
+			g = p.gen.Load()
+			if g == lastGen && !p.closed.Load() {
+				p.cond.Wait()
+				g = p.gen.Load()
+			}
+			p.sleepers.Add(-1)
+			p.mu.Unlock()
+		}
+		lastGen = g
+		job := *p.job.Load()
+
+		start := time.Now()
+		job(tid)
+		dur := time.Since(start)
+		p.busy[tid].Add(int64(dur))
+		if obs := p.observer.Load(); obs != nil {
+			(*obs)(tid, start, dur)
+		}
+		p.left.Add(-1)
+	}
+}
+
+// Parallel executes fn(tid) on every thread of the team, like
+// `#pragma omp parallel`. It returns after all threads have finished (the
+// implicit barrier at the end of an OpenMP parallel region).
+func (p *Pool) Parallel(fn func(tid int)) {
+	start := time.Now()
+	if p.n > 1 {
+		p.job.Store(&fn)
+		p.left.Store(int64(p.n - 1))
+		p.gen.Add(1)
+		if p.sleepers.Load() > 0 {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+	}
+
+	t0 := time.Now()
+	fn(0)
+	dur := time.Since(t0)
+	p.busy[0].Add(int64(dur))
+	if obs := p.observer.Load(); obs != nil {
+		(*obs)(0, t0, dur)
+	}
+
+	if p.n > 1 {
+		// Join: spin, yielding to let workers finish.
+		for spun := 0; p.left.Load() > 0; spun++ {
+			runtime.Gosched()
+		}
+	}
+	p.regionWall.Add(int64(time.Since(start)))
+	p.regions.Add(1)
+}
+
+// StaticRange returns the half-open index range [lo, hi) that thread tid of
+// nth threads owns under OpenMP static scheduling of n iterations.
+func StaticRange(tid, nth, n int) (lo, hi int) {
+	chunk := n / nth
+	rem := n % nth
+	if tid < rem {
+		lo = tid * (chunk + 1)
+		hi = lo + chunk + 1
+		return lo, hi
+	}
+	lo = rem*(chunk+1) + (tid-rem)*chunk
+	hi = lo + chunk
+	return lo, hi
+}
+
+// ParallelForBlock executes body(lo, hi) over a static partition of
+// [0, n) — one contiguous block per thread — with a barrier at the end,
+// like `#pragma omp parallel for schedule(static)`.
+func (p *Pool) ParallelForBlock(n int, body func(lo, hi int)) {
+	p.Parallel(func(tid int) {
+		lo, hi := StaticRange(tid, p.n, n)
+		if lo < hi {
+			body(lo, hi)
+		}
+	})
+}
+
+// ParallelFor executes body(i) for every i in [0, n) with static
+// scheduling and a trailing barrier.
+func (p *Pool) ParallelFor(n int, body func(i int)) {
+	p.ParallelForBlock(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// Counters is a snapshot of team activity since the last ResetCounters.
+// Utilization corresponds to the paper's Figure 11 measurement for the
+// OpenMP reference: time inside parallel-region bodies divided by
+// (region wall time × team size), excluding single-threaded portions.
+type Counters struct {
+	Threads   int
+	Wall      time.Duration // summed wall time of all regions
+	Busy      time.Duration // summed body time across threads
+	Regions   int64
+	PerThread []time.Duration
+}
+
+// Utilization is the ratio of productive time to total thread time across
+// all parallel regions.
+func (c Counters) Utilization() float64 {
+	den := float64(c.Wall) * float64(c.Threads)
+	if den <= 0 {
+		return 0
+	}
+	u := float64(c.Busy) / den
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+func (c Counters) String() string {
+	return fmt.Sprintf("threads=%d regionWall=%v busy=%v util=%.1f%% regions=%d",
+		c.Threads, c.Wall, c.Busy, 100*c.Utilization(), c.Regions)
+}
+
+// ResetCounters zeroes the productive-time instrumentation.
+func (p *Pool) ResetCounters() {
+	for i := range p.busy {
+		p.busy[i].Store(0)
+	}
+	p.regionWall.Store(0)
+	p.regions.Store(0)
+}
+
+// CountersSnapshot returns activity accumulated since the last ResetCounters.
+func (p *Pool) CountersSnapshot() Counters {
+	c := Counters{Threads: p.n, Regions: p.regions.Load()}
+	c.Wall = time.Duration(p.regionWall.Load())
+	c.PerThread = make([]time.Duration, p.n)
+	for i := range p.busy {
+		b := time.Duration(p.busy[i].Load())
+		c.PerThread[i] = b
+		c.Busy += b
+	}
+	return c
+}

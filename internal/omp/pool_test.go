@@ -1,0 +1,288 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestPool(t *testing.T, n int) *Pool {
+	t.Helper()
+	p := NewPool(n)
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestStaticRangeDisjointCover(t *testing.T) {
+	// Property: for any n and team size, the per-thread ranges tile [0, n)
+	// exactly (the OpenMP static-schedule contract).
+	f := func(n16 uint16, nth8 uint8) bool {
+		n := int(n16) % 5000
+		nth := int(nth8)%16 + 1
+		covered := 0
+		prevHi := 0
+		for tid := 0; tid < nth; tid++ {
+			lo, hi := StaticRange(tid, nth, n)
+			if lo != prevHi {
+				return false // ranges must be contiguous in tid order
+			}
+			if hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticRangeBalance(t *testing.T) {
+	// Chunk sizes differ by at most one.
+	for _, n := range []int{0, 1, 7, 100, 101, 999} {
+		for nth := 1; nth <= 8; nth++ {
+			min, max := n, 0
+			for tid := 0; tid < nth; tid++ {
+				lo, hi := StaticRange(tid, nth, n)
+				sz := hi - lo
+				if sz < min {
+					min = sz
+				}
+				if sz > max {
+					max = sz
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("n=%d nth=%d: chunk sizes range [%d,%d]", n, nth, min, max)
+			}
+		}
+	}
+}
+
+func TestPoolSizeClamped(t *testing.T) {
+	p := newTestPool(t, 0)
+	if p.Threads() != 1 {
+		t.Fatalf("Threads() = %d, want 1", p.Threads())
+	}
+}
+
+func TestParallelRunsAllThreads(t *testing.T) {
+	p := newTestPool(t, 4)
+	seen := make([]atomic.Int32, 4)
+	p.Parallel(func(tid int) { seen[tid].Add(1) })
+	for tid := range seen {
+		if seen[tid].Load() != 1 {
+			t.Fatalf("thread %d ran %d times, want 1", tid, seen[tid].Load())
+		}
+	}
+}
+
+func TestParallelIsABarrier(t *testing.T) {
+	p := newTestPool(t, 4)
+	var n atomic.Int64
+	p.Parallel(func(tid int) {
+		for i := 0; i < 100000; i++ {
+			_ = i
+		}
+		n.Add(1)
+	})
+	if n.Load() != 4 {
+		t.Fatalf("Parallel returned with %d of 4 threads done", n.Load())
+	}
+}
+
+func TestParallelForSums(t *testing.T) {
+	p := newTestPool(t, 3)
+	n := 10000
+	out := make([]int64, n)
+	p.ParallelFor(n, func(i int) { out[i] = int64(i) * 2 })
+	for i, v := range out {
+		if v != int64(i)*2 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestParallelForBlockCoversOnce(t *testing.T) {
+	p := newTestPool(t, 4)
+	for _, n := range []int{0, 1, 3, 4, 5, 1000} {
+		hits := make([]atomic.Int32, n)
+		p.ParallelForBlock(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestManyConsecutiveRegions(t *testing.T) {
+	// Back-to-back dispatch stress: the spin/park handoff must not lose a
+	// region or deadlock.
+	p := newTestPool(t, 4)
+	var n atomic.Int64
+	const regions = 5000
+	for r := 0; r < regions; r++ {
+		p.Parallel(func(tid int) { n.Add(1) })
+	}
+	if n.Load() != regions*4 {
+		t.Fatalf("executed %d thread-bodies, want %d", n.Load(), regions*4)
+	}
+}
+
+func TestCountersAccumulateAndReset(t *testing.T) {
+	p := newTestPool(t, 2)
+	p.ResetCounters()
+	const regions = 10
+	for r := 0; r < regions; r++ {
+		p.ParallelFor(100000, func(i int) { _ = i * i })
+	}
+	c := p.CountersSnapshot()
+	if c.Regions != regions {
+		t.Errorf("regions = %d, want %d", c.Regions, regions)
+	}
+	if c.Busy <= 0 || c.Wall <= 0 {
+		t.Errorf("busy/wall not accumulated: %+v", c)
+	}
+	if u := c.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("utilization %v out of (0,1]", u)
+	}
+	if len(c.PerThread) != 2 {
+		t.Errorf("per-thread slice len %d", len(c.PerThread))
+	}
+	p.ResetCounters()
+	c = p.CountersSnapshot()
+	if c.Regions != 0 || c.Busy != 0 || c.Wall != 0 {
+		t.Errorf("counters not reset: %+v", c)
+	}
+}
+
+func TestUtilizationZeroWhenEmpty(t *testing.T) {
+	c := Counters{Threads: 4}
+	if c.Utilization() != 0 {
+		t.Fatal("empty counters should report zero utilization")
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	p := newTestPool(t, 2)
+	p.ParallelFor(10, func(i int) {})
+	if s := p.CountersSnapshot().String(); s == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func TestSingleThreadPoolRunsInline(t *testing.T) {
+	p := newTestPool(t, 1)
+	var tids []int
+	p.Parallel(func(tid int) { tids = append(tids, tid) })
+	if len(tids) != 1 || tids[0] != 0 {
+		t.Fatalf("single-thread region ran %v", tids)
+	}
+}
+
+func TestParallelSharedWrite(t *testing.T) {
+	// Threads writing disjoint static ranges must not race (checked under
+	// -race) and must produce a complete result.
+	p := newTestPool(t, 4)
+	n := 4096
+	data := make([]float64, n)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// concurrent reader of an unrelated variable to exercise -race
+		_ = len(data)
+	}()
+	p.ParallelForBlock(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] = float64(i)
+		}
+	})
+	wg.Wait()
+	for i, v := range data {
+		if v != float64(i) {
+			t.Fatalf("data[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestWorkersParkAndWakeAfterIdle(t *testing.T) {
+	// Let the team exhaust its spin budget and park, then dispatch again:
+	// the condvar wakeup path must not lose the region.
+	p := newTestPool(t, 3)
+	var n atomic.Int64
+	p.Parallel(func(tid int) { n.Add(1) })
+	time.Sleep(100 * time.Millisecond) // workers park
+	p.Parallel(func(tid int) { n.Add(1) })
+	if n.Load() != 6 {
+		t.Fatalf("ran %d thread-bodies, want 6", n.Load())
+	}
+}
+
+func TestCloseWhileParked(t *testing.T) {
+	p := NewPool(3)
+	p.Parallel(func(tid int) {})
+	time.Sleep(100 * time.Millisecond) // park
+	p.Close()                          // must wake and join parked workers
+}
+
+func TestPoolObserver(t *testing.T) {
+	p := newTestPool(t, 2)
+	var spans atomic.Int64
+	p.SetObserver(func(tid int, start time.Time, dur time.Duration) {
+		if tid < 0 || tid >= 2 {
+			t.Errorf("tid %d out of range", tid)
+		}
+		spans.Add(1)
+	})
+	const regions = 5
+	for i := 0; i < regions; i++ {
+		p.Parallel(func(tid int) {})
+	}
+	if spans.Load() != 2*regions {
+		t.Fatalf("observer saw %d spans, want %d", spans.Load(), 2*regions)
+	}
+	p.SetObserver(nil)
+	before := spans.Load()
+	p.Parallel(func(tid int) {})
+	if spans.Load() != before {
+		t.Fatal("cleared observer still invoked")
+	}
+}
+
+func TestUtilizationClamp(t *testing.T) {
+	c := Counters{Threads: 1, Wall: time.Millisecond, Busy: 2 * time.Millisecond}
+	if c.Utilization() != 1 {
+		t.Fatalf("utilization must clamp at 1, got %v", c.Utilization())
+	}
+}
+
+func TestDynamicZeroLength(t *testing.T) {
+	p := newTestPool(t, 2)
+	p.ParallelForDynamic(0, 8, func(lo, hi int) { t.Error("body ran for n=0") })
+	p.ParallelForGuided(0, 8, func(lo, hi int) { t.Error("body ran for n=0") })
+}
+
+func TestDynamicChunkClamped(t *testing.T) {
+	p := newTestPool(t, 2)
+	hits := make([]atomic.Int32, 10)
+	p.ParallelForDynamic(10, 0, func(lo, hi int) { // chunk < 1 clamps to 1
+		for i := lo; i < hi; i++ {
+			hits[i].Add(1)
+		}
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d hit %d times", i, hits[i].Load())
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package omp
+
+import "sync/atomic"
+
+// Work-sharing schedules beyond static: the dynamic and guided loop
+// schedules of OpenMP. The LULESH reference uses static scheduling
+// everywhere (its loops are uniform), but the region-wise EOS work is
+// imbalanced across *loops*, not within them — these schedules let the
+// harness demonstrate that intra-loop dynamic scheduling does not recover
+// what the task backend gains, which is the paper's point: the imbalance
+// LULESH exposes lies across loop boundaries, where OpenMP cannot see it.
+
+// ParallelForDynamic executes body over [0, n) like
+// `#pragma omp parallel for schedule(dynamic, chunk)`: threads grab
+// fixed-size chunks from a shared counter until the range is exhausted.
+func (p *Pool) ParallelForDynamic(n, chunk int, body func(lo, hi int)) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	p.Parallel(func(tid int) {
+		for {
+			lo := int(next.Add(int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+	})
+}
+
+// ParallelForGuided executes body over [0, n) like
+// `#pragma omp parallel for schedule(guided, minChunk)`: chunk sizes start
+// at remaining/threads and decay exponentially to minChunk.
+func (p *Pool) ParallelForGuided(n, minChunk int, body func(lo, hi int)) {
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	var next atomic.Int64
+	p.Parallel(func(tid int) {
+		for {
+			lo := int(next.Load())
+			if lo >= n {
+				return
+			}
+			remaining := n - lo
+			chunk := remaining / p.n
+			if chunk < minChunk {
+				chunk = minChunk
+			}
+			// Claim [lo, lo+chunk) if no one moved the cursor meanwhile.
+			if !next.CompareAndSwap(int64(lo), int64(lo+chunk)) {
+				continue
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDynamicCoversOnce(t *testing.T) {
+	p := newTestPool(t, 4)
+	f := func(n16 uint16, c8 uint8) bool {
+		n := int(n16) % 3000
+		chunk := int(c8)
+		hits := make([]atomic.Int32, n)
+		p.ParallelForDynamic(n, chunk, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDynamicChunkBound(t *testing.T) {
+	p := newTestPool(t, 2)
+	p.ParallelForDynamic(100, 7, func(lo, hi int) {
+		if hi-lo > 7 || hi-lo < 1 {
+			t.Errorf("chunk [%d,%d) violates size 7", lo, hi)
+		}
+	})
+}
+
+func TestDynamicBalancesSkewedWork(t *testing.T) {
+	// One heavy iteration early: dynamic scheduling should let the other
+	// threads absorb the rest, finishing near max(heavy, rest/threads).
+	p := newTestPool(t, 2)
+	const n = 64
+	start := time.Now()
+	p.ParallelForDynamic(n, 1, func(lo, hi int) {
+		if lo == 0 {
+			time.Sleep(20 * time.Millisecond)
+			return
+		}
+		time.Sleep(500 * time.Microsecond)
+	})
+	elapsed := time.Since(start)
+	// Static would serialize ~32 light iterations behind the heavy one on
+	// its thread only if colocated; dynamic should finish in roughly
+	// max(20ms, 63*0.5ms) + slack.
+	if elapsed > 120*time.Millisecond {
+		t.Errorf("dynamic schedule too slow for skewed work: %v", elapsed)
+	}
+}
+
+func TestGuidedCoversOnce(t *testing.T) {
+	p := newTestPool(t, 4)
+	for _, n := range []int{0, 1, 5, 100, 4096} {
+		hits := make([]atomic.Int32, n)
+		p.ParallelForGuided(n, 4, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestGuidedSingleThreadTakesAll(t *testing.T) {
+	// With one thread the first chunk is remaining/threads = n: guided
+	// degenerates to a single chunk, like OpenMP.
+	p := newTestPool(t, 1)
+	var sizes []int
+	p.ParallelForGuided(1000, 8, func(lo, hi int) {
+		sizes = append(sizes, hi-lo)
+	})
+	if len(sizes) != 1 || sizes[0] != 1000 {
+		t.Fatalf("guided on one thread made chunks %v, want [1000]", sizes)
+	}
+}
+
+func TestGuidedChunksDecay(t *testing.T) {
+	p := newTestPool(t, 4)
+	var mu sync.Mutex
+	var sizes []int
+	const n = 4096
+	p.ParallelForGuided(n, 8, func(lo, hi int) {
+		mu.Lock()
+		sizes = append(sizes, hi-lo)
+		mu.Unlock()
+	})
+	total, max := 0, 0
+	for _, sz := range sizes {
+		total += sz
+		if sz > max {
+			max = sz
+		}
+	}
+	if total != n {
+		t.Fatalf("chunks cover %d of %d", total, n)
+	}
+	if max > n/4 {
+		t.Fatalf("largest chunk %d exceeds remaining/threads bound %d", max, n/4)
+	}
+	if len(sizes) < 4 {
+		t.Fatalf("guided produced only %d chunks on 4 threads", len(sizes))
+	}
+}
+
+func TestGuidedMinChunkRespected(t *testing.T) {
+	p := newTestPool(t, 2)
+	p.ParallelForGuided(100, 16, func(lo, hi int) {
+		if hi-lo < 16 && hi != 100 {
+			t.Errorf("interior chunk [%d,%d) below minimum", lo, hi)
+		}
+	})
+}

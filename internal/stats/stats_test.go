@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Median() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Fatal("empty min/max sentinels wrong")
+	}
+}
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Known dataset: population sd = 2, sample sd = sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev()-want) > 1e-12 {
+		t.Fatalf("sd = %v, want %v", s.StdDev(), want)
+	}
+	if s.Median() != 4.5 {
+		t.Fatalf("median = %v", s.Median())
+	}
+}
+
+func TestSampleMedianOdd(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{9, 1, 5} {
+		s.Add(v)
+	}
+	if s.Median() != 5 {
+		t.Fatalf("median = %v", s.Median())
+	}
+}
+
+func TestSampleSingleValue(t *testing.T) {
+	var s Sample
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Min() != 3.5 || s.Max() != 3.5 ||
+		s.Median() != 3.5 || s.StdDev() != 0 {
+		t.Fatal("single-value sample stats wrong")
+	}
+}
+
+func TestSampleProperties(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			// Keep magnitudes bounded so the mean cannot overflow.
+			s.Add(math.Mod(v, 1e6))
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		return s.Min() <= s.Mean()+1e-9*math.Abs(s.Mean())+1e-300 &&
+			s.Mean() <= s.Max()+1e-9*math.Abs(s.Max())+1e-300 &&
+			s.StdDev() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("size", "runtime", "speedup")
+	tb.AddRow(45, 1.5, 2.25)
+	tb.AddRow(150, 120.25, 1.33)
+	var sb strings.Builder
+	if err := tb.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "size") || !strings.Contains(lines[0], "speedup") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "45") || !strings.Contains(lines[2], "2.25") {
+		t.Fatalf("row wrong: %q", lines[2])
+	}
+	// All lines equally wide (alignment).
+	for _, l := range lines[1:] {
+		if len(l) != len(lines[0]) {
+			t.Fatalf("misaligned table:\n%s", out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow(1, "x")
+	tb.AddRow(2.5, "y")
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,x\n2.5,y\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("v")
+	tb.AddRow(0.000123456)
+	var sb strings.Builder
+	if err := tb.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0.0001235") {
+		t.Fatalf("float formatting: %q", sb.String())
+	}
+}

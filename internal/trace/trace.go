@@ -1,0 +1,153 @@
+// Package trace records task and region execution spans and exports them
+// in the Chrome trace-event format (chrome://tracing, Perfetto). It plays
+// the role APEX plays for HPX: making the scheduling behaviour behind the
+// utilization numbers visible — one timeline row per worker, one slice per
+// task or parallel-region body, with the idle gaps that Figure 11
+// quantifies showing up as white space.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one completed execution span.
+type Event struct {
+	Name  string
+	TID   int // worker / thread id (one timeline row each)
+	Start time.Time
+	Dur   time.Duration
+}
+
+// Recorder accumulates spans from concurrent workers.
+type Recorder struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	events []Event
+	limit  int
+}
+
+// NewRecorder creates a recorder. limit bounds the number of stored events
+// (0 = DefaultLimit); further spans are dropped, keeping tracing safe on
+// long runs.
+func NewRecorder(limit int) *Recorder {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	return &Recorder{epoch: time.Now(), limit: limit}
+}
+
+// DefaultLimit is the default event cap.
+const DefaultLimit = 1 << 20
+
+// Record stores one completed span.
+func (r *Recorder) Record(name string, tid int, start time.Time, dur time.Duration) {
+	r.mu.Lock()
+	if len(r.events) < r.limit {
+		r.events = append(r.events, Event{Name: name, TID: tid, Start: start, Dur: dur})
+	}
+	r.mu.Unlock()
+}
+
+// Do runs fn and records it as a span.
+func (r *Recorder) Do(name string, tid int, fn func()) {
+	start := time.Now()
+	fn()
+	r.Record(name, tid, start, time.Since(start))
+}
+
+// Len reports the number of stored events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a snapshot of the stored events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Reset drops all stored events and restarts the epoch.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = r.events[:0]
+	r.epoch = time.Now()
+	r.mu.Unlock()
+}
+
+// chromeEvent is the trace-event JSON shape ("X" = complete event).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds since epoch
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// WriteChromeTrace emits the stored events as a Chrome trace-event JSON
+// array, loadable by chrome://tracing and Perfetto.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	r.mu.Lock()
+	evs := make([]chromeEvent, len(r.events))
+	for i, e := range r.events {
+		evs[i] = chromeEvent{
+			Name: e.Name,
+			Ph:   "X",
+			Ts:   float64(e.Start.Sub(r.epoch)) / float64(time.Microsecond),
+			Dur:  float64(e.Dur) / float64(time.Microsecond),
+			PID:  0,
+			TID:  e.TID,
+		}
+	}
+	r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(evs)
+}
+
+// Summary aggregates the recorded spans per name.
+type Summary struct {
+	Name  string
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Summarize groups events by name, ordered by descending total time.
+func (r *Recorder) Summarize() []Summary {
+	r.mu.Lock()
+	byName := map[string]*Summary{}
+	var order []string
+	for _, e := range r.events {
+		s, ok := byName[e.Name]
+		if !ok {
+			s = &Summary{Name: e.Name}
+			byName[e.Name] = s
+			order = append(order, e.Name)
+		}
+		s.Count++
+		s.Total += e.Dur
+		if e.Dur > s.Max {
+			s.Max = e.Dur
+		}
+	}
+	r.mu.Unlock()
+	out := make([]Summary, 0, len(order))
+	for _, n := range order {
+		out = append(out, *byName[n])
+	}
+	// Insertion sort by descending total (tiny n).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Total > out[j-1].Total; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

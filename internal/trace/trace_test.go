@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndLen(t *testing.T) {
+	r := NewRecorder(0)
+	now := time.Now()
+	r.Record("a", 0, now, time.Millisecond)
+	r.Record("b", 1, now, 2*time.Millisecond)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	evs := r.Events()
+	if evs[0].Name != "a" || evs[1].TID != 1 {
+		t.Fatalf("events wrong: %+v", evs)
+	}
+}
+
+func TestDoRecordsSpan(t *testing.T) {
+	r := NewRecorder(0)
+	ran := false
+	r.Do("work", 3, func() {
+		ran = true
+		time.Sleep(2 * time.Millisecond)
+	})
+	if !ran {
+		t.Fatal("Do did not run fn")
+	}
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Name != "work" || evs[0].TID != 3 {
+		t.Fatalf("span wrong: %+v", evs)
+	}
+	if evs[0].Dur < time.Millisecond {
+		t.Fatalf("duration %v too small", evs[0].Dur)
+	}
+}
+
+func TestLimitDropsExcess(t *testing.T) {
+	r := NewRecorder(3)
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		r.Record("x", 0, now, 0)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("limit not applied: %d events", r.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record("x", 0, time.Now(), 0)
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset did not clear events")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record("t", g, time.Now(), time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("recorded %d of 800", r.Len())
+	}
+}
+
+func TestChromeTraceJSONValid(t *testing.T) {
+	r := NewRecorder(0)
+	base := time.Now()
+	r.Record("stress", 0, base, 500*time.Microsecond)
+	r.Record("hourglass", 1, base.Add(time.Millisecond), 250*time.Microsecond)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(evs) != 2 {
+		t.Fatalf("%d events in trace", len(evs))
+	}
+	if evs[0]["ph"] != "X" || evs[0]["name"] != "stress" {
+		t.Fatalf("event shape wrong: %v", evs[0])
+	}
+	if evs[1]["dur"].(float64) != 250 {
+		t.Fatalf("dur not in microseconds: %v", evs[1]["dur"])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := NewRecorder(0)
+	now := time.Now()
+	r.Record("eos", 0, now, 5*time.Millisecond)
+	r.Record("stress", 0, now, 2*time.Millisecond)
+	r.Record("eos", 1, now, 3*time.Millisecond)
+	s := r.Summarize()
+	if len(s) != 2 {
+		t.Fatalf("%d summaries", len(s))
+	}
+	if s[0].Name != "eos" || s[0].Count != 2 || s[0].Total != 8*time.Millisecond {
+		t.Fatalf("summary[0] = %+v", s[0])
+	}
+	if s[0].Max != 5*time.Millisecond {
+		t.Fatalf("max = %v", s[0].Max)
+	}
+	if s[1].Name != "stress" {
+		t.Fatalf("ordering wrong: %+v", s)
+	}
+}

@@ -1,0 +1,54 @@
+// Package vtk writes simulation snapshots in the legacy VTK structured-grid
+// format, the analog of the reference implementation's VisIt plot dump
+// (its -v flag). Files load in ParaView/VisIt: node coordinates and
+// velocities as point data, energy, pressure, artificial viscosity and
+// relative volume as cell data.
+package vtk
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"lulesh/internal/domain"
+)
+
+// Write emits the domain's current state as a legacy-format VTK
+// structured grid.
+func Write(w io.Writer, d *domain.Domain) error {
+	bw := bufio.NewWriter(w)
+	m := d.Mesh
+
+	fmt.Fprintf(bw, "# vtk DataFile Version 3.0\n")
+	fmt.Fprintf(bw, "LULESH t=%.6e cycle=%d\n", d.Time, d.Cycle)
+	fmt.Fprintf(bw, "ASCII\n")
+	fmt.Fprintf(bw, "DATASET STRUCTURED_GRID\n")
+	fmt.Fprintf(bw, "DIMENSIONS %d %d %d\n", m.Nx+1, m.Ny+1, m.Nz+1)
+
+	fmt.Fprintf(bw, "POINTS %d double\n", m.NumNode)
+	for n := 0; n < m.NumNode; n++ {
+		fmt.Fprintf(bw, "%.17g %.17g %.17g\n", d.X[n], d.Y[n], d.Z[n])
+	}
+
+	fmt.Fprintf(bw, "CELL_DATA %d\n", m.NumElem)
+	writeCellScalars(bw, "energy", d.E)
+	writeCellScalars(bw, "pressure", d.P)
+	writeCellScalars(bw, "artificial_viscosity", d.Q)
+	writeCellScalars(bw, "relative_volume", d.V)
+
+	fmt.Fprintf(bw, "POINT_DATA %d\n", m.NumNode)
+	fmt.Fprintf(bw, "VECTORS velocity double\n")
+	for n := 0; n < m.NumNode; n++ {
+		fmt.Fprintf(bw, "%.17g %.17g %.17g\n", d.Xd[n], d.Yd[n], d.Zd[n])
+	}
+
+	return bw.Flush()
+}
+
+func writeCellScalars(w io.Writer, name string, vals []float64) {
+	fmt.Fprintf(w, "SCALARS %s double 1\n", name)
+	fmt.Fprintf(w, "LOOKUP_TABLE default\n")
+	for _, v := range vals {
+		fmt.Fprintf(w, "%.17g\n", v)
+	}
+}

@@ -1,0 +1,122 @@
+package vtk
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lulesh/internal/domain"
+)
+
+func TestWriteStructure(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(3))
+	var sb strings.Builder
+	if err := Write(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# vtk DataFile Version 3.0",
+		"DATASET STRUCTURED_GRID",
+		"DIMENSIONS 4 4 4",
+		fmt.Sprintf("POINTS %d double", d.NumNode()),
+		fmt.Sprintf("CELL_DATA %d", d.NumElem()),
+		"SCALARS energy double 1",
+		"SCALARS pressure double 1",
+		"SCALARS artificial_viscosity double 1",
+		"SCALARS relative_volume double 1",
+		fmt.Sprintf("POINT_DATA %d", d.NumNode()),
+		"VECTORS velocity double",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in VTK output", want)
+		}
+	}
+}
+
+func TestWriteValuesRoundTrip(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(2))
+	d.E[3] = 42.5
+	var sb strings.Builder
+	if err := Write(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	// Parse the energy block and check element 3.
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var energies []float64
+	inEnergy := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "SCALARS energy") {
+			inEnergy = true
+			sc.Scan() // LOOKUP_TABLE
+			continue
+		}
+		if inEnergy {
+			if strings.HasPrefix(line, "SCALARS") {
+				break
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(line), 64)
+			if err != nil {
+				t.Fatalf("bad energy line %q: %v", line, err)
+			}
+			energies = append(energies, v)
+			if len(energies) == d.NumElem() {
+				break
+			}
+		}
+	}
+	if len(energies) != d.NumElem() {
+		t.Fatalf("parsed %d energies, want %d", len(energies), d.NumElem())
+	}
+	if energies[3] != 42.5 {
+		t.Fatalf("energy[3] = %v", energies[3])
+	}
+	if energies[0] != d.E[0] {
+		t.Fatalf("energy[0] = %v, want %v", energies[0], d.E[0])
+	}
+}
+
+func TestWritePointCount(t *testing.T) {
+	d := domain.NewSedov(domain.DefaultConfig(2))
+	var sb strings.Builder
+	if err := Write(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(sb.String(), "\n")
+	count := 0
+	inPoints := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "POINTS") {
+			inPoints = true
+			continue
+		}
+		if inPoints {
+			if strings.HasPrefix(l, "CELL_DATA") {
+				break
+			}
+			if strings.TrimSpace(l) != "" {
+				count++
+			}
+		}
+	}
+	if count != d.NumNode() {
+		t.Fatalf("wrote %d point lines, want %d", count, d.NumNode())
+	}
+}
+
+func TestWriteBoxDomain(t *testing.T) {
+	d := domain.NewSedovBox(domain.BoxConfig{
+		Nx: 2, Ny: 3, Nz: 4, NumReg: 1, DepositEnergy: true,
+	})
+	var sb strings.Builder
+	if err := Write(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "DIMENSIONS 3 4 5") {
+		t.Fatal("box dimensions wrong in VTK header")
+	}
+}
