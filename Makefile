@@ -2,9 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench verify figures examples clean
+.PHONY: all build test race fuzz cover bench verify figures examples clean
 
-all: build test
+# The race lane is a first-class gate: all runtime/scheduler changes must
+# survive the race detector, not just the plain test run.
+all: build test race
 
 build:
 	$(GO) build ./...
@@ -15,6 +17,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Longer randomized exploration of the work-stealing deque; the checked-in
+# seed corpus already runs (in milliseconds) as part of `make test`.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzDeque -fuzztime=30s ./internal/amt/
 
 cover:
 	$(GO) test -cover ./...

@@ -3,7 +3,9 @@
 // scheduler (internal/amt). It reports the raw synchronization costs that
 // explain the application-level results — the cost of one fork-join
 // dispatch (what the OpenMP reference pays per loop) versus the cost of
-// task spawning, chaining and when_all joins (what the task backend pays).
+// task spawning, chaining and when_all joins (what the task backend pays)
+// — together with the heap allocations each dispatch performs, since the
+// pooled-frame fast path lives or dies by allocs/op.
 package main
 
 import (
@@ -24,15 +26,22 @@ func main() {
 	fmt.Printf("runtime microbenchmarks, %d threads, %d ops each\n\n", *workers, *n)
 
 	bench := func(name string, once func()) {
-		// Warm up, then measure.
+		// Warm up (also populates the frame pool), then measure both wall
+		// time and the caller-side allocation count via Mallocs deltas.
 		for i := 0; i < 100; i++ {
 			once()
 		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		t0 := time.Now()
 		for i := 0; i < *n; i++ {
 			once()
 		}
-		fmt.Printf("  %-34s %v/op\n", name, time.Since(t0)/time.Duration(*n))
+		d := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		allocs := float64(m1.Mallocs-m0.Mallocs) / float64(*n)
+		fmt.Printf("  %-34s %v/op  %6.1f allocs/op\n",
+			name, d/time.Duration(*n), allocs)
 	}
 
 	p := omp.NewPool(*workers)
@@ -41,6 +50,9 @@ func main() {
 	})
 	bench("omp: empty parallel-for (1k iters)", func() {
 		p.ParallelFor(1000, func(i int) {})
+	})
+	bench("omp: static region (1k iters)", func() {
+		p.ParallelStatic(1000, func(tid, lo, hi int) {})
 	})
 	p.Close()
 
@@ -65,12 +77,22 @@ func main() {
 		}
 		amt.AfterAll(s, fs).Get()
 	})
+	fns := make([]func(), 2**workers)
+	for i := range fns {
+		fns[i] = func() {}
+	}
+	bench("amt: batched fork/join (RunBatch)", func() {
+		amt.AfterAll(s, amt.RunBatch(s, fns)).Get()
+	})
 	bench("amt: for_each (1k iters, chunked)", func() {
 		amt.ForEach(s, 0, 1000, 128, func(i int) {}).Get()
 	})
+	bench("amt: for_each (sub-grain, inline)", func() {
+		amt.ForEach(s, 0, 100, 128, func(i int) {}).Get()
+	})
 
 	// Fire-and-forget throughput: how many empty tasks per second the
-	// scheduler drains.
+	// scheduler drains, submitted one at a time versus in batches of 16.
 	const burst = 200000
 	t0 := time.Now()
 	for i := 0; i < burst; i++ {
@@ -79,6 +101,19 @@ func main() {
 	s.Quiesce()
 	d := time.Since(t0)
 	fmt.Printf("  %-34s %v/op (%.1fM tasks/s)\n", "amt: fire-and-forget throughput",
+		d/time.Duration(burst), float64(burst)/d.Seconds()/1e6)
+
+	batch := make([]amt.Task, 16)
+	for i := range batch {
+		batch[i] = func() {}
+	}
+	t0 = time.Now()
+	for i := 0; i < burst/len(batch); i++ {
+		s.SpawnBatch(batch)
+	}
+	s.Quiesce()
+	d = time.Since(t0)
+	fmt.Printf("  %-34s %v/op (%.1fM tasks/s)\n", "amt: batched spawn throughput",
 		d/time.Duration(burst), float64(burst)/d.Seconds()/1e6)
 
 	c := s.CountersSnapshot()

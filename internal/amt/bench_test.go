@@ -1,13 +1,22 @@
 package amt
 
-import "testing"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
 
 // Microbenchmarks of the runtime primitives that set the task backend's
-// overhead floor. Run with `go test -bench=. ./internal/amt/`.
+// overhead floor. Run with `go test -bench=. -benchmem ./internal/amt/`.
+// Every benchmark reports allocations so a regression on the dispatch
+// path's alloc-free invariant (pooled frames, latch joins) fails review
+// visibly.
 
 func BenchmarkSpawnThroughput(b *testing.B) {
 	s := NewScheduler(WithWorkers(2))
 	defer s.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Spawn(func() {})
@@ -15,9 +24,25 @@ func BenchmarkSpawnThroughput(b *testing.B) {
 	s.Quiesce()
 }
 
+func BenchmarkSpawnBatchThroughput(b *testing.B) {
+	s := NewScheduler(WithWorkers(2))
+	defer s.Close()
+	ts := make([]Task, 16)
+	for i := range ts {
+		ts[i] = func() {}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SpawnBatch(ts)
+	}
+	s.Quiesce()
+}
+
 func BenchmarkRunGetLatency(b *testing.B) {
 	s := NewScheduler(WithWorkers(2))
 	defer s.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Run(s, func() {}).Get()
@@ -27,6 +52,7 @@ func BenchmarkRunGetLatency(b *testing.B) {
 func BenchmarkThenChain(b *testing.B) {
 	s := NewScheduler(WithWorkers(2))
 	defer s.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f := Run(s, func() {})
@@ -41,6 +67,7 @@ func BenchmarkAfterAllJoin(b *testing.B) {
 	s := NewScheduler(WithWorkers(2))
 	defer s.Close()
 	fs := make([]*Void, 0, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fs = fs[:0]
@@ -51,10 +78,25 @@ func BenchmarkAfterAllJoin(b *testing.B) {
 	}
 }
 
+func BenchmarkRunBatchJoin(b *testing.B) {
+	s := NewScheduler(WithWorkers(2))
+	defer s.Close()
+	fns := make([]func(), 16)
+	for i := range fns {
+		fns[i] = func() {}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AfterAll(s, RunBatch(s, fns)).Get()
+	}
+}
+
 func BenchmarkForEachChunked(b *testing.B) {
 	s := NewScheduler(WithWorkers(2))
 	defer s.Close()
 	data := make([]float64, 1<<16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ForEachBlock(s, 0, len(data), 4096, func(lo, hi int) {
@@ -62,5 +104,96 @@ func BenchmarkForEachChunked(b *testing.B) {
 				data[j] += 1
 			}
 		}).Get()
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	s := NewScheduler(WithWorkers(2))
+	defer s.Close()
+	data := make([]float64, 1<<13)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ForEach(s, 0, len(data), 1024, func(j int) {
+			data[j] += 1
+		}).Get()
+	}
+}
+
+func BenchmarkForEachInlineSubGrain(b *testing.B) {
+	s := NewScheduler(WithWorkers(2))
+	defer s.Close()
+	data := make([]float64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ForEachBlock(s, 0, len(data), 4096, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				data[j] += 1
+			}
+		}).Get()
+	}
+}
+
+func BenchmarkReduce(b *testing.B) {
+	s := NewScheduler(WithWorkers(2))
+	defer s.Close()
+	data := make([]float64, 1<<13)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Reduce(s, 0, len(data), 1024, 0.0,
+			func(acc float64, j int) float64 { return acc + data[j] },
+			func(x, y float64) float64 { return x + y }).Get()
+	}
+}
+
+// TestQuiesceRacesConcurrentSpawn stresses the Quiesce/Spawn interplay:
+// Quiesce must never hang, never observe a negative inflight count, and a
+// final Quiesce after the producer joins must account for every task —
+// the invariant the batched submission path (counts before frames) exists
+// to protect. Run under -race as part of the race lane.
+func TestQuiesceRacesConcurrentSpawn(t *testing.T) {
+	s := NewScheduler(WithWorkers(2))
+	defer s.Close()
+	var n atomic.Int64
+	const spawns = 3000
+	batch := make([]Task, 8)
+	for i := range batch {
+		batch[i] = func() { n.Add(1) }
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < spawns; i++ {
+			if i%3 == 0 {
+				s.SpawnBatch(batch)
+			} else {
+				s.Spawn(func() { n.Add(1) })
+			}
+			if i%64 == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		s.Quiesce()
+		if got := s.Inflight(); got < 0 {
+			t.Fatalf("inflight went negative: %d", got)
+		}
+	}
+	wg.Wait()
+	s.Quiesce()
+	batches := int64((spawns + 2) / 3)
+	want := batches*int64(len(batch)) + (int64(spawns) - batches)
+	if got := n.Load(); got != want {
+		t.Fatalf("after final Quiesce ran %d tasks, want %d", got, want)
+	}
+	if got := s.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d after Quiesce, want 0", got)
 	}
 }

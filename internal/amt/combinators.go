@@ -15,11 +15,11 @@ func Dataflow[A, B, R any](s *Scheduler, fa *Future[A], fb *Future[B],
 	fn func(A, B) R) *Future[R] {
 
 	out := newFuture[R](s)
-	cd := &countdown{left: 2, done: func() {
+	l := newLatch(2, func() {
 		s.Spawn(func() { out.set(fn(fa.val, fb.val)) })
-	}}
-	fa.onReady(cd.fire)
-	fb.onReady(cd.fire)
+	})
+	fa.onReady(l.arrive)
+	fb.onReady(l.arrive)
 	return out
 }
 
@@ -28,12 +28,12 @@ func Dataflow3[A, B, C, R any](s *Scheduler, fa *Future[A], fb *Future[B],
 	fc *Future[C], fn func(A, B, C) R) *Future[R] {
 
 	out := newFuture[R](s)
-	cd := &countdown{left: 3, done: func() {
+	l := newLatch(3, func() {
 		s.Spawn(func() { out.set(fn(fa.val, fb.val, fc.val)) })
-	}}
-	fa.onReady(cd.fire)
-	fb.onReady(cd.fire)
-	fc.onReady(cd.fire)
+	})
+	fa.onReady(l.arrive)
+	fb.onReady(l.arrive)
+	fc.onReady(l.arrive)
 	return out
 }
 

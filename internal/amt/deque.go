@@ -2,34 +2,69 @@ package amt
 
 import "sync"
 
-// deque is a mutex-protected double-ended task queue backed by a growable
-// ring buffer. The owner worker pushes and pops at the bottom; thieves pop
-// from the top. LULESH tasks are coarse (tens of microseconds to
-// milliseconds), so a short critical section per operation is negligible
+// frame is the unit of queued work: either a plain task body (fn) or a
+// block of a parallel algorithm (body over [lo, hi)) with an optional
+// completion latch. Frames are pooled so the steady-state dispatch path of
+// a parallel region performs no per-chunk heap allocation — the analog of
+// HPX recycling its task descriptors.
+type frame struct {
+	fn     Task             // plain task body (Spawn, SpawnHigh, SpawnBatch)
+	body   func(lo, hi int) // block body (ForEachBlock, Reduce)
+	lo, hi int              // block bounds when body is set
+	latch  *latch           // fired after the body returns, if non-nil
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// newFrame returns a cleared frame from the pool.
+func newFrame() *frame { return framePool.Get().(*frame) }
+
+// run executes the frame's body, recycles the frame, and then fires the
+// latch. The frame is returned to the pool before the latch fires so a
+// completion callback that spawns more work can reuse it immediately; the
+// frame must not be touched after run returns.
+func (f *frame) run() {
+	if f.fn != nil {
+		f.fn()
+	} else {
+		f.body(f.lo, f.hi)
+	}
+	l := f.latch
+	f.fn, f.body, f.latch = nil, nil, nil
+	framePool.Put(f)
+	if l != nil {
+		l.arrive()
+	}
+}
+
+// deque is a mutex-protected double-ended queue of task frames backed by a
+// growable ring buffer. The owner worker pushes and pops at the bottom;
+// thieves pop from the top. LULESH tasks are coarse (tens of microseconds
+// to milliseconds), so a short critical section per operation is negligible
 // next to task bodies while staying trivially correct under the race
 // detector.
 type deque struct {
 	mu   sync.Mutex
-	buf  []Task
+	buf  []*frame
 	head int // index of the oldest element (steal end)
 	n    int // number of elements
 }
 
 const dequeMinCap = 64
 
-// pushBottom appends t at the bottom (the owner end).
-func (d *deque) pushBottom(t Task) {
+// pushBottom appends f at the bottom (the owner end).
+func (d *deque) pushBottom(f *frame) {
 	d.mu.Lock()
 	if d.n == len(d.buf) {
 		d.grow()
 	}
-	d.buf[(d.head+d.n)%len(d.buf)] = t
+	d.buf[(d.head+d.n)%len(d.buf)] = f
 	d.n++
 	d.mu.Unlock()
 }
 
-// popBottom removes and returns the most recently pushed task, or nil.
-func (d *deque) popBottom() Task {
+// popBottom removes and returns the most recently pushed frame, or nil.
+func (d *deque) popBottom() *frame {
 	d.mu.Lock()
 	if d.n == 0 {
 		d.mu.Unlock()
@@ -37,28 +72,28 @@ func (d *deque) popBottom() Task {
 	}
 	d.n--
 	i := (d.head + d.n) % len(d.buf)
-	t := d.buf[i]
+	f := d.buf[i]
 	d.buf[i] = nil
 	d.mu.Unlock()
-	return t
+	return f
 }
 
-// popTop removes and returns the oldest task (the steal end), or nil.
-func (d *deque) popTop() Task {
+// popTop removes and returns the oldest frame (the steal end), or nil.
+func (d *deque) popTop() *frame {
 	d.mu.Lock()
 	if d.n == 0 {
 		d.mu.Unlock()
 		return nil
 	}
-	t := d.buf[d.head]
+	f := d.buf[d.head]
 	d.buf[d.head] = nil
 	d.head = (d.head + 1) % len(d.buf)
 	d.n--
 	d.mu.Unlock()
-	return t
+	return f
 }
 
-// size reports the current number of queued tasks.
+// size reports the current number of queued frames.
 func (d *deque) size() int {
 	d.mu.Lock()
 	n := d.n
@@ -71,7 +106,7 @@ func (d *deque) grow() {
 	if newCap < dequeMinCap {
 		newCap = dequeMinCap
 	}
-	nb := make([]Task, newCap)
+	nb := make([]*frame, newCap)
 	for i := 0; i < d.n; i++ {
 		nb[i] = d.buf[(d.head+i)%len(d.buf)]
 	}

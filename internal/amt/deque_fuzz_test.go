@@ -1,0 +1,82 @@
+package amt
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// FuzzDeque drives randomized concurrent push/pop/steal schedules against
+// one deque — an owner goroutine interpreting the fuzzed script against the
+// bottom end while two thieves hammer popTop — and asserts the queue's
+// fundamental safety property: every pushed frame is popped exactly once,
+// none lost, none duplicated, none invented. The seed corpus covers
+// push-only, drain-heavy, alternating, and yield-punctuated schedules; the
+// fuzzer mutates from there.
+func FuzzDeque(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0}, 80)) // push-only burst, forces grow()
+	f.Add(bytes.Repeat([]byte{0, 2}, 50))
+	f.Add(bytes.Repeat([]byte{0, 0, 2, 3}, 30))
+	f.Add([]byte{2, 2, 2, 0, 3, 0, 2, 0, 1, 1, 2, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 256 {
+			script = script[:256]
+		}
+		var d deque
+		// Each byte can push at most one frame; ids index this table.
+		hits := make([]atomic.Int32, len(script))
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		const nThieves = 2
+		for th := 0; th < nThieves; th++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if fr := d.popTop(); fr != nil {
+						hits[fr.lo].Add(1)
+						continue
+					}
+					if stop.Load() {
+						return
+					}
+					runtime.Gosched()
+				}
+			}()
+		}
+		pushes := 0
+		for _, op := range script {
+			switch op % 4 {
+			case 0, 1: // owner pushes the next frame id
+				d.pushBottom(&frame{lo: pushes})
+				pushes++
+			case 2: // owner pops its own bottom end
+				if fr := d.popBottom(); fr != nil {
+					hits[fr.lo].Add(1)
+				}
+			default: // let the thieves interleave
+				runtime.Gosched()
+			}
+		}
+		stop.Store(true)
+		wg.Wait()
+		for fr := d.popTop(); fr != nil; fr = d.popTop() {
+			hits[fr.lo].Add(1)
+		}
+		for id := 0; id < pushes; id++ {
+			if n := hits[id].Load(); n != 1 {
+				t.Fatalf("frame %d popped %d times, want exactly 1 (script %v)",
+					id, n, script)
+			}
+		}
+		for id := pushes; id < len(hits); id++ {
+			if n := hits[id].Load(); n != 0 {
+				t.Fatalf("never-pushed frame id %d popped %d times", id, n)
+			}
+		}
+	})
+}

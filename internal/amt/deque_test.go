@@ -10,14 +10,14 @@ func TestDequeLIFOForOwner(t *testing.T) {
 	var got []int
 	for i := 0; i < 10; i++ {
 		i := i
-		d.pushBottom(func() { got = append(got, i) })
+		d.pushBottom(&frame{fn: func() { got = append(got, i) }})
 	}
 	for {
 		task := d.popBottom()
 		if task == nil {
 			break
 		}
-		task()
+		task.fn()
 	}
 	for i, v := range got {
 		if v != 9-i {
@@ -31,14 +31,14 @@ func TestDequeFIFOForThief(t *testing.T) {
 	var got []int
 	for i := 0; i < 10; i++ {
 		i := i
-		d.pushBottom(func() { got = append(got, i) })
+		d.pushBottom(&frame{fn: func() { got = append(got, i) }})
 	}
 	for {
 		task := d.popTop()
 		if task == nil {
 			break
 		}
-		task()
+		task.fn()
 	}
 	for i, v := range got {
 		if v != i {
@@ -55,7 +55,7 @@ func TestDequeEmptyPops(t *testing.T) {
 	if d.popTop() != nil {
 		t.Error("popTop on empty deque should return nil")
 	}
-	d.pushBottom(func() {})
+	d.pushBottom(&frame{fn: func() {}})
 	d.popBottom()
 	if d.popTop() != nil {
 		t.Error("popTop after drain should return nil")
@@ -68,7 +68,7 @@ func TestDequeSize(t *testing.T) {
 		t.Fatalf("empty size = %d", d.size())
 	}
 	for i := 1; i <= 100; i++ {
-		d.pushBottom(func() {})
+		d.pushBottom(&frame{fn: func() {}})
 		if d.size() != i {
 			t.Fatalf("size after %d pushes = %d", i, d.size())
 		}
@@ -87,14 +87,14 @@ func TestDequeGrowthPreservesOrder(t *testing.T) {
 	var got []int
 	for i := 0; i < n; i++ {
 		i := i
-		d.pushBottom(func() { got = append(got, i) })
+		d.pushBottom(&frame{fn: func() { got = append(got, i) }})
 	}
 	for {
 		task := d.popTop()
 		if task == nil {
 			break
 		}
-		task()
+		task.fn()
 	}
 	if len(got) != n {
 		t.Fatalf("drained %d tasks, want %d", len(got), n)
@@ -118,9 +118,9 @@ func TestDequeInterleavedWraparound(t *testing.T) {
 				v := next
 				next++
 				pushed = append(pushed, v)
-				d.pushBottom(func() { popped = append(popped, v) })
+				d.pushBottom(&frame{fn: func() { popped = append(popped, v) }})
 			} else if task := d.popTop(); task != nil {
-				task()
+				task.fn()
 			}
 		}
 		for {
@@ -128,7 +128,7 @@ func TestDequeInterleavedWraparound(t *testing.T) {
 			if task == nil {
 				break
 			}
-			task()
+			task.fn()
 		}
 		if len(popped) != len(pushed) {
 			return false
@@ -147,16 +147,16 @@ func TestDequeInterleavedWraparound(t *testing.T) {
 
 func TestDequeMixedBottomTop(t *testing.T) {
 	var d deque
-	mark := func(v int, out *[]int) Task { return func() { *out = append(*out, v) } }
+	mark := func(v int, out *[]int) *frame { return &frame{fn: func() { *out = append(*out, v) }} }
 	var got []int
 	d.pushBottom(mark(1, &got))
 	d.pushBottom(mark(2, &got))
 	d.pushBottom(mark(3, &got))
-	d.popTop()()    // 1
-	d.popBottom()() // 3
+	d.popTop().fn()    // 1
+	d.popBottom().fn() // 3
 	d.pushBottom(mark(4, &got))
-	d.popTop()() // 2
-	d.popTop()() // 4
+	d.popTop().fn() // 2
+	d.popTop().fn() // 4
 	want := []int{1, 3, 2, 4}
 	for i := range want {
 		if got[i] != want[i] {

@@ -1,6 +1,9 @@
 package amt
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Unit is the value type of futures that carry no payload, analogous to
 // hpx::future<void>.
@@ -128,6 +131,25 @@ func Run(s *Scheduler, fn func()) *Void {
 	return f
 }
 
+// RunBatch submits one independent void task per function with a single
+// batched spawn — one bookkeeping update and one wake sweep instead of
+// len(fns) — and returns a future per task. Use AfterAll to join them.
+func RunBatch(s *Scheduler, fns []func()) []*Void {
+	outs := make([]*Void, len(fns))
+	ts := make([]Task, len(fns))
+	for i, fn := range fns {
+		f := newFuture[Unit](s)
+		outs[i] = f
+		fn, f := fn, f
+		ts[i] = func() {
+			fn()
+			f.set(Unit{})
+		}
+	}
+	s.SpawnBatch(ts)
+	return outs
+}
+
 // Then attaches a continuation to f, analogous to hpx::future<T>::then.
 // fn runs as a new task once f is ready; the returned future carries fn's
 // result.
@@ -151,21 +173,25 @@ func ThenRun[T any](f *Future[T], fn func(T)) *Void {
 	return out
 }
 
-// countdown completes the returned future after n events; fire() signals one
-// event. Used by the all-of combinators. n must be > 0.
-type countdown struct {
-	mu   sync.Mutex
-	left int
+// latch is a single-word atomic countdown: arrive() signals one event and
+// the last arrival runs done inline. It is the join primitive behind the
+// all-of combinators and the parallel algorithms — one atomic decrement
+// per chunk instead of a mutex acquisition or a per-chunk future. n must
+// be > 0.
+type latch struct {
+	left atomic.Int64
 	done func()
 }
 
-func (c *countdown) fire() {
-	c.mu.Lock()
-	c.left--
-	hit := c.left == 0
-	c.mu.Unlock()
-	if hit {
-		c.done()
+func newLatch(n int, done func()) *latch {
+	l := &latch{done: done}
+	l.left.Store(int64(n))
+	return l
+}
+
+func (l *latch) arrive() {
+	if l.left.Add(-1) == 0 {
+		l.done()
 	}
 }
 
@@ -179,9 +205,9 @@ func AfterAll(s *Scheduler, fs []*Void) *Void {
 		out.done = true
 		return out
 	}
-	cd := &countdown{left: len(fs), done: func() { out.set(Unit{}) }}
+	l := newLatch(len(fs), func() { out.set(Unit{}) })
 	for _, f := range fs {
-		f.onReady(cd.fire)
+		f.onReady(l.arrive)
 	}
 	return out
 }
@@ -202,9 +228,9 @@ func AfterAllRun(s *Scheduler, fs []*Void, fn func()) *Void {
 		launch()
 		return out
 	}
-	cd := &countdown{left: len(fs), done: launch}
+	l := newLatch(len(fs), launch)
 	for _, f := range fs {
-		f.onReady(cd.fire)
+		f.onReady(l.arrive)
 	}
 	return out
 }
@@ -219,12 +245,12 @@ func WhenAll[T any](s *Scheduler, fs []*Future[T]) *Future[[]T] {
 		return out
 	}
 	vals := make([]T, n)
-	cd := &countdown{left: n, done: func() { out.set(vals) }}
+	l := newLatch(n, func() { out.set(vals) })
 	for i, f := range fs {
 		i, f := i, f
 		f.onReady(func() {
 			vals[i] = f.val
-			cd.fire()
+			l.arrive()
 		})
 	}
 	return out

@@ -252,19 +252,48 @@ func TestSchedulerAccessor(t *testing.T) {
 	}
 }
 
-func TestCountdownConcurrentFires(t *testing.T) {
+func TestLatchConcurrentArrivals(t *testing.T) {
 	var hit atomic.Int64
-	cd := &countdown{left: 100, done: func() { hit.Add(1) }}
+	l := newLatch(100, func() { hit.Add(1) })
 	var wg sync.WaitGroup
 	for i := 0; i < 100; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cd.fire()
+			l.arrive()
 		}()
 	}
 	wg.Wait()
 	if hit.Load() != 1 {
-		t.Fatalf("countdown fired done %d times, want exactly 1", hit.Load())
+		t.Fatalf("latch ran done %d times, want exactly 1", hit.Load())
+	}
+}
+
+func TestRunBatchFuturesComplete(t *testing.T) {
+	s := newTestScheduler(t)
+	var n atomic.Int64
+	fns := make([]func(), 32)
+	for i := range fns {
+		fns[i] = func() { n.Add(1) }
+	}
+	outs := RunBatch(s, fns)
+	if len(outs) != len(fns) {
+		t.Fatalf("RunBatch returned %d futures, want %d", len(outs), len(fns))
+	}
+	AfterAll(s, outs).Get()
+	if got := n.Load(); got != int64(len(fns)) {
+		t.Fatalf("ran %d fns, want %d", got, len(fns))
+	}
+	for i, f := range outs {
+		if !f.Ready() {
+			t.Fatalf("future %d not ready after AfterAll join", i)
+		}
+	}
+}
+
+func TestRunBatchEmpty(t *testing.T) {
+	s := newTestScheduler(t)
+	if outs := RunBatch(s, nil); len(outs) != 0 {
+		t.Fatalf("RunBatch(nil) returned %d futures, want 0", len(outs))
 	}
 }

@@ -4,6 +4,13 @@ package amt
 // The naive LULESH port the paper criticizes ([16]) is built from exactly
 // these: every loop becomes a ForEach followed by a wait, which reintroduces
 // one synchronization barrier per loop.
+//
+// The dispatch path is deliberately allocation-free per chunk: chunks are
+// pooled frames carrying (body, lo, hi) and the join is a single atomic
+// countdown latch, so a parallel region costs one future, one latch and one
+// wake sweep regardless of its chunk count. Ranges no longer than one grain
+// are executed inline on the caller — one chunk's worth of work does not
+// pay for a dispatch.
 
 // ForEachBlock partitions the index range [begin, end) into chunks of at
 // most grain indices, runs body(lo, hi) for each chunk as an independent
@@ -15,24 +22,26 @@ func ForEachBlock(s *Scheduler, begin, end, grain int, body func(lo, hi int)) *V
 		out.done = true
 		return out
 	}
-	if grain < 1 {
-		grain = end - begin
+	if grain < 1 || end-begin <= grain {
+		body(begin, end)
+		out.done = true
+		return out
 	}
 	nchunks := (end - begin + grain - 1) / grain
-	cd := &countdown{left: nchunks, done: func() { out.set(Unit{}) }}
+	l := newLatch(nchunks, func() { out.set(Unit{}) })
+	s.beginBatch(nchunks)
 	c := 0
 	for lo := begin; lo < end; lo += grain {
 		hi := lo + grain
 		if hi > end {
 			hi = end
 		}
-		lo, hi := lo, hi
-		s.spawnAt(c, func() {
-			body(lo, hi)
-			cd.fire()
-		})
+		f := newFrame()
+		f.body, f.lo, f.hi, f.latch = body, lo, hi, l
+		s.enqueueAt(c, f)
 		c++
 	}
+	s.wakeN(nchunks)
 	return out
 }
 
@@ -60,34 +69,45 @@ func Reduce[T any](s *Scheduler, begin, end, grain int, identity T,
 		out.val = identity
 		return out
 	}
-	if grain < 1 {
-		grain = end - begin
+	if grain < 1 || end-begin <= grain {
+		acc := identity
+		for i := begin; i < end; i++ {
+			acc = fold(acc, i)
+		}
+		out.done = true
+		out.val = combine(identity, acc)
+		return out
 	}
 	nchunks := (end - begin + grain - 1) / grain
 	partial := make([]T, nchunks)
-	cd := &countdown{left: nchunks, done: func() {
+	l := newLatch(nchunks, func() {
 		acc := identity
 		for _, p := range partial {
 			acc = combine(acc, p)
 		}
 		out.set(acc)
-	}}
+	})
+	// One closure serves every chunk; the chunk index is recovered from the
+	// block bounds, so the per-chunk frames stay allocation-free.
+	body := func(lo, hi int) {
+		acc := identity
+		for i := lo; i < hi; i++ {
+			acc = fold(acc, i)
+		}
+		partial[(lo-begin)/grain] = acc
+	}
+	s.beginBatch(nchunks)
 	c := 0
 	for lo := begin; lo < end; lo += grain {
 		hi := lo + grain
 		if hi > end {
 			hi = end
 		}
-		lo, hi, idx := lo, hi, c
-		s.spawnAt(idx, func() {
-			acc := identity
-			for i := lo; i < hi; i++ {
-				acc = fold(acc, i)
-			}
-			partial[idx] = acc
-			cd.fire()
-		})
+		f := newFrame()
+		f.body, f.lo, f.hi, f.latch = body, lo, hi, l
+		s.enqueueAt(c, f)
 		c++
 	}
+	s.wakeN(nchunks)
 	return out
 }

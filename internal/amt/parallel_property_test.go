@@ -1,0 +1,172 @@
+package amt
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests locking in the parallel-algorithm contract across the
+// whole (begin, end, grain) parameter space — including empty ranges,
+// negative-length ranges, non-positive grains, and sub-grain ranges that
+// the runtime executes inline on the caller. Style matches the
+// testing/quick properties of internal/omp/pool_test.go and internal/mesh.
+
+// boundedRange derives a begin/end/grain triple from raw fuzz inputs:
+// begin anywhere in int16, length in [-64, 2048), grain over all of int8
+// (so zero, negative and over-length grains all occur).
+func boundedRange(b int16, length int16, g int8) (begin, end, grain int) {
+	begin = int(b)
+	l := int(length)%2112 - 64
+	end = begin + l
+	grain = int(g)
+	return begin, end, grain
+}
+
+// TestForEachBlockPropertyExactCover: ForEachBlock visits every index of
+// [begin, end) exactly once and never an index outside it.
+func TestForEachBlockPropertyExactCover(t *testing.T) {
+	s := newTestScheduler(t)
+	f := func(b int16, length int16, g int8) bool {
+		begin, end, grain := boundedRange(b, length, g)
+		n := 0
+		if end > begin {
+			n = end - begin
+		}
+		hits := make([]atomic.Int32, n)
+		var outside atomic.Int32
+		ForEachBlock(s, begin, end, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i < begin || i >= end {
+					outside.Add(1)
+				} else {
+					hits[i-begin].Add(1)
+				}
+			}
+		}).Get()
+		if outside.Load() != 0 {
+			return false
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestForEachPropertyExactCover: the per-index form upholds the same
+// exactly-once contract.
+func TestForEachPropertyExactCover(t *testing.T) {
+	s := newTestScheduler(t)
+	f := func(b int16, length int16, g int8) bool {
+		begin, end, grain := boundedRange(b, length, g)
+		n := 0
+		if end > begin {
+			n = end - begin
+		}
+		hits := make([]atomic.Int32, n)
+		var outside atomic.Int32
+		ForEach(s, begin, end, grain, func(i int) {
+			if i < begin || i >= end {
+				outside.Add(1)
+			} else {
+				hits[i-begin].Add(1)
+			}
+		}).Get()
+		if outside.Load() != 0 {
+			return false
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReducePropertyMatchesSerial: an integer-sum Reduce equals the serial
+// fold for arbitrary ranges and grains (exact arithmetic, so this covers
+// both the chunk partitioning and the in-order combine), and an empty or
+// reversed range yields the identity.
+func TestReducePropertyMatchesSerial(t *testing.T) {
+	s := newTestScheduler(t)
+	f := func(b int16, length int16, g int8) bool {
+		begin, end, grain := boundedRange(b, length, g)
+		got := Reduce(s, begin, end, grain, 0,
+			func(acc int, i int) int { return acc + i },
+			func(x, y int) int { return x + y }).Get()
+		want := 0
+		for i := begin; i < end; i++ {
+			want += i
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestForEachBlockSubGrainEdgeCases pins the inline fast path explicitly:
+// empty, reversed, single-index, exactly-grain and below-grain ranges all
+// complete immediately with exact coverage.
+func TestForEachBlockSubGrainEdgeCases(t *testing.T) {
+	s := newTestScheduler(t)
+	cases := []struct{ begin, end, grain int }{
+		{0, 0, 8},    // empty
+		{5, 5, 0},    // empty, degenerate grain
+		{10, 3, 4},   // reversed
+		{-3, -3, 1},  // empty at negative offset
+		{7, 8, 16},   // single index, sub-grain
+		{0, 16, 16},  // exactly one grain
+		{-8, 4, 100}, // negative begin, sub-grain
+		{0, 17, 16},  // one index past a grain: 2 chunks
+		{-5, 40, 7},  // negative begin, multi-chunk
+	}
+	for _, c := range cases {
+		n := 0
+		if c.end > c.begin {
+			n = c.end - c.begin
+		}
+		hits := make([]atomic.Int32, n)
+		done := ForEachBlock(s, c.begin, c.end, c.grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hits[i-c.begin].Add(1)
+			}
+		})
+		done.Get()
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("case %+v: index %d visited %d times", c, c.begin+i, hits[i].Load())
+			}
+		}
+		if n <= c.grain && !done.Ready() {
+			t.Fatalf("case %+v: sub-grain range should be ready immediately", c)
+		}
+	}
+}
+
+// TestReduceInlineMatchesChunked: the inline sub-grain path and the
+// chunked path produce bitwise-identical results for a fixed grain —
+// combine(identity, partial) is applied in both.
+func TestReduceInlineMatchesChunked(t *testing.T) {
+	s := newTestScheduler(t)
+	fold := func(acc float64, i int) float64 { return acc + 1.0/float64(i+1) }
+	comb := func(a, b float64) float64 { return a + b }
+	// grain >= n → inline; the same range with grain = n (single chunk,
+	// also inline) and chunked with smaller grain must satisfy the
+	// documented determinism-per-grain contract independently.
+	inline := Reduce(s, 0, 100, 1000, 0.0, fold, comb).Get()
+	single := Reduce(s, 0, 100, 100, 0.0, fold, comb).Get()
+	if inline != single {
+		t.Fatalf("inline %v != single-chunk %v", inline, single)
+	}
+}

@@ -144,10 +144,12 @@ func (s *Scheduler) Spawn(t Task) {
 	if t == nil {
 		panic("amt: Spawn called with nil task")
 	}
+	f := newFrame()
+	f.fn = t
 	s.inflight.Add(1)
 	s.pending.Add(1)
 	i := int(s.rr.Add(1)-1) % s.nw
-	s.workers[i].dq.pushBottom(t)
+	s.workers[i].dq.pushBottom(f)
 	s.wake()
 }
 
@@ -159,20 +161,53 @@ func (s *Scheduler) SpawnHigh(t Task) {
 	if t == nil {
 		panic("amt: SpawnHigh called with nil task")
 	}
+	f := newFrame()
+	f.fn = t
 	s.inflight.Add(1)
 	s.pending.Add(1)
 	i := int(s.rr.Add(1)-1) % s.nw
-	s.workers[i].hp.pushBottom(t)
+	s.workers[i].hp.pushBottom(f)
 	s.wake()
 }
 
-// spawnAt submits a task preferring the queue of worker i. Used by parallel
-// algorithms to spread chunks evenly.
-func (s *Scheduler) spawnAt(i int, t Task) {
-	s.inflight.Add(1)
-	s.pending.Add(1)
-	s.workers[i%s.nw].dq.pushBottom(t)
-	s.wake()
+// SpawnBatch submits every task in ts with one bookkeeping update, one
+// round-robin placement sweep and a single wake of the idle workers,
+// instead of len(ts) Spawn/wake round-trips. It never blocks. The batch
+// counts as submitted atomically: pending and inflight are raised before
+// any frame is visible, preserving the lost-wakeup-free park protocol.
+func (s *Scheduler) SpawnBatch(ts []Task) {
+	n := len(ts)
+	if n == 0 {
+		return
+	}
+	for _, t := range ts {
+		if t == nil {
+			panic("amt: SpawnBatch called with nil task")
+		}
+	}
+	s.inflight.Add(int64(n))
+	s.pending.Add(int64(n))
+	base := int(s.rr.Add(uint64(n)) - uint64(n))
+	for k, t := range ts {
+		f := newFrame()
+		f.fn = t
+		s.workers[(base+k)%s.nw].dq.pushBottom(f)
+	}
+	s.wakeN(n)
+}
+
+// beginBatch raises the pending/inflight tickets for n frames about to be
+// enqueued with enqueueAt. Counts go first so a worker that observes a
+// frame early can never drive the counters negative past a Quiesce.
+func (s *Scheduler) beginBatch(n int) {
+	s.inflight.Add(int64(n))
+	s.pending.Add(int64(n))
+}
+
+// enqueueAt places a pre-counted frame on the queue of worker i, without
+// waking anyone; the batch producer wakes once at the end (wakeN).
+func (s *Scheduler) enqueueAt(i int, f *frame) {
+	s.workers[i%s.nw].dq.pushBottom(f)
 }
 
 func (s *Scheduler) wake() {
@@ -181,6 +216,23 @@ func (s *Scheduler) wake() {
 	}
 	s.mu.Lock()
 	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// wakeN wakes up to n parked workers with a single lock acquisition —
+// the batch analog of wake.
+func (s *Scheduler) wakeN(n int) {
+	if s.idle.Load() == 0 {
+		return
+	}
+	s.mu.Lock()
+	if n >= s.nw {
+		s.cond.Broadcast()
+	} else {
+		for ; n > 0; n-- {
+			s.cond.Signal()
+		}
+	}
 	s.mu.Unlock()
 }
 
@@ -206,7 +258,7 @@ func (s *Scheduler) run(w *worker) {
 			continue
 		}
 		start := time.Now()
-		t()
+		t.run()
 		dur := time.Since(start)
 		w.busy.Add(int64(dur))
 		w.tasks.Add(1)
@@ -219,7 +271,7 @@ func (s *Scheduler) run(w *worker) {
 
 // find looks for runnable work: own high-priority queue, every other
 // worker's high-priority queue, own normal queue, then normal steals.
-func (s *Scheduler) find(w *worker) Task {
+func (s *Scheduler) find(w *worker) *frame {
 	if t := w.hp.popBottom(); t != nil {
 		s.pending.Add(-1)
 		return t

@@ -178,8 +178,7 @@ func (b *BackendOMP) Step(d *domain.Domain) error {
 	}
 
 	// vnewc preparation: one parallel region, index-aligned loops.
-	pool.Parallel(func(tid int) {
-		lo, hi := omp.StaticRange(tid, nth, ne)
+	pool.ParallelStatic(ne, func(tid, lo, hi int) {
 		kernels.CopyVnewc(d, buf.vnewc, lo, hi)
 		if p.EOSvMin != 0 {
 			kernels.ClampVnewcLow(buf.vnewc, p.EOSvMin, lo, hi)
@@ -206,8 +205,7 @@ func (b *BackendOMP) Step(d *domain.Domain) error {
 	for _, regList := range d.Regions.ElemList {
 		regList := regList
 		count := len(regList)
-		pool.Parallel(func(tid int) {
-			lo, hi := omp.StaticRange(tid, nth, count)
+		pool.ParallelStatic(count, func(tid, lo, hi int) {
 			b.dtcPart[tid] = kernels.CourantConstraint(d, regList, lo, hi)
 		})
 		for _, v := range b.dtcPart {
@@ -215,8 +213,7 @@ func (b *BackendOMP) Step(d *domain.Domain) error {
 				d.Dtcourant = v
 			}
 		}
-		pool.Parallel(func(tid int) {
-			lo, hi := omp.StaticRange(tid, nth, count)
+		pool.ParallelStatic(count, func(tid, lo, hi int) {
 			b.dthPart[tid] = kernels.HydroConstraint(d, regList, lo, hi)
 		})
 		for _, v := range b.dthPart {
@@ -235,7 +232,6 @@ func (b *BackendOMP) evalEOSRegion(d *domain.Domain, regList []int32, rep int) {
 	buf := b.buf
 	pool := b.pool
 	p := &d.Par
-	nth := pool.Threads()
 	count := len(regList)
 	s := buf.scratch
 	s.Ensure(count)
@@ -243,8 +239,7 @@ func (b *BackendOMP) evalEOSRegion(d *domain.Domain, regList []int32, rep int) {
 	for j := 0; j < rep; j++ {
 		// Gather/compress block: one parallel region, nowait loops over
 		// identical index ranges.
-		pool.Parallel(func(tid int) {
-			lo, hi := omp.StaticRange(tid, nth, count)
+		pool.ParallelStatic(count, func(tid, lo, hi int) {
 			kernels.EOSGather(d, regList, s, lo, lo, hi)
 			kernels.EOSCompression(d, buf.vnewc, regList, s, lo, lo, hi)
 			if p.EOSvMin != 0 {

@@ -32,6 +32,14 @@ type Options struct {
 	// ApplyMaterialPropertiesForElems parallelization of Section IV).
 	ParallelRegions bool
 
+	// BatchSpawn submits the independent root tasks of each iteration's
+	// task graph with one batched spawn (amt.SpawnBatch: one bookkeeping
+	// update and one wake sweep) instead of one spawn/wake round-trip per
+	// task. A dispatch-overhead optimization only — the task graph and the
+	// per-datum arithmetic are unchanged. On in the default configuration;
+	// separable for ablation.
+	BatchSpawn bool
+
 	// PrioritizeHeavyRegions schedules the expensive material chains
 	// (EOS repetition factor >= 10, the "very expensive regions" of the
 	// load-imbalance model) at high priority — a longest-processing-
@@ -53,6 +61,7 @@ func DefaultOptions(edgeElems, threads int) Options {
 		Fuse:            true,
 		ParallelForces:  true,
 		ParallelRegions: true,
+		BatchSpawn:      true,
 	}
 	o.PartNodal, o.PartElem = TableIPartitions(edgeElems, threads)
 	return o

@@ -189,6 +189,9 @@ func (b *BackendTask) Step(d *domain.Domain) error {
 // tasks; otherwise each partition's hourglass chain is attached behind its
 // stress chain.
 func (b *BackendTask) launchForces(d *domain.Domain) []*amt.Void {
+	if b.opt.Fuse && b.opt.BatchSpawn {
+		return b.launchForcesBatched(d)
+	}
 	p := &d.Par
 	var out []*amt.Void
 	partition(d.NumElem(), b.opt.PartElem, func(lo, hi int) {
@@ -251,6 +254,54 @@ func (b *BackendTask) launchForces(d *domain.Domain) []*amt.Void {
 		}()
 		out = append(out, hg)
 	})
+	return out
+}
+
+// launchForcesBatched is the BatchSpawn variant of launchForces for the
+// fused configuration: the independent root tasks of the force stage — the
+// entire stage when ParallelForces, the stress family otherwise — are
+// submitted with one amt.RunBatch (a single bookkeeping update and wake
+// sweep) instead of one spawn/wake round-trip per partition chain. The
+// task graph and per-datum arithmetic are identical to launchForces.
+func (b *BackendTask) launchForcesBatched(d *domain.Domain) []*amt.Void {
+	p := &d.Par
+	var roots []func()
+	type chainedHG struct {
+		stress int // index in roots of the stress task this chain follows
+		run    func()
+	}
+	var chained []chainedHG
+	partition(d.NumElem(), b.opt.PartElem, func(lo, hi int) {
+		stress := func() {
+			kernels.InitStressTerms(d, b.sigxx, b.sigyy, b.sigzz, lo, hi)
+			kernels.IntegrateStress(d, b.sigxx, b.sigyy, b.sigzz, b.determS,
+				b.fxS, b.fyS, b.fzS, lo, hi)
+			kernels.CheckDeterm(b.determS, lo, hi, &b.flag)
+		}
+		si := len(roots)
+		roots = append(roots, stress)
+		hg := func() {
+			sc := b.hgPool.Get().(*hgScratch)
+			kernels.HourglassPrep(d, sc.dvdx, sc.dvdy, sc.dvdz,
+				sc.x8n, sc.y8n, sc.z8n, b.determH, lo, lo, hi, &b.flag)
+			if p.HGCoef > 0 {
+				kernels.FBHourglass(d, sc.dvdx, sc.dvdy, sc.dvdz,
+					sc.x8n, sc.y8n, sc.z8n, b.determH, p.HGCoef, lo, lo, hi,
+					b.fxH, b.fyH, b.fzH)
+			}
+			b.hgPool.Put(sc)
+		}
+		if b.opt.ParallelForces {
+			roots = append(roots, hg)
+		} else {
+			chained = append(chained, chainedHG{si, hg})
+		}
+	})
+	out := amt.RunBatch(b.s, roots)
+	for _, c := range chained {
+		run := c.run
+		out = append(out, amt.ThenRun(out[c.stress], func(amt.Unit) { run() }))
+	}
 	return out
 }
 

@@ -12,6 +12,15 @@
 // not pay a futex round trip each. Per-thread productive-time counters
 // mirror the paper's manual instrumentation of each parallel region
 // (Figure 11).
+//
+// The dispatch/join path is tuned so the reference is a fair baseline for
+// the paper's comparison (Section V insists the OpenMP side be well-tuned):
+// the region descriptor is published through the generation counter with no
+// per-region heap allocation on the static-schedule fast paths, and the
+// join is a padded sense-reversing barrier — each thread reports completion
+// by writing the region generation into its own cache-line-private flag,
+// which the master sweeps, so finishing threads never contend on one
+// counter word.
 package omp
 
 import (
@@ -27,6 +36,24 @@ import (
 // of OpenMP runtimes.
 const spinRounds = 1 << 14
 
+// regionKind selects how a team thread derives its share of the current
+// region from the published descriptor.
+type regionKind int
+
+const (
+	regionFn    regionKind = iota // fn(tid), the general `omp parallel` body
+	regionBlock                   // block(lo, hi) over a static share of loopN
+	regionElem                    // elem(i) for every i in a static share of loopN
+	regionTID                     // blockTID(tid, lo, hi), run even for empty shares
+)
+
+// doneFlag is one thread's join flag, padded to its own cache line so the
+// sense-reversing barrier's completion stores never false-share.
+type doneFlag struct {
+	gen atomic.Int64
+	_   [56]byte
+}
+
 // Pool is a persistent team of execution threads. Thread 0 is the calling
 // goroutine (the "master" thread, as in OpenMP); the remaining n-1 are
 // worker goroutines that idle between regions.
@@ -36,9 +63,20 @@ const spinRounds = 1 << 14
 type Pool struct {
 	n int
 
-	gen  atomic.Int64              // region generation; bumped per dispatch
-	job  atomic.Pointer[func(int)] // current region body
-	left atomic.Int64              // workers still inside the region
+	// Region descriptor. The plain fields are written by the master before
+	// the gen bump and read by workers after observing the new generation;
+	// the atomic gen pair orders the accesses (release/acquire), so the
+	// descriptor needs no pointer indirection or allocation of its own.
+	kind     regionKind
+	fn       func(tid int)
+	loopN    int
+	block    func(lo, hi int)
+	elem     func(i int)
+	blockTID func(tid, lo, hi int)
+
+	_    [56]byte     // keep the hot generation word off the descriptor line
+	gen  atomic.Int64 // region generation; bumped per dispatch (the sense)
+	done []doneFlag   // per-worker padded join flags; done[tid] == gen means finished
 
 	mu       sync.Mutex
 	cond     *sync.Cond // workers park here between regions
@@ -74,6 +112,7 @@ func NewPool(n int) *Pool {
 	p := &Pool{n: n}
 	p.cond = sync.NewCond(&p.mu)
 	p.busy = make([]atomic.Int64, n)
+	p.done = make([]doneFlag, n)
 	p.wg.Add(n - 1)
 	for tid := 1; tid < n; tid++ {
 		go p.worker(tid)
@@ -91,6 +130,34 @@ func (p *Pool) Close() {
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	p.wg.Wait()
+}
+
+// runPart executes thread tid's share of the published region and records
+// its productive time.
+func (p *Pool) runPart(tid int) {
+	start := time.Now()
+	switch p.kind {
+	case regionFn:
+		p.fn(tid)
+	case regionBlock:
+		lo, hi := StaticRange(tid, p.n, p.loopN)
+		if lo < hi {
+			p.block(lo, hi)
+		}
+	case regionElem:
+		lo, hi := StaticRange(tid, p.n, p.loopN)
+		for i := lo; i < hi; i++ {
+			p.elem(i)
+		}
+	case regionTID:
+		lo, hi := StaticRange(tid, p.n, p.loopN)
+		p.blockTID(tid, lo, hi)
+	}
+	dur := time.Since(start)
+	p.busy[tid].Add(int64(dur))
+	if obs := p.observer.Load(); obs != nil {
+		(*obs)(tid, start, dur)
+	}
 }
 
 func (p *Pool) worker(tid int) {
@@ -124,51 +191,45 @@ func (p *Pool) worker(tid int) {
 			p.mu.Unlock()
 		}
 		lastGen = g
-		job := *p.job.Load()
-
-		start := time.Now()
-		job(tid)
-		dur := time.Since(start)
-		p.busy[tid].Add(int64(dur))
-		if obs := p.observer.Load(); obs != nil {
-			(*obs)(tid, start, dur)
-		}
-		p.left.Add(-1)
+		p.runPart(tid)
+		// Sense-reversing arrival: publish this region's generation into
+		// the thread's private flag; the master sweeps the flags.
+		p.done[tid].gen.Store(g)
 	}
+}
+
+// dispatch releases the team on the already-written region descriptor,
+// runs the master's share, and joins at the padded sense-reversing
+// barrier (the implicit barrier at the end of an OpenMP region).
+func (p *Pool) dispatch() {
+	start := time.Now()
+	if p.n > 1 {
+		g := p.gen.Add(1)
+		if p.sleepers.Load() > 0 {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+		p.runPart(0)
+		for tid := 1; tid < p.n; tid++ {
+			for p.done[tid].gen.Load() != g {
+				runtime.Gosched()
+			}
+		}
+	} else {
+		p.runPart(0)
+	}
+	p.regionWall.Add(int64(time.Since(start)))
+	p.regions.Add(1)
 }
 
 // Parallel executes fn(tid) on every thread of the team, like
 // `#pragma omp parallel`. It returns after all threads have finished (the
 // implicit barrier at the end of an OpenMP parallel region).
 func (p *Pool) Parallel(fn func(tid int)) {
-	start := time.Now()
-	if p.n > 1 {
-		p.job.Store(&fn)
-		p.left.Store(int64(p.n - 1))
-		p.gen.Add(1)
-		if p.sleepers.Load() > 0 {
-			p.mu.Lock()
-			p.cond.Broadcast()
-			p.mu.Unlock()
-		}
-	}
-
-	t0 := time.Now()
-	fn(0)
-	dur := time.Since(t0)
-	p.busy[0].Add(int64(dur))
-	if obs := p.observer.Load(); obs != nil {
-		(*obs)(0, t0, dur)
-	}
-
-	if p.n > 1 {
-		// Join: spin, yielding to let workers finish.
-		for spun := 0; p.left.Load() > 0; spun++ {
-			runtime.Gosched()
-		}
-	}
-	p.regionWall.Add(int64(time.Since(start)))
-	p.regions.Add(1)
+	p.kind = regionFn
+	p.fn = fn
+	p.dispatch()
 }
 
 // StaticRange returns the half-open index range [lo, hi) that thread tid of
@@ -188,24 +249,36 @@ func StaticRange(tid, nth, n int) (lo, hi int) {
 
 // ParallelForBlock executes body(lo, hi) over a static partition of
 // [0, n) — one contiguous block per thread — with a barrier at the end,
-// like `#pragma omp parallel for schedule(static)`.
+// like `#pragma omp parallel for schedule(static)`. This is a fast path:
+// the split happens on each thread from the published descriptor, with no
+// per-region closure.
 func (p *Pool) ParallelForBlock(n int, body func(lo, hi int)) {
-	p.Parallel(func(tid int) {
-		lo, hi := StaticRange(tid, p.n, n)
-		if lo < hi {
-			body(lo, hi)
-		}
-	})
+	p.kind = regionBlock
+	p.loopN = n
+	p.block = body
+	p.dispatch()
 }
 
 // ParallelFor executes body(i) for every i in [0, n) with static
 // scheduling and a trailing barrier.
 func (p *Pool) ParallelFor(n int, body func(i int)) {
-	p.ParallelForBlock(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			body(i)
-		}
-	})
+	p.kind = regionElem
+	p.loopN = n
+	p.elem = body
+	p.dispatch()
+}
+
+// ParallelStatic executes body(tid, lo, hi) on every thread, where
+// [lo, hi) is the thread's static share of [0, n) — the
+// `#pragma omp parallel` + per-thread StaticRange idiom without the
+// per-call closure. Unlike ParallelForBlock, body runs on every thread
+// even when its share is empty, so per-thread reduction slots can always
+// be written.
+func (p *Pool) ParallelStatic(n int, body func(tid, lo, hi int)) {
+	p.kind = regionTID
+	p.loopN = n
+	p.blockTID = body
+	p.dispatch()
 }
 
 // Counters is a snapshot of team activity since the last ResetCounters.
