@@ -118,4 +118,99 @@ func main() {
 
 	c := s.CountersSnapshot()
 	fmt.Printf("\nscheduler counters: %v\n", c)
+
+	// Contended stealing: every task in a burst is pinned to worker 0, so
+	// all other workers can make progress only by stealing — the worst
+	// case for the steal path and the workload where steal-half batching
+	// pays. Reported per burst: drain time, successful steal sweeps per
+	// task, and frames migrated per sweep (1.0 without steal-half).
+	const pinBurst = 512
+	pinned := make([]amt.Task, pinBurst)
+	zeros := make([]int, pinBurst)
+	sink := 0.0
+	for i := range pinned {
+		pinned[i] = func() {
+			acc := 0.0
+			for k := 0; k < 200; k++ {
+				acc += float64(k)
+			}
+			sink += acc
+		}
+	}
+	fmt.Printf("\ncontended stealing (%d-task bursts pinned to worker 0, %d workers)\n",
+		pinBurst, *workers)
+	for _, half := range []bool{false, true} {
+		sc := amt.NewScheduler(amt.WithWorkers(*workers), amt.WithStealHalf(half))
+		drain := func() {
+			sc.SpawnBatchAt(pinned, zeros)
+			sc.Quiesce()
+		}
+		for i := 0; i < 20; i++ {
+			drain()
+		}
+		sc.ResetCounters()
+		reps := *n / pinBurst
+		if reps < 10 {
+			reps = 10
+		}
+		t0 = time.Now()
+		for i := 0; i < reps; i++ {
+			drain()
+		}
+		d = time.Since(t0)
+		cc := sc.CountersSnapshot()
+		fmt.Printf("  %-34s %v/burst  %.4f steals/task  %.2f frames/steal\n",
+			fmt.Sprintf("steal-half=%v", half),
+			d/time.Duration(reps),
+			float64(cc.Steals)/float64(cc.Tasks), cc.FramesPerSteal())
+		sc.Close()
+	}
+
+	// Region steady state: the same blocked loop over the same index range
+	// repeated many times, as the solver does every stage of every
+	// timestep. With a block-distributed home map each worker should keep
+	// re-touching its own slice (few steals, high hit rate); unhinted
+	// round-robin placement is the baseline.
+	const regionN, regionGrain = 1 << 16, 256
+	body := func(lo, hi int) {
+		acc := 0.0
+		for i := lo; i < hi; i++ {
+			acc += float64(i)
+		}
+		sink += acc
+	}
+	fmt.Printf("\nregion steady state (ForEachBlock over %d indices, grain %d)\n",
+		regionN, regionGrain)
+	for _, hinted := range []bool{false, true} {
+		sc := amt.NewScheduler(amt.WithWorkers(*workers), amt.WithStealHalf(true))
+		var home func(lo, hi int) int
+		if hinted {
+			home = func(lo, hi int) int { return lo * *workers / regionN }
+		}
+		run := func() { amt.ForEachBlockAt(sc, 0, regionN, regionGrain, home, body).Get() }
+		for i := 0; i < 20; i++ {
+			run()
+		}
+		sc.ResetCounters()
+		reps := *n / 100
+		if reps < 50 {
+			reps = 50
+		}
+		t0 = time.Now()
+		for i := 0; i < reps; i++ {
+			run()
+		}
+		d = time.Since(t0)
+		cc := sc.CountersSnapshot()
+		line := fmt.Sprintf("  %-34s %v/region  %.4f steals/task",
+			fmt.Sprintf("affinity hints=%v", hinted),
+			d/time.Duration(reps),
+			float64(cc.Steals)/float64(cc.Tasks))
+		if rate, ok := cc.AffinityHitRate(); ok {
+			line += fmt.Sprintf("  %.1f%% affinity hits", 100*rate)
+		}
+		fmt.Println(line)
+		sc.Close()
+	}
+	_ = sink
 }

@@ -18,6 +18,7 @@ import (
 	"lulesh/internal/checkpoint"
 	"lulesh/internal/core"
 	"lulesh/internal/domain"
+	"lulesh/internal/stats"
 	"lulesh/internal/trace"
 	"lulesh/internal/vtk"
 )
@@ -35,6 +36,10 @@ func main() {
 		partN    = flag.Int("part-nodal", 0, "task partition size for node loops (0 = Table I default)")
 		partE    = flag.Int("part-elem", 0, "task partition size for element loops (0 = Table I default)")
 		priority = flag.Bool("priority-regions", false, "schedule expensive region chains at high priority (task backend)")
+		affinity = flag.Bool("affinity", true, "locality-aware task placement: partition→worker affinity map (task backend)")
+		stealH   = flag.Bool("steal-half", true, "idle workers steal half a victim's queue per sweep (task backend)")
+		adaptive = flag.Bool("adaptive-grain", false, "idle-rate feedback controller resizes partition grain between timesteps (task backend)")
+		tgtIdle  = flag.Float64("target-idle", 0, "idle-rate setpoint for -adaptive-grain (0 = default)")
 		showCtr  = flag.Bool("counters", false, "print utilization counters")
 		traceOut = flag.String("trace", "", "write a Chrome trace of task/region spans to this file")
 		profile  = flag.Bool("profile", false, "print per-phase wall times (serial backend only)")
@@ -85,6 +90,10 @@ func main() {
 			opt.PartElem = *partE
 		}
 		opt.PrioritizeHeavyRegions = *priority
+		opt.Affinity = *affinity
+		opt.StealHalf = *stealH
+		opt.AdaptiveGrain = *adaptive
+		opt.TargetIdle = *tgtIdle
 		b = core.NewBackendTask(d, opt)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown backend %q\n", *backend)
@@ -124,6 +133,25 @@ func main() {
 			fmt.Printf("cycle = %d, time = %e, dt=%e\n", cycle, t, dt)
 		}
 	}
+	// With both tracing and the task backend active, sample the scheduler's
+	// locality counters once per timestep: they appear as Chrome "C" value
+	// tracks above the worker timelines, the idle gaps' quantified twin.
+	if rec != nil {
+		if tb, ok := b.(*core.BackendTask); ok {
+			prev := runCfg.Progress
+			runCfg.Progress = func(cycle int, t, dt float64) {
+				if prev != nil {
+					prev(cycle, t, dt)
+				}
+				c := tb.Counters()
+				now := time.Now()
+				rec.RecordCounter("idle rate", now, 1-c.Utilization())
+				if rate, ok := c.AffinityHitRate(); ok {
+					rec.RecordCounter("affinity hit rate", now, rate)
+				}
+			}
+		}
+	}
 	res, err := core.Run(d, b, runCfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
@@ -144,6 +172,25 @@ func main() {
 	}
 	if *showCtr && res.HasUtil {
 		fmt.Printf("utilization=%.4f\n", res.Utilization)
+	}
+	if *showCtr {
+		if tb, ok := b.(*core.BackendTask); ok {
+			c := tb.Counters()
+			busy := make([]float64, len(c.PerWorker))
+			for i, d := range c.PerWorker {
+				busy[i] = d.Seconds()
+			}
+			fmt.Printf("steals_per_task=%.4f frames_per_steal=%.2f busy_imbalance=%.3f\n",
+				stats.Rate(c.Steals, c.Tasks), c.FramesPerSteal(), stats.Imbalance(busy))
+			if rate, ok := c.AffinityHitRate(); ok {
+				fmt.Printf("affinity_hit_rate=%.4f\n", rate)
+			}
+			if tb.Options().AdaptiveGrain {
+				opt := tb.Options()
+				fmt.Printf("grain_adjustments=%d part_elem=%d part_nodal=%d\n",
+					tb.GrainAdjustments(), opt.PartElem, opt.PartNodal)
+			}
+		}
 	}
 	if rec != nil {
 		f, err := os.Create(*traceOut)

@@ -45,6 +45,7 @@ func main() {
 		fig     = flag.String("fig", "", "figure to reproduce: 9 | 10 | 11 | naive | dist")
 		table   = flag.String("table", "", "table to reproduce: 1")
 		ablate  = flag.Bool("ablation", false, "run the technique ablation study")
+		local   = flag.Bool("locality", false, "run the locality-layer ablation (affinity, steal-half, adaptive grain)")
 		sched   = flag.Bool("schedules", false, "compare OpenMP loop schedules against the task backend")
 		sizes   = flag.String("sizes", "", "comma-separated problem sizes (default machine-scaled)")
 		threads = flag.String("threads", "", "comma-separated thread counts (default 1..2*cores)")
@@ -80,10 +81,12 @@ func main() {
 		tableI(cfg)
 	case *ablate:
 		ablation(cfg)
+	case *local:
+		locality(cfg)
 	case *sched:
 		schedules(cfg)
 	default:
-		fmt.Fprintln(os.Stderr, "pick one of: -fig 9 | -fig 10 | -fig 11 | -fig naive | -fig dist | -table 1 | -ablation | -schedules")
+		fmt.Fprintln(os.Stderr, "pick one of: -fig 9 | -fig 10 | -fig 11 | -fig naive | -fig dist | -table 1 | -ablation | -locality | -schedules")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -339,6 +342,71 @@ func ablation(c config) {
 			row = append(row, time.Since(start).Seconds())
 		}
 		t.AddRow(row...)
+	}
+	emit(c, t)
+}
+
+// locality ablates the locality-aware scheduling layer: affinity hints
+// and steal-half off one at a time from the default configuration, plus
+// the adaptive-grain extension on top. Next to the runtime it reports the
+// scheduler-counter evidence: the idle rate, how many steal sweeps ran
+// per task and how many frames each migrated, the fraction of hinted
+// tasks that executed on their home worker, the per-worker busy-time
+// imbalance, and the number of mid-run grain adjustments.
+//
+// Note that the affinity hit rate needs real parallelism to be
+// meaningful: on a single CPU the one running worker legitimately steals
+// everything the descheduled workers cannot execute, capping the rate
+// near 1/threads no matter how frames were placed.
+func locality(c config) {
+	th := c.threads[len(c.threads)-1]
+	fmt.Printf("Locality ablation at %d threads (FOM in z/s)\n\n", th)
+	variants := []struct {
+		name string
+		mod  func(*core.Options)
+	}{
+		{"full (aff+steal-half)", func(o *core.Options) {}},
+		{"-affinity", func(o *core.Options) { o.Affinity = false }},
+		{"-steal half", func(o *core.Options) { o.StealHalf = false }},
+		{"-both", func(o *core.Options) { o.Affinity = false; o.StealHalf = false }},
+		{"+adaptive grain", func(o *core.Options) { o.AdaptiveGrain = true }},
+	}
+	t := stats.NewTable("size", "variant", "runtime [s]", "FOM", "idle",
+		"steals/task", "frames/steal", "aff hits", "imbalance", "regrains")
+	for _, size := range c.sizes {
+		for _, v := range variants {
+			var best *core.Result
+			var row []interface{}
+			for rep := 0; rep < c.reps; rep++ {
+				d := domain.NewSedov(domain.DefaultConfig(size))
+				opt := core.DefaultOptions(size, th)
+				v.mod(&opt)
+				b := core.NewBackendTask(d, opt)
+				res, err := core.Run(d, b, core.RunConfig{MaxIterations: c.iterCap(size)})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "locality run failed: %v\n", err)
+					os.Exit(1)
+				}
+				if best == nil || res.Elapsed < best.Elapsed {
+					best = &res
+					ctr := b.Counters()
+					busy := make([]float64, len(ctr.PerWorker))
+					for i, dur := range ctr.PerWorker {
+						busy[i] = dur.Seconds()
+					}
+					hits := "-"
+					if rate, ok := ctr.AffinityHitRate(); ok {
+						hits = fmt.Sprintf("%.1f%%", 100*rate)
+					}
+					row = []interface{}{size, v.name, res.Elapsed.Seconds(), res.FOM(),
+						fmt.Sprintf("%.3f", 1-ctr.Utilization()),
+						stats.Rate(ctr.Steals, ctr.Tasks), ctr.FramesPerSteal(),
+						hits, stats.Imbalance(busy), b.GrainAdjustments()}
+				}
+				b.Close()
+			}
+			t.AddRow(row...)
+		}
 	}
 	emit(c, t)
 }

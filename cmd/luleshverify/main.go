@@ -39,6 +39,8 @@ func check(name string, ok bool, detail string) {
 func main() {
 	size := flag.Int("s", 8, "problem size")
 	steps := flag.Int("i", 20, "iterations to verify over")
+	locality := flag.Bool("locality", false,
+		"also sweep all affinity × steal-half × adaptive-grain combinations")
 	flag.Parse()
 	threads := runtime.GOMAXPROCS(0)
 
@@ -73,6 +75,24 @@ func main() {
 		got := runBackend(bk.mk)
 		same := equalState(ref, got)
 		check("bitwise vs serial: "+bk.name, same, fmt.Sprintf("e0=%.9e", got.E[0]))
+	}
+
+	// 1b. The locality layer is scheduling-only: every combination of
+	// affinity hints, steal-half batching and adaptive grain must stay
+	// bitwise identical to serial — including mid-run partition resizes.
+	if *locality {
+		for mask := 0; mask < 8; mask++ {
+			opt := core.DefaultOptions(*size, threads)
+			opt.Affinity = mask&1 != 0
+			opt.StealHalf = mask&2 != 0
+			opt.AdaptiveGrain = mask&4 != 0
+			got := runBackend(func(d *domain.Domain) core.Backend {
+				return core.NewBackendTask(d, opt)
+			})
+			name := fmt.Sprintf("task locality aff=%d half=%d adapt=%d",
+				mask&1, mask>>1&1, mask>>2&1)
+			check(name, equalState(ref, got), fmt.Sprintf("e0=%.9e", got.E[0]))
+		}
 	}
 
 	// 2. Distributed schedules agree bitwise with each other.

@@ -12,9 +12,20 @@ type frame struct {
 	body   func(lo, hi int) // block body (ForEachBlock, Reduce)
 	lo, hi int              // block bounds when body is set
 	latch  *latch           // fired after the body returns, if non-nil
+
+	// home is the frame's affinity hint: the worker whose cache is
+	// expected to hold the frame's data, or -1 when unhinted. Placement
+	// honors the hint; execution does not — any worker may steal the
+	// frame, so the hint trades locality without constraining load
+	// balance. The executing worker compares home against its own id to
+	// maintain the affinity hit/miss counters.
+	home int32
 }
 
-var framePool = sync.Pool{New: func() any { return new(frame) }}
+var framePool = sync.Pool{New: func() any { return &frame{home: noHome} }}
+
+// noHome marks a frame without an affinity hint.
+const noHome = -1
 
 // newFrame returns a cleared frame from the pool.
 func newFrame() *frame { return framePool.Get().(*frame) }
@@ -30,7 +41,7 @@ func (f *frame) run() {
 		f.body(f.lo, f.hi)
 	}
 	l := f.latch
-	f.fn, f.body, f.latch = nil, nil, nil
+	f.fn, f.body, f.latch, f.home = nil, nil, nil, noHome
 	framePool.Put(f)
 	if l != nil {
 		l.arrive()
@@ -91,6 +102,33 @@ func (d *deque) popTop() *frame {
 	d.n--
 	d.mu.Unlock()
 	return f
+}
+
+// stealHalfMax caps how many frames one steal-half sweep migrates, so a
+// single thief cannot drain a very deep victim queue past what it can
+// plausibly execute before the next rebalance.
+const stealHalfMax = 32
+
+// stealHalf removes up to half of the queued frames (rounded up, capped at
+// stealHalfMax) from the top — the steal end — in one critical section and
+// appends them to buf in queue order. It returns the extended buf, empty
+// when the deque was empty. One lock acquisition migrates the whole batch,
+// which is what cuts steal attempts on queues refilled ~45 times per
+// timestep.
+func (d *deque) stealHalf(buf []*frame) []*frame {
+	d.mu.Lock()
+	k := (d.n + 1) / 2
+	if k > stealHalfMax {
+		k = stealHalfMax
+	}
+	for i := 0; i < k; i++ {
+		buf = append(buf, d.buf[d.head])
+		d.buf[d.head] = nil
+		d.head = (d.head + 1) % len(d.buf)
+		d.n--
+	}
+	d.mu.Unlock()
+	return buf
 }
 
 // size reports the current number of queued frames.

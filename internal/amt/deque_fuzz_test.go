@@ -10,11 +10,12 @@ import (
 
 // FuzzDeque drives randomized concurrent push/pop/steal schedules against
 // one deque — an owner goroutine interpreting the fuzzed script against the
-// bottom end while two thieves hammer popTop — and asserts the queue's
-// fundamental safety property: every pushed frame is popped exactly once,
-// none lost, none duplicated, none invented. The seed corpus covers
-// push-only, drain-heavy, alternating, and yield-punctuated schedules; the
-// fuzzer mutates from there.
+// bottom end while two thieves attack the top, one with single-frame popTop
+// and one with stealHalf sweeps — and asserts the queue's fundamental
+// safety property: every pushed frame is popped exactly once, none lost,
+// none duplicated, none invented. The seed corpus covers push-only,
+// drain-heavy, alternating, and yield-punctuated schedules; the fuzzer
+// mutates from there.
 func FuzzDeque(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 1, 2, 3})
@@ -22,6 +23,10 @@ func FuzzDeque(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{0, 2}, 50))
 	f.Add(bytes.Repeat([]byte{0, 0, 2, 3}, 30))
 	f.Add([]byte{2, 2, 2, 0, 3, 0, 2, 0, 1, 1, 2, 2, 2, 2})
+	// Long push runs so the stealHalf thief sees multi-frame sweeps (and,
+	// at >64 queued, the stealHalfMax cap) racing popBottom and popTop.
+	f.Add(bytes.Repeat([]byte{0, 0, 0, 0, 0, 0, 3}, 30))
+	f.Add(append(bytes.Repeat([]byte{0}, 200), bytes.Repeat([]byte{2, 3}, 25)...))
 	f.Fuzz(func(t *testing.T, script []byte) {
 		if len(script) > 256 {
 			script = script[:256]
@@ -31,13 +36,23 @@ func FuzzDeque(f *testing.F) {
 		hits := make([]atomic.Int32, len(script))
 		var stop atomic.Bool
 		var wg sync.WaitGroup
-		const nThieves = 2
-		for th := 0; th < nThieves; th++ {
+		// Thief 0 steals one frame at a time; thief 1 sweeps half the
+		// queue per steal, like a steal-half scheduler under contention.
+		for th := 0; th < 2; th++ {
 			wg.Add(1)
-			go func() {
+			go func(half bool) {
 				defer wg.Done()
+				var buf []*frame
 				for {
-					if fr := d.popTop(); fr != nil {
+					if half {
+						buf = d.stealHalf(buf[:0])
+						for _, fr := range buf {
+							hits[fr.lo].Add(1)
+						}
+						if len(buf) > 0 {
+							continue
+						}
+					} else if fr := d.popTop(); fr != nil {
 						hits[fr.lo].Add(1)
 						continue
 					}
@@ -46,7 +61,7 @@ func FuzzDeque(f *testing.F) {
 					}
 					runtime.Gosched()
 				}
-			}()
+			}(th == 1)
 		}
 		pushes := 0
 		for _, op := range script {

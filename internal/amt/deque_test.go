@@ -145,6 +145,59 @@ func TestDequeInterleavedWraparound(t *testing.T) {
 	}
 }
 
+func TestDequeStealHalf(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, // empty: nothing to steal
+		{1, 1}, // a single frame is "half" rounded up
+		{2, 1},
+		{7, 4}, // ceil(n/2)
+		{8, 4},
+		{63, 32}, // capped at stealHalfMax
+		{64, 32},
+		{200, 32},
+	}
+	for _, c := range cases {
+		var d deque
+		for i := 0; i < c.n; i++ {
+			d.pushBottom(&frame{lo: i})
+		}
+		got := d.stealHalf(nil)
+		if len(got) != c.want {
+			t.Fatalf("stealHalf of %d frames took %d, want %d", c.n, len(got), c.want)
+		}
+		// The sweep takes the oldest frames in FIFO order, like popTop.
+		for i, fr := range got {
+			if fr.lo != i {
+				t.Fatalf("n=%d: stolen[%d].lo = %d, want %d", c.n, i, fr.lo, i)
+			}
+		}
+		if d.size() != c.n-c.want {
+			t.Fatalf("n=%d: %d frames left, want %d", c.n, d.size(), c.n-c.want)
+		}
+		// The remainder must still drain in order from either end.
+		if c.n > c.want {
+			if fr := d.popTop(); fr.lo != c.want {
+				t.Fatalf("n=%d: next popTop = %d, want %d", c.n, fr.lo, c.want)
+			}
+		}
+	}
+}
+
+func TestDequeStealHalfReusesBuffer(t *testing.T) {
+	var d deque
+	for i := 0; i < 10; i++ {
+		d.pushBottom(&frame{lo: i})
+	}
+	buf := make([]*frame, 0, stealHalfMax)
+	got := d.stealHalf(buf)
+	if len(got) != 5 {
+		t.Fatalf("stole %d, want 5", len(got))
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("stealHalf should append into the caller's buffer")
+	}
+}
+
 func TestDequeMixedBottomTop(t *testing.T) {
 	var d deque
 	mark := func(v int, out *[]int) *frame { return &frame{fn: func() { *out = append(*out, v) }} }

@@ -131,6 +131,18 @@ func Run(s *Scheduler, fn func()) *Void {
 	return f
 }
 
+// RunAt submits a void task with an affinity hint (SpawnAt): the task is
+// placed on worker home's deque so data it re-touches stays in that
+// worker's cache. home < 0 degrades to Run.
+func RunAt(s *Scheduler, home int, fn func()) *Void {
+	f := newFuture[Unit](s)
+	s.SpawnAt(home, func() {
+		fn()
+		f.set(Unit{})
+	})
+	return f
+}
+
 // RunBatch submits one independent void task per function with a single
 // batched spawn — one bookkeeping update and one wake sweep instead of
 // len(fns) — and returns a future per task. Use AfterAll to join them.
@@ -150,6 +162,50 @@ func RunBatch(s *Scheduler, fns []func()) []*Void {
 	return outs
 }
 
+// RunBatchAt is RunBatch with per-task affinity hints (SpawnBatchAt).
+// homes may be nil, in which case placement falls back to round-robin.
+func RunBatchAt(s *Scheduler, fns []func(), homes []int) []*Void {
+	outs := make([]*Void, len(fns))
+	ts := make([]Task, len(fns))
+	for i, fn := range fns {
+		f := newFuture[Unit](s)
+		outs[i] = f
+		fn, f := fn, f
+		ts[i] = func() {
+			fn()
+			f.set(Unit{})
+		}
+	}
+	s.SpawnBatchAt(ts, homes)
+	return outs
+}
+
+// ThenRunBatchAt attaches one void continuation per function to f. When f
+// becomes ready the whole family is submitted with a single batched,
+// home-interleaved spawn (SpawnBatchAt) — one bookkeeping update and one
+// wake sweep instead of len(fns) spawn/wake round-trips, and every
+// worker's hinted frames land on its deque within the first placement
+// round. This is the launch shape of a barrier→stage transition in the
+// task backend: all of a stage's partition chains become ready at once.
+// homes may be nil (round-robin placement, the BatchSpawn-only case).
+func ThenRunBatchAt[T any](f *Future[T], fns []func(T), homes []int) []*Void {
+	outs := make([]*Void, len(fns))
+	ts := make([]Task, len(fns))
+	for i, fn := range fns {
+		out := newFuture[Unit](f.s)
+		outs[i] = out
+		fn, out := fn, out
+		ts[i] = func() {
+			fn(f.val)
+			out.set(Unit{})
+		}
+	}
+	if len(ts) > 0 {
+		f.onReady(func() { f.s.SpawnBatchAt(ts, homes) })
+	}
+	return outs
+}
+
 // Then attaches a continuation to f, analogous to hpx::future<T>::then.
 // fn runs as a new task once f is ready; the returned future carries fn's
 // result.
@@ -166,6 +222,23 @@ func ThenRun[T any](f *Future[T], fn func(T)) *Void {
 	out := newFuture[Unit](f.s)
 	f.onReady(func() {
 		f.s.Spawn(func() {
+			fn(f.val)
+			out.set(Unit{})
+		})
+	})
+	return out
+}
+
+// ThenRunAt attaches a void continuation with an affinity hint: once f is
+// ready, fn runs as a task placed on worker home's deque. This is what
+// keeps a partition's whole per-iteration chain — and the same chain next
+// iteration — on one worker, so the ~45 kernel launches per timestep
+// re-touch warm cache lines instead of migrating the partition around the
+// pool. home < 0 degrades to ThenRun.
+func ThenRunAt[T any](f *Future[T], home int, fn func(T)) *Void {
+	out := newFuture[Unit](f.s)
+	f.onReady(func() {
+		f.s.SpawnAt(home, func() {
 			fn(f.val)
 			out.set(Unit{})
 		})

@@ -17,6 +17,19 @@ package amt
 // task, and returns a Void future that becomes ready when every chunk has
 // finished. grain < 1 is treated as a single chunk spanning the whole range.
 func ForEachBlock(s *Scheduler, begin, end, grain int, body func(lo, hi int)) *Void {
+	return ForEachBlockAt(s, begin, end, grain, nil, body)
+}
+
+// ForEachBlockAt is ForEachBlock with locality-aware placement: when home
+// is non-nil, each chunk [lo, hi) is enqueued directly on worker
+// home(lo, hi)'s deque (reduced modulo the worker count) and tagged with
+// that affinity hint, so repeated regions over the same range keep each
+// slice on one worker's cache. A negative home(lo, hi) falls back to the
+// default spread for that chunk. Hints bias placement only; stealing
+// still rebalances, and every index is executed exactly once either way.
+func ForEachBlockAt(s *Scheduler, begin, end, grain int,
+	home func(lo, hi int) int, body func(lo, hi int)) *Void {
+
 	out := newFuture[Unit](s)
 	if end <= begin {
 		out.done = true
@@ -30,6 +43,27 @@ func ForEachBlock(s *Scheduler, begin, end, grain int, body func(lo, hi int)) *V
 	nchunks := (end - begin + grain - 1) / grain
 	l := newLatch(nchunks, func() { out.set(Unit{}) })
 	s.beginBatch(nchunks)
+	if home == nil {
+		c := 0
+		for lo := begin; lo < end; lo += grain {
+			hi := lo + grain
+			if hi > end {
+				hi = end
+			}
+			f := newFrame()
+			f.body, f.lo, f.hi, f.latch = body, lo, hi, l
+			s.enqueueAt(c, f)
+			c++
+		}
+		s.wakeN(nchunks)
+		return out
+	}
+	// Hinted chunks are placed home-interleaved (see pushInterleaved):
+	// ascending-lo emission under a block-distributed home would push all
+	// of worker 0's chunks before worker 1's and hand the early chunks to
+	// whichever worker is already idle-stealing.
+	frames := make([]*frame, nchunks)
+	targets := make([]int, nchunks)
 	c := 0
 	for lo := begin; lo < end; lo += grain {
 		hi := lo + grain
@@ -38,9 +72,16 @@ func ForEachBlock(s *Scheduler, begin, end, grain int, body func(lo, hi int)) *V
 		}
 		f := newFrame()
 		f.body, f.lo, f.hi, f.latch = body, lo, hi, l
-		s.enqueueAt(c, f)
+		i := c % s.nw
+		if h := home(lo, hi); h >= 0 {
+			i = h % s.nw
+			f.home = int32(i)
+		}
+		frames[c] = f
+		targets[c] = i
 		c++
 	}
+	s.pushInterleaved(frames, targets)
 	s.wakeN(nchunks)
 	return out
 }

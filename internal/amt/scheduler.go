@@ -50,6 +50,10 @@ type Scheduler struct {
 
 	rr atomic.Uint64 // round-robin cursor for external submissions
 
+	// stealHalf switches thieves from one-frame steals to half-deque
+	// sweeps (WithStealHalf). Immutable after construction.
+	stealHalf bool
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	idle   atomic.Int32 // workers parked or about to park
@@ -63,13 +67,18 @@ type Scheduler struct {
 }
 
 type worker struct {
-	id    int
-	dq    deque // normal-priority tasks
-	hp    deque // high-priority tasks (HPX's priority local scheduling)
-	rng   *rand.Rand
-	busy  atomic.Int64 // nanoseconds spent executing task bodies
-	tasks atomic.Int64 // number of tasks executed
-	steal atomic.Int64 // number of successful steals
+	id      int
+	dq      deque // normal-priority tasks
+	hp      deque // high-priority tasks (HPX's priority local scheduling)
+	rng     *rand.Rand
+	busy    atomic.Int64 // nanoseconds spent executing task bodies
+	tasks   atomic.Int64 // number of tasks executed
+	steal   atomic.Int64 // number of successful steal sweeps
+	stolen  atomic.Int64 // frames migrated by those sweeps (> steal with steal-half)
+	affHit  atomic.Int64 // hinted frames executed on their preferred worker
+	affMiss atomic.Int64 // hinted frames executed elsewhere (migrated by a steal)
+
+	stealBuf []*frame // owner-private scratch for steal-half sweeps
 }
 
 // Option configures a Scheduler.
@@ -77,6 +86,7 @@ type Option func(*config)
 
 type config struct {
 	numWorkers int
+	stealHalf  bool
 	observer   func(worker int, start time.Time, dur time.Duration)
 }
 
@@ -108,6 +118,16 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithStealHalf makes thieves migrate up to half of a victim's queue in one
+// sweep instead of a single frame. Task Bench-style studies show steal
+// traffic dominating AMT overhead at fine grain; batched steals amortize
+// the per-steal synchronization over many frames and let a lagging worker
+// catch up in one move. Execution semantics are unchanged — every frame
+// still runs exactly once.
+func WithStealHalf(enabled bool) Option {
+	return func(c *config) { c.stealHalf = enabled }
+}
+
 // NewScheduler creates a scheduler with the given options. The default
 // worker count is runtime.GOMAXPROCS(0), mirroring HPX's default of one
 // worker OS-thread per core.
@@ -116,7 +136,7 @@ func NewScheduler(opts ...Option) *Scheduler {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s := &Scheduler{nw: cfg.numWorkers, epoch: time.Now()}
+	s := &Scheduler{nw: cfg.numWorkers, stealHalf: cfg.stealHalf, epoch: time.Now()}
 	if cfg.observer != nil {
 		s.observer.Store(&cfg.observer)
 	}
@@ -124,8 +144,9 @@ func NewScheduler(opts ...Option) *Scheduler {
 	s.workers = make([]*worker, s.nw)
 	for i := range s.workers {
 		s.workers[i] = &worker{
-			id:  i,
-			rng: rand.New(rand.NewSource(int64(i)*0x9E3779B9 + 1)),
+			id:       i,
+			rng:      rand.New(rand.NewSource(int64(i)*0x9E3779B9 + 1)),
+			stealBuf: make([]*frame, 0, stealHalfMax),
 		}
 	}
 	s.wg.Add(s.nw)
@@ -151,6 +172,116 @@ func (s *Scheduler) Spawn(t Task) {
 	i := int(s.rr.Add(1)-1) % s.nw
 	s.workers[i].dq.pushBottom(f)
 	s.wake()
+}
+
+// SpawnAt submits a task with an affinity hint: the frame is placed
+// directly on worker home's deque (reduced modulo the worker count) and
+// tagged so the hit/miss counters can report whether it actually ran
+// there. A negative home degrades to plain Spawn. The hint biases
+// placement only — idle workers still steal the frame, so affinity never
+// causes starvation; it just makes the common, balanced case re-touch
+// data where it is already cached.
+func (s *Scheduler) SpawnAt(home int, t Task) {
+	if t == nil {
+		panic("amt: SpawnAt called with nil task")
+	}
+	if home < 0 {
+		s.Spawn(t)
+		return
+	}
+	home %= s.nw
+	f := newFrame()
+	f.fn = t
+	f.home = int32(home)
+	s.inflight.Add(1)
+	s.pending.Add(1)
+	s.workers[home].dq.pushBottom(f)
+	s.wake()
+}
+
+// SpawnBatchAt is SpawnBatch with per-task affinity hints: task ts[i] is
+// placed on worker homes[i] (negative entries fall back to round-robin).
+// homes may be nil, making it equivalent to SpawnBatch. Like SpawnBatch it
+// performs one bookkeeping update and one wake sweep for the whole batch.
+func (s *Scheduler) SpawnBatchAt(ts []Task, homes []int) {
+	if homes == nil {
+		s.SpawnBatch(ts)
+		return
+	}
+	n := len(ts)
+	if n == 0 {
+		return
+	}
+	if len(homes) != n {
+		panic("amt: SpawnBatchAt homes/tasks length mismatch")
+	}
+	for _, t := range ts {
+		if t == nil {
+			panic("amt: SpawnBatchAt called with nil task")
+		}
+	}
+	s.inflight.Add(int64(n))
+	s.pending.Add(int64(n))
+	base := int(s.rr.Add(uint64(n)) - uint64(n))
+	frames := make([]*frame, n)
+	targets := make([]int, n)
+	for k, t := range ts {
+		f := newFrame()
+		f.fn = t
+		i := (base + k) % s.nw
+		if h := homes[k]; h >= 0 {
+			i = h % s.nw
+			f.home = int32(i)
+		}
+		frames[k] = f
+		targets[k] = i
+	}
+	s.pushInterleaved(frames, targets)
+	s.wakeN(n)
+}
+
+// pushInterleaved pushes pre-counted frames onto their target deques in
+// round-robin order across workers (first frame of every worker, then the
+// second of every worker, ...), preserving submission order within each
+// deque. Launch sites enumerate mesh partitions in ascending order, which
+// under a block-distributed affinity map emits all of worker 0's frames
+// before any of worker 1's; pushed in that order, a worker going idle at a
+// stage boundary sees only *other* workers' hinted frames and steals them
+// — and the owners then steal the thief's late-arriving frames back, so
+// under contention roughly half of all hinted frames migrated (measured
+// ~50% affinity hit rate on 2 workers, i.e. chance). Interleaving makes
+// every worker's first frame land within the first sweep round, so wakers
+// and spinning thieves find their own work before resorting to stealing.
+func (s *Scheduler) pushInterleaved(frames []*frame, targets []int) {
+	// Counting sort by target worker — three fixed-size allocations, no
+	// slice regrowth: start[w] marks worker w's group in sorted, cur[w]
+	// doubles as the fill cursor and then the round-robin walk cursor.
+	n := len(frames)
+	start := make([]int, s.nw+1)
+	for _, w := range targets {
+		start[w+1]++
+	}
+	for w := 0; w < s.nw; w++ {
+		start[w+1] += start[w]
+	}
+	sorted := make([]*frame, n)
+	cur := make([]int, s.nw)
+	copy(cur, start)
+	for k, f := range frames {
+		w := targets[k]
+		sorted[cur[w]] = f
+		cur[w]++
+	}
+	copy(cur, start)
+	for left := n; left > 0; {
+		for w := 0; w < s.nw; w++ {
+			if cur[w] < start[w+1] {
+				s.workers[w].dq.pushBottom(sorted[cur[w]])
+				cur[w]++
+				left--
+			}
+		}
+	}
 }
 
 // SpawnHigh submits a high-priority task: workers drain high-priority
@@ -257,11 +388,19 @@ func (s *Scheduler) run(w *worker) {
 			}
 			continue
 		}
+		home := t.home // read before run() recycles the frame
 		start := time.Now()
 		t.run()
 		dur := time.Since(start)
 		w.busy.Add(int64(dur))
 		w.tasks.Add(1)
+		if home >= 0 {
+			if int(home) == w.id {
+				w.affHit.Add(1)
+			} else {
+				w.affMiss.Add(1)
+			}
+		}
 		if obs := s.observer.Load(); obs != nil {
 			(*obs)(w.id, start, dur)
 		}
@@ -285,6 +424,7 @@ func (s *Scheduler) find(w *worker) *frame {
 		if t := v.hp.popTop(); t != nil {
 			s.pending.Add(-1)
 			w.steal.Add(1)
+			w.stolen.Add(1)
 			return t
 		}
 	}
@@ -298,13 +438,44 @@ func (s *Scheduler) find(w *worker) *frame {
 		if v == w {
 			continue
 		}
+		if s.stealHalf {
+			if t := s.stealHalfFrom(w, v); t != nil {
+				return t
+			}
+			continue
+		}
 		if t := v.dq.popTop(); t != nil {
 			s.pending.Add(-1)
 			w.steal.Add(1)
+			w.stolen.Add(1)
 			return t
 		}
 	}
 	return nil
+}
+
+// stealHalfFrom migrates up to half of v's queue to w in one sweep. The
+// first stolen frame is returned for immediate execution; the rest are
+// re-queued on w's own deque. Only the returned frame leaves the pending
+// count — the re-queued frames are still queued work, merely relocated, so
+// the park/wake ticket protocol is untouched and other thieves can steal
+// them onward from w.
+func (s *Scheduler) stealHalfFrom(w, v *worker) *frame {
+	buf := v.dq.stealHalf(w.stealBuf[:0])
+	w.stealBuf = buf
+	if len(buf) == 0 {
+		return nil
+	}
+	f := buf[0]
+	for i := 1; i < len(buf); i++ {
+		w.dq.pushBottom(buf[i])
+		buf[i] = nil
+	}
+	buf[0] = nil
+	s.pending.Add(-1)
+	w.steal.Add(1)
+	w.stolen.Add(int64(len(buf)))
+	return f
 }
 
 // park blocks until work may be available or the scheduler closes.
@@ -353,13 +524,18 @@ func (s *Scheduler) Close() {
 // (or scheduler creation). It mirrors the HPX idle-rate performance counter
 // the paper uses for Figure 11.
 type Counters struct {
-	Workers    int           // number of workers
-	Wall       time.Duration // wall time covered by the snapshot
-	Busy       time.Duration // summed task-body execution time, all workers
-	Tasks      int64         // tasks executed
-	Steals     int64         // successful steals
-	PerWorker  []time.Duration
-	Utilizable time.Duration // Wall * Workers
+	Workers         int           // number of workers
+	Wall            time.Duration // wall time covered by the snapshot
+	Busy            time.Duration // summed task-body execution time, all workers
+	Tasks           int64         // tasks executed
+	Steals          int64         // successful steal sweeps
+	Stolen          int64         // frames migrated by steals (> Steals under steal-half)
+	AffHits         int64         // affinity-hinted frames executed on their preferred worker
+	AffMisses       int64         // affinity-hinted frames executed on some other worker
+	PerWorker       []time.Duration
+	PerWorkerTasks  []int64
+	PerWorkerSteals []int64
+	Utilizable      time.Duration // Wall * Workers
 }
 
 // Utilization is the ratio of productive time to total worker time,
@@ -375,9 +551,33 @@ func (c Counters) Utilization() float64 {
 	return u
 }
 
+// AffinityHitRate is the fraction of affinity-hinted tasks that executed
+// on their preferred worker — the locality analog of the idle-rate
+// counter. The second result is false when no hinted task has run.
+func (c Counters) AffinityHitRate() (float64, bool) {
+	hinted := c.AffHits + c.AffMisses
+	if hinted == 0 {
+		return 0, false
+	}
+	return float64(c.AffHits) / float64(hinted), true
+}
+
+// FramesPerSteal is the average number of frames one successful steal
+// sweep migrated (1 without steal-half).
+func (c Counters) FramesPerSteal() float64 {
+	if c.Steals == 0 {
+		return 0
+	}
+	return float64(c.Stolen) / float64(c.Steals)
+}
+
 func (c Counters) String() string {
-	return fmt.Sprintf("workers=%d wall=%v busy=%v util=%.1f%% tasks=%d steals=%d",
-		c.Workers, c.Wall, c.Busy, 100*c.Utilization(), c.Tasks, c.Steals)
+	out := fmt.Sprintf("workers=%d wall=%v busy=%v util=%.1f%% tasks=%d steals=%d stolen=%d",
+		c.Workers, c.Wall, c.Busy, 100*c.Utilization(), c.Tasks, c.Steals, c.Stolen)
+	if rate, ok := c.AffinityHitRate(); ok {
+		out += fmt.Sprintf(" aff=%.1f%%", 100*rate)
+	}
+	return out
 }
 
 // ResetCounters starts a new measurement epoch.
@@ -386,6 +586,9 @@ func (s *Scheduler) ResetCounters() {
 		w.busy.Store(0)
 		w.tasks.Store(0)
 		w.steal.Store(0)
+		w.stolen.Store(0)
+		w.affHit.Store(0)
+		w.affMiss.Store(0)
 	}
 	s.mu.Lock()
 	s.epoch = time.Now()
@@ -399,12 +602,19 @@ func (s *Scheduler) CountersSnapshot() Counters {
 	s.mu.Unlock()
 	c := Counters{Workers: s.nw, Wall: time.Since(epoch)}
 	c.PerWorker = make([]time.Duration, s.nw)
+	c.PerWorkerTasks = make([]int64, s.nw)
+	c.PerWorkerSteals = make([]int64, s.nw)
 	for i, w := range s.workers {
 		b := time.Duration(w.busy.Load())
 		c.PerWorker[i] = b
 		c.Busy += b
-		c.Tasks += w.tasks.Load()
-		c.Steals += w.steal.Load()
+		c.PerWorkerTasks[i] = w.tasks.Load()
+		c.PerWorkerSteals[i] = w.steal.Load()
+		c.Tasks += c.PerWorkerTasks[i]
+		c.Steals += c.PerWorkerSteals[i]
+		c.Stolen += w.stolen.Load()
+		c.AffHits += w.affHit.Load()
+		c.AffMisses += w.affMiss.Load()
 	}
 	c.Utilizable = c.Wall * time.Duration(s.nw)
 	return c

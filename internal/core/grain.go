@@ -1,0 +1,119 @@
+package core
+
+import (
+	"time"
+
+	"lulesh/internal/amt"
+)
+
+// The adaptive grain controller: a feedback loop that replaces the static
+// Table I partition sizes. The paper tunes partition grain offline per
+// (size, threads) pair; the controller instead reads the scheduler's
+// per-worker busy/idle counters — the same idle-rate performance counter
+// HPX exposes and Figure 11 plots — every few timesteps and adjusts the
+// grain to hold the idle rate under a target:
+//
+//   - idle rate above target  → workers are starving between barriers →
+//     halve the partition size, creating more (smaller) tasks to fill the
+//     gaps;
+//   - idle rate well below target → the pool is saturated → double the
+//     partition size, buying back per-task dispatch overhead.
+//
+// A dead band between the two thresholds prevents oscillation, and grain
+// stays within the Table I tuning bounds. Regraining changes only how
+// loops are partitioned — kernels, per-datum arithmetic and reduction
+// order are grain-invariant — so results remain bitwise identical to the
+// serial reference at every setting (asserted by the equivalence tests
+// and the luleshverify locality sweep).
+
+const (
+	// DefaultTargetIdle is the controller's idle-rate setpoint when
+	// Options.TargetIdle is zero.
+	DefaultTargetIdle = 0.15
+
+	// grainMinPart / grainMaxPart bound the partition sizes the
+	// controller may choose, matching the Table I heuristic bounds.
+	grainMinPart = 64
+	grainMaxPart = 8192
+
+	// grainAdjustEvery is the number of timesteps between controller
+	// decisions — long enough for a measurable busy/idle window, short
+	// enough to converge within a reduced-iteration run.
+	grainAdjustEvery = 4
+)
+
+// grainController accumulates busy/idle windows and emits scale decisions.
+type grainController struct {
+	target float64
+
+	steps    int
+	lastBusy time.Duration
+	lastWall time.Time
+
+	adjustments int // grain changes applied (reporting only)
+}
+
+func newGrainController(target float64, now time.Time) *grainController {
+	if target <= 0 {
+		target = DefaultTargetIdle
+	}
+	return &grainController{target: target, lastWall: now}
+}
+
+// tick observes one completed timestep given the scheduler's cumulative
+// counters. Every grainAdjustEvery steps it closes the measurement window
+// and returns a decision: -1 narrow the grain (halve), +1 widen (double),
+// 0 hold.
+func (g *grainController) tick(c amt.Counters, now time.Time) int {
+	g.steps++
+	if g.steps%grainAdjustEvery != 0 {
+		return 0
+	}
+	wall := now.Sub(g.lastWall)
+	busy := c.Busy - g.lastBusy
+	g.lastBusy = c.Busy
+	g.lastWall = now
+	if wall <= 0 || c.Workers == 0 || busy < 0 {
+		// busy < 0 means the counters were reset mid-window (core.Run
+		// resets at start); resynchronize and skip this decision.
+		return 0
+	}
+	util := float64(busy) / (float64(wall) * float64(c.Workers))
+	idle := 1 - util
+	if idle > g.target {
+		return -1
+	}
+	if idle < g.target/3 {
+		return 1
+	}
+	return 0
+}
+
+// scaleGrain applies a controller decision to a partition size for a loop
+// of n indices on nw workers, clamping to the tuning bounds and to at
+// most one partition-per-worker's worth of widening (a grain so large
+// that fewer partitions than workers exist can only raise the idle rate).
+func scaleGrain(part, scale, n, nw int) int {
+	switch scale {
+	case -1:
+		part /= 2
+	case 1:
+		part *= 2
+	}
+	upper := grainMaxPart
+	if nw > 0 {
+		if perWorker := n / nw; perWorker < upper {
+			upper = perWorker
+		}
+	}
+	if upper < grainMinPart {
+		upper = grainMinPart
+	}
+	if part > upper {
+		part = upper
+	}
+	if part < grainMinPart {
+		part = grainMinPart
+	}
+	return part
+}

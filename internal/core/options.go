@@ -40,6 +40,38 @@ type Options struct {
 	// separable for ablation.
 	BatchSpawn bool
 
+	// Affinity turns on locality-aware task placement: a persistent
+	// partition→worker map assigns every element, nodal and region-chain
+	// partition a home worker (block distribution over the mesh), and all
+	// of the partition's tasks — every stage, every timestep — are spawned
+	// with that affinity hint, so the same worker re-touches the same mesh
+	// slice across the ~45 kernel launches per iteration. Hints bias
+	// placement only; work stealing still rebalances, and results remain
+	// bitwise identical. On in the default configuration; separable for
+	// ablation.
+	Affinity bool
+
+	// StealHalf makes idle workers migrate up to half of a victim's queue
+	// per steal sweep instead of one frame, cutting steal attempts on the
+	// fine-grained hot path (amt.WithStealHalf). Scheduling-only: results
+	// are unchanged. On in the default configuration; separable for
+	// ablation.
+	StealHalf bool
+
+	// AdaptiveGrain replaces the static Table I partition sizes with a
+	// feedback controller: each few timesteps the per-worker busy/idle
+	// counters are read and the partition grain is narrowed (more, smaller
+	// tasks) when the idle rate exceeds TargetIdle or widened (fewer,
+	// larger tasks) when the pool is comfortably busy. Partition sizes
+	// stay within the Table I tuning bounds and results remain bitwise
+	// identical at every grain. Off by default — it overrides the paper's
+	// static Table I tuning and is an extension experiment here.
+	AdaptiveGrain bool
+
+	// TargetIdle is the idle-rate setpoint of the AdaptiveGrain
+	// controller. 0 means DefaultTargetIdle.
+	TargetIdle float64
+
 	// PrioritizeHeavyRegions schedules the expensive material chains
 	// (EOS repetition factor >= 10, the "very expensive regions" of the
 	// load-imbalance model) at high priority — a longest-processing-
@@ -62,6 +94,8 @@ func DefaultOptions(edgeElems, threads int) Options {
 		ParallelForces:  true,
 		ParallelRegions: true,
 		BatchSpawn:      true,
+		Affinity:        true,
+		StealHalf:       true,
 	}
 	o.PartNodal, o.PartElem = TableIPartitions(edgeElems, threads)
 	return o

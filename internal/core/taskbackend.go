@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"lulesh/internal/amt"
 	"lulesh/internal/domain"
@@ -30,6 +31,13 @@ type BackendTask struct {
 	s   *amt.Scheduler
 	opt Options
 
+	// aff is the locality layer's persistent partition→worker map
+	// (Options.Affinity); nil when affinity is off.
+	aff *affinityMap
+	// grain is the idle-rate feedback controller (Options.AdaptiveGrain);
+	// nil when the static Table I grain is used.
+	grain *grainController
+
 	// Mesh-sized persistent temporaries.
 	sigxx, sigyy, sigzz []float64
 	determS, determH    []float64
@@ -53,14 +61,24 @@ type hgScratch struct {
 }
 
 func newHGScratch(n int) *hgScratch {
-	return &hgScratch{
-		dvdx: make([]float64, 8*n),
-		dvdy: make([]float64, 8*n),
-		dvdz: make([]float64, 8*n),
-		x8n:  make([]float64, 8*n),
-		y8n:  make([]float64, 8*n),
-		z8n:  make([]float64, 8*n),
+	sc := &hgScratch{}
+	sc.ensure(n)
+	return sc
+}
+
+// ensure grows the scratch to hold at least n elements. Needed because
+// the adaptive grain controller can widen partitions after scratch of the
+// original size has been pooled.
+func (sc *hgScratch) ensure(n int) {
+	if len(sc.dvdx) >= 8*n {
+		return
 	}
+	sc.dvdx = make([]float64, 8*n)
+	sc.dvdy = make([]float64, 8*n)
+	sc.dvdz = make([]float64, 8*n)
+	sc.x8n = make([]float64, 8*n)
+	sc.y8n = make([]float64, 8*n)
+	sc.z8n = make([]float64, 8*n)
 }
 
 // NewBackendTask creates the many-task backend for domains shaped like d.
@@ -79,7 +97,8 @@ func NewBackendTask(d *domain.Domain, opt Options) *BackendTask {
 	}
 	ne := d.NumElem()
 	b := &BackendTask{
-		s:       amt.NewScheduler(amt.WithWorkers(opt.Threads)),
+		s: amt.NewScheduler(amt.WithWorkers(opt.Threads),
+			amt.WithStealHalf(opt.StealHalf)),
 		opt:     opt,
 		sigxx:   make([]float64, ne),
 		sigyy:   make([]float64, ne),
@@ -98,13 +117,67 @@ func NewBackendTask(d *domain.Domain, opt Options) *BackendTask {
 	b.hgPool.New = func() any { return newHGScratch(partE) }
 	b.eosPool.New = func() any { return kernels.NewEOSScratch(partE) }
 
+	if opt.Affinity {
+		b.aff = newAffinityMap(ne, d.NumNode(), b.s.Workers(),
+			opt.PartElem, opt.PartNodal)
+	}
+	if opt.AdaptiveGrain {
+		b.grain = newGrainController(opt.TargetIdle, time.Now())
+	}
+	b.sizeRegionParts(d)
+	return b
+}
+
+// sizeRegionParts (re)allocates the per-region-partition constraint-minima
+// arrays for the current element grain.
+func (b *BackendTask) sizeRegionParts(d *domain.Domain) {
 	nParts := 0
 	for _, regList := range d.Regions.ElemList {
-		nParts += numPartitions(len(regList), partE)
+		nParts += numPartitions(len(regList), b.opt.PartElem)
+	}
+	if cap(b.dtcPart) >= nParts {
+		b.dtcPart = b.dtcPart[:nParts]
+		b.dthPart = b.dthPart[:nParts]
+		return
 	}
 	b.dtcPart = make([]float64, nParts)
 	b.dthPart = make([]float64, nParts)
-	return b
+}
+
+// homeElem, homeNode and homeRegion consult the locality map; they return
+// -1 (no hint, default placement) when affinity is off.
+func (b *BackendTask) homeElem(lo int) int {
+	if b.aff == nil {
+		return -1
+	}
+	return b.aff.elemWorker(lo)
+}
+
+func (b *BackendTask) homeNode(lo int) int {
+	if b.aff == nil {
+		return -1
+	}
+	return b.aff.nodeWorker(lo)
+}
+
+func (b *BackendTask) homeRegion(regList []int32, lo int) int {
+	if b.aff == nil || lo >= len(regList) {
+		return -1
+	}
+	return b.aff.regionWorker(regList, lo)
+}
+
+// getHG / getEOS fetch pooled scratch guaranteed to hold n elements.
+func (b *BackendTask) getHG(n int) *hgScratch {
+	sc := b.hgPool.Get().(*hgScratch)
+	sc.ensure(n)
+	return sc
+}
+
+func (b *BackendTask) getEOS(n int) *kernels.EOSScratch {
+	sc := b.eosPool.Get().(*kernels.EOSScratch)
+	sc.Ensure(n)
+	return sc
 }
 
 func (b *BackendTask) Name() string { return "task" }
@@ -181,7 +254,72 @@ func (b *BackendTask) Step(d *domain.Domain) error {
 		d.Dthydro = dth
 	})
 	done.Get()
-	return b.flag.Err()
+	if err := b.flag.Err(); err != nil {
+		return err
+	}
+
+	// The grain controller runs between timesteps, when no tasks are in
+	// flight, so regraining never races with launch sites.
+	if b.grain != nil {
+		b.applyGrain(d, b.grain.tick(b.s.CountersSnapshot(), time.Now()))
+	}
+	return nil
+}
+
+// applyGrain applies a controller decision: rescale both partition sizes,
+// resize the per-partition constraint arrays and rebuild the affinity map.
+func (b *BackendTask) applyGrain(d *domain.Domain, scale int) {
+	if scale == 0 {
+		return
+	}
+	nw := b.s.Workers()
+	newElem := scaleGrain(b.opt.PartElem, scale, d.NumElem(), nw)
+	newNodal := scaleGrain(b.opt.PartNodal, scale, d.NumNode(), nw)
+	if newElem == b.opt.PartElem && newNodal == b.opt.PartNodal {
+		return
+	}
+	b.opt.PartElem, b.opt.PartNodal = newElem, newNodal
+	b.grain.adjustments++
+	b.sizeRegionParts(d)
+	if b.aff != nil {
+		b.aff.rebuild(newElem, newNodal)
+	}
+}
+
+// GrainAdjustments reports how many times the adaptive controller changed
+// the partition grain (0 without AdaptiveGrain).
+func (b *BackendTask) GrainAdjustments() int {
+	if b.grain == nil {
+		return 0
+	}
+	return b.grain.adjustments
+}
+
+// Counters exposes the scheduler's activity counters (steals, migrated
+// frames, affinity hits) for the benchmark harness and trace export.
+func (b *BackendTask) Counters() amt.Counters { return b.s.CountersSnapshot() }
+
+// attachStage attaches one continuation per partition to a stage barrier.
+// With BatchSpawn the whole family goes out as a single batched,
+// home-interleaved spawn when the barrier trips (one bookkeeping update
+// and one wake sweep, and no window in which only one worker's hinted
+// frames are visible to thieves); otherwise one ThenRunAt per chain.
+func (b *BackendTask) attachStage(barrier *amt.Void, fns []func(amt.Unit), homes []int) []*amt.Void {
+	if b.aff == nil {
+		homes = nil
+	}
+	if b.opt.BatchSpawn {
+		return amt.ThenRunBatchAt(barrier, fns, homes)
+	}
+	out := make([]*amt.Void, len(fns))
+	for i, fn := range fns {
+		home := -1
+		if homes != nil {
+			home = homes[i]
+		}
+		out[i] = amt.ThenRunAt(barrier, home, fn)
+	}
+	return out
 }
 
 // launchForces creates the stress and hourglass force tasks for every
@@ -195,6 +333,7 @@ func (b *BackendTask) launchForces(d *domain.Domain) []*amt.Void {
 	p := &d.Par
 	var out []*amt.Void
 	partition(d.NumElem(), b.opt.PartElem, func(lo, hi int) {
+		home := b.homeElem(lo)
 		stressInit := func() {
 			kernels.InitStressTerms(d, b.sigxx, b.sigyy, b.sigzz, lo, hi)
 		}
@@ -205,9 +344,9 @@ func (b *BackendTask) launchForces(d *domain.Domain) []*amt.Void {
 		}
 		var stress *amt.Void
 		if b.opt.Fuse {
-			stress = amt.Run(b.s, func() { stressInit(); stressIntegrate() })
+			stress = amt.RunAt(b.s, home, func() { stressInit(); stressIntegrate() })
 		} else {
-			stress = amt.ThenRun(amt.Run(b.s, stressInit),
+			stress = amt.ThenRunAt(amt.RunAt(b.s, home, stressInit), home,
 				func(amt.Unit) { stressIntegrate() })
 		}
 		out = append(out, stress)
@@ -215,7 +354,7 @@ func (b *BackendTask) launchForces(d *domain.Domain) []*amt.Void {
 		hg := func() *amt.Void {
 			if b.opt.Fuse {
 				run := func() {
-					sc := b.hgPool.Get().(*hgScratch)
+					sc := b.getHG(hi - lo)
 					kernels.HourglassPrep(d, sc.dvdx, sc.dvdy, sc.dvdz,
 						sc.x8n, sc.y8n, sc.z8n, b.determH, lo, lo, hi, &b.flag)
 					if p.HGCoef > 0 {
@@ -226,12 +365,12 @@ func (b *BackendTask) launchForces(d *domain.Domain) []*amt.Void {
 					b.hgPool.Put(sc)
 				}
 				if b.opt.ParallelForces {
-					return amt.Run(b.s, run)
+					return amt.RunAt(b.s, home, run)
 				}
-				return amt.ThenRun(stress, func(amt.Unit) { run() })
+				return amt.ThenRunAt(stress, home, func(amt.Unit) { run() })
 			}
 			// Unfused: prep and force as chained tasks sharing scratch.
-			sc := b.hgPool.Get().(*hgScratch)
+			sc := b.getHG(hi - lo)
 			prep := func() {
 				kernels.HourglassPrep(d, sc.dvdx, sc.dvdy, sc.dvdz,
 					sc.x8n, sc.y8n, sc.z8n, b.determH, lo, lo, hi, &b.flag)
@@ -246,11 +385,11 @@ func (b *BackendTask) launchForces(d *domain.Domain) []*amt.Void {
 			}
 			var t *amt.Void
 			if b.opt.ParallelForces {
-				t = amt.Run(b.s, prep)
+				t = amt.RunAt(b.s, home, prep)
 			} else {
-				t = amt.ThenRun(stress, func(amt.Unit) { prep() })
+				t = amt.ThenRunAt(stress, home, func(amt.Unit) { prep() })
 			}
-			return amt.ThenRun(t, func(amt.Unit) { force() })
+			return amt.ThenRunAt(t, home, func(amt.Unit) { force() })
 		}()
 		out = append(out, hg)
 	})
@@ -266,12 +405,15 @@ func (b *BackendTask) launchForces(d *domain.Domain) []*amt.Void {
 func (b *BackendTask) launchForcesBatched(d *domain.Domain) []*amt.Void {
 	p := &d.Par
 	var roots []func()
+	var homes []int
 	type chainedHG struct {
 		stress int // index in roots of the stress task this chain follows
+		home   int
 		run    func()
 	}
 	var chained []chainedHG
 	partition(d.NumElem(), b.opt.PartElem, func(lo, hi int) {
+		home := b.homeElem(lo)
 		stress := func() {
 			kernels.InitStressTerms(d, b.sigxx, b.sigyy, b.sigzz, lo, hi)
 			kernels.IntegrateStress(d, b.sigxx, b.sigyy, b.sigzz, b.determS,
@@ -280,8 +422,9 @@ func (b *BackendTask) launchForcesBatched(d *domain.Domain) []*amt.Void {
 		}
 		si := len(roots)
 		roots = append(roots, stress)
+		homes = append(homes, home)
 		hg := func() {
-			sc := b.hgPool.Get().(*hgScratch)
+			sc := b.getHG(hi - lo)
 			kernels.HourglassPrep(d, sc.dvdx, sc.dvdy, sc.dvdz,
 				sc.x8n, sc.y8n, sc.z8n, b.determH, lo, lo, hi, &b.flag)
 			if p.HGCoef > 0 {
@@ -293,14 +436,18 @@ func (b *BackendTask) launchForcesBatched(d *domain.Domain) []*amt.Void {
 		}
 		if b.opt.ParallelForces {
 			roots = append(roots, hg)
+			homes = append(homes, home)
 		} else {
-			chained = append(chained, chainedHG{si, hg})
+			chained = append(chained, chainedHG{si, home, hg})
 		}
 	})
-	out := amt.RunBatch(b.s, roots)
+	if b.aff == nil {
+		homes = nil
+	}
+	out := amt.RunBatchAt(b.s, roots, homes)
 	for _, c := range chained {
 		run := c.run
-		out = append(out, amt.ThenRun(out[c.stress], func(amt.Unit) { run() }))
+		out = append(out, amt.ThenRunAt(out[c.stress], c.home, func(amt.Unit) { run() }))
 	}
 	return out
 }
@@ -312,7 +459,10 @@ func (b *BackendTask) launchNodal(d *domain.Domain, forces []*amt.Void) []*amt.V
 	delt := d.Deltatime
 	barrier := amt.AfterAll(b.s, forces)
 	var out []*amt.Void
+	var fns []func(amt.Unit)
+	var homes []int
 	partition(d.NumNode(), b.opt.PartNodal, func(lo, hi int) {
+		home := b.homeNode(lo)
 		gather := func() {
 			if p.HGCoef > 0 {
 				kernels.GatherTwoCornerForces(d, b.fxS, b.fyS, b.fzS,
@@ -329,20 +479,24 @@ func (b *BackendTask) launchNodal(d *domain.Domain, forces []*amt.Void) []*amt.V
 		pos := func() { kernels.CalcPosition(d, delt, lo, hi) }
 
 		if b.opt.Fuse {
-			out = append(out, amt.ThenRun(barrier, func(amt.Unit) {
+			fns = append(fns, func(amt.Unit) {
 				gather()
 				accel()
 				vel()
 				pos()
-			}))
+			})
+			homes = append(homes, home)
 			return
 		}
-		t := amt.ThenRun(barrier, func(amt.Unit) { gather() })
-		t = amt.ThenRun(t, func(amt.Unit) { accel() })
-		t = amt.ThenRun(t, func(amt.Unit) { vel() })
-		t = amt.ThenRun(t, func(amt.Unit) { pos() })
+		t := amt.ThenRunAt(barrier, home, func(amt.Unit) { gather() })
+		t = amt.ThenRunAt(t, home, func(amt.Unit) { accel() })
+		t = amt.ThenRunAt(t, home, func(amt.Unit) { vel() })
+		t = amt.ThenRunAt(t, home, func(amt.Unit) { pos() })
 		out = append(out, t)
 	})
+	if b.opt.Fuse {
+		return b.attachStage(barrier, fns, homes)
+	}
 	return out
 }
 
@@ -354,7 +508,10 @@ func (b *BackendTask) launchElements(d *domain.Domain, nodal []*amt.Void) []*amt
 	delt := d.Deltatime
 	barrier := amt.AfterAll(b.s, nodal)
 	var out []*amt.Void
+	var fns []func(amt.Unit)
+	var homes []int
 	partition(d.NumElem(), b.opt.PartElem, func(lo, hi int) {
+		home := b.homeElem(lo)
 		kin := func() {
 			kernels.CalcKinematics(d, delt, lo, hi)
 			kernels.CalcStrainRate(d, lo, hi, &b.flag)
@@ -372,18 +529,22 @@ func (b *BackendTask) launchElements(d *domain.Domain, nodal []*amt.Void) []*amt
 			kernels.CheckVBounds(d, lo, hi, &b.flag)
 		}
 		if b.opt.Fuse {
-			out = append(out, amt.ThenRun(barrier, func(amt.Unit) {
+			fns = append(fns, func(amt.Unit) {
 				kin()
 				grad()
 				prep()
-			}))
+			})
+			homes = append(homes, home)
 			return
 		}
-		t := amt.ThenRun(barrier, func(amt.Unit) { kin() })
-		t = amt.ThenRun(t, func(amt.Unit) { grad() })
-		t = amt.ThenRun(t, func(amt.Unit) { prep() })
+		t := amt.ThenRunAt(barrier, home, func(amt.Unit) { kin() })
+		t = amt.ThenRunAt(t, home, func(amt.Unit) { grad() })
+		t = amt.ThenRunAt(t, home, func(amt.Unit) { prep() })
 		out = append(out, t)
 	})
+	if b.opt.Fuse {
+		return b.attachStage(barrier, fns, homes)
+	}
 	return out
 }
 
@@ -396,6 +557,13 @@ func (b *BackendTask) launchRegions(d *domain.Domain, elems []*amt.Void) []*amt.
 	var out []*amt.Void
 	parent := barrier
 	pidx := 0
+	// Fused chains of concurrently-running regions all become ready at the
+	// same barrier, so they can leave as one batched, home-interleaved
+	// spawn; the prioritized heavy chains and the serialized mode keep
+	// their individual attachment.
+	batchable := b.opt.Fuse && b.opt.ParallelRegions && b.opt.BatchSpawn
+	var batchFns []func(amt.Unit)
+	var batchHomes []int
 	for r, regList := range d.Regions.ElemList {
 		regList := regList
 		rep := d.Regions.Rep(r)
@@ -403,9 +571,10 @@ func (b *BackendTask) launchRegions(d *domain.Domain, elems []*amt.Void) []*amt.
 		partition(len(regList), b.opt.PartElem, func(lo, hi int) {
 			idx := pidx
 			pidx++
+			home := b.homeRegion(regList, lo)
 			monoq := func() { kernels.MonoQRegion(d, regList, lo, hi) }
 			eos := func() {
-				sc := b.eosPool.Get().(*kernels.EOSScratch)
+				sc := b.getEOS(hi - lo)
 				kernels.EvalEOS(d, b.vnewc, regList, sc, rep, lo, hi)
 				b.eosPool.Put(sc)
 			}
@@ -414,9 +583,24 @@ func (b *BackendTask) launchRegions(d *domain.Domain, elems []*amt.Void) []*amt.
 				b.dthPart[idx] = kernels.HydroConstraint(d, regList, lo, hi)
 			}
 			// Optional LPT heuristic: launch the expensive chains at
-			// high priority so they start as early as possible.
-			attach := amt.ThenRun[amt.Unit]
-			if b.opt.PrioritizeHeavyRegions && rep >= 10 {
+			// high priority so they start as early as possible (the
+			// high-priority queue is shared, so priority overrides the
+			// affinity hint). Otherwise the chain inherits the affinity
+			// of its element range.
+			heavy := b.opt.PrioritizeHeavyRegions && rep >= 10
+			if batchable && !heavy {
+				batchFns = append(batchFns, func(amt.Unit) {
+					monoq()
+					eos()
+					constraints()
+				})
+				batchHomes = append(batchHomes, home)
+				return
+			}
+			attach := func(p *amt.Void, fn func(amt.Unit)) *amt.Void {
+				return amt.ThenRunAt(p, home, fn)
+			}
+			if heavy {
 				attach = amt.ThenRunHigh[amt.Unit]
 			}
 			var t *amt.Void
@@ -442,6 +626,12 @@ func (b *BackendTask) launchRegions(d *domain.Domain, elems []*amt.Void) []*amt.
 			parent = amt.AfterAll(b.s, regionTasks)
 		}
 	}
+	if len(batchFns) > 0 {
+		if b.aff == nil {
+			batchHomes = nil
+		}
+		out = append(out, amt.ThenRunBatchAt(barrier, batchFns, batchHomes)...)
+	}
 	return out
 }
 
@@ -451,11 +641,13 @@ func (b *BackendTask) launchRegions(d *domain.Domain, elems []*amt.Void) []*amt.
 func (b *BackendTask) launchVolumes(d *domain.Domain, elems []*amt.Void) []*amt.Void {
 	vCut := d.Par.VCut
 	barrier := amt.AfterAll(b.s, elems)
-	var out []*amt.Void
+	var fns []func(amt.Unit)
+	var homes []int
 	partition(d.NumElem(), b.opt.PartElem, func(lo, hi int) {
-		out = append(out, amt.ThenRun(barrier, func(amt.Unit) {
+		fns = append(fns, func(amt.Unit) {
 			kernels.UpdateVolumes(d, vCut, lo, hi)
-		}))
+		})
+		homes = append(homes, b.homeElem(lo))
 	})
-	return out
+	return b.attachStage(barrier, fns, homes)
 }

@@ -41,9 +41,11 @@ func IntegrateStress(d *domain.Domain, sigxx, sigyy, sigzz, determ,
 		determ[k] = ShapeFunctionDerivatives(&x, &y, &z, &b)
 		ElemNodeNormals(&b[0], &b[1], &b[2], &x, &y, &z)
 		SumElemStressesToNodeForces(&b, sigxx[k], sigyy[k], sigzz[k], &fx, &fy, &fz)
-		copy(fxElem[8*k:8*k+8], fx[:])
-		copy(fyElem[8*k:8*k+8], fy[:])
-		copy(fzElem[8*k:8*k+8], fz[:])
+		// Array-pointer stores: one slice-length check per array instead of
+		// per-corner bounds checks (verified with -d=ssa/check_bce).
+		*(*[8]float64)(fxElem[8*k:]) = fx
+		*(*[8]float64)(fyElem[8*k:]) = fy
+		*(*[8]float64)(fzElem[8*k:]) = fz
 	}
 }
 
@@ -73,14 +75,14 @@ func HourglassPrep(d *domain.Domain, dvdx, dvdy, dvdz, x8n, y8n, z8n,
 		d.CollectElemNodes(i, &x, &y, &z)
 		ElemVolumeDerivative(&pfx, &pfy, &pfz, &x, &y, &z)
 		o := (i - base) * 8
-		for c := 0; c < 8; c++ {
-			dvdx[o+c] = pfx[c]
-			dvdy[o+c] = pfy[c]
-			dvdz[o+c] = pfz[c]
-			x8n[o+c] = x[c]
-			y8n[o+c] = y[c]
-			z8n[o+c] = z[c]
-		}
+		// Array-pointer stores: one slice-length check per array instead of
+		// eight per-corner bounds checks (verified with -d=ssa/check_bce).
+		*(*[8]float64)(dvdx[o:]) = pfx
+		*(*[8]float64)(dvdy[o:]) = pfy
+		*(*[8]float64)(dvdz[o:]) = pfz
+		*(*[8]float64)(x8n[o:]) = x
+		*(*[8]float64)(y8n[o:]) = y
+		*(*[8]float64)(z8n[o:]) = z
 		determ[i] = d.Volo[i] * d.V[i]
 		if d.V[i] <= 0 {
 			flag.RaiseVolume()
@@ -99,20 +101,29 @@ func FBHourglass(d *domain.Domain, dvdx, dvdy, dvdz, x8n, y8n, z8n,
 	var xd1, yd1, zd1 [8]float64
 	var hgfx, hgfy, hgfz [8]float64
 	for i2 := lo; i2 < hi; i2++ {
-		nl := d.Mesh.Nodelist[8*i2 : 8*i2+8]
+		// Array-pointer views of the eight-corner slabs: one slice-length
+		// check each instead of per-corner bounds checks in the gather
+		// loops below (verified with -d=ssa/check_bce).
+		nl := (*[8]int32)(d.Mesh.Nodelist[8*i2:])
 		o := (i2 - base) * 8
+		x8 := (*[8]float64)(x8n[o:])
+		y8 := (*[8]float64)(y8n[o:])
+		z8 := (*[8]float64)(z8n[o:])
+		dx8 := (*[8]float64)(dvdx[o:])
+		dy8 := (*[8]float64)(dvdy[o:])
+		dz8 := (*[8]float64)(dvdz[o:])
 		volinv := 1.0 / determ[i2]
 		for i1 := 0; i1 < 4; i1++ {
 			g := &gamma[i1]
-			hourmodx := x8n[o]*g[0] + x8n[o+1]*g[1] + x8n[o+2]*g[2] + x8n[o+3]*g[3] +
-				x8n[o+4]*g[4] + x8n[o+5]*g[5] + x8n[o+6]*g[6] + x8n[o+7]*g[7]
-			hourmody := y8n[o]*g[0] + y8n[o+1]*g[1] + y8n[o+2]*g[2] + y8n[o+3]*g[3] +
-				y8n[o+4]*g[4] + y8n[o+5]*g[5] + y8n[o+6]*g[6] + y8n[o+7]*g[7]
-			hourmodz := z8n[o]*g[0] + z8n[o+1]*g[1] + z8n[o+2]*g[2] + z8n[o+3]*g[3] +
-				z8n[o+4]*g[4] + z8n[o+5]*g[5] + z8n[o+6]*g[6] + z8n[o+7]*g[7]
+			hourmodx := x8[0]*g[0] + x8[1]*g[1] + x8[2]*g[2] + x8[3]*g[3] +
+				x8[4]*g[4] + x8[5]*g[5] + x8[6]*g[6] + x8[7]*g[7]
+			hourmody := y8[0]*g[0] + y8[1]*g[1] + y8[2]*g[2] + y8[3]*g[3] +
+				y8[4]*g[4] + y8[5]*g[5] + y8[6]*g[6] + y8[7]*g[7]
+			hourmodz := z8[0]*g[0] + z8[1]*g[1] + z8[2]*g[2] + z8[3]*g[3] +
+				z8[4]*g[4] + z8[5]*g[5] + z8[6]*g[6] + z8[7]*g[7]
 			for j := 0; j < 8; j++ {
-				hourgam[j][i1] = g[j] - volinv*(dvdx[o+j]*hourmodx+
-					dvdy[o+j]*hourmody+dvdz[o+j]*hourmodz)
+				hourgam[j][i1] = g[j] - volinv*(dx8[j]*hourmodx+
+					dy8[j]*hourmody+dz8[j]*hourmodz)
 			}
 		}
 
@@ -127,9 +138,9 @@ func FBHourglass(d *domain.Domain, dvdx, dvdy, dvdz, x8n, y8n, z8n,
 		}
 		coefficient := -hourg * 0.01 * ss1 * mass1 / volume13
 		ElemFBHourglassForce(&xd1, &yd1, &zd1, &hourgam, coefficient, &hgfx, &hgfy, &hgfz)
-		copy(fxElem[8*i2:8*i2+8], hgfx[:])
-		copy(fyElem[8*i2:8*i2+8], hgfy[:])
-		copy(fzElem[8*i2:8*i2+8], hgfz[:])
+		*(*[8]float64)(fxElem[8*i2:]) = hgfx
+		*(*[8]float64)(fyElem[8*i2:]) = hgfy
+		*(*[8]float64)(fzElem[8*i2:]) = hgfz
 	}
 }
 

@@ -87,6 +87,39 @@ func (s *Sample) Median() float64 {
 	return 0.5 * (c[n/2-1] + c[n/2])
 }
 
+// Rate returns part/whole as a float, or 0 when whole is 0 — the safe
+// ratio helper for counter-derived rates (steals per task, affinity hits
+// per hinted task).
+func Rate(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}
+
+// Imbalance measures load imbalance over per-worker totals as
+// max/mean - 1: 0 for a perfectly even distribution, 1.0 when the most
+// loaded worker carries twice the average — the metric behind the paper's
+// region-imbalance discussion (Figure 10). Empty or all-zero input
+// reports 0.
+func Imbalance(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum, max := 0.0, math.Inf(-1)
+	for _, v := range values {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	mean := sum / float64(len(values))
+	return max/mean - 1
+}
+
 // Table renders rows with right-aligned, auto-sized columns — the output
 // format of the figure harness.
 type Table struct {

@@ -82,6 +82,64 @@ func TestSampleProperties(t *testing.T) {
 	}
 }
 
+func TestRate(t *testing.T) {
+	cases := []struct {
+		part, whole int64
+		want        float64
+	}{
+		{0, 0, 0},
+		{5, 0, 0}, // no division by zero
+		{0, 10, 0},
+		{5, 10, 0.5},
+		{300, 600, 0.5},
+		{10, 10, 1},
+		{20, 10, 2},
+	}
+	for _, c := range cases {
+		if got := Rate(c.part, c.whole); got != c.want {
+			t.Fatalf("Rate(%d, %d) = %v, want %v", c.part, c.whole, got, c.want)
+		}
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []float64
+		want   float64
+	}{
+		{"empty", nil, 0},
+		{"all-zero", []float64{0, 0, 0}, 0},
+		{"uniform", []float64{3, 3, 3, 3}, 0},
+		{"single", []float64{7}, 0},
+		{"max-twice-mean", []float64{4, 0}, 1}, // mean 2, max 4
+		{"mild", []float64{1, 1, 1, 5}, 1.5},   // mean 2, max 5
+	}
+	for _, c := range cases {
+		got := Imbalance(c.values)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("%s: Imbalance(%v) = %v, want %v", c.name, c.values, got, c.want)
+		}
+	}
+}
+
+func TestImbalanceNonNegativeProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		bounded := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return true
+			}
+			// Keep magnitudes bounded so the sum cannot overflow.
+			bounded = append(bounded, math.Mod(v, 1e6))
+		}
+		return Imbalance(bounded) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tb := NewTable("size", "runtime", "speedup")
 	tb.AddRow(45, 1.5, 2.25)

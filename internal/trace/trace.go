@@ -21,12 +21,22 @@ type Event struct {
 	Dur   time.Duration
 }
 
+// CounterSample is one sampled scalar value on the trace timeline (e.g.
+// the scheduler's idle rate or affinity hit rate once per timestep) —
+// HPX's sampled performance counters, next to APEX's task spans.
+type CounterSample struct {
+	Name  string
+	T     time.Time
+	Value float64
+}
+
 // Recorder accumulates spans from concurrent workers.
 type Recorder struct {
-	mu     sync.Mutex
-	epoch  time.Time
-	events []Event
-	limit  int
+	mu       sync.Mutex
+	epoch    time.Time
+	events   []Event
+	counters []CounterSample
+	limit    int
 }
 
 // NewRecorder creates a recorder. limit bounds the number of stored events
@@ -49,6 +59,25 @@ func (r *Recorder) Record(name string, tid int, start time.Time, dur time.Durati
 		r.events = append(r.events, Event{Name: name, TID: tid, Start: start, Dur: dur})
 	}
 	r.mu.Unlock()
+}
+
+// RecordCounter stores one sampled counter value at time t. Samples share
+// the event limit so a per-step counter cannot grow without bound either.
+func (r *Recorder) RecordCounter(name string, t time.Time, value float64) {
+	r.mu.Lock()
+	if len(r.counters) < r.limit {
+		r.counters = append(r.counters, CounterSample{Name: name, T: t, Value: value})
+	}
+	r.mu.Unlock()
+}
+
+// Counters returns a snapshot of the stored counter samples.
+func (r *Recorder) Counters() []CounterSample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]CounterSample, len(r.counters))
+	copy(out, r.counters)
+	return out
 }
 
 // Do runs fn and records it as a span.
@@ -74,38 +103,53 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
-// Reset drops all stored events and restarts the epoch.
+// Reset drops all stored events and counter samples and restarts the
+// epoch.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.events = r.events[:0]
+	r.counters = r.counters[:0]
 	r.epoch = time.Now()
 	r.mu.Unlock()
 }
 
-// chromeEvent is the trace-event JSON shape ("X" = complete event).
+// chromeEvent is the trace-event JSON shape ("X" = complete event,
+// "C" = counter sample rendered as a stacked area track).
 type chromeEvent struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`  // microseconds since epoch
-	Dur  float64 `json:"dur"` // microseconds
-	PID  int     `json:"pid"`
-	TID  int     `json:"tid"`
+	Name string             `json:"name"`
+	Ph   string             `json:"ph"`
+	Ts   float64            `json:"ts"`            // microseconds since epoch
+	Dur  float64            `json:"dur,omitempty"` // microseconds
+	PID  int                `json:"pid"`
+	TID  int                `json:"tid"`
+	Args map[string]float64 `json:"args,omitempty"`
 }
 
-// WriteChromeTrace emits the stored events as a Chrome trace-event JSON
-// array, loadable by chrome://tracing and Perfetto.
+// WriteChromeTrace emits the stored events and counter samples as a
+// Chrome trace-event JSON array, loadable by chrome://tracing and
+// Perfetto. Counter samples become "C" events, which the viewers render
+// as value tracks above the worker timelines.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	r.mu.Lock()
-	evs := make([]chromeEvent, len(r.events))
-	for i, e := range r.events {
-		evs[i] = chromeEvent{
+	evs := make([]chromeEvent, 0, len(r.events)+len(r.counters))
+	for _, e := range r.events {
+		evs = append(evs, chromeEvent{
 			Name: e.Name,
 			Ph:   "X",
 			Ts:   float64(e.Start.Sub(r.epoch)) / float64(time.Microsecond),
 			Dur:  float64(e.Dur) / float64(time.Microsecond),
 			PID:  0,
 			TID:  e.TID,
-		}
+		})
+	}
+	for _, c := range r.counters {
+		evs = append(evs, chromeEvent{
+			Name: c.Name,
+			Ph:   "C",
+			Ts:   float64(c.T.Sub(r.epoch)) / float64(time.Microsecond),
+			PID:  0,
+			Args: map[string]float64{"value": c.Value},
+		})
 	}
 	r.mu.Unlock()
 	enc := json.NewEncoder(w)

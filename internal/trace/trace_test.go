@@ -104,6 +104,73 @@ func TestChromeTraceJSONValid(t *testing.T) {
 	}
 }
 
+func TestRecordCounter(t *testing.T) {
+	r := NewRecorder(0)
+	base := time.Now()
+	r.RecordCounter("idle-rate", base, 0.12)
+	r.RecordCounter("idle-rate", base.Add(time.Millisecond), 0.08)
+	r.RecordCounter("affinity-hit-rate", base, 0.93)
+	cs := r.Counters()
+	if len(cs) != 3 {
+		t.Fatalf("stored %d counter samples", len(cs))
+	}
+	if cs[0].Name != "idle-rate" || cs[0].Value != 0.12 {
+		t.Fatalf("sample[0] = %+v", cs[0])
+	}
+	if cs[2].Name != "affinity-hit-rate" {
+		t.Fatalf("sample[2] = %+v", cs[2])
+	}
+	r.Reset()
+	if len(r.Counters()) != 0 {
+		t.Fatal("Reset did not clear counter samples")
+	}
+}
+
+func TestCounterLimit(t *testing.T) {
+	r := NewRecorder(3)
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		r.RecordCounter("x", now, float64(i))
+	}
+	if len(r.Counters()) != 3 {
+		t.Fatalf("limit not applied: %d samples", len(r.Counters()))
+	}
+}
+
+func TestChromeTraceCounterEvents(t *testing.T) {
+	r := NewRecorder(0)
+	base := time.Now()
+	r.Record("stress", 0, base, 500*time.Microsecond)
+	r.RecordCounter("idle-rate", base.Add(time.Millisecond), 0.25)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(evs) != 2 {
+		t.Fatalf("%d events in trace", len(evs))
+	}
+	// Span events stay "X" with a dur; counter samples follow as "C"
+	// events carrying the value in args.
+	if evs[0]["ph"] != "X" {
+		t.Fatalf("span event shape wrong: %v", evs[0])
+	}
+	c := evs[1]
+	if c["ph"] != "C" || c["name"] != "idle-rate" {
+		t.Fatalf("counter event shape wrong: %v", c)
+	}
+	if _, hasDur := c["dur"]; hasDur {
+		t.Fatalf("counter event carries a dur: %v", c)
+	}
+	args, ok := c["args"].(map[string]interface{})
+	if !ok || args["value"].(float64) != 0.25 {
+		t.Fatalf("counter args wrong: %v", c["args"])
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	r := NewRecorder(0)
 	now := time.Now()
