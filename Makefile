@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz cover bench verify figures examples clean
+.PHONY: all build test race fuzz cover bench verify figures examples clean perfgate
 
 # The race lane is a first-class gate: all runtime/scheduler changes must
 # survive the race detector, not just the plain test run.
@@ -32,6 +32,13 @@ bench:
 # The artifact-style correctness gate.
 verify:
 	$(GO) run ./cmd/luleshverify
+
+# The observability gate: instrumented dispatch must stay within the
+# overhead budget (percent; override with PERF_OVERHEAD_BUDGET), and the
+# recording path must be race-clean.
+perfgate:
+	$(GO) test -run TestForEachBlockOverheadBudget -count=1 -v ./internal/perf/
+	$(GO) test -race -count=1 ./internal/perf/ ./internal/trace/
 
 # Regenerate every table/figure of the paper's evaluation.
 figures:

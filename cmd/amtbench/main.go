@@ -16,6 +16,7 @@ import (
 
 	"lulesh/internal/amt"
 	"lulesh/internal/omp"
+	"lulesh/internal/perf"
 )
 
 func main() {
@@ -118,6 +119,28 @@ func main() {
 
 	c := s.CountersSnapshot()
 	fmt.Printf("\nscheduler counters: %v\n", c)
+
+	// Instrumented dispatch: a perf sink timestamps every frame at enqueue,
+	// so the queue-wait column is the spawn-to-start latency the solver's
+	// tasks experience, and the park counters price the wake protocol.
+	prof := perf.NewProfiler(*workers, 0)
+	s.ResetCounters()
+	s.SetSink(prof)
+	for i := 0; i < burst/10; i++ {
+		s.Spawn(func() {})
+	}
+	s.Quiesce()
+	s.SetSink(nil)
+	if snap := prof.Snapshot(); len(snap.Phases) > 0 {
+		ph := snap.Phases[0]
+		ci := s.CountersSnapshot()
+		fmt.Printf("\ninstrumented dispatch (%d tasks)\n", ph.Count)
+		fmt.Printf("  %-34s p50=%v p95=%v p99=%v\n", "task duration", ph.P50, ph.P95, ph.P99)
+		fmt.Printf("  %-34s avg=%v total=%v\n", "queue wait (enqueue to start)",
+			ph.QueueWait/time.Duration(ph.Count), ph.QueueWait)
+		fmt.Printf("  %-34s parks=%d parked=%.1f%% of worker time\n", "park/unpark",
+			ci.Parks, 100*ci.ParkedRate())
+	}
 
 	// Contended stealing: every task in a burst is pinned to worker 0, so
 	// all other workers can make progress only by stealing — the worst

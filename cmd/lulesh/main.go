@@ -18,6 +18,7 @@ import (
 	"lulesh/internal/checkpoint"
 	"lulesh/internal/core"
 	"lulesh/internal/domain"
+	"lulesh/internal/perf"
 	"lulesh/internal/stats"
 	"lulesh/internal/trace"
 	"lulesh/internal/vtk"
@@ -41,6 +42,8 @@ func main() {
 		adaptive = flag.Bool("adaptive-grain", false, "idle-rate feedback controller resizes partition grain between timesteps (task backend)")
 		tgtIdle  = flag.Float64("target-idle", 0, "idle-rate setpoint for -adaptive-grain (0 = default)")
 		showCtr  = flag.Bool("counters", false, "print utilization counters")
+		metrics  = flag.String("metrics-addr", "", "serve live Prometheus text, JSON snapshots and pprof on this address (e.g. :8080, :0 = ephemeral)")
+		phases   = flag.Bool("phases", false, "record per-phase breakdowns and print the table at exit (implied by -metrics-addr)")
 		traceOut = flag.String("trace", "", "write a Chrome trace of task/region spans to this file")
 		profile  = flag.Bool("profile", false, "print per-phase wall times (serial backend only)")
 		progress = flag.Bool("p", false, "print cycle/time/dt every iteration (reference -p)")
@@ -101,10 +104,34 @@ func main() {
 	}
 	defer b.Close()
 
+	// The perf profiler powers the live -metrics-addr endpoint and the
+	// per-phase table at exit; combined with -trace it also supplies
+	// phase-labeled spans for the Figure 11 timelines.
+	var prof *perf.Profiler
+	if *metrics != "" {
+		*phases = true
+	}
+	if *phases {
+		pb, ok := b.(core.PhaseProfiled)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "backend %s does not support phase profiling\n", *backend)
+			os.Exit(2)
+		}
+		ringCap := 0
+		if *traceOut != "" {
+			ringCap = 1 << 16 // raw spans feed the Chrome trace
+		}
+		prof = perf.NewProfiler(*threads, ringCap)
+		pb.SetProfiler(prof)
+	}
+
 	var rec *trace.Recorder
 	if *traceOut != "" {
-		if src, ok := b.(core.TraceSource); ok {
-			rec = trace.NewRecorder(0)
+		rec = trace.NewRecorder(0)
+		if prof != nil {
+			// Spans come phase-labeled from the profiler rings, drained
+			// once per timestep by the Progress hook below.
+		} else if src, ok := b.(core.TraceSource); ok {
 			src.SetObserver(func(worker int, start time.Time, dur time.Duration) {
 				rec.Record(*backend, worker, start, dur)
 			})
@@ -112,6 +139,33 @@ func main() {
 			fmt.Fprintf(os.Stderr, "backend %s does not support tracing\n", *backend)
 			os.Exit(2)
 		}
+	}
+
+	var srv *perf.Server
+	if *metrics != "" {
+		extra := func() map[string]float64 {
+			g := map[string]float64{}
+			if tb, ok := b.(*core.BackendTask); ok {
+				c := tb.Counters()
+				g["amt utilization"] = c.Utilization()
+				g["amt steals total"] = float64(c.Steals)
+				g["amt parks total"] = float64(c.Parks)
+				if rate, ok := c.AffinityHitRate(); ok {
+					g["amt affinity hit rate"] = rate
+				}
+			} else if u, ok := b.Utilization(); ok {
+				g["backend utilization"] = u
+			}
+			return g
+		}
+		var err error
+		srv, err = perf.StartServer(*metrics, prof, extra)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (JSON at /metrics.json, pprof at /debug/pprof/)\n", srv.Addr)
 	}
 	if *profile {
 		if sb, ok := b.(*core.BackendSerial); ok {
@@ -131,6 +185,21 @@ func main() {
 	if *progress {
 		runCfg.Progress = func(cycle int, t, dt float64) {
 			fmt.Printf("cycle = %d, time = %e, dt=%e\n", cycle, t, dt)
+		}
+	}
+	// Close each timestep's per-phase accounting window, and move any raw
+	// spans out of the profiler rings while they are fresh — a once-per-step
+	// drain keeps the rings from overflowing on long runs.
+	if prof != nil {
+		prev := runCfg.Progress
+		runCfg.Progress = func(cycle int, t, dt float64) {
+			if prev != nil {
+				prev(cycle, t, dt)
+			}
+			prof.MarkStep(cycle)
+			if rec != nil {
+				prof.DrainSpans(rec)
+			}
 		}
 	}
 	// With both tracing and the task backend active, sample the scheduler's
@@ -190,6 +259,20 @@ func main() {
 				fmt.Printf("grain_adjustments=%d part_elem=%d part_nodal=%d\n",
 					tb.GrainAdjustments(), opt.PartElem, opt.PartNodal)
 			}
+		}
+	}
+	if prof != nil {
+		if rec != nil {
+			prof.DrainSpans(rec) // pick up the tail past the last Progress call
+		}
+		snap := prof.Snapshot()
+		fmt.Printf("\nPer-phase breakdown (%s backend, %d workers, utilization %.1f%%):\n",
+			b.Name(), snap.Workers, 100*snap.Utilization())
+		if err := snap.Table().Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "phase table: %v\n", err)
+		}
+		if snap.SpanDrops > 0 {
+			fmt.Printf("(span ring dropped %d raw spans; aggregates unaffected)\n", snap.SpanDrops)
 		}
 	}
 	if rec != nil {

@@ -28,6 +28,7 @@ import (
 	"lulesh/internal/core"
 	"lulesh/internal/dist"
 	"lulesh/internal/domain"
+	"lulesh/internal/perf"
 	"lulesh/internal/stats"
 )
 
@@ -38,7 +39,13 @@ type config struct {
 	iters   int
 	reps    int
 	csv     bool
+	record  string // directory for BENCH_<n>.json records ("" = off)
+	name    string // experiment label stamped into records
 }
+
+// liveSrv, when non-nil, is the -metrics-addr endpoint; measure points it
+// at whichever profiler belongs to the measurement currently running.
+var liveSrv *perf.Server
 
 func main() {
 	var (
@@ -53,6 +60,8 @@ func main() {
 		iters   = flag.Int("i", 0, "iteration cap per run (0 = size-scaled default)")
 		reps    = flag.Int("reps", 1, "repetitions per measurement (min is reported)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		record  = flag.String("record", "", "write one machine-readable BENCH_<n>.json per measurement to this directory")
+		metrics = flag.String("metrics-addr", "", "serve live Prometheus/JSON metrics and pprof for the measurement in flight")
 	)
 	flag.Parse()
 
@@ -64,26 +73,46 @@ func main() {
 		iters:   *iters,
 		reps:    *reps,
 		csv:     *csv,
+		record:  *record,
+	}
+	if *metrics != "" {
+		srv, err := perf.StartServer(*metrics, nil, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		liveSrv = srv
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (JSON at /metrics.json, pprof at /debug/pprof/)\n", srv.Addr)
 	}
 
 	switch {
 	case *fig == "9":
+		cfg.name = "figure9"
 		figure9(cfg)
 	case *fig == "dist":
+		cfg.name = "dist"
 		figureDist(cfg)
 	case *fig == "10":
+		cfg.name = "figure10"
 		figure10(cfg)
 	case *fig == "11":
+		cfg.name = "figure11"
 		figure11(cfg)
 	case *fig == "naive":
+		cfg.name = "naive"
 		figureNaive(cfg)
 	case *table == "1":
+		cfg.name = "table1"
 		tableI(cfg)
 	case *ablate:
+		cfg.name = "ablation"
 		ablation(cfg)
 	case *local:
+		cfg.name = "locality"
 		locality(cfg)
 	case *sched:
+		cfg.name = "schedules"
 		schedules(cfg)
 	default:
 		fmt.Fprintln(os.Stderr, "pick one of: -fig 9 | -fig 10 | -fig 11 | -fig naive | -fig dist | -table 1 | -ablation | -locality | -schedules")
@@ -138,9 +167,20 @@ func (c config) iterCap(size int) int {
 }
 
 // measure runs one configuration reps times and returns the minimum
-// runtime in seconds together with the last run's utilization.
+// runtime in seconds together with the last run's utilization. When
+// -record or -metrics-addr is active, a per-measurement profiler collects
+// the phase breakdown: the live endpoint follows it, and the best rep is
+// written out as a BENCH_<n>.json record.
 func measure(c config, size, regions, threads int, backend string) (sec, util float64, hasUtil bool) {
 	var s stats.Sample
+	var prof *perf.Profiler
+	if c.record != "" || liveSrv != nil {
+		prof = perf.NewProfiler(threads, 0)
+		if liveSrv != nil {
+			liveSrv.SetProfiler(prof)
+		}
+	}
+	var best core.Result
 	for r := 0; r < c.reps; r++ {
 		d := domain.NewSedov(domain.Config{
 			EdgeElems: size, NumReg: regions, Balance: 1, Cost: 1,
@@ -158,7 +198,25 @@ func measure(c config, size, regions, threads int, backend string) (sec, util fl
 		default:
 			panic("unknown backend " + backend)
 		}
+		if prof != nil {
+			if pb, ok := b.(core.PhaseProfiled); ok {
+				pb.SetProfiler(prof)
+			}
+		}
+		var counters map[string]float64
 		res, err := core.Run(d, b, core.RunConfig{MaxIterations: c.iterCap(size)})
+		if tb, ok := b.(*core.BackendTask); ok && c.record != "" {
+			ctr := tb.Counters()
+			counters = map[string]float64{
+				"tasks":       float64(ctr.Tasks),
+				"steals":      float64(ctr.Steals),
+				"parks":       float64(ctr.Parks),
+				"utilization": ctr.Utilization(),
+			}
+			if rate, ok := ctr.AffinityHitRate(); ok {
+				counters["affinity_hit_rate"] = rate
+			}
+		}
 		b.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "run failed (%s s=%d r=%d t=%d): %v\n",
@@ -167,6 +225,24 @@ func measure(c config, size, regions, threads int, backend string) (sec, util fl
 		}
 		s.Add(res.Elapsed.Seconds())
 		util, hasUtil = res.Utilization, res.HasUtil
+		if r == 0 || res.Elapsed < best.Elapsed {
+			best = res
+		}
+		if c.record != "" && r == c.reps-1 {
+			rec := perf.BenchRecord{
+				Name: c.name, Backend: backend, Workers: threads,
+				Size: size, Regions: regions, Iterations: best.Iterations,
+				ElapsedSec: s.Min(), FOM: best.FOM(), Counters: counters,
+			}
+			if prof != nil {
+				rec.Phases = prof.Snapshot().Phases
+			}
+			if path, err := perf.WriteBenchJSON(c.record, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "record: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "recorded %s\n", path)
+			}
+		}
 	}
 	return s.Min(), util, hasUtil
 }

@@ -23,6 +23,7 @@ import (
 	"lulesh/internal/core"
 	"lulesh/internal/dist"
 	"lulesh/internal/domain"
+	"lulesh/internal/perf"
 )
 
 var failed bool
@@ -76,6 +77,18 @@ func main() {
 		same := equalState(ref, got)
 		check("bitwise vs serial: "+bk.name, same, fmt.Sprintf("e0=%.9e", got.E[0]))
 	}
+
+	// 1a. Observability is read-only: a task-backend run with the perf
+	// profiler attached (per-phase counters recording every task) must stay
+	// bitwise identical to serial.
+	prof := perf.NewProfiler(threads, 0)
+	got := runBackend(func(d *domain.Domain) core.Backend {
+		b := core.NewBackendTask(d, core.DefaultOptions(*size, threads))
+		b.SetProfiler(prof)
+		return b
+	})
+	check("bitwise vs serial: task+profiler", equalState(ref, got),
+		fmt.Sprintf("recorded %d tasks", prof.Snapshot().Tasks))
 
 	// 1b. The locality layer is scheduling-only: every combination of
 	// affinity hints, steal-half batching and adaptive grain must stay

@@ -1,6 +1,9 @@
 package amt
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // frame is the unit of queued work: either a plain task body (fn) or a
 // block of a parallel algorithm (body over [lo, hi)) with an optional
@@ -20,6 +23,22 @@ type frame struct {
 	// balance. The executing worker compares home against its own id to
 	// maintain the affinity hit/miss counters.
 	home int32
+
+	// phase tags the frame with the solver phase that spawned it (see
+	// Scheduler.SetPhase). Captured at spawn time — for continuations, at
+	// attach time during the sequential dependency-graph construction —
+	// because by the time a barrier trips and the frame is created the
+	// scheduler may already be publishing the next phase.
+	phase uint32
+
+	// stolen marks a frame migrated off its original deque by a steal
+	// sweep; the executing worker forwards it to the task sink.
+	stolen bool
+
+	// enq is the enqueue timestamp for queue-wait accounting. Stamped
+	// only while a task sink is installed (time.Now is not free on the
+	// spawn path); the zero value means "not stamped".
+	enq time.Time
 }
 
 var framePool = sync.Pool{New: func() any { return &frame{home: noHome} }}
@@ -42,6 +61,7 @@ func (f *frame) run() {
 	}
 	l := f.latch
 	f.fn, f.body, f.latch, f.home = nil, nil, nil, noHome
+	f.phase, f.stolen, f.enq = 0, false, time.Time{}
 	framePool.Put(f)
 	if l != nil {
 		l.arrive()

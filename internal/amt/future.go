@@ -201,7 +201,11 @@ func ThenRunBatchAt[T any](f *Future[T], fns []func(T), homes []int) []*Void {
 		}
 	}
 	if len(ts) > 0 {
-		f.onReady(func() { f.s.SpawnBatchAt(ts, homes) })
+		// Capture the phase now, at attach time during the sequential graph
+		// construction: when the barrier trips and the batch actually spawns
+		// the scheduler may already be publishing the next phase tag.
+		ph := f.s.curPhase.Load()
+		f.onReady(func() { f.s.spawnBatchAtPhase(ph, ts, homes) })
 	}
 	return outs
 }
@@ -211,8 +215,9 @@ func ThenRunBatchAt[T any](f *Future[T], fns []func(T), homes []int) []*Void {
 // result.
 func Then[T, U any](f *Future[T], fn func(T) U) *Future[U] {
 	out := newFuture[U](f.s)
+	ph := f.s.curPhase.Load() // attach-time phase, not trip-time
 	f.onReady(func() {
-		f.s.Spawn(func() { out.set(fn(f.val)) })
+		f.s.spawnPhase(ph, func() { out.set(fn(f.val)) })
 	})
 	return out
 }
@@ -220,8 +225,9 @@ func Then[T, U any](f *Future[T], fn func(T) U) *Future[U] {
 // ThenRun attaches a void continuation to f.
 func ThenRun[T any](f *Future[T], fn func(T)) *Void {
 	out := newFuture[Unit](f.s)
+	ph := f.s.curPhase.Load()
 	f.onReady(func() {
-		f.s.Spawn(func() {
+		f.s.spawnPhase(ph, func() {
 			fn(f.val)
 			out.set(Unit{})
 		})
@@ -237,8 +243,9 @@ func ThenRun[T any](f *Future[T], fn func(T)) *Void {
 // pool. home < 0 degrades to ThenRun.
 func ThenRunAt[T any](f *Future[T], home int, fn func(T)) *Void {
 	out := newFuture[Unit](f.s)
+	ph := f.s.curPhase.Load()
 	f.onReady(func() {
-		f.s.SpawnAt(home, func() {
+		f.s.spawnAtPhase(ph, home, func() {
 			fn(f.val)
 			out.set(Unit{})
 		})
@@ -291,8 +298,9 @@ func AfterAll(s *Scheduler, fs []*Void) *Void {
 // synchronization barriers.
 func AfterAllRun(s *Scheduler, fs []*Void, fn func()) *Void {
 	out := newFuture[Unit](s)
+	ph := s.curPhase.Load() // attach-time phase, not trip-time
 	launch := func() {
-		s.Spawn(func() {
+		s.spawnPhase(ph, func() {
 			fn()
 			out.set(Unit{})
 		})
@@ -351,8 +359,9 @@ func RunHigh(s *Scheduler, fn func()) *Void {
 // ThenRunHigh attaches a high-priority void continuation to f.
 func ThenRunHigh[T any](f *Future[T], fn func(T)) *Void {
 	out := newFuture[Unit](f.s)
+	ph := f.s.curPhase.Load()
 	f.onReady(func() {
-		f.s.SpawnHigh(func() {
+		f.s.spawnHighPhase(ph, func() {
 			fn(f.val)
 			out.set(Unit{})
 		})

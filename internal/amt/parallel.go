@@ -1,5 +1,7 @@
 package amt
 
+import "time"
+
 // Parallel algorithms in the style of hpx::for_each and hpx::reduce.
 // The naive LULESH port the paper criticizes ([16]) is built from exactly
 // these: every loop becomes a ForEach followed by a wait, which reintroduces
@@ -42,6 +44,13 @@ func ForEachBlockAt(s *Scheduler, begin, end, grain int,
 	}
 	nchunks := (end - begin + grain - 1) / grain
 	l := newLatch(nchunks, func() { out.set(Unit{}) })
+	// One phase capture and one clock read cover the whole batch: chunks
+	// are enqueued microseconds apart, far below histogram resolution.
+	ph := s.curPhase.Load()
+	var enq time.Time
+	if s.sink.Load() != nil {
+		enq = time.Now()
+	}
 	s.beginBatch(nchunks)
 	if home == nil {
 		c := 0
@@ -52,6 +61,7 @@ func ForEachBlockAt(s *Scheduler, begin, end, grain int,
 			}
 			f := newFrame()
 			f.body, f.lo, f.hi, f.latch = body, lo, hi, l
+			f.phase, f.enq = ph, enq
 			s.enqueueAt(c, f)
 			c++
 		}
@@ -72,6 +82,7 @@ func ForEachBlockAt(s *Scheduler, begin, end, grain int,
 		}
 		f := newFrame()
 		f.body, f.lo, f.hi, f.latch = body, lo, hi, l
+		f.phase, f.enq = ph, enq
 		i := c % s.nw
 		if h := home(lo, hi); h >= 0 {
 			i = h % s.nw
@@ -137,6 +148,11 @@ func Reduce[T any](s *Scheduler, begin, end, grain int, identity T,
 		}
 		partial[(lo-begin)/grain] = acc
 	}
+	ph := s.curPhase.Load()
+	var enq time.Time
+	if s.sink.Load() != nil {
+		enq = time.Now()
+	}
 	s.beginBatch(nchunks)
 	c := 0
 	for lo := begin; lo < end; lo += grain {
@@ -146,6 +162,7 @@ func Reduce[T any](s *Scheduler, begin, end, grain int, identity T,
 		}
 		f := newFrame()
 		f.body, f.lo, f.hi, f.latch = body, lo, hi, l
+		f.phase, f.enq = ph, enq
 		s.enqueueAt(c, f)
 		c++
 	}

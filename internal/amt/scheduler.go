@@ -63,7 +63,54 @@ type Scheduler struct {
 
 	observer atomic.Pointer[func(worker int, start time.Time, dur time.Duration)]
 
+	// curPhase is the solver phase tag stamped onto newly spawned frames
+	// (SetPhase). Continuation-attach sites capture it at attach time, so
+	// frames created later by a tripping barrier still carry the phase
+	// that was current when the dependency was declared.
+	curPhase atomic.Uint32
+
+	// sink receives one record per executed task (worker, phase, span,
+	// queue wait, stolen flag) — the feed for the perf subsystem's
+	// per-phase utilization accounting. nil when profiling is off; the
+	// spawn path then skips the enqueue timestamp entirely.
+	sink atomic.Pointer[TaskSink]
+
 	wg sync.WaitGroup
+}
+
+// TaskSink consumes per-task execution records. Implementations must be
+// lock-free or near enough: RecordTask runs on the worker after every
+// task body. queueWait is zero when the frame was not stamped (sink
+// installed mid-flight) and stolen reports whether a steal sweep migrated
+// the frame off the deque it was spawned on.
+type TaskSink interface {
+	RecordTask(worker int, phase uint32, start time.Time, dur, queueWait time.Duration, stolen bool)
+}
+
+// SetSink installs or removes (nil) the per-task record consumer.
+func (s *Scheduler) SetSink(sink TaskSink) {
+	if sink == nil {
+		s.sink.Store(nil)
+		return
+	}
+	s.sink.Store(&sink)
+}
+
+// SetPhase publishes the phase tag stamped onto subsequently spawned
+// tasks — the solver calls it once per kernel family per timestep. Zero
+// is the untagged default.
+func (s *Scheduler) SetPhase(p uint32) { s.curPhase.Store(p) }
+
+// Phase returns the current phase tag.
+func (s *Scheduler) Phase() uint32 { return s.curPhase.Load() }
+
+// stamp tags a freshly created frame with its phase and, when a sink is
+// installed, the enqueue time for queue-wait accounting.
+func (s *Scheduler) stamp(f *frame, ph uint32) {
+	f.phase = ph
+	if s.sink.Load() != nil {
+		f.enq = time.Now()
+	}
 }
 
 type worker struct {
@@ -77,6 +124,8 @@ type worker struct {
 	stolen  atomic.Int64 // frames migrated by those sweeps (> steal with steal-half)
 	affHit  atomic.Int64 // hinted frames executed on their preferred worker
 	affMiss atomic.Int64 // hinted frames executed elsewhere (migrated by a steal)
+	parks   atomic.Int64 // times this worker parked on the condition variable
+	parkNs  atomic.Int64 // nanoseconds spent parked (blocked in cond.Wait)
 
 	stealBuf []*frame // owner-private scratch for steal-half sweeps
 }
@@ -161,12 +210,17 @@ func (s *Scheduler) Workers() int { return s.nw }
 
 // Spawn submits a task for asynchronous execution. It never blocks.
 // Spawning on a closed scheduler panics.
-func (s *Scheduler) Spawn(t Task) {
+func (s *Scheduler) Spawn(t Task) { s.spawnPhase(s.curPhase.Load(), t) }
+
+// spawnPhase is Spawn with an explicit phase tag — the internal entry
+// continuation-attach sites use after capturing the phase at attach time.
+func (s *Scheduler) spawnPhase(ph uint32, t Task) {
 	if t == nil {
 		panic("amt: Spawn called with nil task")
 	}
 	f := newFrame()
 	f.fn = t
+	s.stamp(f, ph)
 	s.inflight.Add(1)
 	s.pending.Add(1)
 	i := int(s.rr.Add(1)-1) % s.nw
@@ -182,17 +236,22 @@ func (s *Scheduler) Spawn(t Task) {
 // causes starvation; it just makes the common, balanced case re-touch
 // data where it is already cached.
 func (s *Scheduler) SpawnAt(home int, t Task) {
+	s.spawnAtPhase(s.curPhase.Load(), home, t)
+}
+
+func (s *Scheduler) spawnAtPhase(ph uint32, home int, t Task) {
 	if t == nil {
 		panic("amt: SpawnAt called with nil task")
 	}
 	if home < 0 {
-		s.Spawn(t)
+		s.spawnPhase(ph, t)
 		return
 	}
 	home %= s.nw
 	f := newFrame()
 	f.fn = t
 	f.home = int32(home)
+	s.stamp(f, ph)
 	s.inflight.Add(1)
 	s.pending.Add(1)
 	s.workers[home].dq.pushBottom(f)
@@ -204,8 +263,12 @@ func (s *Scheduler) SpawnAt(home int, t Task) {
 // homes may be nil, making it equivalent to SpawnBatch. Like SpawnBatch it
 // performs one bookkeeping update and one wake sweep for the whole batch.
 func (s *Scheduler) SpawnBatchAt(ts []Task, homes []int) {
+	s.spawnBatchAtPhase(s.curPhase.Load(), ts, homes)
+}
+
+func (s *Scheduler) spawnBatchAtPhase(ph uint32, ts []Task, homes []int) {
 	if homes == nil {
-		s.SpawnBatch(ts)
+		s.spawnBatchPhase(ph, ts)
 		return
 	}
 	n := len(ts)
@@ -233,6 +296,7 @@ func (s *Scheduler) SpawnBatchAt(ts []Task, homes []int) {
 			i = h % s.nw
 			f.home = int32(i)
 		}
+		s.stamp(f, ph)
 		frames[k] = f
 		targets[k] = i
 	}
@@ -288,12 +352,15 @@ func (s *Scheduler) pushInterleaved(frames []*frame, targets []int) {
 // queues (their own and steals) before any normal task, mirroring HPX's
 // priority local scheduling policy. Relative order among equal-priority
 // tasks is unchanged.
-func (s *Scheduler) SpawnHigh(t Task) {
+func (s *Scheduler) SpawnHigh(t Task) { s.spawnHighPhase(s.curPhase.Load(), t) }
+
+func (s *Scheduler) spawnHighPhase(ph uint32, t Task) {
 	if t == nil {
 		panic("amt: SpawnHigh called with nil task")
 	}
 	f := newFrame()
 	f.fn = t
+	s.stamp(f, ph)
 	s.inflight.Add(1)
 	s.pending.Add(1)
 	i := int(s.rr.Add(1)-1) % s.nw
@@ -306,7 +373,9 @@ func (s *Scheduler) SpawnHigh(t Task) {
 // instead of len(ts) Spawn/wake round-trips. It never blocks. The batch
 // counts as submitted atomically: pending and inflight are raised before
 // any frame is visible, preserving the lost-wakeup-free park protocol.
-func (s *Scheduler) SpawnBatch(ts []Task) {
+func (s *Scheduler) SpawnBatch(ts []Task) { s.spawnBatchPhase(s.curPhase.Load(), ts) }
+
+func (s *Scheduler) spawnBatchPhase(ph uint32, ts []Task) {
 	n := len(ts)
 	if n == 0 {
 		return
@@ -322,6 +391,7 @@ func (s *Scheduler) SpawnBatch(ts []Task) {
 	for k, t := range ts {
 		f := newFrame()
 		f.fn = t
+		s.stamp(f, ph)
 		s.workers[(base+k)%s.nw].dq.pushBottom(f)
 	}
 	s.wakeN(n)
@@ -383,12 +453,13 @@ func (s *Scheduler) run(w *worker) {
 			}
 		}
 		if t == nil {
-			if s.park() {
+			if s.park(w) {
 				return // closed
 			}
 			continue
 		}
-		home := t.home // read before run() recycles the frame
+		// Read the tags before run() recycles the frame.
+		home, phase, stolen, enq := t.home, t.phase, t.stolen, t.enq
 		start := time.Now()
 		t.run()
 		dur := time.Since(start)
@@ -403,6 +474,13 @@ func (s *Scheduler) run(w *worker) {
 		}
 		if obs := s.observer.Load(); obs != nil {
 			(*obs)(w.id, start, dur)
+		}
+		if sk := s.sink.Load(); sk != nil {
+			var qw time.Duration
+			if !enq.IsZero() {
+				qw = start.Sub(enq)
+			}
+			(*sk).RecordTask(w.id, phase, start, dur, qw, stolen)
 		}
 		s.inflight.Add(-1)
 	}
@@ -425,6 +503,7 @@ func (s *Scheduler) find(w *worker) *frame {
 			s.pending.Add(-1)
 			w.steal.Add(1)
 			w.stolen.Add(1)
+			t.stolen = true
 			return t
 		}
 	}
@@ -448,6 +527,7 @@ func (s *Scheduler) find(w *worker) *frame {
 			s.pending.Add(-1)
 			w.steal.Add(1)
 			w.stolen.Add(1)
+			t.stolen = true
 			return t
 		}
 	}
@@ -467,7 +547,12 @@ func (s *Scheduler) stealHalfFrom(w, v *worker) *frame {
 		return nil
 	}
 	f := buf[0]
+	f.stolen = true
 	for i := 1; i < len(buf); i++ {
+		// Mark before pushBottom publishes the frame: every frame the
+		// sweep migrated counts as stolen, even when the thief's own
+		// deque hands it out later.
+		buf[i].stolen = true
 		w.dq.pushBottom(buf[i])
 		buf[i] = nil
 	}
@@ -479,8 +564,11 @@ func (s *Scheduler) stealHalfFrom(w, v *worker) *frame {
 }
 
 // park blocks until work may be available or the scheduler closes.
-// It returns true when the scheduler has been closed.
-func (s *Scheduler) park() bool {
+// It returns true when the scheduler has been closed. Each blocked stretch
+// is accounted on the worker (parks, parkNs) — the measured side of the
+// idle-rate counter, splitting "idle because parked" from "idle because
+// spinning between steals".
+func (s *Scheduler) park(w *worker) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
@@ -495,7 +583,10 @@ func (s *Scheduler) park() bool {
 			s.idle.Add(-1)
 			return false
 		}
+		t0 := time.Now()
+		w.parks.Add(1)
 		s.cond.Wait()
+		w.parkNs.Add(int64(time.Since(t0)))
 		s.idle.Add(-1)
 	}
 }
@@ -532,9 +623,12 @@ type Counters struct {
 	Stolen          int64         // frames migrated by steals (> Steals under steal-half)
 	AffHits         int64         // affinity-hinted frames executed on their preferred worker
 	AffMisses       int64         // affinity-hinted frames executed on some other worker
+	Parks           int64         // times a worker parked on the condition variable
+	Parked          time.Duration // summed time workers spent parked
 	PerWorker       []time.Duration
 	PerWorkerTasks  []int64
 	PerWorkerSteals []int64
+	PerWorkerParked []time.Duration
 	Utilizable      time.Duration // Wall * Workers
 }
 
@@ -571,11 +665,28 @@ func (c Counters) FramesPerSteal() float64 {
 	return float64(c.Stolen) / float64(c.Steals)
 }
 
+// ParkedRate is the fraction of total worker time spent parked — the
+// complement of utilization attributable to an empty pool rather than to
+// scheduling overhead or spin-waiting.
+func (c Counters) ParkedRate() float64 {
+	if c.Utilizable <= 0 {
+		return 0
+	}
+	r := float64(c.Parked) / float64(c.Utilizable)
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
 func (c Counters) String() string {
 	out := fmt.Sprintf("workers=%d wall=%v busy=%v util=%.1f%% tasks=%d steals=%d stolen=%d",
 		c.Workers, c.Wall, c.Busy, 100*c.Utilization(), c.Tasks, c.Steals, c.Stolen)
 	if rate, ok := c.AffinityHitRate(); ok {
 		out += fmt.Sprintf(" aff=%.1f%%", 100*rate)
+	}
+	if c.Parks > 0 {
+		out += fmt.Sprintf(" parks=%d parked=%.1f%%", c.Parks, 100*c.ParkedRate())
 	}
 	return out
 }
@@ -589,6 +700,8 @@ func (s *Scheduler) ResetCounters() {
 		w.stolen.Store(0)
 		w.affHit.Store(0)
 		w.affMiss.Store(0)
+		w.parks.Store(0)
+		w.parkNs.Store(0)
 	}
 	s.mu.Lock()
 	s.epoch = time.Now()
@@ -604,17 +717,21 @@ func (s *Scheduler) CountersSnapshot() Counters {
 	c.PerWorker = make([]time.Duration, s.nw)
 	c.PerWorkerTasks = make([]int64, s.nw)
 	c.PerWorkerSteals = make([]int64, s.nw)
+	c.PerWorkerParked = make([]time.Duration, s.nw)
 	for i, w := range s.workers {
 		b := time.Duration(w.busy.Load())
 		c.PerWorker[i] = b
 		c.Busy += b
 		c.PerWorkerTasks[i] = w.tasks.Load()
 		c.PerWorkerSteals[i] = w.steal.Load()
+		c.PerWorkerParked[i] = time.Duration(w.parkNs.Load())
 		c.Tasks += c.PerWorkerTasks[i]
 		c.Steals += c.PerWorkerSteals[i]
+		c.Parked += c.PerWorkerParked[i]
 		c.Stolen += w.stolen.Load()
 		c.AffHits += w.affHit.Load()
 		c.AffMisses += w.affMiss.Load()
+		c.Parks += w.parks.Load()
 	}
 	c.Utilizable = c.Wall * time.Duration(s.nw)
 	return c

@@ -70,6 +70,7 @@ func (b *BackendNaive) Step(d *domain.Domain) error {
 	p := &d.Par
 
 	// --- LagrangeNodal -------------------------------------------------
+	b.s.SetPhase(PhaseForce)
 	b.each(nn, func(lo, hi int) { kernels.ZeroForces(d, lo, hi) })
 	b.each(ne, func(lo, hi int) {
 		kernels.InitStressTerms(d, buf.sigxx, buf.sigyy, buf.sigzz, lo, hi)
@@ -104,6 +105,7 @@ func (b *BackendNaive) Step(d *domain.Domain) error {
 		})
 	}
 
+	b.s.SetPhase(PhaseNodal)
 	b.each(nn, func(lo, hi int) { kernels.CalcAcceleration(d, lo, hi) })
 	// The naive port splits the reference's single BC region into three
 	// separate barriered loops.
@@ -120,6 +122,7 @@ func (b *BackendNaive) Step(d *domain.Domain) error {
 	b.each(nn, func(lo, hi int) { kernels.CalcPosition(d, delt, lo, hi) })
 
 	// --- LagrangeElements ----------------------------------------------
+	b.s.SetPhase(PhaseElements)
 	b.each(ne, func(lo, hi int) { kernels.CalcKinematics(d, delt, lo, hi) })
 	b.each(ne, func(lo, hi int) { kernels.CalcStrainRate(d, lo, hi, &buf.flag) })
 	if err := buf.flag.Err(); err != nil {
@@ -139,6 +142,7 @@ func (b *BackendNaive) Step(d *domain.Domain) error {
 	}
 
 	// Four separate barriered loops where the reference uses one region.
+	b.s.SetPhase(PhaseRegions)
 	b.each(ne, func(lo, hi int) { kernels.CopyVnewc(d, buf.vnewc, lo, hi) })
 	if p.EOSvMin != 0 {
 		b.each(ne, func(lo, hi int) {
@@ -158,9 +162,11 @@ func (b *BackendNaive) Step(d *domain.Domain) error {
 	for r, regList := range d.Regions.ElemList {
 		b.evalEOSRegion(d, regList, d.Regions.Rep(r))
 	}
+	b.s.SetPhase(PhaseVolumes)
 	b.each(ne, func(lo, hi int) { kernels.UpdateVolumes(d, p.VCut, lo, hi) })
 
 	// --- CalcTimeConstraintsForElems ------------------------------------
+	b.s.SetPhase(PhaseConstraints)
 	d.Dtcourant = kernels.HugeDt
 	d.Dthydro = kernels.HugeDt
 	for _, regList := range d.Regions.ElemList {
@@ -202,6 +208,7 @@ func (b *BackendNaive) Step(d *domain.Domain) error {
 			d.Dthydro = dth
 		}
 	}
+	b.s.SetPhase(PhaseOther)
 	return nil
 }
 

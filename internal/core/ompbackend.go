@@ -103,6 +103,10 @@ func (b *BackendOMP) Step(d *domain.Domain) error {
 	nth := pool.Threads()
 
 	// --- LagrangeNodal -------------------------------------------------
+	// Each kernel family publishes its phase tag before dispatching; the
+	// descriptor carries it to the team, so per-phase tables line up with
+	// the task backend's.
+	pool.SetPhase(PhaseForce)
 	b.forBlock(nn, func(lo, hi int) { kernels.ZeroForces(d, lo, hi) })
 	b.forBlock(ne, func(lo, hi int) {
 		kernels.InitStressTerms(d, buf.sigxx, buf.sigyy, buf.sigzz, lo, hi)
@@ -139,6 +143,7 @@ func (b *BackendOMP) Step(d *domain.Domain) error {
 		})
 	}
 
+	pool.SetPhase(PhaseNodal)
 	b.forBlock(nn, func(lo, hi int) { kernels.CalcAcceleration(d, lo, hi) })
 	// The three symmetry-plane loops share one parallel region in the
 	// reference (omp for nowait each).
@@ -156,6 +161,7 @@ func (b *BackendOMP) Step(d *domain.Domain) error {
 	b.forBlock(nn, func(lo, hi int) { kernels.CalcPosition(d, delt, lo, hi) })
 
 	// --- LagrangeElements ----------------------------------------------
+	pool.SetPhase(PhaseElements)
 	b.forBlock(ne, func(lo, hi int) { kernels.CalcKinematics(d, delt, lo, hi) })
 	b.forBlock(ne, func(lo, hi int) {
 		kernels.CalcStrainRate(d, lo, hi, &buf.flag)
@@ -192,14 +198,17 @@ func (b *BackendOMP) Step(d *domain.Domain) error {
 		return err
 	}
 
+	pool.SetPhase(PhaseRegions)
 	for r, regList := range d.Regions.ElemList {
 		b.evalEOSRegion(d, regList, d.Regions.Rep(r))
 	}
+	pool.SetPhase(PhaseVolumes)
 	b.forBlock(ne, func(lo, hi int) {
 		kernels.UpdateVolumes(d, p.VCut, lo, hi)
 	})
 
 	// --- CalcTimeConstraintsForElems ------------------------------------
+	pool.SetPhase(PhaseConstraints)
 	d.Dtcourant = kernels.HugeDt
 	d.Dthydro = kernels.HugeDt
 	for _, regList := range d.Regions.ElemList {
@@ -222,6 +231,7 @@ func (b *BackendOMP) Step(d *domain.Domain) error {
 			}
 		}
 	}
+	pool.SetPhase(PhaseOther)
 	return nil
 }
 

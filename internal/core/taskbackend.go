@@ -205,7 +205,11 @@ func (b *BackendTask) Step(d *domain.Domain) error {
 	b.flag.Reset()
 
 	// Stage 1: the two independent force families, one chain per element
-	// partition each.
+	// partition each. Each launch family publishes its phase tag first;
+	// continuation frames capture the tag at attach time, so the whole
+	// graph is phase-labeled during this sequential construction even
+	// though the frames spawn later, when barriers trip.
+	b.s.SetPhase(PhaseForce)
 	forces := b.launchForces(d)
 	if !b.opt.Chain {
 		amt.WaitAll(forces)
@@ -215,6 +219,7 @@ func (b *BackendTask) Step(d *domain.Domain) error {
 	}
 
 	// Barrier B1 (element→node): nodal chains need all corner forces.
+	b.s.SetPhase(PhaseNodal)
 	nodal := b.launchNodal(d, forces)
 	if !b.opt.Chain {
 		amt.WaitAll(nodal)
@@ -222,6 +227,7 @@ func (b *BackendTask) Step(d *domain.Domain) error {
 
 	// Barrier B2 (node→element): kinematics needs updated positions and
 	// velocities of all corner nodes.
+	b.s.SetPhase(PhaseElements)
 	elems := b.launchElements(d, nodal)
 	if !b.opt.Chain {
 		amt.WaitAll(elems)
@@ -233,10 +239,13 @@ func (b *BackendTask) Step(d *domain.Domain) error {
 	// Barrier B3 (element→neighbour element): the monotonic Q limiter
 	// reads neighbour gradients; the volume update and the region chains
 	// both depend on stage 3 and run concurrently.
+	b.s.SetPhase(PhaseRegions)
 	regionTasks := b.launchRegions(d, elems)
+	b.s.SetPhase(PhaseVolumes)
 	volTasks := b.launchVolumes(d, elems)
 
 	// Barrier B4 (join): fold the per-partition constraint minima.
+	b.s.SetPhase(PhaseConstraints)
 	all := append(regionTasks, volTasks...)
 	done := amt.AfterAllRun(b.s, all, func() {
 		dtc, dth := kernels.HugeDt, kernels.HugeDt
@@ -254,6 +263,7 @@ func (b *BackendTask) Step(d *domain.Domain) error {
 		d.Dthydro = dth
 	})
 	done.Get()
+	b.s.SetPhase(PhaseOther)
 	if err := b.flag.Err(); err != nil {
 		return err
 	}

@@ -73,6 +73,8 @@ type Pool struct {
 	block    func(lo, hi int)
 	elem     func(i int)
 	blockTID func(tid, lo, hi int)
+	phase    uint32    // solver phase tag of this region (SetPhase)
+	released time.Time // region release time; stamped only while a sink is installed
 
 	_    [56]byte     // keep the hot generation word off the descriptor line
 	gen  atomic.Int64 // region generation; bumped per dispatch (the sense)
@@ -89,8 +91,40 @@ type Pool struct {
 
 	observer atomic.Pointer[func(tid int, start time.Time, dur time.Duration)]
 
+	// curPhase is the phase tag copied into the next region descriptor
+	// (SetPhase); sink receives one record per thread per region — the
+	// fork-join feed for the perf subsystem, mirroring amt.TaskSink.
+	curPhase atomic.Uint32
+	sink     atomic.Pointer[TaskSink]
+
 	wg sync.WaitGroup
 }
+
+// TaskSink consumes per-thread region-part execution records. It is
+// structurally identical to amt.TaskSink so one profiler implementation
+// serves both runtimes: worker is the thread id, queueWait is the latency
+// from region release to this thread starting its share (the fork-join
+// dispatch analog of time spent queued), and stolen is always false —
+// static scheduling never migrates work.
+type TaskSink interface {
+	RecordTask(worker int, phase uint32, start time.Time, dur, queueWait time.Duration, stolen bool)
+}
+
+// SetSink installs or removes (nil) the per-part record consumer.
+func (p *Pool) SetSink(sink TaskSink) {
+	if sink == nil {
+		p.sink.Store(nil)
+		return
+	}
+	p.sink.Store(&sink)
+}
+
+// SetPhase publishes the phase tag stamped onto subsequently dispatched
+// regions — the solver calls it once per kernel family per timestep.
+func (p *Pool) SetPhase(ph uint32) { p.curPhase.Store(ph) }
+
+// Phase returns the current phase tag.
+func (p *Pool) Phase() uint32 { return p.curPhase.Load() }
 
 // SetObserver installs a hook invoked after each thread finishes its part
 // of a region, with the thread id and execution span — the fork-join
@@ -158,6 +192,13 @@ func (p *Pool) runPart(tid int) {
 	if obs := p.observer.Load(); obs != nil {
 		(*obs)(tid, start, dur)
 	}
+	if sk := p.sink.Load(); sk != nil {
+		var qw time.Duration
+		if !p.released.IsZero() {
+			qw = start.Sub(p.released)
+		}
+		(*sk).RecordTask(tid, p.phase, start, dur, qw, false)
+	}
 }
 
 func (p *Pool) worker(tid int) {
@@ -202,6 +243,15 @@ func (p *Pool) worker(tid int) {
 // runs the master's share, and joins at the padded sense-reversing
 // barrier (the implicit barrier at the end of an OpenMP region).
 func (p *Pool) dispatch() {
+	// Complete the descriptor before the gen bump publishes it: the phase
+	// tag, and — only while profiling — the release timestamp workers use
+	// to derive their dispatch latency (the fork-join queue wait).
+	p.phase = p.curPhase.Load()
+	if p.sink.Load() != nil {
+		p.released = time.Now()
+	} else if !p.released.IsZero() {
+		p.released = time.Time{}
+	}
 	start := time.Now()
 	if p.n > 1 {
 		g := p.gen.Add(1)

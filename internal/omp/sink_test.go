@@ -1,0 +1,65 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type countingSink struct {
+	parts  atomic.Int64
+	stolen atomic.Int64
+	phases [8]atomic.Int64
+	waited atomic.Int64
+}
+
+func (c *countingSink) RecordTask(worker int, phase uint32, start time.Time,
+	dur, queueWait time.Duration, stolen bool) {
+	c.parts.Add(1)
+	if stolen {
+		c.stolen.Add(1)
+	}
+	if queueWait > 0 {
+		c.waited.Add(1)
+	}
+	if int(phase) < len(c.phases) {
+		c.phases[phase].Add(1)
+	}
+}
+
+func TestPoolSinkReceivesPhasedParts(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	sink := &countingSink{}
+	p.SetSink(sink)
+
+	p.SetPhase(4)
+	for r := 0; r < 3; r++ {
+		p.ParallelForBlock(128, func(lo, hi int) {
+			time.Sleep(10 * time.Microsecond)
+		})
+	}
+	p.SetPhase(0)
+
+	// 3 regions x 2 threads, all under phase 4.
+	if n := sink.parts.Load(); n != 6 {
+		t.Fatalf("sink saw %d parts, want 6", n)
+	}
+	if got := sink.phases[4].Load(); got != 6 {
+		t.Fatalf("phase 4 saw %d parts, want 6", got)
+	}
+	if sink.stolen.Load() != 0 {
+		t.Fatal("fork-join parts must never report stolen")
+	}
+	if sink.waited.Load() == 0 {
+		t.Fatal("no part carried a dispatch-latency stamp")
+	}
+
+	// Removing the sink stops delivery and clears the release stamping.
+	p.SetSink(nil)
+	before := sink.parts.Load()
+	p.ParallelForBlock(64, func(lo, hi int) {})
+	if sink.parts.Load() != before {
+		t.Fatal("sink still invoked after SetSink(nil)")
+	}
+}

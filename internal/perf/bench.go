@@ -1,0 +1,90 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// BenchRecord is the machine-readable result of one benchmark run —
+// figure-of-merit, per-phase breakdown, counter snapshot and enough
+// build/host context to compare records across PRs. luleshbench writes one
+// BENCH_<n>.json per -record run.
+type BenchRecord struct {
+	Name       string             `json:"name"`
+	Timestamp  string             `json:"timestamp"`
+	Backend    string             `json:"backend"`
+	Workers    int                `json:"workers"`
+	Size       int                `json:"size,omitempty"` // mesh edge elements
+	Regions    int                `json:"regions,omitempty"`
+	Iterations int                `json:"iterations"`
+	ElapsedSec float64            `json:"elapsed_sec"`
+	FOM        float64            `json:"fom_zps"` // zones/second
+	Phases     []PhaseStats       `json:"phases,omitempty"`
+	Counters   map[string]float64 `json:"counters,omitempty"`
+	Build      BuildInfo          `json:"build"`
+}
+
+// BuildInfo pins the toolchain and host a record was produced on.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Host      string `json:"host,omitempty"`
+}
+
+// CurrentBuildInfo fills a BuildInfo from the running binary.
+func CurrentBuildInfo() BuildInfo {
+	host, _ := os.Hostname()
+	return BuildInfo{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Host:      host,
+	}
+}
+
+// WriteBenchJSON writes rec to the first unused BENCH_<n>.json in dir
+// (n counts up from 0) and returns the chosen path. The sequential
+// numbering keeps one file per run, so the perf trajectory across PRs is
+// a directory listing instead of a grep through experiments_raw.txt.
+func WriteBenchJSON(dir string, rec BenchRecord) (string, error) {
+	if rec.Timestamp == "" {
+		rec.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	}
+	if rec.Build == (BuildInfo{}) {
+		rec.Build = CurrentBuildInfo()
+	}
+	var path string
+	for n := 0; ; n++ {
+		path = filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			break
+		} else if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("perf: no free BENCH_<n>.json slot in %s", dir)
+		}
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	// O_EXCL guards the slot against a concurrent writer picking the same n.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}

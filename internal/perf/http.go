@@ -1,0 +1,183 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"lulesh/internal/stats"
+)
+
+// Server exposes live counter snapshots over HTTP:
+//
+//	/metrics       Prometheus text exposition of all per-phase counters
+//	/metrics.json  the same Snapshot (plus extra gauges) as JSON
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// It runs on its own mux so importing net/http/pprof does not pollute
+// http.DefaultServeMux for embedders.
+type Server struct {
+	Addr string // actual listen address (resolved ":0" included)
+	ln   net.Listener
+	srv  *http.Server
+	p    atomic.Pointer[Profiler]
+}
+
+// StartServer begins serving the profiler's counters on addr (host:port;
+// ":0" picks a free port, reported via Server.Addr). extra, when non-nil,
+// is invoked per scrape and its gauges are appended to both the
+// Prometheus and JSON outputs — the hook for scheduler-level counters
+// (utilization, steals, parks) that live outside the profiler.
+func StartServer(addr string, p *Profiler, extra func() map[string]float64) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{Addr: ln.Addr().String(), ln: ln}
+	s.p.Store(p)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writePrometheus(w, s.snapshot(), callExtra(extra))
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Snapshot
+			Extra map[string]float64 `json:"extra,omitempty"`
+		}{s.snapshot(), callExtra(extra)})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// SetProfiler swaps which profiler the endpoints report — used by
+// luleshbench so the live dashboard follows the measurement currently
+// running. Safe to call while scrapes are in flight.
+func (s *Server) SetProfiler(p *Profiler) { s.p.Store(p) }
+
+func (s *Server) snapshot() Snapshot {
+	if p := s.p.Load(); p != nil {
+		return p.Snapshot()
+	}
+	return Snapshot{}
+}
+
+// Close stops the server.
+func (s *Server) Close() { s.srv.Close() }
+
+func callExtra(extra func() map[string]float64) map[string]float64 {
+	if extra == nil {
+		return nil
+	}
+	return extra()
+}
+
+// writePrometheus renders the snapshot in the Prometheus text exposition
+// format (hand-rolled: the repo takes no dependencies). Phase duration
+// histograms follow the cumulative le-bucket convention so standard
+// histogram_quantile queries work on them.
+func writePrometheus(w io.Writer, snap Snapshot, extra map[string]float64) {
+	fmt.Fprintf(w, "# HELP lulesh_wall_seconds Wall time covered by the profiler epoch.\n")
+	fmt.Fprintf(w, "# TYPE lulesh_wall_seconds gauge\n")
+	fmt.Fprintf(w, "lulesh_wall_seconds %g\n", snap.Wall.Seconds())
+	fmt.Fprintf(w, "# HELP lulesh_workers Worker shard count.\n")
+	fmt.Fprintf(w, "# TYPE lulesh_workers gauge\n")
+	fmt.Fprintf(w, "lulesh_workers %d\n", snap.Workers)
+	fmt.Fprintf(w, "# HELP lulesh_utilization Busy time over wall x workers (Figure 11 quantity).\n")
+	fmt.Fprintf(w, "# TYPE lulesh_utilization gauge\n")
+	fmt.Fprintf(w, "lulesh_utilization %g\n", snap.Utilization())
+	fmt.Fprintf(w, "# HELP lulesh_span_drops_total Spans dropped by full per-worker rings.\n")
+	fmt.Fprintf(w, "# TYPE lulesh_span_drops_total counter\n")
+	fmt.Fprintf(w, "lulesh_span_drops_total %d\n", snap.SpanDrops)
+
+	fmt.Fprintf(w, "# HELP lulesh_phase_tasks_total Tasks executed per phase.\n")
+	fmt.Fprintf(w, "# TYPE lulesh_phase_tasks_total counter\n")
+	for _, ps := range snap.Phases {
+		fmt.Fprintf(w, "lulesh_phase_tasks_total{phase=%q} %d\n", ps.Name, ps.Count)
+	}
+	fmt.Fprintf(w, "# HELP lulesh_phase_busy_seconds Summed task-body time per phase.\n")
+	fmt.Fprintf(w, "# TYPE lulesh_phase_busy_seconds counter\n")
+	for _, ps := range snap.Phases {
+		fmt.Fprintf(w, "lulesh_phase_busy_seconds{phase=%q} %g\n", ps.Name, ps.Busy.Seconds())
+	}
+	fmt.Fprintf(w, "# HELP lulesh_phase_queue_wait_seconds Summed enqueue-to-start wait per phase.\n")
+	fmt.Fprintf(w, "# TYPE lulesh_phase_queue_wait_seconds counter\n")
+	for _, ps := range snap.Phases {
+		fmt.Fprintf(w, "lulesh_phase_queue_wait_seconds{phase=%q} %g\n", ps.Name, ps.QueueWait.Seconds())
+	}
+	fmt.Fprintf(w, "# HELP lulesh_phase_steals_total Tasks that executed after a steal migration, per phase.\n")
+	fmt.Fprintf(w, "# TYPE lulesh_phase_steals_total counter\n")
+	for _, ps := range snap.Phases {
+		fmt.Fprintf(w, "lulesh_phase_steals_total{phase=%q} %d\n", ps.Name, ps.Steals)
+	}
+
+	fmt.Fprintf(w, "# HELP lulesh_phase_duration_seconds Task duration distribution per phase.\n")
+	fmt.Fprintf(w, "# TYPE lulesh_phase_duration_seconds histogram\n")
+	for _, ps := range snap.Phases {
+		var cum int64
+		for i, n := range ps.Hist.Counts {
+			cum += n
+			if n == 0 && i < len(ps.Hist.Counts)-1 {
+				continue // keep the exposition compact; cumulative stays correct
+			}
+			le := float64(stats.HistUpper(i)) / 1e9
+			fmt.Fprintf(w, "lulesh_phase_duration_seconds_bucket{phase=%q,le=%q} %d\n",
+				ps.Name, trimFloat(le), cum)
+		}
+		fmt.Fprintf(w, "lulesh_phase_duration_seconds_bucket{phase=%q,le=\"+Inf\"} %d\n",
+			ps.Name, ps.Count)
+		fmt.Fprintf(w, "lulesh_phase_duration_seconds_sum{phase=%q} %g\n",
+			ps.Name, ps.Busy.Seconds())
+		fmt.Fprintf(w, "lulesh_phase_duration_seconds_count{phase=%q} %d\n",
+			ps.Name, ps.Count)
+	}
+
+	if len(extra) > 0 {
+		keys := make([]string, 0, len(extra))
+		for k := range extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			name := "lulesh_" + sanitizeMetricName(k)
+			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(w, "%s %g\n", name, extra[k])
+		}
+	}
+}
+
+// sanitizeMetricName maps an arbitrary counter label to a valid Prometheus
+// metric name.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func trimFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", f), "0"), ".")
+}

@@ -1,0 +1,131 @@
+package perf
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fetch(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	p := NewProfiler(2, 0)
+	p.SetPhaseName(1, "force")
+	p.RecordTask(0, 1, time.Now(), 5*time.Microsecond, time.Microsecond, true)
+	p.RecordTask(1, 1, time.Now(), 3*time.Microsecond, 0, false)
+
+	srv, err := StartServer("127.0.0.1:0", p, func() map[string]float64 {
+		return map[string]float64{"amt utilization": 0.75}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	prom := fetch(t, base+"/metrics")
+	for _, want := range []string{
+		`lulesh_phase_tasks_total{phase="force"} 2`,
+		`lulesh_phase_steals_total{phase="force"} 1`,
+		"lulesh_phase_duration_seconds_bucket",
+		`le="+Inf"`,
+		"lulesh_utilization",
+		"lulesh_amt_utilization 0.75",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, prom)
+		}
+	}
+
+	js := fetch(t, base+"/metrics.json")
+	var decoded struct {
+		Tasks  int64 `json:"tasks"`
+		Phases []struct {
+			Name  string `json:"name"`
+			Count int64  `json:"count"`
+		} `json:"phases"`
+		Extra map[string]float64 `json:"extra"`
+	}
+	if err := json.Unmarshal([]byte(js), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, js)
+	}
+	if decoded.Tasks != 2 || len(decoded.Phases) != 1 || decoded.Phases[0].Name != "force" {
+		t.Fatalf("JSON snapshot wrong: %s", js)
+	}
+	if decoded.Extra["amt utilization"] != 0.75 {
+		t.Fatalf("extra gauges missing: %s", js)
+	}
+
+	pprofIdx := fetch(t, base+"/debug/pprof/")
+	if !strings.Contains(pprofIdx, "goroutine") {
+		t.Fatalf("pprof index wrong:\n%s", pprofIdx)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"amt utilization": "amt_utilization",
+		"steals/total":    "steals_total",
+		"9lives":          "_lives",
+		"ok_name":         "ok_name",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteBenchJSONNumbering(t *testing.T) {
+	dir := t.TempDir()
+	rec := BenchRecord{Name: "figure9", Backend: "task", Workers: 2,
+		Iterations: 100, ElapsedSec: 1.5, FOM: 12345}
+	p0, err := WriteBenchJSON(dir, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p0) != "BENCH_0.json" {
+		t.Fatalf("first record at %s", p0)
+	}
+	p1, err := WriteBenchJSON(dir, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p1) != "BENCH_1.json" {
+		t.Fatalf("second record at %s", p1)
+	}
+	data, err := os.ReadFile(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("record not valid JSON: %v", err)
+	}
+	if back.FOM != 12345 || back.Name != "figure9" {
+		t.Fatalf("round-trip wrong: %+v", back)
+	}
+	if back.Build.GoVersion == "" || back.Timestamp == "" {
+		t.Fatalf("build/timestamp not auto-filled: %+v", back)
+	}
+}

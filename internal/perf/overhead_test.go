@@ -1,0 +1,149 @@
+package perf
+
+import (
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"lulesh/internal/amt"
+)
+
+// The CI observability gate: instrumented-vs-disabled ForEachBlock
+// overhead must stay within a small budget, or the sharded recording path
+// has regressed into exactly the perturbation it was built to avoid.
+//
+// Methodology: trials interleave the two arms and flip their order every
+// trial, so slow drift in the container hits both equally, and the
+// comparison uses each arm's minimum — the standard robust estimator for
+// "what does this code cost", immune to the scheduler-noise outliers a
+// median still samples. Task bodies run ~4 µs of arithmetic — the paper's
+// fine-grain regime, where per-task overhead is most visible.
+
+// spinWork burns roughly 4 µs of CPU per call on this container and
+// returns a value the compiler cannot elide.
+func spinWork(lo, hi int) float64 {
+	acc := 1.0
+	for i := lo; i < hi; i++ {
+		for k := 0; k < 220; k++ {
+			acc = acc*1.0000001 + float64(k&7)
+		}
+	}
+	return acc
+}
+
+var spinSink float64
+
+func runRegions(s *amt.Scheduler, regions, n, grain int) time.Duration {
+	start := time.Now()
+	for r := 0; r < regions; r++ {
+		amt.ForEachBlock(s, 0, n, grain, func(lo, hi int) {
+			spinSink += spinWork(lo, hi)
+		}).Get()
+	}
+	return time.Since(start)
+}
+
+func minimum(ds []time.Duration) time.Duration {
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[0]
+}
+
+func TestForEachBlockOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead gate skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("overhead gate skipped under -race: instrumented atomics dominate")
+	}
+	budget := 3.0 // percent
+	if env := os.Getenv("PERF_OVERHEAD_BUDGET"); env != "" {
+		v, err := strconv.ParseFloat(env, 64)
+		if err != nil {
+			t.Fatalf("bad PERF_OVERHEAD_BUDGET %q: %v", env, err)
+		}
+		budget = v
+	}
+
+	s := amt.NewScheduler(amt.WithWorkers(runtime.GOMAXPROCS(0)))
+	defer s.Close()
+	p := NewProfiler(s.Workers(), 0) // aggregate-only: the steady-state CI mode
+
+	const (
+		trials  = 11
+		regions = 12
+		n       = 2048
+		grain   = 16 // 128 tasks x ~4 µs per region
+	)
+	runRegions(s, regions, n, grain) // warm the pool and the frame cache
+
+	var off, on []time.Duration
+	measureOff := func() { s.SetSink(nil); off = append(off, runRegions(s, regions, n, grain)) }
+	measureOn := func() { s.SetSink(p); on = append(on, runRegions(s, regions, n, grain)) }
+	for i := 0; i < trials; i++ {
+		if i%2 == 0 {
+			measureOff()
+			measureOn()
+		} else {
+			measureOn()
+			measureOff()
+		}
+	}
+	s.SetSink(nil)
+
+	mOff, mOn := minimum(off), minimum(on)
+	overhead := 100 * (float64(mOn) - float64(mOff)) / float64(mOff)
+	t.Logf("disabled min %v, instrumented min %v, overhead %.2f%% (budget %.1f%%)",
+		mOff, mOn, overhead, budget)
+	if snap := p.Snapshot(); snap.Tasks == 0 {
+		t.Fatal("instrumented arm recorded no tasks — gate measured nothing")
+	}
+	if overhead > budget {
+		t.Errorf("instrumented ForEachBlock overhead %.2f%% exceeds %.1f%% budget "+
+			"(disabled %v, instrumented %v)", overhead, budget, mOff, mOn)
+	}
+}
+
+// Benchmarks for the EXPERIMENTS.md overhead table.
+
+func BenchmarkRecordTask(b *testing.B) {
+	p := NewProfiler(1, 0)
+	base := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.RecordTask(0, 1, base, 5*time.Microsecond, time.Microsecond, i&7 == 0)
+	}
+}
+
+func BenchmarkRecordTaskWithSpans(b *testing.B) {
+	p := NewProfiler(1, 1<<16)
+	base := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.RecordTask(0, 1, base, 5*time.Microsecond, time.Microsecond, false)
+		if i&(1<<14-1) == 0 {
+			for _, sh := range p.shards { // keep the ring from saturating
+				sh.ring.drain(nil)
+			}
+		}
+	}
+}
+
+func benchmarkForEachBlock(b *testing.B, sinkOn bool) {
+	s := amt.NewScheduler(amt.WithWorkers(runtime.GOMAXPROCS(0)))
+	defer s.Close()
+	if sinkOn {
+		s.SetSink(NewProfiler(s.Workers(), 0))
+	}
+	runRegions(s, 2, 2048, 16) // warmup
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runRegions(s, 1, 2048, 16)
+	}
+}
+
+func BenchmarkForEachBlockDisabled(b *testing.B) { benchmarkForEachBlock(b, false) }
+func BenchmarkForEachBlockProfiled(b *testing.B) { benchmarkForEachBlock(b, true) }

@@ -1,0 +1,354 @@
+// Package perf is the performance-counter subsystem: per-worker sharded,
+// lock-free recording of task execution records (phase, span, queue wait,
+// steal flag) fed by the runtimes' task sinks, aggregated on demand into
+// per-phase busy/steal/queue-wait breakdowns with log-bucketed duration
+// histograms — the reproduction of HPX's idle-rate performance counters
+// and APEX task profiles that the paper's Figure 11 analysis rests on.
+//
+// The write path touches only the recording worker's own shard: a handful
+// of uncontended atomic adds per task plus an optional push into the
+// worker's single-producer/single-consumer span ring. No mutex is taken
+// until a snapshot, drain or step mark reads the shards. The same
+// Profiler value satisfies both amt.TaskSink and omp.TaskSink, so the AMT
+// and fork-join backends feed identical per-phase tables.
+package perf
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lulesh/internal/stats"
+	"lulesh/internal/trace"
+)
+
+// MaxPhases bounds the phase registry. Phase 0 is the untagged default
+// ("other"); out-of-range tags are folded into it rather than growing the
+// fixed-size shards (growth would race with the lock-free writers).
+const MaxPhases = 32
+
+// cell accumulates one (worker, phase) combination. A cell has exactly one
+// writer — the worker owning the shard — so the atomics are uncontended;
+// they exist to give concurrent snapshot readers a torn-free view.
+type cell struct {
+	count   atomic.Int64
+	busyNs  atomic.Int64
+	qwaitNs atomic.Int64
+	steals  atomic.Int64
+	hist    [stats.HistBuckets]atomic.Int64
+}
+
+// shard is one worker's private recording area.
+type shard struct {
+	cells [MaxPhases]cell
+	ring  *spanRing // nil when span recording is disabled
+	drops atomic.Int64
+}
+
+// Profiler implements the runtimes' TaskSink interfaces and aggregates the
+// records into phase-level statistics.
+type Profiler struct {
+	shards  []*shard
+	epoch   time.Time
+	spansOn atomic.Bool
+
+	mu     sync.Mutex
+	names  [MaxPhases]string
+	series []StepSample
+	// last per-phase busy/count totals at the previous MarkStep, for
+	// per-step deltas.
+	lastBusy  [MaxPhases]int64
+	lastCount [MaxPhases]int64
+	lastMark  time.Time
+}
+
+// NewProfiler creates a profiler with one shard per worker. ringCap, when
+// positive, allocates a span ring of that capacity per worker and enables
+// raw span recording (for trace export); zero keeps the profiler
+// aggregate-only. Worker ids outside [0, workers) fold onto shard
+// id % workers, so a mis-sized profiler degrades to shared shards instead
+// of a panic.
+func NewProfiler(workers, ringCap int) *Profiler {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Profiler{shards: make([]*shard, workers), epoch: time.Now()}
+	p.names[0] = "other"
+	for i := range p.shards {
+		sh := &shard{}
+		if ringCap > 0 {
+			sh.ring = newSpanRing(ringCap)
+		}
+		p.shards[i] = sh
+	}
+	if ringCap > 0 {
+		p.spansOn.Store(true)
+	}
+	return p
+}
+
+// Workers reports the shard count.
+func (p *Profiler) Workers() int { return len(p.shards) }
+
+// SetPhaseName labels a phase id for snapshots and exports. Ids at or
+// past MaxPhases are ignored. Safe to call while recording is live.
+func (p *Profiler) SetPhaseName(id uint32, name string) {
+	if id >= MaxPhases {
+		return
+	}
+	p.mu.Lock()
+	p.names[id] = name
+	p.mu.Unlock()
+}
+
+// PhaseName returns the label of a phase id ("phase<N>" when unnamed).
+func (p *Profiler) PhaseName(id uint32) string {
+	if id >= MaxPhases {
+		id = 0
+	}
+	p.mu.Lock()
+	n := p.names[id]
+	p.mu.Unlock()
+	if n == "" {
+		return fmt.Sprintf("phase%d", id)
+	}
+	return n
+}
+
+// EnableSpans toggles raw span recording into the per-worker rings
+// (no-op when the profiler was built without rings).
+func (p *Profiler) EnableSpans(on bool) {
+	if on && p.shards[0].ring == nil {
+		return
+	}
+	p.spansOn.Store(on)
+}
+
+// RecordTask consumes one task execution record. It is the TaskSink
+// implementation shared by the AMT scheduler and the fork-join pool: the
+// write path is a handful of uncontended atomic adds on the recording
+// worker's own shard, plus an optional SPSC ring push.
+func (p *Profiler) RecordTask(worker int, phase uint32, start time.Time,
+	dur, queueWait time.Duration, stolen bool) {
+
+	if worker < 0 {
+		worker = 0
+	}
+	sh := p.shards[worker%len(p.shards)]
+	if phase >= MaxPhases {
+		phase = 0
+	}
+	c := &sh.cells[phase]
+	c.count.Add(1)
+	c.busyNs.Add(int64(dur))
+	if queueWait > 0 {
+		c.qwaitNs.Add(int64(queueWait))
+	}
+	if stolen {
+		c.steals.Add(1)
+	}
+	c.hist[stats.HistBucket(int64(dur))].Add(1)
+	if p.spansOn.Load() && sh.ring != nil {
+		if !sh.ring.push(span{
+			startNs: start.Sub(p.epoch).Nanoseconds(),
+			durNs:   int64(dur),
+			phase:   phase,
+			worker:  int32(worker),
+		}) {
+			sh.drops.Add(1)
+		}
+	}
+}
+
+// PhaseStats is the aggregate view of one phase across all workers.
+type PhaseStats struct {
+	ID        uint32          `json:"id"`
+	Name      string          `json:"name"`
+	Count     int64           `json:"count"`
+	Steals    int64           `json:"steals"`
+	Busy      time.Duration   `json:"busy_ns"`
+	QueueWait time.Duration   `json:"queue_wait_ns"`
+	P50       time.Duration   `json:"p50_ns"`
+	P95       time.Duration   `json:"p95_ns"`
+	P99       time.Duration   `json:"p99_ns"`
+	PerWorker []time.Duration `json:"per_worker_busy_ns,omitempty"`
+	Hist      stats.Histogram `json:"-"`
+}
+
+// Snapshot is a consistent-enough aggregate of everything recorded since
+// the profiler's creation. Individual counters are read atomically; the
+// set is not a single atomic cut, which is fine for monitoring output.
+type Snapshot struct {
+	Epoch     time.Time     `json:"epoch"`
+	Wall      time.Duration `json:"wall_ns"`
+	Workers   int           `json:"workers"`
+	Tasks     int64         `json:"tasks"`
+	Busy      time.Duration `json:"busy_ns"`
+	SpanDrops int64         `json:"span_drops"`
+	Phases    []PhaseStats  `json:"phases"`
+}
+
+// Utilization is recorded busy time over wall time x workers — the
+// Figure 11 quantity, measured from the profiler's own records.
+func (s Snapshot) Utilization() float64 {
+	den := float64(s.Wall) * float64(s.Workers)
+	if den <= 0 {
+		return 0
+	}
+	u := float64(s.Busy) / den
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Snapshot aggregates the shards into per-phase statistics. Phases with no
+// recorded task are omitted.
+func (p *Profiler) Snapshot() Snapshot {
+	snap := Snapshot{Epoch: p.epoch, Wall: time.Since(p.epoch), Workers: len(p.shards)}
+	for ph := uint32(0); ph < MaxPhases; ph++ {
+		ps := PhaseStats{ID: ph, PerWorker: make([]time.Duration, len(p.shards))}
+		for wi, sh := range p.shards {
+			c := &sh.cells[ph]
+			n := c.count.Load()
+			if n == 0 {
+				continue
+			}
+			b := time.Duration(c.busyNs.Load())
+			ps.Count += n
+			ps.Busy += b
+			ps.PerWorker[wi] = b
+			ps.QueueWait += time.Duration(c.qwaitNs.Load())
+			ps.Steals += c.steals.Load()
+			for i := range c.hist {
+				ps.Hist.AddBucket(i, c.hist[i].Load())
+			}
+		}
+		if ps.Count == 0 {
+			continue
+		}
+		ps.Name = p.PhaseName(ph)
+		ps.P50, ps.P95, ps.P99 = ps.Hist.P50(), ps.Hist.P95(), ps.Hist.P99()
+		snap.Tasks += ps.Count
+		snap.Busy += ps.Busy
+		snap.Phases = append(snap.Phases, ps)
+	}
+	for _, sh := range p.shards {
+		snap.SpanDrops += sh.drops.Load()
+	}
+	return snap
+}
+
+// StepSample is one timestep's slice of the per-phase utilization series —
+// the data behind a Figure 11-style timeline.
+type StepSample struct {
+	Step      int             `json:"step"`
+	Wall      time.Duration   `json:"wall_ns"` // wall time since the previous mark
+	Busy      time.Duration   `json:"busy_ns"` // summed busy delta, all phases
+	Util      float64         `json:"util"`    // Busy / (Wall x workers)
+	PhaseBusy []time.Duration `json:"phase_busy_ns"`
+	PhaseN    []int64         `json:"phase_tasks"`
+}
+
+// MarkStep closes the current step window: it computes the per-phase busy
+// and task-count deltas since the previous mark and appends one StepSample
+// to the series. Call once per timestep from the driver loop (not from
+// workers); the cost is one pass over the shards.
+func (p *Profiler) MarkStep(step int) {
+	var busy, count [MaxPhases]int64
+	for _, sh := range p.shards {
+		for ph := 0; ph < MaxPhases; ph++ {
+			busy[ph] += sh.cells[ph].busyNs.Load()
+			count[ph] += sh.cells[ph].count.Load()
+		}
+	}
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	last := p.lastMark
+	if last.IsZero() {
+		last = p.epoch
+	}
+	s := StepSample{Step: step, Wall: now.Sub(last)}
+	for ph := 0; ph < MaxPhases; ph++ {
+		db := busy[ph] - p.lastBusy[ph]
+		dn := count[ph] - p.lastCount[ph]
+		if db != 0 || dn != 0 {
+			for len(s.PhaseBusy) <= ph {
+				s.PhaseBusy = append(s.PhaseBusy, 0)
+				s.PhaseN = append(s.PhaseN, 0)
+			}
+			s.PhaseBusy[ph] = time.Duration(db)
+			s.PhaseN[ph] = dn
+		}
+		s.Busy += time.Duration(db)
+	}
+	if den := float64(s.Wall) * float64(len(p.shards)); den > 0 {
+		s.Util = float64(s.Busy) / den
+		if s.Util > 1 {
+			s.Util = 1
+		}
+	}
+	p.lastBusy, p.lastCount, p.lastMark = busy, count, now
+	p.series = append(p.series, s)
+}
+
+// Series returns a copy of the accumulated per-step samples.
+func (p *Profiler) Series() []StepSample {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]StepSample, len(p.series))
+	copy(out, p.series)
+	return out
+}
+
+// DrainSpans moves every span currently buffered in the per-worker rings
+// into the trace recorder (one batched append per ring), labeled with the
+// phase name and the worker id as the timeline row. Returns the number of
+// spans moved. Call from a single drainer goroutine — the rings are
+// single-consumer.
+func (p *Profiler) DrainSpans(rec *trace.Recorder) int {
+	var buf []span
+	var events []trace.Event
+	total := 0
+	for _, sh := range p.shards {
+		if sh.ring == nil {
+			continue
+		}
+		buf = sh.ring.drain(buf[:0])
+		if len(buf) == 0 {
+			continue
+		}
+		events = events[:0]
+		for _, s := range buf {
+			events = append(events, trace.Event{
+				Name:  p.PhaseName(s.phase),
+				TID:   int(s.worker),
+				Start: p.epoch.Add(time.Duration(s.startNs)),
+				Dur:   time.Duration(s.durNs),
+			})
+		}
+		rec.RecordBatch(events)
+		total += len(events)
+	}
+	return total
+}
+
+// Table renders the per-phase breakdown as a stats.Table — the
+// utilization table the binaries print at exit.
+func (s Snapshot) Table() *stats.Table {
+	t := stats.NewTable("phase", "tasks", "busy", "busy%", "qwait", "steals",
+		"p50", "p95", "p99")
+	for _, ps := range s.Phases {
+		share := 0.0
+		if s.Busy > 0 {
+			share = 100 * float64(ps.Busy) / float64(s.Busy)
+		}
+		t.AddRow(ps.Name, ps.Count, ps.Busy.Round(time.Microsecond),
+			fmt.Sprintf("%.1f%%", share),
+			ps.QueueWait.Round(time.Microsecond), ps.Steals,
+			ps.P50, ps.P95, ps.P99)
+	}
+	return t
+}

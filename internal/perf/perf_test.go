@@ -1,0 +1,292 @@
+package perf
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lulesh/internal/trace"
+)
+
+func TestRecordTaskAggregation(t *testing.T) {
+	p := NewProfiler(2, 0)
+	p.SetPhaseName(1, "force")
+	base := time.Now()
+	// Worker 0: two force tasks; worker 1: one force (stolen, with wait)
+	// and one untagged.
+	p.RecordTask(0, 1, base, 4*time.Microsecond, 0, false)
+	p.RecordTask(0, 1, base, 4*time.Microsecond, 0, false)
+	p.RecordTask(1, 1, base, 8*time.Microsecond, 2*time.Microsecond, true)
+	p.RecordTask(1, 0, base, time.Microsecond, 0, false)
+
+	snap := p.Snapshot()
+	if snap.Tasks != 4 || len(snap.Phases) != 2 {
+		t.Fatalf("snapshot totals wrong: %+v", snap)
+	}
+	var force, other *PhaseStats
+	for i := range snap.Phases {
+		switch snap.Phases[i].Name {
+		case "force":
+			force = &snap.Phases[i]
+		case "other":
+			other = &snap.Phases[i]
+		}
+	}
+	if force == nil || other == nil {
+		t.Fatalf("phases missing: %+v", snap.Phases)
+	}
+	if force.Count != 3 || force.Busy != 16*time.Microsecond {
+		t.Fatalf("force stats wrong: %+v", force)
+	}
+	if force.Steals != 1 || force.QueueWait != 2*time.Microsecond {
+		t.Fatalf("force steal/wait wrong: %+v", force)
+	}
+	if force.PerWorker[0] != 8*time.Microsecond || force.PerWorker[1] != 8*time.Microsecond {
+		t.Fatalf("per-worker split wrong: %v", force.PerWorker)
+	}
+	if force.Hist.N() != 3 || force.P50 <= 0 {
+		t.Fatalf("histogram wrong: N=%d p50=%v", force.Hist.N(), force.P50)
+	}
+	if other.Count != 1 {
+		t.Fatalf("other stats wrong: %+v", other)
+	}
+}
+
+func TestRecordTaskFoldsOutOfRange(t *testing.T) {
+	p := NewProfiler(1, 0)
+	base := time.Now()
+	p.RecordTask(-3, MaxPhases+7, base, time.Microsecond, 0, false) // both clamp
+	p.RecordTask(5, 0, base, time.Microsecond, 0, false)            // worker folds mod 1
+	snap := p.Snapshot()
+	if snap.Tasks != 2 || len(snap.Phases) != 1 || snap.Phases[0].ID != 0 {
+		t.Fatalf("clamping failed: %+v", snap)
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	p := NewProfiler(1, 0)
+	if p.PhaseName(0) != "other" {
+		t.Fatalf("phase 0 = %q", p.PhaseName(0))
+	}
+	if p.PhaseName(7) != "phase7" {
+		t.Fatalf("unnamed phase = %q", p.PhaseName(7))
+	}
+	p.SetPhaseName(7, "eos")
+	if p.PhaseName(7) != "eos" {
+		t.Fatalf("named phase = %q", p.PhaseName(7))
+	}
+	p.SetPhaseName(MaxPhases+1, "ignored") // must not panic
+	if p.PhaseName(MaxPhases+1) != "other" {
+		t.Fatal("out-of-range name lookup must fold to phase 0")
+	}
+}
+
+func TestSpanRingSPSC(t *testing.T) {
+	r := newSpanRing(4)
+	for i := 0; i < 4; i++ {
+		if !r.push(span{startNs: int64(i)}) {
+			t.Fatalf("push %d failed on non-full ring", i)
+		}
+	}
+	if r.push(span{}) {
+		t.Fatal("push succeeded on full ring")
+	}
+	out := r.drain(nil)
+	if len(out) != 4 || out[0].startNs != 0 || out[3].startNs != 3 {
+		t.Fatalf("drain wrong: %+v", out)
+	}
+	if r.size() != 0 {
+		t.Fatalf("ring not empty after drain: %d", r.size())
+	}
+	// Wrap-around: slots freed by the drain are reusable.
+	for i := 0; i < 4; i++ {
+		if !r.push(span{startNs: int64(10 + i)}) {
+			t.Fatalf("push %d failed after drain", i)
+		}
+	}
+	out = r.drain(out[:0])
+	if len(out) != 4 || out[0].startNs != 10 {
+		t.Fatalf("wrapped drain wrong: %+v", out)
+	}
+}
+
+func TestSpanRingConcurrentProducerConsumer(t *testing.T) {
+	r := newSpanRing(64)
+	const total = 10000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // producer
+		defer wg.Done()
+		for i := 0; i < total; {
+			if r.push(span{startNs: int64(i)}) {
+				i++
+			}
+		}
+	}()
+	var got []span
+	for len(got) < total {
+		got = r.drain(got)
+	}
+	wg.Wait()
+	for i, s := range got {
+		if s.startNs != int64(i) {
+			t.Fatalf("span %d out of order: %d", i, s.startNs)
+		}
+	}
+}
+
+func TestDrainSpansAndDrops(t *testing.T) {
+	p := NewProfiler(2, 8)
+	p.SetPhaseName(2, "eos")
+	base := time.Now()
+	for i := 0; i < 12; i++ { // overflows worker 0's ring of 8
+		p.RecordTask(0, 2, base, time.Microsecond, 0, false)
+	}
+	p.RecordTask(1, 2, base, time.Microsecond, 0, false)
+
+	rec := trace.NewRecorder(0)
+	n := p.DrainSpans(rec)
+	if n != 9 { // 8 from worker 0 + 1 from worker 1
+		t.Fatalf("drained %d spans, want 9", n)
+	}
+	if rec.Len() != 9 {
+		t.Fatalf("recorder holds %d events", rec.Len())
+	}
+	evs := rec.Events()
+	if evs[0].Name != "eos" {
+		t.Fatalf("span name = %q", evs[0].Name)
+	}
+	snap := p.Snapshot()
+	if snap.SpanDrops != 4 {
+		t.Fatalf("SpanDrops = %d, want 4", snap.SpanDrops)
+	}
+	// Draining freed the ring: more records fit now.
+	p.RecordTask(0, 2, base, time.Microsecond, 0, false)
+	if got := p.DrainSpans(rec); got != 1 {
+		t.Fatalf("post-drain record not buffered: %d", got)
+	}
+}
+
+func TestEnableSpansToggle(t *testing.T) {
+	p := NewProfiler(1, 4)
+	base := time.Now()
+	p.EnableSpans(false)
+	p.RecordTask(0, 0, base, time.Microsecond, 0, false)
+	rec := trace.NewRecorder(0)
+	if n := p.DrainSpans(rec); n != 0 {
+		t.Fatalf("spans recorded while disabled: %d", n)
+	}
+	p.EnableSpans(true)
+	p.RecordTask(0, 0, base, time.Microsecond, 0, false)
+	if n := p.DrainSpans(rec); n != 1 {
+		t.Fatalf("spans not recorded after re-enable: %d", n)
+	}
+	// Aggregates accumulate regardless of the span toggle.
+	if snap := p.Snapshot(); snap.Tasks != 2 {
+		t.Fatalf("aggregate lost: %d tasks", snap.Tasks)
+	}
+	// A ring-less profiler cannot enable spans.
+	q := NewProfiler(1, 0)
+	q.EnableSpans(true)
+	q.RecordTask(0, 0, base, time.Microsecond, 0, false) // must not panic
+}
+
+func TestMarkStepSeries(t *testing.T) {
+	p := NewProfiler(2, 0)
+	p.SetPhaseName(1, "force")
+	base := time.Now()
+	p.RecordTask(0, 1, base, 10*time.Millisecond, 0, false)
+	p.MarkStep(1)
+	p.RecordTask(1, 1, base, 20*time.Millisecond, 0, false)
+	p.RecordTask(1, 0, base, 5*time.Millisecond, 0, false)
+	p.MarkStep(2)
+
+	series := p.Series()
+	if len(series) != 2 {
+		t.Fatalf("%d samples", len(series))
+	}
+	if series[0].Step != 1 || series[0].Busy != 10*time.Millisecond {
+		t.Fatalf("sample 1 wrong: %+v", series[0])
+	}
+	s2 := series[1]
+	if s2.Busy != 25*time.Millisecond {
+		t.Fatalf("sample 2 busy = %v", s2.Busy)
+	}
+	if len(s2.PhaseBusy) < 2 || s2.PhaseBusy[1] != 20*time.Millisecond ||
+		s2.PhaseBusy[0] != 5*time.Millisecond {
+		t.Fatalf("sample 2 phase deltas wrong: %+v", s2)
+	}
+	if s2.PhaseN[1] != 1 || s2.PhaseN[0] != 1 {
+		t.Fatalf("sample 2 phase counts wrong: %+v", s2)
+	}
+	if s2.Wall <= 0 || s2.Util < 0 || s2.Util > 1 {
+		t.Fatalf("sample 2 wall/util out of range: %+v", s2)
+	}
+}
+
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	p := NewProfiler(4, 32)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := time.Now()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					p.RecordTask(w, uint32(i%3), base, time.Microsecond,
+						time.Nanosecond, i%7 == 0)
+				}
+			}
+		}()
+	}
+	rec := trace.NewRecorder(0)
+	for i := 0; i < 30; i++ {
+		p.Snapshot()
+		p.MarkStep(i)
+		p.DrainSpans(rec)
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	snap := p.Snapshot()
+	if snap.Tasks == 0 {
+		t.Fatal("no tasks recorded")
+	}
+}
+
+func TestSnapshotTable(t *testing.T) {
+	p := NewProfiler(1, 0)
+	p.SetPhaseName(1, "force")
+	p.RecordTask(0, 1, time.Now(), 5*time.Microsecond, time.Microsecond, true)
+	var sb strings.Builder
+	if err := p.Snapshot().Table().Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"phase", "force", "qwait", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output %q missing %q", out, want)
+		}
+	}
+}
+
+func TestSnapshotUtilization(t *testing.T) {
+	if u := (Snapshot{}).Utilization(); u != 0 {
+		t.Fatalf("empty snapshot util = %v", u)
+	}
+	s := Snapshot{Wall: time.Second, Workers: 2, Busy: time.Second}
+	if u := s.Utilization(); u != 0.5 {
+		t.Fatalf("util = %v, want 0.5", u)
+	}
+	s.Busy = 5 * time.Second
+	if u := s.Utilization(); u != 1 {
+		t.Fatalf("util not clamped: %v", u)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package perf
+
+// raceEnabled reports whether the race detector is compiled in; the
+// overhead gate skips itself under -race, where instrumented atomics cost
+// an order of magnitude more than in a normal build.
+const raceEnabled = true

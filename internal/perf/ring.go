@@ -1,0 +1,65 @@
+package perf
+
+import "sync/atomic"
+
+// span is one raw task execution record held in a ring: fixed-size, no
+// pointers, so a ring slot never allocates or retains memory.
+type span struct {
+	startNs int64 // start, nanoseconds since the profiler epoch
+	durNs   int64
+	phase   uint32
+	worker  int32
+}
+
+// spanRing is a bounded single-producer/single-consumer ring buffer. The
+// producer is the worker owning the shard (RecordTask); the consumer is
+// the drainer (DrainSpans). head counts pushes, tail counts pops; both
+// only grow, and the slot index is the count modulo capacity.
+//
+// Ordering: the producer plain-writes the slot and then publishes it with
+// a head release-store; the consumer acquires head before reading slots,
+// and its tail release-store hands the freed slots back. Each side writes
+// only its own counter, so the pair forms the classic lock-free SPSC
+// protocol — full means push fails (the caller counts a drop) rather than
+// blocking the hot path.
+type spanRing struct {
+	buf  []span
+	head atomic.Int64 // producer-owned
+	_    [56]byte     // keep the two counters off one cache line
+	tail atomic.Int64 // consumer-owned
+}
+
+func newSpanRing(capacity int) *spanRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &spanRing{buf: make([]span, capacity)}
+}
+
+// push appends s, returning false when the ring is full.
+func (r *spanRing) push(s span) bool {
+	h := r.head.Load()
+	if h-r.tail.Load() >= int64(len(r.buf)) {
+		return false
+	}
+	r.buf[h%int64(len(r.buf))] = s
+	r.head.Store(h + 1)
+	return true
+}
+
+// drain appends every buffered span to out and frees the slots.
+func (r *spanRing) drain(out []span) []span {
+	t := r.tail.Load()
+	h := r.head.Load()
+	for ; t < h; t++ {
+		out = append(out, r.buf[t%int64(len(r.buf))])
+	}
+	r.tail.Store(t)
+	return out
+}
+
+// size reports the number of buffered spans (approximate under concurrent
+// pushes).
+func (r *spanRing) size() int {
+	return int(r.head.Load() - r.tail.Load())
+}

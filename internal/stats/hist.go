@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"time"
+)
+
+// HistBuckets is the number of log2 duration buckets a Histogram holds.
+// Bucket 0 collects values below HistBase nanoseconds; bucket i collects
+// [HistBase<<(i-1), HistBase<<i); the last bucket is open-ended. With
+// HistBase = 256 ns the range spans 256 ns to ~9 min, covering everything
+// from a pathological sub-microsecond task to a stalled phase.
+const (
+	HistBuckets = 32
+	HistBase    = 256 // ns, upper bound of bucket 0
+)
+
+// HistBucket returns the bucket index for a nanosecond value.
+func HistBucket(ns int64) int {
+	if ns < HistBase {
+		return 0
+	}
+	// bits.Len64(ns/HistBase) is the position of the highest set bit of the
+	// value expressed in HistBase units; +1 skips the sub-base bucket.
+	b := bits.Len64(uint64(ns) / HistBase)
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// HistUpper returns the exclusive upper bound (in ns) of bucket i; the last
+// bucket reports the largest representable bound it still distinguishes.
+func HistUpper(i int) int64 {
+	if i >= HistBuckets-1 {
+		i = HistBuckets - 1
+	}
+	return HistBase << uint(i)
+}
+
+// Histogram is a fixed log2-bucketed histogram of nanosecond values — the
+// duration-distribution type behind the per-phase p50/p95/p99 columns. It
+// is a plain value type; concurrent writers should accumulate in their own
+// shards (e.g. per-worker atomics) and merge into one Histogram on
+// snapshot.
+type Histogram struct {
+	Counts [HistBuckets]int64
+}
+
+// Add records one nanosecond value.
+func (h *Histogram) Add(ns int64) { h.Counts[HistBucket(ns)]++ }
+
+// AddBucket records n values into bucket i (the shard-merge path).
+func (h *Histogram) AddBucket(i int, n int64) {
+	if i < 0 {
+		i = 0
+	}
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.Counts[i] += n
+}
+
+// Merge adds other's counts into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, n := range other.Counts {
+		h.Counts[i] += n
+	}
+}
+
+// N reports the total number of recorded values.
+func (h *Histogram) N() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns an upper-bound estimate (in ns) of the q-quantile
+// (0 <= q <= 1): the upper edge of the bucket containing the q-th value.
+// It returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.N()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target value, 1-based; q=0 maps to the first value.
+	rank := int64(q*float64(n-1)) + 1
+	var seen int64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= rank {
+			return HistUpper(i)
+		}
+	}
+	return HistUpper(HistBuckets - 1)
+}
+
+// P50, P95 and P99 are the conventional percentile shorthands, as
+// durations.
+func (h *Histogram) P50() time.Duration { return time.Duration(h.Quantile(0.50)) }
+func (h *Histogram) P95() time.Duration { return time.Duration(h.Quantile(0.95)) }
+func (h *Histogram) P99() time.Duration { return time.Duration(h.Quantile(0.99)) }
+
+// String renders the non-empty buckets compactly, e.g.
+// "[4µs,8µs):120 [8µs,16µs):34".
+func (h *Histogram) String() string {
+	var parts []string
+	lower := int64(0)
+	for i, c := range h.Counts {
+		upper := HistUpper(i)
+		if c > 0 {
+			parts = append(parts, fmt.Sprintf("[%v,%v):%d",
+				time.Duration(lower), time.Duration(upper), c))
+		}
+		lower = upper
+	}
+	if len(parts) == 0 {
+		return "(empty)"
+	}
+	return strings.Join(parts, " ")
+}

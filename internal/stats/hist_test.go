@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0},
+		{255, 0},
+		{256, 1},
+		{511, 1},
+		{512, 2},
+		{1023, 2},
+		{int64(time.Millisecond), 12}, // 1e6 ns: 256<<11 = 524288 <= 1e6 < 256<<12
+		{1 << 62, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := HistBucket(c.ns); got != c.want {
+			t.Fatalf("HistBucket(%d) = %d, want %d", c.ns, got, c.want)
+		}
+		// Consistency: the value must lie below its bucket's upper bound.
+		if c.want < HistBuckets-1 && c.ns >= HistUpper(c.want) {
+			t.Fatalf("value %d not below upper bound %d of bucket %d",
+				c.ns, HistUpper(c.want), c.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.P99() != 0 {
+		t.Fatal("empty histogram must report zero quantiles")
+	}
+	// 90 values in the 1µs bucket, 10 in the 1ms bucket.
+	for i := 0; i < 90; i++ {
+		h.Add(int64(time.Microsecond))
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(int64(time.Millisecond))
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	us := HistUpper(HistBucket(int64(time.Microsecond)))
+	ms := HistUpper(HistBucket(int64(time.Millisecond)))
+	if got := h.Quantile(0.50); got != us {
+		t.Fatalf("p50 = %d, want %d", got, us)
+	}
+	if got := h.Quantile(0.89); got != us {
+		t.Fatalf("p89 = %d, want %d", got, us)
+	}
+	if got := h.Quantile(0.95); got != ms {
+		t.Fatalf("p95 = %d, want %d", got, ms)
+	}
+	if h.P99() != time.Duration(ms) {
+		t.Fatalf("p99 = %v", h.P99())
+	}
+	// Quantiles are clamped, monotone at the extremes.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("quantile clamping broken")
+	}
+}
+
+func TestHistogramMergeAndBuckets(t *testing.T) {
+	var a, b Histogram
+	a.Add(300)                     // bucket 1
+	b.Add(300)                     // bucket 1
+	b.Add(1024)                    // bucket 3
+	b.AddBucket(-5, 2)             // clamps to 0
+	b.AddBucket(HistBuckets+10, 1) // clamps to last
+	a.Merge(&b)
+	if a.Counts[1] != 2 || a.Counts[3] != 1 || a.Counts[0] != 2 ||
+		a.Counts[HistBuckets-1] != 1 {
+		t.Fatalf("merge counts wrong: %v", a.Counts)
+	}
+	if a.N() != 6 {
+		t.Fatalf("N = %d", a.N())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	if h.String() != "(empty)" {
+		t.Fatalf("empty string = %q", h.String())
+	}
+	h.Add(int64(4 * time.Microsecond))
+	if s := h.String(); !strings.Contains(s, ":1") {
+		t.Fatalf("string = %q", s)
+	}
+}

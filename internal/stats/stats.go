@@ -194,15 +194,34 @@ func (t *Table) Write(w io.Writer) error {
 	return nil
 }
 
-// WriteCSV renders the table as comma-separated values.
+// WriteCSV renders the table as comma-separated values. Fields containing
+// a comma, quote or line break are quoted per RFC 4180, so cells like
+// counter labels ("steals, total") cannot shift columns.
 func (t *Table) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, strings.Join(t.header, ",")); err != nil {
+	if _, err := fmt.Fprintln(w, csvLine(t.header)); err != nil {
 		return err
 	}
 	for _, r := range t.rows {
-		if _, err := fmt.Fprintln(w, strings.Join(r, ",")); err != nil {
+		if _, err := fmt.Fprintln(w, csvLine(r)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+func csvLine(cells []string) string {
+	quoted := make([]string, len(cells))
+	for i, c := range cells {
+		quoted[i] = csvField(c)
+	}
+	return strings.Join(quoted, ",")
+}
+
+// csvField quotes one CSV field per RFC 4180 when it contains a separator,
+// quote or line break; plain fields pass through unchanged.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }

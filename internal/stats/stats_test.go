@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/csv"
 	"math"
 	"strings"
 	"testing"
@@ -190,5 +191,33 @@ func TestTableFloatFormatting(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "0.0001235") {
 		t.Fatalf("float formatting: %q", sb.String())
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := NewTable("label", "value")
+	tb.AddRow("steals, total", 3)
+	tb.AddRow(`says "hi"`, 1)
+	tb.AddRow("line\nbreak", 2)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "label,value\n" +
+		"\"steals, total\",3\n" +
+		"\"says \"\"hi\"\"\",1\n" +
+		"\"line\nbreak\",2\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+	// Round-trip through a strict RFC 4180 reader.
+	r := csv.NewReader(strings.NewReader(sb.String()))
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("encoding/csv rejects output: %v", err)
+	}
+	if len(recs) != 4 || recs[1][0] != "steals, total" ||
+		recs[2][0] != `says "hi"` || recs[3][0] != "line\nbreak" {
+		t.Fatalf("round-trip mismatch: %q", recs)
 	}
 }

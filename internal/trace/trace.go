@@ -8,6 +8,7 @@ package trace
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -32,11 +33,13 @@ type CounterSample struct {
 
 // Recorder accumulates spans from concurrent workers.
 type Recorder struct {
-	mu       sync.Mutex
-	epoch    time.Time
-	events   []Event
-	counters []CounterSample
-	limit    int
+	mu           sync.Mutex
+	epoch        time.Time
+	events       []Event
+	counters     []CounterSample
+	limit        int
+	eventDrops   int64
+	counterDrops int64
 }
 
 // NewRecorder creates a recorder. limit bounds the number of stored events
@@ -52,23 +55,58 @@ func NewRecorder(limit int) *Recorder {
 // DefaultLimit is the default event cap.
 const DefaultLimit = 1 << 20
 
-// Record stores one completed span.
+// Record stores one completed span. Spans past the limit are counted as
+// dropped rather than silently discarded.
 func (r *Recorder) Record(name string, tid int, start time.Time, dur time.Duration) {
 	r.mu.Lock()
 	if len(r.events) < r.limit {
 		r.events = append(r.events, Event{Name: name, TID: tid, Start: start, Dur: dur})
+	} else {
+		r.eventDrops++
 	}
 	r.mu.Unlock()
 }
 
+// RecordBatch stores many completed spans under one lock acquisition — the
+// drain path for the perf subsystem's per-worker ring buffers. Spans past
+// the limit are counted as dropped.
+func (r *Recorder) RecordBatch(events []Event) {
+	if len(events) == 0 {
+		return
+	}
+	r.mu.Lock()
+	room := r.limit - len(r.events)
+	if room < 0 {
+		room = 0
+	}
+	if room > len(events) {
+		room = len(events)
+	}
+	r.events = append(r.events, events[:room]...)
+	r.eventDrops += int64(len(events) - room)
+	r.mu.Unlock()
+}
+
 // RecordCounter stores one sampled counter value at time t. Samples share
-// the event limit so a per-step counter cannot grow without bound either.
+// the event limit so a per-step counter cannot grow without bound either;
+// samples past the limit are counted as dropped.
 func (r *Recorder) RecordCounter(name string, t time.Time, value float64) {
 	r.mu.Lock()
 	if len(r.counters) < r.limit {
 		r.counters = append(r.counters, CounterSample{Name: name, T: t, Value: value})
+	} else {
+		r.counterDrops++
 	}
 	r.mu.Unlock()
+}
+
+// Dropped reports how many spans and counter samples were discarded
+// because the recorder was full. Non-zero values mean the trace is
+// truncated and totals underestimate the run.
+func (r *Recorder) Dropped() (events, counters int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eventDrops, r.counterDrops
 }
 
 // Counters returns a snapshot of the stored counter samples.
@@ -109,6 +147,8 @@ func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.events = r.events[:0]
 	r.counters = r.counters[:0]
+	r.eventDrops = 0
+	r.counterDrops = 0
 	r.epoch = time.Now()
 	r.mu.Unlock()
 }
@@ -151,6 +191,20 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			Args: map[string]float64{"value": c.Value},
 		})
 	}
+	// A truncated trace must say so in-band: emit the drop totals as a
+	// final counter track so viewers (and scripts) see the trace is partial.
+	if r.eventDrops > 0 || r.counterDrops > 0 {
+		evs = append(evs, chromeEvent{
+			Name: "trace dropped (truncated)",
+			Ph:   "C",
+			Ts:   float64(time.Since(r.epoch)) / float64(time.Microsecond),
+			PID:  0,
+			Args: map[string]float64{
+				"events":   float64(r.eventDrops),
+				"counters": float64(r.counterDrops),
+			},
+		})
+	}
 	r.mu.Unlock()
 	enc := json.NewEncoder(w)
 	return enc.Encode(evs)
@@ -164,7 +218,9 @@ type Summary struct {
 	Max   time.Duration
 }
 
-// Summarize groups events by name, ordered by descending total time.
+// Summarize groups events by name, ordered by descending total time. When
+// the recorder dropped spans, a final "(dropped ...)" entry reports how
+// many, so a truncated trace is never mistaken for a complete one.
 func (r *Recorder) Summarize() []Summary {
 	r.mu.Lock()
 	byName := map[string]*Summary{}
@@ -182,8 +238,9 @@ func (r *Recorder) Summarize() []Summary {
 			s.Max = e.Dur
 		}
 	}
+	drops := r.eventDrops
 	r.mu.Unlock()
-	out := make([]Summary, 0, len(order))
+	out := make([]Summary, 0, len(order)+1)
 	for _, n := range order {
 		out = append(out, *byName[n])
 	}
@@ -192,6 +249,12 @@ func (r *Recorder) Summarize() []Summary {
 		for j := i; j > 0 && out[j].Total > out[j-1].Total; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
+	}
+	if drops > 0 {
+		out = append(out, Summary{
+			Name:  fmt.Sprintf("(dropped %d spans past limit)", drops),
+			Count: int(drops),
+		})
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -189,5 +190,118 @@ func TestSummarize(t *testing.T) {
 	}
 	if s[1].Name != "stress" {
 		t.Fatalf("ordering wrong: %+v", s)
+	}
+}
+
+func TestDroppedCounts(t *testing.T) {
+	r := NewRecorder(3)
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		r.Record("x", 0, now, 0)
+		r.RecordCounter("c", now, 1)
+	}
+	ev, cs := r.Dropped()
+	if ev != 7 || cs != 7 {
+		t.Fatalf("Dropped() = %d, %d; want 7, 7", ev, cs)
+	}
+	r.Reset()
+	if ev, cs := r.Dropped(); ev != 0 || cs != 0 {
+		t.Fatalf("Reset did not clear drops: %d, %d", ev, cs)
+	}
+}
+
+func TestRecordBatch(t *testing.T) {
+	r := NewRecorder(5)
+	now := time.Now()
+	batch := make([]Event, 8)
+	for i := range batch {
+		batch[i] = Event{Name: "b", TID: i, Start: now, Dur: time.Microsecond}
+	}
+	r.RecordBatch(batch[:2])
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d after first batch", r.Len())
+	}
+	r.RecordBatch(batch) // only 3 slots left
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d after overflowing batch", r.Len())
+	}
+	if ev, _ := r.Dropped(); ev != 5 {
+		t.Fatalf("dropped %d events, want 5", ev)
+	}
+	r.RecordBatch(nil) // must be a no-op
+	if ev, _ := r.Dropped(); ev != 5 {
+		t.Fatalf("empty batch changed drops: %d", ev)
+	}
+}
+
+func TestSummarizeSurfacesDrops(t *testing.T) {
+	r := NewRecorder(1)
+	now := time.Now()
+	r.Record("kept", 0, now, time.Millisecond)
+	r.Record("lost", 0, now, time.Millisecond)
+	r.Record("lost", 0, now, time.Millisecond)
+	s := r.Summarize()
+	if len(s) != 2 {
+		t.Fatalf("%d summaries, want kept + drop marker", len(s))
+	}
+	last := s[len(s)-1]
+	if last.Count != 2 || !strings.Contains(last.Name, "dropped 2") {
+		t.Fatalf("drop marker wrong: %+v", last)
+	}
+}
+
+func TestChromeTraceSurfacesDrops(t *testing.T) {
+	r := NewRecorder(1)
+	now := time.Now()
+	r.Record("kept", 0, now, time.Millisecond)
+	r.Record("lost", 0, now, time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	last := evs[len(evs)-1]
+	if last["ph"] != "C" || !strings.Contains(last["name"].(string), "dropped") {
+		t.Fatalf("no drop marker event: %v", last)
+	}
+	args := last["args"].(map[string]interface{})
+	if args["events"].(float64) != 1 {
+		t.Fatalf("drop marker args wrong: %v", args)
+	}
+}
+
+func TestConcurrentRecordCounterAndReset(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					r.RecordCounter("idle", time.Now(), 0.5)
+					r.Record("span", 0, time.Now(), time.Microsecond)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		r.Reset()
+		r.Summarize()
+		r.Dropped()
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(stop)
+	wg.Wait()
+	r.Reset()
+	if r.Len() != 0 || len(r.Counters()) != 0 {
+		t.Fatal("final Reset left data behind")
 	}
 }
