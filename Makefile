@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz cover bench verify figures examples clean perfgate
+.PHONY: all build test race fuzz cover bench verify figures examples clean perfgate chaos
 
 # The race lane is a first-class gate: all runtime/scheduler changes must
 # survive the race detector, not just the plain test run.
@@ -39,6 +39,16 @@ verify:
 perfgate:
 	$(GO) test -run TestForEachBlockOverheadBudget -count=1 -v ./internal/perf/
 	$(GO) test -race -count=1 ./internal/perf/ ./internal/trace/
+
+# The chaos gate: fault injection, retry/backoff recovery, and
+# checkpoint-based restart must all hold under the race detector, and a
+# faulted end-to-end run must reproduce the unfaulted energies exactly.
+chaos:
+	$(GO) test -race -count=1 -run 'Fault|Crash|Corrupt|Recover|Checkpoint|Reorder|Duplicate|Deadline' \
+		./internal/comm/ ./internal/dist/ ./internal/checkpoint/
+	$(GO) run ./cmd/lulesh -ranks 2 -s 8 -i 30 \
+		-faults drop=0.05,dup=0.02,crash=1@20 -fault-seed 9 \
+		-exchange-deadline 20ms -checkpoint-every 5
 
 # Regenerate every table/figure of the paper's evaluation.
 figures:

@@ -5,18 +5,50 @@
 // iteration reads, including the time-stepping state, and the mesh topology
 // and region decomposition are rebuilt deterministically from the recorded
 // configuration.
+//
+// Checkpoints are framed with a CRC-32 checksum over the encoded payload:
+// a truncated or bit-flipped file is detected at Load time and reported as
+// a typed error wrapping ErrCorrupt, never fed into a garbage restart.
+//
+// Beyond single domains (Save/Load), the package checkpoints one rank of
+// the multi-domain driver (SaveRank/LoadRank): the base domain state plus
+// the rank's exchanged nodal masses, its ghost-plane velocity gradients,
+// and the comm epoch (the timestep the coordinated checkpoint was taken
+// at) — everything internal/dist needs to restart a cluster from its last
+// coordinated checkpoint after a rank failure.
 package checkpoint
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"lulesh/internal/domain"
 )
 
-// magic guards against feeding arbitrary gob streams into Load.
-const magic = "lulesh-checkpoint-v1"
+// ErrCorrupt is wrapped by every Load failure caused by a damaged stream —
+// bad header, truncation, checksum mismatch, or an undecodable payload.
+// Callers distinguish "the file is damaged" (restore from an older
+// checkpoint) from "this is not a checkpoint at all" via errors.Is.
+var ErrCorrupt = errors.New("checkpoint: corrupt")
+
+// Frame layout: header + version byte, CRC-32 (IEEE) of the payload, the
+// payload length, then the gob-encoded state.
+const (
+	frameHeader  = "LULESHCP"
+	frameVersion = 2
+)
+
+// Magic strings inside the gob payload guard against feeding one
+// checkpoint kind into the other loader.
+const (
+	magic     = "lulesh-checkpoint-v2"
+	rankMagic = "lulesh-rank-checkpoint-v1"
+)
 
 // state is the serialized form: the box configuration to rebuild
 // mesh/regions deterministically, plus every mutable array and the clock.
@@ -41,10 +73,29 @@ type state struct {
 	Cycle     int
 }
 
-// Save writes a checkpoint of d. cfg must be the configuration d was
-// created with (it is stored so Load can rebuild the immutable topology).
-func Save(w io.Writer, d *domain.Domain, cfg domain.BoxConfig) error {
-	st := state{
+// RankMeta is the per-rank extra state of a multi-domain checkpoint: the
+// rank's identity, the comm epoch (cycle) the coordinated checkpoint
+// closed at, the exchanged nodal masses (so restart skips the init-time
+// mass exchange), and the ghost-plane gradient slots.
+type RankMeta struct {
+	Rank  int
+	Ranks int
+	Epoch int
+
+	NodalMass                                []float64
+	GhostDelvXi, GhostDelvEta, GhostDelvZeta []float64
+}
+
+// rankState wraps the base domain state with the rank extras.
+type rankState struct {
+	Magic string
+	Base  state
+	Meta  RankMeta
+}
+
+// capture assembles the serializable state of d.
+func capture(d *domain.Domain, cfg domain.BoxConfig) state {
+	return state{
 		Magic: magic,
 		Cfg:   cfg,
 		X:     d.X, Y: d.Y, Z: d.Z,
@@ -60,31 +111,13 @@ func Save(w io.Writer, d *domain.Domain, cfg domain.BoxConfig) error {
 		Dthydro:   d.Dthydro,
 		Cycle:     d.Cycle,
 	}
-	return gob.NewEncoder(w).Encode(&st)
 }
 
-// SaveCube is Save for domains created with domain.NewSedov.
-func SaveCube(w io.Writer, d *domain.Domain, cfg domain.Config) error {
-	return Save(w, d, domain.BoxConfig{
-		Nx: cfg.EdgeElems, Ny: cfg.EdgeElems, Nz: cfg.EdgeElems,
-		NumReg: cfg.NumReg, Balance: cfg.Balance, Cost: cfg.Cost,
-		DepositEnergy: true,
-	})
-}
-
-// Load reconstructs a domain from a checkpoint stream. The returned domain
-// continues exactly where Save left off.
-func Load(r io.Reader) (*domain.Domain, error) {
-	var st state
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return nil, fmt.Errorf("checkpoint: decode: %w", err)
-	}
-	if st.Magic != magic {
-		return nil, fmt.Errorf("checkpoint: bad magic %q", st.Magic)
-	}
+// apply rebuilds a domain from captured state.
+func apply(st state) (*domain.Domain, error) {
 	d := domain.NewSedovBox(st.Cfg)
 	if len(st.X) != d.NumNode() || len(st.E) != d.NumElem() {
-		return nil, fmt.Errorf("checkpoint: array sizes do not match the recorded configuration")
+		return nil, fmt.Errorf("%w: array sizes do not match the recorded configuration", ErrCorrupt)
 	}
 	copy(d.X, st.X)
 	copy(d.Y, st.Y)
@@ -108,4 +141,134 @@ func Load(r io.Reader) (*domain.Domain, error) {
 	d.Dthydro = st.Dthydro
 	d.Cycle = st.Cycle
 	return d, nil
+}
+
+// writeFrame encodes v with gob and writes the checksummed frame.
+func writeFrame(w io.Writer, v any) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	var hdr [len(frameHeader) + 1 + 4 + 8]byte
+	copy(hdr[:], frameHeader)
+	hdr[len(frameHeader)] = frameVersion
+	binary.BigEndian.PutUint32(hdr[len(frameHeader)+1:], crc32.ChecksumIEEE(payload.Bytes()))
+	binary.BigEndian.PutUint64(hdr[len(frameHeader)+5:], uint64(payload.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("checkpoint: write header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("checkpoint: write payload: %w", err)
+	}
+	return nil
+}
+
+// readFrame verifies the header, length and checksum and returns the
+// payload. Any damage surfaces as an error wrapping ErrCorrupt.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [len(frameHeader) + 1 + 4 + 8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:len(frameHeader)]) != frameHeader {
+		return nil, fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	if hdr[len(frameHeader)] != frameVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, hdr[len(frameHeader)])
+	}
+	wantCRC := binary.BigEndian.Uint32(hdr[len(frameHeader)+1:])
+	length := binary.BigEndian.Uint64(hdr[len(frameHeader)+5:])
+	const maxPayload = 1 << 32 // no realistic checkpoint exceeds 4 GiB
+	if length > maxPayload {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrCorrupt, err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch (want %08x, got %08x)", ErrCorrupt, wantCRC, got)
+	}
+	return payload, nil
+}
+
+// Save writes a checkpoint of d. cfg must be the configuration d was
+// created with (it is stored so Load can rebuild the immutable topology).
+func Save(w io.Writer, d *domain.Domain, cfg domain.BoxConfig) error {
+	st := capture(d, cfg)
+	return writeFrame(w, &st)
+}
+
+// SaveCube is Save for domains created with domain.NewSedov.
+func SaveCube(w io.Writer, d *domain.Domain, cfg domain.Config) error {
+	return Save(w, d, domain.BoxConfig{
+		Nx: cfg.EdgeElems, Ny: cfg.EdgeElems, Nz: cfg.EdgeElems,
+		NumReg: cfg.NumReg, Balance: cfg.Balance, Cost: cfg.Cost,
+		DepositEnergy: true,
+	})
+}
+
+// Load reconstructs a domain from a checkpoint stream. The returned domain
+// continues exactly where Save left off.
+func Load(r io.Reader) (*domain.Domain, error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	var st state
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrCorrupt, err)
+	}
+	if st.Magic != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q", st.Magic)
+	}
+	return apply(st)
+}
+
+// SaveRank writes one multi-domain rank's checkpoint: the base domain
+// state plus the exchanged nodal masses and ghost gradient planes, stamped
+// with the rank identity and comm epoch from meta (whose slice fields are
+// captured from d and may be left nil by the caller).
+func SaveRank(w io.Writer, d *domain.Domain, cfg domain.BoxConfig, meta RankMeta) error {
+	ne := d.NumElem()
+	meta.NodalMass = d.NodalMass
+	meta.GhostDelvXi = d.DelvXi[ne:]
+	meta.GhostDelvEta = d.DelvEta[ne:]
+	meta.GhostDelvZeta = d.DelvZeta[ne:]
+	st := rankState{Magic: rankMagic, Base: capture(d, cfg), Meta: meta}
+	return writeFrame(w, &st)
+}
+
+// LoadRank reconstructs one rank's domain and its exchange metadata from a
+// rank checkpoint stream. The nodal masses and ghost gradient planes are
+// restored into the domain, so the restarted rank must not repeat the
+// init-time mass exchange.
+func LoadRank(r io.Reader) (*domain.Domain, RankMeta, error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return nil, RankMeta{}, err
+	}
+	var st rankState
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
+		return nil, RankMeta{}, fmt.Errorf("%w: decode: %v", ErrCorrupt, err)
+	}
+	if st.Magic != rankMagic {
+		return nil, RankMeta{}, fmt.Errorf("checkpoint: bad rank magic %q", st.Magic)
+	}
+	d, err := apply(st.Base)
+	if err != nil {
+		return nil, RankMeta{}, err
+	}
+	ne := d.NumElem()
+	if len(st.Meta.NodalMass) != d.NumNode() ||
+		len(st.Meta.GhostDelvXi) != len(d.DelvXi[ne:]) ||
+		len(st.Meta.GhostDelvEta) != len(d.DelvEta[ne:]) ||
+		len(st.Meta.GhostDelvZeta) != len(d.DelvZeta[ne:]) {
+		return nil, RankMeta{}, fmt.Errorf("%w: rank extras do not match the recorded configuration", ErrCorrupt)
+	}
+	copy(d.NodalMass, st.Meta.NodalMass)
+	copy(d.DelvXi[ne:], st.Meta.GhostDelvXi)
+	copy(d.DelvEta[ne:], st.Meta.GhostDelvEta)
+	copy(d.DelvZeta[ne:], st.Meta.GhostDelvZeta)
+	return d, st.Meta, nil
 }

@@ -1,0 +1,160 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lulesh/internal/core"
+	"lulesh/internal/domain"
+)
+
+// makeCheckpoint produces a valid checkpoint byte stream to damage.
+func makeCheckpoint(t *testing.T) []byte {
+	t.Helper()
+	cfg := domain.DefaultConfig(4)
+	d := domain.NewSedov(cfg)
+	b := core.NewBackendSerial(d)
+	defer b.Close()
+	stepN(t, d, b, 5)
+	var buf bytes.Buffer
+	if err := SaveCube(&buf, d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadDetectsTruncation(t *testing.T) {
+	blob := makeCheckpoint(t)
+	// Every truncation point — inside the header, inside the payload, one
+	// byte short — must be detected and classified as corruption.
+	for _, cut := range []int{0, 3, len(blob) / 2, len(blob) - 1} {
+		_, err := Load(bytes.NewReader(blob[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d not classified as ErrCorrupt: %v", cut, err)
+		}
+	}
+}
+
+func TestLoadDetectsBitFlips(t *testing.T) {
+	blob := makeCheckpoint(t)
+	// Flip one bit at several positions across the stream: header, length
+	// field, early payload, late payload. Each must fail with ErrCorrupt.
+	for _, pos := range []int{0, 9, 15, 40, len(blob) / 2, len(blob) - 2} {
+		damaged := append([]byte(nil), blob...)
+		damaged[pos] ^= 0x10
+		_, err := Load(bytes.NewReader(damaged))
+		if err == nil {
+			t.Fatalf("bit flip at %d accepted", pos)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at %d not classified as ErrCorrupt: %v", pos, err)
+		}
+	}
+	// The undamaged stream still loads (the damage loop must not be the
+	// reason the checks pass).
+	if _, err := Load(bytes.NewReader(blob)); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	blob := append([]byte(nil), makeCheckpoint(t)...)
+	blob[len(frameHeader)] = frameVersion + 1
+	_, err := Load(bytes.NewReader(blob))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("future version not rejected as corrupt: %v", err)
+	}
+}
+
+func TestGarbageClassifiedCorrupt(t *testing.T) {
+	_, err := Load(bytes.NewReader([]byte("definitely not a checkpoint, not even close")))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbage not classified as ErrCorrupt: %v", err)
+	}
+}
+
+func TestSaveRankLoadRankRoundTrip(t *testing.T) {
+	bc := domain.BoxConfig{Nx: 3, Ny: 3, Nz: 3, NumReg: 2, Balance: 1, Cost: 1,
+		CommZMax: true, DepositEnergy: true, Spacing: 1.125 / 3}
+	d := domain.NewSedovBox(bc)
+	// Give the exchanged state recognizable values.
+	for i := range d.NodalMass {
+		d.NodalMass[i] = float64(i) * 0.5
+	}
+	ne := d.NumElem()
+	for i := range d.DelvXi[ne:] {
+		d.DelvXi[ne+i] = float64(i) + 0.25
+		d.DelvEta[ne+i] = float64(i) + 0.5
+		d.DelvZeta[ne+i] = float64(i) + 0.75
+	}
+	d.Cycle = 12
+
+	var buf bytes.Buffer
+	meta := RankMeta{Rank: 1, Ranks: 4, Epoch: 12}
+	if err := SaveRank(&buf, d, bc, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, gm, err := LoadRank(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.Rank != 1 || gm.Ranks != 4 || gm.Epoch != 12 {
+		t.Fatalf("meta round-trip: %+v", gm)
+	}
+	for i := range d.NodalMass {
+		if got.NodalMass[i] != d.NodalMass[i] {
+			t.Fatalf("NodalMass[%d] lost", i)
+		}
+	}
+	for i := range d.DelvXi[ne:] {
+		if got.DelvXi[ne+i] != d.DelvXi[ne+i] ||
+			got.DelvEta[ne+i] != d.DelvEta[ne+i] ||
+			got.DelvZeta[ne+i] != d.DelvZeta[ne+i] {
+			t.Fatalf("ghost gradients lost at %d", i)
+		}
+	}
+	if got.Cycle != 12 {
+		t.Fatalf("cycle lost: %d", got.Cycle)
+	}
+}
+
+func TestLoadRankRejectsPlainCheckpoint(t *testing.T) {
+	// A single-domain checkpoint must not be accepted by the rank loader
+	// (and vice versa) — the payload magics are distinct.
+	blob := makeCheckpoint(t)
+	if _, _, err := LoadRank(bytes.NewReader(blob)); err == nil {
+		t.Fatal("LoadRank accepted a plain checkpoint")
+	}
+
+	bc := domain.BoxConfig{Nx: 2, Ny: 2, Nz: 2, NumReg: 1, DepositEnergy: true}
+	d := domain.NewSedovBox(bc)
+	var buf bytes.Buffer
+	if err := SaveRank(&buf, d, bc, RankMeta{Ranks: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("Load accepted a rank checkpoint")
+	}
+}
+
+func TestRankCheckpointCorruptionDetected(t *testing.T) {
+	bc := domain.BoxConfig{Nx: 2, Ny: 2, Nz: 2, NumReg: 1, DepositEnergy: true}
+	d := domain.NewSedovBox(bc)
+	var buf bytes.Buffer
+	if err := SaveRank(&buf, d, bc, RankMeta{Ranks: 1}); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	damaged := append([]byte(nil), blob...)
+	damaged[len(damaged)/2] ^= 0x01
+	if _, _, err := LoadRank(bytes.NewReader(damaged)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("rank checkpoint bit flip not ErrCorrupt: %v", err)
+	}
+	if _, _, err := LoadRank(bytes.NewReader(blob[:len(blob)-3])); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("rank checkpoint truncation not ErrCorrupt: %v", err)
+	}
+}

@@ -6,9 +6,25 @@
 // overlap), preserving the properties that matter for that comparison:
 // per-pair message ordering, blocking receives with measurable wait time,
 // and payload copying on send (no shared mutable buffers).
+//
+// # Fault tolerance
+//
+// Clusters built with NewClusterOptions run in fault-tolerant mode: every
+// send is routed through a pluggable Transport (the seed-driven
+// FaultInjector can drop, delay, duplicate and reorder messages, and crash
+// a whole rank at a chosen step), and the receive side compensates.
+// Messages carry per-(pair, tag) sequence numbers; RecvDeadline filters
+// duplicates, restores order, and — when the expected message does not
+// arrive within the exchange deadline — asks the sender to retransmit
+// from its per-stream resend buffer, backing off exponentially up to the
+// retry limit before failing with ErrExchangeTimeout. A crashed peer stops
+// answering resend requests, so the deadline doubles as the failure
+// detector. Clusters built with NewCluster/NewClusterLatency skip all of
+// this: the reliable channel transport is the zero-cost default.
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -53,22 +69,102 @@ func (t Tag) String() string {
 	}
 }
 
+// Typed failures of the fault-tolerant exchange. Both are recoverable by
+// the distributed driver's checkpoint/restart machinery; physics errors
+// are not wrapped in either.
+var (
+	// ErrExchangeTimeout: a receive exhausted its deadline and retry
+	// budget — the failure-detection signal for a dead or unreachable peer.
+	ErrExchangeTimeout = errors.New("comm: exchange deadline exceeded")
+
+	// ErrRankCrashed: the fault plan scheduled this rank's crash; the rank
+	// must abandon the protocol immediately.
+	ErrRankCrashed = errors.New("comm: rank crashed by fault injection")
+)
+
 type message struct {
 	tag   Tag
+	seq   uint64 // per-(pair, tag) stream sequence (fault-tolerant mode)
 	data  []float64
 	ready time.Time // earliest delivery instant (simulated link latency)
 }
+
+// ctrlMsg is a resend request: "retransmit (tag, seq) to rank from".
+type ctrlMsg struct {
+	from int
+	tag  Tag
+	seq  uint64
+}
+
+// Options configures a fault-tolerant fabric.
+type Options struct {
+	// Latency is the one-way link latency (0 = instant delivery).
+	Latency time.Duration
+
+	// Transport intercepts every send. nil selects Reliable. Supplying a
+	// FaultInjector (or any custom Transport) enables the fault-tolerant
+	// receive path.
+	Transport Transport
+
+	// ExchangeDeadline bounds each wait for an expected message before a
+	// resend request is issued; it doubles after every retry
+	// (exponential backoff). 0 = DefaultExchangeDeadline.
+	ExchangeDeadline time.Duration
+
+	// RetryLimit is how many resend requests a receive issues before
+	// failing with ErrExchangeTimeout. 0 = DefaultRetryLimit.
+	RetryLimit int
+}
+
+// Defaults for Options' zero values: the deadline must comfortably exceed
+// one compute phase so retries mean "message lost", not "peer still busy".
+const (
+	DefaultExchangeDeadline = 100 * time.Millisecond
+	DefaultRetryLimit       = 6
+)
 
 // Cluster is a fully connected fabric of size ranks.
 type Cluster struct {
 	size    int
 	latency time.Duration
 	pipes   [][]chan message // pipes[from][to]
+
+	// Fault-tolerant mode (nil transport = reliable fast path).
+	tr         Transport
+	deadline   time.Duration
+	retryLimit int
+	ctrl       []chan ctrlMsg // ctrl[rank]: resend requests addressed to rank
+	counters   fabricCounters
+}
+
+// fabricCounters aggregates the recovery protocol's activity across all
+// endpoints (atomics: endpoints on different goroutines share them).
+type fabricCounters struct {
+	retries   atomic.Int64 // resend requests issued
+	timeouts  atomic.Int64 // receives that exhausted their retry budget
+	resends   atomic.Int64 // resend requests served from a send buffer
+	dups      atomic.Int64 // duplicate deliveries discarded by seq filter
+	overflows atomic.Int64 // sends dropped because the peer stopped draining
+	crashes   atomic.Int64 // injected whole-rank crashes taken
+}
+
+// FabricStats is a snapshot of the fabric-wide fault-tolerance counters,
+// combining the endpoints' recovery activity with the injector's committed
+// faults (zero when the cluster runs the reliable default transport).
+type FabricStats struct {
+	Retries           int64 // resend requests issued by receivers
+	Timeouts          int64 // receives that gave up (failure detections)
+	ResendsServed     int64 // retransmissions served by senders
+	DuplicatesDropped int64 // deliveries discarded by the sequence filter
+	OverflowDropped   int64 // sends dropped on a full pipe (peer gone)
+	Crashes           int64 // injected rank crashes taken
+	Injected          InjectStats
 }
 
 // channel capacity per directed pair; the leapfrog protocol has at most a
-// handful of in-flight messages per pair per iteration.
-const pipeCap = 16
+// handful of in-flight messages per pair per iteration, plus headroom for
+// injected duplicates and retransmissions.
+const pipeCap = 32
 
 // NewCluster creates a zero-latency fabric connecting n ranks.
 func NewCluster(n int) *Cluster { return NewClusterLatency(n, 0) }
@@ -79,6 +175,34 @@ func NewCluster(n int) *Cluster { return NewClusterLatency(n, 0) }
 // meaningful: a blocking receive pays the remaining latency as wait time,
 // while an overlapped schedule computes through it.
 func NewClusterLatency(n int, latency time.Duration) *Cluster {
+	return newCluster(n, latency)
+}
+
+// NewClusterOptions creates a fault-tolerant fabric: sends go through
+// opt.Transport (Reliable when nil) and receives run the sequence-checked
+// deadline/retry/backoff protocol. See the package comment.
+func NewClusterOptions(n int, opt Options) *Cluster {
+	c := newCluster(n, opt.Latency)
+	c.tr = opt.Transport
+	if c.tr == nil {
+		c.tr = Reliable{}
+	}
+	c.deadline = opt.ExchangeDeadline
+	if c.deadline <= 0 {
+		c.deadline = DefaultExchangeDeadline
+	}
+	c.retryLimit = opt.RetryLimit
+	if c.retryLimit <= 0 {
+		c.retryLimit = DefaultRetryLimit
+	}
+	c.ctrl = make([]chan ctrlMsg, n)
+	for i := range c.ctrl {
+		c.ctrl[i] = make(chan ctrlMsg, 8*n)
+	}
+	return c
+}
+
+func newCluster(n int, latency time.Duration) *Cluster {
 	if n < 1 {
 		panic(fmt.Sprintf("comm: cluster size must be >= 1, got %d", n))
 	}
@@ -94,18 +218,57 @@ func NewClusterLatency(n int, latency time.Duration) *Cluster {
 	return c
 }
 
+// ft reports whether the fault-tolerant path is active.
+func (c *Cluster) ft() bool { return c.tr != nil }
+
 // Latency reports the fabric's one-way message latency.
 func (c *Cluster) Latency() time.Duration { return c.latency }
 
 // Size reports the number of ranks.
 func (c *Cluster) Size() int { return c.size }
 
+// FabricStats snapshots the fault-tolerance counters (all zero for a
+// reliable cluster).
+func (c *Cluster) FabricStats() FabricStats {
+	fs := FabricStats{
+		Retries:           c.counters.retries.Load(),
+		Timeouts:          c.counters.timeouts.Load(),
+		ResendsServed:     c.counters.resends.Load(),
+		DuplicatesDropped: c.counters.dups.Load(),
+		OverflowDropped:   c.counters.overflows.Load(),
+		Crashes:           c.counters.crashes.Load(),
+	}
+	if inj, ok := c.tr.(*FaultInjector); ok {
+		fs.Injected = inj.Stats()
+	}
+	return fs
+}
+
 // Endpoint returns rank r's communication endpoint.
 func (c *Cluster) Endpoint(r int) *Endpoint {
 	if r < 0 || r >= c.size {
 		panic(fmt.Sprintf("comm: rank %d out of [0,%d)", r, c.size))
 	}
-	return &Endpoint{c: c, rank: r, heads: make(map[int]message)}
+	e := &Endpoint{c: c, rank: r, heads: make(map[int]message)}
+	if c.ft() {
+		e.sendSeq = make(map[pairKey]uint64)
+		e.sendBuf = make(map[pairKey]sentEntry)
+		e.recvSeq = make(map[pairKey]uint64)
+		e.mail = make(map[pairKey]map[uint64]message)
+	}
+	return e
+}
+
+// pairKey identifies one directed (peer, tag) message stream.
+type pairKey struct {
+	peer int
+	tag  Tag
+}
+
+// sentEntry is a stream's most recent payload, kept for retransmission.
+type sentEntry struct {
+	seq  uint64
+	data []float64
 }
 
 // Endpoint is one rank's view of the fabric. Each endpoint must be used by
@@ -119,10 +282,19 @@ type Endpoint struct {
 	// elapsed). Endpoints are single-goroutine, so no locking.
 	heads map[int]message
 
+	// Fault-tolerant streams (nil on reliable clusters). Single-goroutine,
+	// like heads.
+	sendSeq map[pairKey]uint64             // next seq per outgoing stream
+	sendBuf map[pairKey]sentEntry          // resend buffer per outgoing stream
+	recvSeq map[pairKey]uint64             // next expected seq per incoming stream
+	mail    map[pairKey]map[uint64]message // out-of-order arrivals by seq
+
 	waitNanos atomic.Int64 // time spent blocked in Recv
 	sent      atomic.Int64 // messages sent
 	received  atomic.Int64 // messages received
 	bytesSent atomic.Int64
+	retries   atomic.Int64 // resend requests this endpoint issued
+	timeouts  atomic.Int64 // failed exchanges on this endpoint
 }
 
 // Rank reports this endpoint's rank.
@@ -131,22 +303,54 @@ func (e *Endpoint) Rank() int { return e.rank }
 // Size reports the cluster size.
 func (e *Endpoint) Size() int { return e.c.size }
 
-// Send transmits a copy of data to rank `to`. It is non-blocking as long
-// as fewer than pipeCap messages are in flight to the same peer (the
-// analog of MPI eager sends); exceeding that blocks until the peer drains.
+// Send transmits a copy of data to rank `to`. On a reliable cluster it is
+// non-blocking as long as fewer than pipeCap messages are in flight to the
+// same peer (the analog of MPI eager sends); exceeding that blocks until
+// the peer drains. On a fault-tolerant cluster the message is stamped with
+// its stream sequence number, retained for retransmission, and routed
+// through the Transport; a full pipe then drops the message instead of
+// blocking (a crashed peer must not wedge its neighbours), counting on the
+// resend protocol to recover it.
 func (e *Endpoint) Send(to int, tag Tag, data []float64) {
 	if to == e.rank {
 		panic("comm: send to self")
 	}
 	cp := make([]float64, len(data))
 	copy(cp, data)
+	e.sent.Add(1)
+	e.bytesSent.Add(int64(8 * len(data)))
+	if e.c.ft() {
+		k := pairKey{to, tag}
+		seq := e.sendSeq[k]
+		e.sendSeq[k] = seq + 1
+		e.sendBuf[k] = sentEntry{seq: seq, data: cp}
+		e.transmit(Message{From: e.rank, To: to, Tag: tag, Seq: seq, Data: cp})
+		return
+	}
 	m := message{tag: tag, data: cp}
 	if e.c.latency > 0 {
 		m.ready = time.Now().Add(e.c.latency)
 	}
 	e.c.pipes[e.rank][to] <- m
-	e.sent.Add(1)
-	e.bytesSent.Add(int64(8 * len(data)))
+}
+
+// transmit routes one stamped message through the transport and enqueues
+// the resulting deliveries. Fault-tolerant path only.
+func (e *Endpoint) transmit(m Message) {
+	for _, d := range e.c.tr.Transmit(m) {
+		msg := message{tag: d.Tag, seq: d.Seq, data: d.Data}
+		if delay := e.c.latency + d.Delay; delay > 0 {
+			msg.ready = time.Now().Add(delay)
+		}
+		select {
+		case e.c.pipes[e.rank][d.To] <- msg:
+		default:
+			// The peer stopped draining (crashed or aborted); dropping here
+			// keeps the sender alive, and the peer's deadline — or ours —
+			// surfaces the failure.
+			e.c.counters.overflows.Add(1)
+		}
+	}
 }
 
 // Recv blocks until the next message from rank `from` has arrived and its
@@ -155,6 +359,9 @@ func (e *Endpoint) Send(to int, tag Tag, data []float64) {
 // pair, so a mismatch is a protocol error and panics. Blocked time —
 // both waiting for the sender and waiting out the latency — is accounted
 // to the endpoint's wait counter.
+//
+// Recv is the reliable-cluster primitive; fault-tolerant clusters must use
+// RecvDeadline, which tolerates loss, duplication and reordering.
 func (e *Endpoint) Recv(from int, tag Tag) []float64 {
 	m, ok := e.takeHead(from)
 	if !ok {
@@ -178,6 +385,154 @@ func (e *Endpoint) Recv(from int, tag Tag) []float64 {
 	return m.data
 }
 
+// RecvDeadline returns the next in-sequence message of the (from, tag)
+// stream. On a reliable cluster it is exactly Recv. On a fault-tolerant
+// cluster it runs the recovery protocol: out-of-order and duplicate
+// arrivals are reconciled through the per-stream mailbox, and when the
+// expected sequence number has not arrived within the exchange deadline a
+// resend request is sent to the peer, with exponential backoff, up to the
+// retry limit — after which the peer is declared failed and
+// ErrExchangeTimeout is returned. While blocked, the endpoint also
+// services its peers' resend requests, which keeps mutual waits deadlock-
+// free.
+func (e *Endpoint) RecvDeadline(from int, tag Tag) ([]float64, error) {
+	if !e.c.ft() {
+		return e.Recv(from, tag), nil
+	}
+	k := pairKey{from, tag}
+	want := e.recvSeq[k]
+	if data, ok := e.takeMail(k, want); ok {
+		return data, nil
+	}
+	start := time.Now()
+	defer func() { e.waitNanos.Add(int64(time.Since(start))) }()
+
+	backoff := e.c.deadline
+	timer := time.NewTimer(backoff)
+	defer timer.Stop()
+	retries := 0
+	pipe := e.c.pipes[from][e.rank]
+	for {
+		select {
+		case m := <-pipe:
+			e.stash(k.peer, m)
+		case req := <-e.c.ctrl[e.rank]:
+			e.serviceResend(req)
+		case <-timer.C:
+			if retries >= e.c.retryLimit {
+				e.c.counters.timeouts.Add(1)
+				e.timeouts.Add(1)
+				return nil, fmt.Errorf("rank %d waiting on rank %d for %v seq %d (%d retries): %w",
+					e.rank, from, tag, want, retries, ErrExchangeTimeout)
+			}
+			retries++
+			e.c.counters.retries.Add(1)
+			e.retries.Add(1)
+			e.requestResend(from, tag, want)
+			backoff *= 2
+			timer.Reset(backoff)
+		}
+		if data, ok := e.takeMail(k, want); ok {
+			return data, nil
+		}
+	}
+}
+
+// stash files an arrival into its stream mailbox, discarding duplicates
+// (sequence numbers already delivered or already stashed).
+func (e *Endpoint) stash(from int, m message) {
+	k := pairKey{from, m.tag}
+	if m.seq < e.recvSeq[k] {
+		e.c.counters.dups.Add(1)
+		return
+	}
+	box := e.mail[k]
+	if box == nil {
+		box = make(map[uint64]message)
+		e.mail[k] = box
+	}
+	if _, dup := box[m.seq]; dup {
+		e.c.counters.dups.Add(1)
+		return
+	}
+	box[m.seq] = m
+}
+
+// takeMail delivers the wanted sequence number from a stream mailbox if
+// present, sleeping out any remaining simulated latency, and advances the
+// stream cursor.
+func (e *Endpoint) takeMail(k pairKey, want uint64) ([]float64, bool) {
+	box := e.mail[k]
+	m, ok := box[want]
+	if !ok {
+		return nil, false
+	}
+	delete(box, want)
+	if !m.ready.IsZero() {
+		if remaining := time.Until(m.ready); remaining > 0 {
+			time.Sleep(remaining)
+		}
+	}
+	e.recvSeq[k] = want + 1
+	e.received.Add(1)
+	return m.data, true
+}
+
+// requestResend asks the peer to retransmit (tag, seq). Non-blocking: a
+// full control channel just means the next backoff round asks again.
+func (e *Endpoint) requestResend(from int, tag Tag, seq uint64) {
+	select {
+	case e.c.ctrl[from] <- ctrlMsg{from: e.rank, tag: tag, seq: seq}:
+	default:
+	}
+}
+
+// serviceResend answers a peer's resend request from the send buffer. The
+// stream's latest payload is retransmitted (the protocol keeps at most one
+// message outstanding per stream, so the latest is the missing one);
+// requests for sequence numbers not yet sent are ignored — the receiver's
+// deadline fired while this rank was still computing, and the regular send
+// will satisfy it.
+func (e *Endpoint) serviceResend(req ctrlMsg) {
+	k := pairKey{req.from, req.tag}
+	ent, ok := e.sendBuf[k]
+	if !ok || ent.seq < req.seq {
+		return
+	}
+	e.c.counters.resends.Add(1)
+	e.transmit(Message{From: e.rank, To: req.from, Tag: req.tag, Seq: ent.seq, Data: ent.data})
+}
+
+// Poll services any pending resend requests without blocking. The
+// distributed protocol does this implicitly inside every RecvDeadline;
+// callers whose ranks send without ever receiving (one-directional
+// exchanges) must Poll to answer their peers' recovery traffic.
+func (e *Endpoint) Poll() {
+	if !e.c.ft() {
+		return
+	}
+	for {
+		select {
+		case req := <-e.c.ctrl[e.rank]:
+			e.serviceResend(req)
+		default:
+			return
+		}
+	}
+}
+
+// EnterEpoch advances this endpoint's comm epoch (the driver's timestep)
+// and reports a scheduled whole-rank crash: ErrRankCrashed means the
+// caller must abandon the protocol immediately, without flushing or
+// announcing anything — its peers detect the loss by exchange deadline.
+func (e *Endpoint) EnterEpoch(epoch int) error {
+	if cr, ok := e.c.tr.(Crasher); ok && cr.CrashNow(e.rank, epoch) {
+		e.c.counters.crashes.Add(1)
+		return fmt.Errorf("rank %d at epoch %d: %w", e.rank, epoch, ErrRankCrashed)
+	}
+	return nil
+}
+
 // takeHead pops a previously peeked message for the given peer.
 func (e *Endpoint) takeHead(from int) (message, bool) {
 	m, ok := e.heads[from]
@@ -196,7 +551,7 @@ func (e *Endpoint) checkTag(from int, want, got Tag) {
 
 // TryRecv returns the next message from `from` if one has arrived and its
 // latency has elapsed, without blocking. Used by asynchronous exchanges to
-// poll while overlapping computation.
+// poll while overlapping computation. Reliable clusters only.
 func (e *Endpoint) TryRecv(from int, tag Tag) ([]float64, bool) {
 	m, ok := e.takeHead(from)
 	if !ok {
@@ -222,6 +577,8 @@ type Stats struct {
 	Sent      int64
 	Received  int64
 	BytesSent int64
+	Retries   int64 // resend requests issued (fault-tolerant mode)
+	Timeouts  int64 // exchanges that exhausted the retry budget
 }
 
 // StatsSnapshot returns the endpoint's accumulated counters.
@@ -232,6 +589,8 @@ func (e *Endpoint) StatsSnapshot() Stats {
 		Sent:      e.sent.Load(),
 		Received:  e.received.Load(),
 		BytesSent: e.bytesSent.Load(),
+		Retries:   e.retries.Load(),
+		Timeouts:  e.timeouts.Load(),
 	}
 }
 
@@ -241,24 +600,32 @@ func (e *Endpoint) ResetStats() {
 	e.sent.Store(0)
 	e.received.Store(0)
 	e.bytesSent.Store(0)
+	e.retries.Store(0)
+	e.timeouts.Store(0)
 }
 
 // AllReduceMin folds vals element-wise with min across all ranks and
 // returns the global result on every rank. Implemented as a gather to
 // rank 0 and a broadcast, with a deterministic (rank-ascending) fold
-// order; min is exact, so the order does not affect the value.
-func (e *Endpoint) AllReduceMin(vals []float64) []float64 {
+// order; min is exact, so the order does not affect the value. On a
+// fault-tolerant cluster every constituent receive runs under the
+// deadline/retry protocol, so a lost contribution is re-requested and a
+// dead rank surfaces as ErrExchangeTimeout instead of a deadlock.
+func (e *Endpoint) AllReduceMin(vals []float64) ([]float64, error) {
 	n := e.c.size
 	if n == 1 {
 		out := make([]float64, len(vals))
 		copy(out, vals)
-		return out
+		return out, nil
 	}
 	if e.rank == 0 {
 		acc := make([]float64, len(vals))
 		copy(acc, vals)
 		for from := 1; from < n; from++ {
-			theirs := e.Recv(from, TagReduce)
+			theirs, err := e.RecvDeadline(from, TagReduce)
+			if err != nil {
+				return nil, err
+			}
 			if len(theirs) != len(acc) {
 				panic("comm: AllReduceMin length mismatch")
 			}
@@ -271,8 +638,8 @@ func (e *Endpoint) AllReduceMin(vals []float64) []float64 {
 		for to := 1; to < n; to++ {
 			e.Send(to, TagReduce, acc)
 		}
-		return acc
+		return acc, nil
 	}
 	e.Send(0, TagReduce, vals)
-	return e.Recv(0, TagReduce)
+	return e.RecvDeadline(0, TagReduce)
 }

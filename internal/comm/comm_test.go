@@ -137,7 +137,10 @@ func TestAllReduceMinSingleRank(t *testing.T) {
 	c := NewCluster(1)
 	e := c.Endpoint(0)
 	in := []float64{3, 1}
-	out := e.AllReduceMin(in)
+	out, err := e.AllReduceMin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out[0] != 3 || out[1] != 1 {
 		t.Fatalf("got %v", out)
 	}
@@ -159,7 +162,7 @@ func TestAllReduceMinAcrossRanks(t *testing.T) {
 			defer wg.Done()
 			e := c.Endpoint(r)
 			vals := []float64{float64(10 + r), float64(10 - r), 0}
-			results[r] = e.AllReduceMin(vals)
+			results[r], _ = e.AllReduceMin(vals)
 		}()
 	}
 	wg.Wait()
@@ -184,7 +187,11 @@ func TestAllReduceMinRepeatedRounds(t *testing.T) {
 			defer wg.Done()
 			e := c.Endpoint(r)
 			for round := 0; round < 50; round++ {
-				got := e.AllReduceMin([]float64{float64(round*10 + r)})
+				got, err := e.AllReduceMin([]float64{float64(round*10 + r)})
+				if err != nil {
+					errc <- err.Error()
+					return
+				}
 				if got[0] != float64(round*10) {
 					errc <- "round mixup"
 					return

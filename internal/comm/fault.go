@@ -1,0 +1,233 @@
+package comm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// FaultPlan describes deterministic, seed-driven fault injection. Each
+// probability is rolled independently per message from a per-(sender,
+// receiver) PRNG stream, so the fault pattern for a given seed does not
+// depend on goroutine scheduling: the n-th message of a pair always meets
+// the same fate. CrashStep > 0 additionally schedules a whole-rank crash:
+// rank CrashRank abandons the protocol at the first comm epoch >= CrashStep
+// (once per plan — a recovered run does not re-crash).
+type FaultPlan struct {
+	Seed uint64
+
+	Drop      float64       // probability a message is silently dropped
+	Delay     float64       // probability a message is delayed by DelayBy
+	DelayBy   time.Duration // injected delay (default 200us when Delay > 0)
+	Duplicate float64       // probability a message is delivered twice
+	Reorder   float64       // probability a message is held behind the pair's next
+
+	CrashRank int // rank to crash (used only when CrashStep > 0)
+	CrashStep int // comm epoch of the crash; 0 = no crash
+}
+
+// ParseFaultPlan parses the -faults CLI spec: a comma-separated list of
+//
+//	drop=P  delay=P[:DUR]  dup=P  reorder=P  crash=RANK@STEP
+//
+// e.g. "drop=0.05,delay=0.02:500us,dup=0.01,crash=1@20". Probabilities are
+// in [0,1]; DUR is a Go duration. The seed feeds the injector's PRNG
+// streams so a run is reproducible from (spec, seed).
+func ParseFaultPlan(spec string, seed uint64) (*FaultPlan, error) {
+	p := &FaultPlan{Seed: seed}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("comm: fault spec %q: want key=value", field)
+		}
+		switch key {
+		case "drop", "dup", "reorder":
+			pr, err := parseProb(val)
+			if err != nil {
+				return nil, fmt.Errorf("comm: fault spec %q: %w", field, err)
+			}
+			switch key {
+			case "drop":
+				p.Drop = pr
+			case "dup":
+				p.Duplicate = pr
+			case "reorder":
+				p.Reorder = pr
+			}
+		case "delay":
+			prStr, durStr, hasDur := strings.Cut(val, ":")
+			pr, err := parseProb(prStr)
+			if err != nil {
+				return nil, fmt.Errorf("comm: fault spec %q: %w", field, err)
+			}
+			p.Delay = pr
+			p.DelayBy = 200 * time.Microsecond
+			if hasDur {
+				d, err := time.ParseDuration(durStr)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("comm: fault spec %q: bad duration", field)
+				}
+				p.DelayBy = d
+			}
+		case "crash":
+			rankStr, stepStr, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("comm: fault spec %q: want crash=RANK@STEP", field)
+			}
+			rank, err1 := strconv.Atoi(rankStr)
+			step, err2 := strconv.Atoi(stepStr)
+			if err1 != nil || err2 != nil || rank < 0 || step < 1 {
+				return nil, fmt.Errorf("comm: fault spec %q: want crash=RANK@STEP with step >= 1", field)
+			}
+			p.CrashRank, p.CrashStep = rank, step
+		default:
+			return nil, fmt.Errorf("comm: fault spec: unknown key %q", key)
+		}
+	}
+	return p, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %q not in [0,1]", s)
+	}
+	return p, nil
+}
+
+// Active reports whether the plan injects any fault at all.
+func (p *FaultPlan) Active() bool {
+	return p != nil && (p.Drop > 0 || p.Delay > 0 || p.Duplicate > 0 ||
+		p.Reorder > 0 || p.CrashStep > 0)
+}
+
+// InjectStats counts the faults an injector has actually committed.
+type InjectStats struct {
+	Dropped    int64
+	Delayed    int64
+	Duplicated int64
+	Reordered  int64
+}
+
+// FaultInjector is the Transport that executes a FaultPlan. Per-pair PRNG
+// streams make the decisions deterministic in the message order of each
+// (sender, receiver) pair; per-pair mutable state (the PRNG and the
+// reorder hold-back slot) is touched only on the sender's goroutine, so
+// the injector needs no locks on the transmit path.
+type FaultInjector struct {
+	plan  FaultPlan
+	ranks int
+	pairs []pairFault
+
+	crashed atomic.Bool // the plan's crash has been consumed
+
+	dropped    atomic.Int64
+	delayed    atomic.Int64
+	duplicated atomic.Int64
+	reordered  atomic.Int64
+}
+
+type pairFault struct {
+	rng  uint64
+	held *Message // a reordered message awaiting the pair's next transmit
+}
+
+// NewFaultInjector builds the injector for a fabric of the given size.
+func NewFaultInjector(plan FaultPlan, ranks int) *FaultInjector {
+	f := &FaultInjector{plan: plan, ranks: ranks, pairs: make([]pairFault, ranks*ranks)}
+	for i := range f.pairs {
+		// splitmix64 of (seed, pair) gives independent streams per pair.
+		f.pairs[i].rng = splitmix64(plan.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+	}
+	return f
+}
+
+// Plan returns the plan the injector executes.
+func (f *FaultInjector) Plan() FaultPlan { return f.plan }
+
+// Transmit rolls each fault category once, in a fixed order, from the
+// pair's PRNG stream and returns the resulting deliveries.
+func (f *FaultInjector) Transmit(m Message) []Message {
+	ps := &f.pairs[m.From*f.ranks+m.To]
+	drop := ps.roll() < f.plan.Drop
+	delay := ps.roll() < f.plan.Delay
+	dup := ps.roll() < f.plan.Duplicate
+	reorder := ps.roll() < f.plan.Reorder
+
+	if delay {
+		m.Delay += f.plan.DelayBy
+		f.delayed.Add(1)
+	}
+	var out []Message
+	switch {
+	case drop:
+		f.dropped.Add(1)
+	case reorder && ps.held == nil:
+		held := m
+		ps.held = &held
+		f.reordered.Add(1)
+	default:
+		out = append(out, m)
+		if dup {
+			out = append(out, m)
+			f.duplicated.Add(1)
+		}
+	}
+	// A held-back message rides behind the next delivery on its pair.
+	if ps.held != nil && len(out) > 0 {
+		out = append(out, *ps.held)
+		ps.held = nil
+	}
+	return out
+}
+
+// CrashNow implements Crasher: true exactly once, for the planned rank at
+// the first epoch at or past the planned step.
+func (f *FaultInjector) CrashNow(rank, epoch int) bool {
+	if f.plan.CrashStep <= 0 || rank != f.plan.CrashRank || epoch < f.plan.CrashStep {
+		return false
+	}
+	return f.crashed.CompareAndSwap(false, true)
+}
+
+// Reset clears the reorder hold-back slots so a recovery restart does not
+// replay stale payloads into fresh streams. PRNG positions and the
+// consumed crash are kept — a recovered run continues the fault schedule
+// rather than restarting it.
+func (f *FaultInjector) Reset() {
+	for i := range f.pairs {
+		f.pairs[i].held = nil
+	}
+}
+
+// Stats returns the committed-fault counters.
+func (f *FaultInjector) Stats() InjectStats {
+	return InjectStats{
+		Dropped:    f.dropped.Load(),
+		Delayed:    f.delayed.Load(),
+		Duplicated: f.duplicated.Load(),
+		Reordered:  f.reordered.Load(),
+	}
+}
+
+// roll draws the next uniform float64 in [0, 1) from the pair stream.
+func (ps *pairFault) roll() float64 {
+	ps.rng = splitmix64(ps.rng)
+	return float64(ps.rng>>11) / (1 << 53)
+}
+
+// splitmix64 is the standard 64-bit mixing step (Steele et al.), enough
+// PRNG for fault decisions and fully deterministic.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

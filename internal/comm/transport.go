@@ -1,0 +1,50 @@
+package comm
+
+import "time"
+
+// Message is one in-flight payload as a Transport sees it: the sender and
+// receiver ranks, the exchange tag, the per-(pair, tag) stream sequence
+// number stamped by the sending endpoint, the payload, and the extra
+// delivery delay injected so far. Transports receive messages on the
+// sender's goroutine and return the copies that actually enter the fabric.
+type Message struct {
+	From, To int
+	Tag      Tag
+	Seq      uint64
+	Data     []float64
+	Delay    time.Duration // extra delivery delay on top of the fabric latency
+}
+
+// Transport decides the fate of every message handed to the fabric when
+// the cluster runs in fault-tolerant mode. Transmit is called once per
+// send, on the sender's goroutine, and returns the deliveries to enqueue
+// in order: an empty slice drops the message, two identical entries
+// duplicate it, a held-back entry appended behind a later message reorders
+// the stream. Implementations may keep per-(From, To) state without
+// locking — each rank sends from a single goroutine — but state shared
+// across sender ranks must be synchronized.
+//
+// The receiving endpoints tolerate whatever a Transport does: sequence
+// numbers filter duplicates and restore order, and the deadline/resend
+// protocol (Endpoint.RecvDeadline) recovers dropped messages.
+type Transport interface {
+	Transmit(m Message) []Message
+}
+
+// Reliable is the identity transport: every message is delivered exactly
+// once with no extra delay. It backs the fault-tolerant code path when a
+// deadline is configured without fault injection; clusters built without
+// Options skip the Transport layer entirely (the zero-cost default).
+type Reliable struct{}
+
+// Transmit delivers m unchanged.
+func (Reliable) Transmit(m Message) []Message { return []Message{m} }
+
+// Crasher is implemented by transports that schedule whole-rank failures.
+// The distributed driver asks CrashNow at every comm epoch (timestep); a
+// true return makes the rank abandon the protocol immediately, as a real
+// node loss would, leaving its peers to detect the failure by exchange
+// deadline.
+type Crasher interface {
+	CrashNow(rank, epoch int) bool
+}

@@ -21,13 +21,28 @@
 //
 // The synchronous and asynchronous schedules execute bitwise-identical
 // arithmetic — only the overlap differs — which the tests assert.
+//
+// # Fault tolerance
+//
+// A run with Faults, ExchangeDeadline or CheckpointEvery set executes on a
+// fault-tolerant fabric (comm.NewClusterOptions): every exchange runs
+// under deadline/retry/backoff semantics, so dropped or delayed boundary
+// planes and dt contributions are re-requested instead of deadlocking, and
+// coordinated checkpoints every CheckpointEvery cycles let Run restart the
+// whole cluster from the last committed epoch when a rank is lost (an
+// injected crash, or a peer declared dead by exchange deadline). Restart
+// is exact: the recovered run is bitwise-identical to an unfaulted run of
+// the same configuration, which the tests assert. See DISTRIBUTED.md.
 package dist
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"lulesh/internal/checkpoint"
 	"lulesh/internal/comm"
 	"lulesh/internal/core"
 	"lulesh/internal/domain"
@@ -63,6 +78,34 @@ type Config struct {
 
 	// MaxIterations caps the cycle count (0 = run to stop time).
 	MaxIterations int
+
+	// Faults injects deterministic message/rank failures (nil = none).
+	// Any active plan switches the fabric into fault-tolerant mode.
+	Faults *comm.FaultPlan
+
+	// ExchangeDeadline bounds each wait for an expected message before a
+	// resend request is issued (0 = comm.DefaultExchangeDeadline when the
+	// fault-tolerant fabric is active). Setting it without Faults still
+	// enables the fault-tolerant fabric — useful as pure failure
+	// detection.
+	ExchangeDeadline time.Duration
+
+	// RetryLimit is the resend-request budget per exchange before a peer
+	// is declared dead (0 = comm.DefaultRetryLimit).
+	RetryLimit int
+
+	// CheckpointEvery takes a coordinated checkpoint of all ranks every
+	// that many cycles (0 = none). Requires no fabric support; restart
+	// uses the last epoch for which every rank committed a blob.
+	CheckpointEvery int
+
+	// MaxRestarts bounds how many times Run restarts the cluster after a
+	// recoverable failure before giving up.
+	MaxRestarts int
+
+	// Monitor, when non-nil, receives live fabric references and
+	// fault-tolerance counters for the -metrics-addr endpoint.
+	Monitor *Monitor
 }
 
 // DefaultConfig gives a cubic slab per rank with the reference region
@@ -72,6 +115,11 @@ func DefaultConfig(size, ranks int) Config {
 		Nx: size, Ny: size, NzPerRank: size, Ranks: ranks,
 		NumReg: 11, Balance: 1, Cost: 1,
 	}
+}
+
+// faultTolerant reports whether the run needs the fault-tolerant fabric.
+func (cfg Config) faultTolerant() bool {
+	return cfg.Faults.Active() || cfg.ExchangeDeadline > 0
 }
 
 // RankStats reports one rank's communication behaviour.
@@ -89,30 +137,154 @@ type Result struct {
 	TotalEnergy  float64 // sum of e*volo over all ranks
 	Elapsed      time.Duration
 	Ranks        []RankStats
+
+	// Fault-tolerance outcomes (zero on a reliable run).
+	Recoveries  int   // cluster restarts taken after rank failures
+	Checkpoints int64 // coordinated checkpoint epochs committed
+	Fabric      comm.FabricStats
 }
 
 // Run executes the multi-domain problem and returns the global result.
 // Each rank runs on its own goroutine with serial in-rank kernels (the
-// MPI-everywhere execution model).
+// MPI-everywhere execution model). With fault tolerance configured, Run
+// restarts the cluster from the last coordinated checkpoint (or from the
+// initial state when none committed yet) after a recoverable rank
+// failure, up to MaxRestarts times.
 func Run(cfg Config) (Result, error) {
 	if cfg.Ranks < 1 {
 		return Result{}, fmt.Errorf("dist: need at least 1 rank, got %d", cfg.Ranks)
 	}
-	cluster := comm.NewClusterLatency(cfg.Ranks, cfg.Latency)
+	var inj *comm.FaultInjector
+	if cfg.Faults.Active() {
+		inj = comm.NewFaultInjector(*cfg.Faults, cfg.Ranks)
+	}
+	var store *ckptStore
+	if cfg.CheckpointEvery > 0 {
+		store = newCkptStore(cfg.Ranks)
+	}
+	recoveries := 0
+	start := time.Now()
+	for {
+		res, errs := runAttempt(cfg, inj, store)
+		firstErr, allRecoverable := summarize(errs)
+		if firstErr == nil {
+			// Elapsed spans the whole run, including failed attempts,
+			// failure-detection stalls, and restarts — that is the honest
+			// cost of recovery as seen by the caller.
+			res.Elapsed = time.Since(start)
+			res.Recoveries = recoveries
+			if store != nil {
+				store.mu.Lock()
+				res.Checkpoints = store.committed
+				store.mu.Unlock()
+			}
+			return res, nil
+		}
+		if !allRecoverable || recoveries >= cfg.MaxRestarts {
+			return Result{}, firstErr
+		}
+		recoveries++
+		if inj != nil {
+			inj.Reset()
+		}
+		if store != nil {
+			store.drop()
+		}
+		if cfg.Monitor != nil {
+			cfg.Monitor.recoveries.Add(1)
+		}
+	}
+}
+
+// summarize picks the first rank error and classifies the set: recovery is
+// only legal when every failure is a communication-layer one.
+func summarize(errs []error) (first error, allRecoverable bool) {
+	allRecoverable = true
+	for r, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = fmt.Errorf("rank %d: %w", r, err)
+		}
+		if !recoverable(err) {
+			allRecoverable = false
+		}
+	}
+	return first, allRecoverable
+}
+
+// runAttempt executes one cluster lifetime: fresh domains, or domains
+// restored from the store's last committed checkpoint.
+func runAttempt(cfg Config, inj *comm.FaultInjector, store *ckptStore) (Result, []error) {
+	var cluster *comm.Cluster
+	if cfg.faultTolerant() {
+		var tr comm.Transport
+		if inj != nil {
+			tr = inj
+		}
+		cluster = comm.NewClusterOptions(cfg.Ranks, comm.Options{
+			Latency:          cfg.Latency,
+			Transport:        tr,
+			ExchangeDeadline: cfg.ExchangeDeadline,
+			RetryLimit:       cfg.RetryLimit,
+		})
+	} else {
+		cluster = comm.NewClusterLatency(cfg.Ranks, cfg.Latency)
+	}
+	if cfg.Monitor != nil {
+		cfg.Monitor.observe(cluster)
+	}
+
 	ranks := make([]*rank, cfg.Ranks)
-	for r := 0; r < cfg.Ranks; r++ {
-		ranks[r] = newRank(cfg, cluster, r)
+	errs := make([]error, cfg.Ranks)
+	if blobs, _, ok := restorePoint(store); ok {
+		for r := 0; r < cfg.Ranks; r++ {
+			d, meta, err := checkpoint.LoadRank(bytes.NewReader(blobs[r]))
+			if err != nil {
+				errs[r] = fmt.Errorf("restore: %w", err)
+				return Result{}, errs
+			}
+			if meta.Rank != r || meta.Ranks != cfg.Ranks {
+				errs[r] = fmt.Errorf("restore: blob for rank %d/%d in slot %d",
+					meta.Rank, meta.Ranks, r)
+				return Result{}, errs
+			}
+			ranks[r] = newRankWith(cfg, cluster, r, d)
+			ranks[r].restored = true
+		}
+		if cfg.Monitor != nil {
+			cfg.Monitor.restores.Add(1)
+		}
+	} else {
+		for r := 0; r < cfg.Ranks; r++ {
+			ranks[r] = newRankWith(cfg, cluster, r, nil)
+		}
+	}
+	for _, rk := range ranks {
+		rk.store = store
 	}
 
 	start := time.Now()
-	errs := make([]error, cfg.Ranks)
 	var wg sync.WaitGroup
+	var finished atomic.Int64
 	for r := 0; r < cfg.Ranks; r++ {
 		r := r
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			errs[r] = ranks[r].run(cfg.MaxIterations)
+			finished.Add(1)
+			// Linger: a peer may still be waiting on a resend of this
+			// rank's final message (e.g. the last dt broadcast was
+			// dropped). Keep answering recovery traffic until every rank
+			// has left its protocol loop.
+			if cfg.faultTolerant() {
+				for finished.Load() < int64(cfg.Ranks) {
+					ranks[r].ep.Poll()
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
 		}()
 	}
 	wg.Wait()
@@ -121,16 +293,11 @@ func Run(cfg Config) (Result, error) {
 		rk.close()
 	}
 
-	for r, err := range errs {
-		if err != nil {
-			return Result{}, fmt.Errorf("rank %d: %w", r, err)
-		}
-	}
-
 	res := Result{
 		Iterations: ranks[0].d.Cycle,
 		FinalTime:  ranks[0].d.Time,
 		Elapsed:    elapsed,
+		Fabric:     cluster.FabricStats(),
 	}
 	res.OriginEnergy = ranks[0].d.E[0]
 	for _, rk := range ranks {
@@ -143,7 +310,15 @@ func Run(cfg Config) (Result, error) {
 			StepTime: rk.stepTime,
 		})
 	}
-	return res, nil
+	return res, errs
+}
+
+// restorePoint fetches the last committed checkpoint, if any.
+func restorePoint(store *ckptStore) ([][]byte, int, bool) {
+	if store == nil {
+		return nil, 0, false
+	}
+	return store.latest()
 }
 
 // Domains builds the per-rank domains of a configuration without running
@@ -160,12 +335,20 @@ func Domains(cfg Config) []*domain.Domain {
 
 // rank is one slab's executor.
 type rank struct {
-	id    int
-	cfg   Config
-	d     *domain.Domain
-	ep    *comm.Endpoint
-	flag  kernels.Flag
-	async bool
+	id     int
+	cfg    Config
+	boxCfg domain.BoxConfig
+	d      *domain.Domain
+	ep     *comm.Endpoint
+	flag   kernels.Flag
+	async  bool
+
+	// Fault tolerance: the shared coordinated-checkpoint store, and
+	// whether this rank's domain was restored from it (restored ranks
+	// skip the init-time nodal-mass exchange — the checkpoint carries
+	// the exchanged masses).
+	store    *ckptStore
+	restored bool
 
 	// Mesh-sized temporaries (the serial backend's working set).
 	sigxx, sigyy, sigzz []float64
@@ -195,6 +378,12 @@ type rank struct {
 }
 
 func newRank(cfg Config, cluster *comm.Cluster, id int) *rank {
+	return newRankWith(cfg, cluster, id, nil)
+}
+
+// newRankWith builds a rank around an existing domain (a checkpoint
+// restore) or, when d is nil, a fresh Sedov slab.
+func newRankWith(cfg Config, cluster *comm.Cluster, id int, d *domain.Domain) *rank {
 	bc := domain.BoxConfig{
 		Nx: cfg.Nx, Ny: cfg.Ny, Nz: cfg.NzPerRank,
 		NumReg: cfg.NumReg, Balance: cfg.Balance, Cost: cfg.Cost,
@@ -205,7 +394,9 @@ func newRank(cfg Config, cluster *comm.Cluster, id int) *rank {
 	spacing := 1.125 / float64(cfg.Nx)
 	bc.Spacing = spacing
 	bc.ZOffset = spacing * float64(cfg.NzPerRank*id)
-	d := domain.NewSedovBox(bc)
+	if d == nil {
+		d = domain.NewSedovBox(bc)
+	}
 
 	ne := d.NumElem()
 	maxReg := 0
@@ -215,7 +406,7 @@ func newRank(cfg Config, cluster *comm.Cluster, id int) *rank {
 		}
 	}
 	r := &rank{
-		id: id, cfg: cfg, d: d,
+		id: id, cfg: cfg, boxCfg: bc, d: d,
 		ep:      cluster.Endpoint(id),
 		async:   cfg.Async,
 		sigxx:   make([]float64, ne),
@@ -279,13 +470,13 @@ func (r *rank) close() {
 func (r *rank) hasLower() bool { return r.id > 0 }
 func (r *rank) hasUpper() bool { return r.id < r.cfg.Ranks-1 }
 
-// lowerNodes / upperNodes index the shared node planes.
+// lowerNodeBase / upperNodeBase index the shared node planes.
 func (r *rank) lowerNodeBase() int { return 0 }
 func (r *rank) upperNodeBase() int { return r.d.NumNode() - r.planeN }
 
 // exchangeNodalMass sums the shared-plane nodal masses across neighbour
 // ranks during initialization (both owners end up with the global value).
-func (r *rank) exchangeNodalMass() {
+func (r *rank) exchangeNodalMass() error {
 	if r.hasLower() {
 		copy(r.packX, r.d.NodalMass[:r.planeN])
 		r.ep.Send(r.id-1, comm.TagNodalMass, r.packX)
@@ -295,18 +486,25 @@ func (r *rank) exchangeNodalMass() {
 		r.ep.Send(r.id+1, comm.TagNodalMass, r.packX)
 	}
 	if r.hasLower() {
-		theirs := r.ep.Recv(r.id-1, comm.TagNodalMass)
+		theirs, err := r.ep.RecvDeadline(r.id-1, comm.TagNodalMass)
+		if err != nil {
+			return err
+		}
 		for i, v := range theirs {
 			r.d.NodalMass[i] += v
 		}
 	}
 	if r.hasUpper() {
-		theirs := r.ep.Recv(r.id+1, comm.TagNodalMass)
+		theirs, err := r.ep.RecvDeadline(r.id+1, comm.TagNodalMass)
+		if err != nil {
+			return err
+		}
 		base := r.upperNodeBase()
 		for i, v := range theirs {
 			r.d.NodalMass[base+i] += v
 		}
 	}
+	return nil
 }
 
 // run drives the leapfrog to the stop time (or the iteration cap). All
@@ -315,31 +513,56 @@ func (r *rank) exchangeNodalMass() {
 func (r *rank) run(maxIter int) error {
 	d := r.d
 	// The init-time mass exchange happens here, where every rank has a
-	// live goroutine to answer.
-	r.exchangeNodalMass()
+	// live goroutine to answer. A restored rank skips it: the checkpoint
+	// already carries the exchanged masses, and the neighbours (also
+	// restored) are not sending.
+	if !r.restored {
+		if err := r.exchangeNodalMass(); err != nil {
+			return err
+		}
+	}
 	for d.Time < d.Par.StopTime {
 		if maxIter > 0 && d.Cycle >= maxIter {
 			break
 		}
 		core.TimeIncrement(d)
+		// The comm epoch is the cycle number; an injected whole-rank crash
+		// abandons the protocol right here, before any of the cycle's
+		// sends, like a node dying between timesteps.
+		if err := r.ep.EnterEpoch(d.Cycle); err != nil {
+			return err
+		}
 		t0 := time.Now()
 		err := r.step()
 		r.stepTime += time.Since(t0)
 
-		// Propagate errors to every rank through the reduction so no one
-		// deadlocks waiting for a failed neighbour.
+		// A communication failure means a peer is gone: abandon the
+		// protocol immediately (the other survivors' deadlines fire too)
+		// and let the driver restart from the last checkpoint. A physics
+		// error instead travels through the dt reduction so every rank
+		// aborts deterministically without deadlocking.
+		if err != nil && recoverable(err) {
+			return fmt.Errorf("cycle %d: %w", d.Cycle, err)
+		}
 		code := 0.0
 		if err != nil {
 			code = -1
 		}
-		mins := r.ep.AllReduceMin([]float64{d.Dtcourant, d.Dthydro, code})
+		mins, rerr := r.ep.AllReduceMin([]float64{d.Dtcourant, d.Dthydro, code})
+		if rerr != nil {
+			return fmt.Errorf("cycle %d: dt reduction: %w", d.Cycle, rerr)
+		}
 		if err != nil {
 			return fmt.Errorf("cycle %d: %w", d.Cycle, err)
 		}
 		if mins[2] < 0 {
-			return fmt.Errorf("cycle %d: aborted by failing peer", d.Cycle)
+			return fmt.Errorf("cycle %d: %w", d.Cycle, errPeerAbort)
 		}
 		d.Dtcourant, d.Dthydro = mins[0], mins[1]
+
+		if err := r.maybeCheckpoint(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,149 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lulesh/internal/checkpoint"
+	"lulesh/internal/comm"
+)
+
+// Fault-tolerant execution: coordinated checkpoints, failure detection by
+// exchange deadline, and restart-from-last-checkpoint. See DISTRIBUTED.md
+// for the protocol walk-through.
+
+// errPeerAbort marks a run aborted because a peer reported a physics
+// failure through the dt reduction. It is not recoverable: the physics is
+// deterministic, so a restart would fail at the same cycle.
+var errPeerAbort = errors.New("dist: aborted by failing peer")
+
+// recoverable reports whether a rank error is a communication-layer
+// failure that checkpoint/restart can repair (an injected crash, or a
+// peer declared dead by exchange deadline) rather than a deterministic
+// physics error that would simply recur.
+func recoverable(err error) bool {
+	return errors.Is(err, comm.ErrRankCrashed) || errors.Is(err, comm.ErrExchangeTimeout)
+}
+
+// ckptStore collects one coordinated checkpoint per epoch: each rank files
+// its blob after the epoch's dt reduction, and the epoch commits only when
+// every rank has filed — a half-written epoch (a rank crashed mid-
+// checkpoint) is never restored from.
+type ckptStore struct {
+	mu        sync.Mutex
+	ranks     int
+	epoch     int      // last committed epoch (-1 = none)
+	blobs     [][]byte // committed blobs, one per rank
+	pending   map[int][][]byte
+	committed int64 // epochs committed (monotonic, for Result/metrics)
+}
+
+func newCkptStore(ranks int) *ckptStore {
+	return &ckptStore{ranks: ranks, epoch: -1, pending: make(map[int][][]byte)}
+}
+
+// put files one rank's blob for an epoch, committing the epoch once all
+// ranks have filed.
+func (s *ckptStore) put(epoch, rank int, blob []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot := s.pending[epoch]
+	if slot == nil {
+		slot = make([][]byte, s.ranks)
+		s.pending[epoch] = slot
+	}
+	slot[rank] = blob
+	for _, b := range slot {
+		if b == nil {
+			return
+		}
+	}
+	delete(s.pending, epoch)
+	if epoch > s.epoch {
+		s.epoch, s.blobs = epoch, slot
+		s.committed++
+	}
+}
+
+// latest returns the last committed epoch's blobs.
+func (s *ckptStore) latest() (blobs [][]byte, epoch int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blobs, s.epoch, s.epoch >= 0
+}
+
+// drop discards uncommitted epochs (stale partials from a failed attempt).
+func (s *ckptStore) drop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending = make(map[int][][]byte)
+}
+
+// maybeCheckpoint files this rank's coordinated checkpoint when the cycle
+// lands on the checkpoint period. Called after the dt reduction, so every
+// rank saves the identical globally-reduced time-stepping state.
+func (r *rank) maybeCheckpoint() error {
+	if r.store == nil || r.cfg.CheckpointEvery <= 0 || r.d.Cycle%r.cfg.CheckpointEvery != 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	meta := checkpoint.RankMeta{Rank: r.id, Ranks: r.cfg.Ranks, Epoch: r.d.Cycle}
+	if err := checkpoint.SaveRank(&buf, r.d, r.boxCfg, meta); err != nil {
+		return fmt.Errorf("checkpoint at cycle %d: %w", r.d.Cycle, err)
+	}
+	r.store.put(r.d.Cycle, r.id, buf.Bytes())
+	if r.cfg.Monitor != nil {
+		r.cfg.Monitor.checkpoints.Add(1)
+	}
+	return nil
+}
+
+// Monitor receives live references and counters as a fault-tolerant run
+// constructs them, for export on the -metrics-addr endpoint: pass one in
+// Config.Monitor and serve Gauges() as the perf server's extra gauges.
+type Monitor struct {
+	mu      sync.Mutex
+	cluster *comm.Cluster
+
+	recoveries  atomic.Int64
+	checkpoints atomic.Int64
+	restores    atomic.Int64
+}
+
+// observe points the monitor at the attempt's live fabric.
+func (m *Monitor) observe(c *comm.Cluster) {
+	m.mu.Lock()
+	m.cluster = c
+	m.mu.Unlock()
+}
+
+// Gauges snapshots the fault-tolerance counters in the perf server's
+// extra-gauge format: comm-layer retry/timeout/resend activity, injected
+// faults, and the driver's checkpoint/recovery progress.
+func (m *Monitor) Gauges() map[string]float64 {
+	g := map[string]float64{
+		"comm recoveries total":  float64(m.recoveries.Load()),
+		"comm checkpoints total": float64(m.checkpoints.Load()),
+		"comm restores total":    float64(m.restores.Load()),
+	}
+	m.mu.Lock()
+	c := m.cluster
+	m.mu.Unlock()
+	if c != nil {
+		fs := c.FabricStats()
+		g["comm retries total"] = float64(fs.Retries)
+		g["comm timeouts total"] = float64(fs.Timeouts)
+		g["comm resends served total"] = float64(fs.ResendsServed)
+		g["comm duplicates dropped total"] = float64(fs.DuplicatesDropped)
+		g["comm overflow dropped total"] = float64(fs.OverflowDropped)
+		g["comm crashes total"] = float64(fs.Crashes)
+		g["comm faults dropped total"] = float64(fs.Injected.Dropped)
+		g["comm faults delayed total"] = float64(fs.Injected.Delayed)
+		g["comm faults duplicated total"] = float64(fs.Injected.Duplicated)
+		g["comm faults reordered total"] = float64(fs.Injected.Reordered)
+	}
+	return g
+}

@@ -1,0 +1,227 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"lulesh/internal/comm"
+)
+
+// ftBase is the shared problem for the fault-tolerance tests: small enough
+// to run in milliseconds, two communication faces, several regions.
+func ftBase() Config {
+	return Config{
+		Nx: 4, Ny: 4, NzPerRank: 4, Ranks: 2,
+		NumReg: 3, Balance: 1, Cost: 1, MaxIterations: 20,
+	}
+}
+
+// TestFaultyRunBitwiseIdentical: with messages dropped, delayed, duplicated
+// and reordered, every fault must be recovered by the retry protocol before
+// the physics reads the data — so the result is bitwise identical to an
+// unfaulted run.
+func TestFaultyRunBitwiseIdentical(t *testing.T) {
+	ref, err := Run(ftBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := ftBase()
+	faulty.Faults = &comm.FaultPlan{
+		Seed: 12345,
+		Drop: 0.08, Delay: 0.05, DelayBy: 200 * time.Microsecond,
+		Duplicate: 0.05, Reorder: 0.05,
+	}
+	faulty.ExchangeDeadline = 10 * time.Millisecond
+	faulty.RetryLimit = 6
+	got, err := Run(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.OriginEnergy != ref.OriginEnergy {
+		t.Fatalf("origin energy: faulted %v vs clean %v", got.OriginEnergy, ref.OriginEnergy)
+	}
+	if got.TotalEnergy != ref.TotalEnergy {
+		t.Fatalf("total energy: faulted %v vs clean %v", got.TotalEnergy, ref.TotalEnergy)
+	}
+	if got.FinalTime != ref.FinalTime || got.Iterations != ref.Iterations {
+		t.Fatal("time stepping diverged under faults")
+	}
+	if got.Fabric.Injected.Dropped == 0 {
+		t.Fatal("fault plan committed no drops — the test exercised nothing")
+	}
+	if got.Fabric.Retries == 0 {
+		t.Fatal("drops happened but the recovery protocol issued no retries")
+	}
+	if got.Recoveries != 0 {
+		t.Fatalf("message faults should not need a restart, took %d", got.Recoveries)
+	}
+}
+
+// TestCrashRecoveryFromCheckpoint: rank 1 dies at step 17; the cluster has
+// coordinated checkpoints every 5 cycles, so the driver restarts from epoch
+// 15 and the final state matches the unfaulted run bit for bit.
+func TestCrashRecoveryFromCheckpoint(t *testing.T) {
+	ref, err := Run(ftBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mon := &Monitor{}
+	crash := ftBase()
+	crash.Faults = &comm.FaultPlan{Seed: 7, CrashRank: 1, CrashStep: 17}
+	crash.ExchangeDeadline = 10 * time.Millisecond
+	crash.RetryLimit = 3
+	crash.CheckpointEvery = 5
+	crash.MaxRestarts = 2
+	crash.Monitor = mon
+	got, err := Run(crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Recoveries != 1 {
+		t.Fatalf("expected exactly 1 recovery, got %d", got.Recoveries)
+	}
+	if got.Checkpoints == 0 {
+		t.Fatal("no coordinated checkpoints committed")
+	}
+	if got.OriginEnergy != ref.OriginEnergy || got.TotalEnergy != ref.TotalEnergy {
+		t.Fatalf("restarted run diverged: %v/%v vs %v/%v",
+			got.OriginEnergy, got.TotalEnergy, ref.OriginEnergy, ref.TotalEnergy)
+	}
+	if got.FinalTime != ref.FinalTime || got.Iterations != ref.Iterations {
+		t.Fatal("restarted run's time stepping diverged")
+	}
+
+	g := mon.Gauges()
+	if g["comm recoveries total"] != 1 {
+		t.Fatalf("monitor recoveries gauge = %v", g["comm recoveries total"])
+	}
+	if g["comm checkpoints total"] == 0 {
+		t.Fatal("monitor checkpoint gauge not bumped")
+	}
+	if g["comm restores total"] != 1 {
+		t.Fatalf("monitor restores gauge = %v", g["comm restores total"])
+	}
+}
+
+// TestCrashRestartFromScratch: a crash before any checkpoint committed
+// restarts the whole run from its initial state — slower, but still exact.
+func TestCrashRestartFromScratch(t *testing.T) {
+	ref, err := Run(ftBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crash := ftBase()
+	crash.Faults = &comm.FaultPlan{Seed: 7, CrashRank: 0, CrashStep: 5}
+	crash.ExchangeDeadline = 10 * time.Millisecond
+	crash.RetryLimit = 3
+	crash.MaxRestarts = 1
+	got, err := Run(crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Recoveries != 1 {
+		t.Fatalf("expected 1 recovery, got %d", got.Recoveries)
+	}
+	if got.OriginEnergy != ref.OriginEnergy || got.TotalEnergy != ref.TotalEnergy {
+		t.Fatal("from-scratch restart diverged from the unfaulted run")
+	}
+}
+
+// TestCrashWithoutRestartBudgetFails: MaxRestarts 0 means a crash is fatal
+// and surfaces as the comm-layer error instead of hanging.
+func TestCrashWithoutRestartBudgetFails(t *testing.T) {
+	crash := ftBase()
+	crash.Faults = &comm.FaultPlan{Seed: 7, CrashRank: 1, CrashStep: 5}
+	crash.ExchangeDeadline = 5 * time.Millisecond
+	crash.RetryLimit = 2
+	if _, err := Run(crash); err == nil {
+		t.Fatal("crash with no restart budget should fail the run")
+	} else if !recoverable(err) {
+		t.Fatalf("failure should carry the recoverable comm error, got: %v", err)
+	}
+}
+
+// TestCheckpointingDoesNotPerturb: taking coordinated checkpoints on a
+// reliable fabric must not change any result value.
+func TestCheckpointingDoesNotPerturb(t *testing.T) {
+	ref, err := Run(ftBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := ftBase()
+	ck.CheckpointEvery = 3
+	got, err := Run(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OriginEnergy != ref.OriginEnergy || got.TotalEnergy != ref.TotalEnergy ||
+		got.FinalTime != ref.FinalTime {
+		t.Fatal("checkpointing changed the physics")
+	}
+	if got.Checkpoints == 0 {
+		t.Fatal("no checkpoints committed")
+	}
+}
+
+// TestPhysicsErrorNotRetried: a deterministic physics failure must abort
+// every rank (via the dt reduction) and must NOT be classified recoverable —
+// a restart would simply hit it again.
+func TestPhysicsErrorNotRetried(t *testing.T) {
+	cfg := ftBase()
+	cfg.ExchangeDeadline = 20 * time.Millisecond
+	cfg.RetryLimit = 3
+	cluster := comm.NewClusterOptions(cfg.Ranks, comm.Options{
+		Transport:        comm.Reliable{},
+		ExchangeDeadline: cfg.ExchangeDeadline,
+		RetryLimit:       cfg.RetryLimit,
+	})
+	ranks := make([]*rank, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		ranks[r] = newRankWith(cfg, cluster, r, nil)
+	}
+	ranks[1].d.V[0] = -1 // poison: detected by the element kernels
+	done := make(chan error, cfg.Ranks)
+	for _, rk := range ranks {
+		rk := rk
+		go func() { done <- rk.run(cfg.MaxIterations) }()
+	}
+	var sawErr bool
+	for range ranks {
+		if err := <-done; err != nil {
+			sawErr = true
+			if recoverable(err) {
+				t.Fatalf("physics failure misclassified as recoverable: %v", err)
+			}
+		}
+	}
+	if !sawErr {
+		t.Fatal("poisoned run reported no error")
+	}
+}
+
+// TestAsyncScheduleUnderFaults: the overlapped schedule runs the same
+// recovery protocol; drops must not break it or change its results.
+func TestAsyncScheduleUnderFaults(t *testing.T) {
+	base := ftBase()
+	base.Async = true
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := base
+	faulty.Faults = &comm.FaultPlan{Seed: 9, Drop: 0.06, Duplicate: 0.04}
+	faulty.ExchangeDeadline = 10 * time.Millisecond
+	faulty.RetryLimit = 6
+	got, err := Run(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OriginEnergy != ref.OriginEnergy || got.TotalEnergy != ref.TotalEnergy {
+		t.Fatal("async schedule diverged under faults")
+	}
+}

@@ -65,13 +65,24 @@ func (r *rank) sendBoundaryForces() {
 }
 
 // recvBoundaryForces receives the neighbours' shared-plane forces and sums
-// them into the local planes (LULESH's CommSBN: sum boundary nodes).
-func (r *rank) recvBoundaryForces() {
+// them into the local planes (LULESH's CommSBN: sum boundary nodes). On
+// the fault-tolerant fabric each receive runs under the exchange deadline;
+// a peer that stays silent past the retry budget surfaces as an error.
+func (r *rank) recvBoundaryForces() error {
 	d := r.d
 	if r.hasLower() {
-		fx := r.ep.Recv(r.id-1, comm.TagForceX)
-		fy := r.ep.Recv(r.id-1, comm.TagForceY)
-		fz := r.ep.Recv(r.id-1, comm.TagForceZ)
+		fx, err := r.ep.RecvDeadline(r.id-1, comm.TagForceX)
+		if err != nil {
+			return err
+		}
+		fy, err := r.ep.RecvDeadline(r.id-1, comm.TagForceY)
+		if err != nil {
+			return err
+		}
+		fz, err := r.ep.RecvDeadline(r.id-1, comm.TagForceZ)
+		if err != nil {
+			return err
+		}
 		for i := 0; i < r.planeN; i++ {
 			d.Fx[i] += fx[i]
 			d.Fy[i] += fy[i]
@@ -80,15 +91,25 @@ func (r *rank) recvBoundaryForces() {
 	}
 	if r.hasUpper() {
 		base := r.upperNodeBase()
-		fx := r.ep.Recv(r.id+1, comm.TagForceX)
-		fy := r.ep.Recv(r.id+1, comm.TagForceY)
-		fz := r.ep.Recv(r.id+1, comm.TagForceZ)
+		fx, err := r.ep.RecvDeadline(r.id+1, comm.TagForceX)
+		if err != nil {
+			return err
+		}
+		fy, err := r.ep.RecvDeadline(r.id+1, comm.TagForceY)
+		if err != nil {
+			return err
+		}
+		fz, err := r.ep.RecvDeadline(r.id+1, comm.TagForceZ)
+		if err != nil {
+			return err
+		}
 		for i := 0; i < r.planeN; i++ {
 			d.Fx[base+i] += fx[i]
 			d.Fy[base+i] += fy[i]
 			d.Fz[base+i] += fz[i]
 		}
 	}
+	return nil
 }
 
 // nodalUpdate integrates acceleration, boundary conditions, velocity and
@@ -143,26 +164,46 @@ func (r *rank) sendBoundaryGradients() {
 }
 
 // recvBoundaryGradients fills the ghost gradient slots with the
-// neighbours' boundary planes.
-func (r *rank) recvBoundaryGradients() {
+// neighbours' boundary planes, under the exchange deadline on the
+// fault-tolerant fabric.
+func (r *rank) recvBoundaryGradients() error {
 	d := r.d
 	m := d.Mesh
 	if r.hasLower() {
-		xi := r.ep.Recv(r.id-1, comm.TagDelvXi)
-		eta := r.ep.Recv(r.id-1, comm.TagDelvEta)
-		zeta := r.ep.Recv(r.id-1, comm.TagDelvZeta)
+		xi, err := r.ep.RecvDeadline(r.id-1, comm.TagDelvXi)
+		if err != nil {
+			return err
+		}
+		eta, err := r.ep.RecvDeadline(r.id-1, comm.TagDelvEta)
+		if err != nil {
+			return err
+		}
+		zeta, err := r.ep.RecvDeadline(r.id-1, comm.TagDelvZeta)
+		if err != nil {
+			return err
+		}
 		copy(d.DelvXi[m.GhostZMin:m.GhostZMin+r.planeE], xi)
 		copy(d.DelvEta[m.GhostZMin:m.GhostZMin+r.planeE], eta)
 		copy(d.DelvZeta[m.GhostZMin:m.GhostZMin+r.planeE], zeta)
 	}
 	if r.hasUpper() {
-		xi := r.ep.Recv(r.id+1, comm.TagDelvXi)
-		eta := r.ep.Recv(r.id+1, comm.TagDelvEta)
-		zeta := r.ep.Recv(r.id+1, comm.TagDelvZeta)
+		xi, err := r.ep.RecvDeadline(r.id+1, comm.TagDelvXi)
+		if err != nil {
+			return err
+		}
+		eta, err := r.ep.RecvDeadline(r.id+1, comm.TagDelvEta)
+		if err != nil {
+			return err
+		}
+		zeta, err := r.ep.RecvDeadline(r.id+1, comm.TagDelvZeta)
+		if err != nil {
+			return err
+		}
 		copy(d.DelvXi[m.GhostZMax:m.GhostZMax+r.planeE], xi)
 		copy(d.DelvEta[m.GhostZMax:m.GhostZMax+r.planeE], eta)
 		copy(d.DelvZeta[m.GhostZMax:m.GhostZMax+r.planeE], zeta)
 	}
+	return nil
 }
 
 // materialsAndConstraints runs the region Q, EOS, volume commit and local
@@ -271,13 +312,17 @@ func (r *rank) stepSynchronous() error {
 	r.computeForces(0, ne)
 	r.gatherForces(0, nn)
 	r.sendBoundaryForces()
-	r.recvBoundaryForces() // blocking phase boundary
+	if err := r.recvBoundaryForces(); err != nil { // blocking phase boundary
+		return err
+	}
 	r.nodalUpdate()
 
 	// LagrangeElements.
 	r.kinematicsRange(0, ne)
 	r.sendBoundaryGradients()
-	r.recvBoundaryGradients() // blocking phase boundary
+	if err := r.recvBoundaryGradients(); err != nil { // blocking phase boundary
+		return err
+	}
 
 	if err := r.materialsAndConstraints(); err != nil {
 		return err
@@ -330,7 +375,9 @@ func (r *rank) stepOverlapped() error {
 	if lo < hi {
 		r.gatherForces(lo, hi)
 	}
-	r.recvBoundaryForces()
+	if err := r.recvBoundaryForces(); err != nil {
+		return err
+	}
 	r.nodalUpdate()
 
 	// Boundary kinematics/gradients first, send, interior overlaps.
@@ -347,7 +394,9 @@ func (r *rank) stepOverlapped() error {
 	if lowE < highE {
 		r.kinematicsRange(lowE, highE)
 	}
-	r.recvBoundaryGradients()
+	if err := r.recvBoundaryGradients(); err != nil {
+		return err
+	}
 
 	if err := r.materialsAndConstraints(); err != nil {
 		return err
