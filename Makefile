@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz cover bench verify figures examples clean perfgate chaos
+.PHONY: all build test race fuzz cover bench verify figures examples clean perfgate chaos net
 
 # The race lane is a first-class gate: all runtime/scheduler changes must
 # survive the race detector, not just the plain test run.
@@ -49,6 +49,21 @@ chaos:
 	$(GO) run ./cmd/lulesh -ranks 2 -s 8 -i 30 \
 		-faults drop=0.05,dup=0.02,crash=1@20 -fault-seed 9 \
 		-exchange-deadline 20ms -checkpoint-every 5
+
+# The network gate: the TCP fabric's protocol tests under the race
+# detector, the frame-decoder fuzz corpus, a clean multi-process smoke
+# run, a chaos run (drops over real sockets plus a SIGKILLed rank
+# recovering from durable checkpoints), and the wire ≡ in-process
+# bitwise-identity proof.
+net:
+	$(GO) test -race -count=1 -run 'Wire|Bootstrap|Exchange|PeerDeath|Goodbye|FileStore|Frame|Header|Float|Slab' \
+		./internal/wire/ ./internal/dist/
+	$(GO) test -run=NONE -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/wire/
+	$(GO) build -race -o /tmp/lulesh-net ./cmd/lulesh
+	/tmp/lulesh-net -np 4 -s 8 -i 20 -q
+	/tmp/lulesh-net -np 4 -s 8 -i 30 -q -faults drop=0.02,dup=0.02 \
+		-checkpoint-every 5 -wire-kill 2@12
+	$(GO) run ./cmd/luleshverify -net
 
 # Regenerate every table/figure of the paper's evaluation.
 figures:

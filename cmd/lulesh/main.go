@@ -13,6 +13,15 @@
 // (-exchange-deadline, -retry-limit) and checkpoint-based rank restart
 // (-checkpoint-every, -max-restarts). See DISTRIBUTED.md for the protocol
 // and worked invocations.
+//
+// With -np N the driver leaves the process: the binary becomes a launcher
+// forking N copies of itself, one rank per OS process, exchanging over
+// localhost TCP (internal/wire). Checkpoints become durable files
+// (-checkpoint-dir), a SIGKILLed worker (-wire-kill RANK@STEP) triggers a
+// fabric relaunch restoring from the last committed epoch, and each rank
+// serves its own metrics endpoint (port base+rank, series labeled
+// rank="N"). Workers can also be placed by hand across machines with
+// -rank/-rendezvous. See DISTRIBUTED.md section 7.
 package main
 
 import (
@@ -70,8 +79,53 @@ func main() {
 		deadline  = flag.Duration("exchange-deadline", 0, "per-exchange deadline before a resend request (0 = default; enables the fault-tolerant fabric)")
 		retryLim  = flag.Int("retry-limit", 0, "resend requests per exchange before declaring a peer dead (0 = default)")
 		restarts  = flag.Int("max-restarts", 3, "restarts from the last checkpoint after a rank failure before giving up")
+
+		// Multi-process (wire) mode.
+		np          = flag.Int("np", 0, "fork this many worker processes and run the driver over localhost TCP")
+		wireRank    = flag.Int("rank", -1, "this process's rank of a multi-process run (set by the -np launcher)")
+		rendezvous  = flag.String("rendezvous", "", "rank 0's bootstrap address for a multi-process run")
+		wireCookie  = flag.String("wire-cookie", "", "shared handshake secret of a multi-process run (set by the -np launcher)")
+		wireAttempt = flag.Int("wire-attempt", 0, "fabric relaunch count (set by the -np launcher)")
+		ckptDir     = flag.String("checkpoint-dir", "", "directory for durable coordinated checkpoints in multi-process mode")
+		wireKill    = flag.String("wire-kill", "", "chaos: RANK@STEP makes that worker SIGKILL itself at that cycle (multi-process mode)")
+		peerTimeout = flag.Duration("peer-timeout", 0, "wire silence budget before declaring a peer process dead (0 = default)")
 	)
 	flag.Parse()
+
+	if *wireRank >= 0 {
+		// Worker process of a multi-process run (forked by the -np
+		// launcher, or hand-started against an explicit -rendezvous).
+		threadsPerRank := 1
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "threads" {
+				threadsPerRank = *threads
+			}
+		})
+		if *ranks < 1 {
+			fmt.Fprintln(os.Stderr, "-rank requires -ranks (the fabric size)")
+			os.Exit(2)
+		}
+		runWireWorker(wireFlags{
+			distFlags: distFlags{
+				size: *size, regions: *regions, iters: *iters,
+				balance: *balance, cost: *cost, quiet: *quiet,
+				threads: threadsPerRank, metrics: *metrics,
+				ranks: *ranks, async: *distAsync,
+				faults: *faults, faultSeed: *faultSeed,
+				checkpointEvery: *ckptEvery, deadline: *deadline,
+				retryLimit: *retryLim,
+			},
+			rank: *wireRank, rendezvous: *rendezvous,
+			cookie: *wireCookie, attempt: *wireAttempt,
+			checkpointDir: *ckptDir, wireKill: *wireKill,
+			peerTimeout: *peerTimeout,
+		})
+		return
+	}
+	if *np > 0 {
+		runLauncher(*np, *restarts, *ckptEvery, *ckptDir, *quiet)
+		return
+	}
 
 	if *ranks > 0 {
 		// Hybrid MPI+X only when -threads was given explicitly: the

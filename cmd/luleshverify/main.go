@@ -42,8 +42,21 @@ func main() {
 	steps := flag.Int("i", 20, "iterations to verify over")
 	locality := flag.Bool("locality", false,
 		"also sweep all affinity × steal-half × adaptive-grain combinations")
+	netMode := flag.Bool("net", false,
+		"also prove multi-process (TCP) runs bitwise identical to in-process ones")
+	netWorker := flag.Bool("net-worker", false, "internal: run as one wire worker of a -net check")
+	netRank := flag.Int("net-rank", 0, "internal: worker rank")
+	netRanks := flag.Int("net-ranks", 0, "internal: fabric size")
+	netRendezvous := flag.String("net-rendezvous", "", "internal: bootstrap address")
+	netCookie := flag.String("net-cookie", "", "internal: handshake secret")
+	netFinal := flag.String("net-final", "", "internal: final-state output file")
 	flag.Parse()
 	threads := runtime.GOMAXPROCS(0)
+
+	if *netWorker {
+		runNetWorker(*size, *steps, *netRank, *netRanks, *netRendezvous, *netCookie, *netFinal)
+		return
+	}
 
 	fmt.Printf("Verifying %d^3 Sedov problem over %d iterations\n\n", *size, *steps)
 
@@ -128,6 +141,14 @@ func main() {
 		syncRes.OriginEnergy == asyncRes.OriginEnergy &&
 			syncRes.TotalEnergy == asyncRes.TotalEnergy,
 		fmt.Sprintf("e0=%.9e", syncRes.OriginEnergy))
+
+	// 2a. The TCP fabric is invisible: multi-process runs (one OS process
+	// per rank, exchanges over localhost sockets) end bitwise identical to
+	// the in-process runs with the same decomposition.
+	if *netMode {
+		netCheck(*size, *steps, 8)
+		netCheck(*size, *steps, 1)
+	}
 
 	// 3. Axis symmetry of the serial solution.
 	maxAsym := axisAsymmetry(ref)

@@ -225,6 +225,16 @@ func Load(r io.Reader) (*domain.Domain, error) {
 	return apply(st)
 }
 
+// Verify reads one checkpoint frame and checks its header, length and
+// CRC-32 without decoding or applying the payload. The distributed
+// driver uses it to decide whether an on-disk coordinated checkpoint is
+// safe to restart a whole cluster from: a torn or damaged blob fails
+// here, wrapping ErrCorrupt, before any rank commits to the epoch.
+func Verify(r io.Reader) error {
+	_, err := readFrame(r)
+	return err
+}
+
 // SaveRank writes one multi-domain rank's checkpoint: the base domain
 // state plus the exchanged nodal masses and ghost gradient planes, stamped
 // with the rank identity and comm epoch from meta (whose slice fields are

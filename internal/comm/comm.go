@@ -1,11 +1,20 @@
 // Package comm is the message-passing substrate of the multi-domain
-// LULESH (internal/dist): a simulated cluster fabric in which each rank is
-// a goroutine and messages travel over buffered channels. It stands in for
-// MPI point-to-point communication in the paper's future-work experiment
-// (multi-node LULESH, synchronous MPI-style exchange versus asynchronous
-// overlap), preserving the properties that matter for that comparison:
-// per-pair message ordering, blocking receives with measurable wait time,
-// and payload copying on send (no shared mutable buffers).
+// LULESH (internal/dist). It stands in for MPI point-to-point
+// communication in the paper's future-work experiment (multi-node LULESH,
+// synchronous MPI-style exchange versus asynchronous overlap), preserving
+// the properties that matter for that comparison: per-pair message
+// ordering, blocking receives with measurable wait time, and no shared
+// mutable buffers between sender and receiver.
+//
+// The fabric comes in two physical forms behind one Endpoint API. An
+// in-process cluster (NewCluster and friends) runs each rank as a
+// goroutine with messages travelling over buffered channels — the
+// original simulated fabric. A remote cluster (NewRemoteCluster) holds
+// exactly one rank per OS process and moves messages through a RemoteLink
+// — the TCP fabric of internal/wire — so the same exchange protocol runs
+// over real sockets between real processes. The protocol code is shared:
+// everything below about sequencing, deadlines and recovery applies to
+// both forms.
 //
 // # Fault tolerance
 //
@@ -77,9 +86,10 @@ var (
 	// budget — the failure-detection signal for a dead or unreachable peer.
 	ErrExchangeTimeout = errors.New("comm: exchange deadline exceeded")
 
-	// ErrRankCrashed: the fault plan scheduled this rank's crash; the rank
-	// must abandon the protocol immediately.
-	ErrRankCrashed = errors.New("comm: rank crashed by fault injection")
+	// ErrRankCrashed: a whole rank is gone — the fault plan scheduled this
+	// rank's crash, or (on a remote cluster) a peer's connection was lost.
+	// The rank holding the error must abandon the protocol immediately.
+	ErrRankCrashed = errors.New("comm: rank crashed")
 )
 
 type message struct {
@@ -128,6 +138,11 @@ type Cluster struct {
 	size    int
 	latency time.Duration
 	pipes   [][]chan message // pipes[from][to]
+
+	// Remote mode (nil = every rank is an in-process goroutine): only
+	// rank `local` lives here; everything else goes through the link.
+	remote RemoteLink
+	local  int
 
 	// Fault-tolerant mode (nil transport = reliable fast path).
 	tr         Transport
@@ -244,10 +259,14 @@ func (c *Cluster) FabricStats() FabricStats {
 	return fs
 }
 
-// Endpoint returns rank r's communication endpoint.
+// Endpoint returns rank r's communication endpoint. On a remote cluster
+// only the local rank's endpoint exists in this process.
 func (c *Cluster) Endpoint(r int) *Endpoint {
 	if r < 0 || r >= c.size {
 		panic(fmt.Sprintf("comm: rank %d out of [0,%d)", r, c.size))
+	}
+	if c.remote != nil && r != c.local {
+		panic(fmt.Sprintf("comm: rank %d is not local to this process (local rank %d)", r, c.local))
 	}
 	e := &Endpoint{c: c, rank: r, heads: make(map[int]message)}
 	if c.ft() {
@@ -315,18 +334,35 @@ func (e *Endpoint) Send(to int, tag Tag, data []float64) {
 	if to == e.rank {
 		panic("comm: send to self")
 	}
-	cp := make([]float64, len(data))
-	copy(cp, data)
 	e.sent.Add(1)
 	e.bytesSent.Add(int64(8 * len(data)))
 	if e.c.ft() {
 		k := pairKey{to, tag}
 		seq := e.sendSeq[k]
 		e.sendSeq[k] = seq + 1
-		e.sendBuf[k] = sentEntry{seq: seq, data: cp}
-		e.transmit(Message{From: e.rank, To: to, Tag: tag, Seq: seq, Data: cp})
+		var buf []float64
+		if e.c.remote != nil {
+			// Remote mode reuses the stream's resend buffer: the link fully
+			// serializes the payload before SendData returns and transports
+			// may not retain Data (see Transport), so steady-state ghost
+			// exchange allocates nothing on the send path.
+			buf = e.sendBuf[k].data
+			if cap(buf) < len(data) {
+				buf = make([]float64, len(data))
+			}
+			buf = buf[:len(data)]
+		} else {
+			// In-process delivery hands the slice to the receiver by
+			// reference, so every send needs a fresh copy.
+			buf = make([]float64, len(data))
+		}
+		copy(buf, data)
+		e.sendBuf[k] = sentEntry{seq: seq, data: buf}
+		e.transmit(Message{From: e.rank, To: to, Tag: tag, Seq: seq, Data: buf})
 		return
 	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
 	m := message{tag: tag, data: cp}
 	if e.c.latency > 0 {
 		m.ready = time.Now().Add(e.c.latency)
@@ -335,21 +371,41 @@ func (e *Endpoint) Send(to int, tag Tag, data []float64) {
 }
 
 // transmit routes one stamped message through the transport and enqueues
-// the resulting deliveries. Fault-tolerant path only.
+// the resulting deliveries. Fault-tolerant path only. The identity
+// transport skips the slice-returning Transmit call entirely, keeping the
+// common path allocation-free.
 func (e *Endpoint) transmit(m Message) {
+	if _, reliable := e.c.tr.(Reliable); reliable {
+		e.deliver(m)
+		return
+	}
 	for _, d := range e.c.tr.Transmit(m) {
-		msg := message{tag: d.Tag, seq: d.Seq, data: d.Data}
-		if delay := e.c.latency + d.Delay; delay > 0 {
-			msg.ready = time.Now().Add(delay)
-		}
-		select {
-		case e.c.pipes[e.rank][d.To] <- msg:
-		default:
-			// The peer stopped draining (crashed or aborted); dropping here
-			// keeps the sender alive, and the peer's deadline — or ours —
-			// surfaces the failure.
+		e.deliver(d)
+	}
+}
+
+// deliver enqueues one transport-approved delivery: into the peer's pipe
+// in-process, or onto the wire on a remote cluster.
+func (e *Endpoint) deliver(d Message) {
+	if e.c.remote != nil {
+		if err := e.c.remote.SendData(d.To, d.Tag, d.Seq, d.Delay, d.Data); err != nil {
+			// The link refused (dead or wedged peer); the resend protocol —
+			// or the peer-death detector — takes it from here.
 			e.c.counters.overflows.Add(1)
 		}
+		return
+	}
+	msg := message{tag: d.Tag, seq: d.Seq, data: d.Data}
+	if delay := e.c.latency + d.Delay; delay > 0 {
+		msg.ready = time.Now().Add(delay)
+	}
+	select {
+	case e.c.pipes[e.rank][d.To] <- msg:
+	default:
+		// The peer stopped draining (crashed or aborted); dropping here
+		// keeps the sender alive, and the peer's deadline — or ours —
+		// surfaces the failure.
+		e.c.counters.overflows.Add(1)
 	}
 }
 
@@ -419,6 +475,16 @@ func (e *Endpoint) RecvDeadline(from int, tag Tag) ([]float64, error) {
 		case req := <-e.c.ctrl[e.rank]:
 			e.serviceResend(req)
 		case <-timer.C:
+			// On a remote cluster a lost peer connection is definitive:
+			// fail fast instead of burning the retry budget. Checked only
+			// here, after the pipe drained, because an orderly TCP close
+			// delivers all data before the EOF that marks the peer dead.
+			if derr := e.c.peerDead(from); derr != nil {
+				e.c.counters.timeouts.Add(1)
+				e.timeouts.Add(1)
+				return nil, fmt.Errorf("rank %d waiting on rank %d for %v seq %d: peer lost (%v): %w",
+					e.rank, from, tag, want, derr, ErrRankCrashed)
+			}
 			if retries >= e.c.retryLimit {
 				e.c.counters.timeouts.Add(1)
 				e.timeouts.Add(1)
@@ -479,8 +545,13 @@ func (e *Endpoint) takeMail(k pairKey, want uint64) ([]float64, bool) {
 }
 
 // requestResend asks the peer to retransmit (tag, seq). Non-blocking: a
-// full control channel just means the next backoff round asks again.
+// full control channel (or a refused wire send) just means the next
+// backoff round asks again.
 func (e *Endpoint) requestResend(from int, tag Tag, seq uint64) {
+	if e.c.remote != nil {
+		_ = e.c.remote.SendCtrl(from, tag, seq)
+		return
+	}
 	select {
 	case e.c.ctrl[from] <- ctrlMsg{from: e.rank, tag: tag, seq: seq}:
 	default:

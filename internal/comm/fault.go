@@ -170,6 +170,9 @@ func (f *FaultInjector) Transmit(m Message) []Message {
 		f.dropped.Add(1)
 	case reorder && ps.held == nil:
 		held := m
+		// The sender may reuse m.Data for the stream's next message
+		// (remote clusters do); a held-back message needs its own copy.
+		held.Data = append([]float64(nil), m.Data...)
 		ps.held = &held
 		f.reordered.Add(1)
 	default:

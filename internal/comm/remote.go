@@ -1,0 +1,127 @@
+package comm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Remote mode: the fabric spans OS processes. Exactly one rank lives in
+// this process; every other rank is reached through a RemoteLink (the TCP
+// fabric of internal/wire). The endpoint protocol — per-stream sequence
+// numbers, mailbox reconciliation, deadline/retry/backoff recovery — is
+// byte-for-byte the same code that runs in-process, so everything the
+// fault-tolerance tests prove about it holds over real sockets too.
+
+// RemoteLink carries stamped messages to out-of-process peers. It is the
+// seam between the endpoint protocol and a physical transport: SendData
+// must fully serialize data before returning (the caller reuses the slice
+// for later sends), SendCtrl carries a resend request, and PeerDead
+// reports a failed peer connection (nil = alive). All three are called
+// from the local rank's goroutine; deliveries travel the other way via
+// Cluster.InjectData / Cluster.InjectCtrl, called from the link's reader
+// goroutines.
+type RemoteLink interface {
+	SendData(to int, tag Tag, seq uint64, delay time.Duration, data []float64) error
+	SendCtrl(to int, tag Tag, seq uint64) error
+	PeerDead(peer int) error
+}
+
+// NewRemoteCluster creates rank local's view of a size-rank fabric whose
+// peers live in other processes, reached through link. A remote cluster
+// always runs the fault-tolerant protocol (opt.Transport nil selects
+// Reliable): real networks lose connections, and the deadline/retry
+// machinery doubles as the failure detector. opt.Latency is ignored — a
+// real interconnect brings its own.
+//
+// Only Endpoint(local) may be requested. Incoming traffic is injected by
+// the link via InjectData / InjectCtrl.
+func NewRemoteCluster(local, size int, opt Options, link RemoteLink) *Cluster {
+	if local < 0 || local >= size {
+		panic(fmt.Sprintf("comm: local rank %d out of [0,%d)", local, size))
+	}
+	if link == nil {
+		panic("comm: remote cluster needs a RemoteLink")
+	}
+	c := &Cluster{size: size, local: local, remote: link,
+		pipes: make([][]chan message, size)}
+	// Only the local rank's incoming pipes exist in this process.
+	for from := 0; from < size; from++ {
+		if from == local {
+			continue
+		}
+		c.pipes[from] = make([]chan message, size)
+		c.pipes[from][local] = make(chan message, pipeCap)
+	}
+	c.tr = opt.Transport
+	if c.tr == nil {
+		c.tr = Reliable{}
+	}
+	c.deadline = opt.ExchangeDeadline
+	if c.deadline <= 0 {
+		c.deadline = DefaultExchangeDeadline
+	}
+	c.retryLimit = opt.RetryLimit
+	if c.retryLimit <= 0 {
+		c.retryLimit = DefaultRetryLimit
+	}
+	c.ctrl = make([]chan ctrlMsg, size)
+	c.ctrl[local] = make(chan ctrlMsg, 8*size)
+	return c
+}
+
+// LocalRank reports the in-process rank of a remote cluster (-1 for an
+// in-process cluster, where every rank is local).
+func (c *Cluster) LocalRank() int {
+	if c.remote == nil {
+		return -1
+	}
+	return c.local
+}
+
+// InjectData delivers a data message that arrived over the remote link
+// into the local rank's receive path, as if the peer's endpoint had sent
+// it in-process. delay is the residual injected delivery delay (fault
+// plans compose over the wire: the injector runs on the sender, the sleep
+// happens here). The report is false when the local pipe was full and the
+// message was dropped — the resend protocol recovers it.
+func (c *Cluster) InjectData(from int, tag Tag, seq uint64, delay time.Duration, data []float64) bool {
+	if c.remote == nil {
+		panic("comm: InjectData on an in-process cluster")
+	}
+	m := message{tag: tag, seq: seq, data: data}
+	if delay > 0 {
+		m.ready = time.Now().Add(delay)
+	}
+	select {
+	case c.pipes[from][c.local] <- m:
+		return true
+	default:
+		c.counters.overflows.Add(1)
+		return false
+	}
+}
+
+// InjectCtrl delivers a resend request that arrived over the remote link.
+// A full control channel just drops it: the requester's next backoff
+// round asks again.
+func (c *Cluster) InjectCtrl(from int, tag Tag, seq uint64) bool {
+	if c.remote == nil {
+		panic("comm: InjectCtrl on an in-process cluster")
+	}
+	select {
+	case c.ctrl[c.local] <- ctrlMsg{from: from, tag: tag, seq: seq}:
+		return true
+	default:
+		return false
+	}
+}
+
+// peerDead reports the failure of a remote peer's connection, nil when
+// the peer is reachable (always nil in-process: goroutine ranks have no
+// connection to lose).
+func (c *Cluster) peerDead(peer int) error {
+	if c.remote == nil {
+		return nil
+	}
+	return c.remote.PeerDead(peer)
+}

@@ -24,9 +24,17 @@ type Message struct {
 // locking — each rank sends from a single goroutine — but state shared
 // across sender ranks must be synchronized.
 //
+// A Transport must not retain m.Data after Transmit returns: on a remote
+// cluster the sender reuses the payload buffer for the stream's next
+// message. An implementation that holds a message back (reordering) must
+// copy Data into the held entry, as FaultInjector does.
+//
 // The receiving endpoints tolerate whatever a Transport does: sequence
 // numbers filter duplicates and restore order, and the deadline/resend
-// protocol (Endpoint.RecvDeadline) recovers dropped messages.
+// protocol (Endpoint.RecvDeadline) recovers dropped messages. On a remote
+// cluster the deliveries are serialized onto the peer's TCP connection
+// instead of enqueued on a channel; drop/delay/dup/reorder injection
+// composes with the wire path unchanged.
 type Transport interface {
 	Transmit(m Message) []Message
 }

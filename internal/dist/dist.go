@@ -151,8 +151,28 @@ type Result struct {
 // initial state when none committed yet) after a recoverable rank
 // failure, up to MaxRestarts times.
 func Run(cfg Config) (Result, error) {
+	res, _, err := runToCompletion(cfg)
+	return res, err
+}
+
+// RunDomains is Run, additionally returning every rank's final domain —
+// the ground truth the multi-process verifier compares wire runs
+// against, state array by state array.
+func RunDomains(cfg Config) (Result, []*domain.Domain, error) {
+	res, ranks, err := runToCompletion(cfg)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	doms := make([]*domain.Domain, len(ranks))
+	for i, rk := range ranks {
+		doms[i] = rk.d
+	}
+	return res, doms, nil
+}
+
+func runToCompletion(cfg Config) (Result, []*rank, error) {
 	if cfg.Ranks < 1 {
-		return Result{}, fmt.Errorf("dist: need at least 1 rank, got %d", cfg.Ranks)
+		return Result{}, nil, fmt.Errorf("dist: need at least 1 rank, got %d", cfg.Ranks)
 	}
 	var inj *comm.FaultInjector
 	if cfg.Faults.Active() {
@@ -165,7 +185,7 @@ func Run(cfg Config) (Result, error) {
 	recoveries := 0
 	start := time.Now()
 	for {
-		res, errs := runAttempt(cfg, inj, store)
+		res, ranks, errs := runAttempt(cfg, inj, store)
 		firstErr, allRecoverable := summarize(errs)
 		if firstErr == nil {
 			// Elapsed spans the whole run, including failed attempts,
@@ -178,10 +198,10 @@ func Run(cfg Config) (Result, error) {
 				res.Checkpoints = store.committed
 				store.mu.Unlock()
 			}
-			return res, nil
+			return res, ranks, nil
 		}
 		if !allRecoverable || recoveries >= cfg.MaxRestarts {
-			return Result{}, firstErr
+			return Result{}, nil, firstErr
 		}
 		recoveries++
 		if inj != nil {
@@ -216,7 +236,7 @@ func summarize(errs []error) (first error, allRecoverable bool) {
 
 // runAttempt executes one cluster lifetime: fresh domains, or domains
 // restored from the store's last committed checkpoint.
-func runAttempt(cfg Config, inj *comm.FaultInjector, store *ckptStore) (Result, []error) {
+func runAttempt(cfg Config, inj *comm.FaultInjector, store *ckptStore) (Result, []*rank, []error) {
 	var cluster *comm.Cluster
 	if cfg.faultTolerant() {
 		var tr comm.Transport
@@ -243,12 +263,12 @@ func runAttempt(cfg Config, inj *comm.FaultInjector, store *ckptStore) (Result, 
 			d, meta, err := checkpoint.LoadRank(bytes.NewReader(blobs[r]))
 			if err != nil {
 				errs[r] = fmt.Errorf("restore: %w", err)
-				return Result{}, errs
+				return Result{}, nil, errs
 			}
 			if meta.Rank != r || meta.Ranks != cfg.Ranks {
 				errs[r] = fmt.Errorf("restore: blob for rank %d/%d in slot %d",
 					meta.Rank, meta.Ranks, r)
-				return Result{}, errs
+				return Result{}, nil, errs
 			}
 			ranks[r] = newRankWith(cfg, cluster, r, d)
 			ranks[r].restored = true
@@ -261,8 +281,12 @@ func runAttempt(cfg Config, inj *comm.FaultInjector, store *ckptStore) (Result, 
 			ranks[r] = newRankWith(cfg, cluster, r, nil)
 		}
 	}
-	for _, rk := range ranks {
-		rk.store = store
+	// Guard against the typed-nil trap: assigning a nil *ckptStore into
+	// the interface field would make the rank's nil check pass.
+	if store != nil {
+		for _, rk := range ranks {
+			rk.store = store
+		}
 	}
 
 	start := time.Now()
@@ -310,7 +334,7 @@ func runAttempt(cfg Config, inj *comm.FaultInjector, store *ckptStore) (Result, 
 			StepTime: rk.stepTime,
 		})
 	}
-	return res, errs
+	return res, ranks, errs
 }
 
 // restorePoint fetches the last committed checkpoint, if any.
@@ -343,12 +367,15 @@ type rank struct {
 	flag   kernels.Flag
 	async  bool
 
-	// Fault tolerance: the shared coordinated-checkpoint store, and
-	// whether this rank's domain was restored from it (restored ranks
-	// skip the init-time nodal-mass exchange — the checkpoint carries
-	// the exchanged masses).
-	store    *ckptStore
-	restored bool
+	// Fault tolerance: the coordinated-checkpoint sink (in-memory for an
+	// in-process cluster, on-disk for a wire run), and whether this
+	// rank's domain was restored from it (restored ranks skip the
+	// init-time nodal-mass exchange — the checkpoint carries the
+	// exchanged masses). epochHook, when set, runs at the top of every
+	// cycle; the wire chaos test uses it to kill the process for real.
+	store     ckptSink
+	restored  bool
+	epochHook func(cycle int)
 
 	// Mesh-sized temporaries (the serial backend's working set).
 	sigxx, sigyy, sigzz []float64
@@ -531,6 +558,9 @@ func (r *rank) run(maxIter int) error {
 		// sends, like a node dying between timesteps.
 		if err := r.ep.EnterEpoch(d.Cycle); err != nil {
 			return err
+		}
+		if r.epochHook != nil {
+			r.epochHook(d.Cycle)
 		}
 		t0 := time.Now()
 		err := r.step()

@@ -28,6 +28,19 @@ func recoverable(err error) bool {
 	return errors.Is(err, comm.ErrRankCrashed) || errors.Is(err, comm.ErrExchangeTimeout)
 }
 
+// Recoverable is the exported classification for multi-process drivers:
+// a worker whose RunWire fails with a recoverable error should exit with
+// wire.ExitRecoverable so the launcher relaunches the fabric from the
+// last committed checkpoint; any other failure is fatal.
+func Recoverable(err error) bool { return recoverable(err) }
+
+// ckptSink is where a rank files its coordinated checkpoint blobs: the
+// in-memory ckptStore for the in-process cluster, the on-disk fileStore
+// for a multi-process wire run.
+type ckptSink interface {
+	put(epoch, rank int, blob []byte) error
+}
+
 // ckptStore collects one coordinated checkpoint per epoch: each rank files
 // its blob after the epoch's dt reduction, and the epoch commits only when
 // every rank has filed — a half-written epoch (a rank crashed mid-
@@ -47,7 +60,7 @@ func newCkptStore(ranks int) *ckptStore {
 
 // put files one rank's blob for an epoch, committing the epoch once all
 // ranks have filed.
-func (s *ckptStore) put(epoch, rank int, blob []byte) {
+func (s *ckptStore) put(epoch, rank int, blob []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	slot := s.pending[epoch]
@@ -58,7 +71,7 @@ func (s *ckptStore) put(epoch, rank int, blob []byte) {
 	slot[rank] = blob
 	for _, b := range slot {
 		if b == nil {
-			return
+			return nil
 		}
 	}
 	delete(s.pending, epoch)
@@ -66,6 +79,7 @@ func (s *ckptStore) put(epoch, rank int, blob []byte) {
 		s.epoch, s.blobs = epoch, slot
 		s.committed++
 	}
+	return nil
 }
 
 // latest returns the last committed epoch's blobs.
@@ -94,7 +108,9 @@ func (r *rank) maybeCheckpoint() error {
 	if err := checkpoint.SaveRank(&buf, r.d, r.boxCfg, meta); err != nil {
 		return fmt.Errorf("checkpoint at cycle %d: %w", r.d.Cycle, err)
 	}
-	r.store.put(r.d.Cycle, r.id, buf.Bytes())
+	if err := r.store.put(r.d.Cycle, r.id, buf.Bytes()); err != nil {
+		return fmt.Errorf("checkpoint at cycle %d: %w", r.d.Cycle, err)
+	}
 	if r.cfg.Monitor != nil {
 		r.cfg.Monitor.checkpoints.Add(1)
 	}
@@ -107,6 +123,7 @@ func (r *rank) maybeCheckpoint() error {
 type Monitor struct {
 	mu      sync.Mutex
 	cluster *comm.Cluster
+	extra   []func() map[string]float64
 
 	recoveries  atomic.Int64
 	checkpoints atomic.Int64
@@ -117,6 +134,16 @@ type Monitor struct {
 func (m *Monitor) observe(c *comm.Cluster) {
 	m.mu.Lock()
 	m.cluster = c
+	m.mu.Unlock()
+}
+
+// AddSource registers an extra gauge source merged into Gauges — the
+// wire fabric registers its network counters (bytes, frames, queue
+// depth) here so a multi-process run's metrics endpoint carries the
+// network phase alongside the comm-layer counters.
+func (m *Monitor) AddSource(g func() map[string]float64) {
+	m.mu.Lock()
+	m.extra = append(m.extra, g)
 	m.mu.Unlock()
 }
 
@@ -131,7 +158,13 @@ func (m *Monitor) Gauges() map[string]float64 {
 	}
 	m.mu.Lock()
 	c := m.cluster
+	extra := m.extra
 	m.mu.Unlock()
+	for _, src := range extra {
+		for k, v := range src() {
+			g[k] = v
+		}
+	}
 	if c != nil {
 		fs := c.FabricStats()
 		g["comm retries total"] = float64(fs.Retries)

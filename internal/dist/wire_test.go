@@ -1,0 +1,227 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"lulesh/internal/checkpoint"
+	"lulesh/internal/comm"
+	"lulesh/internal/domain"
+	"lulesh/internal/wire"
+)
+
+// runWireFabric hosts a whole multi-process fabric inside the test: one
+// goroutine per rank calling RunWire against a fresh rendezvous, the
+// exact code path the launcher's worker processes execute (TCP sockets
+// included), minus the fork.
+func runWireFabric(t *testing.T, cfg Config, opts func(rank int) WireOptions) []Result {
+	t.Helper()
+	rdv, err := wire.PickRendezvous()
+	if err != nil {
+		t.Fatalf("PickRendezvous: %v", err)
+	}
+	results := make([]Result, cfg.Ranks)
+	errs := make([]error, cfg.Ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			w := opts(r)
+			w.Rank = r
+			w.Rendezvous = rdv
+			w.Cookie = "dist-test"
+			results[r], errs[r] = RunWire(cfg, w)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return results
+}
+
+// TestWireMatchesInProcess: the TCP fabric must be invisible — a run
+// with every exchange crossing a real socket ends bitwise identical to
+// the in-process run with the same decomposition, rank by rank.
+func TestWireMatchesInProcess(t *testing.T) {
+	cfg := Config{
+		Nx: 4, Ny: 4, NzPerRank: 4, Ranks: 3,
+		NumReg: 3, Balance: 1, Cost: 1, MaxIterations: 15,
+	}
+	ref, doms, err := RunDomains(cfg)
+	if err != nil {
+		t.Fatalf("in-process run: %v", err)
+	}
+
+	dir := t.TempDir()
+	final := func(r int) string { return filepath.Join(dir, fmt.Sprintf("final-r%d.lulcp", r)) }
+	results := runWireFabric(t, cfg, func(r int) WireOptions {
+		return WireOptions{FinalStateFile: final(r)}
+	})
+
+	if got, want := results[0].TotalEnergy, ref.TotalEnergy; got != want {
+		t.Errorf("total energy: wire %v, in-process %v", got, want)
+	}
+	if got, want := results[0].OriginEnergy, ref.OriginEnergy; got != want {
+		t.Errorf("origin energy: wire %v, in-process %v", got, want)
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		f, err := os.Open(final(r))
+		if err != nil {
+			t.Fatalf("rank %d final state: %v", r, err)
+		}
+		got, meta, err := checkpoint.LoadRank(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("rank %d final state: %v", r, err)
+		}
+		if meta.Rank != r || meta.Ranks != cfg.Ranks {
+			t.Fatalf("rank %d blob labeled %d/%d", r, meta.Rank, meta.Ranks)
+		}
+		if !domainsEqual(doms[r], got) {
+			t.Errorf("rank %d: wire state differs from in-process state", r)
+		}
+	}
+}
+
+// TestWireSurvivesFaults: drop/dup/reorder injection composes with the
+// socket transport unchanged, and the recovered run still lands on the
+// fault-free answer.
+func TestWireSurvivesFaults(t *testing.T) {
+	cfg := Config{
+		Nx: 4, Ny: 4, NzPerRank: 4, Ranks: 2,
+		NumReg: 3, Balance: 1, Cost: 1, MaxIterations: 12,
+	}
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	plan, err := comm.ParseFaultPlan("drop=0.05,dup=0.05,reorder=0.1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = plan
+	results := runWireFabric(t, cfg, func(r int) WireOptions { return WireOptions{} })
+	if results[0].TotalEnergy != ref.TotalEnergy {
+		t.Errorf("faulty wire run: total energy %v, want %v",
+			results[0].TotalEnergy, ref.TotalEnergy)
+	}
+}
+
+// TestWireCheckpointRestore: a relaunched fabric (AttemptsTaken > 0)
+// restores every rank from the newest fully-committed epoch in the
+// shared directory and converges to the uninterrupted answer.
+func TestWireCheckpointRestore(t *testing.T) {
+	cfg := Config{
+		Nx: 4, Ny: 4, NzPerRank: 4, Ranks: 2,
+		NumReg: 3, Balance: 1, Cost: 1, MaxIterations: 16,
+		CheckpointEvery: 4,
+	}
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	dir := t.TempDir()
+	// Attempt 0: run only half way, leaving committed checkpoints behind
+	// (the interrupted first life of the fabric).
+	half := cfg
+	half.MaxIterations = 8
+	runWireFabric(t, half, func(r int) WireOptions {
+		return WireOptions{CheckpointDir: dir}
+	})
+
+	// Attempt 1: the "relaunch" resumes from epoch 8 and finishes.
+	results := runWireFabric(t, cfg, func(r int) WireOptions {
+		return WireOptions{CheckpointDir: dir, AttemptsTaken: 1}
+	})
+	if results[0].TotalEnergy != ref.TotalEnergy {
+		t.Errorf("restored run: total energy %v, want %v",
+			results[0].TotalEnergy, ref.TotalEnergy)
+	}
+	if results[0].Recoveries != 1 {
+		t.Errorf("restored run reports %d recoveries, want 1", results[0].Recoveries)
+	}
+}
+
+// TestFileStoreLatestCommitted: only epochs with a valid blob from every
+// rank count; partial and corrupt epochs are skipped, newest first.
+func TestFileStoreLatestCommitted(t *testing.T) {
+	dir := t.TempDir()
+	s := &fileStore{dir: dir, ranks: 2}
+
+	if _, ok, err := s.latestCommitted(); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v, want none", ok, err)
+	}
+
+	blob := func(epoch, rank int) []byte {
+		d := domain.NewSedov(domain.Config{EdgeElems: 2, NumReg: 1, Balance: 1, Cost: 1})
+		var buf bytes.Buffer
+		meta := checkpoint.RankMeta{Rank: rank, Ranks: 2, Epoch: epoch}
+		if err := checkpoint.SaveRank(&buf, d, domain.BoxConfig{}, meta); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	// Epoch 4: fully committed. Epoch 8: rank 1 missing. Epoch 12: rank 0
+	// corrupt. The newest usable epoch is 4.
+	for r := 0; r < 2; r++ {
+		if err := s.put(4, r, blob(4, r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.put(8, 0, blob(8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		if err := s.put(12, r, blob(12, r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corrupt := filepath.Join(dir, ckptFile(12, 0))
+	raw, err := os.ReadFile(corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(corrupt, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	epoch, ok, err := s.latestCommitted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || epoch != 4 {
+		t.Errorf("latestCommitted = %d, %v; want 4, true", epoch, ok)
+	}
+}
+
+// domainsEqual is the bitwise state comparison the verifier uses,
+// duplicated here over the fields the exchange protocol touches.
+func domainsEqual(a, b *domain.Domain) bool {
+	pairs := [][2][]float64{
+		{a.X, b.X}, {a.Y, b.Y}, {a.Z, b.Z},
+		{a.Xd, b.Xd}, {a.Yd, b.Yd}, {a.Zd, b.Zd},
+		{a.E, b.E}, {a.P, b.P}, {a.Q, b.Q}, {a.V, b.V}, {a.SS, b.SS},
+	}
+	for _, pr := range pairs {
+		if len(pr[0]) != len(pr[1]) {
+			return false
+		}
+		for i := range pr[0] {
+			if pr[0][i] != pr[1][i] {
+				return false
+			}
+		}
+	}
+	return a.Time == b.Time && a.Cycle == b.Cycle
+}

@@ -23,10 +23,35 @@ import (
 // It runs on its own mux so importing net/http/pprof does not pollute
 // http.DefaultServeMux for embedders.
 type Server struct {
-	Addr string // actual listen address (resolved ":0" included)
-	ln   net.Listener
-	srv  *http.Server
-	p    atomic.Pointer[Profiler]
+	Addr   string // actual listen address (resolved ":0" included)
+	ln     net.Listener
+	srv    *http.Server
+	p      atomic.Pointer[Profiler]
+	labels atomic.Value // rendered base label set, e.g. `rank="3"`
+}
+
+// SetLabels attaches constant labels to every Prometheus series the
+// server exposes. Multi-process runs label each rank's endpoint with
+// rank="N", so one scraper aggregating all ranks keeps the series
+// apart.
+func (s *Server) SetLabels(labels map[string]string) {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", sanitizeMetricName(k), labels[k]))
+	}
+	s.labels.Store(strings.Join(parts, ","))
+}
+
+func (s *Server) baseLabels() string {
+	if v, ok := s.labels.Load().(string); ok {
+		return v
+	}
+	return ""
 }
 
 // StartServer begins serving the profiler's counters on addr (host:port;
@@ -44,7 +69,7 @@ func StartServer(addr string, p *Profiler, extra func() map[string]float64) (*Se
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		writePrometheus(w, s.snapshot(), callExtra(extra))
+		writePrometheus(w, s.snapshot(), callExtra(extra), s.baseLabels())
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -87,43 +112,62 @@ func callExtra(extra func() map[string]float64) map[string]float64 {
 	return extra()
 }
 
+// labelset renders a Prometheus label block from alternating key/value
+// pairs plus the server's constant base labels (e.g. rank="3"); it
+// returns "" when there is nothing to attach.
+func labelset(base string, kv ...string) string {
+	parts := make([]string, 0, len(kv)/2+1)
+	for i := 0; i+1 < len(kv); i += 2 {
+		parts = append(parts, fmt.Sprintf("%s=%q", kv[i], kv[i+1]))
+	}
+	if base != "" {
+		parts = append(parts, base)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
 // writePrometheus renders the snapshot in the Prometheus text exposition
 // format (hand-rolled: the repo takes no dependencies). Phase duration
 // histograms follow the cumulative le-bucket convention so standard
-// histogram_quantile queries work on them.
-func writePrometheus(w io.Writer, snap Snapshot, extra map[string]float64) {
+// histogram_quantile queries work on them. base is a constant label set
+// attached to every series (rank="N" on multi-process runs).
+func writePrometheus(w io.Writer, snap Snapshot, extra map[string]float64, base string) {
+	bare := labelset(base)
 	fmt.Fprintf(w, "# HELP lulesh_wall_seconds Wall time covered by the profiler epoch.\n")
 	fmt.Fprintf(w, "# TYPE lulesh_wall_seconds gauge\n")
-	fmt.Fprintf(w, "lulesh_wall_seconds %g\n", snap.Wall.Seconds())
+	fmt.Fprintf(w, "lulesh_wall_seconds%s %g\n", bare, snap.Wall.Seconds())
 	fmt.Fprintf(w, "# HELP lulesh_workers Worker shard count.\n")
 	fmt.Fprintf(w, "# TYPE lulesh_workers gauge\n")
-	fmt.Fprintf(w, "lulesh_workers %d\n", snap.Workers)
+	fmt.Fprintf(w, "lulesh_workers%s %d\n", bare, snap.Workers)
 	fmt.Fprintf(w, "# HELP lulesh_utilization Busy time over wall x workers (Figure 11 quantity).\n")
 	fmt.Fprintf(w, "# TYPE lulesh_utilization gauge\n")
-	fmt.Fprintf(w, "lulesh_utilization %g\n", snap.Utilization())
+	fmt.Fprintf(w, "lulesh_utilization%s %g\n", bare, snap.Utilization())
 	fmt.Fprintf(w, "# HELP lulesh_span_drops_total Spans dropped by full per-worker rings.\n")
 	fmt.Fprintf(w, "# TYPE lulesh_span_drops_total counter\n")
-	fmt.Fprintf(w, "lulesh_span_drops_total %d\n", snap.SpanDrops)
+	fmt.Fprintf(w, "lulesh_span_drops_total%s %d\n", bare, snap.SpanDrops)
 
 	fmt.Fprintf(w, "# HELP lulesh_phase_tasks_total Tasks executed per phase.\n")
 	fmt.Fprintf(w, "# TYPE lulesh_phase_tasks_total counter\n")
 	for _, ps := range snap.Phases {
-		fmt.Fprintf(w, "lulesh_phase_tasks_total{phase=%q} %d\n", ps.Name, ps.Count)
+		fmt.Fprintf(w, "lulesh_phase_tasks_total%s %d\n", labelset(base, "phase", ps.Name), ps.Count)
 	}
 	fmt.Fprintf(w, "# HELP lulesh_phase_busy_seconds Summed task-body time per phase.\n")
 	fmt.Fprintf(w, "# TYPE lulesh_phase_busy_seconds counter\n")
 	for _, ps := range snap.Phases {
-		fmt.Fprintf(w, "lulesh_phase_busy_seconds{phase=%q} %g\n", ps.Name, ps.Busy.Seconds())
+		fmt.Fprintf(w, "lulesh_phase_busy_seconds%s %g\n", labelset(base, "phase", ps.Name), ps.Busy.Seconds())
 	}
 	fmt.Fprintf(w, "# HELP lulesh_phase_queue_wait_seconds Summed enqueue-to-start wait per phase.\n")
 	fmt.Fprintf(w, "# TYPE lulesh_phase_queue_wait_seconds counter\n")
 	for _, ps := range snap.Phases {
-		fmt.Fprintf(w, "lulesh_phase_queue_wait_seconds{phase=%q} %g\n", ps.Name, ps.QueueWait.Seconds())
+		fmt.Fprintf(w, "lulesh_phase_queue_wait_seconds%s %g\n", labelset(base, "phase", ps.Name), ps.QueueWait.Seconds())
 	}
 	fmt.Fprintf(w, "# HELP lulesh_phase_steals_total Tasks that executed after a steal migration, per phase.\n")
 	fmt.Fprintf(w, "# TYPE lulesh_phase_steals_total counter\n")
 	for _, ps := range snap.Phases {
-		fmt.Fprintf(w, "lulesh_phase_steals_total{phase=%q} %d\n", ps.Name, ps.Steals)
+		fmt.Fprintf(w, "lulesh_phase_steals_total%s %d\n", labelset(base, "phase", ps.Name), ps.Steals)
 	}
 
 	fmt.Fprintf(w, "# HELP lulesh_phase_duration_seconds Task duration distribution per phase.\n")
@@ -136,15 +180,15 @@ func writePrometheus(w io.Writer, snap Snapshot, extra map[string]float64) {
 				continue // keep the exposition compact; cumulative stays correct
 			}
 			le := float64(stats.HistUpper(i)) / 1e9
-			fmt.Fprintf(w, "lulesh_phase_duration_seconds_bucket{phase=%q,le=%q} %d\n",
-				ps.Name, trimFloat(le), cum)
+			fmt.Fprintf(w, "lulesh_phase_duration_seconds_bucket%s %d\n",
+				labelset(base, "phase", ps.Name, "le", trimFloat(le)), cum)
 		}
-		fmt.Fprintf(w, "lulesh_phase_duration_seconds_bucket{phase=%q,le=\"+Inf\"} %d\n",
-			ps.Name, ps.Count)
-		fmt.Fprintf(w, "lulesh_phase_duration_seconds_sum{phase=%q} %g\n",
-			ps.Name, ps.Busy.Seconds())
-		fmt.Fprintf(w, "lulesh_phase_duration_seconds_count{phase=%q} %d\n",
-			ps.Name, ps.Count)
+		fmt.Fprintf(w, "lulesh_phase_duration_seconds_bucket%s %d\n",
+			labelset(base, "phase", ps.Name, "le", "+Inf"), ps.Count)
+		fmt.Fprintf(w, "lulesh_phase_duration_seconds_sum%s %g\n",
+			labelset(base, "phase", ps.Name), ps.Busy.Seconds())
+		fmt.Fprintf(w, "lulesh_phase_duration_seconds_count%s %d\n",
+			labelset(base, "phase", ps.Name), ps.Count)
 	}
 
 	if len(extra) > 0 {
@@ -156,7 +200,7 @@ func writePrometheus(w io.Writer, snap Snapshot, extra map[string]float64) {
 		for _, k := range keys {
 			name := "lulesh_" + sanitizeMetricName(k)
 			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
-			fmt.Fprintf(w, "%s %g\n", name, extra[k])
+			fmt.Fprintf(w, "%s%s %g\n", name, bare, extra[k])
 		}
 	}
 }

@@ -1,0 +1,343 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lulesh/internal/comm"
+)
+
+// sendQueueCap bounds the per-connection send queue: a sender that gets
+// this far ahead of the writer goroutine blocks until the queue drains
+// (backpressure), instead of growing without bound. The exchange
+// protocol keeps only a handful of messages in flight per pair, so the
+// queue fills only when the peer genuinely stops draining.
+const sendQueueCap = 64
+
+// errPeerClosed reports a send attempted after the fabric shut the
+// connection down.
+var errPeerClosed = errors.New("wire: connection closed")
+
+// frame is one queued outgoing message. Frames cycle through a
+// per-connection freelist, and their float payload buffers are reused
+// across sends, so the steady-state send path allocates nothing.
+type frame struct {
+	typ   byte
+	tag   comm.Tag
+	seq   uint64
+	delay time.Duration
+	data  []float64
+}
+
+// peerConn is one full-duplex TCP connection to a peer rank. Sends are
+// enqueued (from the local rank's goroutine) onto sendq and drained in
+// batches by the writer goroutine, which also emits heartbeats; the
+// reader goroutine decodes incoming frames and injects them into the
+// local comm cluster. Either goroutine marks the connection dead on
+// failure, which the endpoint protocol surfaces as ErrRankCrashed.
+type peerConn struct {
+	peer int
+	fb   *Fabric
+	nc   net.Conn
+	bw   *bufio.Writer
+
+	sendq chan *frame
+	free  chan *frame
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	writerWG  sync.WaitGroup
+	readerWG  sync.WaitGroup
+
+	mu       sync.Mutex
+	deadErr  error
+	graceful bool // peer sent bye: its silence is completion, not failure
+
+	bytesIn   atomic.Int64
+	bytesOut  atomic.Int64
+	framesIn  atomic.Int64
+	framesOut atomic.Int64
+	ctrlIn    atomic.Int64
+
+	hdrBuf  [headerLen]byte // writer goroutine only
+	scratch []byte          // big-endian-host encode buffer (writer only)
+	readBuf []byte          // reader goroutine only
+
+	failed bool // writer-local: stop writing after the first error
+}
+
+func newPeerConn(fb *Fabric, peer int, nc net.Conn) *peerConn {
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // ghost slabs are latency-bound, not bandwidth-bound
+	}
+	return &peerConn{
+		peer:  peer,
+		fb:    fb,
+		nc:    nc,
+		bw:    bufio.NewWriterSize(nc, 64<<10),
+		sendq: make(chan *frame, sendQueueCap),
+		// One slot beyond the send queue: queue-full frames plus the one
+		// in the writer's hands all fit back, so steady state never drops
+		// a warm buffer from the freelist.
+		free:   make(chan *frame, sendQueueCap+1),
+		closed: make(chan struct{}),
+	}
+}
+
+// getFrame pops a frame from the freelist, or allocates during warm-up.
+func (p *peerConn) getFrame() *frame {
+	select {
+	case fr := <-p.free:
+		return fr
+	default:
+		return &frame{}
+	}
+}
+
+func (p *peerConn) recycle(fr *frame) {
+	select {
+	case p.free <- fr:
+	default:
+	}
+}
+
+// enqueue hands a frame to the writer goroutine, blocking while the
+// bounded queue is full. The writer drains the queue even after the
+// connection dies, so this cannot wedge; once the fabric is closed the
+// frame is recycled and the send reports errPeerClosed.
+func (p *peerConn) enqueue(fr *frame) error {
+	select {
+	case p.sendq <- fr:
+		return nil
+	case <-p.closed:
+		p.recycle(fr)
+		return errPeerClosed
+	}
+}
+
+// dead returns the connection's failure, nil while it is healthy or
+// after the peer said goodbye (an orderly end of run is not a failure).
+func (p *peerConn) dead() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.graceful {
+		return nil
+	}
+	return p.deadErr
+}
+
+func (p *peerConn) markDead(err error) {
+	p.mu.Lock()
+	if p.deadErr == nil {
+		p.deadErr = err
+	}
+	p.mu.Unlock()
+}
+
+func (p *peerConn) markGraceful() {
+	p.mu.Lock()
+	p.graceful = true
+	p.mu.Unlock()
+	p.fb.byes.Add(1)
+}
+
+// start launches the writer and reader goroutines. The reader needs the
+// fabric's cluster to inject into, so start runs from Fabric.Cluster.
+func (p *peerConn) start() {
+	p.writerWG.Add(1)
+	go p.writer()
+	p.readerWG.Add(1)
+	go p.reader()
+}
+
+// close shuts the connection down in order: stop the writer (it drains
+// and flushes pending frames, bye included), then close the socket,
+// which unblocks the reader.
+func (p *peerConn) close() {
+	p.closeOnce.Do(func() { close(p.closed) })
+	p.writerWG.Wait()
+	p.nc.Close()
+	p.readerWG.Wait()
+}
+
+// writer drains sendq in batches — one flush per wakeup, not per frame —
+// and heartbeats through idle stretches so the peer's read deadline
+// measures liveness, not traffic. After a write error it keeps draining
+// (discarding) so senders blocked on the queue are released; it exits
+// only when the fabric closes the connection.
+func (p *peerConn) writer() {
+	defer p.writerWG.Done()
+	tick := time.NewTicker(p.fb.cfg.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.closed:
+			for {
+				select {
+				case fr := <-p.sendq:
+					p.writeFrame(fr)
+					p.recycle(fr)
+				default:
+					p.flush()
+					return
+				}
+			}
+		case fr := <-p.sendq:
+			p.writeFrame(fr)
+			p.recycle(fr)
+		drain:
+			for {
+				select {
+				case fr := <-p.sendq:
+					p.writeFrame(fr)
+					p.recycle(fr)
+				default:
+					break drain
+				}
+			}
+			p.flush()
+		case <-tick.C:
+			p.writeHeader(frameHeader{typ: frameHeartbeat, from: p.fb.rank})
+			p.flush()
+		}
+	}
+}
+
+func (p *peerConn) writeFrame(fr *frame) {
+	h := frameHeader{
+		typ:   fr.typ,
+		tag:   fr.tag,
+		from:  p.fb.rank,
+		seq:   fr.seq,
+		delay: fr.delay,
+	}
+	if fr.typ == frameData {
+		h.payload = uint32(8 * len(fr.data))
+	}
+	p.writeHeader(h)
+	if p.failed || fr.typ != frameData || len(fr.data) == 0 {
+		return
+	}
+	var err error
+	if hostLittleEndian {
+		_, err = p.bw.Write(floatsAsBytes(fr.data))
+	} else {
+		p.scratch = appendFloatsPortable(p.scratch[:0], fr.data)
+		_, err = p.bw.Write(p.scratch)
+	}
+	if err != nil {
+		p.fail(err)
+		return
+	}
+	p.bytesOut.Add(int64(8 * len(fr.data)))
+}
+
+func (p *peerConn) writeHeader(h frameHeader) {
+	if p.failed {
+		return
+	}
+	putHeader(p.hdrBuf[:], h)
+	if _, err := p.bw.Write(p.hdrBuf[:]); err != nil {
+		p.fail(err)
+		return
+	}
+	p.bytesOut.Add(headerLen)
+	p.framesOut.Add(1)
+}
+
+func (p *peerConn) flush() {
+	if p.failed {
+		return
+	}
+	// A peer that stops draining would park us in Flush forever; the
+	// deadline turns that into a detected failure instead.
+	p.nc.SetWriteDeadline(time.Now().Add(p.fb.cfg.PeerTimeout))
+	if err := p.bw.Flush(); err != nil {
+		p.fail(err)
+	}
+}
+
+func (p *peerConn) fail(err error) {
+	p.failed = true
+	p.markDead(fmt.Errorf("wire: write to rank %d: %w", p.peer, err))
+}
+
+// reader decodes incoming frames and feeds them to the fabric. The read
+// deadline is the hang detector: a healthy peer heartbeats well inside
+// PeerTimeout, so a deadline miss means the peer (or the path to it) is
+// gone even though the socket never closed.
+func (p *peerConn) reader() {
+	defer p.readerWG.Done()
+	hdr := make([]byte, headerLen)
+	for {
+		p.nc.SetReadDeadline(time.Now().Add(p.fb.cfg.PeerTimeout))
+		if _, err := io.ReadFull(p.nc, hdr); err != nil {
+			p.readerExit(err)
+			return
+		}
+		h, err := parseHeader(hdr)
+		if err != nil {
+			p.readerExit(err)
+			return
+		}
+		if h.from != p.peer {
+			p.readerExit(fmt.Errorf("wire: frame claims rank %d on rank %d's connection", h.from, p.peer))
+			return
+		}
+		if n := int(h.payload); n > 0 {
+			if cap(p.readBuf) < n {
+				p.readBuf = make([]byte, n)
+			}
+			p.readBuf = p.readBuf[:n]
+			if _, err := io.ReadFull(p.nc, p.readBuf); err != nil {
+				p.readerExit(err)
+				return
+			}
+		} else {
+			p.readBuf = p.readBuf[:0]
+		}
+		p.bytesIn.Add(headerLen + int64(h.payload))
+		p.framesIn.Add(1)
+		switch h.typ {
+		case frameData:
+			// The receiving endpoint's mailbox retains the payload, so
+			// each data frame decodes into fresh memory.
+			p.fb.cluster.InjectData(p.peer, h.tag, h.seq, h.delay, decodeFloats(p.readBuf))
+		case frameCtrl:
+			p.ctrlIn.Add(1)
+			p.fb.cluster.InjectCtrl(p.peer, h.tag, h.seq)
+		case frameHeartbeat:
+			// liveness only
+		case frameBye:
+			p.markGraceful()
+		default:
+			p.readerExit(fmt.Errorf("wire: unexpected %s frame after handshake", frameTypeName(h.typ)))
+			return
+		}
+	}
+}
+
+// readerExit classifies why the read loop ended. A close initiated by
+// our own fabric, or any silence after the peer's bye, is orderly;
+// everything else — EOF without bye (the peer process died), a reset, a
+// deadline miss, a protocol violation — marks the peer dead.
+func (p *peerConn) readerExit(err error) {
+	select {
+	case <-p.closed:
+		return
+	default:
+	}
+	p.mu.Lock()
+	graceful := p.graceful
+	p.mu.Unlock()
+	if graceful {
+		return
+	}
+	p.markDead(fmt.Errorf("wire: connection to rank %d lost: %w", p.peer, err))
+}

@@ -1,0 +1,222 @@
+package wire
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"lulesh/internal/comm"
+)
+
+// Fabric is one rank's connected view of the TCP mesh: a live peerConn
+// per remote rank, promoted into a comm remote cluster by Cluster. It
+// implements comm.RemoteLink, so the endpoint protocol drives it without
+// knowing sockets exist.
+type Fabric struct {
+	cfg     Config
+	rank    int
+	size    int
+	conns   []*peerConn // indexed by rank; conns[rank] is nil (self)
+	cluster *comm.Cluster
+
+	byes    atomic.Int64 // peers that announced an orderly end of run
+	started atomic.Bool
+}
+
+func newFabric(cfg Config) *Fabric {
+	return &Fabric{
+		cfg:   cfg,
+		rank:  cfg.Rank,
+		size:  cfg.Size,
+		conns: make([]*peerConn, cfg.Size),
+	}
+}
+
+// Rank reports the local rank.
+func (f *Fabric) Rank() int { return f.rank }
+
+// Size reports the fabric size.
+func (f *Fabric) Size() int { return f.size }
+
+// Cluster wraps the fabric in a comm remote cluster and starts the
+// per-connection writer and reader goroutines. opt carries the
+// fault-tolerance knobs (deadline, retry budget, fault injection); the
+// transport still runs on the sender, so drop/delay/dup/reorder
+// injection composes with the wire unchanged. Call once.
+func (f *Fabric) Cluster(opt comm.Options) *comm.Cluster {
+	if !f.started.CompareAndSwap(false, true) {
+		panic("wire: Fabric.Cluster called twice")
+	}
+	f.cluster = comm.NewRemoteCluster(f.rank, f.size, opt, f)
+	for _, pc := range f.conns {
+		if pc != nil {
+			pc.start()
+		}
+	}
+	return f.cluster
+}
+
+// SendData implements comm.RemoteLink: serialize one data message toward
+// a peer. The payload is copied into a recycled frame buffer before
+// return (the caller reuses data for the stream's next message), and the
+// enqueue blocks when the bounded send queue is full — backpressure, not
+// unbounded buffering. A dead peer fails fast; the endpoint's failure
+// detection owns the consequences.
+func (f *Fabric) SendData(to int, tag comm.Tag, seq uint64, delay time.Duration, data []float64) error {
+	pc := f.conns[to]
+	if pc == nil {
+		return fmt.Errorf("wire: no connection to rank %d", to)
+	}
+	if err := pc.dead(); err != nil {
+		return err
+	}
+	fr := pc.getFrame()
+	fr.typ, fr.tag, fr.seq, fr.delay = frameData, tag, seq, delay
+	if cap(fr.data) < len(data) {
+		fr.data = make([]float64, len(data))
+	}
+	fr.data = fr.data[:len(data)]
+	copy(fr.data, data)
+	return pc.enqueue(fr)
+}
+
+// SendCtrl implements comm.RemoteLink: a header-only resend request.
+func (f *Fabric) SendCtrl(to int, tag comm.Tag, seq uint64) error {
+	pc := f.conns[to]
+	if pc == nil {
+		return fmt.Errorf("wire: no connection to rank %d", to)
+	}
+	if err := pc.dead(); err != nil {
+		return err
+	}
+	fr := pc.getFrame()
+	fr.typ, fr.tag, fr.seq, fr.delay = frameCtrl, tag, seq, 0
+	fr.data = fr.data[:0]
+	return pc.enqueue(fr)
+}
+
+// PeerDead implements comm.RemoteLink: the connection failure for a
+// peer, nil while it is healthy or after its orderly bye.
+func (f *Fabric) PeerDead(peer int) error {
+	pc := f.conns[peer]
+	if pc == nil {
+		return nil
+	}
+	return pc.dead()
+}
+
+// Goodbye announces an orderly end of run to every live peer. Callers
+// should keep polling the endpoint for a grace period afterwards (see
+// Linger) so peers still recovering lost messages get their resends.
+func (f *Fabric) Goodbye() {
+	for _, pc := range f.conns {
+		if pc == nil || pc.dead() != nil {
+			continue
+		}
+		fr := pc.getFrame()
+		fr.typ, fr.tag, fr.seq, fr.delay = frameBye, 0, 0, 0
+		fr.data = fr.data[:0]
+		_ = pc.enqueue(fr)
+	}
+}
+
+// Linger services resend requests until every peer has said goodbye (or
+// died), or the grace period expires. Without this, a rank that finishes
+// first would tear down its send buffers while a peer behind an injected
+// message loss still needs a retransmission.
+func (f *Fabric) Linger(ep *comm.Endpoint, grace time.Duration) {
+	deadline := time.Now().Add(grace)
+	for time.Now().Before(deadline) {
+		ep.Poll()
+		done := true
+		for r, pc := range f.conns {
+			if pc == nil {
+				continue
+			}
+			if pc.dead() == nil && f.byesFrom(r) == 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func (f *Fabric) byesFrom(r int) int {
+	pc := f.conns[r]
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.graceful {
+		return 1
+	}
+	return 0
+}
+
+// Close tears the fabric down: each writer drains and flushes its queue
+// (the bye included), then the sockets close and the readers exit.
+func (f *Fabric) Close() {
+	f.closeConns()
+}
+
+func (f *Fabric) closeConns() {
+	for _, pc := range f.conns {
+		if pc != nil {
+			pc.close()
+		}
+	}
+}
+
+// Stats is a snapshot of the fabric's wire-level counters, summed over
+// all peer connections.
+type Stats struct {
+	BytesIn    int64
+	BytesOut   int64
+	FramesIn   int64
+	FramesOut  int64
+	CtrlIn     int64 // resend requests received over the wire
+	QueueDepth int   // frames currently queued to writers
+	PeersDead  int   // connections lost without a bye
+	ByesSeen   int   // peers that ended the run in order
+}
+
+// Stats sums the per-connection counters.
+func (f *Fabric) Stats() Stats {
+	var s Stats
+	for _, pc := range f.conns {
+		if pc == nil {
+			continue
+		}
+		s.BytesIn += pc.bytesIn.Load()
+		s.BytesOut += pc.bytesOut.Load()
+		s.FramesIn += pc.framesIn.Load()
+		s.FramesOut += pc.framesOut.Load()
+		s.CtrlIn += pc.ctrlIn.Load()
+		s.QueueDepth += len(pc.sendq)
+		pc.mu.Lock()
+		if pc.graceful {
+			s.ByesSeen++
+		} else if pc.deadErr != nil {
+			s.PeersDead++
+		}
+		pc.mu.Unlock()
+	}
+	return s
+}
+
+// Gauges exports the wire counters in the flat name/value form the perf
+// metrics endpoint serves, as the network phase of the run.
+func (f *Fabric) Gauges() map[string]float64 {
+	s := f.Stats()
+	return map[string]float64{
+		"wire_bytes_in":    float64(s.BytesIn),
+		"wire_bytes_out":   float64(s.BytesOut),
+		"wire_frames_in":   float64(s.FramesIn),
+		"wire_frames_out":  float64(s.FramesOut),
+		"wire_ctrl_in":     float64(s.CtrlIn),
+		"wire_queue_depth": float64(s.QueueDepth),
+		"wire_peers_dead":  float64(s.PeersDead),
+	}
+}

@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"time"
+)
+
+// ExitRecoverable is the exit status a worker process uses to say "I
+// failed in a way checkpoint restart can fix" (a lost peer, an exchange
+// timeout). The launcher relaunches the whole fabric on it; any other
+// nonzero status is fatal. 75 is the BSD EX_TEMPFAIL convention.
+const ExitRecoverable = 75
+
+// PickRendezvous binds an ephemeral localhost port and releases it,
+// returning an address the fabric can rendezvous on. The usual
+// bind-then-close race is acceptable here: the launcher uses it
+// immediately, and a collision surfaces as a bootstrap error, not
+// corruption.
+func PickRendezvous() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// LaunchSpec tells Launch how to run one multi-process fabric.
+type LaunchSpec struct {
+	NP     int    // number of worker processes (ranks)
+	Binary string // worker executable (usually os.Executable())
+
+	// Args builds the argument list for one worker. attempt counts
+	// restarts (0 = first launch) so workers can disable one-shot fault
+	// plans on relaunch; rendezvous is the fabric's bootstrap address,
+	// fresh per attempt.
+	Args func(rank, attempt int, rendezvous string) []string
+
+	// MaxRestarts bounds full-fabric relaunches after a recoverable
+	// failure. 0 means no restarts.
+	MaxRestarts int
+
+	Stdout, Stderr io.Writer // worker output (defaults: os.Stdout/err)
+}
+
+type procResult struct {
+	rank int
+	err  error // nil on exit 0
+}
+
+// Launch forks NP worker processes, waits for them, and — when a worker
+// fails recoverably (ExitRecoverable, or killed by a signal) — kills
+// the survivors and relaunches the whole fabric so every rank restarts
+// from the last committed checkpoint together. It returns nil when all
+// workers of some attempt exit cleanly.
+func Launch(spec LaunchSpec) error {
+	if spec.NP < 1 {
+		return fmt.Errorf("wire: launch needs NP >= 1, got %d", spec.NP)
+	}
+	if spec.Stdout == nil {
+		spec.Stdout = os.Stdout
+	}
+	if spec.Stderr == nil {
+		spec.Stderr = os.Stderr
+	}
+	for attempt := 0; ; attempt++ {
+		rendezvous, err := PickRendezvous()
+		if err != nil {
+			return fmt.Errorf("wire: pick rendezvous: %w", err)
+		}
+		failure, err := runAttempt(spec, attempt, rendezvous)
+		if err != nil {
+			return err
+		}
+		if failure == nil {
+			return nil
+		}
+		if !recoverableExit(failure.err) || attempt >= spec.MaxRestarts {
+			return fmt.Errorf("wire: rank %d (attempt %d): %w", failure.rank, attempt, failure.err)
+		}
+		fmt.Fprintf(spec.Stderr, "launcher: rank %d failed recoverably (%v); relaunching fabric (attempt %d/%d)\n",
+			failure.rank, failure.err, attempt+1, spec.MaxRestarts)
+	}
+}
+
+// runAttempt starts one full fabric and waits it out. It returns the
+// first failure (nil if every rank exited 0); on any failure the
+// surviving workers are killed so the next attempt starts from a clean
+// slate.
+func runAttempt(spec LaunchSpec, attempt int, rendezvous string) (*procResult, error) {
+	cmds := make([]*exec.Cmd, spec.NP)
+	for rank := 0; rank < spec.NP; rank++ {
+		cmd := exec.Command(spec.Binary, spec.Args(rank, attempt, rendezvous)...)
+		cmd.Stdout = spec.Stdout
+		cmd.Stderr = spec.Stderr
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds[:rank] {
+				c.Process.Kill()
+				c.Wait()
+			}
+			return nil, fmt.Errorf("wire: start rank %d: %w", rank, err)
+		}
+		cmds[rank] = cmd
+	}
+	results := make(chan procResult, spec.NP)
+	for rank, cmd := range cmds {
+		go func(rank int, cmd *exec.Cmd) {
+			results <- procResult{rank: rank, err: cmd.Wait()}
+		}(rank, cmd)
+	}
+	var failure *procResult
+	for done := 0; done < spec.NP; done++ {
+		r := <-results
+		if r.err != nil && failure == nil {
+			failure = &r
+			// First failure dooms the attempt: kill the survivors now
+			// rather than letting them burn their retry budgets.
+			for rank, cmd := range cmds {
+				if rank != r.rank {
+					cmd.Process.Kill()
+				}
+			}
+		}
+	}
+	return failure, nil
+}
+
+// recoverableExit classifies a worker's death: ExitRecoverable from the
+// worker's own recovery classification, or a signal kill (the chaos
+// test's SIGKILL, an OOM kill) — both are what checkpoint restart
+// exists for. A worker that exited with any other code made a
+// deliberate fatal report.
+func recoverableExit(err error) bool {
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		return false
+	}
+	if ee.ExitCode() == ExitRecoverable {
+		return true
+	}
+	return ee.ExitCode() == -1 // killed by a signal
+}
+
+// Cookie derives a per-run shared secret for the hello signature. It
+// needs to be unpredictable only across unrelated runs on one host, so
+// launcher PID and start time suffice.
+func Cookie() string {
+	return fmt.Sprintf("lulesh-%d-%d", os.Getpid(), time.Now().UnixNano())
+}

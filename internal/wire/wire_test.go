@@ -1,0 +1,281 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lulesh/internal/comm"
+)
+
+// joinAll hosts a whole fabric in one test process: every rank runs
+// Join concurrently against a fresh rendezvous address, exactly as the
+// launcher's worker processes would.
+func joinAll(t *testing.T, size int, mutate func(rank int, cfg *Config)) []*Fabric {
+	t.Helper()
+	rdv, err := PickRendezvous()
+	if err != nil {
+		t.Fatalf("PickRendezvous: %v", err)
+	}
+	fabs := make([]*Fabric, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cfg := Config{
+				Rank: r, Size: size, Rendezvous: rdv, Cookie: "test-cookie",
+				Geometry:         Geometry{Size: 8, Iterations: 10, Schedule: "sync"},
+				HandshakeTimeout: 5 * time.Second,
+			}
+			if mutate != nil {
+				mutate(r, &cfg)
+			}
+			fabs[r], errs[r] = Join(cfg)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d join: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, f := range fabs {
+			if f != nil {
+				f.Close()
+			}
+		}
+	})
+	return fabs
+}
+
+func TestExchangeOverSockets(t *testing.T) {
+	const size = 4
+	fabs := joinAll(t, size, nil)
+	eps := make([]*comm.Endpoint, size)
+	for r, f := range fabs {
+		c := f.Cluster(comm.Options{})
+		eps[r] = c.Endpoint(r)
+	}
+
+	// Full all-pairs exchange: every rank sends a distinct slab to every
+	// other rank and verifies what it gets back.
+	var wg sync.WaitGroup
+	fail := make(chan string, size*size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for p := 0; p < size; p++ {
+				if p == r {
+					continue
+				}
+				eps[r].Send(p, comm.TagReduce, []float64{float64(r), float64(p), 3.25})
+			}
+			for p := 0; p < size; p++ {
+				if p == r {
+					continue
+				}
+				got, err := eps[r].RecvDeadline(p, comm.TagReduce)
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				if len(got) != 3 || got[0] != float64(p) || got[1] != float64(r) || got[2] != 3.25 {
+					fail <- "bad payload"
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Error(msg)
+	}
+
+	s := fabs[0].Stats()
+	if s.FramesOut < int64(size-1) || s.BytesOut == 0 {
+		t.Errorf("rank 0 stats implausible: %+v", s)
+	}
+}
+
+func TestGoodbyeLinger(t *testing.T) {
+	fabs := joinAll(t, 2, nil)
+	eps := make([]*comm.Endpoint, 2)
+	for r, f := range fabs {
+		eps[r] = f.Cluster(comm.Options{}).Endpoint(r)
+	}
+	var wg sync.WaitGroup
+	for r := range fabs {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			fabs[r].Goodbye()
+			fabs[r].Linger(eps[r], 5*time.Second)
+		}(r)
+	}
+	wg.Wait()
+	for r, f := range fabs {
+		if s := f.Stats(); s.ByesSeen != 1 || s.PeersDead != 0 {
+			t.Errorf("rank %d: byes=%d dead=%d, want 1/0", r, s.ByesSeen, s.PeersDead)
+		}
+	}
+}
+
+func TestPeerDeathDetection(t *testing.T) {
+	fabs := joinAll(t, 2, nil)
+	c0 := fabs[0].Cluster(comm.Options{ExchangeDeadline: 50 * time.Millisecond, RetryLimit: 2})
+	fabs[1].Cluster(comm.Options{})
+	ep := c0.Endpoint(0)
+
+	// Rank 1 vanishes without a bye (socket close = FIN, no goodbye
+	// frame): rank 0 must classify the loss as a crashed peer.
+	fabs[1].Close()
+	_, err := ep.RecvDeadline(1, comm.TagReduce)
+	if !errors.Is(err, comm.ErrRankCrashed) && !errors.Is(err, comm.ErrExchangeTimeout) {
+		t.Fatalf("recv from dead peer: %v, want rank-crashed or exchange-timeout", err)
+	}
+	if fabs[0].PeerDead(1) == nil {
+		t.Error("PeerDead(1) still nil after the peer closed without a bye")
+	}
+}
+
+func TestBootstrapRejectsWrongCookie(t *testing.T) {
+	rdv, err := PickRendezvous()
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := Geometry{Size: 8, Iterations: 10, Schedule: "sync"}
+	rootErr := make(chan error, 1)
+	go func() {
+		_, err := Join(Config{Rank: 0, Size: 2, Rendezvous: rdv, Cookie: "right",
+			Geometry: geo, HandshakeTimeout: 3 * time.Second})
+		rootErr <- err
+	}()
+	_, werr := Join(Config{Rank: 1, Size: 2, Rendezvous: rdv, Cookie: "wrong",
+		Geometry: geo, HandshakeTimeout: 3 * time.Second})
+	if rerr := <-rootErr; rerr == nil {
+		t.Error("root accepted a wrong-cookie hello")
+	} else if !strings.Contains(rerr.Error(), "signature") {
+		t.Errorf("root error %q does not mention the signature", rerr)
+	}
+	if werr == nil {
+		t.Error("worker with the wrong cookie joined")
+	}
+}
+
+func TestBootstrapRejectsGeometryMismatch(t *testing.T) {
+	rdv, err := PickRendezvous()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootErr := make(chan error, 1)
+	go func() {
+		_, err := Join(Config{Rank: 0, Size: 2, Rendezvous: rdv, Cookie: "c",
+			Geometry:         Geometry{Size: 8, Iterations: 10, Schedule: "sync"},
+			HandshakeTimeout: 3 * time.Second})
+		rootErr <- err
+	}()
+	_, werr := Join(Config{Rank: 1, Size: 2, Rendezvous: rdv, Cookie: "c",
+		Geometry:         Geometry{Size: 16, Iterations: 10, Schedule: "sync"},
+		HandshakeTimeout: 3 * time.Second})
+	rerr := <-rootErr
+	if rerr == nil {
+		t.Error("root accepted a mismatched geometry")
+	}
+	if rerr != nil && !strings.Contains(rerr.Error(), "solves") {
+		t.Errorf("root error %q does not name the geometry clash", rerr)
+	}
+	_ = werr // the worker sees either the refusal or a closed socket
+}
+
+func TestBootstrapRejectsDoubleJoin(t *testing.T) {
+	rdv, err := PickRendezvous()
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := Geometry{Size: 8, Iterations: 10, Schedule: "sync"}
+	rootErr := make(chan error, 1)
+	go func() {
+		_, err := Join(Config{Rank: 0, Size: 3, Rendezvous: rdv, Cookie: "c",
+			Geometry: geo, HandshakeTimeout: 3 * time.Second})
+		rootErr <- err
+	}()
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := Join(Config{Rank: 1, Size: 3, Rendezvous: rdv, Cookie: "c",
+				Geometry: geo, HandshakeTimeout: 3 * time.Second})
+			done <- err
+		}()
+	}
+	if rerr := <-rootErr; rerr == nil || !strings.Contains(rerr.Error(), "twice") {
+		t.Errorf("root: %v, want a joined-twice refusal", rerr)
+	}
+	<-done
+	<-done
+}
+
+// The send path must stay allocation-free in steady state: the slab is
+// copied into a recycled frame buffer and the unsafe byte view hits the
+// socket without further copies. This drives a real TCP socket and the
+// full sender stack — Endpoint.Send through Fabric.SendData, the frame
+// freelist and the writer goroutine. The receiving end drains raw bytes
+// with a reused buffer so the reported allocations are the sender's
+// alone (an in-process receiver cluster would add its own deliberate
+// per-message receive allocations to the global count).
+func BenchmarkWireSendSlab(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			b.Error(err)
+			close(accepted)
+			return
+		}
+		accepted <- c
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	peer, ok := <-accepted
+	if !ok {
+		b.FailNow()
+	}
+	go func() {
+		buf := make([]byte, 1<<16)
+		for {
+			if _, err := peer.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	defer peer.Close()
+
+	cfg := Config{Rank: 0, Size: 2, Cookie: "bench"}.withDefaults()
+	f := newFabric(cfg)
+	f.conns[1] = newPeerConn(f, 1, nc)
+	ep := f.Cluster(comm.Options{}).Endpoint(0)
+	defer f.Close()
+
+	slab := make([]float64, 45*45)
+	ep.Send(1, comm.TagReduce, slab) // warm the stream's reuse buffers
+	b.SetBytes(int64(8 * len(slab)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ep.Send(1, comm.TagReduce, slab)
+	}
+}
