@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz cover bench verify figures examples clean perfgate chaos net
+.PHONY: all build test race fuzz cover bench verify figures examples clean perfgate chaos net benchgate sweep
 
 # The race lane is a first-class gate: all runtime/scheduler changes must
 # survive the race detector, not just the plain test run.
@@ -64,6 +64,18 @@ net:
 	/tmp/lulesh-net -np 4 -s 8 -i 30 -q -faults drop=0.02,dup=0.02 \
 		-checkpoint-every 5 -wire-kill 2@12
 	$(GO) run ./cmd/luleshverify -net
+
+# The perf-trajectory gate: re-measure the configurations pinned by the
+# committed BENCH_<n>.json baselines (scenarios x backends) and fail on a
+# >10% grind-time regression. Ratios are median-normalized so a uniformly
+# slower machine does not trip the gate; see internal/perf/gate.go.
+benchgate:
+	$(GO) run ./cmd/luleshbench -benchgate -baseline . -reps 3
+
+# Re-run the scenario sweep behind the committed baselines. Append new
+# trajectory points with: make sweep SWEEP_FLAGS='-record .'
+sweep:
+	$(GO) run ./cmd/luleshbench -sweep -sizes 10 -threads 2 -backends omp,task -reps 5 $(SWEEP_FLAGS)
 
 # Regenerate every table/figure of the paper's evaluation.
 figures:

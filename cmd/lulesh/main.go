@@ -45,6 +45,7 @@ import (
 func main() {
 	var (
 		size     = flag.Int("s", 30, "problem size (mesh elements per edge)")
+		scenario = flag.String("scenario", "", "problem scenario: name[:key=val,...] of sedov | piston | multimat (\"\" = sedov)")
 		regions  = flag.Int("r", 11, "number of material regions")
 		iters    = flag.Int("i", 0, "maximum iterations (0 = run to stop time)")
 		balance  = flag.Int("b", 1, "region size balance exponent")
@@ -92,6 +93,22 @@ func main() {
 	)
 	flag.Parse()
 
+	spec, err := domain.ParseScenarioSpec(*scenario)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+		os.Exit(2)
+	}
+	if err := domain.ValidateScenarioSpec(spec); err != nil {
+		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+		os.Exit(2)
+	}
+	scenarioSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "scenario" {
+			scenarioSet = true
+		}
+	})
+
 	if *wireRank >= 0 {
 		// Worker process of a multi-process run (forked by the -np
 		// launcher, or hand-started against an explicit -rendezvous).
@@ -110,7 +127,7 @@ func main() {
 				size: *size, regions: *regions, iters: *iters,
 				balance: *balance, cost: *cost, quiet: *quiet,
 				threads: threadsPerRank, metrics: *metrics,
-				ranks: *ranks, async: *distAsync,
+				ranks: *ranks, async: *distAsync, scenario: spec,
 				faults: *faults, faultSeed: *faultSeed,
 				checkpointEvery: *ckptEvery, deadline: *deadline,
 				retryLimit: *retryLim,
@@ -141,7 +158,7 @@ func main() {
 			size: *size, regions: *regions, iters: *iters,
 			balance: *balance, cost: *cost, quiet: *quiet,
 			threads: threadsPerRank, metrics: *metrics,
-			ranks: *ranks, async: *distAsync, latency: *latency,
+			ranks: *ranks, async: *distAsync, scenario: spec, latency: *latency,
 			faults: *faults, faultSeed: *faultSeed,
 			checkpointEvery: *ckptEvery, deadline: *deadline,
 			retryLimit: *retryLim, maxRestarts: *restarts,
@@ -165,11 +182,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "restore: %v\n", err)
 			os.Exit(1)
 		}
+		// An explicit -scenario must match the checkpoint's tag; without
+		// one the run adopts whatever scenario the checkpoint was taken
+		// under.
+		if scenarioSet {
+			if err := checkpoint.ExpectScenario(d, spec); err != nil {
+				fmt.Fprintf(os.Stderr, "restore: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		spec = d.Scenario
 		*size = d.Mesh.EdgeElems
 		domCfg = domain.Config{EdgeElems: d.Mesh.Nx, NumReg: d.Regions.NumReg,
 			Balance: d.Regions.Balance, Cost: d.Regions.Cost}
 	} else {
-		d = domain.NewSedov(domCfg)
+		d, err = domain.BuildScenarioCube(spec, domCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	var b core.Backend
@@ -273,8 +304,8 @@ func main() {
 	}
 
 	if !*quiet {
-		fmt.Printf("Running problem size %d^3 per domain, %d regions, backend %s, %d threads\n",
-			*size, *regions, b.Name(), *threads)
+		fmt.Printf("Running scenario %s, problem size %d^3 per domain, %d regions, backend %s, %d threads\n",
+			spec.String(), *size, *regions, b.Name(), *threads)
 	}
 
 	runCfg := core.RunConfig{MaxIterations: *iters}
@@ -438,6 +469,7 @@ type distFlags struct {
 	balance, cost, threads int
 	quiet                  bool
 	metrics                string
+	scenario               domain.ScenarioSpec
 
 	ranks           int
 	async           bool
@@ -456,7 +488,8 @@ func runDist(f distFlags) {
 	cfg := dist.Config{
 		Nx: f.size, Ny: f.size, NzPerRank: f.size, Ranks: f.ranks,
 		NumReg: f.regions, Balance: f.balance, Cost: f.cost,
-		Async: f.async, ThreadsPerRank: f.threads,
+		Scenario: f.scenario,
+		Async:    f.async, ThreadsPerRank: f.threads,
 		Latency: f.latency, MaxIterations: f.iters,
 		ExchangeDeadline: f.deadline, RetryLimit: f.retryLimit,
 		CheckpointEvery: f.checkpointEvery, MaxRestarts: f.maxRestarts,

@@ -91,7 +91,8 @@ func runWireWorker(f wireFlags) {
 	cfg := dist.Config{
 		Nx: f.size, Ny: f.size, NzPerRank: f.size, Ranks: f.ranks,
 		NumReg: f.regions, Balance: f.balance, Cost: f.cost,
-		Async: f.async, ThreadsPerRank: f.threads,
+		Scenario: f.scenario,
+		Async:    f.async, ThreadsPerRank: f.threads,
 		MaxIterations:    f.iters,
 		ExchangeDeadline: f.deadline, RetryLimit: f.retryLimit,
 		CheckpointEvery: f.checkpointEvery,

@@ -8,6 +8,12 @@
 //	luleshbench -fig naive         naive for_each port vs. omp vs. task (§III)
 //	luleshbench -table 1           partition-size tuning (Table I)
 //	luleshbench -ablation          contribution of each technique (§IV)
+//	luleshbench -sweep             scenarios × sizes × threads × backends
+//	luleshbench -benchgate         regression gate against committed BENCH_<n>.json
+//
+// Every experiment accepts -scenario to swap the problem setup (sedov,
+// piston, multimat); all scenarios run the identical kernels, so relative
+// backend comparisons stay meaningful per scenario.
 //
 // Problem sizes and thread counts default to values scaled to this
 // machine; pass -sizes and -threads to override (e.g. the paper's full
@@ -33,14 +39,15 @@ import (
 )
 
 type config struct {
-	sizes   []int
-	threads []int
-	regions []int
-	iters   int
-	reps    int
-	csv     bool
-	record  string // directory for BENCH_<n>.json records ("" = off)
-	name    string // experiment label stamped into records
+	sizes    []int
+	threads  []int
+	regions  []int
+	iters    int
+	reps     int
+	csv      bool
+	record   string              // directory for BENCH_<n>.json records ("" = off)
+	name     string              // experiment label stamped into records
+	scenario domain.ScenarioSpec // normalized problem scenario (zero = sedov)
 }
 
 // liveSrv, when non-nil, is the -metrics-addr endpoint; measure points it
@@ -62,18 +69,37 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		record  = flag.String("record", "", "write one machine-readable BENCH_<n>.json per measurement to this directory")
 		metrics = flag.String("metrics-addr", "", "serve live Prometheus/JSON metrics and pprof for the measurement in flight")
+
+		scenario = flag.String("scenario", "", "problem scenario name[:key=val,...] (sedov | piston | multimat)")
+		sweepF   = flag.Bool("sweep", false, "run the scenario sweep: scenarios x sizes x threads x backends")
+		scens    = flag.String("scenarios", "sedov,piston,multimat", "comma-separated scenario specs for -sweep")
+		backs    = flag.String("backends", "omp,task", "comma-separated backends for -sweep (serial|naive|omp|task)")
+		gateF    = flag.Bool("benchgate", false, "re-measure the baseline BENCH_<n>.json configurations and fail on grind-time regression")
+		baseDir  = flag.String("baseline", ".", "directory holding the baseline BENCH_<n>.json records for -benchgate")
+		gateTol  = flag.Float64("gate-tol", 0.10, "benchgate relative grind-time tolerance")
+		gateAbs  = flag.Bool("gate-absolute", false, "benchgate: compare raw grind times (same machine) instead of median-normalized ratios")
 	)
 	flag.Parse()
 
+	spec, err := domain.ParseScenarioSpec(*scenario)
+	if err == nil {
+		spec, err = domain.NormalizeScenarioSpec(spec)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+
 	cores := runtime.GOMAXPROCS(0)
 	cfg := config{
-		sizes:   parseList(*sizes, []int{10, 16, 24}),
-		threads: parseList(*threads, defaultThreads(cores)),
-		regions: parseList(*regs, []int{11, 16, 21}),
-		iters:   *iters,
-		reps:    *reps,
-		csv:     *csv,
-		record:  *record,
+		sizes:    parseList(*sizes, []int{10, 16, 24}),
+		threads:  parseList(*threads, defaultThreads(cores)),
+		regions:  parseList(*regs, []int{11, 16, 21}),
+		iters:    *iters,
+		reps:     *reps,
+		csv:      *csv,
+		record:   *record,
+		scenario: spec,
 	}
 	if *metrics != "" {
 		srv, err := perf.StartServer(*metrics, nil, nil)
@@ -114,11 +140,26 @@ func main() {
 	case *sched:
 		cfg.name = "schedules"
 		schedules(cfg)
+	case *sweepF:
+		cfg.name = "sweep"
+		sweep(cfg, splitList(*scens), splitList(*backs))
+	case *gateF:
+		benchgate(cfg, *baseDir, *gateTol, *gateAbs)
 	default:
-		fmt.Fprintln(os.Stderr, "pick one of: -fig 9 | -fig 10 | -fig 11 | -fig naive | -fig dist | -table 1 | -ablation | -locality | -schedules")
+		fmt.Fprintln(os.Stderr, "pick one of: -fig 9 | -fig 10 | -fig 11 | -fig naive | -fig dist | -table 1 | -ablation | -locality | -schedules | -sweep | -benchgate")
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func parseList(s string, def []int) []int {
@@ -166,12 +207,32 @@ func (c config) iterCap(size int) int {
 	}
 }
 
+// buildDomain constructs the scenario domain for one cubic measurement.
+// Scenarios with their own region model (multimat) override the regions
+// argument with their option set.
+func buildDomain(c config, size, regions int) *domain.Domain {
+	d, err := domain.BuildScenarioCube(c.scenario, domain.Config{
+		EdgeElems: size, NumReg: regions, Balance: 1, Cost: 1,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+		os.Exit(2)
+	}
+	return d
+}
+
 // measure runs one configuration reps times and returns the minimum
-// runtime in seconds together with the last run's utilization. When
-// -record or -metrics-addr is active, a per-measurement profiler collects
-// the phase breakdown: the live endpoint follows it, and the best rep is
-// written out as a BENCH_<n>.json record.
+// runtime in seconds together with the last run's utilization.
 func measure(c config, size, regions, threads int, backend string) (sec, util float64, hasUtil bool) {
+	best, util, hasUtil := measureBest(c, size, regions, threads, backend)
+	return best.Elapsed.Seconds(), util, hasUtil
+}
+
+// measureBest is measure returning the full best-rep Result (iterations,
+// FOM). When -record or -metrics-addr is active, a per-measurement
+// profiler collects the phase breakdown: the live endpoint follows it,
+// and the best rep is written out as a BENCH_<n>.json record.
+func measureBest(c config, size, regions, threads int, backend string) (best core.Result, util float64, hasUtil bool) {
 	var s stats.Sample
 	var prof *perf.Profiler
 	if c.record != "" || liveSrv != nil {
@@ -180,11 +241,8 @@ func measure(c config, size, regions, threads int, backend string) (sec, util fl
 			liveSrv.SetProfiler(prof)
 		}
 	}
-	var best core.Result
 	for r := 0; r < c.reps; r++ {
-		d := domain.NewSedov(domain.Config{
-			EdgeElems: size, NumReg: regions, Balance: 1, Cost: 1,
-		})
+		d := buildDomain(c, size, regions)
 		var b core.Backend
 		switch backend {
 		case "serial":
@@ -230,9 +288,11 @@ func measure(c config, size, regions, threads int, backend string) (sec, util fl
 		}
 		if c.record != "" && r == c.reps-1 {
 			rec := perf.BenchRecord{
-				Name: c.name, Backend: backend, Workers: threads,
-				Size: size, Regions: regions, Iterations: best.Iterations,
-				ElapsedSec: s.Min(), FOM: best.FOM(), Counters: counters,
+				Name: c.name, Scenario: c.scenario.String(),
+				Backend: backend, Workers: threads,
+				Size: size, Regions: d.Regions.NumReg, Iterations: best.Iterations,
+				ElapsedSec: s.Min(), FOM: zps(best), GrindUsZC: grind(best),
+				Counters: counters,
 			}
 			if prof != nil {
 				rec.Phases = prof.Snapshot().Phases
@@ -244,7 +304,22 @@ func measure(c config, size, regions, threads int, backend string) (sec, util fl
 			}
 		}
 	}
-	return s.Min(), util, hasUtil
+	return best, util, hasUtil
+}
+
+// zps converts core.Result.FOM (kilo-zones/s) to zones/s, the unit
+// BenchRecord stores.
+func zps(res core.Result) float64 {
+	return res.FOM() * 1000
+}
+
+// grind converts a run result to the grind time in us/zone/cycle — the
+// size-independent metric the bench gate compares.
+func grind(res core.Result) float64 {
+	if z := zps(res); z > 0 {
+		return 1e6 / z
+	}
+	return 0
 }
 
 func emit(c config, t *stats.Table) {
@@ -352,7 +427,7 @@ func tableI(c config) {
 		best, bestP := 1e300, 0
 		times := make([]float64, len(parts))
 		for i, p := range parts {
-			d := domain.NewSedov(domain.DefaultConfig(size))
+			d := buildDomain(c, size, 11)
 			opt := core.DefaultOptions(size, th)
 			opt.PartNodal = p
 			opt.PartElem = p
@@ -406,7 +481,7 @@ func ablation(c config) {
 		row := []interface{}{size}
 		for _, v := range variants {
 			start := time.Now()
-			d := domain.NewSedov(domain.DefaultConfig(size))
+			d := buildDomain(c, size, 11)
 			opt := core.DefaultOptions(size, th)
 			v.mod(&opt)
 			b := core.NewBackendTask(d, opt)
@@ -454,7 +529,7 @@ func locality(c config) {
 			var best *core.Result
 			var row []interface{}
 			for rep := 0; rep < c.reps; rep++ {
-				d := domain.NewSedov(domain.DefaultConfig(size))
+				d := buildDomain(c, size, 11)
 				opt := core.DefaultOptions(size, th)
 				v.mod(&opt)
 				b := core.NewBackendTask(d, opt)
@@ -539,7 +614,7 @@ func schedules(c config) {
 			sched := sched
 			var s stats.Sample
 			for rep := 0; rep < c.reps; rep++ {
-				d := domain.NewSedov(domain.DefaultConfig(size))
+				d := buildDomain(c, size, 11)
 				b := core.NewBackendOMPSchedule(d, th, sched)
 				res, err := core.Run(d, b, core.RunConfig{MaxIterations: c.iterCap(size)})
 				b.Close()
@@ -556,6 +631,156 @@ func schedules(c config) {
 		t.AddRow(row...)
 	}
 	emit(c, t)
+}
+
+// sweep runs the full scenario grid — scenarios × sizes × threads ×
+// backends — and prints one row per cell with the grind time (us per zone
+// per cycle) and FOM (zones/s). With -record each cell also writes a
+// BENCH_<n>.json; the committed baselines at the repo root were produced
+// this way and are what -benchgate compares against.
+func sweep(c config, scenarioSpecs, backends []string) {
+	if len(scenarioSpecs) == 0 || len(backends) == 0 {
+		fmt.Fprintln(os.Stderr, "sweep: -scenarios and -backends must be non-empty")
+		os.Exit(2)
+	}
+	fmt.Printf("Scenario sweep: %s x sizes %v x threads %v x %s\n\n",
+		strings.Join(scenarioSpecs, ","), c.sizes, c.threads, strings.Join(backends, ","))
+	t := stats.NewTable("scenario", "backend", "size", "threads", "iters",
+		"runtime [s]", "grind [us/z/c]", "FOM [z/s]")
+	for _, raw := range scenarioSpecs {
+		spec, err := domain.ParseScenarioSpec(raw)
+		if err == nil {
+			spec, err = domain.NormalizeScenarioSpec(spec)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(2)
+		}
+		cc := c
+		cc.scenario = spec
+		for _, size := range c.sizes {
+			for _, th := range c.threads {
+				for _, backend := range backends {
+					best, _, _ := measureBest(cc, size, 11, th, backend)
+					t.AddRow(spec.String(), backend, size, th, best.Iterations,
+						best.Elapsed.Seconds(), grind(best), zps(best))
+				}
+			}
+		}
+	}
+	emit(c, t)
+}
+
+// benchgate is the committed-trajectory regression gate: load the
+// baseline BENCH_<n>.json records, re-measure exactly the configurations
+// they pin (same scenario, backend, size, workers and iteration count),
+// and fail — exit status 1 — if any configuration's grind time regressed
+// by more than the tolerance. Cross-machine noise is absorbed by
+// median-ratio normalization unless -gate-absolute is set (see
+// internal/perf.Gate).
+func benchgate(c config, dir string, tol float64, absolute bool) {
+	baseline, err := perf.ReadBenchDir(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	if len(baseline) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no BENCH_<n>.json records in %s\n", dir)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: %d baseline records from %s\n", len(baseline), dir)
+
+	// The pinned subset: one measurement target per distinct baseline
+	// configuration, re-run with the baseline's own iteration count.
+	type target struct {
+		rec     perf.BenchRecord
+		spec    domain.ScenarioSpec
+		regions int
+	}
+	seen := make(map[string]bool)
+	var targets []target
+	for _, rec := range baseline {
+		key := rec.ConfigKey()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		spec, err := domain.ParseScenarioSpec(rec.Scenario)
+		if err == nil {
+			spec, err = domain.NormalizeScenarioSpec(spec)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: baseline %s: %v\n", key, err)
+			os.Exit(1)
+		}
+		regions := rec.Regions
+		if regions == 0 {
+			regions = 11
+		}
+		targets = append(targets, target{rec: rec, spec: spec, regions: regions})
+	}
+
+	remeasure := func(tg target) perf.BenchRecord {
+		cc := c
+		cc.scenario = tg.spec
+		cc.iters = tg.rec.Iterations // measure the same cycle count the baseline did
+		cc.record = ""               // the gate measures, it does not append to the trajectory
+		best, _, _ := measureBest(cc, tg.rec.Size, tg.regions, tg.rec.Workers, tg.rec.Backend)
+		return perf.BenchRecord{
+			Name: "benchgate", Scenario: tg.spec.String(),
+			Backend: tg.rec.Backend, Workers: tg.rec.Workers,
+			Size: tg.rec.Size, Regions: tg.regions, Iterations: best.Iterations,
+			ElapsedSec: best.Elapsed.Seconds(), FOM: zps(best), GrindUsZC: grind(best),
+		}
+	}
+
+	current := make(map[string]perf.BenchRecord, len(targets))
+	for _, tg := range targets {
+		fmt.Fprintf(os.Stderr, "benchgate: measuring %s (%d reps)\n", tg.rec.ConfigKey(), c.reps)
+		current[tg.rec.ConfigKey()] = remeasure(tg)
+	}
+
+	// A failing config gets re-measured (keeping its best grind) before
+	// the gate believes it: a contention spike on a shared machine goes
+	// away on retry, a real regression does not.
+	const maxRounds = 3
+	var rep perf.GateReport
+	for round := 1; ; round++ {
+		recs := make([]perf.BenchRecord, 0, len(current))
+		for _, r := range current {
+			recs = append(recs, r)
+		}
+		rep, err = perf.Gate(baseline, recs, tol, absolute)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		if rep.Pass() || round == maxRounds {
+			break
+		}
+		for _, e := range rep.Entries {
+			if e.Pass {
+				continue
+			}
+			for _, tg := range targets {
+				if tg.rec.ConfigKey() != e.Key {
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "benchgate: retry %d for %s (norm ratio %.3f)\n",
+					round, e.Key, e.NormalizedRatio)
+				if r := remeasure(tg); r.GrindUsZC < current[e.Key].GrindUsZC {
+					current[e.Key] = r
+				}
+			}
+		}
+	}
+
+	fmt.Print(rep)
+	if !rep.Pass() {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL")
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchgate: ok")
 }
 
 func contains(xs []int, v int) bool {

@@ -1,25 +1,32 @@
 // Command luleshverify is the artifact-style correctness gate: it runs the
-// same Sedov problem on every backend and checks
+// selected scenario on every backend and checks
 //
 //  1. bitwise agreement of the full simulation state across backends and
 //     thread counts,
 //  2. bitwise agreement between the synchronous and asynchronous
 //     multi-domain schedules,
-//  3. axis symmetry of the solution (the Sedov problem is invariant under
-//     coordinate permutation),
-//  4. the energy budget (no energy creation; bounded hourglass
-//     dissipation).
+//  3. an exact checkpoint round trip: save mid-run, restore, continue,
+//     compare against the uninterrupted run bit for bit — and reject a
+//     checkpoint whose scenario tag mismatches the run,
+//  4. scenario physics: axis symmetry and the energy budget for the blast
+//     scenarios (sedov, multimat — the Sedov problem is invariant under
+//     coordinate permutation and creates no energy), shock-front position
+//     and cold-gas-ahead for piston, per-region mass conservation for
+//     multimat.
 //
 // It exits non-zero on the first violation.
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"runtime"
 
+	"lulesh/internal/checkpoint"
 	"lulesh/internal/core"
 	"lulesh/internal/dist"
 	"lulesh/internal/domain"
@@ -40,6 +47,7 @@ func check(name string, ok bool, detail string) {
 func main() {
 	size := flag.Int("s", 8, "problem size")
 	steps := flag.Int("i", 20, "iterations to verify over")
+	scenario := flag.String("scenario", "", "problem scenario: name[:key=val,...] (\"\" = sedov)")
 	locality := flag.Bool("locality", false,
 		"also sweep all affinity × steal-half × adaptive-grain combinations")
 	netMode := flag.Bool("net", false,
@@ -53,16 +61,34 @@ func main() {
 	flag.Parse()
 	threads := runtime.GOMAXPROCS(0)
 
+	spec, err := domain.ParseScenarioSpec(*scenario)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+		os.Exit(2)
+	}
+	if err := domain.ValidateScenarioSpec(spec); err != nil {
+		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+		os.Exit(2)
+	}
+
 	if *netWorker {
-		runNetWorker(*size, *steps, *netRank, *netRanks, *netRendezvous, *netCookie, *netFinal)
+		runNetWorker(*size, *steps, spec, *netRank, *netRanks, *netRendezvous, *netCookie, *netFinal)
 		return
 	}
 
-	fmt.Printf("Verifying %d^3 Sedov problem over %d iterations\n\n", *size, *steps)
+	fmt.Printf("Verifying %d^3 %s problem over %d iterations\n\n", *size, spec.String(), *steps)
 
 	cfg := domain.DefaultConfig(*size)
+	build := func() *domain.Domain {
+		d, err := domain.BuildScenarioCube(spec, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+			os.Exit(1)
+		}
+		return d
+	}
 	runBackend := func(mk func(*domain.Domain) core.Backend) *domain.Domain {
-		d := domain.NewSedov(cfg)
+		d := build()
 		b := mk(d)
 		defer b.Close()
 		if _, err := core.Run(d, b, core.RunConfig{MaxIterations: *steps}); err != nil {
@@ -125,6 +151,7 @@ func main() {
 	dcfg := dist.Config{
 		Nx: *size, Ny: *size, NzPerRank: *size, Ranks: 2,
 		NumReg: cfg.NumReg, Balance: 1, Cost: 1, MaxIterations: *steps,
+		Scenario: spec,
 	}
 	syncRes, err := dist.Run(dcfg)
 	if err != nil {
@@ -146,28 +173,171 @@ func main() {
 	// per rank, exchanges over localhost sockets) end bitwise identical to
 	// the in-process runs with the same decomposition.
 	if *netMode {
-		netCheck(*size, *steps, 8)
-		netCheck(*size, *steps, 1)
+		netCheck(*size, *steps, spec, 8)
+		netCheck(*size, *steps, spec, 1)
 	}
 
-	// 3. Axis symmetry of the serial solution.
-	maxAsym := axisAsymmetry(ref)
-	check("axis symmetry", maxAsym < 1e-9, fmt.Sprintf("max rel asym %.2e", maxAsym))
+	// 3. Checkpoint round trip: interrupt at half distance, restore through
+	// the scenario registry, continue — the result must equal the
+	// uninterrupted reference bit for bit, and the restored tag must match.
+	checkpointRoundTrip(ref, spec, cfg, *steps)
 
-	// 4. Energy budget.
-	e0 := initialEnergy(cfg)
-	internal, kinetic := energies(ref)
-	total := internal + kinetic
-	check("no energy creation", total <= e0*(1+1e-9),
-		fmt.Sprintf("total/e0 = %.6f", total/e0))
-	check("bounded dissipation", total >= 0.7*e0,
-		fmt.Sprintf("loss %.1f%%", 100*(e0-total)/e0))
+	// 4. Scenario physics.
+	name := spec.Name
+	if name == "" {
+		name = domain.ScenarioSedov
+	}
+	switch name {
+	case domain.ScenarioSedov, domain.ScenarioMultimat:
+		// Both run the Sedov blast (multimat changes only the region
+		// decomposition), so symmetry and the energy budget apply.
+		maxAsym := axisAsymmetry(ref)
+		check("axis symmetry", maxAsym < 1e-9, fmt.Sprintf("max rel asym %.2e", maxAsym))
+
+		e0 := initialEnergy(build())
+		internal, kinetic := energies(ref)
+		total := internal + kinetic
+		check("no energy creation", total <= e0*(1+1e-9),
+			fmt.Sprintf("total/e0 = %.6f", total/e0))
+		check("bounded dissipation", total >= 0.7*e0,
+			fmt.Sprintf("loss %.1f%%", 100*(e0-total)/e0))
+		if name == domain.ScenarioMultimat {
+			checkRegionMass(build(), ref)
+		}
+	case domain.ScenarioPiston:
+		checkPiston(ref)
+	}
 
 	if failed {
 		fmt.Println("\nVERIFICATION FAILED")
 		os.Exit(1)
 	}
 	fmt.Println("\nAll checks passed.")
+}
+
+// checkpointRoundTrip proves save/restore is exact for the scenario: the
+// interrupted-and-resumed run must end bit-for-bit equal to ref, and the
+// restore path must reject a deliberately mismatched scenario tag.
+func checkpointRoundTrip(ref *domain.Domain, spec domain.ScenarioSpec, cfg domain.Config, steps int) {
+	half := steps / 2
+	d, err := domain.BuildScenarioCube(spec, cfg)
+	if err != nil {
+		check("checkpoint round trip", false, err.Error())
+		return
+	}
+	b := core.NewBackendSerial(d)
+	if _, err := core.Run(d, b, core.RunConfig{MaxIterations: half}); err != nil {
+		b.Close()
+		check("checkpoint round trip", false, err.Error())
+		return
+	}
+	var buf bytes.Buffer
+	if err := checkpoint.SaveCube(&buf, d, cfg); err != nil {
+		b.Close()
+		check("checkpoint round trip", false, err.Error())
+		return
+	}
+	b.Close()
+
+	resumed, err := checkpoint.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		check("checkpoint round trip", false, err.Error())
+		return
+	}
+	if err := checkpoint.ExpectScenario(resumed, spec); err != nil {
+		check("checkpoint round trip", false, err.Error())
+		return
+	}
+	b2 := core.NewBackendSerial(resumed)
+	defer b2.Close()
+	// MaxIterations caps the absolute cycle count, so the resumed run
+	// carries the same cap as the reference.
+	if _, err := core.Run(resumed, b2, core.RunConfig{MaxIterations: steps}); err != nil {
+		check("checkpoint round trip", false, err.Error())
+		return
+	}
+	check("checkpoint round trip (restore via registry)", equalState(ref, resumed),
+		fmt.Sprintf("resumed at cycle %d", half))
+
+	// The guard must reject a tag that names a different scenario.
+	other := domain.ScenarioSpec{Name: domain.ScenarioPiston,
+		Options: map[string]string{"speed": "42"}}
+	if resumed.Scenario.Equal(other) {
+		other = domain.ScenarioSpec{Name: domain.ScenarioSedov}
+	}
+	err = checkpoint.ExpectScenario(resumed, other)
+	check("checkpoint scenario mismatch rejected",
+		errors.Is(err, checkpoint.ErrScenarioMismatch),
+		fmt.Sprintf("tag %s vs run %s", resumed.Scenario.String(), other.String()))
+}
+
+// checkPiston verifies the piston scenario's physics on the final state: a
+// shock front exists, it sits inside the box (the face has moved inward),
+// gas well ahead of the front is still cold, and the piston has done
+// positive work on the gas.
+func checkPiston(d *domain.Domain) {
+	h := 1.125 / float64(d.Mesh.EdgeElems)
+	front := math.Inf(1)
+	var x, y, z [8]float64
+	center := func(e int) float64 {
+		d.CollectElemNodes(e, &x, &y, &z)
+		c := 0.0
+		for _, v := range x {
+			c += v
+		}
+		return c / 8
+	}
+	for e := 0; e < d.NumElem(); e++ {
+		if d.P[e] > 1e-6 && center(e) < front {
+			front = center(e)
+		}
+	}
+	check("piston shock front exists", !math.IsInf(front, 1),
+		fmt.Sprintf("front x=%.4f", front))
+	if math.IsInf(front, 1) {
+		return
+	}
+	cold := true
+	worst := 0.0
+	for e := 0; e < d.NumElem(); e++ {
+		if center(e) < front-2*h && math.Abs(d.P[e]) > 1e-6 {
+			cold = false
+			worst = math.Max(worst, math.Abs(d.P[e]))
+		}
+	}
+	check("gas ahead of front is cold", cold, fmt.Sprintf("max |p| ahead %.2e", worst))
+	internal, kinetic := energies(d)
+	check("piston does positive work", internal+kinetic > 0,
+		fmt.Sprintf("E=%.6e", internal+kinetic))
+}
+
+// checkRegionMass verifies per-region mass conservation for multimat: the
+// mass of every region, recomputed from the deformed geometry and the EOS
+// density, must match the initial region mass.
+func checkRegionMass(initial, final *domain.Domain) {
+	ref := regionMasses(initial)
+	got := regionMasses(final)
+	worst := 0.0
+	for r := range ref {
+		if ref[r] == 0 {
+			continue
+		}
+		worst = math.Max(worst, math.Abs(got[r]-ref[r])/ref[r])
+	}
+	check("per-region mass conserved", worst < 1e-8,
+		fmt.Sprintf("%d regions, max drift %.2e", len(ref), worst))
+}
+
+func regionMasses(d *domain.Domain) []float64 {
+	masses := make([]float64, d.Regions.NumReg)
+	var x, y, z [8]float64
+	for r, list := range d.Regions.ElemList {
+		for _, e := range list {
+			d.CollectElemNodes(int(e), &x, &y, &z)
+			masses[r] += d.Par.RefDens / d.V[e] * domain.ElemVolume(&x, &y, &z)
+		}
+	}
+	return masses
 }
 
 func equalState(a, b *domain.Domain) bool {
@@ -212,8 +382,7 @@ func axisAsymmetry(d *domain.Domain) float64 {
 	return worst
 }
 
-func initialEnergy(cfg domain.Config) float64 {
-	d := domain.NewSedov(cfg)
+func initialEnergy(d *domain.Domain) float64 {
 	e := 0.0
 	for i := range d.E {
 		e += d.E[i] * d.Volo[i]

@@ -22,12 +22,13 @@ import (
 // domains dist.RunDomains kept in memory.
 
 // netCheck runs the wire-vs-in-process comparison for one rank count.
-func netCheck(size, steps, np int) {
+func netCheck(size, steps int, spec domain.ScenarioSpec, np int) {
 	name := fmt.Sprintf("wire == in-process (%d ranks)", np)
 	cfg := domain.DefaultConfig(size)
 	dcfg := dist.Config{
 		Nx: size, Ny: size, NzPerRank: size, Ranks: np,
 		NumReg: cfg.NumReg, Balance: 1, Cost: 1, MaxIterations: steps,
+		Scenario: spec,
 	}
 	_, doms, err := dist.RunDomains(dcfg)
 	if err != nil {
@@ -63,6 +64,7 @@ func netCheck(size, steps, np int) {
 				"-net-final", finalFile(rank),
 				"-s", strconv.Itoa(size),
 				"-i", strconv.Itoa(steps),
+				"-scenario", spec.String(),
 			}
 		},
 	})
@@ -99,11 +101,12 @@ func netCheck(size, steps, np int) {
 
 // runNetWorker is the hidden worker mode: execute one rank of the wire
 // fabric and dump its final domain for the parent to compare.
-func runNetWorker(size, steps, rank, ranks int, rendezvous, cookie, final string) {
+func runNetWorker(size, steps int, spec domain.ScenarioSpec, rank, ranks int, rendezvous, cookie, final string) {
 	cfg := domain.DefaultConfig(size)
 	dcfg := dist.Config{
 		Nx: size, Ny: size, NzPerRank: size, Ranks: ranks,
 		NumReg: cfg.NumReg, Balance: 1, Cost: 1, MaxIterations: steps,
+		Scenario: spec,
 	}
 	_, err := dist.RunWire(dcfg, dist.WireOptions{
 		Rank:           rank,

@@ -36,6 +36,35 @@ import (
 // checkpoint) from "this is not a checkpoint at all" via errors.Is.
 var ErrCorrupt = errors.New("checkpoint: corrupt")
 
+// ErrScenarioMismatch is wrapped by restore-path errors when a checkpoint's
+// scenario tag disagrees with the scenario the run was asked to execute.
+// Resuming a piston run from a sedov checkpoint silently merges two
+// different problems; callers that know the intended scenario must reject
+// the file instead.
+var ErrScenarioMismatch = errors.New("checkpoint: scenario mismatch")
+
+// ExpectScenario rejects a restored domain whose scenario tag does not
+// match the spec the run was started with. Both sides are compared in
+// normalized form (full effective options), so a user-written "piston"
+// matches a tag of "piston:speed=100", and an explicit "sedov" matches a
+// legacy checkpoint written before scenario tagging (whose tag decodes as
+// the zero spec).
+func ExpectScenario(d *domain.Domain, want domain.ScenarioSpec) error {
+	normWant, err := domain.NormalizeScenarioSpec(want)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrScenarioMismatch, err)
+	}
+	normTag, err := domain.NormalizeScenarioSpec(d.Scenario)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrScenarioMismatch, err)
+	}
+	if !normTag.Equal(normWant) {
+		return fmt.Errorf("%w: checkpoint was written by %q, run wants %q",
+			ErrScenarioMismatch, normTag.String(), normWant.String())
+	}
+	return nil
+}
+
 // Frame layout: header + version byte, CRC-32 (IEEE) of the payload, the
 // payload length, then the gob-encoded state.
 const (
@@ -50,12 +79,17 @@ const (
 	rankMagic = "lulesh-rank-checkpoint-v1"
 )
 
-// state is the serialized form: the box configuration to rebuild
-// mesh/regions deterministically, plus every mutable array and the clock.
+// state is the serialized form: the box configuration and the scenario
+// spec to rebuild mesh/regions/boundary-conditions deterministically
+// through the scenario registry, plus every mutable array and the clock.
+// Scenario was added after v2 shipped; gob tolerates its absence, and a
+// zero spec normalizes to sedov — exactly what every pre-scenario
+// checkpoint contained.
 type state struct {
 	Magic string
 
-	Cfg domain.BoxConfig
+	Cfg      domain.BoxConfig
+	Scenario domain.ScenarioSpec
 
 	X, Y, Z    []float64
 	Xd, Yd, Zd []float64
@@ -96,9 +130,10 @@ type rankState struct {
 // capture assembles the serializable state of d.
 func capture(d *domain.Domain, cfg domain.BoxConfig) state {
 	return state{
-		Magic: magic,
-		Cfg:   cfg,
-		X:     d.X, Y: d.Y, Z: d.Z,
+		Magic:    magic,
+		Cfg:      cfg,
+		Scenario: d.Scenario,
+		X:        d.X, Y: d.Y, Z: d.Z,
 		Xd: d.Xd, Yd: d.Yd, Zd: d.Zd,
 		E: d.E, P: d.P, Q: d.Q,
 		Ql: d.Ql, Qq: d.Qq,
@@ -113,9 +148,16 @@ func capture(d *domain.Domain, cfg domain.BoxConfig) state {
 	}
 }
 
-// apply rebuilds a domain from captured state.
+// apply rebuilds a domain from captured state. The immutable topology and
+// boundary conditions come from replaying the recorded scenario through the
+// registry — not from a hardcoded constructor — so piston and multimat
+// checkpoints restore the face BCs and cost model they were built with.
 func apply(st state) (*domain.Domain, error) {
-	d := domain.NewSedovBox(st.Cfg)
+	d, err := domain.BuildScenario(st.Scenario, st.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: rebuild scenario %q: %v",
+			ErrCorrupt, st.Scenario.String(), err)
+	}
 	if len(st.X) != d.NumNode() || len(st.E) != d.NumElem() {
 		return nil, fmt.Errorf("%w: array sizes do not match the recorded configuration", ErrCorrupt)
 	}
@@ -199,7 +241,8 @@ func Save(w io.Writer, d *domain.Domain, cfg domain.BoxConfig) error {
 	return writeFrame(w, &st)
 }
 
-// SaveCube is Save for domains created with domain.NewSedov.
+// SaveCube is Save for cubic single-domain problems (domain.NewSedov or
+// any domain.BuildScenarioCube result).
 func SaveCube(w io.Writer, d *domain.Domain, cfg domain.Config) error {
 	return Save(w, d, domain.BoxConfig{
 		Nx: cfg.EdgeElems, Ny: cfg.EdgeElems, Nz: cfg.EdgeElems,

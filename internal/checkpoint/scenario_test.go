@@ -1,0 +1,175 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lulesh/internal/core"
+	"lulesh/internal/domain"
+)
+
+// TestScenarioResumeBitwiseExact: for every registered scenario, a
+// checkpoint taken mid-run resumes bit-for-bit against the uninterrupted
+// run. This only holds if apply() replays the scenario (piston face BCs,
+// multimat cost model) instead of hardcoding the sedov constructor.
+func TestScenarioResumeBitwiseExact(t *testing.T) {
+	for _, name := range domain.ScenarioNames() {
+		t.Run(name, func(t *testing.T) {
+			cfg := domain.DefaultConfig(6)
+			spec := domain.ScenarioSpec{Name: name}
+
+			build := func() *domain.Domain {
+				d, err := domain.BuildScenarioCube(spec, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return d
+			}
+
+			ref := build()
+			bref := core.NewBackendSerial(ref)
+			defer bref.Close()
+			stepN(t, ref, bref, 30)
+
+			d := build()
+			b := core.NewBackendSerial(d)
+			stepN(t, d, b, 18)
+			var buf bytes.Buffer
+			if err := SaveCube(&buf, d, cfg); err != nil {
+				t.Fatal(err)
+			}
+			b.Close()
+
+			resumed, err := Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resumed.Scenario.Equal(d.Scenario) {
+				t.Fatalf("scenario tag lost on restore: %q vs %q",
+					resumed.Scenario.String(), d.Scenario.String())
+			}
+			b2 := core.NewBackendSerial(resumed)
+			defer b2.Close()
+			stepN(t, resumed, b2, 12)
+
+			if resumed.Cycle != ref.Cycle || resumed.Time != ref.Time {
+				t.Fatalf("clock diverged: %d/%v vs %d/%v",
+					resumed.Cycle, resumed.Time, ref.Cycle, ref.Time)
+			}
+			pairs := []struct {
+				field string
+				a, b  []float64
+			}{
+				{"X", ref.X, resumed.X}, {"Xd", ref.Xd, resumed.Xd},
+				{"E", ref.E, resumed.E}, {"P", ref.P, resumed.P},
+				{"Q", ref.Q, resumed.Q}, {"V", ref.V, resumed.V},
+			}
+			for _, pr := range pairs {
+				for i := range pr.a {
+					if pr.a[i] != pr.b[i] {
+						t.Fatalf("%s[%d] diverged after resume: %v vs %v",
+							pr.field, i, pr.a[i], pr.b[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioOptionsSurviveRestore: non-default scenario options (piston
+// speed, multimat region shape) must round-trip through the checkpoint, or
+// the restored topology silently differs from the saved one.
+func TestScenarioOptionsSurviveRestore(t *testing.T) {
+	cfg := domain.DefaultConfig(4)
+	spec := domain.ScenarioSpec{Name: domain.ScenarioPiston,
+		Options: map[string]string{"speed": "250"}}
+	d, err := domain.BuildScenarioCube(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveCube(&buf, d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Scenario.String(); got != "piston:speed=250" {
+		t.Fatalf("restored spec = %q, want piston:speed=250", got)
+	}
+	// The rebuilt topology carries the piston wall: x-max face nodes keep
+	// their pinned x-acceleration flag.
+	enx := resumed.Mesh.Nx + 1
+	if resumed.Mesh.SymmFlags[enx-1] == 0 {
+		t.Fatal("restored piston domain lost its face pin")
+	}
+}
+
+// TestExpectScenario: the restore guard accepts matching tags (including a
+// legacy zero tag against an explicit sedov) and rejects mismatches with
+// ErrScenarioMismatch.
+func TestExpectScenario(t *testing.T) {
+	cfg := domain.DefaultConfig(4)
+	sedov, err := domain.BuildScenarioCube(domain.ScenarioSpec{Name: "sedov"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piston, err := domain.BuildScenarioCube(domain.ScenarioSpec{Name: "piston"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ExpectScenario(sedov, domain.ScenarioSpec{}); err != nil {
+		t.Errorf("zero spec must accept sedov: %v", err)
+	}
+	if err := ExpectScenario(sedov, domain.ScenarioSpec{Name: "sedov"}); err != nil {
+		t.Errorf("explicit sedov must accept sedov: %v", err)
+	}
+	legacy := *sedov
+	legacy.Scenario = domain.ScenarioSpec{} // pre-scenario checkpoint tag
+	if err := ExpectScenario(&legacy, domain.ScenarioSpec{Name: "sedov"}); err != nil {
+		t.Errorf("legacy tag must pass an explicit sedov run: %v", err)
+	}
+
+	err = ExpectScenario(piston, domain.ScenarioSpec{Name: "sedov"})
+	if !errors.Is(err, ErrScenarioMismatch) {
+		t.Errorf("piston checkpoint vs sedov run: want ErrScenarioMismatch, got %v", err)
+	}
+	err = ExpectScenario(piston, domain.ScenarioSpec{Name: "piston",
+		Options: map[string]string{"speed": "999"}})
+	if !errors.Is(err, ErrScenarioMismatch) {
+		t.Errorf("differing options: want ErrScenarioMismatch, got %v", err)
+	}
+}
+
+// TestRankCheckpointCarriesScenario: the multi-domain rank checkpoints go
+// through the same state struct, so the tag must survive there too.
+func TestRankCheckpointCarriesScenario(t *testing.T) {
+	bc := domain.BoxConfig{Nx: 4, Ny: 4, Nz: 4, NumReg: 8, Balance: 1, Cost: 1,
+		DepositEnergy: true}
+	spec := domain.ScenarioSpec{Name: domain.ScenarioMultimat}
+	d, err := domain.BuildScenario(spec, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveRank(&buf, d, bc, RankMeta{Rank: 1, Ranks: 2, Epoch: 7}); err != nil {
+		t.Fatal(err)
+	}
+	resumed, meta, err := LoadRank(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Rank != 1 || meta.Epoch != 7 {
+		t.Fatalf("rank meta lost: %+v", meta)
+	}
+	if !resumed.Scenario.Equal(d.Scenario) {
+		t.Fatalf("rank checkpoint lost scenario: %q vs %q",
+			resumed.Scenario.String(), d.Scenario.String())
+	}
+	if err := ExpectScenario(resumed, domain.ScenarioSpec{Name: "sedov"}); !errors.Is(err, ErrScenarioMismatch) {
+		t.Errorf("multimat rank checkpoint vs sedov run: want mismatch, got %v", err)
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lulesh/internal/domain"
+)
+
+// buildScenario constructs a cubic domain for a named scenario or fails
+// the test.
+func buildScenario(t *testing.T, spec string, size int) *domain.Domain {
+	t.Helper()
+	s, err := domain.ParseScenarioSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := domain.BuildScenarioCube(s, domain.DefaultConfig(size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestScenarioBackendsBitwiseIdentical: the scenario seam must preserve
+// the repo's core invariant — every backend runs the identical arithmetic
+// — for every registered scenario, not just Sedov.
+func TestScenarioBackendsBitwiseIdentical(t *testing.T) {
+	for _, name := range domain.ScenarioNames() {
+		t.Run(name, func(t *testing.T) {
+			run := func(mk func(*domain.Domain) Backend) *domain.Domain {
+				d := buildScenario(t, name, 6)
+				b := mk(d)
+				defer b.Close()
+				if _, err := Run(d, b, RunConfig{MaxIterations: 15}); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				return d
+			}
+			ref := run(func(d *domain.Domain) Backend { return NewBackendSerial(d) })
+			backends := map[string]func(*domain.Domain) Backend{
+				"omp":   func(d *domain.Domain) Backend { return NewBackendOMP(d, 4) },
+				"naive": func(d *domain.Domain) Backend { return NewBackendNaive(d, 4) },
+				"task": func(d *domain.Domain) Backend {
+					return NewBackendTask(d, DefaultOptions(6, 4))
+				},
+			}
+			for bname, mk := range backends {
+				got := run(mk)
+				for i := range ref.E {
+					if ref.E[i] != got.E[i] || ref.P[i] != got.P[i] || ref.V[i] != got.V[i] {
+						t.Fatalf("%s/%s: element %d diverges: e %v vs %v",
+							name, bname, i, ref.E[i], got.E[i])
+					}
+				}
+				for i := range ref.X {
+					if ref.X[i] != got.X[i] || ref.Xd[i] != got.Xd[i] {
+						t.Fatalf("%s/%s: node %d diverges", name, bname, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioPhysicsSanity is the table-driven "is the answer physical"
+// suite: one check per scenario that goes beyond bitwise identity.
+func TestScenarioPhysicsSanity(t *testing.T) {
+	cases := []struct {
+		scenario string
+		size     int
+		steps    int
+		check    func(t *testing.T, d *domain.Domain, trail []snapshot)
+	}{
+		// Sedov: the blast converts internal to kinetic energy without
+		// creating any, and the final origin energy lands on the known
+		// reference value (checked separately at s=10 below).
+		{scenario: "sedov", size: 8, steps: 60, check: checkSedovBudget},
+		// Piston: the shock front enters at the x-max face and its
+		// position decreases monotonically toward the x=0 plane while
+		// the gas ahead of it stays cold.
+		{scenario: "piston", size: 8, steps: 120, check: checkPistonFront},
+		// Multimat: per-region mass, recomputed from the deformed
+		// geometry and the EOS density, is conserved for every region.
+		{scenario: "multimat", size: 8, steps: 60, check: checkMultimatMass},
+	}
+	for _, tc := range cases {
+		t.Run(tc.scenario, func(t *testing.T) {
+			d := buildScenario(t, tc.scenario, tc.size)
+			b := NewBackendSerial(d)
+			defer b.Close()
+			var trail []snapshot
+			for step := 0; step < tc.steps; step++ {
+				TimeIncrement(d)
+				if err := b.Step(d); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				if step%5 == 4 {
+					trail = append(trail, snap(d))
+				}
+			}
+			tc.check(t, d, trail)
+		})
+	}
+}
+
+// snapshot records the per-step observables the physics checks consume.
+type snapshot struct {
+	time       float64
+	frontX     float64 // min element-center x with pressure (piston front)
+	totalE     float64 // internal + kinetic
+	regionMass []float64
+}
+
+func snap(d *domain.Domain) snapshot {
+	s := snapshot{time: d.Time, frontX: math.Inf(1)}
+	for e := 0; e < d.NumElem(); e++ {
+		s.totalE += d.E[e] * d.Volo[e]
+	}
+	for n := 0; n < d.NumNode(); n++ {
+		v2 := d.Xd[n]*d.Xd[n] + d.Yd[n]*d.Yd[n] + d.Zd[n]*d.Zd[n]
+		s.totalE += 0.5 * d.NodalMass[n] * v2
+	}
+	var x [8]float64
+	var y, z [8]float64
+	for e := 0; e < d.NumElem(); e++ {
+		if d.P[e] > 1e-6 {
+			d.CollectElemNodes(e, &x, &y, &z)
+			cx := 0.0
+			for _, v := range x {
+				cx += v
+			}
+			cx /= 8
+			if cx < s.frontX {
+				s.frontX = cx
+			}
+		}
+	}
+	s.regionMass = regionMasses(d)
+	return s
+}
+
+// regionMasses integrates mass per region from the current geometry: the
+// density from the relative volume (rho = rho0/V) times the element volume
+// recomputed from the node coordinates. Conservation is only exact if the
+// kinematics keep V consistent with the deformed geometry — a real
+// physics check, not a restatement of constant ElemMass.
+func regionMasses(d *domain.Domain) []float64 {
+	masses := make([]float64, d.Regions.NumReg)
+	var x, y, z [8]float64
+	for r, list := range d.Regions.ElemList {
+		for _, e := range list {
+			d.CollectElemNodes(int(e), &x, &y, &z)
+			vol := domain.ElemVolume(&x, &y, &z)
+			rho := d.Par.RefDens / d.V[e]
+			masses[r] += rho * vol
+		}
+	}
+	return masses
+}
+
+func checkSedovBudget(t *testing.T, d *domain.Domain, trail []snapshot) {
+	e0 := trail[0].totalE
+	prev := math.Inf(1)
+	for i, s := range trail {
+		if s.totalE > prev*(1+1e-9) {
+			t.Fatalf("snapshot %d: energy created: %v -> %v", i, prev, s.totalE)
+		}
+		prev = s.totalE
+	}
+	if loss := (e0 - prev) / e0; loss > 0.25 {
+		t.Fatalf("dissipation too large: %.1f%%", 100*loss)
+	}
+}
+
+func checkPistonFront(t *testing.T, d *domain.Domain, trail []snapshot) {
+	// The front must exist, start near the x-max face, and march
+	// monotonically toward x = 0 (within half an element of jitter from
+	// the pressure threshold crossing cells).
+	h := 1.125 / float64(d.Mesh.EdgeElems)
+	first := trail[0].frontX
+	if math.IsInf(first, 1) {
+		t.Fatal("no shock formed at the piston face")
+	}
+	if first < 1.125-3*h {
+		t.Fatalf("shock did not start at the piston face: front %v", first)
+	}
+	prev := math.Inf(1)
+	for i, s := range trail {
+		if s.frontX > prev+h/2 {
+			t.Fatalf("snapshot %d: shock front moved backwards: %v -> %v",
+				i, prev, s.frontX)
+		}
+		if s.frontX < prev {
+			prev = s.frontX
+		}
+	}
+	if last := trail[len(trail)-1].frontX; last > first-h {
+		t.Fatalf("shock front never advanced: %v -> %v", first, last)
+	}
+	// Gas well ahead of the front stays cold.
+	var x, y, z [8]float64
+	for e := 0; e < d.NumElem(); e++ {
+		d.CollectElemNodes(e, &x, &y, &z)
+		cx := 0.0
+		for _, v := range x {
+			cx += v
+		}
+		cx /= 8
+		if cx < prev-2*h && math.Abs(d.P[e]) > 1e-6 {
+			t.Fatalf("element %d ahead of the front (x=%v < front %v) is pressurized: %v",
+				e, cx, prev, d.P[e])
+		}
+	}
+}
+
+func checkMultimatMass(t *testing.T, d *domain.Domain, trail []snapshot) {
+	ref := trail[0].regionMass
+	for i, s := range trail {
+		for r, m := range s.regionMass {
+			if ref[r] == 0 {
+				continue // empty region
+			}
+			if rel := math.Abs(m-ref[r]) / ref[r]; rel > 1e-8 {
+				t.Fatalf("snapshot %d: region %d mass drifted %.2e (%v -> %v)",
+					i, r, rel, ref[r], m)
+			}
+		}
+	}
+}
+
+// TestSedovKnownReferenceEnergy anchors the sedov scenario (via the
+// registry path) to the validated s=10 full-run origin energy — the same
+// number TestKnownOriginEnergySize10 pins for the direct constructor.
+func TestSedovKnownReferenceEnergy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full run in -short mode")
+	}
+	d := buildScenario(t, "sedov", 10)
+	b := NewBackendSerial(d)
+	defer b.Close()
+	res, err := Run(d, b, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = 2.720531e+04
+	if math.Abs(res.OriginEnergy-want)/want > 1e-6 {
+		t.Errorf("origin energy = %v, want %v", res.OriginEnergy, want)
+	}
+}

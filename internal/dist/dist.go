@@ -61,6 +61,11 @@ type Config struct {
 	Balance int
 	Cost    int
 
+	// Scenario selects the problem setup each rank builds through the
+	// scenario registry (zero value = sedov). Restores reject epoch
+	// blobs whose recorded scenario tag disagrees with this.
+	Scenario domain.ScenarioSpec
+
 	// Async selects the overlapped exchange schedule.
 	Async bool
 
@@ -174,6 +179,9 @@ func runToCompletion(cfg Config) (Result, []*rank, error) {
 	if cfg.Ranks < 1 {
 		return Result{}, nil, fmt.Errorf("dist: need at least 1 rank, got %d", cfg.Ranks)
 	}
+	if err := domain.ValidateScenarioSpec(cfg.Scenario); err != nil {
+		return Result{}, nil, fmt.Errorf("dist: %w", err)
+	}
 	var inj *comm.FaultInjector
 	if cfg.Faults.Active() {
 		inj = comm.NewFaultInjector(*cfg.Faults, cfg.Ranks)
@@ -268,6 +276,10 @@ func runAttempt(cfg Config, inj *comm.FaultInjector, store *ckptStore) (Result, 
 			if meta.Rank != r || meta.Ranks != cfg.Ranks {
 				errs[r] = fmt.Errorf("restore: blob for rank %d/%d in slot %d",
 					meta.Rank, meta.Ranks, r)
+				return Result{}, nil, errs
+			}
+			if err := checkpoint.ExpectScenario(d, cfg.Scenario); err != nil {
+				errs[r] = fmt.Errorf("restore rank %d: %w", r, err)
 				return Result{}, nil, errs
 			}
 			ranks[r] = newRankWith(cfg, cluster, r, d)
@@ -409,7 +421,9 @@ func newRank(cfg Config, cluster *comm.Cluster, id int) *rank {
 }
 
 // newRankWith builds a rank around an existing domain (a checkpoint
-// restore) or, when d is nil, a fresh Sedov slab.
+// restore) or, when d is nil, a fresh slab built by cfg.Scenario. The spec
+// must have passed domain.ValidateScenarioSpec (the drivers check it once
+// up front), so a build failure here is a programming error.
 func newRankWith(cfg Config, cluster *comm.Cluster, id int, d *domain.Domain) *rank {
 	bc := domain.BoxConfig{
 		Nx: cfg.Nx, Ny: cfg.Ny, Nz: cfg.NzPerRank,
@@ -422,7 +436,12 @@ func newRankWith(cfg Config, cluster *comm.Cluster, id int, d *domain.Domain) *r
 	bc.Spacing = spacing
 	bc.ZOffset = spacing * float64(cfg.NzPerRank*id)
 	if d == nil {
-		d = domain.NewSedovBox(bc)
+		var err error
+		d, err = domain.BuildScenario(cfg.Scenario, bc)
+		if err != nil {
+			panic(fmt.Sprintf("dist: unvalidated scenario %q: %v",
+				cfg.Scenario.String(), err))
+		}
 	}
 
 	ne := d.NumElem()

@@ -1,0 +1,143 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"lulesh/internal/checkpoint"
+	"lulesh/internal/core"
+	"lulesh/internal/domain"
+)
+
+// TestDistPistonMatchesMonolithic: the piston scenario decomposes across
+// ranks like sedov does — a 2-rank stack reproduces the monolithic tall
+// box to tight tolerance (the shared-plane force summation regroups, so
+// not bitwise).
+func TestDistPistonMatchesMonolithic(t *testing.T) {
+	const s = 4
+	const ranks = 2
+	const steps = 12
+
+	res, err := Run(Config{
+		Nx: s, Ny: s, NzPerRank: s, Ranks: ranks,
+		NumReg: 1, Balance: 1, Cost: 1, MaxIterations: steps,
+		Scenario: domain.ScenarioSpec{Name: domain.ScenarioPiston},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := domain.BuildScenario(
+		domain.ScenarioSpec{Name: domain.ScenarioPiston},
+		domain.BoxConfig{Nx: s, Ny: s, Nz: ranks * s, NumReg: 1, Balance: 1, Cost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.NewBackendSerial(d)
+	defer b.Close()
+	ref, err := core.Run(d, b, core.RunConfig{MaxIterations: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refTotal := 0.0
+	for e := 0; e < d.NumElem(); e++ {
+		refTotal += d.E[e] * d.Volo[e]
+	}
+	if refTotal <= 0 {
+		t.Fatalf("piston reference deposited no energy after %d steps", steps)
+	}
+	relDiff := func(a, c float64) float64 {
+		den := math.Max(math.Abs(a), math.Abs(c))
+		if den < 1e-300 {
+			return 0
+		}
+		return math.Abs(a-c) / den
+	}
+	if diff := relDiff(res.TotalEnergy, refTotal); diff > 1e-9 {
+		t.Fatalf("total energy differs by %v: %v vs %v", diff, res.TotalEnergy, refTotal)
+	}
+	if res.Iterations != ref.Iterations || relDiff(res.FinalTime, ref.FinalTime) > 1e-12 {
+		t.Fatalf("time stepping diverged: %v/%d vs %v/%d",
+			res.FinalTime, res.Iterations, ref.FinalTime, ref.Iterations)
+	}
+}
+
+// TestDistMultimatRuns: the multimat scenario's per-rank region sets and
+// extreme cost model survive the distributed driver.
+func TestDistMultimatRuns(t *testing.T) {
+	const s = 4
+	res, err := Run(Config{
+		Nx: s, Ny: s, NzPerRank: s, Ranks: 2,
+		NumReg: 1, Balance: 1, Cost: 1, MaxIterations: 10,
+		Scenario: domain.ScenarioSpec{Name: domain.ScenarioMultimat,
+			Options: map[string]string{"regions": "16"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEnergy <= 0 {
+		t.Fatalf("total energy %v", res.TotalEnergy)
+	}
+	doms := Domains(Config{
+		Nx: s, Ny: s, NzPerRank: s, Ranks: 2,
+		NumReg: 1, Balance: 1, Cost: 1,
+		Scenario: domain.ScenarioSpec{Name: domain.ScenarioMultimat,
+			Options: map[string]string{"regions": "16"}},
+	})
+	for r, d := range doms {
+		if d.Regions.NumReg != 16 {
+			t.Fatalf("rank %d: regions = %d, want 16", r, d.Regions.NumReg)
+		}
+		if d.Scenario.Name != domain.ScenarioMultimat {
+			t.Fatalf("rank %d: scenario tag %q", r, d.Scenario.Name)
+		}
+	}
+}
+
+// TestDistUnknownScenarioRejected: a bad spec fails fast, before any rank
+// or fabric is built.
+func TestDistUnknownScenarioRejected(t *testing.T) {
+	_, err := Run(Config{
+		Nx: 2, Ny: 2, NzPerRank: 2, Ranks: 1, NumReg: 1, MaxIterations: 1,
+		Scenario: domain.ScenarioSpec{Name: "nope"},
+	})
+	if err == nil {
+		t.Fatal("unknown scenario must be rejected")
+	}
+}
+
+// TestDistRestoreScenarioMismatchRejected: a committed checkpoint epoch
+// written by one scenario must not restart a run configured for another.
+func TestDistRestoreScenarioMismatchRejected(t *testing.T) {
+	cfg := Config{
+		Nx: 4, Ny: 4, NzPerRank: 4, Ranks: 1,
+		NumReg: 1, Balance: 1, Cost: 1, MaxIterations: 5,
+		Scenario: domain.ScenarioSpec{Name: domain.ScenarioPiston},
+	}
+
+	// File a committed sedov epoch into the store, as if a previous sedov
+	// run had checkpointed here.
+	bc := domain.BoxConfig{Nx: 4, Ny: 4, Nz: 4, NumReg: 1, Balance: 1, Cost: 1,
+		DepositEnergy: true, Spacing: 1.125 / 4}
+	d, err := domain.BuildScenario(domain.ScenarioSpec{}, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := checkpoint.SaveRank(&buf, d, bc,
+		checkpoint.RankMeta{Rank: 0, Ranks: 1, Epoch: 3}); err != nil {
+		t.Fatal(err)
+	}
+	store := newCkptStore(1)
+	if err := store.put(3, 0, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, errs := runAttempt(cfg, nil, store)
+	if errs[0] == nil || !errors.Is(errs[0], checkpoint.ErrScenarioMismatch) {
+		t.Fatalf("want ErrScenarioMismatch, got %v", errs[0])
+	}
+}

@@ -72,6 +72,9 @@ func RunWire(cfg Config, w WireOptions) (Result, error) {
 	if w.Rank < 0 || w.Rank >= cfg.Ranks {
 		return Result{}, fmt.Errorf("dist: wire rank %d out of [0,%d)", w.Rank, cfg.Ranks)
 	}
+	if err := domain.ValidateScenarioSpec(cfg.Scenario); err != nil {
+		return Result{}, fmt.Errorf("dist: %w", err)
+	}
 
 	// One-shot fault plans are consumed by the attempt that took them:
 	// a relaunched fabric runs them disabled, or recovery would loop.
@@ -152,6 +155,9 @@ func RunWire(cfg Config, w WireOptions) (Result, error) {
 			if meta.Rank != w.Rank || meta.Ranks != cfg.Ranks {
 				return Result{}, fmt.Errorf("dist: restore epoch %d: blob is rank %d/%d, want %d/%d",
 					epoch, meta.Rank, meta.Ranks, w.Rank, cfg.Ranks)
+			}
+			if err := checkpoint.ExpectScenario(dd, cfg.Scenario); err != nil {
+				return Result{}, fmt.Errorf("dist: restore epoch %d: %w", epoch, err)
 			}
 			d = dd
 			restored = true

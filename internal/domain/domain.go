@@ -19,6 +19,13 @@ type Domain struct {
 	Regions *mesh.Regions
 	Par     Params
 
+	// Scenario identifies the problem setup that built this domain (name
+	// plus full effective options); Box is the geometry it was built for.
+	// Checkpoints persist both so restore rebuilds the same topology
+	// through the scenario registry.
+	Scenario ScenarioSpec
+	Box      BoxConfig
+
 	// Node-centred state.
 	X, Y, Z       []float64 // coordinates
 	Xd, Yd, Zd    []float64 // velocities
@@ -108,6 +115,18 @@ func NewSedov(cfg Config) *Domain {
 
 // NewSedovBox allocates and initializes a general box (sub)domain.
 func NewSedovBox(cfg BoxConfig) *Domain {
+	d := newBox(cfg)
+	d.initSedovEnergy(cfg)
+	d.Scenario = ScenarioSpec{Name: ScenarioSedov}
+	return d
+}
+
+// newBox allocates a domain and builds everything every scenario shares:
+// mesh topology, state arrays, node coordinates, reference volumes and
+// masses, unit relative volumes, and a reset clock. Scenarios layer their
+// initial energy/velocity fields, boundary conditions and initial time
+// step on top.
+func newBox(cfg BoxConfig) *Domain {
 	if cfg.NumReg < 1 {
 		panic(fmt.Sprintf("domain: NumReg must be >= 1, got %d", cfg.NumReg))
 	}
@@ -117,6 +136,7 @@ func NewSedovBox(cfg BoxConfig) *Domain {
 		Mesh:    m,
 		Regions: mesh.NewRegions(m, cfg.NumReg, cfg.Balance, cfg.Cost),
 		Par:     DefaultParams(),
+		Box:     cfg,
 	}
 	nn, ne := m.NumNode, m.NumElem
 
@@ -196,10 +216,18 @@ func NewSedovBox(cfg BoxConfig) *Domain {
 		d.V[e] = 1.0
 	}
 
-	// Deposit the Sedov energy in the origin element, scaled so the
-	// problem is self-similar across mesh sizes. Non-origin ranks of a
-	// multi-domain run use the same einit for the time-step formula but
-	// deposit nothing.
+	d.Dtcourant = 1.0e20
+	d.Dthydro = 1.0e20
+	d.Time = 0
+	d.Cycle = 0
+	return d
+}
+
+// initSedovEnergy deposits the Sedov blast energy in the origin element,
+// scaled so the problem is self-similar across mesh sizes, and derives the
+// reference's initial time increment. Non-origin ranks of a multi-domain
+// run use the same einit for the time-step formula but deposit nothing.
+func (d *Domain) initSedovEnergy(cfg BoxConfig) {
 	einit := cfg.EInit
 	if einit == 0 {
 		scale := float64(cfg.Nx) / 45.0
@@ -208,14 +236,7 @@ func NewSedovBox(cfg BoxConfig) *Domain {
 	if cfg.DepositEnergy {
 		d.E[0] = einit
 	}
-
-	// Initial time increment, as in the reference.
 	d.Deltatime = (0.5 * math.Cbrt(d.Volo[0])) / math.Sqrt(2.0*einit)
-	d.Dtcourant = 1.0e20
-	d.Dthydro = 1.0e20
-	d.Time = 0
-	d.Cycle = 0
-	return d
 }
 
 // NumElem is the number of mesh elements.

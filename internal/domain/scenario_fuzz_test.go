@@ -1,0 +1,88 @@
+package domain
+
+import (
+	"testing"
+)
+
+// FuzzParseScenarioSpec: the CLI scenario syntax must error on malformed
+// input, never panic, and every accepted spec must render a canonical
+// String that re-parses to an equal spec.
+func FuzzParseScenarioSpec(f *testing.F) {
+	for _, seed := range []string{
+		"", "sedov", "piston", "piston:speed=150", "multimat:regions=96,cost=9",
+		"multimat:balance=2,cost=5,regions=64", ":x=1", "a:", "a:b", "a:=1",
+		"a:b=,c=2", "a:b=1,b=2", "p!ston:speed=1", "piston:speed=1e309",
+		"piston:speed=NaN", "multimat:regions=99999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseScenarioSpec(in)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		// Canonical form must round-trip.
+		back, err := ParseScenarioSpec(spec.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v",
+				spec.String(), in, err)
+		}
+		if !back.Equal(spec) {
+			t.Fatalf("round trip %q -> %q -> %+v != %+v", in, spec.String(), back, spec)
+		}
+	})
+}
+
+// FuzzBuildScenario: building from any parsed spec must either error or
+// produce a well-formed domain whose region element lists exactly cover
+// the element set — the property the per-region kernels depend on.
+// Build must never panic and never allocate unboundedly (option ranges
+// are clamped).
+func FuzzBuildScenario(f *testing.F) {
+	for _, seed := range []string{
+		"sedov", "piston", "piston:speed=0.001", "piston:speed=1000000",
+		"multimat", "multimat:regions=1", "multimat:regions=512,cost=100,balance=4",
+		"multimat:regions=513", "multimat:cost=101", "unknown",
+	} {
+		f.Add(seed, 3)
+	}
+	f.Fuzz(func(t *testing.T, in string, size int) {
+		spec, err := ParseScenarioSpec(in)
+		if err != nil {
+			return
+		}
+		if size < 1 || size > 6 {
+			size = 2 + (abs(size) % 4) // keep fuzz iterations cheap
+		}
+		d, err := BuildScenarioCube(spec, DefaultConfig(size))
+		if err != nil {
+			return
+		}
+		if d == nil {
+			t.Fatalf("BuildScenarioCube(%q) returned nil without error", in)
+		}
+		if d.Scenario.Name == "" {
+			t.Fatalf("built domain not stamped with its scenario (%q)", in)
+		}
+		// Stamped spec must rebuild an identically-shaped domain — the
+		// checkpoint-restore contract.
+		again, err := BuildScenario(d.Scenario, d.Box)
+		if err != nil {
+			t.Fatalf("stamped spec %q does not rebuild: %v", d.Scenario.String(), err)
+		}
+		if again.NumElem() != d.NumElem() || again.Regions.NumReg != d.Regions.NumReg {
+			t.Fatalf("rebuild of %q changed shape", d.Scenario.String())
+		}
+		assertRegionCover(t, in, d)
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		if v == -v { // MinInt
+			return 0
+		}
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,297 @@
+package domain
+
+import (
+	"testing"
+
+	"lulesh/internal/mesh"
+)
+
+func TestParseScenarioSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    ScenarioSpec
+		wantErr bool
+	}{
+		{in: "", want: ScenarioSpec{Name: "sedov"}},
+		{in: "sedov", want: ScenarioSpec{Name: "sedov"}},
+		{in: "piston", want: ScenarioSpec{Name: "piston"}},
+		{in: "piston:speed=150", want: ScenarioSpec{Name: "piston",
+			Options: map[string]string{"speed": "150"}}},
+		{in: "multimat:regions=96,cost=9", want: ScenarioSpec{Name: "multimat",
+			Options: map[string]string{"regions": "96", "cost": "9"}}},
+		{in: ":speed=1", wantErr: true},      // empty name
+		{in: "piston:", wantErr: true},       // trailing colon
+		{in: "piston:speed", wantErr: true},  // not key=value
+		{in: "piston:=5", wantErr: true},     // empty key
+		{in: "piston:speed=", wantErr: true}, // empty value
+		{in: "pis ton:a=1", wantErr: true},   // bad name character
+		{in: "p:a=1,a=2", wantErr: true},     // duplicate key
+		{in: "Sedov", wantErr: true},         // names are lower-case
+	}
+	for _, tc := range cases {
+		got, err := ParseScenarioSpec(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseScenarioSpec(%q): want error, got %+v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseScenarioSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if !got.Equal(tc.want) || got.Name != tc.want.Name {
+			t.Errorf("ParseScenarioSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestScenarioSpecStringCanonical(t *testing.T) {
+	s := ScenarioSpec{Name: "multimat",
+		Options: map[string]string{"regions": "96", "balance": "2", "cost": "9"}}
+	want := "multimat:balance=2,cost=9,regions=96"
+	for i := 0; i < 10; i++ { // map order must never leak
+		if got := s.String(); got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+	if (ScenarioSpec{}).String() != "sedov" {
+		t.Fatalf("zero spec should print as sedov")
+	}
+	// String round-trips through the parser.
+	back, err := ParseScenarioSpec(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) {
+		t.Fatalf("round-trip %q -> %+v != %+v", s.String(), back, s)
+	}
+}
+
+func TestScenarioSpecEqual(t *testing.T) {
+	if !(ScenarioSpec{}).Equal(ScenarioSpec{Name: "sedov"}) {
+		t.Error("zero spec should equal explicit sedov")
+	}
+	a := ScenarioSpec{Name: "piston", Options: map[string]string{"speed": "100"}}
+	b := ScenarioSpec{Name: "piston", Options: map[string]string{"speed": "101"}}
+	if a.Equal(b) {
+		t.Error("different option values should not be equal")
+	}
+	if a.Equal(ScenarioSpec{Name: "piston"}) {
+		t.Error("different option sets should not be equal")
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	names := ScenarioNames()
+	for _, want := range []string{"sedov", "piston", "multimat"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("scenario %q not registered (have %v)", want, names)
+		}
+		s, ok := LookupScenario(want)
+		if !ok || s.Name() != want {
+			t.Errorf("LookupScenario(%q) = %v, %v", want, s, ok)
+		}
+		if s, _ := LookupScenario(want); s.Summary() == "" || s.Stresses() == "" {
+			t.Errorf("scenario %q must document itself", want)
+		}
+	}
+	if _, err := BuildScenario(ScenarioSpec{Name: "nope"}, BoxConfig{Nx: 2, Ny: 2, Nz: 2, NumReg: 1}); err == nil {
+		t.Error("unknown scenario must be rejected")
+	}
+}
+
+func TestSedovScenarioMatchesNewSedov(t *testing.T) {
+	cfg := DefaultConfig(6)
+	ref := NewSedov(cfg)
+	got, err := BuildScenarioCube(ScenarioSpec{Name: "sedov"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.E[0] != ref.E[0] || got.Deltatime != ref.Deltatime ||
+		got.NumElem() != ref.NumElem() {
+		t.Fatalf("sedov scenario diverges from NewSedov: e0 %v vs %v", got.E[0], ref.E[0])
+	}
+	if got.Scenario.Name != "sedov" || ref.Scenario.Name != "sedov" {
+		t.Fatalf("sedov domains must be stamped, got %q / %q",
+			got.Scenario.Name, ref.Scenario.Name)
+	}
+	if err := checkKnownStrict(t, "sedov", "speed"); err == nil {
+		t.Error("sedov must reject options")
+	}
+}
+
+func checkKnownStrict(t *testing.T, name, key string) error {
+	t.Helper()
+	_, err := BuildScenarioCube(ScenarioSpec{Name: name,
+		Options: map[string]string{key: "1"}}, DefaultConfig(2))
+	return err
+}
+
+func TestPistonScenarioSetup(t *testing.T) {
+	d, err := BuildScenarioCube(ScenarioSpec{Name: "piston"}, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Mesh
+	// No energy anywhere: the piston shocks cold gas.
+	for e, en := range d.E {
+		if en != 0 {
+			t.Fatalf("E[%d] = %v, want 0", e, en)
+		}
+	}
+	// Every x-max face node carries the inward speed and a pinned
+	// x-acceleration; everything else is at rest.
+	enx := m.Nx + 1
+	for n := 0; n < m.NumNode; n++ {
+		onFace := n%enx == enx-1
+		if onFace {
+			if d.Xd[n] != -100 {
+				t.Fatalf("face node %d: Xd = %v, want -100", n, d.Xd[n])
+			}
+			if m.SymmFlags[n]&mesh.SymmFlagX == 0 {
+				t.Fatalf("face node %d: x-acceleration not pinned", n)
+			}
+		} else if d.Xd[n] != 0 {
+			t.Fatalf("interior node %d: Xd = %v, want 0", n, d.Xd[n])
+		}
+	}
+	// Face elements switched from free surface to moving wall.
+	for e := 0; e < m.NumElem; e++ {
+		bc := m.ElemBC[e]
+		if e%m.Nx == m.Nx-1 {
+			if bc&mesh.XiPSymm == 0 || bc&mesh.XiPFree != 0 {
+				t.Fatalf("face elem %d: BC %#x not a moving wall", e, bc)
+			}
+		} else if bc&mesh.XiP != 0 {
+			t.Fatalf("interior elem %d: unexpected xi-p BC %#x", e, bc)
+		}
+	}
+	if d.Deltatime <= 0 {
+		t.Fatal("piston must set an initial time step")
+	}
+	if got := d.Scenario.String(); got != "piston:speed=100" {
+		t.Fatalf("normalized spec = %q", got)
+	}
+
+	// The speed option steers both the face velocity and the stamp.
+	fast, err := BuildScenarioCube(ScenarioSpec{Name: "piston",
+		Options: map[string]string{"speed": "250"}}, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Xd[enx-1] != -250 {
+		t.Fatalf("speed option ignored: Xd = %v", fast.Xd[enx-1])
+	}
+	if fast.Scenario.String() != "piston:speed=250" {
+		t.Fatalf("normalized spec = %q", fast.Scenario.String())
+	}
+
+	for _, bad := range []string{"0", "-5", "nan", "inf", "1e300", "x"} {
+		if _, err := BuildScenarioCube(ScenarioSpec{Name: "piston",
+			Options: map[string]string{"speed": bad}}, DefaultConfig(4)); err == nil {
+			t.Errorf("speed=%q must be rejected", bad)
+		}
+	}
+}
+
+func TestMultimatScenarioSetup(t *testing.T) {
+	d, err := BuildScenarioCube(ScenarioSpec{Name: "multimat"}, DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regions.NumReg != 64 || d.Regions.Cost != 5 || d.Regions.Balance != 2 {
+		t.Fatalf("defaults not applied: %d regions, cost %d, balance %d",
+			d.Regions.NumReg, d.Regions.Cost, d.Regions.Balance)
+	}
+	if d.Regions.Model != mesh.CostModelExtreme {
+		t.Fatalf("cost model = %q, want extreme", d.Regions.Model)
+	}
+	if d.E[0] == 0 {
+		t.Fatal("multimat deposits blast energy at the origin")
+	}
+	// The extreme model must actually produce a wider rep spread than the
+	// reference model with the same parameters.
+	maxRef, maxExt := 0, 0
+	ref := *d.Regions
+	ref.Model = mesh.CostModelReference
+	for r := 0; r < d.Regions.NumReg; r++ {
+		if v := ref.Rep(r); v > maxRef {
+			maxRef = v
+		}
+		if v := d.Regions.Rep(r); v > maxExt {
+			maxExt = v
+		}
+	}
+	if maxExt < 5*maxRef {
+		t.Fatalf("extreme model top rep %d not cranked past reference %d", maxExt, maxRef)
+	}
+	if got := d.Scenario.String(); got != "multimat:balance=2,cost=5,regions=64" {
+		t.Fatalf("normalized spec = %q", got)
+	}
+
+	over, err := BuildScenarioCube(ScenarioSpec{Name: "multimat",
+		Options: map[string]string{"regions": "96", "cost": "9", "balance": "1"}},
+		DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Regions.NumReg != 96 || over.Regions.Cost != 9 || over.Regions.Balance != 1 {
+		t.Fatalf("options not applied: %+v", over.Regions)
+	}
+	for k, v := range map[string]string{
+		"regions": "0", "cost": "-1", "balance": "9", "regions2": "1",
+	} {
+		if _, err := BuildScenarioCube(ScenarioSpec{Name: "multimat",
+			Options: map[string]string{k: v}}, DefaultConfig(4)); err == nil {
+			t.Errorf("%s=%s must be rejected", k, v)
+		}
+	}
+}
+
+// TestScenarioRegionExactCover: for every scenario, the region element
+// lists must partition the element set exactly — each element in exactly
+// one region, in ascending order. This is the invariant the kernels'
+// per-region loops rely on for bitwise reproducibility.
+func TestScenarioRegionExactCover(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		d, err := BuildScenarioCube(ScenarioSpec{Name: name}, DefaultConfig(5))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertRegionCover(t, name, d)
+	}
+}
+
+func assertRegionCover(t *testing.T, name string, d *Domain) {
+	t.Helper()
+	seen := make([]int, d.NumElem())
+	for r, list := range d.Regions.ElemList {
+		prev := int32(-1)
+		for _, e := range list {
+			if e < 0 || int(e) >= d.NumElem() {
+				t.Fatalf("%s: region %d holds out-of-range element %d", name, r, e)
+			}
+			if e <= prev {
+				t.Fatalf("%s: region %d not ascending at element %d", name, r, e)
+			}
+			prev = e
+			seen[e]++
+			if d.Regions.RegNumList[e] != int32(r+1) {
+				t.Fatalf("%s: element %d RegNumList %d != region %d",
+					name, e, d.Regions.RegNumList[e], r+1)
+			}
+		}
+	}
+	for e, n := range seen {
+		if n != 1 {
+			t.Fatalf("%s: element %d covered %d times", name, e, n)
+		}
+	}
+}

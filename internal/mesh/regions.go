@@ -2,14 +2,26 @@ package mesh
 
 import "fmt"
 
+// Region cost models: how the EOS repetition factor Rep is derived from a
+// region's index. CostModelReference is LULESH 2.0's distribution;
+// CostModelExtreme (the multimat scenario) pushes far more of the regions
+// into the expensive tiers and adds a 10x-steeper top tier, producing the
+// many-small-expensive-regions imbalance regime the locality and
+// adaptive-grain scheduling work targets.
+const (
+	CostModelReference = "" // zero value: the LULESH 2.0 distribution
+	CostModelExtreme   = "extreme"
+)
+
 // Regions is the material-region decomposition of the mesh elements.
 // LULESH models heterogeneous materials by splitting elements into regions
 // of differing size and by repeating the equation-of-state evaluation for
 // some regions (the rep factor), creating deliberate load imbalance.
 type Regions struct {
 	NumReg  int
-	Cost    int // the reference's -c flag (default 1)
-	Balance int // the reference's -b flag (default 1)
+	Cost    int    // the reference's -c flag (default 1)
+	Balance int    // the reference's -b flag (default 1)
+	Model   string // cost model (CostModelReference or CostModelExtreme)
 
 	// RegNumList[e] is the 1-based region number of element e.
 	RegNumList []int32
@@ -118,13 +130,32 @@ func NewRegions(m *Mesh, numReg, balance, cost int) *Regions {
 	return r
 }
 
-// Rep returns the EOS repetition factor of region r (0-based), reproducing
-// the reference's load-imbalance model: the cheapest half of the regions
-// evaluate the EOS once, most of the rest (1+cost) times, and the last
-// ~5 % of regions 10*(1+cost) times. With the default cost of 1 that is
-// 1x / 2x / 20x, the "doubles the computation for 45 % of the regions and
-// increases it even by twenty times for 5 %" of the paper.
+// Rep returns the EOS repetition factor of region r (0-based).
+//
+// Under CostModelReference it reproduces the reference's load-imbalance
+// model: the cheapest half of the regions evaluate the EOS once, most of
+// the rest (1+cost) times, and the last ~5 % of regions 10*(1+cost) times.
+// With the default cost of 1 that is 1x / 2x / 20x, the "doubles the
+// computation for 45 % of the regions and increases it even by twenty
+// times for 5 %" of the paper.
+//
+// Under CostModelExtreme only the cheapest quarter stays at 1x, the next
+// quarter costs (1+cost), the next 10*(1+cost), and the top eighth
+// 100*(1+cost) — a two-decade spread designed to overwhelm static
+// partitioning.
 func (r *Regions) Rep(reg int) int {
+	if r.Model == CostModelExtreme {
+		switch {
+		case reg < r.NumReg/4:
+			return 1
+		case reg < r.NumReg/2:
+			return 1 + r.Cost
+		case reg < r.NumReg-(r.NumReg+7)/8:
+			return 10 * (1 + r.Cost)
+		default:
+			return 100 * (1 + r.Cost)
+		}
+	}
 	switch {
 	case reg < r.NumReg/2:
 		return 1

@@ -13,19 +13,72 @@ import (
 // figure-of-merit, per-phase breakdown, counter snapshot and enough
 // build/host context to compare records across PRs. luleshbench writes one
 // BENCH_<n>.json per -record run.
+//
+// JSON key order is the struct field order and therefore stable across
+// runs — committed records diff cleanly. New fields must be appended with
+// omitempty so old records keep validating.
 type BenchRecord struct {
 	Name       string             `json:"name"`
 	Timestamp  string             `json:"timestamp"`
+	Scenario   string             `json:"scenario,omitempty"` // canonical spec ("" = sedov, pre-scenario records)
 	Backend    string             `json:"backend"`
 	Workers    int                `json:"workers"`
 	Size       int                `json:"size,omitempty"` // mesh edge elements
 	Regions    int                `json:"regions,omitempty"`
 	Iterations int                `json:"iterations"`
 	ElapsedSec float64            `json:"elapsed_sec"`
-	FOM        float64            `json:"fom_zps"` // zones/second
+	FOM        float64            `json:"fom_zps"`               // zones/second
+	GrindUsZC  float64            `json:"grind_us_zc,omitempty"` // microseconds per zone per cycle
 	Phases     []PhaseStats       `json:"phases,omitempty"`
 	Counters   map[string]float64 `json:"counters,omitempty"`
 	Build      BuildInfo          `json:"build"`
+}
+
+// Validate checks the invariants every written record must satisfy; the
+// bench gate refuses files that fail it rather than comparing garbage.
+func (r BenchRecord) Validate() error {
+	switch {
+	case r.Name == "":
+		return fmt.Errorf("perf: record missing name")
+	case r.Backend == "":
+		return fmt.Errorf("perf: record %q missing backend", r.Name)
+	case r.Workers < 1:
+		return fmt.Errorf("perf: record %q has %d workers", r.Name, r.Workers)
+	case r.Iterations < 1:
+		return fmt.Errorf("perf: record %q has %d iterations", r.Name, r.Iterations)
+	case r.ElapsedSec <= 0:
+		return fmt.Errorf("perf: record %q has elapsed %v", r.Name, r.ElapsedSec)
+	case r.FOM <= 0:
+		return fmt.Errorf("perf: record %q has FOM %v", r.Name, r.FOM)
+	case r.GrindUsZC < 0:
+		return fmt.Errorf("perf: record %q has grind %v", r.Name, r.GrindUsZC)
+	case r.Build.GoVersion == "":
+		return fmt.Errorf("perf: record %q missing build info", r.Name)
+	}
+	return nil
+}
+
+// ConfigKey identifies the measured configuration — the unit the bench
+// gate compares across record sets. Records of the same key measure the
+// same work.
+func (r BenchRecord) ConfigKey() string {
+	sc := r.Scenario
+	if sc == "" {
+		sc = "sedov"
+	}
+	return fmt.Sprintf("%s|%s|s%d|w%d", sc, r.Backend, r.Size, r.Workers)
+}
+
+// Grind returns the grind time in us/zone/cycle, deriving it from the FOM
+// for pre-scenario records that did not store it.
+func (r BenchRecord) Grind() float64 {
+	if r.GrindUsZC > 0 {
+		return r.GrindUsZC
+	}
+	if r.FOM > 0 {
+		return 1e6 / r.FOM
+	}
+	return 0
 }
 
 // BuildInfo pins the toolchain and host a record was produced on.

@@ -1,0 +1,203 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The bench gate turns the committed BENCH_<n>.json records into a
+// regression test: re-measure the same configurations, compare grind
+// times, and fail if any configuration got more than Tolerance slower.
+//
+// Raw grind times are not comparable across machines, so the default
+// mode normalizes by the median slowdown ratio across all matched
+// configurations — a uniformly slower (or faster) host shifts every
+// ratio equally and cancels out, while a regression in one backend or
+// scenario sticks out against the rest. Absolute mode skips the
+// normalization and is the right choice when baseline and current were
+// measured on the same machine (e.g. back-to-back in CI).
+
+// GateEntry is the verdict for one measured configuration.
+type GateEntry struct {
+	Key             string  // BenchRecord.ConfigKey of the configuration
+	BaselineGrind   float64 // us/zone/cycle in the baseline set
+	CurrentGrind    float64 // us/zone/cycle in the current set (0 = missing)
+	Ratio           float64 // CurrentGrind / BaselineGrind
+	NormalizedRatio float64 // Ratio / median ratio (== Ratio in absolute mode)
+	Pass            bool
+	Detail          string
+}
+
+// GateReport is the outcome of one gate run.
+type GateReport struct {
+	Entries     []GateEntry
+	MedianRatio float64
+	Tolerance   float64
+	Absolute    bool
+}
+
+// Pass reports whether every configuration passed.
+func (r GateReport) Pass() bool {
+	for _, e := range r.Entries {
+		if !e.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report as the table benchgate prints.
+func (r GateReport) String() string {
+	var b strings.Builder
+	mode := "median-normalized"
+	if r.Absolute {
+		mode = "absolute"
+	}
+	fmt.Fprintf(&b, "bench gate: %d configs, tolerance %.0f%%, %s (median ratio %.3f)\n",
+		len(r.Entries), r.Tolerance*100, mode, r.MedianRatio)
+	for _, e := range r.Entries {
+		verdict := "ok"
+		if !e.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "  %-4s %-40s base %8.3f  now %8.3f  ratio %.3f  norm %.3f  %s\n",
+			verdict, e.Key, e.BaselineGrind, e.CurrentGrind, e.Ratio, e.NormalizedRatio, e.Detail)
+	}
+	return b.String()
+}
+
+// Gate compares current records against baseline records keyed by
+// configuration. Multiple records per key keep the best (lowest) grind,
+// matching how the benchmarks themselves report min-of-reps. A baseline
+// key with no current record fails — the gate cannot vouch for what it
+// did not measure. Current-only keys are ignored (new configurations are
+// not regressions). Median normalization needs at least 3 matched
+// configurations to be meaningful; below that the gate falls back to
+// absolute ratios.
+func Gate(baseline, current []BenchRecord, tolerance float64, absolute bool) (GateReport, error) {
+	if tolerance <= 0 {
+		return GateReport{}, fmt.Errorf("perf: gate tolerance must be positive, got %v", tolerance)
+	}
+	base := bestGrindByKey(baseline)
+	if len(base) == 0 {
+		return GateReport{}, fmt.Errorf("perf: no baseline records with a grind time")
+	}
+	cur := bestGrindByKey(current)
+
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	rep := GateReport{Tolerance: tolerance, Absolute: absolute, MedianRatio: 1}
+	var ratios []float64
+	for _, k := range keys {
+		if g, ok := cur[k]; ok && g > 0 {
+			ratios = append(ratios, g/base[k])
+		}
+	}
+	if !absolute && len(ratios) >= 3 {
+		rep.MedianRatio = median(ratios)
+	}
+
+	for _, k := range keys {
+		e := GateEntry{Key: k, BaselineGrind: base[k]}
+		g, ok := cur[k]
+		if !ok || g <= 0 {
+			e.Detail = "no current measurement"
+			rep.Entries = append(rep.Entries, e)
+			continue
+		}
+		e.CurrentGrind = g
+		e.Ratio = g / base[k]
+		e.NormalizedRatio = e.Ratio / rep.MedianRatio
+		// A config fails only when it is slower than tolerated both
+		// absolutely and relative to the fleet median: a config still
+		// within tolerance of its recorded baseline is not a regression
+		// just because its neighbours happened to speed up. (In absolute
+		// mode NormalizedRatio == Ratio, so the two conditions coincide.)
+		e.Pass = e.NormalizedRatio <= 1+tolerance || e.Ratio <= 1+tolerance
+		if !e.Pass {
+			e.Detail = fmt.Sprintf("%.0f%% slower than tolerated", (e.NormalizedRatio-1)*100)
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	return rep, nil
+}
+
+func bestGrindByKey(recs []BenchRecord) map[string]float64 {
+	m := make(map[string]float64)
+	for _, r := range recs {
+		g := r.Grind()
+		if g <= 0 {
+			continue
+		}
+		k := r.ConfigKey()
+		if old, ok := m[k]; !ok || g < old {
+			m[k] = g
+		}
+	}
+	return m
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// ReadBenchDir loads and validates every BENCH_<n>.json in dir, sorted by
+// slot number via the lexicographic glob order of equal-width names first
+// and numeric suffix second.
+func ReadBenchDir(dir string) ([]BenchRecord, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		return benchSlot(paths[i]) < benchSlot(paths[j])
+	})
+	var recs []BenchRecord
+	for _, p := range paths {
+		r, err := ReadBenchJSON(p)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, r)
+	}
+	return recs, nil
+}
+
+// ReadBenchJSON loads one record and validates it.
+func ReadBenchJSON(path string) (BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	var r BenchRecord
+	if err := json.Unmarshal(data, &r); err != nil {
+		return BenchRecord{}, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return BenchRecord{}, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+func benchSlot(path string) int {
+	name := filepath.Base(path)
+	var n int
+	if _, err := fmt.Sscanf(name, "BENCH_%d.json", &n); err != nil {
+		return 1 << 30
+	}
+	return n
+}

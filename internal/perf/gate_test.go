@@ -1,0 +1,200 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+// gateRecord builds a minimal valid record for one configuration with
+// the given grind time (us/zone/cycle).
+func gateRecord(scenario, backend string, size, workers int, grind float64) BenchRecord {
+	return BenchRecord{
+		Name:       "sweep",
+		Timestamp:  "2026-01-02T03:04:05Z",
+		Scenario:   scenario,
+		Backend:    backend,
+		Workers:    workers,
+		Size:       size,
+		Regions:    11,
+		Iterations: 100,
+		ElapsedSec: grind * float64(size*size*size) * 100 / 1e6,
+		FOM:        1e6 / grind,
+		GrindUsZC:  grind,
+		Build:      BuildInfo{GoVersion: "go1.22.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 8},
+	}
+}
+
+func gateBaseline() []BenchRecord {
+	return []BenchRecord{
+		gateRecord("sedov", "task", 16, 4, 1.00),
+		gateRecord("piston:speed=100", "task", 16, 4, 0.90),
+		gateRecord("multimat:balance=2,cost=5,regions=64", "task", 16, 4, 1.40),
+		gateRecord("sedov", "serial", 16, 1, 2.00),
+	}
+}
+
+// scale returns the baseline with every grind multiplied by f, except
+// keys listed in bump which get an extra factor.
+func scale(f float64, bump map[string]float64) []BenchRecord {
+	recs := gateBaseline()
+	for i := range recs {
+		g := recs[i].GrindUsZC * f
+		if extra, ok := bump[recs[i].ConfigKey()]; ok {
+			g *= extra
+		}
+		recs[i].GrindUsZC = g
+		recs[i].FOM = 1e6 / g
+	}
+	return recs
+}
+
+// TestGateSyntheticRegression is the acceptance demo: a >10% grind-time
+// regression in one configuration must fail the gate while the
+// unregressed configurations pass.
+func TestGateSyntheticRegression(t *testing.T) {
+	regressedKey := "piston:speed=100|task|s16|w4"
+	rep, err := Gate(gateBaseline(), scale(1.0, map[string]float64{regressedKey: 1.25}), 0.10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass() {
+		t.Fatalf("gate passed a 25%% regression:\n%s", rep)
+	}
+	for _, e := range rep.Entries {
+		if e.Key == regressedKey && e.Pass {
+			t.Errorf("regressed config %s passed", e.Key)
+		}
+		if e.Key != regressedKey && !e.Pass {
+			t.Errorf("unregressed config %s failed:\n%s", e.Key, rep)
+		}
+	}
+	if !strings.Contains(rep.String(), "FAIL") {
+		t.Errorf("report does not mark the failure:\n%s", rep)
+	}
+}
+
+// TestGateWithinTolerance: a 5% wobble on one config is noise, not a
+// regression.
+func TestGateWithinTolerance(t *testing.T) {
+	rep, err := Gate(gateBaseline(), scale(1.0, map[string]float64{"sedov|task|s16|w4": 1.05}), 0.10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass() {
+		t.Errorf("gate failed a 5%% wobble:\n%s", rep)
+	}
+}
+
+// TestGateMedianAbsorbsUniformShift: a slower host scales every grind
+// equally; the default mode must not flag that, but absolute mode must.
+func TestGateMedianAbsorbsUniformShift(t *testing.T) {
+	current := scale(1.8, nil) // everything 80% slower — different machine
+	rep, err := Gate(gateBaseline(), current, 0.10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass() {
+		t.Errorf("median mode flagged a uniform host shift:\n%s", rep)
+	}
+	abs, err := Gate(gateBaseline(), current, 0.10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abs.Pass() {
+		t.Errorf("absolute mode accepted an 80%% slowdown:\n%s", abs)
+	}
+}
+
+// TestGateCatchesRegressionOnSlowerHost: the combination that matters in
+// CI — everything shifted by the host, plus one real regression on top.
+func TestGateCatchesRegressionOnSlowerHost(t *testing.T) {
+	regressedKey := "sedov|serial|s16|w1"
+	rep, err := Gate(gateBaseline(), scale(1.5, map[string]float64{regressedKey: 1.30}), 0.10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass() {
+		t.Fatalf("gate missed a 30%% regression hidden under a host shift:\n%s", rep)
+	}
+	for _, e := range rep.Entries {
+		if e.Key == regressedKey && e.Pass {
+			t.Errorf("regressed config %s passed", e.Key)
+		}
+	}
+}
+
+// TestGateMissingCurrentFails: a baseline config the current run did not
+// measure cannot be vouched for.
+func TestGateMissingCurrentFails(t *testing.T) {
+	rep, err := Gate(gateBaseline(), gateBaseline()[:2], 0.10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass() {
+		t.Errorf("gate passed with unmeasured baseline configs:\n%s", rep)
+	}
+}
+
+// TestGateFewConfigsFallsBackToAbsolute: with fewer than 3 matched
+// configs the median is meaningless, so ratios are taken as-is — a
+// single-config regression must still fail.
+func TestGateFewConfigsFallsBackToAbsolute(t *testing.T) {
+	base := gateBaseline()[:1]
+	cur := scale(1.0, map[string]float64{base[0].ConfigKey(): 1.5})[:1]
+	rep, err := Gate(base, cur, 0.10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass() {
+		t.Errorf("single-config regression normalized away:\n%s", rep)
+	}
+}
+
+// TestGateBestOfReps: several records for the same key keep the lowest
+// grind on both sides, matching min-of-reps benchmark reporting.
+func TestGateBestOfReps(t *testing.T) {
+	base := []BenchRecord{
+		gateRecord("sedov", "task", 16, 4, 1.00),
+		gateRecord("sedov", "task", 16, 4, 1.50), // noisy rep, ignored
+	}
+	cur := []BenchRecord{
+		gateRecord("sedov", "task", 16, 4, 2.00), // noisy rep, ignored
+		gateRecord("sedov", "task", 16, 4, 1.02),
+	}
+	rep, err := Gate(base, cur, 0.10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 1 || !rep.Entries[0].Pass {
+		t.Errorf("best-of-reps comparison failed:\n%s", rep)
+	}
+	if rep.Entries[0].Ratio > 1.05 {
+		t.Errorf("ratio %v, want ~1.02 (best vs best)", rep.Entries[0].Ratio)
+	}
+}
+
+// TestGateNeighbourSpeedupIsNotARegression: when most configs get faster
+// (warm cache, quieter machine) a config that merely stayed put has an
+// inflated normalized ratio — but it is within tolerance of its own
+// baseline, so it must not fail.
+func TestGateNeighbourSpeedupIsNotARegression(t *testing.T) {
+	stayedPut := "sedov|serial|s16|w1"
+	current := scale(0.8, map[string]float64{stayedPut: 1.0 / 0.8}) // everyone -20%, this one flat
+	rep, err := Gate(gateBaseline(), current, 0.10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass() {
+		t.Errorf("config at its own baseline failed because neighbours sped up:\n%s", rep)
+	}
+}
+
+// TestGateErrors covers the refuse-to-run paths.
+func TestGateErrors(t *testing.T) {
+	if _, err := Gate(gateBaseline(), gateBaseline(), 0, false); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	if _, err := Gate(nil, gateBaseline(), 0.10, false); err == nil {
+		t.Error("empty baseline accepted")
+	}
+}
