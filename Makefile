@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz cover bench verify figures examples clean perfgate chaos net benchgate sweep
+.PHONY: all build test race fuzz cover bench verify figures examples clean perfgate chaos net benchgate sweep bce
 
 # The race lane is a first-class gate: all runtime/scheduler changes must
 # survive the race detector, not just the plain test run.
@@ -64,6 +64,21 @@ net:
 	/tmp/lulesh-net -np 4 -s 8 -i 30 -q -faults drop=0.02,dup=0.02 \
 		-checkpoint-every 5 -wire-kill 2@12
 	$(GO) run ./cmd/luleshverify -net
+
+# The bounds-check-elimination gate: count the static check sites the
+# compiler leaves in the hot-kernel package and fail if the count rises
+# above the recorded ceiling (per-file breakdown in EXPERIMENTS.md). The
+# remaining sites are data-dependent indirect loads (mesh connectivity)
+# plus one-per-call view setup; the hot loop bodies themselves are clean.
+# -a busts the build cache so the diagnostics always print.
+BCE_CEILING ?= 330
+bce:
+	@n=$$($(GO) build -a -gcflags='-d=ssa/check_bce' ./internal/kernels/ 2>&1 | grep -c 'Found Is'); \
+	echo "check_bce sites in internal/kernels: $$n (ceiling $(BCE_CEILING))"; \
+	if [ $$n -gt $(BCE_CEILING) ]; then \
+		echo "FAIL: bounds-check sites regressed above the recorded ceiling"; \
+		exit 1; \
+	fi
 
 # The perf-trajectory gate: re-measure the configurations pinned by the
 # committed BENCH_<n>.json baselines (scenarios x backends) and fail on a

@@ -1,0 +1,155 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"lulesh/internal/core"
+	"lulesh/internal/domain"
+)
+
+// The checkpoint payload stores field planes as plain slice values, so a
+// blob is layout-neutral: it can be written from a slab-backed domain and
+// restored into a scalar-backed one (or vice versa) without any format
+// change. These tests pin that down.
+
+func sedovBox(size int, layout domain.Layout) domain.BoxConfig {
+	return domain.BoxConfig{
+		Nx: size, Ny: size, Nz: size,
+		NumReg: 11, Balance: 1, Cost: 1,
+		DepositEnergy: true,
+		FieldLayout:   layout,
+	}
+}
+
+func compareState(t *testing.T, name string, ref, got *domain.Domain) {
+	t.Helper()
+	if got.Cycle != ref.Cycle || got.Time != ref.Time {
+		t.Fatalf("%s: clock diverged: %d/%v vs %d/%v",
+			name, got.Cycle, got.Time, ref.Cycle, ref.Time)
+	}
+	pairs := []struct {
+		field string
+		a, b  []float64
+	}{
+		{"X", ref.X, got.X}, {"Y", ref.Y, got.Y}, {"Z", ref.Z, got.Z},
+		{"Xd", ref.Xd, got.Xd}, {"Yd", ref.Yd, got.Yd}, {"Zd", ref.Zd, got.Zd},
+		{"E", ref.E, got.E}, {"P", ref.P, got.P}, {"Q", ref.Q, got.Q},
+		{"V", ref.V, got.V}, {"SS", ref.SS, got.SS},
+	}
+	for _, pr := range pairs {
+		for i := range pr.a {
+			if pr.a[i] != pr.b[i] {
+				t.Fatalf("%s: %s[%d] diverged: %v vs %v",
+					name, pr.field, i, pr.a[i], pr.b[i])
+			}
+		}
+	}
+}
+
+// TestCrossLayoutRestore saves a slab-layout run mid-flight with a config
+// requesting the scalar layout (and vice versa). Load rebuilds under the
+// requested layout and the continued run must match an uninterrupted
+// slab-layout reference bit for bit in both directions.
+func TestCrossLayoutRestore(t *testing.T) {
+	const size, pre, post = 6, 18, 12
+
+	ref, err := domain.BuildScenario(domain.ScenarioSpec{}, sedovBox(size, domain.LayoutSlab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bref := core.NewBackendSerial(ref)
+	defer bref.Close()
+	stepN(t, ref, bref, pre+post)
+
+	for _, tc := range []struct {
+		name     string
+		runUnder domain.Layout // layout of the domain that writes the blob
+		saveAs   domain.Layout // layout recorded in the blob's config
+	}{
+		{"slab-to-scalar", domain.LayoutSlab, domain.LayoutScalar},
+		{"scalar-to-slab", domain.LayoutScalar, domain.LayoutSlab},
+		{"scalar-to-scalar", domain.LayoutScalar, domain.LayoutScalar},
+	} {
+		d, err := domain.BuildScenario(domain.ScenarioSpec{}, sedovBox(size, tc.runUnder))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Layout != tc.runUnder {
+			t.Fatalf("%s: built layout %v, want %v", tc.name, d.Layout, tc.runUnder)
+		}
+		b := core.NewBackendSerial(d)
+		stepN(t, d, b, pre)
+		var buf bytes.Buffer
+		if err := Save(&buf, d, sedovBox(size, tc.saveAs)); err != nil {
+			t.Fatalf("%s: save: %v", tc.name, err)
+		}
+		b.Close()
+
+		resumed, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", tc.name, err)
+		}
+		if resumed.Layout != tc.saveAs {
+			t.Fatalf("%s: restored layout %v, want %v", tc.name, resumed.Layout, tc.saveAs)
+		}
+		b2 := core.NewBackendSerial(resumed)
+		stepN(t, resumed, b2, post)
+		b2.Close()
+		compareState(t, tc.name, ref, resumed)
+	}
+}
+
+// TestRankRoundTripScalarLayout runs the rank codec (base state + ghost
+// gradient planes) over a scalar-layout comm domain and checks every
+// restored plane, including the ghost tails that live past NumElem.
+func TestRankRoundTripScalarLayout(t *testing.T) {
+	cfg := domain.BoxConfig{
+		Nx: 4, Ny: 4, Nz: 4,
+		NumReg: 3, Balance: 1, Cost: 1,
+		CommZMax:      true,
+		DepositEnergy: true,
+		FieldLayout:   domain.LayoutScalar,
+	}
+	d, err := domain.BuildScenario(domain.ScenarioSpec{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne := d.NumElem()
+	if len(d.DelvXi) == ne {
+		t.Fatal("comm domain should carry ghost gradient planes")
+	}
+	for i := range d.DelvXi {
+		d.DelvXi[i] = float64(i) * 0.5
+		d.DelvEta[i] = float64(i) * 0.25
+		d.DelvZeta[i] = float64(i) * 0.125
+	}
+	var buf bytes.Buffer
+	if err := SaveRank(&buf, d, cfg, RankMeta{Rank: 1, Ranks: 2, Epoch: 7}); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, err := LoadRank(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Layout != domain.LayoutScalar {
+		t.Fatalf("restored layout %v, want scalar", got.Layout)
+	}
+	if meta.Rank != 1 || meta.Ranks != 2 || meta.Epoch != 7 {
+		t.Fatalf("meta round trip: %+v", meta)
+	}
+	// Only the ghost tails [ne:] ride in the blob; the interior of the
+	// gradient planes is per-step scratch and is not checkpointed.
+	for i := ne; i < len(d.DelvXi); i++ {
+		if got.DelvXi[i] != d.DelvXi[i] ||
+			got.DelvEta[i] != d.DelvEta[i] ||
+			got.DelvZeta[i] != d.DelvZeta[i] {
+			t.Fatalf("ghost gradient plane diverged at %d", i)
+		}
+	}
+	for i := range d.NodalMass {
+		if got.NodalMass[i] != d.NodalMass[i] {
+			t.Fatalf("nodal mass diverged at %d", i)
+		}
+	}
+}

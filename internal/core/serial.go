@@ -8,8 +8,11 @@ import (
 // buffers holds the mesh-sized temporaries shared by the serial and
 // fork-join backends. The reference implementation allocates these per
 // call; persisting them across iterations is a pure allocator optimization
-// with no numerical effect.
+// with no numerical effect. All seventeen planes are carved from one
+// scratch arena so the working set of consecutive kernels is contiguous.
 type buffers struct {
+	arena *kernels.Arena
+
 	sigxx, sigyy, sigzz []float64
 	determS             []float64 // stress-integration volumes
 	determH             []float64 // hourglass volumes (volo*v)
@@ -36,25 +39,28 @@ func newBuffers(d *domain.Domain) *buffers {
 			maxReg = len(l)
 		}
 	}
+	// 5 element-sized planes + 12 corner-sized (8·ne) planes + vnewc.
+	a := kernels.NewArena((5 + 12*8 + 1) * ne)
 	return &buffers{
-		sigxx:   make([]float64, ne),
-		sigyy:   make([]float64, ne),
-		sigzz:   make([]float64, ne),
-		determS: make([]float64, ne),
-		determH: make([]float64, ne),
-		fxS:     make([]float64, 8*ne),
-		fyS:     make([]float64, 8*ne),
-		fzS:     make([]float64, 8*ne),
-		fxH:     make([]float64, 8*ne),
-		fyH:     make([]float64, 8*ne),
-		fzH:     make([]float64, 8*ne),
-		dvdx:    make([]float64, 8*ne),
-		dvdy:    make([]float64, 8*ne),
-		dvdz:    make([]float64, 8*ne),
-		x8n:     make([]float64, 8*ne),
-		y8n:     make([]float64, 8*ne),
-		z8n:     make([]float64, 8*ne),
-		vnewc:   make([]float64, ne),
+		arena:   a,
+		sigxx:   a.Take(ne),
+		sigyy:   a.Take(ne),
+		sigzz:   a.Take(ne),
+		determS: a.Take(ne),
+		determH: a.Take(ne),
+		fxS:     a.Take(8 * ne),
+		fyS:     a.Take(8 * ne),
+		fzS:     a.Take(8 * ne),
+		fxH:     a.Take(8 * ne),
+		fyH:     a.Take(8 * ne),
+		fzH:     a.Take(8 * ne),
+		dvdx:    a.Take(8 * ne),
+		dvdy:    a.Take(8 * ne),
+		dvdz:    a.Take(8 * ne),
+		x8n:     a.Take(8 * ne),
+		y8n:     a.Take(8 * ne),
+		z8n:     a.Take(8 * ne),
+		vnewc:   a.Take(ne),
 		scratch: kernels.NewEOSScratch(maxReg),
 	}
 }

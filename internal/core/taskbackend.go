@@ -38,7 +38,8 @@ type BackendTask struct {
 	// nil when the static Table I grain is used.
 	grain *grainController
 
-	// Mesh-sized persistent temporaries.
+	// Mesh-sized persistent temporaries, carved from one arena.
+	arena               *kernels.Arena
 	sigxx, sigyy, sigzz []float64
 	determS, determH    []float64
 	fxS, fyS, fzS       []float64
@@ -54,8 +55,12 @@ type BackendTask struct {
 	flag kernels.Flag
 }
 
-// hgScratch holds the task-local hourglass temporaries for one partition.
+// hgScratch holds the task-local hourglass temporaries for one partition,
+// carved from a single arena allocation so the six planes one task walks
+// in lockstep are contiguous.
 type hgScratch struct {
+	arena kernels.Arena
+
 	dvdx, dvdy, dvdz []float64
 	x8n, y8n, z8n    []float64
 }
@@ -73,12 +78,13 @@ func (sc *hgScratch) ensure(n int) {
 	if len(sc.dvdx) >= 8*n {
 		return
 	}
-	sc.dvdx = make([]float64, 8*n)
-	sc.dvdy = make([]float64, 8*n)
-	sc.dvdz = make([]float64, 8*n)
-	sc.x8n = make([]float64, 8*n)
-	sc.y8n = make([]float64, 8*n)
-	sc.z8n = make([]float64, 8*n)
+	sc.arena.Grow(6 * 8 * n)
+	sc.dvdx = sc.arena.Take(8 * n)
+	sc.dvdy = sc.arena.Take(8 * n)
+	sc.dvdz = sc.arena.Take(8 * n)
+	sc.x8n = sc.arena.Take(8 * n)
+	sc.y8n = sc.arena.Take(8 * n)
+	sc.z8n = sc.arena.Take(8 * n)
 }
 
 // NewBackendTask creates the many-task backend for domains shaped like d.
@@ -96,22 +102,25 @@ func NewBackendTask(d *domain.Domain, opt Options) *BackendTask {
 		}
 	}
 	ne := d.NumElem()
+	// 5 element-sized planes + 6 corner-sized (8·ne) planes + vnewc.
+	a := kernels.NewArena((5 + 6*8 + 1) * ne)
 	b := &BackendTask{
 		s: amt.NewScheduler(amt.WithWorkers(opt.Threads),
 			amt.WithStealHalf(opt.StealHalf)),
 		opt:     opt,
-		sigxx:   make([]float64, ne),
-		sigyy:   make([]float64, ne),
-		sigzz:   make([]float64, ne),
-		determS: make([]float64, ne),
-		determH: make([]float64, ne),
-		fxS:     make([]float64, 8*ne),
-		fyS:     make([]float64, 8*ne),
-		fzS:     make([]float64, 8*ne),
-		fxH:     make([]float64, 8*ne),
-		fyH:     make([]float64, 8*ne),
-		fzH:     make([]float64, 8*ne),
-		vnewc:   make([]float64, ne),
+		arena:   a,
+		sigxx:   a.Take(ne),
+		sigyy:   a.Take(ne),
+		sigzz:   a.Take(ne),
+		determS: a.Take(ne),
+		determH: a.Take(ne),
+		fxS:     a.Take(8 * ne),
+		fyS:     a.Take(8 * ne),
+		fzS:     a.Take(8 * ne),
+		fxH:     a.Take(8 * ne),
+		fyH:     a.Take(8 * ne),
+		fzH:     a.Take(8 * ne),
+		vnewc:   a.Take(ne),
 	}
 	partE := opt.PartElem
 	b.hgPool.New = func() any { return newHGScratch(partE) }

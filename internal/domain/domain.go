@@ -26,6 +26,14 @@ type Domain struct {
 	Scenario ScenarioSpec
 	Box      BoxConfig
 
+	// Layout records how the field slices below are backed (see slab.go);
+	// nodeSlab/elemSlab/gradSlab are the backing stores under LayoutSlab
+	// and nil under LayoutScalar.
+	Layout   Layout
+	nodeSlab []float64
+	elemSlab []float64
+	gradSlab []float64
+
 	// Node-centred state.
 	X, Y, Z       []float64 // coordinates
 	Xd, Yd, Zd    []float64 // velocities
@@ -99,6 +107,11 @@ type BoxConfig struct {
 	// origin.
 	EInit         float64
 	DepositEnergy bool
+
+	// FieldLayout selects the field memory layout (see slab.go). The zero
+	// value is LayoutSlab; old checkpoints decode to it, which is safe
+	// because both layouts hold identical values at identical indices.
+	FieldLayout Layout
 }
 
 // NewSedov allocates a Domain and initializes the spherical Sedov blast
@@ -140,43 +153,9 @@ func newBox(cfg BoxConfig) *Domain {
 	}
 	nn, ne := m.NumNode, m.NumElem
 
-	d.X = make([]float64, nn)
-	d.Y = make([]float64, nn)
-	d.Z = make([]float64, nn)
-	d.Xd = make([]float64, nn)
-	d.Yd = make([]float64, nn)
-	d.Zd = make([]float64, nn)
-	d.Xdd = make([]float64, nn)
-	d.Ydd = make([]float64, nn)
-	d.Zdd = make([]float64, nn)
-	d.Fx = make([]float64, nn)
-	d.Fy = make([]float64, nn)
-	d.Fz = make([]float64, nn)
-	d.NodalMass = make([]float64, nn)
-
-	d.E = make([]float64, ne)
-	d.P = make([]float64, ne)
-	d.Q = make([]float64, ne)
-	d.Ql = make([]float64, ne)
-	d.Qq = make([]float64, ne)
-	d.V = make([]float64, ne)
-	d.Volo = make([]float64, ne)
-	d.Vnew = make([]float64, ne)
-	d.Delv = make([]float64, ne)
-	d.Vdov = make([]float64, ne)
-	d.Arealg = make([]float64, ne)
-	d.SS = make([]float64, ne)
-	d.ElemMass = make([]float64, ne)
-	d.Dxx = make([]float64, ne)
-	d.Dyy = make([]float64, ne)
-	d.Dzz = make([]float64, ne)
-	// The gradient arrays carry ghost slots for COMM faces.
-	d.DelvXi = make([]float64, m.NumElemGhost)
-	d.DelvEta = make([]float64, m.NumElemGhost)
-	d.DelvZeta = make([]float64, m.NumElemGhost)
-	d.DelxXi = make([]float64, ne)
-	d.DelxEta = make([]float64, ne)
-	d.DelxZeta = make([]float64, ne)
+	// Field arrays: SoA planes, slab-backed by default (the gradient
+	// planes carry ghost slots for COMM faces; see slab.go).
+	d.allocFields(nn, ne, m.NumElemGhost, cfg.FieldLayout)
 
 	// Node coordinates: the classic cube spans [0, 1.125] per dimension;
 	// stacked boxes use the same spacing shifted by ZOffset.

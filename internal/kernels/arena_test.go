@@ -1,0 +1,149 @@
+package kernels
+
+import (
+	"testing"
+
+	"lulesh/internal/domain"
+)
+
+func TestArenaTakeCarvesDisjointViews(t *testing.T) {
+	a := NewArena(10)
+	x := a.Take(4)
+	y := a.Take(6)
+	if len(x) != 4 || len(y) != 6 {
+		t.Fatalf("lengths: got %d, %d", len(x), len(y))
+	}
+	for i := range x {
+		x[i] = 1
+	}
+	for i := range y {
+		y[i] = 2
+	}
+	for i, v := range x {
+		if v != 1 {
+			t.Fatalf("x[%d] clobbered: %v", i, v)
+		}
+	}
+	// Capacity-capped views: an append through one plane must not bleed
+	// into its neighbour.
+	x = append(x, 99)
+	if y[0] != 2 {
+		t.Fatalf("append through x bled into y: %v", y[0])
+	}
+}
+
+func TestArenaResetRecarvesSameBacking(t *testing.T) {
+	a := NewArena(8)
+	x1 := a.Take(8)
+	x1[0] = 42
+	a.Reset()
+	x2 := a.Take(8)
+	if &x1[0] != &x2[0] {
+		t.Fatal("Reset should recycle the same backing store")
+	}
+	if x2[0] != 42 {
+		t.Fatal("Reset must not zero the backing")
+	}
+	if a.Allocs() != 1 {
+		t.Fatalf("allocs = %d, want 1 (initial only)", a.Allocs())
+	}
+}
+
+func TestArenaGrowOnlyOnShortfall(t *testing.T) {
+	a := NewArena(4)
+	base := a.Allocs()
+	a.Grow(3) // fits: no new backing
+	if a.Allocs() != base {
+		t.Fatalf("Grow within capacity reallocated (allocs %d -> %d)", base, a.Allocs())
+	}
+	a.Grow(16)
+	if a.Allocs() != base+1 {
+		t.Fatalf("Grow beyond capacity: allocs = %d, want %d", a.Allocs(), base+1)
+	}
+	if a.Cap() < 16 {
+		t.Fatalf("Cap = %d, want >= 16", a.Cap())
+	}
+	// Take past the end must still hand out a valid view.
+	a.Reset()
+	_ = a.Take(10)
+	v := a.Take(10)
+	if len(v) != 10 {
+		t.Fatalf("overflow Take length = %d", len(v))
+	}
+}
+
+// TestEvalEOSSteadyStateAllocs locks in the arena optimization: once the
+// scratch is sized for the largest region, repeated EvalEOS calls — the
+// per-timestep steady state — must not allocate at all.
+func TestEvalEOSSteadyStateAllocs(t *testing.T) {
+	d := domain.NewSedov(domain.Config{EdgeElems: 6, NumReg: 11, Balance: 1, Cost: 1})
+	maxReg := 0
+	for _, l := range d.Regions.ElemList {
+		if len(l) > maxReg {
+			maxReg = len(l)
+		}
+	}
+	s := NewEOSScratch(maxReg)
+	vnewc := make([]float64, d.NumElem())
+	copy(vnewc, d.V)
+
+	if got := s.Allocs(); got != 1 {
+		t.Fatalf("scratch setup allocs = %d, want 1", got)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		for r, regList := range d.Regions.ElemList {
+			EvalEOS(d, vnewc, regList, s, d.Regions.Rep(r), 0, len(regList))
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("EvalEOS steady state allocates %.1f objects per sweep, want 0", avg)
+	}
+	if got := s.Allocs(); got != 1 {
+		t.Fatalf("scratch backing reallocated in steady state: allocs = %d", got)
+	}
+}
+
+// TestEOSScratchReuseBitwise proves recycling dirty scratch across region
+// sweeps is safe: a pooled scratch left dirty by a full sweep must produce
+// the same domain state as a fresh scratch per sweep, bit for bit.
+func TestEOSScratchReuseBitwise(t *testing.T) {
+	build := func() (*domain.Domain, []float64) {
+		d := domain.NewSedov(domain.Config{EdgeElems: 5, NumReg: 7, Balance: 1, Cost: 3})
+		// Perturb state so the EOS has real work on every element.
+		for e := 0; e < d.NumElem(); e++ {
+			d.E[e] = float64(e%13) * 1e-3
+			d.Delv[e] = float64(e%7-3) * 1e-5
+			d.Q[e] = float64(e%5) * 1e-4
+		}
+		vnewc := make([]float64, d.NumElem())
+		for e := range vnewc {
+			vnewc[e] = 1.0 + float64(e%11-5)*1e-6
+		}
+		return d, vnewc
+	}
+
+	sweep := func(d *domain.Domain, vnewc []float64, s *EOSScratch) {
+		for r, regList := range d.Regions.ElemList {
+			EvalEOS(d, vnewc, regList, s, d.Regions.Rep(r), 0, len(regList))
+		}
+	}
+
+	dPool, vPool := build()
+	pooled := NewEOSScratch(1) // deliberately undersized: Ensure must grow it
+	for iter := 0; iter < 3; iter++ {
+		sweep(dPool, vPool, pooled)
+	}
+
+	dFresh, vFresh := build()
+	for iter := 0; iter < 3; iter++ {
+		sweep(dFresh, vFresh, NewEOSScratch(dFresh.NumElem()))
+	}
+
+	for e := 0; e < dPool.NumElem(); e++ {
+		if dPool.P[e] != dFresh.P[e] || dPool.E[e] != dFresh.E[e] ||
+			dPool.Q[e] != dFresh.Q[e] || dPool.SS[e] != dFresh.SS[e] {
+			t.Fatalf("element %d diverged with pooled scratch: p %v vs %v, e %v vs %v",
+				e, dPool.P[e], dFresh.P[e], dPool.E[e], dFresh.E[e])
+		}
+	}
+}

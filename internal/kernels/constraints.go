@@ -18,16 +18,16 @@ func CourantConstraint(d *domain.Domain, regList []int32, lo, hi int) float64 {
 	qqc := d.Par.Qqc
 	qqc2 := 64.0 * qqc * qqc
 	dtcourant := HugeDt
-	for i := lo; i < hi; i++ {
-		indx := regList[i]
-		dtf := d.SS[indx] * d.SS[indx]
-		if d.Vdov[indx] < 0 {
-			dtf += qqc2 * d.Arealg[indx] * d.Arealg[indx] *
-				d.Vdov[indx] * d.Vdov[indx]
+	ss, vdov, arealg := d.SS, d.Vdov, d.Arealg
+	for _, indx := range regList[lo:hi] {
+		dtf := ss[indx] * ss[indx]
+		if vdov[indx] < 0 {
+			dtf += qqc2 * arealg[indx] * arealg[indx] *
+				vdov[indx] * vdov[indx]
 		}
 		dtf = math.Sqrt(dtf)
-		dtf = d.Arealg[indx] / dtf
-		if d.Vdov[indx] != 0 && dtf < dtcourant {
+		dtf = arealg[indx] / dtf
+		if vdov[indx] != 0 && dtf < dtcourant {
 			dtcourant = dtf
 		}
 	}
@@ -39,10 +39,10 @@ func CourantConstraint(d *domain.Domain, regList []int32, lo, hi int) float64 {
 func HydroConstraint(d *domain.Domain, regList []int32, lo, hi int) float64 {
 	dvovmax := d.Par.Dvovmax
 	dthydro := HugeDt
-	for i := lo; i < hi; i++ {
-		indx := regList[i]
-		if d.Vdov[indx] != 0 {
-			dtdvov := dvovmax / (math.Abs(d.Vdov[indx]) + 1.0e-20)
+	vdov := d.Vdov
+	for _, indx := range regList[lo:hi] {
+		if vdov[indx] != 0 {
+			dtdvov := dvovmax / (math.Abs(vdov[indx]) + 1.0e-20)
 			if dthydro > dtdvov {
 				dthydro = dtdvov
 			}

@@ -17,31 +17,32 @@ const Ptiny = 1.0e-36
 // principal velocity gradients for elements [lo, hi)
 // (CalcKinematicsForElems).
 func CalcKinematics(d *domain.Domain, dt float64, lo, hi int) {
+	volo := d.Volo[lo:hi]
+	vnew := d.Vnew[lo:hi]
+	delv := d.Delv[lo:hi]
+	vold := d.V[lo:hi]
+	arealg := d.Arealg[lo:hi]
+	dxx := d.Dxx[lo:hi]
+	dyy := d.Dyy[lo:hi]
+	dzz := d.Dzz[lo:hi]
+	xp, yp, zp := d.X, d.Y, d.Z
+	xdp, ydp, zdp := d.Xd, d.Yd, d.Zd
+	nodelist := d.Mesh.Nodelist
 	var x, y, z [8]float64
 	var xd, yd, zd [8]float64
 	var b [3][8]float64
 	var dvel [3]float64
-	for k := lo; k < hi; k++ {
-		nl := d.Mesh.Nodelist[8*k : 8*k+8]
-		for c := 0; c < 8; c++ {
-			n := nl[c]
-			x[c] = d.X[n]
-			y[c] = d.Y[n]
-			z[c] = d.Z[n]
-		}
+	for i := range volo {
+		nl := (*[8]int32)(nodelist[8*(lo+i):])
+		gatherElemNodes(xp, yp, zp, nl, &x, &y, &z)
 
 		volume := domain.ElemVolume(&x, &y, &z)
-		relativeVolume := volume / d.Volo[k]
-		d.Vnew[k] = relativeVolume
-		d.Delv[k] = relativeVolume - d.V[k]
-		d.Arealg[k] = ElemCharacteristicLength(&x, &y, &z, volume)
+		relativeVolume := volume / volo[i]
+		vnew[i] = relativeVolume
+		delv[i] = relativeVolume - vold[i]
+		arealg[i] = ElemCharacteristicLength(&x, &y, &z, volume)
 
-		for c := 0; c < 8; c++ {
-			n := nl[c]
-			xd[c] = d.Xd[n]
-			yd[c] = d.Yd[n]
-			zd[c] = d.Zd[n]
-		}
+		gatherElemNodes(xdp, ydp, zdp, nl, &xd, &yd, &zd)
 		dt2 := 0.5 * dt
 		for j := 0; j < 8; j++ {
 			x[j] -= dt2 * xd[j]
@@ -50,9 +51,9 @@ func CalcKinematics(d *domain.Domain, dt float64, lo, hi int) {
 		}
 		detJ := ShapeFunctionDerivatives(&x, &y, &z, &b)
 		ElemVelocityGradient(&xd, &yd, &zd, &b, detJ, &dvel)
-		d.Dxx[k] = dvel[0]
-		d.Dyy[k] = dvel[1]
-		d.Dzz[k] = dvel[2]
+		dxx[i] = dvel[0]
+		dyy[i] = dvel[1]
+		dzz[i] = dvel[2]
 	}
 }
 
@@ -60,14 +61,19 @@ func CalcKinematics(d *domain.Domain, dt float64, lo, hi int) {
 // vdov for elements [lo, hi), raising a volume error on non-positive new
 // volumes (the second loop of CalcLagrangeElements).
 func CalcStrainRate(d *domain.Domain, lo, hi int, flag *Flag) {
-	for k := lo; k < hi; k++ {
-		vdov := d.Dxx[k] + d.Dyy[k] + d.Dzz[k]
+	dxx := d.Dxx[lo:hi]
+	dyy := d.Dyy[lo:hi]
+	dzz := d.Dzz[lo:hi]
+	vdovOut := d.Vdov[lo:hi]
+	vnew := d.Vnew[lo:hi]
+	for i := range dxx {
+		vdov := dxx[i] + dyy[i] + dzz[i]
 		vdovthird := vdov / 3.0
-		d.Vdov[k] = vdov
-		d.Dxx[k] -= vdovthird
-		d.Dyy[k] -= vdovthird
-		d.Dzz[k] -= vdovthird
-		if d.Vnew[k] <= 0 {
+		vdovOut[i] = vdov
+		dxx[i] -= vdovthird
+		dyy[i] -= vdovthird
+		dzz[i] -= vdovthird
+		if vnew[i] <= 0 {
 			flag.RaiseVolume()
 		}
 	}
@@ -76,26 +82,37 @@ func CalcStrainRate(d *domain.Domain, lo, hi int, flag *Flag) {
 // MonoQGradients computes the velocity and position gradients used by the
 // monotonic Q for elements [lo, hi) (CalcMonotonicQGradientsForElems).
 func MonoQGradients(d *domain.Domain, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		nl := d.Mesh.Nodelist[8*i : 8*i+8]
+	volo := d.Volo[lo:hi]
+	vnewv := d.Vnew[lo:hi]
+	delxXi := d.DelxXi[lo:hi]
+	delxEta := d.DelxEta[lo:hi]
+	delxZeta := d.DelxZeta[lo:hi]
+	delvXi := d.DelvXi[lo:hi]
+	delvEta := d.DelvEta[lo:hi]
+	delvZeta := d.DelvZeta[lo:hi]
+	xp, yp, zp := d.X, d.Y, d.Z
+	xdp, ydp, zdp := d.Xd, d.Yd, d.Zd
+	nodelist := d.Mesh.Nodelist
+	for i := range volo {
+		nl := (*[8]int32)(nodelist[8*(lo+i):])
 		n0, n1, n2, n3 := nl[0], nl[1], nl[2], nl[3]
 		n4, n5, n6, n7 := nl[4], nl[5], nl[6], nl[7]
 
-		x0, x1, x2, x3 := d.X[n0], d.X[n1], d.X[n2], d.X[n3]
-		x4, x5, x6, x7 := d.X[n4], d.X[n5], d.X[n6], d.X[n7]
-		y0, y1, y2, y3 := d.Y[n0], d.Y[n1], d.Y[n2], d.Y[n3]
-		y4, y5, y6, y7 := d.Y[n4], d.Y[n5], d.Y[n6], d.Y[n7]
-		z0, z1, z2, z3 := d.Z[n0], d.Z[n1], d.Z[n2], d.Z[n3]
-		z4, z5, z6, z7 := d.Z[n4], d.Z[n5], d.Z[n6], d.Z[n7]
+		x0, x1, x2, x3 := xp[n0], xp[n1], xp[n2], xp[n3]
+		x4, x5, x6, x7 := xp[n4], xp[n5], xp[n6], xp[n7]
+		y0, y1, y2, y3 := yp[n0], yp[n1], yp[n2], yp[n3]
+		y4, y5, y6, y7 := yp[n4], yp[n5], yp[n6], yp[n7]
+		z0, z1, z2, z3 := zp[n0], zp[n1], zp[n2], zp[n3]
+		z4, z5, z6, z7 := zp[n4], zp[n5], zp[n6], zp[n7]
 
-		xv0, xv1, xv2, xv3 := d.Xd[n0], d.Xd[n1], d.Xd[n2], d.Xd[n3]
-		xv4, xv5, xv6, xv7 := d.Xd[n4], d.Xd[n5], d.Xd[n6], d.Xd[n7]
-		yv0, yv1, yv2, yv3 := d.Yd[n0], d.Yd[n1], d.Yd[n2], d.Yd[n3]
-		yv4, yv5, yv6, yv7 := d.Yd[n4], d.Yd[n5], d.Yd[n6], d.Yd[n7]
-		zv0, zv1, zv2, zv3 := d.Zd[n0], d.Zd[n1], d.Zd[n2], d.Zd[n3]
-		zv4, zv5, zv6, zv7 := d.Zd[n4], d.Zd[n5], d.Zd[n6], d.Zd[n7]
+		xv0, xv1, xv2, xv3 := xdp[n0], xdp[n1], xdp[n2], xdp[n3]
+		xv4, xv5, xv6, xv7 := xdp[n4], xdp[n5], xdp[n6], xdp[n7]
+		yv0, yv1, yv2, yv3 := ydp[n0], ydp[n1], ydp[n2], ydp[n3]
+		yv4, yv5, yv6, yv7 := ydp[n4], ydp[n5], ydp[n6], ydp[n7]
+		zv0, zv1, zv2, zv3 := zdp[n0], zdp[n1], zdp[n2], zdp[n3]
+		zv4, zv5, zv6, zv7 := zdp[n4], zdp[n5], zdp[n6], zdp[n7]
 
-		vol := d.Volo[i] * d.Vnew[i]
+		vol := volo[i] * vnewv[i]
 		norm := 1.0 / (vol + Ptiny)
 
 		dxj := -0.25 * ((x0 + x1 + x5 + x4) - (x3 + x2 + x6 + x7))
@@ -115,7 +132,7 @@ func MonoQGradients(d *domain.Domain, lo, hi int) {
 		ay := dzi*dxj - dxi*dzj
 		az := dxi*dyj - dyi*dxj
 
-		d.DelxZeta[i] = vol / math.Sqrt(ax*ax+ay*ay+az*az+Ptiny)
+		delxZeta[i] = vol / math.Sqrt(ax*ax+ay*ay+az*az+Ptiny)
 
 		ax *= norm
 		ay *= norm
@@ -125,14 +142,14 @@ func MonoQGradients(d *domain.Domain, lo, hi int) {
 		dyv := 0.25 * ((yv4 + yv5 + yv6 + yv7) - (yv0 + yv1 + yv2 + yv3))
 		dzv := 0.25 * ((zv4 + zv5 + zv6 + zv7) - (zv0 + zv1 + zv2 + zv3))
 
-		d.DelvZeta[i] = ax*dxv + ay*dyv + az*dzv
+		delvZeta[i] = ax*dxv + ay*dyv + az*dzv
 
 		// find delxi and delvi ( j cross k )
 		ax = dyj*dzk - dzj*dyk
 		ay = dzj*dxk - dxj*dzk
 		az = dxj*dyk - dyj*dxk
 
-		d.DelxXi[i] = vol / math.Sqrt(ax*ax+ay*ay+az*az+Ptiny)
+		delxXi[i] = vol / math.Sqrt(ax*ax+ay*ay+az*az+Ptiny)
 
 		ax *= norm
 		ay *= norm
@@ -142,14 +159,14 @@ func MonoQGradients(d *domain.Domain, lo, hi int) {
 		dyv = 0.25 * ((yv1 + yv2 + yv6 + yv5) - (yv0 + yv3 + yv7 + yv4))
 		dzv = 0.25 * ((zv1 + zv2 + zv6 + zv5) - (zv0 + zv3 + zv7 + zv4))
 
-		d.DelvXi[i] = ax*dxv + ay*dyv + az*dzv
+		delvXi[i] = ax*dxv + ay*dyv + az*dzv
 
 		// find delxj and delvj ( k cross i )
 		ax = dyk*dzi - dzk*dyi
 		ay = dzk*dxi - dxk*dzi
 		az = dxk*dyi - dyk*dxi
 
-		d.DelxEta[i] = vol / math.Sqrt(ax*ax+ay*ay+az*az+Ptiny)
+		delxEta[i] = vol / math.Sqrt(ax*ax+ay*ay+az*az+Ptiny)
 
 		ax *= norm
 		ay *= norm
@@ -159,7 +176,7 @@ func MonoQGradients(d *domain.Domain, lo, hi int) {
 		dyv = -0.25 * ((yv0 + yv1 + yv5 + yv4) - (yv3 + yv2 + yv6 + yv7))
 		dzv = -0.25 * ((zv0 + zv1 + zv5 + zv4) - (zv3 + zv2 + zv6 + zv7))
 
-		d.DelvEta[i] = ax*dxv + ay*dyv + az*dzv
+		delvEta[i] = ax*dxv + ay*dyv + az*dzv
 	}
 }
 
@@ -173,26 +190,36 @@ func MonoQRegion(d *domain.Domain, regList []int32, lo, hi int) {
 	qlcMonoq := p.QlcMonoq
 	qqcMonoq := p.QqcMonoq
 
-	for ielem := lo; ielem < hi; ielem++ {
-		i := regList[ielem]
-		bcMask := d.Mesh.ElemBC[i]
+	m := d.Mesh
+	elemBC := m.ElemBC
+	lxim, lxip := m.Lxim, m.Lxip
+	letam, letap := m.Letam, m.Letap
+	lzetam, lzetap := m.Lzetam, m.Lzetap
+	delvXi, delvEta, delvZeta := d.DelvXi, d.DelvEta, d.DelvZeta
+	delxXi, delxEta, delxZeta := d.DelxXi, d.DelxEta, d.DelxZeta
+	vdovP, voloP, vnewP := d.Vdov, d.Volo, d.Vnew
+	elemMass := d.ElemMass
+	qqP, qlP := d.Qq, d.Ql
+
+	for _, i := range regList[lo:hi] {
+		bcMask := elemBC[i]
 
 		// phixi
-		norm := 1.0 / (d.DelvXi[i] + Ptiny)
+		norm := 1.0 / (delvXi[i] + Ptiny)
 		var delvm, delvp float64
 		switch bcMask & mesh.XiM {
 		case mesh.XiMComm, 0:
-			delvm = d.DelvXi[d.Mesh.Lxim[i]]
+			delvm = delvXi[lxim[i]]
 		case mesh.XiMSymm:
-			delvm = d.DelvXi[i]
+			delvm = delvXi[i]
 		case mesh.XiMFree:
 			delvm = 0
 		}
 		switch bcMask & mesh.XiP {
 		case mesh.XiPComm, 0:
-			delvp = d.DelvXi[d.Mesh.Lxip[i]]
+			delvp = delvXi[lxip[i]]
 		case mesh.XiPSymm:
-			delvp = d.DelvXi[i]
+			delvp = delvXi[i]
 		case mesh.XiPFree:
 			delvp = 0
 		}
@@ -215,20 +242,20 @@ func MonoQRegion(d *domain.Domain, regList []int32, lo, hi int) {
 		}
 
 		// phieta
-		norm = 1.0 / (d.DelvEta[i] + Ptiny)
+		norm = 1.0 / (delvEta[i] + Ptiny)
 		switch bcMask & mesh.EtaM {
 		case mesh.EtaMComm, 0:
-			delvm = d.DelvEta[d.Mesh.Letam[i]]
+			delvm = delvEta[letam[i]]
 		case mesh.EtaMSymm:
-			delvm = d.DelvEta[i]
+			delvm = delvEta[i]
 		case mesh.EtaMFree:
 			delvm = 0
 		}
 		switch bcMask & mesh.EtaP {
 		case mesh.EtaPComm, 0:
-			delvp = d.DelvEta[d.Mesh.Letap[i]]
+			delvp = delvEta[letap[i]]
 		case mesh.EtaPSymm:
-			delvp = d.DelvEta[i]
+			delvp = delvEta[i]
 		case mesh.EtaPFree:
 			delvp = 0
 		}
@@ -251,20 +278,20 @@ func MonoQRegion(d *domain.Domain, regList []int32, lo, hi int) {
 		}
 
 		// phizeta
-		norm = 1.0 / (d.DelvZeta[i] + Ptiny)
+		norm = 1.0 / (delvZeta[i] + Ptiny)
 		switch bcMask & mesh.ZetaM {
 		case mesh.ZetaMComm, 0:
-			delvm = d.DelvZeta[d.Mesh.Lzetam[i]]
+			delvm = delvZeta[lzetam[i]]
 		case mesh.ZetaMSymm:
-			delvm = d.DelvZeta[i]
+			delvm = delvZeta[i]
 		case mesh.ZetaMFree:
 			delvm = 0
 		}
 		switch bcMask & mesh.ZetaP {
 		case mesh.ZetaPComm, 0:
-			delvp = d.DelvZeta[d.Mesh.Lzetap[i]]
+			delvp = delvZeta[lzetap[i]]
 		case mesh.ZetaPSymm:
-			delvp = d.DelvZeta[i]
+			delvp = delvZeta[i]
 		case mesh.ZetaPFree:
 			delvp = 0
 		}
@@ -288,13 +315,13 @@ func MonoQRegion(d *domain.Domain, regList []int32, lo, hi int) {
 
 		// Remove length scale.
 		var qlin, qquad float64
-		if d.Vdov[i] > 0 {
+		if vdovP[i] > 0 {
 			qlin = 0
 			qquad = 0
 		} else {
-			delvxxi := d.DelvXi[i] * d.DelxXi[i]
-			delvxeta := d.DelvEta[i] * d.DelxEta[i]
-			delvxzeta := d.DelvZeta[i] * d.DelxZeta[i]
+			delvxxi := delvXi[i] * delxXi[i]
+			delvxeta := delvEta[i] * delxEta[i]
+			delvxzeta := delvZeta[i] * delxZeta[i]
 			if delvxxi > 0 {
 				delvxxi = 0
 			}
@@ -304,7 +331,7 @@ func MonoQRegion(d *domain.Domain, regList []int32, lo, hi int) {
 			if delvxzeta > 0 {
 				delvxzeta = 0
 			}
-			rho := d.ElemMass[i] / (d.Volo[i] * d.Vnew[i])
+			rho := elemMass[i] / (voloP[i] * vnewP[i])
 			qlin = -qlcMonoq * rho *
 				(delvxxi*(1.0-phixi) + delvxeta*(1.0-phieta) + delvxzeta*(1.0-phizeta))
 			qquad = qqcMonoq * rho *
@@ -312,8 +339,8 @@ func MonoQRegion(d *domain.Domain, regList []int32, lo, hi int) {
 					delvxeta*delvxeta*(1.0-phieta*phieta) +
 					delvxzeta*delvxzeta*(1.0-phizeta*phizeta))
 		}
-		d.Qq[i] = qquad
-		d.Ql[i] = qlin
+		qqP[i] = qquad
+		qlP[i] = qlin
 	}
 }
 
@@ -321,8 +348,8 @@ func MonoQRegion(d *domain.Domain, regList []int32, lo, hi int) {
 // exceeds the stability threshold (the check at the end of CalcQForElems).
 func QStopCheck(d *domain.Domain, lo, hi int, flag *Flag) {
 	qstop := d.Par.QStop
-	for i := lo; i < hi; i++ {
-		if d.Q[i] > qstop {
+	for _, q := range d.Q[lo:hi] {
+		if q > qstop {
 			flag.RaiseQStop()
 			return
 		}
@@ -337,18 +364,20 @@ func CopyVnewc(d *domain.Domain, vnewc []float64, lo, hi int) {
 
 // ClampVnewcLow applies the eosvmin floor to vnewc for elements [lo, hi).
 func ClampVnewcLow(vnewc []float64, eosvmin float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		if vnewc[i] < eosvmin {
-			vnewc[i] = eosvmin
+	v := vnewc[lo:hi]
+	for i := range v {
+		if v[i] < eosvmin {
+			v[i] = eosvmin
 		}
 	}
 }
 
 // ClampVnewcHigh applies the eosvmax ceiling to vnewc for elements [lo, hi).
 func ClampVnewcHigh(vnewc []float64, eosvmax float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		if vnewc[i] > eosvmax {
-			vnewc[i] = eosvmax
+	v := vnewc[lo:hi]
+	for i := range v {
+		if v[i] > eosvmax {
+			v[i] = eosvmax
 		}
 	}
 }
@@ -359,8 +388,7 @@ func ClampVnewcHigh(vnewc []float64, eosvmax float64, lo, hi int) {
 func CheckVBounds(d *domain.Domain, lo, hi int, flag *Flag) {
 	eosvmin := d.Par.EOSvMin
 	eosvmax := d.Par.EOSvMax
-	for i := lo; i < hi; i++ {
-		vc := d.V[i]
+	for _, vc := range d.V[lo:hi] {
 		if eosvmin != 0 && vc < eosvmin {
 			vc = eosvmin
 		}
@@ -377,11 +405,13 @@ func CheckVBounds(d *domain.Domain, lo, hi int, flag *Flag) {
 // UpdateVolumes commits the new relative volumes for elements [lo, hi),
 // snapping values within vCut of 1.0 (UpdateVolumesForElems).
 func UpdateVolumes(d *domain.Domain, vCut float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		tmpV := d.Vnew[i]
+	vnew := d.Vnew[lo:hi]
+	v := d.V[lo:hi]
+	for i := range vnew {
+		tmpV := vnew[i]
 		if math.Abs(tmpV-1.0) < vCut {
 			tmpV = 1.0
 		}
-		d.V[i] = tmpV
+		v[i] = tmpV
 	}
 }

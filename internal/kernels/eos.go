@@ -16,18 +16,33 @@ import (
 // one worksharing loop of the reference so the fork-join backend can put a
 // barrier after each, while the task backend calls them back-to-back inside
 // one region-chain task.
+//
+// Every loop walks equal-length views of the scratch planes and the region
+// list (re-sliced to a common length so the compiler drops the bounds
+// checks; verified with -d=ssa/check_bce). Only the indirect element-plane
+// accesses through regList keep their checks.
 
 // EOSScratch holds the per-region temporary arrays of EvalEOSForElems. The
 // paper's HPX version allocates these task-locally for data locality; the
 // reference allocates them per region call. Ensure resizes lazily so
 // backends can pool scratch across iterations.
+//
+// All fifteen planes are carved from one arena (a single backing
+// allocation), so one partition's EOS temporaries are contiguous in memory
+// and growing the scratch — e.g. when the adaptive grain controller widens
+// partitions mid-run — costs one allocation, not fifteen.
 type EOSScratch struct {
 	EOld, Delvc, POld, QOld   []float64
 	Compression, CompHalfStep []float64
 	QqOld, QlOld, Work        []float64
 	PNew, ENew, QNew          []float64
 	Bvc, Pbvc, PHalfStep      []float64
+
+	arena Arena
 }
+
+// eosPlanes is the number of scratch planes carved per region element.
+const eosPlanes = 15
 
 // NewEOSScratch allocates scratch for up to n region elements.
 func NewEOSScratch(n int) *EOSScratch {
@@ -41,37 +56,48 @@ func (s *EOSScratch) Ensure(n int) {
 	if len(s.EOld) >= n {
 		return
 	}
-	s.EOld = make([]float64, n)
-	s.Delvc = make([]float64, n)
-	s.POld = make([]float64, n)
-	s.QOld = make([]float64, n)
-	s.Compression = make([]float64, n)
-	s.CompHalfStep = make([]float64, n)
-	s.QqOld = make([]float64, n)
-	s.QlOld = make([]float64, n)
-	s.Work = make([]float64, n)
-	s.PNew = make([]float64, n)
-	s.ENew = make([]float64, n)
-	s.QNew = make([]float64, n)
-	s.Bvc = make([]float64, n)
-	s.Pbvc = make([]float64, n)
-	s.PHalfStep = make([]float64, n)
+	s.arena.Grow(eosPlanes * n)
+	s.EOld = s.arena.Take(n)
+	s.Delvc = s.arena.Take(n)
+	s.POld = s.arena.Take(n)
+	s.QOld = s.arena.Take(n)
+	s.Compression = s.arena.Take(n)
+	s.CompHalfStep = s.arena.Take(n)
+	s.QqOld = s.arena.Take(n)
+	s.QlOld = s.arena.Take(n)
+	s.Work = s.arena.Take(n)
+	s.PNew = s.arena.Take(n)
+	s.ENew = s.arena.Take(n)
+	s.QNew = s.arena.Take(n)
+	s.Bvc = s.arena.Take(n)
+	s.Pbvc = s.arena.Take(n)
+	s.PHalfStep = s.arena.Take(n)
 }
+
+// Allocs reports backing allocations performed so far (tests assert the
+// steady state adds none).
+func (s *EOSScratch) Allocs() int { return s.arena.Allocs() }
 
 // EOSGather compresses the element state of regList[lo:hi] into the scratch
 // arrays (the gather loop of EvalEOSForElems). base is the scratch offset
 // of regList[lo] (0 when scratch covers the whole region; lo's partition
 // offset for task-local scratch).
 func EOSGather(d *domain.Domain, regList []int32, s *EOSScratch, base, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		elem := regList[i]
-		j := i - lo + base
-		s.EOld[j] = d.E[elem]
-		s.Delvc[j] = d.Delv[elem]
-		s.POld[j] = d.P[elem]
-		s.QOld[j] = d.Q[elem]
-		s.QqOld[j] = d.Qq[elem]
-		s.QlOld[j] = d.Ql[elem]
+	rl := regList[lo:hi]
+	eOld := s.EOld[base : base+len(rl)]
+	delvc := s.Delvc[base : base+len(rl)]
+	pOld := s.POld[base : base+len(rl)]
+	qOld := s.QOld[base : base+len(rl)]
+	qqOld := s.QqOld[base : base+len(rl)]
+	qlOld := s.QlOld[base : base+len(rl)]
+	eP, delvP, pP, qP, qqP, qlP := d.E, d.Delv, d.P, d.Q, d.Qq, d.Ql
+	for j, elem := range rl {
+		eOld[j] = eP[elem]
+		delvc[j] = delvP[elem]
+		pOld[j] = pP[elem]
+		qOld[j] = qP[elem]
+		qqOld[j] = qqP[elem]
+		qlOld[j] = qlP[elem]
 	}
 }
 
@@ -79,23 +105,26 @@ func EOSGather(d *domain.Domain, regList []int32, s *EOSScratch, base, lo, hi in
 // regList[lo:hi] (the second loop of EvalEOSForElems).
 func EOSCompression(d *domain.Domain, vnewc []float64, regList []int32,
 	s *EOSScratch, base, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		elem := regList[i]
-		j := i - lo + base
-		s.Compression[j] = 1.0/vnewc[elem] - 1.0
-		vchalf := vnewc[elem] - s.Delvc[j]*0.5
-		s.CompHalfStep[j] = 1.0/vchalf - 1.0
+	rl := regList[lo:hi]
+	compression := s.Compression[base : base+len(rl)]
+	compHalfStep := s.CompHalfStep[base : base+len(rl)]
+	delvc := s.Delvc[base : base+len(rl)]
+	for j, elem := range rl {
+		compression[j] = 1.0/vnewc[elem] - 1.0
+		vchalf := vnewc[elem] - delvc[j]*0.5
+		compHalfStep[j] = 1.0/vchalf - 1.0
 	}
 }
 
 // EOSClampVMin applies the eosvmin special case.
 func EOSClampVMin(d *domain.Domain, vnewc []float64, regList []int32,
 	s *EOSScratch, eosvmin float64, base, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		elem := regList[i]
-		j := i - lo + base
+	rl := regList[lo:hi]
+	compression := s.Compression[base : base+len(rl)]
+	compHalfStep := s.CompHalfStep[base : base+len(rl)]
+	for j, elem := range rl {
 		if vnewc[elem] <= eosvmin {
-			s.CompHalfStep[j] = s.Compression[j]
+			compHalfStep[j] = compression[j]
 		}
 	}
 }
@@ -103,13 +132,15 @@ func EOSClampVMin(d *domain.Domain, vnewc []float64, regList []int32,
 // EOSClampVMax applies the eosvmax special case.
 func EOSClampVMax(d *domain.Domain, vnewc []float64, regList []int32,
 	s *EOSScratch, eosvmax float64, base, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		elem := regList[i]
-		j := i - lo + base
+	rl := regList[lo:hi]
+	pOld := s.POld[base : base+len(rl)]
+	compression := s.Compression[base : base+len(rl)]
+	compHalfStep := s.CompHalfStep[base : base+len(rl)]
+	for j, elem := range rl {
 		if vnewc[elem] >= eosvmax {
-			s.POld[j] = 0
-			s.Compression[j] = 0
-			s.CompHalfStep[j] = 0
+			pOld[j] = 0
+			compression[j] = 0
+			compHalfStep[j] = 0
 		}
 	}
 }
@@ -118,8 +149,9 @@ func EOSClampVMax(d *domain.Domain, vnewc []float64, regList []int32,
 // identically zero for the Sedov problem but participates in the energy
 // update).
 func EOSZeroWork(s *EOSScratch, base, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		s.Work[i-lo+base] = 0
+	work := s.Work[base : base+(hi-lo)]
+	for j := range work {
+		work[j] = 0
 	}
 }
 
@@ -131,30 +163,42 @@ func CalcPressure(pNew, bvc, pbvc, eOld, compression []float64,
 	pmin, pCut, eosvmax float64, jlo, jhi int) {
 
 	const c1s = 2.0 / 3.0
-	for i := jlo; i < jhi; i++ {
-		bvc[i] = c1s * (compression[i] + 1.0)
-		pbvc[i] = c1s
+	b := bvc[jlo:jhi]
+	pb := pbvc[jlo:jhi]
+	comp := compression[jlo:jhi]
+	for i := range b {
+		b[i] = c1s * (comp[i] + 1.0)
+		pb[i] = c1s
 	}
-	for i := jlo; i < jhi; i++ {
-		pNew[i] = bvc[i] * eOld[i]
-		if math.Abs(pNew[i]) < pCut {
-			pNew[i] = 0
+	pn := pNew[jlo:jhi]
+	e := eOld[jlo:jhi]
+	rl := regList[jlo+regOff : jhi+regOff][:len(b)]
+	for i := range pn {
+		pn[i] = b[i] * e[i]
+		if math.Abs(pn[i]) < pCut {
+			pn[i] = 0
 		}
-		if vnewc[regList[i+regOff]] >= eosvmax {
-			pNew[i] = 0
+		if vnewc[rl[i]] >= eosvmax {
+			pn[i] = 0
 		}
-		if pNew[i] < pmin {
-			pNew[i] = pmin
+		if pn[i] < pmin {
+			pn[i] = pmin
 		}
 	}
 }
 
 // EnergyStep1 is the first energy predictor of CalcEnergyForElems.
 func EnergyStep1(s *EOSScratch, emin float64, jlo, jhi int) {
-	for i := jlo; i < jhi; i++ {
-		s.ENew[i] = s.EOld[i] - 0.5*s.Delvc[i]*(s.POld[i]+s.QOld[i]) + 0.5*s.Work[i]
-		if s.ENew[i] < emin {
-			s.ENew[i] = emin
+	eNew := s.ENew[jlo:jhi]
+	eOld := s.EOld[jlo:jhi]
+	delvc := s.Delvc[jlo:jhi]
+	pOld := s.POld[jlo:jhi]
+	qOld := s.QOld[jlo:jhi]
+	work := s.Work[jlo:jhi]
+	for i := range eNew {
+		eNew[i] = eOld[i] - 0.5*delvc[i]*(pOld[i]+qOld[i]) + 0.5*work[i]
+		if eNew[i] < emin {
+			eNew[i] = emin
 		}
 	}
 }
@@ -162,34 +206,47 @@ func EnergyStep1(s *EOSScratch, emin float64, jlo, jhi int) {
 // EnergyStep2 computes the half-step viscosity and corrects the energy
 // (second loop of CalcEnergyForElems).
 func EnergyStep2(s *EOSScratch, rho0 float64, jlo, jhi int) {
-	for i := jlo; i < jhi; i++ {
-		vhalf := 1.0 / (1.0 + s.CompHalfStep[i])
-		if s.Delvc[i] > 0 {
-			s.QNew[i] = 0
+	eNew := s.ENew[jlo:jhi]
+	compHalfStep := s.CompHalfStep[jlo:jhi]
+	delvc := s.Delvc[jlo:jhi]
+	qNew := s.QNew[jlo:jhi]
+	pbvc := s.Pbvc[jlo:jhi]
+	bvc := s.Bvc[jlo:jhi]
+	pHalfStep := s.PHalfStep[jlo:jhi]
+	pOld := s.POld[jlo:jhi]
+	qOld := s.QOld[jlo:jhi]
+	qlOld := s.QlOld[jlo:jhi]
+	qqOld := s.QqOld[jlo:jhi]
+	for i := range eNew {
+		vhalf := 1.0 / (1.0 + compHalfStep[i])
+		if delvc[i] > 0 {
+			qNew[i] = 0
 		} else {
-			ssc := (s.Pbvc[i]*s.ENew[i] + vhalf*vhalf*s.Bvc[i]*s.PHalfStep[i]) / rho0
+			ssc := (pbvc[i]*eNew[i] + vhalf*vhalf*bvc[i]*pHalfStep[i]) / rho0
 			if ssc <= 0.1111111e-36 {
 				ssc = 0.3333333e-18
 			} else {
 				ssc = math.Sqrt(ssc)
 			}
-			s.QNew[i] = ssc*s.QlOld[i] + s.QqOld[i]
+			qNew[i] = ssc*qlOld[i] + qqOld[i]
 		}
-		s.ENew[i] = s.ENew[i] + 0.5*s.Delvc[i]*
-			(3.0*(s.POld[i]+s.QOld[i])-4.0*(s.PHalfStep[i]+s.QNew[i]))
+		eNew[i] = eNew[i] + 0.5*delvc[i]*
+			(3.0*(pOld[i]+qOld[i])-4.0*(pHalfStep[i]+qNew[i]))
 	}
 }
 
 // EnergyStep3 adds the remaining work term and applies cutoffs (third loop
 // of CalcEnergyForElems).
 func EnergyStep3(s *EOSScratch, eCut, emin float64, jlo, jhi int) {
-	for i := jlo; i < jhi; i++ {
-		s.ENew[i] += 0.5 * s.Work[i]
-		if math.Abs(s.ENew[i]) < eCut {
-			s.ENew[i] = 0
+	eNew := s.ENew[jlo:jhi]
+	work := s.Work[jlo:jhi]
+	for i := range eNew {
+		eNew[i] += 0.5 * work[i]
+		if math.Abs(eNew[i]) < eCut {
+			eNew[i] = 0
 		}
-		if s.ENew[i] < emin {
-			s.ENew[i] = emin
+		if eNew[i] < emin {
+			eNew[i] = emin
 		}
 	}
 }
@@ -200,27 +257,39 @@ func EnergyStep4(s *EOSScratch, vnewc []float64, regList []int32, regOff int,
 	rho0, eCut, emin float64, jlo, jhi int) {
 
 	const sixth = 1.0 / 6.0
-	for i := jlo; i < jhi; i++ {
+	eNew := s.ENew[jlo:jhi]
+	delvc := s.Delvc[jlo:jhi]
+	pbvc := s.Pbvc[jlo:jhi]
+	bvc := s.Bvc[jlo:jhi]
+	pNew := s.PNew[jlo:jhi]
+	pHalfStep := s.PHalfStep[jlo:jhi]
+	pOld := s.POld[jlo:jhi]
+	qOld := s.QOld[jlo:jhi]
+	qNew := s.QNew[jlo:jhi]
+	qlOld := s.QlOld[jlo:jhi]
+	qqOld := s.QqOld[jlo:jhi]
+	rl := regList[jlo+regOff : jhi+regOff][:len(eNew)]
+	for i := range eNew {
 		var qTilde float64
-		if s.Delvc[i] > 0 {
+		if delvc[i] > 0 {
 			qTilde = 0
 		} else {
-			v := vnewc[regList[i+regOff]]
-			ssc := (s.Pbvc[i]*s.ENew[i] + v*v*s.Bvc[i]*s.PNew[i]) / rho0
+			v := vnewc[rl[i]]
+			ssc := (pbvc[i]*eNew[i] + v*v*bvc[i]*pNew[i]) / rho0
 			if ssc <= 0.1111111e-36 {
 				ssc = 0.3333333e-18
 			} else {
 				ssc = math.Sqrt(ssc)
 			}
-			qTilde = ssc*s.QlOld[i] + s.QqOld[i]
+			qTilde = ssc*qlOld[i] + qqOld[i]
 		}
-		s.ENew[i] = s.ENew[i] - (7.0*(s.POld[i]+s.QOld[i])-
-			8.0*(s.PHalfStep[i]+s.QNew[i])+(s.PNew[i]+qTilde))*s.Delvc[i]*sixth
-		if math.Abs(s.ENew[i]) < eCut {
-			s.ENew[i] = 0
+		eNew[i] = eNew[i] - (7.0*(pOld[i]+qOld[i])-
+			8.0*(pHalfStep[i]+qNew[i])+(pNew[i]+qTilde))*delvc[i]*sixth
+		if math.Abs(eNew[i]) < eCut {
+			eNew[i] = 0
 		}
-		if s.ENew[i] < emin {
-			s.ENew[i] = emin
+		if eNew[i] < emin {
+			eNew[i] = emin
 		}
 	}
 }
@@ -229,18 +298,27 @@ func EnergyStep4(s *EOSScratch, vnewc []float64, regList []int32, regOff int,
 func EnergyStep5(s *EOSScratch, vnewc []float64, regList []int32, regOff int,
 	rho0, qCut float64, jlo, jhi int) {
 
-	for i := jlo; i < jhi; i++ {
-		if s.Delvc[i] <= 0 {
-			v := vnewc[regList[i+regOff]]
-			ssc := (s.Pbvc[i]*s.ENew[i] + v*v*s.Bvc[i]*s.PNew[i]) / rho0
+	delvc := s.Delvc[jlo:jhi]
+	pbvc := s.Pbvc[jlo:jhi]
+	bvc := s.Bvc[jlo:jhi]
+	eNew := s.ENew[jlo:jhi]
+	pNew := s.PNew[jlo:jhi]
+	qNew := s.QNew[jlo:jhi]
+	qlOld := s.QlOld[jlo:jhi]
+	qqOld := s.QqOld[jlo:jhi]
+	rl := regList[jlo+regOff : jhi+regOff][:len(delvc)]
+	for i := range delvc {
+		if delvc[i] <= 0 {
+			v := vnewc[rl[i]]
+			ssc := (pbvc[i]*eNew[i] + v*v*bvc[i]*pNew[i]) / rho0
 			if ssc <= 0.1111111e-36 {
 				ssc = 0.3333333e-18
 			} else {
 				ssc = math.Sqrt(ssc)
 			}
-			s.QNew[i] = ssc*s.QlOld[i] + s.QqOld[i]
-			if math.Abs(s.QNew[i]) < qCut {
-				s.QNew[i] = 0
+			qNew[i] = ssc*qlOld[i] + qqOld[i]
+			if math.Abs(qNew[i]) < qCut {
+				qNew[i] = 0
 			}
 		}
 	}
@@ -269,12 +347,15 @@ func CalcEnergy(d *domain.Domain, vnewc []float64, regList []int32,
 // EOSStore writes the new pressure, energy and viscosity back to the
 // domain for regList[lo:hi].
 func EOSStore(d *domain.Domain, regList []int32, s *EOSScratch, base, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		elem := regList[i]
-		j := i - lo + base
-		d.P[elem] = s.PNew[j]
-		d.E[elem] = s.ENew[j]
-		d.Q[elem] = s.QNew[j]
+	rl := regList[lo:hi]
+	pNew := s.PNew[base : base+len(rl)]
+	eNew := s.ENew[base : base+len(rl)]
+	qNew := s.QNew[base : base+len(rl)]
+	pP, eP, qP := d.P, d.E, d.Q
+	for j, elem := range rl {
+		pP[elem] = pNew[j]
+		eP[elem] = eNew[j]
+		qP[elem] = qNew[j]
 	}
 }
 
@@ -284,17 +365,21 @@ func CalcSoundSpeed(d *domain.Domain, vnewc []float64, regList []int32,
 	s *EOSScratch, base, lo, hi int) {
 
 	rho0 := d.Par.RefDens
-	for i := lo; i < hi; i++ {
-		elem := regList[i]
-		j := i - lo + base
-		ssTmp := (s.Pbvc[j]*s.ENew[j] +
-			vnewc[elem]*vnewc[elem]*s.Bvc[j]*s.PNew[j]) / rho0
+	rl := regList[lo:hi]
+	pbvc := s.Pbvc[base : base+len(rl)]
+	eNew := s.ENew[base : base+len(rl)]
+	bvc := s.Bvc[base : base+len(rl)]
+	pNew := s.PNew[base : base+len(rl)]
+	ssP := d.SS
+	for j, elem := range rl {
+		ssTmp := (pbvc[j]*eNew[j] +
+			vnewc[elem]*vnewc[elem]*bvc[j]*pNew[j]) / rho0
 		if ssTmp <= 0.1111111e-36 {
 			ssTmp = 0.3333333e-18
 		} else {
 			ssTmp = math.Sqrt(ssTmp)
 		}
-		d.SS[elem] = ssTmp
+		ssP[elem] = ssTmp
 	}
 }
 

@@ -15,15 +15,38 @@ import (
 // pass sums the corners afterwards; this avoids scatter races and keeps the
 // summation order — and therefore the floating-point result — identical for
 // every backend and thread count.
+//
+// Dense loops run over equal-length [lo:hi) plane views so the compiler
+// drops the bounds checks; gathers hoist the CSR arrays and walk subslices
+// (verified with -d=ssa/check_bce). Only the data-dependent indirect loads
+// (node indices from the mesh) keep their checks.
 
 // InitStressTerms fills the stress arrays for elements [lo, hi):
 // sig·· = -p - q (InitStressTermsForElems).
 func InitStressTerms(d *domain.Domain, sigxx, sigyy, sigzz []float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		s := -d.P[i] - d.Q[i]
-		sigxx[i] = s
-		sigyy[i] = s
-		sigzz[i] = s
+	p := d.P[lo:hi]
+	q := d.Q[lo:hi]
+	sx := sigxx[lo:hi]
+	sy := sigyy[lo:hi]
+	sz := sigzz[lo:hi]
+	for i := range p {
+		s := -p[i] - q[i]
+		sx[i] = s
+		sy[i] = s
+		sz[i] = s
+	}
+}
+
+// gatherElemNodes loads element corners nl from the coordinate planes.
+// The node indices are data-dependent so the plane loads keep their bounds
+// checks; the array-pointer nodelist view avoids the per-corner checks on
+// the connectivity itself.
+func gatherElemNodes(xp, yp, zp []float64, nl *[8]int32, x, y, z *[8]float64) {
+	for c := 0; c < 8; c++ {
+		n := nl[c]
+		x[c] = xp[n]
+		y[c] = yp[n]
+		z[c] = zp[n]
 	}
 }
 
@@ -33,16 +56,24 @@ func InitStressTerms(d *domain.Domain, sigxx, sigyy, sigzz []float64, lo, hi int
 func IntegrateStress(d *domain.Domain, sigxx, sigyy, sigzz, determ,
 	fxElem, fyElem, fzElem []float64, lo, hi int) {
 
+	xp, yp, zp := d.X, d.Y, d.Z
+	nodelist := d.Mesh.Nodelist
+	sx := sigxx[lo:hi]
+	sy := sigyy[lo:hi]
+	sz := sigzz[lo:hi]
+	dv := determ[lo:hi]
 	var x, y, z [8]float64
 	var fx, fy, fz [8]float64
 	var b [3][8]float64
-	for k := lo; k < hi; k++ {
-		d.CollectElemNodes(k, &x, &y, &z)
-		determ[k] = ShapeFunctionDerivatives(&x, &y, &z, &b)
+	for i := range dv {
+		k := lo + i
+		nl := (*[8]int32)(nodelist[8*k:])
+		gatherElemNodes(xp, yp, zp, nl, &x, &y, &z)
+		dv[i] = ShapeFunctionDerivatives(&x, &y, &z, &b)
 		ElemNodeNormals(&b[0], &b[1], &b[2], &x, &y, &z)
-		SumElemStressesToNodeForces(&b, sigxx[k], sigyy[k], sigzz[k], &fx, &fy, &fz)
+		SumElemStressesToNodeForces(&b, sx[i], sy[i], sz[i], &fx, &fy, &fz)
 		// Array-pointer stores: one slice-length check per array instead of
-		// per-corner bounds checks (verified with -d=ssa/check_bce).
+		// per-corner bounds checks.
 		*(*[8]float64)(fxElem[8*k:]) = fx
 		*(*[8]float64)(fyElem[8*k:]) = fy
 		*(*[8]float64)(fzElem[8*k:]) = fz
@@ -52,8 +83,8 @@ func IntegrateStress(d *domain.Domain, sigxx, sigyy, sigzz, determ,
 // CheckDeterm raises a volume error if any element volume in [lo, hi) is
 // non-positive (the determinant check in CalcVolumeForceForElems).
 func CheckDeterm(determ []float64, lo, hi int, flag *Flag) {
-	for k := lo; k < hi; k++ {
-		if determ[k] <= 0 {
+	for _, v := range determ[lo:hi] {
+		if v <= 0 {
 			flag.RaiseVolume()
 			return
 		}
@@ -69,22 +100,29 @@ func CheckDeterm(determ []float64, lo, hi int, flag *Flag) {
 func HourglassPrep(d *domain.Domain, dvdx, dvdy, dvdz, x8n, y8n, z8n,
 	determ []float64, base, lo, hi int, flag *Flag) {
 
+	xp, yp, zp := d.X, d.Y, d.Z
+	nodelist := d.Mesh.Nodelist
+	volo := d.Volo[lo:hi]
+	vrel := d.V[lo:hi]
+	dv := determ[lo:hi]
 	var x, y, z [8]float64
 	var pfx, pfy, pfz [8]float64
-	for i := lo; i < hi; i++ {
-		d.CollectElemNodes(i, &x, &y, &z)
+	for j := range dv {
+		i := lo + j
+		nl := (*[8]int32)(nodelist[8*i:])
+		gatherElemNodes(xp, yp, zp, nl, &x, &y, &z)
 		ElemVolumeDerivative(&pfx, &pfy, &pfz, &x, &y, &z)
 		o := (i - base) * 8
 		// Array-pointer stores: one slice-length check per array instead of
-		// eight per-corner bounds checks (verified with -d=ssa/check_bce).
+		// eight per-corner bounds checks.
 		*(*[8]float64)(dvdx[o:]) = pfx
 		*(*[8]float64)(dvdy[o:]) = pfy
 		*(*[8]float64)(dvdz[o:]) = pfz
 		*(*[8]float64)(x8n[o:]) = x
 		*(*[8]float64)(y8n[o:]) = y
 		*(*[8]float64)(z8n[o:]) = z
-		determ[i] = d.Volo[i] * d.V[i]
-		if d.V[i] <= 0 {
+		dv[j] = volo[j] * vrel[j]
+		if vrel[j] <= 0 {
 			flag.RaiseVolume()
 		}
 	}
@@ -97,14 +135,20 @@ func FBHourglass(d *domain.Domain, dvdx, dvdy, dvdz, x8n, y8n, z8n,
 	determ []float64, hourg float64, base, lo, hi int,
 	fxElem, fyElem, fzElem []float64) {
 
+	xdp, ydp, zdp := d.Xd, d.Yd, d.Zd
+	nodelist := d.Mesh.Nodelist
+	dv := determ[lo:hi]
+	ssv := d.SS[lo:hi]
+	emv := d.ElemMass[lo:hi]
 	var hourgam [8][4]float64
 	var xd1, yd1, zd1 [8]float64
 	var hgfx, hgfy, hgfz [8]float64
-	for i2 := lo; i2 < hi; i2++ {
+	for j := range dv {
+		i2 := lo + j
 		// Array-pointer views of the eight-corner slabs: one slice-length
 		// check each instead of per-corner bounds checks in the gather
-		// loops below (verified with -d=ssa/check_bce).
-		nl := (*[8]int32)(d.Mesh.Nodelist[8*i2:])
+		// loops below.
+		nl := (*[8]int32)(nodelist[8*i2:])
 		o := (i2 - base) * 8
 		x8 := (*[8]float64)(x8n[o:])
 		y8 := (*[8]float64)(y8n[o:])
@@ -112,7 +156,7 @@ func FBHourglass(d *domain.Domain, dvdx, dvdy, dvdz, x8n, y8n, z8n,
 		dx8 := (*[8]float64)(dvdx[o:])
 		dy8 := (*[8]float64)(dvdy[o:])
 		dz8 := (*[8]float64)(dvdz[o:])
-		volinv := 1.0 / determ[i2]
+		volinv := 1.0 / dv[j]
 		for i1 := 0; i1 < 4; i1++ {
 			g := &gamma[i1]
 			hourmodx := x8[0]*g[0] + x8[1]*g[1] + x8[2]*g[2] + x8[3]*g[3] +
@@ -127,14 +171,14 @@ func FBHourglass(d *domain.Domain, dvdx, dvdy, dvdz, x8n, y8n, z8n,
 			}
 		}
 
-		ss1 := d.SS[i2]
-		mass1 := d.ElemMass[i2]
-		volume13 := math.Cbrt(determ[i2])
+		ss1 := ssv[j]
+		mass1 := emv[j]
+		volume13 := math.Cbrt(dv[j])
 		for c := 0; c < 8; c++ {
 			n := nl[c]
-			xd1[c] = d.Xd[n]
-			yd1[c] = d.Yd[n]
-			zd1[c] = d.Zd[n]
+			xd1[c] = xdp[n]
+			yd1[c] = ydp[n]
+			zd1[c] = zdp[n]
 		}
 		coefficient := -hourg * 0.01 * ss1 * mass1 / volume13
 		ElemFBHourglassForce(&xd1, &yd1, &zd1, &hourgam, coefficient, &hgfx, &hgfy, &hgfz)
@@ -147,11 +191,10 @@ func FBHourglass(d *domain.Domain, dvdx, dvdy, dvdz, x8n, y8n, z8n,
 // ZeroForces clears the nodal force arrays for nodes [lo, hi)
 // (the start of CalcForceForNodes).
 func ZeroForces(d *domain.Domain, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		d.Fx[i] = 0
-		d.Fy[i] = 0
-		d.Fz[i] = 0
-	}
+	nb := d.NodeBlock(lo, hi)
+	clear(nb.Fx)
+	clear(nb.Fy)
+	clear(nb.Fz)
 }
 
 // GatherCornerForces sums per-element-corner forces into the nodal force
@@ -162,24 +205,32 @@ func GatherCornerForces(d *domain.Domain, fxElem, fyElem, fzElem []float64,
 	lo, hi int, add bool) {
 
 	m := d.Mesh
-	for n := lo; n < hi; n++ {
-		start := m.NodeElemStart[n]
-		end := m.NodeElemStart[n+1]
+	// starts[i] / starts[i+1] bracket node lo+i's corner run; ranging over
+	// the offset tail view proves every output index in range.
+	nb := d.NodeBlock(lo, hi)
+	starts := m.NodeElemStart[lo : hi+1]
+	ends := starts[1:]
+	cl := m.NodeElemCornerList
+	fxOut := nb.Fx[:len(ends)]
+	fyOut := nb.Fy[:len(ends)]
+	fzOut := nb.Fz[:len(ends)]
+	prev := starts[0]
+	for i, end := range ends {
 		var fx, fy, fz float64
-		for idx := start; idx < end; idx++ {
-			c := m.NodeElemCornerList[idx]
+		for _, c := range cl[prev:end] {
 			fx += fxElem[c]
 			fy += fyElem[c]
 			fz += fzElem[c]
 		}
+		prev = end
 		if add {
-			d.Fx[n] += fx
-			d.Fy[n] += fy
-			d.Fz[n] += fz
+			fxOut[i] += fx
+			fyOut[i] += fy
+			fzOut[i] += fz
 		} else {
-			d.Fx[n] = fx
-			d.Fy[n] = fy
-			d.Fz[n] = fz
+			fxOut[i] = fx
+			fyOut[i] = fy
+			fzOut[i] = fz
 		}
 	}
 }
@@ -193,25 +244,31 @@ func GatherTwoCornerForces(d *domain.Domain, sxElem, syElem, szElem,
 	hxElem, hyElem, hzElem []float64, lo, hi int) {
 
 	m := d.Mesh
-	for n := lo; n < hi; n++ {
-		start := m.NodeElemStart[n]
-		end := m.NodeElemStart[n+1]
+	nb := d.NodeBlock(lo, hi)
+	starts := m.NodeElemStart[lo : hi+1]
+	ends := starts[1:]
+	cl := m.NodeElemCornerList
+	fxOut := nb.Fx[:len(ends)]
+	fyOut := nb.Fy[:len(ends)]
+	fzOut := nb.Fz[:len(ends)]
+	prev := starts[0]
+	for i, end := range ends {
+		corners := cl[prev:end]
 		var sx, sy, sz float64
-		for idx := start; idx < end; idx++ {
-			c := m.NodeElemCornerList[idx]
+		for _, c := range corners {
 			sx += sxElem[c]
 			sy += syElem[c]
 			sz += szElem[c]
 		}
 		var hx, hy, hz float64
-		for idx := start; idx < end; idx++ {
-			c := m.NodeElemCornerList[idx]
+		for _, c := range corners {
 			hx += hxElem[c]
 			hy += hyElem[c]
 			hz += hzElem[c]
 		}
-		d.Fx[n] = sx + hx
-		d.Fy[n] = sy + hy
-		d.Fz[n] = sz + hz
+		prev = end
+		fxOut[i] = sx + hx
+		fyOut[i] = sy + hy
+		fzOut[i] = sz + hz
 	}
 }

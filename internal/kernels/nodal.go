@@ -9,14 +9,28 @@ import (
 
 // Nodal update kernels: acceleration, acceleration boundary conditions,
 // velocity and position integration (the back half of LagrangeNodal).
+//
+// Each kernel takes equal-length [lo:hi) subslice views of the node planes
+// and re-slices them to a common length so the compiler can prove every
+// index in range and drop the bounds checks (verified with
+// -d=ssa/check_bce). The loop bodies keep the reference's arithmetic
+// order, so the results stay bitwise identical.
 
 // CalcAcceleration computes nodal accelerations from forces and masses for
 // nodes [lo, hi) (CalcAccelerationForNodes).
 func CalcAcceleration(d *domain.Domain, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		d.Xdd[i] = d.Fx[i] / d.NodalMass[i]
-		d.Ydd[i] = d.Fy[i] / d.NodalMass[i]
-		d.Zdd[i] = d.Fz[i] / d.NodalMass[i]
+	nb := d.NodeBlock(lo, hi)
+	xdd := nb.Xdd
+	ydd := nb.Ydd[:len(xdd)]
+	zdd := nb.Zdd[:len(xdd)]
+	fx := nb.Fx[:len(xdd)]
+	fy := nb.Fy[:len(xdd)]
+	fz := nb.Fz[:len(xdd)]
+	mass := nb.Mass[:len(xdd)]
+	for i := range xdd {
+		xdd[i] = fx[i] / mass[i]
+		ydd[i] = fy[i] / mass[i]
+		zdd[i] = fz[i] / mass[i]
 	}
 }
 
@@ -34,8 +48,10 @@ func ApplyAccelBCList(d *domain.Domain, list []int32, axis, lo, hi int) {
 	default:
 		acc = d.Zdd
 	}
-	for i := lo; i < hi; i++ {
-		acc[list[i]] = 0
+	// The node indices are data-dependent, so those loads keep their
+	// bounds checks; ranging over the list view removes the list's own.
+	for _, n := range list[lo:hi] {
+		acc[n] = 0
 	}
 }
 
@@ -45,20 +61,23 @@ func ApplyAccelBCList(d *domain.Domain, list []int32, axis, lo, hi int) {
 // the task backend fuse the boundary condition into its node-partition
 // tasks instead of running three extra loops.
 func ApplyAccelBCFlags(d *domain.Domain, lo, hi int) {
-	flags := d.Mesh.SymmFlags
-	for i := lo; i < hi; i++ {
-		f := flags[i]
+	nb := d.NodeBlock(lo, hi)
+	flags := d.Mesh.SymmFlags[lo:hi]
+	xdd := nb.Xdd[:len(flags)]
+	ydd := nb.Ydd[:len(flags)]
+	zdd := nb.Zdd[:len(flags)]
+	for i, f := range flags {
 		if f == 0 {
 			continue
 		}
 		if f&mesh.SymmFlagX != 0 {
-			d.Xdd[i] = 0
+			xdd[i] = 0
 		}
 		if f&mesh.SymmFlagY != 0 {
-			d.Ydd[i] = 0
+			ydd[i] = 0
 		}
 		if f&mesh.SymmFlagZ != 0 {
-			d.Zdd[i] = 0
+			zdd[i] = 0
 		}
 	}
 }
@@ -66,33 +85,47 @@ func ApplyAccelBCFlags(d *domain.Domain, lo, hi int) {
 // CalcVelocity integrates nodal velocities for nodes [lo, hi), snapping
 // tiny components to zero (CalcVelocityForNodes).
 func CalcVelocity(d *domain.Domain, dt, uCut float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		xdtmp := d.Xd[i] + d.Xdd[i]*dt
+	nb := d.NodeBlock(lo, hi)
+	xd := nb.Xd
+	yd := nb.Yd[:len(xd)]
+	zd := nb.Zd[:len(xd)]
+	xdd := nb.Xdd[:len(xd)]
+	ydd := nb.Ydd[:len(xd)]
+	zdd := nb.Zdd[:len(xd)]
+	for i := range xd {
+		xdtmp := xd[i] + xdd[i]*dt
 		if math.Abs(xdtmp) < uCut {
 			xdtmp = 0
 		}
-		d.Xd[i] = xdtmp
+		xd[i] = xdtmp
 
-		ydtmp := d.Yd[i] + d.Ydd[i]*dt
+		ydtmp := yd[i] + ydd[i]*dt
 		if math.Abs(ydtmp) < uCut {
 			ydtmp = 0
 		}
-		d.Yd[i] = ydtmp
+		yd[i] = ydtmp
 
-		zdtmp := d.Zd[i] + d.Zdd[i]*dt
+		zdtmp := zd[i] + zdd[i]*dt
 		if math.Abs(zdtmp) < uCut {
 			zdtmp = 0
 		}
-		d.Zd[i] = zdtmp
+		zd[i] = zdtmp
 	}
 }
 
 // CalcPosition integrates nodal positions for nodes [lo, hi)
 // (CalcPositionForNodes).
 func CalcPosition(d *domain.Domain, dt float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		d.X[i] += d.Xd[i] * dt
-		d.Y[i] += d.Yd[i] * dt
-		d.Z[i] += d.Zd[i] * dt
+	nb := d.NodeBlock(lo, hi)
+	x := nb.X
+	y := nb.Y[:len(x)]
+	z := nb.Z[:len(x)]
+	xd := nb.Xd[:len(x)]
+	yd := nb.Yd[:len(x)]
+	zd := nb.Zd[:len(x)]
+	for i := range x {
+		x[i] += xd[i] * dt
+		y[i] += yd[i] * dt
+		z[i] += zd[i] * dt
 	}
 }
