@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz cover bench verify figures examples clean perfgate chaos net benchgate sweep bce
+.PHONY: all build test race fuzz cover bench verify figures examples clean perfgate chaos net benchgate sweep bce tracegate
 
 # The race lane is a first-class gate: all runtime/scheduler changes must
 # survive the race detector, not just the plain test run.
@@ -38,7 +38,22 @@ verify:
 # recording path must be race-clean.
 perfgate:
 	$(GO) test -run TestForEachBlockOverheadBudget -count=1 -v ./internal/perf/
+	$(GO) test -run TestDistTraceOverheadBudget -count=1 -v ./internal/dist/
 	$(GO) test -race -count=1 ./internal/perf/ ./internal/trace/
+
+# The tracing gate: the span/clock/merge tests race-clean, a 4-rank wire
+# run with tracing on, and smoke checks over its artifacts — the merged
+# Chrome trace must contain flow arrows, the fleet snapshot must feed
+# the stall report.
+tracegate:
+	$(GO) test -race -count=1 -run 'Trace|Clock|Fleet|Stall|Blob|WaitBucket' \
+		./internal/wire/ ./internal/comm/ ./internal/perf/ ./internal/dist/
+	$(GO) build -o /tmp/lulesh-trace ./cmd/lulesh
+	/tmp/lulesh-trace -np 4 -s 8 -i 20 -q \
+		-trace /tmp/lulesh-trace.json -fleet-out /tmp/lulesh-fleet.json
+	grep -q '"ph":"s"' /tmp/lulesh-trace.json
+	grep -q '"ph":"f"' /tmp/lulesh-trace.json
+	$(GO) run ./cmd/luleshbench -stall-report /tmp/lulesh-fleet.json
 
 # The chaos gate: fault injection, retry/backoff recovery, and
 # checkpoint-based restart must all hold under the race detector, and a

@@ -90,6 +90,7 @@ func main() {
 		ckptDir     = flag.String("checkpoint-dir", "", "directory for durable coordinated checkpoints in multi-process mode")
 		wireKill    = flag.String("wire-kill", "", "chaos: RANK@STEP makes that worker SIGKILL itself at that cycle (multi-process mode)")
 		peerTimeout = flag.Duration("peer-timeout", 0, "wire silence budget before declaring a peer process dead (0 = default)")
+		fleetOut    = flag.String("fleet-out", "", "write the gathered fleet trace snapshot as JSON (distributed modes; rank 0 of a wire run)")
 	)
 	flag.Parse()
 
@@ -127,6 +128,7 @@ func main() {
 				size: *size, regions: *regions, iters: *iters,
 				balance: *balance, cost: *cost, quiet: *quiet,
 				threads: threadsPerRank, metrics: *metrics,
+				trace: *traceOut, fleetOut: *fleetOut,
 				ranks: *ranks, async: *distAsync, scenario: spec,
 				faults: *faults, faultSeed: *faultSeed,
 				checkpointEvery: *ckptEvery, deadline: *deadline,
@@ -158,6 +160,7 @@ func main() {
 			size: *size, regions: *regions, iters: *iters,
 			balance: *balance, cost: *cost, quiet: *quiet,
 			threads: threadsPerRank, metrics: *metrics,
+			trace: *traceOut, fleetOut: *fleetOut,
 			ranks: *ranks, async: *distAsync, scenario: spec, latency: *latency,
 			faults: *faults, faultSeed: *faultSeed,
 			checkpointEvery: *ckptEvery, deadline: *deadline,
@@ -471,6 +474,12 @@ type distFlags struct {
 	metrics                string
 	scenario               domain.ScenarioSpec
 
+	// Distributed tracing outputs: trace is the merged Chrome trace
+	// (rank 0), fleetOut the raw fleet snapshot JSON — either one (or a
+	// live metrics endpoint) switches tracing on.
+	trace    string
+	fleetOut string
+
 	ranks           int
 	async           bool
 	latency         time.Duration
@@ -503,13 +512,24 @@ func runDist(f distFlags) {
 		cfg.Faults = plan
 	}
 
+	// Tracing: per-step compute/wait attribution and message spans,
+	// mirrored into a profiler (one shard per rank) so the breakdown
+	// also serves on the live metrics endpoint.
+	var prof *perf.Profiler
+	if f.traceOn() {
+		cfg.Trace = true
+		prof = perf.NewProfiler(f.ranks, 0)
+		perf.RegisterDistPhases(prof)
+		cfg.Profiler = prof
+	}
+
 	// The metrics endpoint serves the fault-tolerance counters live:
 	// lulesh_comm_retries_total, lulesh_comm_timeouts_total,
 	// lulesh_comm_recoveries_total, lulesh_comm_checkpoints_total, ...
 	if f.metrics != "" {
 		mon := &dist.Monitor{}
 		cfg.Monitor = mon
-		srv, err := perf.StartServer(f.metrics, nil, mon.Gauges)
+		srv, err := perf.StartServer(f.metrics, prof, mon.Gauges)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
 			os.Exit(1)
@@ -569,8 +589,78 @@ func runDist(f distFlags) {
 				rs.Comm.Sent, rs.Comm.Retries, rs.Comm.Timeouts)
 		}
 	}
+	if prof != nil && !f.quiet {
+		printDistPhases(prof, f.ranks)
+	}
+	writeFleetArtifacts(f, res.Fleet)
 	fmt.Println("size,ranks,schedule,iterations,runtime,origin_energy,recoveries")
 	fmt.Printf("%d,%d,%s,%d,%.6f,%.6e,%d\n",
 		f.size, f.ranks, sched, res.Iterations,
 		res.Elapsed.Seconds(), res.OriginEnergy, res.Recoveries)
+}
+
+// traceOn reports whether the distributed run should record traces: any
+// trace or fleet output file, or a live metrics endpoint (the
+// attribution phases serve there).
+func (f distFlags) traceOn() bool {
+	return f.trace != "" || f.fleetOut != "" || f.metrics != ""
+}
+
+// printDistPhases renders the step-time attribution table: the
+// compute / ghost-wait / allreduce-wait / steal-idle split, one profiler
+// shard per rank.
+func printDistPhases(prof *perf.Profiler, ranks int) {
+	snap := prof.Snapshot()
+	fmt.Printf("\nStep-time attribution (%d ranks):\n", ranks)
+	if err := snap.Table().Write(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "phase table: %v\n", err)
+	}
+}
+
+// writeFleetArtifacts renders the traced run's outputs from the gathered
+// fleet snapshot: the stall report, the raw snapshot JSON (the
+// luleshbench -stall-report input), and the merged Chrome trace with one
+// process row per rank and flow arrows on cross-rank sends.
+func writeFleetArtifacts(f distFlags, fleet *perf.FleetSnapshot) {
+	if fleet == nil {
+		return
+	}
+	if !f.quiet {
+		fmt.Println()
+		perf.BuildStallReport(fleet).WriteText(os.Stdout)
+	}
+	if f.fleetOut != "" {
+		fo, err := os.Create(f.fleetOut)
+		if err == nil {
+			err = fleet.WriteJSON(fo)
+			if cerr := fo.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet-out: %v\n", err)
+			os.Exit(1)
+		}
+		if !f.quiet {
+			fmt.Printf("wrote fleet snapshot to %s\n", f.fleetOut)
+		}
+	}
+	if f.trace != "" {
+		rec, st := fleet.Merge()
+		tf, err := os.Create(f.trace)
+		if err == nil {
+			err = rec.WriteChromeTrace(tf)
+			if cerr := tf.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if !f.quiet {
+			fmt.Printf("wrote merged trace to %s (%d flow arrows, %d unmatched sends, %d unmatched recvs, %d dead ranks)\n",
+				f.trace, st.Flows, st.UnmatchedSends, st.UnmatchedRecvs, st.DeadRanks)
+		}
+	}
 }

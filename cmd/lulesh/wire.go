@@ -106,12 +106,23 @@ func runWireWorker(f wireFlags) {
 		cfg.Faults = plan
 	}
 
+	// Tracing: the wire layer records the message spans (it owns the
+	// header clock); the per-process profiler carries this rank's
+	// attribution buckets onto its metrics endpoint.
+	var prof *perf.Profiler
+	if f.traceOn() {
+		cfg.Trace = true
+		prof = perf.NewProfiler(1, 0)
+		perf.RegisterDistPhases(prof)
+		cfg.Profiler = prof
+	}
+
 	if f.metrics != "" {
 		mon := &dist.Monitor{}
 		cfg.Monitor = mon
 		// Per-rank ports: base+rank, so eight workers don't fight over
 		// one socket; the rank label keeps the scraped series apart.
-		srv, err := perf.StartServer(rankAddr(f.metrics, f.rank), nil, mon.Gauges)
+		srv, err := perf.StartServer(rankAddr(f.metrics, f.rank), prof, mon.Gauges)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rank %d: metrics: %v\n", f.rank, err)
 			os.Exit(1)
@@ -119,6 +130,14 @@ func runWireWorker(f wireFlags) {
 		srv.SetLabels(map[string]string{"rank": strconv.Itoa(f.rank)})
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "rank %d: serving metrics on http://%s/metrics\n", f.rank, srv.Addr)
+		// Rank 0 additionally merges every rank's endpoint into one
+		// fleet-level Prometheus page (needs fixed ports to find peers).
+		if f.rank == 0 && f.ranks > 1 {
+			if peers := fleetPeers(f.metrics, f.ranks); peers != nil {
+				srv.EnableFleet(peers)
+				fmt.Fprintf(os.Stderr, "rank 0: fleet metrics on http://%s/fleet/metrics\n", srv.Addr)
+			}
+		}
 	}
 
 	w := dist.WireOptions{
@@ -181,6 +200,10 @@ func runWireWorker(f wireFlags) {
 			rs.StepTime.Round(time.Microsecond), rs.Comm.Wait.Round(time.Microsecond),
 			rs.Comm.Sent, rs.Comm.Retries)
 	}
+	if prof != nil && !f.quiet {
+		printDistPhases(prof, 1)
+	}
+	writeFleetArtifacts(f.distFlags, res.Fleet)
 	fmt.Println("size,ranks,schedule,iterations,runtime,origin_energy,recoveries")
 	fmt.Printf("%d,%d,%s,%d,%.6f,%.6e,%d\n",
 		f.size, f.ranks, sched, res.Iterations,
@@ -200,6 +223,28 @@ func rankAddr(addr string, rank int) string {
 		return addr
 	}
 	return net.JoinHostPort(host, strconv.Itoa(port+rank))
+}
+
+// fleetPeers builds rank 0's scrape list for /fleet/metrics: every other
+// rank's per-rank metrics address. Nil when the base address has no
+// fixed port — ephemeral ports land each rank somewhere unknowable.
+func fleetPeers(base string, ranks int) func() []string {
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return nil
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port == 0 {
+		return nil
+	}
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	peers := make([]string, 0, ranks-1)
+	for r := 1; r < ranks; r++ {
+		peers = append(peers, net.JoinHostPort(host, strconv.Itoa(port+r)))
+	}
+	return func() []string { return peers }
 }
 
 // parseKill parses the -wire-kill chaos spec RANK@STEP.

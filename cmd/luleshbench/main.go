@@ -78,6 +78,7 @@ func main() {
 		baseDir  = flag.String("baseline", ".", "directory holding the baseline BENCH_<n>.json records for -benchgate")
 		gateTol  = flag.Float64("gate-tol", 0.10, "benchgate relative grind-time tolerance")
 		gateAbs  = flag.Bool("gate-absolute", false, "benchgate: compare raw grind times (same machine) instead of median-normalized ratios")
+		stallF   = flag.String("stall-report", "", "print the critical-path/stall report of a fleet snapshot JSON (written by lulesh -fleet-out)")
 	)
 	flag.Parse()
 
@@ -145,11 +146,30 @@ func main() {
 		sweep(cfg, splitList(*scens), splitList(*backs))
 	case *gateF:
 		benchgate(cfg, *baseDir, *gateTol, *gateAbs)
+	case *stallF != "":
+		stallReport(*stallF)
 	default:
-		fmt.Fprintln(os.Stderr, "pick one of: -fig 9 | -fig 10 | -fig 11 | -fig naive | -fig dist | -table 1 | -ablation | -locality | -schedules | -sweep | -benchgate")
+		fmt.Fprintln(os.Stderr, "pick one of: -fig 9 | -fig 10 | -fig 11 | -fig naive | -fig dist | -table 1 | -ablation | -locality | -schedules | -sweep | -benchgate | -stall-report FILE")
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// stallReport loads a fleet snapshot (lulesh -fleet-out) and prints its
+// post-run critical-path / stall analysis.
+func stallReport(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stall-report: %v\n", err)
+		os.Exit(1)
+	}
+	fs, err := perf.LoadFleetSnapshot(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stall-report: %v\n", err)
+		os.Exit(1)
+	}
+	perf.BuildStallReport(fs).WriteText(os.Stdout)
 }
 
 func splitList(s string) []string {

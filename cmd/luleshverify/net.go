@@ -25,10 +25,12 @@ import (
 func netCheck(size, steps int, spec domain.ScenarioSpec, np int) {
 	name := fmt.Sprintf("wire == in-process (%d ranks)", np)
 	cfg := domain.DefaultConfig(size)
+	// Trace on: the bitwise comparison below doubles as the proof that
+	// tracing never perturbs the arithmetic, on either message layer.
 	dcfg := dist.Config{
 		Nx: size, Ny: size, NzPerRank: size, Ranks: np,
 		NumReg: cfg.NumReg, Balance: 1, Cost: 1, MaxIterations: steps,
-		Scenario: spec,
+		Scenario: spec, Trace: true,
 	}
 	_, doms, err := dist.RunDomains(dcfg)
 	if err != nil {
@@ -106,7 +108,7 @@ func runNetWorker(size, steps int, spec domain.ScenarioSpec, rank, ranks int, re
 	dcfg := dist.Config{
 		Nx: size, Ny: size, NzPerRank: size, Ranks: ranks,
 		NumReg: cfg.NumReg, Balance: 1, Cost: 1, MaxIterations: steps,
-		Scenario: spec,
+		Scenario: spec, Trace: true,
 	}
 	_, err := dist.RunWire(dcfg, dist.WireOptions{
 		Rank:           rank,

@@ -53,6 +53,7 @@ const (
 	TagDelvEta
 	TagDelvZeta
 	TagReduce
+	TagTrace // post-run trace-snapshot gather to rank 0
 )
 
 func (t Tag) String() string {
@@ -73,6 +74,8 @@ func (t Tag) String() string {
 		return "delvZeta"
 	case TagReduce:
 		return "reduce"
+	case TagTrace:
+		return "trace"
 	default:
 		return fmt.Sprintf("tag(%d)", int(t))
 	}
@@ -308,12 +311,21 @@ type Endpoint struct {
 	recvSeq map[pairKey]uint64             // next expected seq per incoming stream
 	mail    map[pairKey]map[uint64]message // out-of-order arrivals by seq
 
-	waitNanos atomic.Int64 // time spent blocked in Recv
-	sent      atomic.Int64 // messages sent
-	received  atomic.Int64 // messages received
-	bytesSent atomic.Int64
-	retries   atomic.Int64 // resend requests this endpoint issued
-	timeouts  atomic.Int64 // failed exchanges on this endpoint
+	waitNanos    atomic.Int64 // time spent blocked in Recv
+	ghostWaitNs  atomic.Int64 // wait attributed to ghost/boundary exchanges
+	reduceWaitNs atomic.Int64 // wait attributed to the dt allreduce
+	sent         atomic.Int64 // messages sent
+	received     atomic.Int64 // messages received
+	bytesSent    atomic.Int64
+	retries      atomic.Int64 // resend requests this endpoint issued
+	timeouts     atomic.Int64 // failed exchanges on this endpoint
+
+	// Distributed tracing (nil sink = disabled; see trace.go). The span
+	// seq counters are ordinal per stream, independent of the FT seqs.
+	sink         TraceSink
+	traceStep    int
+	traceSendSeq map[pairKey]uint64
+	traceRecvSeq map[pairKey]uint64
 }
 
 // Rank reports this endpoint's rank.
@@ -336,6 +348,7 @@ func (e *Endpoint) Send(to int, tag Tag, data []float64) {
 	}
 	e.sent.Add(1)
 	e.bytesSent.Add(int64(8 * len(data)))
+	e.traceSend(to, tag, 8*len(data))
 	if e.c.ft() {
 		k := pairKey{to, tag}
 		seq := e.sendSeq[k]
@@ -427,17 +440,18 @@ func (e *Endpoint) Recv(from int, tag Tag) []float64 {
 		default:
 			start := time.Now()
 			m = <-ch
-			e.waitNanos.Add(int64(time.Since(start)))
+			e.addWait(tag, time.Since(start))
 		}
 	}
 	if !m.ready.IsZero() {
 		if remaining := time.Until(m.ready); remaining > 0 {
 			time.Sleep(remaining)
-			e.waitNanos.Add(int64(remaining))
+			e.addWait(tag, remaining)
 		}
 	}
 	e.checkTag(from, tag, m.tag)
 	e.received.Add(1)
+	e.traceRecv(from, tag, 8*len(m.data))
 	return m.data
 }
 
@@ -461,7 +475,7 @@ func (e *Endpoint) RecvDeadline(from int, tag Tag) ([]float64, error) {
 		return data, nil
 	}
 	start := time.Now()
-	defer func() { e.waitNanos.Add(int64(time.Since(start))) }()
+	defer func() { e.addWait(tag, time.Since(start)) }()
 
 	backoff := e.c.deadline
 	timer := time.NewTimer(backoff)
@@ -541,6 +555,7 @@ func (e *Endpoint) takeMail(k pairKey, want uint64) ([]float64, bool) {
 	}
 	e.recvSeq[k] = want + 1
 	e.received.Add(1)
+	e.traceRecv(k.peer, k.tag, 8*len(m.data))
 	return m.data, true
 }
 
@@ -638,36 +653,43 @@ func (e *Endpoint) TryRecv(from int, tag Tag) ([]float64, bool) {
 	}
 	e.checkTag(from, tag, m.tag)
 	e.received.Add(1)
+	e.traceRecv(from, tag, 8*len(m.data))
 	return m.data, true
 }
 
 // Stats summarizes an endpoint's communication activity.
 type Stats struct {
-	Rank      int
-	Wait      time.Duration // time blocked in Recv
-	Sent      int64
-	Received  int64
-	BytesSent int64
-	Retries   int64 // resend requests issued (fault-tolerant mode)
-	Timeouts  int64 // exchanges that exhausted the retry budget
+	Rank       int
+	Wait       time.Duration // time blocked in Recv
+	WaitGhost  time.Duration // portion of Wait in ghost/boundary exchanges
+	WaitReduce time.Duration // portion of Wait in the dt allreduce
+	Sent       int64
+	Received   int64
+	BytesSent  int64
+	Retries    int64 // resend requests issued (fault-tolerant mode)
+	Timeouts   int64 // exchanges that exhausted the retry budget
 }
 
 // StatsSnapshot returns the endpoint's accumulated counters.
 func (e *Endpoint) StatsSnapshot() Stats {
 	return Stats{
-		Rank:      e.rank,
-		Wait:      time.Duration(e.waitNanos.Load()),
-		Sent:      e.sent.Load(),
-		Received:  e.received.Load(),
-		BytesSent: e.bytesSent.Load(),
-		Retries:   e.retries.Load(),
-		Timeouts:  e.timeouts.Load(),
+		Rank:       e.rank,
+		Wait:       time.Duration(e.waitNanos.Load()),
+		WaitGhost:  time.Duration(e.ghostWaitNs.Load()),
+		WaitReduce: time.Duration(e.reduceWaitNs.Load()),
+		Sent:       e.sent.Load(),
+		Received:   e.received.Load(),
+		BytesSent:  e.bytesSent.Load(),
+		Retries:    e.retries.Load(),
+		Timeouts:   e.timeouts.Load(),
 	}
 }
 
 // ResetStats zeroes the endpoint counters.
 func (e *Endpoint) ResetStats() {
 	e.waitNanos.Store(0)
+	e.ghostWaitNs.Store(0)
+	e.reduceWaitNs.Store(0)
 	e.sent.Store(0)
 	e.received.Store(0)
 	e.bytesSent.Store(0)

@@ -1,0 +1,96 @@
+package comm
+
+import "time"
+
+// TraceSink receives paired send/recv span notifications from the
+// message layer — the hook distributed tracing hangs off. Two layers
+// feed it, never both for the same message:
+//
+//   - In-process clusters record at the endpoint: Send and the delivery
+//     sites call the sink directly, with seq numbering each (peer, tag)
+//     stream's deliveries in order on both sides, so a sender's n-th
+//     send pairs with the receiver's n-th receive.
+//   - Remote clusters record at the wire layer (internal/wire), where
+//     the frame header carries the sender's clock and the wire seq
+//     provides the pairing; the endpoint stays silent (SetTraceSink
+//     ignores the sink when a RemoteLink is attached).
+//
+// Implementations must be safe for concurrent use: the wire fabric
+// calls from its writer and reader goroutines.
+type TraceSink interface {
+	// RecordSend is called after a message to peer is handed to the
+	// fabric. step is the driver's current timestep (SetTraceStep).
+	RecordSend(peer int, tag Tag, seq uint64, step int, bytes int, at time.Time)
+
+	// RecordRecv is called when a message from peer is delivered to the
+	// application. sendNs is the sender's wall clock at transmit time in
+	// unix nanoseconds (0 when unknown, e.g. in-process delivery where
+	// both ends share a clock and the send span already carries it).
+	RecordRecv(peer int, tag Tag, seq uint64, step int, bytes int, at time.Time, sendNs int64)
+}
+
+// SetTraceSink attaches a span sink to this endpoint. On a remote
+// cluster the call is a no-op: the wire fabric records spans with frame
+// timestamps instead (attach the sink there), and recording at both
+// layers would double-count every message.
+func (e *Endpoint) SetTraceSink(s TraceSink) {
+	if e.c.remote != nil {
+		return
+	}
+	e.sink = s
+	if s != nil && e.traceSendSeq == nil {
+		e.traceSendSeq = make(map[pairKey]uint64)
+		e.traceRecvSeq = make(map[pairKey]uint64)
+	}
+}
+
+// SetTraceStep stamps subsequent spans with the driver's timestep.
+// Endpoint-goroutine only, like every other Endpoint method.
+func (e *Endpoint) SetTraceStep(step int) { e.traceStep = step }
+
+// traceSend numbers and records one outgoing message. The ordinal
+// counter (not the FT protocol's seq) is used so reliable and
+// fault-tolerant clusters pair spans identically: each stream delivers
+// every message exactly once, in order, on both cluster kinds.
+func (e *Endpoint) traceSend(to int, tag Tag, bytes int) {
+	if e.sink == nil {
+		return
+	}
+	k := pairKey{to, tag}
+	seq := e.traceSendSeq[k]
+	e.traceSendSeq[k] = seq + 1
+	e.sink.RecordSend(to, tag, seq, e.traceStep, bytes, time.Now())
+}
+
+// traceRecv numbers and records one delivered message.
+func (e *Endpoint) traceRecv(from int, tag Tag, bytes int) {
+	if e.sink == nil {
+		return
+	}
+	k := pairKey{from, tag}
+	seq := e.traceRecvSeq[k]
+	e.traceRecvSeq[k] = seq + 1
+	e.sink.RecordRecv(from, tag, seq, e.traceStep, bytes, time.Now(), 0)
+}
+
+// addWait accounts blocked time to the endpoint's total wait and to the
+// phase class the tag belongs to: the dt allreduce (TagReduce) or the
+// ghost/boundary exchanges (everything else). The split is what the
+// stall report attributes step time with.
+func (e *Endpoint) addWait(tag Tag, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	e.waitNanos.Add(int64(d))
+	if tag == TagReduce {
+		e.reduceWaitNs.Add(int64(d))
+	} else {
+		e.ghostWaitNs.Add(int64(d))
+	}
+}
+
+// WaitBuckets reports the endpoint's blocked time split by phase class:
+// ghost/boundary exchanges versus the dt allreduce.
+func (e *Endpoint) WaitBuckets() (ghost, reduce time.Duration) {
+	return time.Duration(e.ghostWaitNs.Load()), time.Duration(e.reduceWaitNs.Load())
+}

@@ -48,6 +48,7 @@ import (
 	"lulesh/internal/domain"
 	"lulesh/internal/kernels"
 	"lulesh/internal/omp"
+	"lulesh/internal/perf"
 )
 
 // Config describes a multi-domain run.
@@ -111,6 +112,18 @@ type Config struct {
 	// Monitor, when non-nil, receives live fabric references and
 	// fault-tolerance counters for the -metrics-addr endpoint.
 	Monitor *Monitor
+
+	// Trace enables distributed tracing: every rank records per-step
+	// compute / ghost-wait / allreduce-wait / steal-idle buckets plus
+	// paired send/recv message spans, gathered into Result.Fleet (and,
+	// on a wire run, shipped to rank 0 over the fabric). Tracing never
+	// changes the arithmetic — traced runs stay bitwise identical.
+	Trace bool
+
+	// Profiler, when non-nil with Trace set, additionally receives the
+	// attribution buckets as perf phases (shard = rank), so they surface
+	// on the live Prometheus endpoint and the per-phase exit table.
+	Profiler *perf.Profiler
 }
 
 // DefaultConfig gives a cubic slab per rank with the reference region
@@ -147,6 +160,11 @@ type Result struct {
 	Recoveries  int   // cluster restarts taken after rank failures
 	Checkpoints int64 // coordinated checkpoint epochs committed
 	Fabric      comm.FabricStats
+
+	// Fleet holds every rank's trace when Config.Trace was set: the
+	// input to the merged Chrome trace and the stall report. On a wire
+	// run only rank 0 carries it (the gather lands there).
+	Fleet *perf.FleetSnapshot
 }
 
 // Run executes the multi-domain problem and returns the global result.
@@ -300,6 +318,14 @@ func runAttempt(cfg Config, inj *comm.FaultInjector, store *ckptStore) (Result, 
 			rk.store = store
 		}
 	}
+	if cfg.Trace {
+		// In-process endpoints record message spans themselves; on a wire
+		// run SetTraceSink no-ops and the fabric's reader/writer record
+		// instead (never both layers at once).
+		for _, rk := range ranks {
+			rk.ep.SetTraceSink(rk.tracer)
+		}
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -345,6 +371,14 @@ func runAttempt(cfg Config, inj *comm.FaultInjector, store *ckptStore) (Result, 
 			Comm:     rk.ep.StatsSnapshot(),
 			StepTime: rk.stepTime,
 		})
+	}
+	if cfg.Trace {
+		// One process, one clock: every rank's offset to "rank 0" is zero.
+		fleet := perf.NewFleetSnapshot(cfg.Ranks)
+		for _, rk := range ranks {
+			fleet.AddRank(rk.rankTrace(0, 0))
+		}
+		res.Fleet = fleet
 	}
 	return res, ranks, errs
 }
@@ -414,6 +448,21 @@ type rank struct {
 	packX, packY, packZ []float64
 
 	stepTime time.Duration
+
+	// Distributed tracing (Config.Trace): tracer collects message spans,
+	// buckets the per-step wall attribution, idleNs the team's
+	// accumulated steal-idle from instrumented parallel regions. prof,
+	// when set, mirrors the buckets into perf phases (worker = rank, so
+	// the phase table splits per rank); markStep closes its step window
+	// on rank 0. stepMark is the wire driver's per-cycle hook (frame
+	// stamping + periodic clock refresh).
+	trace    bool
+	tracer   *perf.NetTracer
+	buckets  []perf.StepBucket
+	idleNs   int64
+	prof     *perf.Profiler
+	markStep bool
+	stepMark func(cycle int)
 }
 
 func newRank(cfg Config, cluster *comm.Cluster, id int) *rank {
@@ -480,6 +529,12 @@ func newRankWith(cfg Config, cluster *comm.Cluster, id int, d *domain.Domain) *r
 	r.packX = make([]float64, r.planeN)
 	r.packY = make([]float64, r.planeN)
 	r.packZ = make([]float64, r.planeN)
+	if cfg.Trace {
+		r.trace = true
+		r.tracer = perf.NewNetTracer(0)
+		r.prof = cfg.Profiler
+		r.markStep = cfg.Profiler != nil && id == 0
+	}
 	if cfg.ThreadsPerRank > 1 {
 		r.pool = omp.NewPool(cfg.ThreadsPerRank)
 		r.scratches = make([]*kernels.EOSScratch, cfg.ThreadsPerRank)
@@ -493,7 +548,10 @@ func newRankWith(cfg Config, cluster *comm.Cluster, id int, d *domain.Domain) *r
 }
 
 // rangeBlock applies body over [lo, hi), splitting it across the rank's
-// team when hybrid execution is enabled.
+// team when hybrid execution is enabled. Under tracing each region also
+// accumulates the team's steal-idle: the region's wall time minus the
+// mean per-thread busy time is the share of the fork-join where threads
+// sat without work.
 func (r *rank) rangeBlock(lo, hi int, body func(lo, hi int)) {
 	if r.pool == nil || hi-lo == 0 {
 		if lo < hi {
@@ -501,9 +559,22 @@ func (r *rank) rangeBlock(lo, hi int, body func(lo, hi int)) {
 		}
 		return
 	}
+	if !r.trace {
+		r.pool.ParallelForBlock(hi-lo, func(a, b int) {
+			body(lo+a, lo+b)
+		})
+		return
+	}
+	var busy atomic.Int64
+	t0 := time.Now()
 	r.pool.ParallelForBlock(hi-lo, func(a, b int) {
+		s := time.Now()
 		body(lo+a, lo+b)
+		busy.Add(int64(time.Since(s)))
 	})
+	if idle := int64(time.Since(t0)) - busy.Load()/int64(r.cfg.ThreadsPerRank); idle > 0 {
+		r.idleNs += idle
+	}
 }
 
 // close releases the rank's team.
@@ -581,6 +652,18 @@ func (r *rank) run(maxIter int) error {
 		if r.epochHook != nil {
 			r.epochHook(d.Cycle)
 		}
+		var cycleStart time.Time
+		var ghost0, red0 time.Duration
+		var idle0 int64
+		if r.trace {
+			r.ep.SetTraceStep(d.Cycle)
+			if r.stepMark != nil {
+				r.stepMark(d.Cycle)
+			}
+			ghost0, red0 = r.ep.WaitBuckets()
+			idle0 = r.idleNs
+			cycleStart = time.Now()
+		}
 		t0 := time.Now()
 		err := r.step()
 		r.stepTime += time.Since(t0)
@@ -608,12 +691,62 @@ func (r *rank) run(maxIter int) error {
 			return fmt.Errorf("cycle %d: %w", d.Cycle, errPeerAbort)
 		}
 		d.Dtcourant, d.Dthydro = mins[0], mins[1]
+		if r.trace {
+			r.recordCycle(d.Cycle, cycleStart, ghost0, red0, idle0)
+		}
 
 		if err := r.maybeCheckpoint(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// recordCycle closes one timestep's attribution bucket. Wall spans the
+// cycle start through the dt allreduce; ghost/reduce waits are the
+// endpoint counters' deltas, steal-idle the instrumented team regions',
+// and compute the clamped residual — so the four buckets sum to wall by
+// construction, the invariant the stall report checks.
+func (r *rank) recordCycle(cycle int, start time.Time, ghost0, red0 time.Duration, idle0 int64) {
+	wall := int64(time.Since(start))
+	ghost1, red1 := r.ep.WaitBuckets()
+	ghost := int64(ghost1 - ghost0)
+	red := int64(red1 - red0)
+	idle := r.idleNs - idle0
+	compute := wall - ghost - red - idle
+	if compute < 0 {
+		compute = 0
+	}
+	r.buckets = append(r.buckets, perf.StepBucket{
+		Step: cycle, StartNs: start.UnixNano(), WallNs: wall,
+		ComputeNs: compute, GhostNs: ghost, ReduceNs: red, IdleNs: idle,
+	})
+	if p := r.prof; p != nil {
+		p.RecordTask(r.id, perf.PhaseDistCompute, start, time.Duration(compute), 0, false)
+		p.RecordTask(r.id, perf.PhaseDistGhostWait, start, time.Duration(ghost), 0, false)
+		p.RecordTask(r.id, perf.PhaseDistWaitRed, start, time.Duration(red), 0, false)
+		if idle > 0 {
+			p.RecordTask(r.id, perf.PhaseDistStealIdle, start, time.Duration(idle), 0, false)
+		}
+		if r.markStep {
+			p.MarkStep(cycle)
+		}
+	}
+}
+
+// rankTrace assembles this rank's complete trace contribution — buckets
+// plus drained message spans — stamped with its clock relation to rank 0
+// (zero for in-process clusters, which share one clock).
+func (r *rank) rankTrace(offsetNs, rttNs int64) perf.RankTrace {
+	rt := perf.RankTrace{
+		Rank: r.id, Ranks: r.cfg.Ranks,
+		OffsetNs: offsetNs, RTTNs: rttNs,
+		Steps: r.buckets,
+	}
+	if r.tracer != nil {
+		r.tracer.Drain(&rt)
+	}
+	return rt
 }
 
 // step advances one leapfrog iteration with the selected exchange

@@ -1,0 +1,187 @@
+package dist
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"lulesh/internal/perf"
+)
+
+// TestTracedRunBitwiseAndBuckets: turning tracing on must not move a
+// single bit of the physics, and the fleet snapshot it produces must
+// hold per-step buckets that sum to the step wall (compute is the
+// clamped residual) plus paired message spans for every live rank.
+func TestTracedRunBitwiseAndBuckets(t *testing.T) {
+	const size = 6
+	const ranks = 3
+	const steps = 10
+	base := Config{
+		Nx: size, Ny: size, NzPerRank: size, Ranks: ranks,
+		NumReg: 1, Balance: 1, Cost: 1, MaxIterations: steps,
+		ThreadsPerRank: 2, // exercise the instrumented fork-join path
+	}
+
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Fleet != nil {
+		t.Fatal("untraced run produced a fleet snapshot")
+	}
+
+	traced := base
+	traced.Trace = true
+	prof := perf.NewProfiler(ranks, 0)
+	perf.RegisterDistPhases(prof)
+	traced.Profiler = prof
+	got, err := Run(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.OriginEnergy != ref.OriginEnergy || got.TotalEnergy != ref.TotalEnergy {
+		t.Errorf("tracing perturbed the physics: energies (%v, %v) vs (%v, %v)",
+			got.OriginEnergy, got.TotalEnergy, ref.OriginEnergy, ref.TotalEnergy)
+	}
+	if got.FinalTime != ref.FinalTime || got.Iterations != ref.Iterations {
+		t.Errorf("tracing perturbed time stepping: %v/%d vs %v/%d",
+			got.FinalTime, got.Iterations, ref.FinalTime, ref.Iterations)
+	}
+
+	fs := got.Fleet
+	if fs == nil {
+		t.Fatal("traced run returned no fleet snapshot")
+	}
+	if fs.Ranks != ranks || len(fs.Traces) != ranks {
+		t.Fatalf("fleet holds %d/%d ranks, want %d", fs.Ranks, len(fs.Traces), ranks)
+	}
+	for r, rt := range fs.Traces {
+		if rt.Dead {
+			t.Fatalf("rank %d marked dead in an in-process run", r)
+		}
+		if rt.OffsetNs != 0 {
+			t.Errorf("rank %d: in-process offset %d, want 0 (one clock)", r, rt.OffsetNs)
+		}
+		if len(rt.Steps) != got.Iterations {
+			t.Errorf("rank %d recorded %d step buckets, want %d", r, len(rt.Steps), got.Iterations)
+		}
+		for _, b := range rt.Steps {
+			if b.WallNs <= 0 {
+				t.Fatalf("rank %d step %d: wall %d", r, b.Step, b.WallNs)
+			}
+			sum := b.ComputeNs + b.GhostNs + b.ReduceNs + b.IdleNs
+			// Buckets sum to wall by construction; only a clamped compute
+			// residual can leave a (small) gap. Accept the 5% books-balance
+			// criterion per step.
+			if sum > b.WallNs || float64(b.WallNs-sum) > 0.05*float64(b.WallNs)+float64(time.Millisecond) {
+				t.Errorf("rank %d step %d: buckets %d vs wall %d", r, b.Step, sum, b.WallNs)
+			}
+		}
+		// Every interior rank exchanges every step; even rank edges talk
+		// both force and gradient faces, so spans must exist both ways.
+		if len(rt.Sends) == 0 || len(rt.Recvs) == 0 {
+			t.Errorf("rank %d: %d sends, %d recvs, want both > 0", r, len(rt.Sends), len(rt.Recvs))
+		}
+	}
+
+	rep := perf.BuildStallReport(fs)
+	if rep.Steps != got.Iterations || rep.Ranks != ranks {
+		t.Errorf("stall report covers %d steps / %d ranks, want %d / %d",
+			rep.Steps, rep.Ranks, got.Iterations, ranks)
+	}
+	if rep.Coverage <= 0.95 || rep.Coverage > 1.0+1e-9 {
+		t.Errorf("attribution coverage %.4f, want within 5%% of 1", rep.Coverage)
+	}
+	if rep.HeadroomNs < 0 {
+		t.Errorf("negative overlap headroom %d", rep.HeadroomNs)
+	}
+
+	// The profiler mirror saw the same steps as perf phases.
+	snap := prof.Snapshot()
+	if snap.Tasks == 0 {
+		t.Error("profiler mirror recorded no attribution tasks")
+	}
+
+	// The merged trace renders with flow arrows and no dead ranks.
+	rec, st := fs.Merge()
+	if rec == nil {
+		t.Fatal("merge returned no recorder")
+	}
+	if st.DeadRanks != 0 {
+		t.Errorf("merge found %d dead ranks", st.DeadRanks)
+	}
+	if st.Flows == 0 {
+		t.Error("merge drew no flow arrows")
+	}
+}
+
+// TestDistTraceOverheadBudget gates the cross-rank tracing cost the same
+// way perf's TestForEachBlockOverheadBudget gates the profiler: paired
+// traced/untraced runs, interleaved order, min-of-trials. Override the
+// budget with DIST_TRACE_OVERHEAD_BUDGET (percent).
+func TestDistTraceOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead gate is not meaningful under -short")
+	}
+	if raceEnabled {
+		t.Skip("race detector skews instrumentation cost")
+	}
+	budget := 3.0
+	if s := os.Getenv("DIST_TRACE_OVERHEAD_BUDGET"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("DIST_TRACE_OVERHEAD_BUDGET=%q: %v", s, err)
+		}
+		budget = v
+	}
+
+	// Enough work per run that per-step instrumentation is measured
+	// against real compute rather than setup noise.
+	cfg := Config{
+		Nx: 12, Ny: 12, NzPerRank: 12, Ranks: 2,
+		NumReg: 1, Balance: 1, Cost: 1, MaxIterations: 20,
+	}
+	run := func(trace bool) time.Duration {
+		c := cfg
+		c.Trace = trace
+		start := time.Now()
+		if _, err := Run(c); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	run(false) // warmup: page in code and the allocator
+	run(true)
+
+	const trials = 7
+	offs := make([]time.Duration, 0, trials)
+	ons := make([]time.Duration, 0, trials)
+	for i := 0; i < trials; i++ {
+		if i%2 == 0 {
+			offs = append(offs, run(false))
+			ons = append(ons, run(true))
+		} else {
+			ons = append(ons, run(true))
+			offs = append(offs, run(false))
+		}
+	}
+	mOff, mOn := minDuration(offs), minDuration(ons)
+	overhead := 100 * (float64(mOn) - float64(mOff)) / float64(mOff)
+	t.Logf("untraced %v, traced %v, overhead %.2f%% (budget %.1f%%)", mOff, mOn, overhead, budget)
+	if overhead > budget {
+		t.Errorf("tracing overhead %.2f%% exceeds budget %.1f%%", overhead, budget)
+	}
+}
+
+func minDuration(ds []time.Duration) time.Duration {
+	m := ds[0]
+	for _, d := range ds[1:] {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}

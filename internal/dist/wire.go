@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 	"lulesh/internal/checkpoint"
 	"lulesh/internal/comm"
 	"lulesh/internal/domain"
+	"lulesh/internal/perf"
 	"lulesh/internal/wire"
 )
 
@@ -121,6 +123,16 @@ func RunWire(cfg Config, w WireOptions) (Result, error) {
 	// deadline would.
 	defer fab.Close()
 
+	// Wire runs record message spans at the wire layer — the fabric's
+	// writer/reader goroutines, where the header clock lives — so the
+	// endpoint-layer sink stays disconnected (SetTraceSink no-ops on a
+	// remote cluster). Attach before Cluster starts those goroutines.
+	var tracer *perf.NetTracer
+	if cfg.Trace {
+		tracer = perf.NewNetTracer(0)
+		fab.SetTracer(tracer)
+	}
+
 	cluster := fab.Cluster(comm.Options{
 		Transport:        tr,
 		ExchangeDeadline: cfg.ExchangeDeadline,
@@ -170,6 +182,21 @@ func RunWire(cfg Config, w WireOptions) (Result, error) {
 	rk := newRankWith(cfg, cluster, w.Rank, d)
 	defer rk.close()
 	rk.restored = restored
+	if tracer != nil {
+		rk.tracer = tracer
+		// Every wire process owns its profiler outright, so each one
+		// closes its own step windows (in-process, rank 0 does it for the
+		// shared profiler).
+		rk.markStep = cfg.Profiler != nil
+		rk.stepMark = func(cycle int) {
+			fab.SetStep(cycle)
+			// Refresh the clock-offset estimate as the run progresses;
+			// the min-RTT filter keeps the best sample.
+			if cycle%wireClockResync == 0 {
+				fab.SyncClock(1)
+			}
+		}
+	}
 	if store != nil {
 		rk.store = store
 	}
@@ -219,6 +246,40 @@ func RunWire(cfg Config, w WireOptions) (Result, error) {
 		}
 	}
 
+	// Trace gather: before Goodbye (the resend service must stay live),
+	// after the energy gather (no run traffic left to perturb). Workers
+	// ship their RankTrace to rank 0 as a JSON blob bit-cast onto the
+	// ordinary float64 data path; a rank that dies here stays marked Dead
+	// in the fleet snapshot rather than failing the run.
+	var fleet *perf.FleetSnapshot
+	if cfg.Trace {
+		off, rtt, _ := fab.RootOffset()
+		rt := rk.rankTrace(int64(off), int64(rtt))
+		if w.Rank == 0 {
+			fleet = perf.NewFleetSnapshot(cfg.Ranks)
+			fleet.AddRank(rt)
+			for r := 1; r < cfg.Ranks; r++ {
+				blob, err := rk.ep.RecvDeadline(r, comm.TagTrace)
+				if err != nil {
+					continue
+				}
+				raw, ok := perf.DecodeBlob(blob)
+				if !ok {
+					continue
+				}
+				var prt perf.RankTrace
+				if json.Unmarshal(raw, &prt) != nil {
+					continue
+				}
+				fleet.AddRank(prt)
+			}
+		} else {
+			if raw, err := json.Marshal(rt); err == nil {
+				rk.ep.Send(0, comm.TagTrace, perf.EncodeBlob(raw))
+			}
+		}
+	}
+
 	// Orderly exit: announce the end of run and keep servicing resend
 	// requests until every peer has said goodbye too (or the grace runs
 	// out) — a rank that finished first must not strand a peer still
@@ -241,12 +302,17 @@ func RunWire(cfg Config, w WireOptions) (Result, error) {
 	}
 	if w.Rank == 0 {
 		res.OriginEnergy = rk.d.E[0]
+		res.Fleet = fleet
 	}
 	if store != nil {
 		res.Checkpoints = store.filed
 	}
 	return res, nil
 }
+
+// wireClockResync is the step period of the in-run clock-offset refresh
+// (a single ping to rank 0; the min-RTT sample wins).
+const wireClockResync = 64
 
 // lingerGrace bounds the post-run resend-service window: long enough for
 // a peer to walk its full retry backoff against us, short enough not to

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"time"
 )
 
@@ -81,25 +82,66 @@ func (r BenchRecord) Grind() float64 {
 	return 0
 }
 
-// BuildInfo pins the toolchain and host a record was produced on.
+// BuildInfo pins the toolchain and host a record was produced on. New
+// fields are appended with omitempty so older records (and the golden
+// file) keep deserializing and serializing byte-identically.
 type BuildInfo struct {
-	GoVersion string `json:"go_version"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	NumCPU    int    `json:"num_cpu"`
-	Host      string `json:"host,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	Host       string `json:"host,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	GitRev     string `json:"git_rev,omitempty"`
 }
 
-// CurrentBuildInfo fills a BuildInfo from the running binary.
+// CurrentBuildInfo fills a BuildInfo from the running binary. The git
+// revision comes from the binary's embedded VCS stamp (present when the
+// build ran inside a checkout; absent under `go test` and plain `go
+// run`, where the field stays empty) — enough for benchgate failures to
+// be traced to the exact commit that produced a record.
 func CurrentBuildInfo() BuildInfo {
 	host, _ := os.Hostname()
 	return BuildInfo{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Host:      host,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Host:       host,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitRev:     gitRevision(),
 	}
+}
+
+// gitRevision extracts the vcs.revision setting (shortened) from the
+// running binary's build info, "" when the binary carries no VCS stamp.
+func gitRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			rev := s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if mod := findSetting(bi, "vcs.modified"); mod == "true" {
+				rev += "+dirty"
+			}
+			return rev
+		}
+	}
+	return ""
+}
+
+func findSetting(bi *debug.BuildInfo, key string) string {
+	for _, s := range bi.Settings {
+		if s.Key == key {
+			return s.Value
+		}
+	}
+	return ""
 }
 
 // WriteBenchJSON writes rec to the first unused BENCH_<n>.json in dir

@@ -1,0 +1,379 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"lulesh/internal/comm"
+	"lulesh/internal/trace"
+)
+
+// Fleet aggregation: rank 0 gathers every rank's RankTrace after the
+// run and merges them into one Chrome trace — per-rank process rows,
+// skew-corrected onto rank 0's clock, with flow arrows connecting each
+// send span to its receive — plus the critical-path / stall report.
+// Merging is pure (no I/O, no clocks beyond the recorded ones), so the
+// adversarial-input tests drive it directly.
+
+// FleetSnapshot is the gathered view: one RankTrace per rank. A rank
+// whose snapshot never arrived (died mid-run or during the gather) is
+// present with Dead=true so the merge marks the gap instead of
+// silently narrowing the fleet.
+type FleetSnapshot struct {
+	Ranks  int         `json:"ranks"`
+	Traces []RankTrace `json:"traces"`
+}
+
+// NewFleetSnapshot creates a snapshot with every rank pre-marked dead;
+// AddRank flips each slot as its trace arrives.
+func NewFleetSnapshot(ranks int) *FleetSnapshot {
+	fs := &FleetSnapshot{Ranks: ranks, Traces: make([]RankTrace, ranks)}
+	for r := range fs.Traces {
+		fs.Traces[r] = RankTrace{Rank: r, Ranks: ranks, Dead: true}
+	}
+	return fs
+}
+
+// AddRank files one rank's trace into its slot (out-of-range ranks are
+// ignored — a corrupt snapshot must not panic the aggregator).
+func (fs *FleetSnapshot) AddRank(rt RankTrace) {
+	if rt.Rank < 0 || rt.Rank >= len(fs.Traces) {
+		return
+	}
+	rt.Dead = false
+	fs.Traces[rt.Rank] = rt
+}
+
+// WriteJSON serializes the snapshot (the -fleet-out file and the
+// luleshbench -stall-report input).
+func (fs *FleetSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(fs)
+}
+
+// LoadFleetSnapshot reads a snapshot written by WriteJSON.
+func LoadFleetSnapshot(r io.Reader) (*FleetSnapshot, error) {
+	var fs FleetSnapshot
+	if err := json.NewDecoder(r).Decode(&fs); err != nil {
+		return nil, fmt.Errorf("fleet snapshot: %w", err)
+	}
+	return &fs, nil
+}
+
+// MergeStats reports what the merge could and could not pair up.
+type MergeStats struct {
+	Flows          int   // send/recv pairs connected by an arrow
+	UnmatchedSends int   // sends whose receive never surfaced
+	UnmatchedRecvs int   // receives whose send span is missing
+	DroppedSpans   int64 // spans the rank-local tracers overflowed away
+	DeadRanks      int
+}
+
+// flowKey addresses one message across the fleet: sender, receiver,
+// stream and ordinal.
+type flowKey struct {
+	from, to, tag int
+	seq           uint64
+}
+
+// Timeline rows per rank in the merged trace.
+const (
+	tidSteps = 0 // one slice per timestep, wall-clock accurate
+	tidAttr  = 1 // the step's buckets laid out sequentially (attribution, not literal timing)
+	tidNet   = 2 // send/recv span markers; flow arrows land here
+)
+
+// netMarkNs is the nominal width of a send/recv marker slice — wide
+// enough for viewers to click, far below any real phase duration.
+const netMarkNs = 2_000
+
+// Merge builds the fleet Chrome trace. Every timestamp is shifted by
+// the rank's OffsetNs onto rank 0's clock before anything is compared
+// or drawn; residual skew (the offset is only good to ~RTT/2) is
+// clamped so no flow arrow points backwards in time. The merge must
+// stay total under adversarial input: dead ranks become labeled empty
+// rows, dropped spans become unmatched-arrow counts, and both are
+// surfaced in-band as a "fleet gaps" counter track.
+func (fs *FleetSnapshot) Merge() (*trace.Recorder, MergeStats) {
+	var st MergeStats
+	rec := trace.NewRecorder(0)
+
+	// Epoch: the earliest aligned instant anywhere in the fleet.
+	var epochNs int64
+	seen := false
+	for _, rt := range fs.Traces {
+		consider := func(ns int64) {
+			if ns == 0 {
+				return
+			}
+			ns += rt.OffsetNs
+			if !seen || ns < epochNs {
+				epochNs, seen = ns, true
+			}
+		}
+		for _, b := range rt.Steps {
+			consider(b.StartNs)
+		}
+		for _, s := range rt.Sends {
+			consider(s.TNs)
+		}
+		for _, s := range rt.Recvs {
+			consider(s.TNs)
+		}
+	}
+	if seen {
+		rec.SetEpoch(time.Unix(0, epochNs))
+	}
+
+	sends := make(map[flowKey]NetSpan)
+	for _, rt := range fs.Traces {
+		r := rt.Rank
+		if rt.Dead {
+			st.DeadRanks++
+			rec.SetProcessName(r, fmt.Sprintf("rank %d (no data)", r))
+			continue
+		}
+		rec.SetProcessName(r, fmt.Sprintf("rank %d", r))
+		rec.SetThreadName(r, tidSteps, "steps")
+		rec.SetThreadName(r, tidAttr, "attribution")
+		rec.SetThreadName(r, tidNet, "net")
+		st.DroppedSpans += rt.SendDrops + rt.RecvDrops
+
+		for _, b := range rt.Steps {
+			start := time.Unix(0, b.StartNs+rt.OffsetNs)
+			rec.RecordEvent(trace.Event{
+				Name: fmt.Sprintf("step %d", b.Step), PID: r, TID: tidSteps,
+				Start: start, Dur: time.Duration(b.WallNs),
+				Args: map[string]float64{
+					"compute_ms":        float64(b.ComputeNs) / 1e6,
+					"ghost_wait_ms":     float64(b.GhostNs) / 1e6,
+					"allreduce_wait_ms": float64(b.ReduceNs) / 1e6,
+					"steal_idle_ms":     float64(b.IdleNs) / 1e6,
+				},
+			})
+			// The attribution lane lays the buckets end to end inside the
+			// step window: where the time went, not when it went there.
+			t := start
+			for _, part := range []struct {
+				name string
+				ns   int64
+			}{
+				{"compute", b.ComputeNs},
+				{"ghost-wait", b.GhostNs},
+				{"allreduce-wait", b.ReduceNs},
+				{"steal-idle", b.IdleNs},
+			} {
+				if part.ns <= 0 {
+					continue
+				}
+				rec.RecordEvent(trace.Event{
+					Name: part.name, PID: r, TID: tidAttr,
+					Start: t, Dur: time.Duration(part.ns),
+				})
+				t = t.Add(time.Duration(part.ns))
+			}
+		}
+
+		for _, s := range rt.Sends {
+			k := flowKey{from: r, to: s.Peer, tag: s.Tag, seq: s.Seq}
+			if _, dup := sends[k]; dup {
+				continue // a resend; the first transmission anchors the arrow
+			}
+			sp := s
+			sp.TNs += rt.OffsetNs // store aligned; recv matching reads this
+			sp.Peer = r           // repurposed below as the sending rank
+			sends[k] = sp
+			rec.RecordEvent(trace.Event{
+				Name: fmt.Sprintf("send %s→%d", comm.Tag(s.Tag), k.to), PID: r, TID: tidNet,
+				Start: time.Unix(0, sp.TNs), Dur: netMarkNs,
+			})
+		}
+	}
+
+	// Second pass for receives: every send is indexed first so arrival
+	// order across ranks cannot hide a pairing.
+	recvSeen := make(map[flowKey]bool)
+	for _, rt := range fs.Traces {
+		if rt.Dead {
+			continue
+		}
+		r := rt.Rank
+		for _, s := range rt.Recvs {
+			k := flowKey{from: s.Peer, to: r, tag: s.Tag, seq: s.Seq}
+			if recvSeen[k] {
+				continue // duplicate delivery (resend); keep the first
+			}
+			recvSeen[k] = true
+			at := s.TNs + rt.OffsetNs
+			rec.RecordEvent(trace.Event{
+				Name: fmt.Sprintf("recv %s←%d", comm.Tag(s.Tag), k.from), PID: r, TID: tidNet,
+				Start: time.Unix(0, at), Dur: netMarkNs,
+			})
+			snd, ok := sends[k]
+			if !ok {
+				st.UnmatchedRecvs++ // the send span was dropped or the sender died
+				continue
+			}
+			delete(sends, k)
+			st.Flows++
+			from := snd.TNs
+			if at < from {
+				at = from // residual skew must not draw a backwards arrow
+			}
+			rec.RecordFlow(trace.Flow{
+				Name:    fmt.Sprintf("%s %d→%d", comm.Tag(s.Tag), k.from, k.to),
+				FromPID: snd.Peer, FromTID: tidNet, From: time.Unix(0, from),
+				ToPID: r, ToTID: tidNet, To: time.Unix(0, at),
+			})
+		}
+	}
+	st.UnmatchedSends = len(sends)
+
+	if st.DeadRanks > 0 || st.DroppedSpans > 0 || st.UnmatchedSends > 0 || st.UnmatchedRecvs > 0 {
+		rec.RecordCounter("fleet gaps", time.Unix(0, epochNs), float64(st.DeadRanks))
+		rec.RecordEvent(trace.Event{
+			Name: "fleet gaps", PID: 0, TID: tidNet,
+			Start: time.Unix(0, epochNs), Dur: netMarkNs,
+			Args: map[string]float64{
+				"dead_ranks":      float64(st.DeadRanks),
+				"dropped_spans":   float64(st.DroppedSpans),
+				"unmatched_sends": float64(st.UnmatchedSends),
+				"unmatched_recvs": float64(st.UnmatchedRecvs),
+			},
+		})
+	}
+	return rec, st
+}
+
+// StepStall is one timestep's fleet-wide timing: the slowest rank's
+// wall defines the step (bulk-synchronous protocol), the slowest
+// compute bounds how fast the step could possibly get, and the
+// difference is what overlap could reclaim.
+type StepStall struct {
+	Step     int   `json:"step"`
+	WallNs   int64 `json:"wall_ns"`
+	CritNs   int64 `json:"crit_ns"`
+	Headroom int64 `json:"headroom_ns"`
+	SlowRank int   `json:"slow_rank"`
+}
+
+// StallReport quantifies the longest dependency chain per step and the
+// total overlap headroom — the number ROADMAP item 3 is judged against.
+type StallReport struct {
+	Ranks int `json:"ranks"`
+	Steps int `json:"steps"`
+
+	WallNs     int64 `json:"wall_ns"`     // Σ per-step max rank wall
+	CritNs     int64 `json:"crit_ns"`     // Σ per-step max rank compute
+	HeadroomNs int64 `json:"headroom_ns"` // Wall − Crit
+
+	// Per-rank bucket totals summed across the fleet.
+	ComputeNs int64 `json:"compute_ns"`
+	GhostNs   int64 `json:"ghost_ns"`
+	ReduceNs  int64 `json:"reduce_ns"`
+	IdleNs    int64 `json:"idle_ns"`
+
+	// Coverage is Σ buckets / Σ wall over every (rank, step) — the
+	// attribution's books-balance check (≈1 by construction; <1 only
+	// where the compute residual clamped at zero).
+	Coverage float64 `json:"coverage"`
+
+	Worst []StepStall `json:"worst"` // top steps by headroom
+}
+
+// worstSteps bounds the Worst list.
+const worstSteps = 5
+
+// BuildStallReport walks the snapshot's per-step buckets. Dead ranks
+// contribute nothing; steps only some ranks reported still count, with
+// the max taken over the reporters.
+func BuildStallReport(fs *FleetSnapshot) StallReport {
+	rep := StallReport{Ranks: fs.Ranks}
+	type agg struct {
+		wall, crit int64
+		slow       int
+	}
+	perStep := map[int]*agg{}
+	var bucketSum, wallSum int64
+	for _, rt := range fs.Traces {
+		if rt.Dead {
+			continue
+		}
+		for _, b := range rt.Steps {
+			a := perStep[b.Step]
+			if a == nil {
+				a = &agg{}
+				perStep[b.Step] = a
+			}
+			if b.WallNs > a.wall {
+				a.wall, a.slow = b.WallNs, rt.Rank
+			}
+			if b.ComputeNs > a.crit {
+				a.crit = b.ComputeNs
+			}
+			rep.ComputeNs += b.ComputeNs
+			rep.GhostNs += b.GhostNs
+			rep.ReduceNs += b.ReduceNs
+			rep.IdleNs += b.IdleNs
+			bucketSum += b.ComputeNs + b.GhostNs + b.ReduceNs + b.IdleNs
+			wallSum += b.WallNs
+		}
+	}
+	rep.Steps = len(perStep)
+	if wallSum > 0 {
+		rep.Coverage = float64(bucketSum) / float64(wallSum)
+	}
+	steps := make([]int, 0, len(perStep))
+	for s := range perStep {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	all := make([]StepStall, 0, len(steps))
+	for _, s := range steps {
+		a := perStep[s]
+		rep.WallNs += a.wall
+		rep.CritNs += a.crit
+		all = append(all, StepStall{
+			Step: s, WallNs: a.wall, CritNs: a.crit,
+			Headroom: a.wall - a.crit, SlowRank: a.slow,
+		})
+	}
+	rep.HeadroomNs = rep.WallNs - rep.CritNs
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Headroom > all[j].Headroom })
+	if len(all) > worstSteps {
+		all = all[:worstSteps]
+	}
+	rep.Worst = all
+	return rep
+}
+
+// WriteText renders the report for terminals and CI logs.
+func (rep StallReport) WriteText(w io.Writer) {
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	fmt.Fprintf(w, "Stall report: %d ranks, %d steps\n", rep.Ranks, rep.Steps)
+	if rep.Steps == 0 {
+		fmt.Fprintf(w, "  (no per-step buckets recorded)\n")
+		return
+	}
+	pct := 0.0
+	if rep.WallNs > 0 {
+		pct = 100 * float64(rep.HeadroomNs) / float64(rep.WallNs)
+	}
+	fmt.Fprintf(w, "  fleet wall        %10.2f ms  (sum of per-step slowest-rank wall)\n", ms(rep.WallNs))
+	fmt.Fprintf(w, "  critical compute  %10.2f ms  (per-step slowest-rank compute: the dependency chain)\n", ms(rep.CritNs))
+	fmt.Fprintf(w, "  overlap headroom  %10.2f ms  (%.1f%% of wall — upper bound for compute/comm overlap)\n", ms(rep.HeadroomNs), pct)
+	fmt.Fprintf(w, "  rank totals: compute %.2f ms, ghost-wait %.2f ms, allreduce-wait %.2f ms, steal-idle %.2f ms\n",
+		ms(rep.ComputeNs), ms(rep.GhostNs), ms(rep.ReduceNs), ms(rep.IdleNs))
+	fmt.Fprintf(w, "  bucket coverage: %.1f%% of measured wall\n", 100*rep.Coverage)
+	if len(rep.Worst) > 0 {
+		fmt.Fprintf(w, "  worst steps by headroom:\n")
+		for _, s := range rep.Worst {
+			fmt.Fprintf(w, "    step %4d  wall %8.2f ms  crit %8.2f ms  headroom %8.2f ms  (slowest rank %d)\n",
+				s.Step, ms(s.WallNs), ms(s.CritNs), ms(s.Headroom), s.SlowRank)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"lulesh/internal/stats"
 )
@@ -28,6 +30,7 @@ type Server struct {
 	srv    *http.Server
 	p      atomic.Pointer[Profiler]
 	labels atomic.Value // rendered base label set, e.g. `rank="3"`
+	peers  atomic.Value // func() []string: fleet scrape targets (rank 0)
 }
 
 // SetLabels attaches constant labels to every Prometheus series the
@@ -68,11 +71,15 @@ func StartServer(addr string, p *Profiler, extra func() map[string]float64) (*Se
 	s.p.Store(p)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// no-store: scrapes are live samples; a proxy replaying a cached
+		// body would feed the scraper stale counters.
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		w.Header().Set("Cache-Control", "no-store")
 		writePrometheus(w, s.snapshot(), callExtra(extra), s.baseLabels())
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(struct {
@@ -80,6 +87,7 @@ func StartServer(addr string, p *Profiler, extra func() map[string]float64) (*Se
 			Extra map[string]float64 `json:"extra,omitempty"`
 		}{s.snapshot(), callExtra(extra)})
 	})
+	mux.HandleFunc("/fleet/metrics", s.serveFleet)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -104,6 +112,84 @@ func (s *Server) snapshot() Snapshot {
 
 // Close stops the server.
 func (s *Server) Close() { s.srv.Close() }
+
+// EnableFleet turns on /fleet/metrics: each scrape fetches every peer
+// address's /metrics (the local rank included, so the fleet view is
+// complete from one URL) and merges the bodies into one exposition.
+// peers is called per scrape — the target list may change as ranks come
+// and go. Rank 0 of a wire run enables this; other ranks leave it off
+// and /fleet/metrics answers 404.
+func (s *Server) EnableFleet(peers func() []string) { s.peers.Store(peers) }
+
+// fleetScrapeTimeout bounds each per-rank fetch: a hung rank must not
+// stall the whole fleet scrape past the scraper's own deadline.
+const fleetScrapeTimeout = 2 * time.Second
+
+func (s *Server) serveFleet(w http.ResponseWriter, r *http.Request) {
+	fn, ok := s.peers.Load().(func() []string)
+	if !ok || fn == nil {
+		http.Error(w, "fleet aggregation not enabled on this rank", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Header().Set("Cache-Control", "no-store")
+	client := &http.Client{Timeout: fleetScrapeTimeout}
+	bodies := make([][]byte, 0, 8)
+	errs := 0
+	for _, addr := range fn() {
+		resp, err := client.Get("http://" + addr + "/metrics")
+		if err != nil {
+			errs++
+			fmt.Fprintf(w, "# fleet: scrape of %s failed: %v\n", addr, err)
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			errs++
+			fmt.Fprintf(w, "# fleet: scrape of %s failed: status %d\n", addr, resp.StatusCode)
+			continue
+		}
+		bodies = append(bodies, body)
+	}
+	w.Write(MergeMetricsText(bodies))
+	fmt.Fprintf(w, "# TYPE lulesh_fleet_scrape_errors gauge\nlulesh_fleet_scrape_errors %d\n", errs)
+	fmt.Fprintf(w, "# TYPE lulesh_fleet_ranks gauge\nlulesh_fleet_ranks %d\n", len(bodies))
+}
+
+// MergeMetricsText concatenates Prometheus text expositions, keeping
+// only the first # HELP / # TYPE line per metric name: per-rank bodies
+// repeat the metadata, and scrapers reject duplicate TYPE declarations.
+// The samples themselves stay distinct through their rank="N" labels.
+func MergeMetricsText(bodies [][]byte) []byte {
+	var out bytes.Buffer
+	seen := map[string]bool{}
+	for _, body := range bodies {
+		for _, line := range strings.Split(string(body), "\n") {
+			if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+				if seen[line] {
+					continue
+				}
+				// Key on the directive + metric name so differing help texts
+				// cannot smuggle in a duplicate TYPE.
+				fields := strings.Fields(line)
+				if len(fields) >= 3 {
+					key := fields[1] + " " + fields[2]
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+				}
+				seen[line] = true
+			} else if line == "" {
+				continue
+			}
+			out.WriteString(line)
+			out.WriteByte('\n')
+		}
+	}
+	return out.Bytes()
+}
 
 func callExtra(extra func() map[string]float64) map[string]float64 {
 	if extra == nil {

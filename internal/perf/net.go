@@ -1,0 +1,184 @@
+package perf
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"time"
+
+	"lulesh/internal/comm"
+)
+
+// Distributed tracing: per-rank span collection and the step-time
+// attribution phases. The NetTracer below implements comm.TraceSink, so
+// both message layers — the in-process endpoint and the wire fabric —
+// feed it paired send/recv spans; the dist driver adds per-step wall
+// buckets; fleet.go merges one RankTrace per rank into the fleet view.
+
+// Attribution phases registered into a dist run's profiler, so the
+// compute/wait split flows through the existing Prometheus series,
+// histograms and per-phase exit table unchanged. Phase 0 stays the
+// catch-all "other".
+const (
+	PhaseDistCompute   uint32 = 1 // step wall minus all waits
+	PhaseDistGhostWait uint32 = 2 // blocked in ghost/boundary exchanges
+	PhaseDistWaitRed   uint32 = 3 // blocked in the dt allreduce
+	PhaseDistStealIdle uint32 = 4 // hybrid pool idle inside parallel regions
+)
+
+// RegisterDistPhases names the attribution phases on a profiler used by
+// the distributed driver (one shard per rank in-process, one per
+// process on the wire).
+func RegisterDistPhases(p *Profiler) {
+	p.SetPhaseName(PhaseDistCompute, "compute")
+	p.SetPhaseName(PhaseDistGhostWait, "ghost-wait")
+	p.SetPhaseName(PhaseDistWaitRed, "allreduce-wait")
+	p.SetPhaseName(PhaseDistStealIdle, "steal-idle")
+}
+
+// NetSpan is one recorded message event: a send or its paired receive.
+// The (Peer, Tag, Seq) triple plus the direction identifies the pairing
+// — rank a's send (to=b, tag, seq) matches rank b's recv (from=a, tag,
+// seq) — which is what the merger draws flow arrows from.
+type NetSpan struct {
+	Peer   int    `json:"peer"`
+	Tag    int    `json:"tag"`
+	Seq    uint64 `json:"seq"`
+	Step   int    `json:"step"`
+	TNs    int64  `json:"t_ns"` // local clock, unix nanoseconds
+	Bytes  int    `json:"bytes"`
+	SendNs int64  `json:"send_ns,omitempty"` // recvs only: sender's header clock
+}
+
+// StepBucket is one timestep's wall-time attribution on one rank. The
+// buckets sum to Wall by construction (compute is the clamped residual),
+// which is the invariant the stall report and its tests lean on.
+type StepBucket struct {
+	Step      int   `json:"step"`
+	StartNs   int64 `json:"start_ns"` // local clock at cycle start
+	WallNs    int64 `json:"wall_ns"`
+	ComputeNs int64 `json:"compute_ns"`
+	GhostNs   int64 `json:"ghost_ns"`
+	ReduceNs  int64 `json:"reduce_ns"`
+	IdleNs    int64 `json:"idle_ns"`
+}
+
+// RankTrace is one rank's complete trace contribution: its clock
+// relation to rank 0, its per-step buckets, and its message spans.
+// Workers JSON-encode it and ship it to rank 0 over the fabric
+// (comm.TagTrace) after the run.
+type RankTrace struct {
+	Rank      int          `json:"rank"`
+	Ranks     int          `json:"ranks"`
+	OffsetNs  int64        `json:"offset_ns"` // add to local clocks → rank-0 clock
+	RTTNs     int64        `json:"rtt_ns"`    // round trip the offset rode on
+	Steps     []StepBucket `json:"steps"`
+	Sends     []NetSpan    `json:"sends"`
+	Recvs     []NetSpan    `json:"recvs"`
+	SendDrops int64        `json:"send_drops,omitempty"` // spans lost to the cap
+	RecvDrops int64        `json:"recv_drops,omitempty"`
+	Dead      bool         `json:"dead,omitempty"` // no snapshot arrived for this rank
+}
+
+// netSpanCap bounds a NetTracer's per-direction storage. Long runs
+// overflow it; the drop counters keep the truncation visible, exactly
+// like the span-ring accounting.
+const netSpanCap = 1 << 17
+
+// NetTracer collects message spans from the comm or wire layer. Safe
+// for concurrent use (the wire fabric records from its writer and
+// reader goroutines). Implements comm.TraceSink.
+type NetTracer struct {
+	mu        sync.Mutex
+	limit     int
+	sends     []NetSpan
+	recvs     []NetSpan
+	sendDrops int64
+	recvDrops int64
+}
+
+// NewNetTracer creates a tracer holding up to limit spans per direction
+// (0 = netSpanCap).
+func NewNetTracer(limit int) *NetTracer {
+	if limit <= 0 {
+		limit = netSpanCap
+	}
+	return &NetTracer{limit: limit}
+}
+
+// RecordSend implements comm.TraceSink.
+func (t *NetTracer) RecordSend(peer int, tag comm.Tag, seq uint64, step, bytes int, at time.Time) {
+	t.mu.Lock()
+	if len(t.sends) < t.limit {
+		t.sends = append(t.sends, NetSpan{
+			Peer: peer, Tag: int(tag), Seq: seq, Step: step,
+			TNs: at.UnixNano(), Bytes: bytes,
+		})
+	} else {
+		t.sendDrops++
+	}
+	t.mu.Unlock()
+}
+
+// RecordRecv implements comm.TraceSink.
+func (t *NetTracer) RecordRecv(peer int, tag comm.Tag, seq uint64, step, bytes int, at time.Time, sendNs int64) {
+	t.mu.Lock()
+	if len(t.recvs) < t.limit {
+		t.recvs = append(t.recvs, NetSpan{
+			Peer: peer, Tag: int(tag), Seq: seq, Step: step,
+			TNs: at.UnixNano(), Bytes: bytes, SendNs: sendNs,
+		})
+	} else {
+		t.recvDrops++
+	}
+	t.mu.Unlock()
+}
+
+// Drain moves the collected spans and drop counts into rt, leaving the
+// tracer empty.
+func (t *NetTracer) Drain(rt *RankTrace) {
+	t.mu.Lock()
+	rt.Sends = append(rt.Sends, t.sends...)
+	rt.Recvs = append(rt.Recvs, t.recvs...)
+	rt.SendDrops += t.sendDrops
+	rt.RecvDrops += t.recvDrops
+	t.sends, t.recvs = nil, nil
+	t.sendDrops, t.recvDrops = 0, 0
+	t.mu.Unlock()
+}
+
+// EncodeBlob packs arbitrary bytes into the float64 slabs the comm
+// fabric moves: one length-prefix float (the byte count as raw bits)
+// followed by ceil(n/8) floats of payload, all bit-cast so no value
+// round-trips through float arithmetic. The trace gather rides the
+// ordinary data path with this.
+func EncodeBlob(b []byte) []float64 {
+	out := make([]float64, 1+(len(b)+7)/8)
+	out[0] = math.Float64frombits(uint64(len(b)))
+	var chunk [8]byte
+	for i := 1; i < len(out); i++ {
+		n := copy(chunk[:], b[(i-1)*8:])
+		for j := n; j < 8; j++ {
+			chunk[j] = 0
+		}
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[:]))
+	}
+	return out
+}
+
+// DecodeBlob unpacks EncodeBlob's framing. ok is false when the slab is
+// malformed (short, or a length that does not fit the payload).
+func DecodeBlob(f []float64) (b []byte, ok bool) {
+	if len(f) == 0 {
+		return nil, false
+	}
+	n := math.Float64bits(f[0])
+	if n > uint64(8*(len(f)-1)) {
+		return nil, false
+	}
+	b = make([]byte, 8*(len(f)-1))
+	for i, v := range f[1:] {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b[:n], true
+}

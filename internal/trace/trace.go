@@ -17,9 +17,22 @@ import (
 // Event is one completed execution span.
 type Event struct {
 	Name  string
+	PID   int // process / rank id (one timeline group each; 0 in-process)
 	TID   int // worker / thread id (one timeline row each)
 	Start time.Time
 	Dur   time.Duration
+	Args  map[string]float64 // optional per-span values shown in the viewer
+}
+
+// Flow is one cross-row dependency arrow: the viewers draw a line from
+// the start point to the end point (Chrome "s"/"f" flow events). Fleet
+// traces use it to connect a rank's send span to the peer's recv span.
+type Flow struct {
+	Name             string
+	FromPID, FromTID int
+	From             time.Time
+	ToPID, ToTID     int
+	To               time.Time
 }
 
 // CounterSample is one sampled scalar value on the trace timeline (e.g.
@@ -37,9 +50,13 @@ type Recorder struct {
 	epoch        time.Time
 	events       []Event
 	counters     []CounterSample
+	flows        []Flow
+	procNames    map[int]string
+	threadNames  map[[2]int]string
 	limit        int
 	eventDrops   int64
 	counterDrops int64
+	flowDrops    int64
 }
 
 // NewRecorder creates a recorder. limit bounds the number of stored events
@@ -64,6 +81,60 @@ func (r *Recorder) Record(name string, tid int, start time.Time, dur time.Durati
 	} else {
 		r.eventDrops++
 	}
+	r.mu.Unlock()
+}
+
+// RecordEvent stores one completed span with full addressing (pid, tid,
+// optional args) — the merge path for fleet traces, where pid is the rank.
+func (r *Recorder) RecordEvent(e Event) {
+	r.mu.Lock()
+	if len(r.events) < r.limit {
+		r.events = append(r.events, e)
+	} else {
+		r.eventDrops++
+	}
+	r.mu.Unlock()
+}
+
+// RecordFlow stores one dependency arrow between two timeline points.
+// Flows share the event limit; flows past it are counted as dropped.
+func (r *Recorder) RecordFlow(f Flow) {
+	r.mu.Lock()
+	if len(r.flows) < r.limit {
+		r.flows = append(r.flows, f)
+	} else {
+		r.flowDrops++
+	}
+	r.mu.Unlock()
+}
+
+// SetProcessName labels a pid's timeline group (Chrome "process_name"
+// metadata). Fleet traces use it to title each rank's row set.
+func (r *Recorder) SetProcessName(pid int, name string) {
+	r.mu.Lock()
+	if r.procNames == nil {
+		r.procNames = map[int]string{}
+	}
+	r.procNames[pid] = name
+	r.mu.Unlock()
+}
+
+// SetThreadName labels one (pid, tid) timeline row.
+func (r *Recorder) SetThreadName(pid, tid int, name string) {
+	r.mu.Lock()
+	if r.threadNames == nil {
+		r.threadNames = map[[2]int]string{}
+	}
+	r.threadNames[[2]int{pid, tid}] = name
+	r.mu.Unlock()
+}
+
+// SetEpoch pins the timestamp origin. The merge path uses it to anchor
+// absolute (unix-nano based) fleet timestamps at the earliest span instead
+// of the recorder's creation time.
+func (r *Recorder) SetEpoch(t time.Time) {
+	r.mu.Lock()
+	r.epoch = t
 	r.mu.Unlock()
 }
 
@@ -147,8 +218,12 @@ func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.events = r.events[:0]
 	r.counters = r.counters[:0]
+	r.flows = r.flows[:0]
+	r.procNames = nil
+	r.threadNames = nil
 	r.eventDrops = 0
 	r.counterDrops = 0
+	r.flowDrops = 0
 	r.epoch = time.Now()
 	r.mu.Unlock()
 }
@@ -165,35 +240,82 @@ type chromeEvent struct {
 	Args map[string]float64 `json:"args,omitempty"`
 }
 
+// chromeMeta is the metadata shape ("M" events: process_name /
+// thread_name), whose args carry strings rather than numbers.
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// chromeFlow is one endpoint of a flow arrow ("s" start / "f" finish).
+// The shared id pairs the two endpoints; bp:"e" binds the finish to the
+// enclosing slice so the arrow lands on the recv span.
+type chromeFlow struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	ID   int     `json:"id"`
+	Ts   float64 `json:"ts"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	BP   string  `json:"bp,omitempty"`
+}
+
 // WriteChromeTrace emits the stored events and counter samples as a
 // Chrome trace-event JSON array, loadable by chrome://tracing and
 // Perfetto. Counter samples become "C" events, which the viewers render
 // as value tracks above the worker timelines.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	r.mu.Lock()
-	evs := make([]chromeEvent, 0, len(r.events)+len(r.counters))
+	us := func(t time.Time) float64 {
+		return float64(t.Sub(r.epoch)) / float64(time.Microsecond)
+	}
+	evs := make([]any, 0, len(r.events)+len(r.counters)+2*len(r.flows)+len(r.procNames)+len(r.threadNames))
+	for pid, name := range r.procNames {
+		evs = append(evs, chromeMeta{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]string{"name": name},
+		})
+	}
+	for key, name := range r.threadNames {
+		evs = append(evs, chromeMeta{
+			Name: "thread_name", Ph: "M", PID: key[0], TID: key[1],
+			Args: map[string]string{"name": name},
+		})
+	}
 	for _, e := range r.events {
 		evs = append(evs, chromeEvent{
 			Name: e.Name,
 			Ph:   "X",
-			Ts:   float64(e.Start.Sub(r.epoch)) / float64(time.Microsecond),
+			Ts:   us(e.Start),
 			Dur:  float64(e.Dur) / float64(time.Microsecond),
-			PID:  0,
+			PID:  e.PID,
 			TID:  e.TID,
+			Args: e.Args,
 		})
+	}
+	for i, f := range r.flows {
+		evs = append(evs,
+			chromeFlow{Name: f.Name, Cat: "net", Ph: "s", ID: i + 1,
+				Ts: us(f.From), PID: f.FromPID, TID: f.FromTID},
+			chromeFlow{Name: f.Name, Cat: "net", Ph: "f", ID: i + 1,
+				Ts: us(f.To), PID: f.ToPID, TID: f.ToTID, BP: "e"})
 	}
 	for _, c := range r.counters {
 		evs = append(evs, chromeEvent{
 			Name: c.Name,
 			Ph:   "C",
-			Ts:   float64(c.T.Sub(r.epoch)) / float64(time.Microsecond),
+			Ts:   us(c.T),
 			PID:  0,
 			Args: map[string]float64{"value": c.Value},
 		})
 	}
 	// A truncated trace must say so in-band: emit the drop totals as a
 	// final counter track so viewers (and scripts) see the trace is partial.
-	if r.eventDrops > 0 || r.counterDrops > 0 {
+	if r.eventDrops > 0 || r.counterDrops > 0 || r.flowDrops > 0 {
 		evs = append(evs, chromeEvent{
 			Name: "trace dropped (truncated)",
 			Ph:   "C",
@@ -202,6 +324,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			Args: map[string]float64{
 				"events":   float64(r.eventDrops),
 				"counters": float64(r.counterDrops),
+				"flows":    float64(r.flowDrops),
 			},
 		})
 	}

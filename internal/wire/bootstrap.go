@@ -13,7 +13,9 @@ import (
 )
 
 // protoVersion is bumped on any wire-format change; peers refuse to mix.
-const protoVersion = 1
+// v2: 40-byte header carrying span context (send clock, step, phase) and
+// the ping/pong clock-probe frames.
+const protoVersion = 2
 
 // Defaults for Config's zero durations.
 const (

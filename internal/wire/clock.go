@@ -1,0 +1,88 @@
+package wire
+
+import "time"
+
+// Clock-offset estimation (NTP-lite). Merged fleet traces need every
+// rank's spans on one clock; the fabric estimates each peer's clock
+// offset with header-only ping/pong probes:
+//
+//	t0  local clock when the ping leaves (stamped into sendNs by the
+//	    writer goroutine)
+//	t1  peer clock when the pong leaves (the peer's reader echoes t0
+//	    into the pong's seq field; the pong's own sendNs is t1)
+//	t3  local clock when the pong arrives
+//
+// Assuming symmetric paths, offset = t1 − (t0+t3)/2 estimates
+// peerClock − localClock with error bounded by half the round trip, so
+// the sample with the smallest RTT wins. Probes run at bootstrap
+// (Cluster sends a burst) and whenever the driver calls SyncClock —
+// every N steps in traced runs — to track drift.
+
+// clockProbes is the bootstrap burst size; the minimum-RTT filter picks
+// the best of these.
+const clockProbes = 4
+
+// clockSample folds one completed ping/pong round trip into the
+// connection's estimate, keeping the lowest-RTT sample. Reader
+// goroutine; the mutex guards against Fabric.ClockOffset readers.
+func (p *peerConn) clockSample(t1, t0, t3 int64) {
+	rtt := t3 - t0
+	if rtt < 0 {
+		return // nonsense echo (clock stepped mid-probe); drop it
+	}
+	off := t1 - (t0+t3)/2
+	p.mu.Lock()
+	if !p.clockOK || rtt < p.clockRTTNs {
+		p.clockOffNs, p.clockRTTNs, p.clockOK = off, rtt, true
+	}
+	p.mu.Unlock()
+}
+
+// PingPeer enqueues one clock probe toward a peer. Fire and forget: the
+// estimate updates when the echo returns.
+func (f *Fabric) PingPeer(peer int) {
+	pc := f.conns[peer]
+	if pc == nil || pc.dead() != nil {
+		return
+	}
+	fr := pc.getFrame()
+	fr.typ, fr.tag, fr.seq, fr.delay = framePing, 0, 0, 0
+	fr.data = fr.data[:0]
+	_ = pc.enqueue(fr)
+}
+
+// SyncClock probes rank 0 n times (n <= 0 uses the bootstrap burst
+// size). Rank 0 defines the fleet clock, so it never probes.
+func (f *Fabric) SyncClock(n int) {
+	if f.rank == 0 || f.size < 2 {
+		return
+	}
+	if n <= 0 {
+		n = clockProbes
+	}
+	for i := 0; i < n; i++ {
+		f.PingPeer(0)
+	}
+}
+
+// ClockOffset reports the best estimate of peerClock − localClock and
+// the round trip it was measured over. ok is false until the first echo
+// returns (or for self / unconnected peers).
+func (f *Fabric) ClockOffset(peer int) (offset, rtt time.Duration, ok bool) {
+	if peer == f.rank {
+		return 0, 0, true
+	}
+	pc := f.conns[peer]
+	if pc == nil {
+		return 0, 0, false
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return time.Duration(pc.clockOffNs), time.Duration(pc.clockRTTNs), pc.clockOK
+}
+
+// RootOffset is ClockOffset(0): what to add to local timestamps to land
+// on rank 0's clock — the fleet trace's time base.
+func (f *Fabric) RootOffset() (offset, rtt time.Duration, ok bool) {
+	return f.ClockOffset(0)
+}

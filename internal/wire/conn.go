@@ -59,6 +59,11 @@ type peerConn struct {
 	deadErr  error
 	graceful bool // peer sent bye: its silence is completion, not failure
 
+	// Best clock-offset sample for this peer (clock.go), guarded by mu.
+	clockOffNs int64
+	clockRTTNs int64
+	clockOK    bool
+
 	bytesIn   atomic.Int64
 	bytesOut  atomic.Int64
 	framesIn  atomic.Int64
@@ -210,32 +215,43 @@ func (p *peerConn) writer() {
 }
 
 func (p *peerConn) writeFrame(fr *frame) {
+	// Span context is stamped at write time, not enqueue time: sendNs is
+	// the instant the bytes head for the socket, which is what the
+	// receiver's clock-offset alignment pairs against. For pongs, seq
+	// already carries the echoed probe clock (reader side) and sendNs
+	// becomes the echo's own transmit time t1.
+	now := time.Now()
 	h := frameHeader{
-		typ:   fr.typ,
-		tag:   fr.tag,
-		from:  p.fb.rank,
-		seq:   fr.seq,
-		delay: fr.delay,
+		typ:    fr.typ,
+		tag:    fr.tag,
+		from:   p.fb.rank,
+		seq:    fr.seq,
+		delay:  fr.delay,
+		sendNs: now.UnixNano(),
+		step:   uint32(p.fb.stepNum.Load()),
+		phase:  phaseForTag(fr.tag),
 	}
 	if fr.typ == frameData {
 		h.payload = uint32(8 * len(fr.data))
 	}
 	p.writeHeader(h)
-	if p.failed || fr.typ != frameData || len(fr.data) == 0 {
+	if p.failed {
 		return
 	}
-	var err error
-	if hostLittleEndian {
-		_, err = p.bw.Write(floatsAsBytes(fr.data))
-	} else {
-		p.scratch = appendFloatsPortable(p.scratch[:0], fr.data)
-		_, err = p.bw.Write(p.scratch)
+	if fr.typ == frameData && len(fr.data) > 0 {
+		var err error
+		if hostLittleEndian {
+			_, err = p.bw.Write(floatsAsBytes(fr.data))
+		} else {
+			p.scratch = appendFloatsPortable(p.scratch[:0], fr.data)
+			_, err = p.bw.Write(p.scratch)
+		}
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		p.bytesOut.Add(int64(8 * len(fr.data)))
 	}
-	if err != nil {
-		p.fail(err)
-		return
-	}
-	p.bytesOut.Add(int64(8 * len(fr.data)))
 }
 
 func (p *peerConn) writeHeader(h frameHeader) {
@@ -309,11 +325,23 @@ func (p *peerConn) reader() {
 			// The receiving endpoint's mailbox retains the payload, so
 			// each data frame decodes into fresh memory.
 			p.fb.cluster.InjectData(p.peer, h.tag, h.seq, h.delay, decodeFloats(p.readBuf))
+			if tr := p.fb.tracer; tr != nil && h.tag != comm.TagTrace {
+				tr.RecordRecv(p.peer, h.tag, h.seq, int(h.step), int(h.payload), time.Now(), h.sendNs)
+			}
 		case frameCtrl:
 			p.ctrlIn.Add(1)
 			p.fb.cluster.InjectCtrl(p.peer, h.tag, h.seq)
 		case frameHeartbeat:
 			// liveness only
+		case framePing:
+			// Echo the probe's clock back in the seq field; the writer
+			// stamps the pong's own transmit time (t1) into sendNs.
+			fr := p.getFrame()
+			fr.typ, fr.tag, fr.seq, fr.delay = framePong, 0, uint64(h.sendNs), 0
+			fr.data = fr.data[:0]
+			_ = p.enqueue(fr) // a closing fabric just drops the echo
+		case framePong:
+			p.clockSample(h.sendNs /* t1 */, int64(h.seq) /* t0 */, time.Now().UnixNano() /* t3 */)
 		case frameBye:
 			p.markGraceful()
 		default:

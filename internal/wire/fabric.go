@@ -21,6 +21,12 @@ type Fabric struct {
 
 	byes    atomic.Int64 // peers that announced an orderly end of run
 	started atomic.Bool
+
+	// Distributed tracing: span sink fed by the writer/reader goroutines
+	// (set before Cluster; nil = disabled) and the driver timestep
+	// stamped into outgoing frame headers.
+	tracer  comm.TraceSink
+	stepNum atomic.Int64
 }
 
 func newFabric(cfg Config) *Fabric {
@@ -31,6 +37,20 @@ func newFabric(cfg Config) *Fabric {
 		conns: make([]*peerConn, cfg.Size),
 	}
 }
+
+// SetTracer attaches a span sink to the wire layer: every data frame
+// written records a send span and every data frame read records a recv
+// span carrying the sender's header clock. Must be called between Join
+// and Cluster — the per-connection goroutines read the field unlocked.
+func (f *Fabric) SetTracer(s comm.TraceSink) {
+	if f.started.Load() {
+		panic("wire: SetTracer after Cluster")
+	}
+	f.tracer = s
+}
+
+// SetStep stamps subsequent outgoing frames with the driver's timestep.
+func (f *Fabric) SetStep(step int) { f.stepNum.Store(int64(step)) }
 
 // Rank reports the local rank.
 func (f *Fabric) Rank() int { return f.rank }
@@ -53,6 +73,10 @@ func (f *Fabric) Cluster(opt comm.Options) *comm.Cluster {
 			pc.start()
 		}
 	}
+	// Clock bootstrap: workers probe rank 0 so fleet traces can align
+	// every rank's spans to one clock (see clock.go). Fire and forget —
+	// the echoes fold in while the run warms up.
+	f.SyncClock(clockProbes)
 	return f.cluster
 }
 
@@ -77,7 +101,17 @@ func (f *Fabric) SendData(to int, tag comm.Tag, seq uint64, delay time.Duration,
 	}
 	fr.data = fr.data[:len(data)]
 	copy(fr.data, data)
-	return pc.enqueue(fr)
+	if err := pc.enqueue(fr); err != nil {
+		return err
+	}
+	// The send span is recorded here, on the caller's goroutine, not at
+	// write time: the caller's next action (including the post-run trace
+	// drain) must observe it. TagTrace is the gather's own meta-traffic —
+	// tracing it would race the drain by construction on both ends.
+	if tr := f.tracer; tr != nil && tag != comm.TagTrace {
+		tr.RecordSend(to, tag, seq, int(f.stepNum.Load()), 8*len(data), time.Now())
+	}
+	return nil
 }
 
 // SendCtrl implements comm.RemoteLink: a header-only resend request.
@@ -210,7 +244,7 @@ func (f *Fabric) Stats() Stats {
 // metrics endpoint serves, as the network phase of the run.
 func (f *Fabric) Gauges() map[string]float64 {
 	s := f.Stats()
-	return map[string]float64{
+	g := map[string]float64{
 		"wire_bytes_in":    float64(s.BytesIn),
 		"wire_bytes_out":   float64(s.BytesOut),
 		"wire_frames_in":   float64(s.FramesIn),
@@ -219,4 +253,9 @@ func (f *Fabric) Gauges() map[string]float64 {
 		"wire_queue_depth": float64(s.QueueDepth),
 		"wire_peers_dead":  float64(s.PeersDead),
 	}
+	if off, rtt, ok := f.RootOffset(); ok && f.rank != 0 {
+		g["wire_clock_offset_ns"] = float64(off)
+		g["wire_clock_rtt_ns"] = float64(rtt)
+	}
+	return g
 }

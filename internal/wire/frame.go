@@ -11,10 +11,16 @@
 // cluster and starts the per-connection reader goroutines; from there the
 // distributed driver uses its ordinary Endpoint and never sees a socket.
 //
-// Frames are length-prefixed with a fixed 24-byte little-endian header;
+// Frames are length-prefixed with a fixed 40-byte little-endian header;
 // data payloads are raw float64 slabs written straight from the sender's
 // reused stream buffer (zero-copy on little-endian hosts), so the
 // steady-state ghost exchange allocates nothing on the send path.
+//
+// The header also carries span context for distributed tracing: the
+// sender's wall clock at write time, the driver's timestep and the
+// exchange phase, so the receiver can record a recv span paired with
+// the sender's send span. Dedicated ping/pong frames echo those clocks
+// to estimate per-peer clock offsets (clock.go).
 package wire
 
 import (
@@ -37,8 +43,10 @@ const (
 	frameWelcome                   // rank 0's signed address map (bootstrap)
 	frameAck                       // signed hello response on a peer dial
 	frameBye                       // orderly end-of-run (header-only)
+	framePing                      // clock probe (header-only; sendNs = t0)
+	framePong                      // clock echo (header-only; seq = echoed t0, sendNs = t1)
 
-	frameTypeMax = frameBye
+	frameTypeMax = framePong
 )
 
 // headerLen is the fixed frame header size: every frame starts with
@@ -49,9 +57,35 @@ const (
 //	[6:8)   sender rank (uint16 LE)
 //	[8:16)  stream sequence number (uint64 LE)
 //	[16:24) residual injected delay, nanoseconds (int64 LE)
+//	[24:32) sender wall clock at write, unix nanoseconds (int64 LE)
+//	[32:36) driver timestep (uint32 LE)
+//	[36]    exchange phase class (phaseGhost/phaseReduce/phaseOther)
+//	[37:40) reserved (zero)
 //
-// followed by exactly `payload length` bytes.
-const headerLen = 24
+// followed by exactly `payload length` bytes. The last three fields are
+// the propagated span context: a peer build with a different header
+// layout is refused at the handshake (protoVersion), so the layout can
+// evolve without in-band versioning.
+const headerLen = 40
+
+// Exchange phase classes stamped into byte 36 of data frames — the
+// coarse attribution the receiver files its recv span under.
+const (
+	phaseOther  byte = iota // ctrl / bootstrap / anything untagged
+	phaseGhost              // ghost and boundary slab exchanges
+	phaseReduce             // the dt allreduce (comm.TagReduce)
+)
+
+// phaseForTag classifies a comm tag into its phase byte.
+func phaseForTag(tag comm.Tag) byte {
+	switch {
+	case tag == comm.TagReduce:
+		return phaseReduce
+	case tag >= comm.TagNodalMass && tag <= comm.TagDelvZeta:
+		return phaseGhost
+	}
+	return phaseOther
+}
 
 // MaxPayload bounds a frame's payload: large enough for any ghost slab
 // the driver exchanges (a face of a 1000^3 domain is ~8 MB), small
@@ -66,6 +100,9 @@ type frameHeader struct {
 	from    int
 	seq     uint64
 	delay   time.Duration
+	sendNs  int64  // sender wall clock at write (0 = unstamped)
+	step    uint32 // driver timestep at send
+	phase   byte   // phaseGhost / phaseReduce / phaseOther
 }
 
 func putHeader(b []byte, h frameHeader) {
@@ -75,6 +112,10 @@ func putHeader(b []byte, h frameHeader) {
 	binary.LittleEndian.PutUint16(b[6:8], uint16(h.from))
 	binary.LittleEndian.PutUint64(b[8:16], h.seq)
 	binary.LittleEndian.PutUint64(b[16:24], uint64(int64(h.delay)))
+	binary.LittleEndian.PutUint64(b[24:32], uint64(h.sendNs))
+	binary.LittleEndian.PutUint32(b[32:36], h.step)
+	b[36] = h.phase
+	b[37], b[38], b[39] = 0, 0, 0
 }
 
 // parseHeader validates and decodes one frame header. It never panics
@@ -91,6 +132,9 @@ func parseHeader(b []byte) (frameHeader, error) {
 		from:    int(binary.LittleEndian.Uint16(b[6:8])),
 		seq:     binary.LittleEndian.Uint64(b[8:16]),
 		delay:   time.Duration(int64(binary.LittleEndian.Uint64(b[16:24]))),
+		sendNs:  int64(binary.LittleEndian.Uint64(b[24:32])),
+		step:    binary.LittleEndian.Uint32(b[32:36]),
+		phase:   b[36],
 	}
 	if h.typ < frameData || h.typ > frameTypeMax {
 		return frameHeader{}, fmt.Errorf("wire: unknown frame type %d", h.typ)
@@ -103,7 +147,7 @@ func parseHeader(b []byte) (frameHeader, error) {
 		if h.payload%8 != 0 {
 			return frameHeader{}, fmt.Errorf("wire: data payload %d not a multiple of 8", h.payload)
 		}
-	case frameCtrl, frameHeartbeat, frameBye:
+	case frameCtrl, frameHeartbeat, frameBye, framePing, framePong:
 		if h.payload != 0 {
 			return frameHeader{}, fmt.Errorf("wire: %s frame with %d-byte payload", frameTypeName(h.typ), h.payload)
 		}
@@ -143,6 +187,10 @@ func frameTypeName(t byte) string {
 		return "ack"
 	case frameBye:
 		return "bye"
+	case framePing:
+		return "ping"
+	case framePong:
+		return "pong"
 	default:
 		return fmt.Sprintf("type(%d)", t)
 	}

@@ -20,6 +20,13 @@ func TestHeaderRoundTrip(t *testing.T) {
 		{typ: frameBye, from: 9, seq: 0},
 		{typ: frameData, payload: 0, delay: 3 * time.Millisecond},
 		{typ: frameData, payload: 8, delay: -1},
+		// Span context: the v2 header fields round-trip independently.
+		{typ: frameData, tag: comm.TagDelvXi, payload: 16,
+			sendNs: time.Date(2026, 1, 2, 3, 4, 5, 6, time.UTC).UnixNano(),
+			step:   123456, phase: phaseGhost},
+		{typ: frameData, payload: 8, sendNs: -1, phase: phaseReduce},
+		{typ: framePing, seq: 7, sendNs: 99},
+		{typ: framePong, seq: 99, sendNs: 100, step: 4},
 	}
 	for _, want := range cases {
 		var b [headerLen]byte
@@ -53,6 +60,8 @@ func TestParseHeaderRejects(t *testing.T) {
 		{"ctrl with payload", mk(frameHeader{typ: frameCtrl, payload: 8})},
 		{"heartbeat with payload", mk(frameHeader{typ: frameHeartbeat, payload: 1})},
 		{"bye with payload", mk(frameHeader{typ: frameBye, payload: 24})},
+		{"ping with payload", mk(frameHeader{typ: framePing, payload: 8})},
+		{"pong with payload", mk(frameHeader{typ: framePong, payload: 8})},
 	}
 	for _, tc := range cases {
 		if _, err := parseHeader(tc.b); err == nil {
