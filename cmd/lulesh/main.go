@@ -73,7 +73,9 @@ func main() {
 		// Multi-domain (distributed) mode.
 		ranks     = flag.Int("ranks", 0, "run the multi-domain driver with this many simulated ranks (0 = single-domain mode)")
 		distAsync = flag.Bool("dist-async", false, "overlapped (asynchronous) exchange schedule instead of the synchronous one")
-		latency   = flag.Duration("latency", 0, "simulated one-way link latency of the fabric")
+		treeRed   = flag.Bool("tree-reduce", false, "binomial-tree dt allreduce instead of the linear gather to rank 0")
+		coalesce  = flag.Bool("coalesce", false, "coalesce each step's per-peer boundary slabs into one frame per (peer, direction)")
+		latency   = flag.Duration("latency", 0, "deterministic one-way link latency injected into the fabric (in-process and wire)")
 		faults    = flag.String("faults", "", "fault injection spec: drop=P,delay=P[:DUR],dup=P,reorder=P,crash=RANK@STEP")
 		faultSeed = flag.Uint64("fault-seed", 1, "PRNG seed for -faults (a run is reproducible from spec+seed)")
 		ckptEvery = flag.Int("checkpoint-every", 0, "take a coordinated checkpoint every N cycles (0 = none)")
@@ -130,6 +132,7 @@ func main() {
 				threads: threadsPerRank, metrics: *metrics,
 				trace: *traceOut, fleetOut: *fleetOut,
 				ranks: *ranks, async: *distAsync, scenario: spec,
+				treeReduce: *treeRed, coalesce: *coalesce, latency: *latency,
 				faults: *faults, faultSeed: *faultSeed,
 				checkpointEvery: *ckptEvery, deadline: *deadline,
 				retryLimit: *retryLim,
@@ -162,6 +165,7 @@ func main() {
 			threads: threadsPerRank, metrics: *metrics,
 			trace: *traceOut, fleetOut: *fleetOut,
 			ranks: *ranks, async: *distAsync, scenario: spec, latency: *latency,
+			treeReduce: *treeRed, coalesce: *coalesce,
 			faults: *faults, faultSeed: *faultSeed,
 			checkpointEvery: *ckptEvery, deadline: *deadline,
 			retryLimit: *retryLim, maxRestarts: *restarts,
@@ -482,6 +486,8 @@ type distFlags struct {
 
 	ranks           int
 	async           bool
+	treeReduce      bool
+	coalesce        bool
 	latency         time.Duration
 	faults          string
 	faultSeed       uint64
@@ -499,6 +505,7 @@ func runDist(f distFlags) {
 		NumReg: f.regions, Balance: f.balance, Cost: f.cost,
 		Scenario: f.scenario,
 		Async:    f.async, ThreadsPerRank: f.threads,
+		TreeReduce: f.treeReduce, Coalesce: f.coalesce,
 		Latency: f.latency, MaxIterations: f.iters,
 		ExchangeDeadline: f.deadline, RetryLimit: f.retryLimit,
 		CheckpointEvery: f.checkpointEvery, MaxRestarts: f.maxRestarts,
@@ -538,13 +545,13 @@ func runDist(f distFlags) {
 		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", srv.Addr)
 	}
 
-	sched := "sync"
-	if f.async {
-		sched = "async"
-	}
+	sched := f.scheduleLabel()
 	if !f.quiet {
 		fmt.Printf("Running %d ranks x %d^3 (%s exchange, %d threads/rank)\n",
 			f.ranks, f.size, sched, f.threads)
+		if f.latency > 0 {
+			fmt.Printf("  injected link latency: %v one-way\n", f.latency)
+		}
 		if cfg.Faults.Active() {
 			fmt.Printf("  fault plan: %q seed %d\n", f.faults, f.faultSeed)
 		}
@@ -597,6 +604,23 @@ func runDist(f distFlags) {
 	fmt.Printf("%d,%d,%s,%d,%.6f,%.6e,%d\n",
 		f.size, f.ranks, sched, res.Iterations,
 		res.Elapsed.Seconds(), res.OriginEnergy, res.Recoveries)
+}
+
+// scheduleLabel names the exchange schedule with its overlap toggles —
+// the same string the wire handshake embeds in its geometry, so mixed
+// fabrics are refused at Join.
+func (f distFlags) scheduleLabel() string {
+	s := "sync"
+	if f.async {
+		s = "async"
+	}
+	if f.treeReduce {
+		s += "+tree"
+	}
+	if f.coalesce {
+		s += "+coalesce"
+	}
+	return s
 }
 
 // traceOn reports whether the distributed run should record traces: any

@@ -93,6 +93,8 @@ func runWireWorker(f wireFlags) {
 		NumReg: f.regions, Balance: f.balance, Cost: f.cost,
 		Scenario: f.scenario,
 		Async:    f.async, ThreadsPerRank: f.threads,
+		TreeReduce: f.treeReduce, Coalesce: f.coalesce,
+		Latency:          f.latency,
 		MaxIterations:    f.iters,
 		ExchangeDeadline: f.deadline, RetryLimit: f.retryLimit,
 		CheckpointEvery: f.checkpointEvery,
@@ -153,12 +155,11 @@ func runWireWorker(f wireFlags) {
 	}
 
 	if f.rank == 0 && !f.quiet {
-		sched := "sync"
-		if f.async {
-			sched = "async"
-		}
 		fmt.Printf("Running %d worker processes x %d^3 over TCP (%s exchange, %d threads/rank)\n",
-			f.ranks, f.size, sched, f.threads)
+			f.ranks, f.size, f.scheduleLabel(), f.threads)
+		if f.latency > 0 {
+			fmt.Printf("  injected link latency: %v one-way\n", f.latency)
+		}
 		if cfg.Faults.Active() {
 			fmt.Printf("  fault plan: %q seed %d\n", f.faults, f.faultSeed)
 		}
@@ -180,10 +181,7 @@ func runWireWorker(f wireFlags) {
 	if f.rank != 0 {
 		return
 	}
-	sched := "sync"
-	if f.async {
-		sched = "async"
-	}
+	sched := f.scheduleLabel()
 	if !f.quiet {
 		fmt.Printf("Run completed:\n")
 		fmt.Printf("  Iteration count       = %d\n", res.Iterations)

@@ -22,11 +22,20 @@ import (
 // domains dist.RunDomains kept in memory.
 
 // netCheck runs the wire-vs-in-process comparison for one rank count.
-func netCheck(size, steps int, spec domain.ScenarioSpec, np int) {
+// With overlap set, the wire workers run the fully overlapped schedule
+// (boundary-first + tree allreduce + coalesced frames) while the
+// in-process ground truth stays synchronous — one comparison then
+// proves both that the transport is invisible and that the overlapped
+// schedule reproduces the synchronous physics bit for bit.
+func netCheck(size, steps int, spec domain.ScenarioSpec, np int, overlap bool) {
 	name := fmt.Sprintf("wire == in-process (%d ranks)", np)
+	if overlap {
+		name = fmt.Sprintf("wire overlap == in-process sync (%d ranks)", np)
+	}
 	cfg := domain.DefaultConfig(size)
 	// Trace on: the bitwise comparison below doubles as the proof that
 	// tracing never perturbs the arithmetic, on either message layer.
+	// The ground truth deliberately omits the overlap toggles.
 	dcfg := dist.Config{
 		Nx: size, Ny: size, NzPerRank: size, Ranks: np,
 		NumReg: cfg.NumReg, Balance: 1, Cost: 1, MaxIterations: steps,
@@ -57,7 +66,7 @@ func netCheck(size, steps int, spec domain.ScenarioSpec, np int) {
 		NP:     np,
 		Binary: bin,
 		Args: func(rank, attempt int, rendezvous string) []string {
-			return []string{
+			args := []string{
 				"-net-worker",
 				"-net-rank", strconv.Itoa(rank),
 				"-net-ranks", strconv.Itoa(np),
@@ -68,6 +77,10 @@ func netCheck(size, steps int, spec domain.ScenarioSpec, np int) {
 				"-i", strconv.Itoa(steps),
 				"-scenario", spec.String(),
 			}
+			if overlap {
+				args = append(args, "-net-overlap")
+			}
+			return args
 		},
 	})
 	if err != nil {
@@ -102,13 +115,16 @@ func netCheck(size, steps int, spec domain.ScenarioSpec, np int) {
 }
 
 // runNetWorker is the hidden worker mode: execute one rank of the wire
-// fabric and dump its final domain for the parent to compare.
-func runNetWorker(size, steps int, spec domain.ScenarioSpec, rank, ranks int, rendezvous, cookie, final string) {
+// fabric and dump its final domain for the parent to compare. With
+// overlap set, the worker steps the boundary-first schedule with the
+// tree allreduce and coalesced ghost frames.
+func runNetWorker(size, steps int, spec domain.ScenarioSpec, rank, ranks int, rendezvous, cookie, final string, overlap bool) {
 	cfg := domain.DefaultConfig(size)
 	dcfg := dist.Config{
 		Nx: size, Ny: size, NzPerRank: size, Ranks: ranks,
 		NumReg: cfg.NumReg, Balance: 1, Cost: 1, MaxIterations: steps,
 		Scenario: spec, Trace: true,
+		Async: overlap, TreeReduce: overlap, Coalesce: overlap,
 	}
 	_, err := dist.RunWire(dcfg, dist.WireOptions{
 		Rank:           rank,

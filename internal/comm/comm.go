@@ -53,7 +53,9 @@ const (
 	TagDelvEta
 	TagDelvZeta
 	TagReduce
-	TagTrace // post-run trace-snapshot gather to rank 0
+	TagTrace  // post-run trace-snapshot gather to rank 0
+	TagForces // coalesced boundary forces: Fx|Fy|Fz in one frame per peer
+	TagDelv   // coalesced boundary gradients: DelvXi|Eta|Zeta in one frame per peer
 )
 
 func (t Tag) String() string {
@@ -76,6 +78,10 @@ func (t Tag) String() string {
 		return "reduce"
 	case TagTrace:
 		return "trace"
+	case TagForces:
+		return "forces"
+	case TagDelv:
+		return "delv"
 	default:
 		return fmt.Sprintf("tag(%d)", int(t))
 	}
@@ -256,8 +262,18 @@ func (c *Cluster) FabricStats() FabricStats {
 		OverflowDropped:   c.counters.overflows.Load(),
 		Crashes:           c.counters.crashes.Load(),
 	}
-	if inj, ok := c.tr.(*FaultInjector); ok {
-		fs.Injected = inj.Stats()
+	// The injector may sit behind wrapping transports (e.g. Delay); walk
+	// the chain so injected-fault stats stay visible either way.
+	for tr := c.tr; tr != nil; {
+		if inj, ok := tr.(*FaultInjector); ok {
+			fs.Injected = inj.Stats()
+			break
+		}
+		u, ok := tr.(interface{ Unwrap() Transport })
+		if !ok {
+			break
+		}
+		tr = u.Unwrap()
 	}
 	return fs
 }
@@ -735,4 +751,74 @@ func (e *Endpoint) AllReduceMin(vals []float64) ([]float64, error) {
 	}
 	e.Send(0, TagReduce, vals)
 	return e.RecvDeadline(0, TagReduce)
+}
+
+// AllReduceMinTree is AllReduceMin over a binomial tree: the reduce walks
+// up the tree (each rank folds its subtree's minima, then sends one
+// message to its parent) and the broadcast mirrors it back down, so the
+// critical path is 2·⌈log2(n)⌉ sequential hops instead of the linear
+// gather's n−1 receives serialized on rank 0 — and rank 0 handles
+// O(log n) messages per step instead of O(n). Min is exact, so the
+// different fold order produces bitwise-identical results to
+// AllReduceMin, which the tests and luleshverify assert.
+//
+// Tree edges reuse TagReduce: each (pair, direction) carries at most one
+// message per reduction, so the per-stream sequencing of the
+// fault-tolerant fabric applies unchanged and every constituent receive
+// runs under the deadline/retry protocol.
+func (e *Endpoint) AllReduceMinTree(vals []float64) ([]float64, error) {
+	n := e.c.size
+	acc := make([]float64, len(vals))
+	copy(acc, vals)
+	if n == 1 {
+		return acc, nil
+	}
+	// Reduce phase: fold the children (ranks r+1, r+2, r+4, ... below the
+	// lowest set bit), then hand the subtree minimum to the parent r−lsb.
+	// Rank 0 has no parent and ends holding the global minimum.
+	for ofs := 1; ofs < n; ofs <<= 1 {
+		if e.rank&ofs != 0 {
+			e.Send(e.rank-ofs, TagReduce, acc)
+			break
+		}
+		if peer := e.rank + ofs; peer < n {
+			theirs, err := e.RecvDeadline(peer, TagReduce)
+			if err != nil {
+				return nil, err
+			}
+			if len(theirs) != len(acc) {
+				panic("comm: AllReduceMinTree length mismatch")
+			}
+			for i, v := range theirs {
+				if v < acc[i] {
+					acc[i] = v
+				}
+			}
+		}
+	}
+	// Broadcast phase: the mirror image. Each rank receives the result
+	// from its parent, then forwards it to its children in descending
+	// offset order; rank 0 starts from the top with a virtual lsb.
+	lsb := e.rank & -e.rank
+	if e.rank == 0 {
+		lsb = 1
+		for lsb < n {
+			lsb <<= 1
+		}
+	} else {
+		res, err := e.RecvDeadline(e.rank-lsb, TagReduce)
+		if err != nil {
+			return nil, err
+		}
+		if len(res) != len(acc) {
+			panic("comm: AllReduceMinTree length mismatch")
+		}
+		copy(acc, res)
+	}
+	for ofs := lsb >> 1; ofs >= 1; ofs >>= 1 {
+		if peer := e.rank + ofs; peer < n {
+			e.Send(peer, TagReduce, acc)
+		}
+	}
+	return acc, nil
 }

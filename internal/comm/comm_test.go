@@ -1,6 +1,8 @@
 package comm
 
 import (
+	"fmt"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -203,6 +205,182 @@ func TestAllReduceMinRepeatedRounds(t *testing.T) {
 	close(errc)
 	for msg := range errc {
 		t.Fatal(msg)
+	}
+}
+
+// runAllReduce drives one reduction round on every rank of a fresh
+// n-rank cluster and returns each rank's result.
+func runAllReduce(t *testing.T, n int, tree bool, vals func(r int) []float64) [][]float64 {
+	t.Helper()
+	c := NewCluster(n)
+	results := make([][]float64, n)
+	var wg sync.WaitGroup
+	errc := make(chan error, n)
+	for r := 0; r < n; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := c.Endpoint(r)
+			var err error
+			if tree {
+				results[r], err = e.AllReduceMinTree(vals(r))
+			} else {
+				results[r], err = e.AllReduceMin(vals(r))
+			}
+			if err != nil {
+				errc <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestAllReduceMinTreeMatchesLinear(t *testing.T) {
+	// The binomial tree must produce bitwise-identical results to the
+	// linear gather at every fabric size, power of two or not, including
+	// adversarial values (negatives, zero, ±Inf, denormals).
+	vals := func(r int) []float64 {
+		return []float64{
+			float64(10 + r),
+			-float64(r) * 1e-310, // denormal magnitudes
+			math.Inf(1),
+			float64(7 - r),
+		}
+	}
+	for n := 1; n <= 9; n++ {
+		linear := runAllReduce(t, n, false, vals)
+		tree := runAllReduce(t, n, true, vals)
+		for r := 0; r < n; r++ {
+			for i := range linear[r] {
+				if math.Float64bits(linear[r][i]) != math.Float64bits(tree[r][i]) {
+					t.Fatalf("n=%d rank %d elem %d: linear %v tree %v",
+						n, r, i, linear[r], tree[r])
+				}
+			}
+			if fmt.Sprint(tree[r]) != fmt.Sprint(tree[0]) {
+				t.Fatalf("n=%d rank %d disagrees: %v vs %v", n, r, tree[r], tree[0])
+			}
+		}
+	}
+}
+
+func TestAllReduceMinTreeRootMessageCount(t *testing.T) {
+	// The point of the tree: rank 0 handles O(log n) messages per
+	// reduction instead of O(n). At n=8 the linear gather costs rank 0
+	// seven receives and seven sends; the binomial tree costs three each.
+	const n = 8
+	count := func(tree bool) (sent, received int64) {
+		c := NewCluster(n)
+		eps := make([]*Endpoint, n)
+		for r := range eps {
+			eps[r] = c.Endpoint(r)
+		}
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if tree {
+					eps[r].AllReduceMinTree([]float64{float64(r)})
+				} else {
+					eps[r].AllReduceMin([]float64{float64(r)})
+				}
+			}()
+		}
+		wg.Wait()
+		s := eps[0].StatsSnapshot()
+		return s.Sent, s.Received
+	}
+	ls, lr := count(false)
+	ts, tr := count(true)
+	if ls != n-1 || lr != n-1 {
+		t.Fatalf("linear root traffic: sent=%d received=%d, want %d each", ls, lr, n-1)
+	}
+	if ts != 3 || tr != 3 {
+		t.Fatalf("tree root traffic: sent=%d received=%d, want log2(%d)=3 each", ts, tr, n)
+	}
+}
+
+func TestAllReduceMinTreeRepeatedRounds(t *testing.T) {
+	// Back-to-back tree reductions reuse the same TagReduce streams in
+	// both directions; rounds must not cross-talk.
+	const n = 6
+	c := NewCluster(n)
+	var wg sync.WaitGroup
+	errc := make(chan string, n)
+	for r := 0; r < n; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := c.Endpoint(r)
+			for round := 0; round < 50; round++ {
+				got, err := e.AllReduceMinTree([]float64{float64(round*10 + r)})
+				if err != nil {
+					errc <- err.Error()
+					return
+				}
+				if got[0] != float64(round*10) {
+					errc <- "round mixup"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for msg := range errc {
+		t.Fatal(msg)
+	}
+}
+
+func TestDelayTransport(t *testing.T) {
+	// The delay transport stamps every delivery with the link latency and
+	// composes with an inner transport (here a duplicate-once model whose
+	// copies must each carry the delay).
+	d := NewDelay(2*time.Millisecond, nil)
+	out := d.Transmit(Message{From: 0, To: 1, Tag: TagForceX})
+	if len(out) != 1 || out[0].Delay != 2*time.Millisecond {
+		t.Fatalf("identity transmit: %+v", out)
+	}
+	if d.Unwrap() != nil {
+		t.Fatal("bare delay should unwrap to nil")
+	}
+	if d.CrashNow(0, 1) {
+		t.Fatal("bare delay must not crash anyone")
+	}
+
+	inner := NewFaultInjector(FaultPlan{Seed: 1, Delay: 1, DelayBy: time.Millisecond}, 2)
+	wrapped := NewDelay(2*time.Millisecond, inner)
+	out = wrapped.Transmit(Message{From: 0, To: 1, Tag: TagForceX})
+	for _, m := range out {
+		if m.Delay < 2*time.Millisecond {
+			t.Fatalf("inner delivery missing link delay: %+v", m)
+		}
+	}
+	if wrapped.Unwrap() != Transport(inner) {
+		t.Fatal("Unwrap must expose the inner transport")
+	}
+}
+
+func TestFabricStatsUnwrapsDelay(t *testing.T) {
+	// FabricStats must find a fault injector hidden behind a Delay layer.
+	inner := NewFaultInjector(FaultPlan{Seed: 3, Drop: 1}, 2)
+	c := NewClusterOptions(2, Options{
+		Transport:        NewDelay(time.Microsecond, inner),
+		ExchangeDeadline: time.Millisecond,
+		RetryLimit:       1,
+	})
+	c.Endpoint(0).Send(1, TagForceX, []float64{1})
+	if got := c.FabricStats().Injected.Dropped; got == 0 {
+		t.Fatalf("injected stats not surfaced through Delay: %+v", c.FabricStats())
 	}
 }
 

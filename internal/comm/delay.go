@@ -1,0 +1,59 @@
+package comm
+
+import "time"
+
+// Delay is a deterministic wire-latency injection transport: every
+// message it carries is delivered with an extra fixed one-way Link
+// latency, on top of whatever the fabric itself adds. Unlike the
+// cluster-level Options.Latency (which only the in-process channel fabric
+// honours), Delay rides the Transport seam, so the same knob works on
+// both fabrics: in-process the delay lands on the message's ready
+// timestamp, over the wire it travels in the frame header's delay field
+// and is slept on the receiving side (Cluster.InjectData). That makes
+// overlap experiments comparable across fabrics — the synchronous
+// schedule pays Link as blocked time at every phase boundary while an
+// overlapped schedule computes through it — with none of the fault
+// injector's randomness.
+//
+// Delay composes: Next, when non-nil, runs first (e.g. a FaultInjector),
+// and the link latency is added to every delivery it emits. Crash
+// schedules and injected-fault statistics pass through (Crasher, Unwrap).
+type Delay struct {
+	Link time.Duration
+	Next Transport // nil = deliver exactly once (Reliable)
+}
+
+// NewDelay builds a latency-injecting transport around next (nil = the
+// reliable identity transport).
+func NewDelay(link time.Duration, next Transport) *Delay {
+	return &Delay{Link: link, Next: next}
+}
+
+// Transmit implements Transport: forward through Next (identity when
+// nil), then add the link latency to every resulting delivery. The
+// returned messages alias Next's — Delay itself never retains m.Data.
+func (d *Delay) Transmit(m Message) []Message {
+	var out []Message
+	if d.Next == nil {
+		out = []Message{m}
+	} else {
+		out = d.Next.Transmit(m)
+	}
+	for i := range out {
+		out[i].Delay += d.Link
+	}
+	return out
+}
+
+// CrashNow implements Crasher by delegation, so a wrapped FaultInjector's
+// scheduled rank crash still fires.
+func (d *Delay) CrashNow(rank, epoch int) bool {
+	if cr, ok := d.Next.(Crasher); ok {
+		return cr.CrashNow(rank, epoch)
+	}
+	return false
+}
+
+// Unwrap exposes the wrapped transport, letting the fabric-stats walk
+// find an injector behind the delay layer.
+func (d *Delay) Unwrap() Transport { return d.Next }

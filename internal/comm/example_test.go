@@ -125,6 +125,62 @@ func ExampleParseFaultPlan() {
 	// active: true
 }
 
+// ExampleDelay injects a deterministic 3ms one-way wire latency under a
+// two-rank exchange: the payload arrives intact, but only after the link
+// delay has elapsed — the knob the overlap experiments use to magnify
+// communication cost without any randomness.
+func ExampleDelay() {
+	const link = 3 * time.Millisecond
+	c := comm.NewClusterOptions(2, comm.Options{
+		Transport:        comm.NewDelay(link, nil),
+		ExchangeDeadline: 100 * time.Millisecond,
+	})
+	go c.Endpoint(0).Send(1, comm.TagForceX, []float64{1.25})
+
+	start := time.Now()
+	data, err := c.Endpoint(1).RecvDeadline(0, comm.TagForceX)
+	fmt.Println(data, err)
+	fmt.Println("waited at least one link delay:", time.Since(start) >= link)
+	// Output:
+	// [1.25] <nil>
+	// waited at least one link delay: true
+}
+
+// ExampleEndpoint_AllReduceMinTree runs the binomial-tree allreduce on a
+// four-rank fabric: every rank contributes its own [dtcourant, dthydro]
+// pair and every rank receives the element-wise global minimum — the same
+// value AllReduceMin computes, in 2·log2(4) = 4 hops on the critical path
+// instead of a linear gather serialized on rank 0.
+func ExampleEndpoint_AllReduceMinTree() {
+	const n = 4
+	c := comm.NewCluster(n)
+	results := make([][]float64, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			mine := []float64{float64(10 + r), float64(20 - r)}
+			out, err := c.Endpoint(r).AllReduceMinTree(mine)
+			if err != nil {
+				panic(err)
+			}
+			results[r] = out
+		}(r)
+	}
+	wg.Wait()
+
+	agree := true
+	for r := 1; r < n; r++ {
+		agree = agree && fmt.Sprint(results[r]) == fmt.Sprint(results[0])
+	}
+	fmt.Println("global minimum:", results[0])
+	fmt.Println("all ranks agree:", agree)
+	// Output:
+	// global minimum: [10 17]
+	// all ranks agree: true
+}
+
 // ExampleFaultInjector demonstrates that the injector's fault schedule is a
 // pure function of (seed, per-pair message order): two injectors with the
 // same plan make identical decisions.

@@ -67,8 +67,25 @@ type Config struct {
 	// blobs whose recorded scenario tag disagrees with this.
 	Scenario domain.ScenarioSpec
 
-	// Async selects the overlapped exchange schedule.
+	// Async selects the overlapped exchange schedule: boundary planes are
+	// computed and posted first, interior work overlaps the in-flight
+	// exchange, and each receive is joined only in front of the work that
+	// depends on remote data (see stepOverlapped).
 	Async bool
+
+	// TreeReduce routes the dt allreduce over a binomial tree
+	// (comm.AllReduceMinTree) instead of the linear gather to rank 0:
+	// the root handles O(log n) messages per step instead of O(n), and
+	// the critical path is 2·⌈log2 n⌉ hops. Bitwise identical — min is
+	// exact, so the fold order cannot change the value.
+	TreeReduce bool
+
+	// Coalesce packs each step's per-peer boundary slabs into one frame
+	// per (peer, direction): the three force planes travel as a single
+	// TagForces message and the three gradient planes as a single
+	// TagDelv message, cutting the hot path's message count (and wire
+	// frames, each with a 40-byte header and its own syscall) 3×.
+	Coalesce bool
 
 	// ThreadsPerRank enables hybrid "MPI+X" execution: each rank
 	// parallelizes its loops over a fork-join team of this size
@@ -413,6 +430,20 @@ type rank struct {
 	flag   kernels.Flag
 	async  bool
 
+	// Overlap machinery: the dt-reduction topology and slab-coalescing
+	// toggles, the boundary/interior classification of both index spaces,
+	// and the symmetry-plane node lists and region element lists pre-split
+	// along the same seam (so the overlapped schedule's split loops visit
+	// exactly the original elements).
+	treeReduce             bool
+	coalesce               bool
+	nodePlan               domain.OverlapPlan
+	elemPlan               domain.OverlapPlan
+	symmXB, symmYB, symmZB []int32   // boundary-plane sublists
+	symmXI, symmYI, symmZI []int32   // interior sublists
+	regBoundary            [][]int32 // per-region boundary-plane elements
+	regInterior            [][]int32 // per-region interior elements
+
 	// Fault tolerance: the coordinated-checkpoint sink (in-memory for an
 	// in-process cluster, on-disk for a wire run), and whether this
 	// rank's domain was restored from it (restored ranks skip the
@@ -444,8 +475,10 @@ type rank struct {
 	planeN int // nodes per z-plane
 	planeE int // elements per z-plane
 
-	// Packing buffers for plane exchanges.
+	// Packing buffers for plane exchanges; packCoal is the coalesced
+	// triple-plane frame (Coalesce mode).
 	packX, packY, packZ []float64
+	packCoal            []float64
 
 	stepTime time.Duration
 
@@ -529,6 +562,26 @@ func newRankWith(cfg Config, cluster *comm.Cluster, id int, d *domain.Domain) *r
 	r.packX = make([]float64, r.planeN)
 	r.packY = make([]float64, r.planeN)
 	r.packZ = make([]float64, r.planeN)
+	r.treeReduce = cfg.TreeReduce
+	r.coalesce = cfg.Coalesce
+	if cfg.Coalesce {
+		// One buffer serves both coalesced exchanges: the force frame is
+		// 3·planeN wide, the gradient frame 3·planeE (< 3·planeN).
+		r.packCoal = make([]float64, 3*r.planeN)
+	}
+	// The boundary-first classification is cheap enough to build
+	// unconditionally; only the overlapped schedule consumes it.
+	nn := d.NumNode()
+	r.nodePlan = domain.NewOverlapPlan(nn, r.planeN, bc.CommZMin, bc.CommZMax)
+	r.elemPlan = domain.NewOverlapPlan(ne, r.planeE, bc.CommZMin, bc.CommZMax)
+	r.symmXB, r.symmXI = r.nodePlan.SplitIndexList(d.Mesh.SymmX)
+	r.symmYB, r.symmYI = r.nodePlan.SplitIndexList(d.Mesh.SymmY)
+	r.symmZB, r.symmZI = r.nodePlan.SplitIndexList(d.Mesh.SymmZ)
+	r.regBoundary = make([][]int32, len(d.Regions.ElemList))
+	r.regInterior = make([][]int32, len(d.Regions.ElemList))
+	for i, l := range d.Regions.ElemList {
+		r.regBoundary[i], r.regInterior[i] = r.elemPlan.SplitIndexList(l)
+	}
 	if cfg.Trace {
 		r.trace = true
 		r.tracer = perf.NewNetTracer(0)
@@ -680,7 +733,7 @@ func (r *rank) run(maxIter int) error {
 		if err != nil {
 			code = -1
 		}
-		mins, rerr := r.ep.AllReduceMin([]float64{d.Dtcourant, d.Dthydro, code})
+		mins, rerr := r.allReduceMin([]float64{d.Dtcourant, d.Dthydro, code})
 		if rerr != nil {
 			return fmt.Errorf("cycle %d: dt reduction: %w", d.Cycle, rerr)
 		}
@@ -702,32 +755,84 @@ func (r *rank) run(maxIter int) error {
 	return nil
 }
 
+// allReduceMin dispatches the dt reduction to the configured topology:
+// the linear gather to rank 0, or the binomial tree when TreeReduce is
+// set. Both produce bitwise-identical minima.
+func (r *rank) allReduceMin(vals []float64) ([]float64, error) {
+	if r.treeReduce {
+		return r.ep.AllReduceMinTree(vals)
+	}
+	return r.ep.AllReduceMin(vals)
+}
+
+// attributeStep closes one timestep's wall attribution: compute is the
+// residual after the measured wait and idle buckets. The measured buckets
+// can overshoot the wall they are attributed to (a wait that began before
+// the cycle window, timer granularity), which used to be absorbed by
+// clamping compute at zero while the waits kept their full values — so
+// the buckets no longer summed to wall, a zero-exchange step could show
+// pure wait, and the per-phase exit table inherited the inflated rows.
+// Now the overshoot is trimmed from the least-trusted bucket first
+// (steal-idle, then allreduce-wait, then ghost-wait) so the four buckets
+// sum exactly to wall, the invariant the stall report and the Chrome
+// attribution lanes rely on.
+func attributeStep(wall, ghost, red, idle int64) (compute, g, r, i int64) {
+	g, r, i = max64(ghost, 0), max64(red, 0), max64(idle, 0)
+	compute = wall - g - r - i
+	if compute >= 0 {
+		return compute, g, r, i
+	}
+	over := -compute
+	compute = 0
+	for _, b := range []*int64{&i, &r, &g} {
+		cut := over
+		if cut > *b {
+			cut = *b
+		}
+		*b -= cut
+		over -= cut
+		if over == 0 {
+			break
+		}
+	}
+	return compute, g, r, i
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // recordCycle closes one timestep's attribution bucket. Wall spans the
 // cycle start through the dt allreduce; ghost/reduce waits are the
 // endpoint counters' deltas, steal-idle the instrumented team regions',
-// and compute the clamped residual — so the four buckets sum to wall by
-// construction, the invariant the stall report checks.
+// and compute the residual after attributeStep's trimming — so the four
+// buckets sum to wall by construction, the invariant the stall report
+// checks. Zero-duration buckets are not mirrored into perf phases: a
+// recorded-but-empty phase would still count a task and surface a
+// spurious ghost-wait/allreduce-wait row in the exit table on runs that
+// never exchanged (single rank, zero-step).
 func (r *rank) recordCycle(cycle int, start time.Time, ghost0, red0 time.Duration, idle0 int64) {
 	wall := int64(time.Since(start))
 	ghost1, red1 := r.ep.WaitBuckets()
-	ghost := int64(ghost1 - ghost0)
-	red := int64(red1 - red0)
-	idle := r.idleNs - idle0
-	compute := wall - ghost - red - idle
-	if compute < 0 {
-		compute = 0
-	}
+	compute, ghost, red, idle := attributeStep(
+		wall, int64(ghost1-ghost0), int64(red1-red0), r.idleNs-idle0)
 	r.buckets = append(r.buckets, perf.StepBucket{
 		Step: cycle, StartNs: start.UnixNano(), WallNs: wall,
 		ComputeNs: compute, GhostNs: ghost, ReduceNs: red, IdleNs: idle,
 	})
 	if p := r.prof; p != nil {
-		p.RecordTask(r.id, perf.PhaseDistCompute, start, time.Duration(compute), 0, false)
-		p.RecordTask(r.id, perf.PhaseDistGhostWait, start, time.Duration(ghost), 0, false)
-		p.RecordTask(r.id, perf.PhaseDistWaitRed, start, time.Duration(red), 0, false)
-		if idle > 0 {
-			p.RecordTask(r.id, perf.PhaseDistStealIdle, start, time.Duration(idle), 0, false)
+		record := func(phase uint32, ns int64) {
+			if ns > 0 {
+				p.RecordTask(r.id, phase, start, time.Duration(ns), 0, false)
+			}
 		}
+		record(perf.PhaseDistCompute, compute)
+		record(perf.PhaseDistGhostWait, ghost)
+		record(perf.PhaseDistWaitRed, red)
+		record(perf.PhaseDistStealIdle, idle)
 		if r.markStep {
 			p.MarkStep(cycle)
 		}

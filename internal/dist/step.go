@@ -2,6 +2,7 @@ package dist
 
 import (
 	"lulesh/internal/comm"
+	"lulesh/internal/domain"
 	"lulesh/internal/kernels"
 	"lulesh/internal/omp"
 )
@@ -9,6 +10,27 @@ import (
 // The per-iteration protocol, in both exchange schedules. Helper methods
 // operate on index ranges so the overlapped schedule can run boundary
 // planes first; both schedules execute the same arithmetic per datum.
+
+// join is the continuation seam of the overlapped schedule: a pending
+// receive whose completion gates exactly the work that depends on remote
+// data. Then blocks on the receive and runs the dependent continuation —
+// the single-goroutine-per-rank analogue of the paper's future.then()
+// chaining (an endpoint is not safe for concurrent use, so the overlap is
+// schedule-driven: everything before Then already ran while the messages
+// were in flight).
+type join struct {
+	wait func() error
+}
+
+// Then completes the join: wait for the remote data, then run the
+// dependent work.
+func (j join) Then(cont func()) error {
+	if err := j.wait(); err != nil {
+		return err
+	}
+	cont()
+	return nil
+}
 
 // computeForces runs the stress and hourglass element kernels for
 // elements [lo, hi), filling the per-corner force arrays. In hybrid mode
@@ -112,6 +134,76 @@ func (r *rank) recvBoundaryForces() error {
 	return nil
 }
 
+// sendBoundaryForcesCoalesced is sendBoundaryForces with the three force
+// planes packed into a single Fx|Fy|Fz frame per peer (TagForces): one
+// message per (peer, direction) instead of three.
+func (r *rank) sendBoundaryForcesCoalesced() {
+	d := r.d
+	pn := r.planeN
+	pack := func(base int) {
+		copy(r.packCoal[0:pn], d.Fx[base:base+pn])
+		copy(r.packCoal[pn:2*pn], d.Fy[base:base+pn])
+		copy(r.packCoal[2*pn:3*pn], d.Fz[base:base+pn])
+	}
+	if r.hasLower() {
+		pack(0)
+		r.ep.Send(r.id-1, comm.TagForces, r.packCoal)
+	}
+	if r.hasUpper() {
+		pack(r.upperNodeBase())
+		r.ep.Send(r.id+1, comm.TagForces, r.packCoal)
+	}
+}
+
+// recvBoundaryForcesCoalesced receives one TagForces frame per peer and
+// sums the three packed planes into the local boundary nodes. The sum
+// order per node is identical to the three-message path, so the schedules
+// stay bitwise-comparable.
+func (r *rank) recvBoundaryForcesCoalesced() error {
+	d := r.d
+	pn := r.planeN
+	unpack := func(peer, base int) error {
+		f, err := r.ep.RecvDeadline(peer, comm.TagForces)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < pn; i++ {
+			d.Fx[base+i] += f[i]
+			d.Fy[base+i] += f[pn+i]
+			d.Fz[base+i] += f[2*pn+i]
+		}
+		return nil
+	}
+	if r.hasLower() {
+		if err := unpack(r.id-1, 0); err != nil {
+			return err
+		}
+	}
+	if r.hasUpper() {
+		if err := unpack(r.id+1, r.upperNodeBase()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendForces / recvForces dispatch the force exchange to the configured
+// framing (per-axis messages, or one coalesced frame per peer).
+func (r *rank) sendForces() {
+	if r.coalesce {
+		r.sendBoundaryForcesCoalesced()
+		return
+	}
+	r.sendBoundaryForces()
+}
+
+func (r *rank) recvForces() error {
+	if r.coalesce {
+		return r.recvBoundaryForcesCoalesced()
+	}
+	return r.recvBoundaryForces()
+}
+
 // nodalUpdate integrates acceleration, boundary conditions, velocity and
 // position for all nodes.
 func (r *rank) nodalUpdate() {
@@ -132,6 +224,39 @@ func (r *rank) nodalUpdate() {
 		kernels.CalcVelocity(d, delt, d.Par.UCut, a, b)
 	})
 	r.rangeBlock(0, nn, func(a, b int) { kernels.CalcPosition(d, delt, a, b) })
+}
+
+// nodalChain runs the post-force nodal integration — acceleration,
+// symmetry boundary conditions, velocity, position — over a set of node
+// spans with the matching pre-split symmetry lists. Every kernel in the
+// chain is per-node, so running it over the boundary spans and the
+// interior span separately is bitwise identical to one full-range pass;
+// the overlapped schedule uses that to start the interior chain before
+// the remote force sums (which only touch boundary-plane nodes) have
+// arrived.
+func (r *rank) nodalChain(spans []domain.Span, symmX, symmY, symmZ []int32) {
+	d := r.d
+	delt := d.Deltatime
+	for _, s := range spans {
+		r.rangeBlock(s.Lo, s.Hi, func(a, b int) { kernels.CalcAcceleration(d, a, b) })
+	}
+	r.rangeBlock(0, len(symmX), func(a, b int) {
+		kernels.ApplyAccelBCList(d, symmX, 0, a, b)
+	})
+	r.rangeBlock(0, len(symmY), func(a, b int) {
+		kernels.ApplyAccelBCList(d, symmY, 1, a, b)
+	})
+	r.rangeBlock(0, len(symmZ), func(a, b int) {
+		kernels.ApplyAccelBCList(d, symmZ, 2, a, b)
+	})
+	for _, s := range spans {
+		r.rangeBlock(s.Lo, s.Hi, func(a, b int) {
+			kernels.CalcVelocity(d, delt, d.Par.UCut, a, b)
+		})
+	}
+	for _, s := range spans {
+		r.rangeBlock(s.Lo, s.Hi, func(a, b int) { kernels.CalcPosition(d, delt, a, b) })
+	}
 }
 
 // kinematicsRange runs the element kinematics and monotonic-Q gradients
@@ -206,6 +331,73 @@ func (r *rank) recvBoundaryGradients() error {
 	return nil
 }
 
+// sendBoundaryGradientsCoalesced packs the three gradient planes into a
+// single DelvXi|DelvEta|DelvZeta frame per peer (TagDelv).
+func (r *rank) sendBoundaryGradientsCoalesced() {
+	d := r.d
+	ne := d.NumElem()
+	pe := r.planeE
+	pack := func(base int) []float64 {
+		frame := r.packCoal[:3*pe]
+		copy(frame[0:pe], d.DelvXi[base:base+pe])
+		copy(frame[pe:2*pe], d.DelvEta[base:base+pe])
+		copy(frame[2*pe:3*pe], d.DelvZeta[base:base+pe])
+		return frame
+	}
+	if r.hasLower() {
+		r.ep.Send(r.id-1, comm.TagDelv, pack(0))
+	}
+	if r.hasUpper() {
+		r.ep.Send(r.id+1, comm.TagDelv, pack(ne-pe))
+	}
+}
+
+// recvBoundaryGradientsCoalesced receives one TagDelv frame per peer and
+// scatters the packed planes into the ghost gradient slots.
+func (r *rank) recvBoundaryGradientsCoalesced() error {
+	d := r.d
+	m := d.Mesh
+	pe := r.planeE
+	unpack := func(peer, ghost int) error {
+		g, err := r.ep.RecvDeadline(peer, comm.TagDelv)
+		if err != nil {
+			return err
+		}
+		copy(d.DelvXi[ghost:ghost+pe], g[0:pe])
+		copy(d.DelvEta[ghost:ghost+pe], g[pe:2*pe])
+		copy(d.DelvZeta[ghost:ghost+pe], g[2*pe:3*pe])
+		return nil
+	}
+	if r.hasLower() {
+		if err := unpack(r.id-1, m.GhostZMin); err != nil {
+			return err
+		}
+	}
+	if r.hasUpper() {
+		if err := unpack(r.id+1, m.GhostZMax); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendGradients / recvGradients dispatch the gradient exchange to the
+// configured framing.
+func (r *rank) sendGradients() {
+	if r.coalesce {
+		r.sendBoundaryGradientsCoalesced()
+		return
+	}
+	r.sendBoundaryGradients()
+}
+
+func (r *rank) recvGradients() error {
+	if r.coalesce {
+		return r.recvBoundaryGradientsCoalesced()
+	}
+	return r.recvBoundaryGradients()
+}
+
 // materialsAndConstraints runs the region Q, EOS, volume commit and local
 // time-constraint minima — entirely rank-local. Error flags raised here
 // are reported by the caller after the step: unlike the single-domain
@@ -213,16 +405,31 @@ func (r *rank) recvBoundaryGradients() error {
 // mid-iteration, or its peers would deadlock or read mismatched tags; the
 // failure travels through the dt reduction instead.
 func (r *rank) materialsAndConstraints() error {
+	for _, regList := range r.d.Regions.ElemList {
+		r.monoQLists(regList)
+	}
+	return r.materialsTail()
+}
+
+// monoQLists applies the region monotonic-Q kernel over one element list
+// (boundary sublist, interior sublist, or a full region list — the kernel
+// is per-element, so any partition of a region list computes identical
+// values).
+func (r *rank) monoQLists(regList []int32) {
+	d := r.d
+	r.rangeBlock(0, len(regList), func(a, b int) {
+		kernels.MonoQRegion(d, regList, a, b)
+	})
+}
+
+// materialsTail is everything after the region Q: the q-stop check, EOS,
+// volume commit and local time-constraint minima — entirely rank-local,
+// so both schedules share it verbatim.
+func (r *rank) materialsTail() error {
 	d := r.d
 	ne := d.NumElem()
 	p := &d.Par
 
-	for _, regList := range d.Regions.ElemList {
-		regList := regList
-		r.rangeBlock(0, len(regList), func(a, b int) {
-			kernels.MonoQRegion(d, regList, a, b)
-		})
-	}
 	r.rangeBlock(0, ne, func(a, b int) { kernels.QStopCheck(d, a, b, &r.flag) })
 
 	r.rangeBlock(0, ne, func(a, b int) {
@@ -311,16 +518,16 @@ func (r *rank) stepSynchronous() error {
 	r.rangeBlock(0, nn, func(a, b int) { kernels.ZeroForces(d, a, b) })
 	r.computeForces(0, ne)
 	r.gatherForces(0, nn)
-	r.sendBoundaryForces()
-	if err := r.recvBoundaryForces(); err != nil { // blocking phase boundary
+	r.sendForces()
+	if err := r.recvForces(); err != nil { // blocking phase boundary
 		return err
 	}
 	r.nodalUpdate()
 
 	// LagrangeElements.
 	r.kinematicsRange(0, ne)
-	r.sendBoundaryGradients()
-	if err := r.recvBoundaryGradients(); err != nil { // blocking phase boundary
+	r.sendGradients()
+	if err := r.recvGradients(); err != nil { // blocking phase boundary
 		return err
 	}
 
@@ -331,74 +538,75 @@ func (r *rank) stepSynchronous() error {
 }
 
 // stepOverlapped is the asynchronous schedule: boundary planes are
-// computed and sent first, the interior overlaps the message flight, and
-// receives happen as late as the data dependency allows.
+// computed and sent first, interior work overlaps the message flight, and
+// each receive is a join placed directly in front of the work that
+// actually reads remote data — nothing else waits on it.
+//
+// The force join gates only the boundary nodal chain: the remote force
+// sums land exclusively on the shared node planes, so the interior
+// acceleration/BC/velocity/position chain runs while the frames are in
+// flight. The gradient join gates only the boundary-plane region Q: the
+// ghost gradient slots are read exclusively by elements on the
+// communicated faces, so the interior region Q overlaps that exchange
+// too. Every kernel involved is per-datum, so the split execution stays
+// bitwise identical to the synchronous schedule — luleshverify asserts
+// it, per scenario, over the real wire.
 func (r *rank) stepOverlapped() error {
 	d := r.d
-	ne := d.NumElem()
 	nn := d.NumNode()
-	pe, pn := r.planeE, r.planeN
 	r.flag.Reset()
 
 	r.rangeBlock(0, nn, func(a, b int) { kernels.ZeroForces(d, a, b) })
 
-	// Boundary element planes first so their nodal planes can be sent
+	// Boundary element planes first so their nodal planes can be posted
 	// while the interior computes.
-	lowE, highE := 0, ne
-	if r.hasLower() {
-		r.computeForces(0, pe)
-		lowE = pe
+	for _, s := range r.elemPlan.Boundary {
+		r.computeForces(s.Lo, s.Hi)
 	}
-	if r.hasUpper() {
-		r.computeForces(ne-pe, ne)
-		highE = ne - pe
+	for _, s := range r.nodePlan.Boundary {
+		r.gatherForces(s.Lo, s.Hi)
 	}
-	if r.hasLower() {
-		r.gatherForces(0, pn)
-	}
-	if r.hasUpper() {
-		r.gatherForces(nn-pn, nn)
-	}
-	r.sendBoundaryForces()
+	r.sendForces()
+	forces := join{wait: r.recvForces}
 
-	// Interior overlaps the force messages.
-	if lowE < highE {
-		r.computeForces(lowE, highE)
+	// Interior force work and the full interior nodal chain overlap the
+	// force frames.
+	if s := r.elemPlan.Interior; !s.Empty() {
+		r.computeForces(s.Lo, s.Hi)
 	}
-	lo, hi := 0, nn
-	if r.hasLower() {
-		lo = pn
+	if s := r.nodePlan.Interior; !s.Empty() {
+		r.gatherForces(s.Lo, s.Hi)
+		r.nodalChain([]domain.Span{s}, r.symmXI, r.symmYI, r.symmZI)
 	}
-	if r.hasUpper() {
-		hi = nn - pn
-	}
-	if lo < hi {
-		r.gatherForces(lo, hi)
-	}
-	if err := r.recvBoundaryForces(); err != nil {
-		return err
-	}
-	r.nodalUpdate()
-
-	// Boundary kinematics/gradients first, send, interior overlaps.
-	lowE, highE = 0, ne
-	if r.hasLower() {
-		r.kinematicsRange(0, pe)
-		lowE = pe
-	}
-	if r.hasUpper() {
-		r.kinematicsRange(ne-pe, ne)
-		highE = ne - pe
-	}
-	r.sendBoundaryGradients()
-	if lowE < highE {
-		r.kinematicsRange(lowE, highE)
-	}
-	if err := r.recvBoundaryGradients(); err != nil {
+	if err := forces.Then(func() {
+		r.nodalChain(r.nodePlan.Boundary, r.symmXB, r.symmYB, r.symmZB)
+	}); err != nil {
 		return err
 	}
 
-	if err := r.materialsAndConstraints(); err != nil {
+	// Boundary kinematics/gradients first, post, interior overlaps — and
+	// the interior region Q runs before the ghost slots have arrived.
+	for _, s := range r.elemPlan.Boundary {
+		r.kinematicsRange(s.Lo, s.Hi)
+	}
+	r.sendGradients()
+	grads := join{wait: r.recvGradients}
+
+	if s := r.elemPlan.Interior; !s.Empty() {
+		r.kinematicsRange(s.Lo, s.Hi)
+	}
+	for _, regList := range r.regInterior {
+		r.monoQLists(regList)
+	}
+	if err := grads.Then(func() {
+		for _, regList := range r.regBoundary {
+			r.monoQLists(regList)
+		}
+	}); err != nil {
+		return err
+	}
+
+	if err := r.materialsTail(); err != nil {
 		return err
 	}
 	return r.flag.Err()

@@ -97,10 +97,27 @@ func RunWire(cfg Config, w WireOptions) (Result, error) {
 		// fault schedule matches the in-process one exactly.
 		tr = comm.NewFaultInjector(*faults, cfg.Ranks)
 	}
+	if cfg.Latency > 0 {
+		// The in-process fabric honours Config.Latency natively; over the
+		// wire the delay transport stamps it into each frame's header and
+		// the receiver sleeps the residual, so both fabrics pay the same
+		// deterministic one-way link latency.
+		tr = comm.NewDelay(cfg.Latency, tr)
+	}
 
+	// The schedule string participates in the wire handshake: every
+	// overlap toggle must match across the fabric, or a mixed run would
+	// deadlock on mismatched tags/topology — refusing at Join turns that
+	// into an immediate geometry error.
 	schedule := "sync"
 	if cfg.Async {
 		schedule = "async"
+	}
+	if cfg.TreeReduce {
+		schedule += "+tree"
+	}
+	if cfg.Coalesce {
+		schedule += "+coalesce"
 	}
 	fab, err := wire.Join(wire.Config{
 		Rank:       w.Rank,

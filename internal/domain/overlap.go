@@ -1,0 +1,125 @@
+package domain
+
+// Boundary-first scheduling support: a partition-level classification of
+// an index space into the spans that touch a communicated z-face and the
+// span that does not. The distributed driver computes and posts the
+// boundary spans first, overlaps the interior with the in-flight
+// exchange, and joins the receive only in front of the work that really
+// depends on remote data — the paper's continuation trick applied to the
+// ghost protocol.
+//
+// One plan serves every index space of a slab decomposition, because all
+// of them are plane-major along zeta: element indices (plane size Nx·Ny),
+// node indices (plane size (Nx+1)·(Ny+1)), and any index list over either
+// space (region element lists, symmetry-plane node lists) split with the
+// same predicate.
+
+// Span is a half-open index range [Lo, Hi).
+type Span struct {
+	Lo, Hi int
+}
+
+// Len reports the number of indices the span covers.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// Empty reports whether the span covers nothing.
+func (s Span) Empty() bool { return s.Hi <= s.Lo }
+
+// OverlapPlan classifies one plane-major index space of length N into
+// boundary spans (indices whose z-plane is shared with a neighbouring
+// rank) and the interior span between them. The spans partition [0, N)
+// exactly: every index is in precisely one span, which the tests prove by
+// exact cover.
+type OverlapPlan struct {
+	N     int  // index space length
+	Plane int  // indices per z-plane
+	Lower bool // plane 0 is a communicated face
+	Upper bool // the last plane is a communicated face
+
+	// Boundary holds the communicated-face spans in ascending order
+	// (at most two; one when the faces coincide on a single-plane slab).
+	Boundary []Span
+
+	// Interior is the remaining span (possibly empty).
+	Interior Span
+}
+
+// NewOverlapPlan builds the classification for an index space of length n
+// with the given plane size and communicated faces. A slab thin enough
+// that the two faces meet (n <= 2*plane with both faces present)
+// degenerates to one boundary span covering everything — the plan never
+// double-counts an index.
+func NewOverlapPlan(n, plane int, lower, upper bool) OverlapPlan {
+	p := OverlapPlan{N: n, Plane: plane, Lower: lower, Upper: upper}
+	lo, hi := 0, n
+	if lower {
+		lo = plane
+		if lo > n {
+			lo = n
+		}
+	}
+	if upper {
+		hi = n - plane
+		if hi < lo {
+			hi = lo
+		}
+	}
+	if lower && upper && lo >= hi {
+		// The faces overlap or touch with nothing between them: one merged
+		// boundary span, empty interior.
+		p.Boundary = []Span{{0, n}}
+		p.Interior = Span{lo, lo}
+		return p
+	}
+	if lower && lo > 0 {
+		p.Boundary = append(p.Boundary, Span{0, lo})
+	}
+	if upper && hi < n {
+		p.Boundary = append(p.Boundary, Span{hi, n})
+	}
+	p.Interior = Span{lo, hi}
+	return p
+}
+
+// IsBoundary reports whether index i falls in a communicated-face span.
+func (p OverlapPlan) IsBoundary(i int) bool {
+	for _, s := range p.Boundary {
+		if i >= s.Lo && i < s.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// SplitIndexList partitions an index list over this plan's space into its
+// boundary and interior sublists, preserving the list's order within each
+// — so iterating boundary-then-interior (or the reverse) visits exactly
+// the original elements, each once, and per-element arithmetic stays
+// bitwise independent of the split.
+func (p OverlapPlan) SplitIndexList(list []int32) (boundary, interior []int32) {
+	if len(p.Boundary) == 0 {
+		return nil, list
+	}
+	nb := 0
+	for _, i := range list {
+		if p.IsBoundary(int(i)) {
+			nb++
+		}
+	}
+	if nb == 0 {
+		return nil, list
+	}
+	if nb == len(list) {
+		return list, nil
+	}
+	boundary = make([]int32, 0, nb)
+	interior = make([]int32, 0, len(list)-nb)
+	for _, i := range list {
+		if p.IsBoundary(int(i)) {
+			boundary = append(boundary, i)
+		} else {
+			interior = append(interior, i)
+		}
+	}
+	return boundary, interior
+}

@@ -1,0 +1,156 @@
+package domain
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// coverExact asserts the plan's spans partition [0, n) exactly: every
+// index appears in precisely one span.
+func coverExact(t *testing.T, p OverlapPlan) {
+	t.Helper()
+	seen := make([]int, p.N)
+	mark := func(s Span) {
+		for i := s.Lo; i < s.Hi; i++ {
+			seen[i]++
+		}
+	}
+	for _, s := range p.Boundary {
+		mark(s)
+	}
+	mark(p.Interior)
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("plan %+v: index %d covered %d times", p, i, c)
+		}
+	}
+}
+
+func TestOverlapPlanCover(t *testing.T) {
+	cases := []struct {
+		n, plane     int
+		lower, upper bool
+	}{
+		{100, 10, false, false}, // no comm faces: all interior
+		{100, 10, true, false},  // first rank of >1
+		{100, 10, false, true},  // last rank
+		{100, 10, true, true},   // middle rank
+		{20, 10, true, true},    // two planes, both faces: fully boundary
+		{10, 10, true, true},    // one plane, both faces: merged span
+		{10, 10, true, false},   // one plane, one face: fully boundary
+		{30, 10, true, true},    // exactly one interior plane
+		{0, 10, true, true},     // empty space
+	}
+	for _, c := range cases {
+		p := NewOverlapPlan(c.n, c.plane, c.lower, c.upper)
+		coverExact(t, p)
+	}
+}
+
+func TestOverlapPlanClassification(t *testing.T) {
+	// Middle rank, 4 element planes of 9: planes 0 and 3 are boundary.
+	p := NewOverlapPlan(36, 9, true, true)
+	if len(p.Boundary) != 2 {
+		t.Fatalf("want 2 boundary spans, got %v", p.Boundary)
+	}
+	if p.Boundary[0] != (Span{0, 9}) || p.Boundary[1] != (Span{27, 36}) {
+		t.Fatalf("boundary spans %v", p.Boundary)
+	}
+	if p.Interior != (Span{9, 27}) {
+		t.Fatalf("interior span %v", p.Interior)
+	}
+	for i := 0; i < 36; i++ {
+		want := i < 9 || i >= 27
+		if got := p.IsBoundary(i); got != want {
+			t.Fatalf("IsBoundary(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestOverlapPlanSinglePlaneMerges(t *testing.T) {
+	// Both faces on a one-plane slab: the single span must cover each
+	// index once (a naive two-span plan would double-compute the plane).
+	p := NewOverlapPlan(9, 9, true, true)
+	if len(p.Boundary) != 1 || p.Boundary[0] != (Span{0, 9}) {
+		t.Fatalf("want one merged span, got %v", p.Boundary)
+	}
+	if !p.Interior.Empty() {
+		t.Fatalf("interior should be empty, got %v", p.Interior)
+	}
+}
+
+func TestSplitIndexListExactCover(t *testing.T) {
+	p := NewOverlapPlan(36, 9, true, true)
+	list := []int32{0, 35, 17, 8, 9, 26, 27, 1, 20}
+	b, in := p.SplitIndexList(list)
+	if got, want := len(b)+len(in), len(list); got != want {
+		t.Fatalf("split sizes %d+%d != %d", len(b), len(in), want)
+	}
+	// Order within each side preserved, classification correct, and the
+	// multiset unchanged.
+	seen := map[int32]int{}
+	for _, i := range b {
+		if !p.IsBoundary(int(i)) {
+			t.Fatalf("index %d misfiled as boundary", i)
+		}
+		seen[i]++
+	}
+	for _, i := range in {
+		if p.IsBoundary(int(i)) {
+			t.Fatalf("index %d misfiled as interior", i)
+		}
+		seen[i]++
+	}
+	for _, i := range list {
+		if seen[i] != 1 {
+			t.Fatalf("index %d seen %d times", i, seen[i])
+		}
+	}
+	if b[0] != 0 || b[1] != 35 || in[0] != 17 {
+		t.Fatalf("order not preserved: b=%v in=%v", b, in)
+	}
+}
+
+func TestSplitIndexListFastPaths(t *testing.T) {
+	list := []int32{3, 4, 5}
+	// No boundary spans: the original slice comes back as interior.
+	p := NewOverlapPlan(36, 9, false, false)
+	b, in := p.SplitIndexList(list)
+	if b != nil || &in[0] != &list[0] {
+		t.Fatalf("no-boundary split should alias the input")
+	}
+	// All-boundary list: the original slice comes back as boundary.
+	p = NewOverlapPlan(36, 9, true, true)
+	all := []int32{0, 1, 35}
+	b, in = p.SplitIndexList(all)
+	if in != nil || &b[0] != &all[0] {
+		t.Fatalf("all-boundary split should alias the input")
+	}
+}
+
+func TestOverlapPlanCoverProperty(t *testing.T) {
+	// Randomized exact-cover: any (planes, plane size, faces) combination
+	// partitions its index space exactly.
+	f := func(planes, plane uint8, lower, upper bool) bool {
+		n := int(planes%12) * int(plane%8+1)
+		p := NewOverlapPlan(n, int(plane%8+1), lower, upper)
+		seen := make([]int, n)
+		for _, s := range p.Boundary {
+			for i := s.Lo; i < s.Hi; i++ {
+				seen[i]++
+			}
+		}
+		for i := p.Interior.Lo; i < p.Interior.Hi; i++ {
+			seen[i]++
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

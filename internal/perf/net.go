@@ -51,8 +51,10 @@ type NetSpan struct {
 }
 
 // StepBucket is one timestep's wall-time attribution on one rank. The
-// buckets sum to Wall by construction (compute is the clamped residual),
-// which is the invariant the stall report and its tests lean on.
+// buckets sum to Wall exactly by construction (compute is the residual;
+// measured-bucket overshoot is trimmed idle-first, see the dist driver's
+// attributeStep), which is the invariant the stall report and its tests
+// lean on.
 type StepBucket struct {
 	Step      int   `json:"step"`
 	StartNs   int64 `json:"start_ns"` // local clock at cycle start

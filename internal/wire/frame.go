@@ -83,6 +83,10 @@ func phaseForTag(tag comm.Tag) byte {
 		return phaseReduce
 	case tag >= comm.TagNodalMass && tag <= comm.TagDelvZeta:
 		return phaseGhost
+	case tag == comm.TagForces || tag == comm.TagDelv:
+		// Coalesced per-peer boundary frames: still ghost-exchange traffic,
+		// just one frame per (peer, step) instead of three.
+		return phaseGhost
 	}
 	return phaseOther
 }

@@ -41,6 +41,27 @@ func TestHeaderRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPhaseForTag(t *testing.T) {
+	cases := []struct {
+		tag  comm.Tag
+		want byte
+	}{
+		{comm.TagReduce, phaseReduce},
+		{comm.TagNodalMass, phaseGhost},
+		{comm.TagForceX, phaseGhost},
+		{comm.TagDelvZeta, phaseGhost},
+		{comm.TagForces, phaseGhost}, // coalesced frames stay ghost-class
+		{comm.TagDelv, phaseGhost},
+		{comm.TagTrace, phaseOther},
+		{comm.Tag(0), phaseOther},
+	}
+	for _, c := range cases {
+		if got := phaseForTag(c.tag); got != c.want {
+			t.Errorf("phaseForTag(%v) = %d, want %d", c.tag, got, c.want)
+		}
+	}
+}
+
 func TestParseHeaderRejects(t *testing.T) {
 	mk := func(h frameHeader) []byte {
 		var b [headerLen]byte
