@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz cover bench verify figures examples clean perfgate chaos net benchgate sweep bce tracegate overlap
+.PHONY: all build test race fuzz cover bench verify figures examples clean perfgate chaos net benchgate sweep bce tracegate overlap serve
 
 # The race lane is a first-class gate: all runtime/scheduler changes must
 # survive the race detector, not just the plain test run.
@@ -135,6 +135,59 @@ bce:
 		echo "FAIL: bounds-check sites regressed above the recorded ceiling"; \
 		exit 1; \
 	fi
+
+# The control-plane gate: the serve package (shared-pool job contexts,
+# fair queue, admission control, SSE, store, HTTP API) race-clean; then a
+# race-instrumented luleshd driven over real HTTP — three concurrent jobs
+# via curl, SSE progress + terminal frames asserted on the wire, every
+# result re-validated through `luleshd -validate` (perf.BenchRecord
+# schema), SIGTERM drain leaving a flushed INDEX.json; finally the
+# in-process load generator with the p99 budget. The budget is a recorded
+# regression backstop for the race-instrumented binary on the single-core
+# reference box, not a target: the plain build measured p99=81ms over 500
+# jobs (EXPERIMENTS.md "Simulation as a service").
+SERVE_P99_BUDGET ?= 10s
+serve:
+	$(GO) test -race -count=1 ./internal/serve/
+	$(GO) build -race -o /tmp/luleshd ./cmd/luleshd
+	@set -e; \
+	rm -rf /tmp/luleshd-ci; mkdir -p /tmp/luleshd-ci; \
+	/tmp/luleshd -addr 127.0.0.1:18790 -threads 2 \
+		-results-dir /tmp/luleshd-ci/results >/tmp/luleshd-ci/server.log 2>&1 & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	ok=; for i in $$(seq 1 50); do \
+		curl -sf -o /dev/null http://127.0.0.1:18790/healthz && { ok=1; break; }; \
+		sleep 0.2; done; \
+	[ -n "$$ok" ] || { echo "FAIL: luleshd never came up"; cat /tmp/luleshd-ci/server.log; exit 1; }; \
+	ids=; for spec in \
+		'{"scenario":"sedov","size":5,"iterations":12}' \
+		'{"scenario":"piston","size":6,"iterations":12,"tenant":"ci-b"}' \
+		'{"scenario":"multimat:regions=8","size":5,"iterations":12,"tenant":"ci-c"}'; do \
+		id=$$(curl -sf -X POST -d "$$spec" http://127.0.0.1:18790/jobs \
+			| grep -o 'job-[0-9]*' | head -1); \
+		[ -n "$$id" ] || { echo "FAIL: submit rejected: $$spec"; exit 1; }; \
+		ids="$$ids $$id"; done; \
+	echo "submitted:$$ids"; \
+	first=$${ids# }; first=$${first%% *}; \
+	curl -s --max-time 30 -N http://127.0.0.1:18790/jobs/$$first/events \
+		> /tmp/luleshd-ci/events.txt; \
+	grep -q '^event: progress' /tmp/luleshd-ci/events.txt \
+		|| { echo "FAIL: no SSE progress frames"; exit 1; }; \
+	grep -q '^event: done' /tmp/luleshd-ci/events.txt \
+		|| { echo "FAIL: no SSE terminal frame"; exit 1; }; \
+	for id in $$ids; do \
+		code=; for i in $$(seq 1 150); do \
+			code=$$(curl -s -o /tmp/luleshd-ci/res-$$id.json -w '%{http_code}' \
+				http://127.0.0.1:18790/jobs/$$id/result); \
+			[ "$$code" = 200 ] && break; sleep 0.2; done; \
+		[ "$$code" = 200 ] || { echo "FAIL: $$id result never ready ($$code)"; exit 1; }; \
+		/tmp/luleshd -validate /tmp/luleshd-ci/res-$$id.json; done; \
+	kill -TERM $$pid; wait $$pid || true; trap - EXIT; \
+	[ -f /tmp/luleshd-ci/results/INDEX.json ] \
+		|| { echo "FAIL: drain left no INDEX.json"; exit 1; }; \
+	echo "serve smoke: 3 jobs, SSE frames, validated results, drained + flushed"
+	/tmp/luleshd -selftest 100 -selftest-clients 8 -threads 2 \
+		-selftest-p99-budget $(SERVE_P99_BUDGET)
 
 # The perf-trajectory gate: re-measure the configurations pinned by the
 # committed BENCH_<n>.json baselines (scenarios x backends) and fail on a

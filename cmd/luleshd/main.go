@@ -1,0 +1,367 @@
+// Command luleshd is the simulation-as-a-service control plane: a
+// long-running server that accepts LULESH job submissions over HTTP/JSON,
+// multiplexes them as isolated job contexts onto ONE shared many-task
+// worker pool, streams per-step progress over SSE, and persists each
+// completed result as a perf.BenchRecord JSON file.
+//
+//	luleshd -addr :8780 -threads 8 -results-dir ./results
+//
+// Endpoints (see README for the full table):
+//
+//	POST   /jobs             submit a job spec
+//	GET    /jobs             list jobs
+//	GET    /jobs/{id}        job status
+//	GET    /jobs/{id}/events SSE progress/terminal stream
+//	GET    /jobs/{id}/result completed perf.BenchRecord
+//	DELETE /jobs/{id}        cancel
+//	GET    /healthz          liveness (503 while draining)
+//
+// SIGTERM/SIGINT starts a graceful drain: new submissions answer 503,
+// in-flight jobs run to completion within -drain-timeout (stragglers are
+// cancelled at cycle boundaries), the results store is flushed, then the
+// process exits.
+//
+// -metrics-addr serves the Prometheus endpoint: aggregate scheduler
+// gauges (jobs_queued, jobs_running, zones_inflight, ...) plus per-job
+// series labeled job="<id>".
+//
+// -selftest N switches to load-generator mode: an in-process server is
+// stood up on an ephemeral port and N jobs are driven through the real
+// HTTP API from -selftest-clients concurrent submitters; submit→done
+// latency percentiles and throughput are printed, every stored result is
+// re-validated, and a nonzero -selftest-p99-budget turns the p99 into an
+// exit-code gate. -validate FILE checks one result JSON from disk (the
+// `make serve` curl path).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"lulesh/internal/perf"
+	"lulesh/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8780", "control-plane listen address (host:port, :0 = ephemeral)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (\"\" = off)")
+		threads     = flag.Int("threads", runtime.GOMAXPROCS(0), "shared pool worker count")
+		maxJobs     = flag.Int("max-jobs", 0, "max concurrently executing jobs (0 = 4x threads)")
+		maxQueue    = flag.Int("max-queue", 1024, "admission queue bound (full queue answers 429)")
+		maxZones    = flag.Int64("max-zones", 4<<20, "in-flight zone budget across queued+running jobs (429 beyond)")
+		resultsDir  = flag.String("results-dir", "luleshd-results", "directory for completed perf.BenchRecord JSON results")
+		eventEvery  = flag.Int("event-every", 1, "publish an SSE progress frame every N cycles")
+		drainT      = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline for in-flight jobs")
+		stealHalf   = flag.Bool("steal-half", true, "pool workers steal half a victim's queue per sweep")
+
+		selftest  = flag.Int("selftest", 0, "run N jobs through an in-process server and report latency/throughput, then exit")
+		stClients = flag.Int("selftest-clients", 8, "concurrent submitters for -selftest")
+		stBudget  = flag.Duration("selftest-p99-budget", 0, "fail -selftest when submit→done p99 exceeds this (0 = report only)")
+		validate  = flag.String("validate", "", "validate one perf.BenchRecord JSON file and exit")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		os.Exit(validateFile(*validate))
+	}
+
+	cfg := serve.Config{
+		Workers:          *threads,
+		MaxRunning:       *maxJobs,
+		MaxQueued:        *maxQueue,
+		MaxInflightZones: *maxZones,
+		ResultsDir:       *resultsDir,
+		EventEvery:       *eventEvery,
+		StealHalf:        *stealHalf,
+	}
+
+	if *selftest > 0 {
+		os.Exit(runSelftest(cfg, *selftest, *stClients, *stBudget))
+	}
+
+	m, err := serve.NewManager(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "luleshd: %v\n", err)
+		os.Exit(1)
+	}
+
+	var msrv *perf.Server
+	if *metricsAddr != "" {
+		msrv, err = perf.StartServer(*metricsAddr, nil, m.MetricsExtra)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "luleshd: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		msrv.SetTextSource(m.WriteJobMetrics)
+		fmt.Printf("luleshd: metrics on http://%s/metrics\n", msrv.Addr)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "luleshd: %v\n", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: m.Handler()}
+	maxRunning := cfg.MaxRunning
+	if maxRunning < 1 {
+		maxRunning = 4 * cfg.Workers // the manager's default
+	}
+	fmt.Printf("luleshd: serving on http://%s (threads=%d, max-jobs=%d, zone-budget=%d, results=%s)\n",
+		ln.Addr(), cfg.Workers, maxRunning, cfg.MaxInflightZones, cfg.ResultsDir)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigs:
+		fmt.Printf("luleshd: %v — draining (deadline %v)\n", sig, *drainT)
+		// Drain first: submissions 503 while status/result/SSE stay
+		// reachable, so clients can collect what finished.
+		if err := m.Drain(*drainT); err != nil {
+			fmt.Fprintf(os.Stderr, "luleshd: drain: %v\n", err)
+		}
+		srv.Close()
+	case err := <-done:
+		fmt.Fprintf(os.Stderr, "luleshd: server: %v\n", err)
+	}
+	if msrv != nil {
+		msrv.Close()
+	}
+	if err := m.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "luleshd: close: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("luleshd: drained, results flushed, bye")
+}
+
+// validateFile loads one BenchRecord JSON and runs Validate — the check
+// `make serve` applies to a curl-fetched /result body.
+func validateFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "luleshd: %v\n", err)
+		return 1
+	}
+	var rec perf.BenchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		fmt.Fprintf(os.Stderr, "luleshd: %s: %v\n", path, err)
+		return 1
+	}
+	if err := rec.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "luleshd: %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Printf("luleshd: %s valid (job=%s scenario=%s fom=%.1f zones/s)\n",
+		path, rec.JobID, rec.Scenario, rec.FOM)
+	return 0
+}
+
+// selftestSpecs is the load mix: heterogeneous scenarios, sizes and
+// tenants so the run exercises fair queueing and admission, not just one
+// hot loop.
+func selftestSpec(i int) string {
+	scenarios := []string{"sedov", "piston", "multimat:regions=8"}
+	return fmt.Sprintf(`{"scenario":%q,"size":%d,"iterations":%d,"tenant":"t%d"}`,
+		scenarios[i%len(scenarios)], 4+i%3, 6+i%5, i%4)
+}
+
+// runSelftest drives jobs jobs through a real in-process HTTP server from
+// clients concurrent submitters and reports latency and throughput.
+func runSelftest(cfg serve.Config, jobs, clients int, budget time.Duration) int {
+	if cfg.ResultsDir == "luleshd-results" {
+		dir, err := os.MkdirTemp("", "luleshd-selftest-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "luleshd: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		cfg.ResultsDir = dir
+	}
+	m, err := serve.NewManager(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "luleshd: %v\n", err)
+		return 1
+	}
+	defer m.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "luleshd: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: m.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	maxRunning := cfg.MaxRunning
+	if maxRunning < 1 {
+		maxRunning = 4 * cfg.Workers // the manager's default
+	}
+	fmt.Printf("luleshd selftest: %d jobs, %d clients, %d workers, max-jobs=%d against %s\n",
+		jobs, clients, cfg.Workers, maxRunning, base)
+
+	var (
+		mu      sync.Mutex
+		lats    []time.Duration
+		retries int
+		fails   []string
+	)
+	next := make(chan int)
+	go func() {
+		for i := 0; i < jobs; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s, err := driveJob(base, selftestSpec(i))
+				mu.Lock()
+				if err != nil {
+					fails = append(fails, fmt.Sprintf("job %d: %v", i, err))
+				} else {
+					lats = append(lats, s.latency)
+					retries += s.retries
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	for _, f := range fails {
+		fmt.Fprintf(os.Stderr, "luleshd selftest: FAIL %s\n", f)
+	}
+	if len(lats) == 0 {
+		fmt.Fprintln(os.Stderr, "luleshd selftest: no job completed")
+		return 1
+	}
+	sort.Slice(lats, func(i, k int) bool { return lats[i] < lats[k] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(lats)-1))
+		return lats[idx]
+	}
+	throughput := float64(len(lats)) / wall.Seconds()
+	fmt.Printf("luleshd selftest: %d/%d jobs done in %v (%.1f jobs/sec, %d admission retries)\n",
+		len(lats), jobs, wall.Round(time.Millisecond), throughput, retries)
+	fmt.Printf("luleshd selftest: submit->done latency p50=%v p90=%v p99=%v max=%v\n",
+		pct(0.50).Round(time.Millisecond), pct(0.90).Round(time.Millisecond),
+		pct(0.99).Round(time.Millisecond), lats[len(lats)-1].Round(time.Millisecond))
+
+	if len(fails) > 0 {
+		return 1
+	}
+	if budget > 0 && pct(0.99) > budget {
+		fmt.Fprintf(os.Stderr, "luleshd selftest: p99 %v exceeds budget %v\n", pct(0.99), budget)
+		return 1
+	}
+	return 0
+}
+
+// driveJob runs one job through the full client lifecycle: submit
+// (re-submitting on 429/503 after the server's Retry-After, capped),
+// poll status until terminal, fetch the result, and re-validate it.
+func driveJob(base, spec string) (struct {
+	latency time.Duration
+	retries int
+}, error) {
+	var out struct {
+		latency time.Duration
+		retries int
+	}
+	start := time.Now()
+
+	var id string
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			return out, err
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			var st struct {
+				ID string `json:"id"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				return out, err
+			}
+			id = st.ID
+			break
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < 400 {
+			out.retries++
+			// The server's Retry-After is a mean-service-time guess; for a
+			// local load loop a short fixed backoff converges faster.
+			time.Sleep(25 * time.Millisecond)
+			continue
+		}
+		return out, fmt.Errorf("submit: status %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(5 * time.Minute)
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			return out, err
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return out, err
+		}
+		switch st.State {
+		case "done":
+			out.latency = time.Since(start)
+			// Fetch and re-validate the persisted record.
+			r, err := http.Get(base + "/jobs/" + id + "/result")
+			if err != nil {
+				return out, err
+			}
+			var rec perf.BenchRecord
+			err = json.NewDecoder(r.Body).Decode(&rec)
+			r.Body.Close()
+			if err != nil {
+				return out, fmt.Errorf("result: %v", err)
+			}
+			if err := rec.Validate(); err != nil {
+				return out, fmt.Errorf("result: %v", err)
+			}
+			if rec.JobID != id {
+				return out, fmt.Errorf("result job_id %q != %q", rec.JobID, id)
+			}
+			return out, nil
+		case "failed", "cancelled":
+			return out, fmt.Errorf("job %s: %s (%s)", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return out, fmt.Errorf("job %s stuck", id)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

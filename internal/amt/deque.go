@@ -35,6 +35,13 @@ type frame struct {
 	// sweep; the executing worker forwards it to the task sink.
 	stolen bool
 
+	// job is the front-end the frame was spawned through. The executing
+	// worker decrements that job's in-flight count and routes the task
+	// record to that job's sink, keeping concurrent jobs on one pool
+	// isolated. Always set by the spawn paths before the frame is
+	// published.
+	job *Scheduler
+
 	// enq is the enqueue timestamp for queue-wait accounting. Stamped
 	// only while a task sink is installed (time.Now is not free on the
 	// spawn path); the zero value means "not stamped".
@@ -61,7 +68,7 @@ func (f *frame) run() {
 	}
 	l := f.latch
 	f.fn, f.body, f.latch, f.home = nil, nil, nil, noHome
-	f.phase, f.stolen, f.enq = 0, false, time.Time{}
+	f.phase, f.stolen, f.enq, f.job = 0, false, time.Time{}, nil
 	framePool.Put(f)
 	if l != nil {
 		l.arrive()

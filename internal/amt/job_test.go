@@ -1,0 +1,177 @@
+package amt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countSink counts records per phase; safe for concurrent RecordTask.
+type countSink struct {
+	tasks  atomic.Int64
+	phases [64]atomic.Int64
+}
+
+func (c *countSink) RecordTask(worker int, phase uint32, start time.Time, dur, queueWait time.Duration, stolen bool) {
+	c.tasks.Add(1)
+	if int(phase) < len(c.phases) {
+		c.phases[phase].Add(1)
+	}
+}
+
+// TestNewJobSharesPool verifies job front-ends multiplex onto one pool and
+// the root keeps the pool identity.
+func TestNewJobSharesPool(t *testing.T) {
+	s := NewScheduler(WithWorkers(2))
+	defer s.Close()
+	j1 := s.NewJob()
+	j2 := j1.NewJob() // derivable from any front-end
+	if !s.SharesPoolWith(j1) || !s.SharesPoolWith(j2) || !j1.SharesPoolWith(j2) {
+		t.Fatal("job front-ends must share the root's pool")
+	}
+	if j1.Workers() != s.Workers() {
+		t.Fatalf("job sees %d workers, root %d", j1.Workers(), s.Workers())
+	}
+}
+
+// TestJobQuiesceIsolation: a job's Quiesce must wait for exactly its own
+// tasks — it must return while another job still has work in flight.
+func TestJobQuiesceIsolation(t *testing.T) {
+	s := NewScheduler(WithWorkers(2))
+	defer s.Close()
+
+	slow := s.NewJob()
+	fast := s.NewJob()
+
+	release := make(chan struct{})
+	var slowDone atomic.Bool
+	slow.Spawn(func() {
+		<-release
+		slowDone.Store(true)
+	})
+
+	var fastRan atomic.Int64
+	for i := 0; i < 100; i++ {
+		fast.Spawn(func() { fastRan.Add(1) })
+	}
+	fast.Quiesce() // must not block on slow's parked task
+	if got := fastRan.Load(); got != 100 {
+		t.Fatalf("fast job: %d/100 tasks ran after Quiesce", got)
+	}
+	if slowDone.Load() {
+		t.Fatal("slow job finished before release — test lost its isolation witness")
+	}
+	if slow.Inflight() != 1 {
+		t.Fatalf("slow inflight = %d, want 1", slow.Inflight())
+	}
+	close(release)
+	slow.Quiesce()
+	if !slowDone.Load() {
+		t.Fatal("slow task did not run")
+	}
+}
+
+// TestJobSinkIsolation: two jobs with different sinks and phases on one
+// pool; every record must land in its own job's sink with its own phase.
+func TestJobSinkIsolation(t *testing.T) {
+	s := NewScheduler(WithWorkers(4))
+	defer s.Close()
+
+	jA, jB := s.NewJob(), s.NewJob()
+	var sA, sB countSink
+	jA.SetSink(&sA)
+	jB.SetSink(&sB)
+	jA.SetPhase(3)
+	jB.SetPhase(7)
+
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			jA.Spawn(func() {})
+		}
+		jA.Quiesce()
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			jB.Spawn(func() {})
+		}
+		jB.Quiesce()
+	}()
+	wg.Wait()
+
+	if got := sA.tasks.Load(); got != n {
+		t.Fatalf("job A sink saw %d records, want %d", got, n)
+	}
+	if got := sB.tasks.Load(); got != n {
+		t.Fatalf("job B sink saw %d records, want %d", got, n)
+	}
+	if got := sA.phases[3].Load(); got != n {
+		t.Fatalf("job A phase-3 records = %d, want %d (cross-job phase bleed)", got, n)
+	}
+	if got := sB.phases[7].Load(); got != n {
+		t.Fatalf("job B phase-7 records = %d, want %d (cross-job phase bleed)", got, n)
+	}
+}
+
+// TestJobCloseKeepsPoolAlive: closing a job front-end must quiesce only
+// that job; the pool must keep executing for its siblings, and the root
+// Close afterwards must still shut down cleanly.
+func TestJobCloseKeepsPoolAlive(t *testing.T) {
+	s := NewScheduler(WithWorkers(2))
+	j := s.NewJob()
+	var n atomic.Int64
+	for i := 0; i < 50; i++ {
+		j.Spawn(func() { n.Add(1) })
+	}
+	j.Close() // quiesce job only
+	if got := n.Load(); got != 50 {
+		t.Fatalf("job tasks after job Close: %d/50", got)
+	}
+	// Pool still alive: the root front-end keeps working.
+	var m atomic.Int64
+	s.Spawn(func() { m.Add(1) })
+	s.Quiesce()
+	if m.Load() != 1 {
+		t.Fatal("pool dead after job Close")
+	}
+	s.Close()
+}
+
+// TestConcurrentJobGraphs runs many full future/continuation graphs from
+// concurrent jobs over one pool under the race detector, asserting each
+// graph's arithmetic is undisturbed.
+func TestConcurrentJobGraphs(t *testing.T) {
+	s := NewScheduler(WithWorkers(4))
+	defer s.Close()
+
+	const jobs = 16
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	errs := make(chan error, jobs)
+	for jid := 0; jid < jobs; jid++ {
+		j := s.NewJob()
+		go func(j *Scheduler, jid int) {
+			defer wg.Done()
+			// sum(0..999) via chunked reduce, then a continuation doubling it.
+			sum := Reduce(j, 0, 1000, 37, 0,
+				func(acc, i int) int { return acc + i },
+				func(a, b int) int { return a + b })
+			fin := Then(sum, func(v int) int { return 2 * v })
+			if got, want := fin.Get(), 999*1000; got != want {
+				errs <- fmt.Errorf("job %d: got %d, want %d", jid, got, want)
+			}
+			j.Quiesce()
+		}(j, jid)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

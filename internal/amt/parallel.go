@@ -61,11 +61,11 @@ func ForEachBlockAt(s *Scheduler, begin, end, grain int,
 			}
 			f := newFrame()
 			f.body, f.lo, f.hi, f.latch = body, lo, hi, l
-			f.phase, f.enq = ph, enq
+			f.phase, f.enq, f.job = ph, enq, s
 			s.enqueueAt(c, f)
 			c++
 		}
-		s.wakeN(nchunks)
+		s.p.wakeN(nchunks)
 		return out
 	}
 	// Hinted chunks are placed home-interleaved (see pushInterleaved):
@@ -82,18 +82,18 @@ func ForEachBlockAt(s *Scheduler, begin, end, grain int,
 		}
 		f := newFrame()
 		f.body, f.lo, f.hi, f.latch = body, lo, hi, l
-		f.phase, f.enq = ph, enq
-		i := c % s.nw
+		f.phase, f.enq, f.job = ph, enq, s
+		i := c % s.p.nw
 		if h := home(lo, hi); h >= 0 {
-			i = h % s.nw
+			i = h % s.p.nw
 			f.home = int32(i)
 		}
 		frames[c] = f
 		targets[c] = i
 		c++
 	}
-	s.pushInterleaved(frames, targets)
-	s.wakeN(nchunks)
+	s.p.pushInterleaved(frames, targets)
+	s.p.wakeN(nchunks)
 	return out
 }
 
@@ -162,10 +162,10 @@ func Reduce[T any](s *Scheduler, begin, end, grain int, identity T,
 		}
 		f := newFrame()
 		f.body, f.lo, f.hi, f.latch = body, lo, hi, l
-		f.phase, f.enq = ph, enq
+		f.phase, f.enq, f.job = ph, enq, s
 		s.enqueueAt(c, f)
 		c++
 	}
-	s.wakeN(nchunks)
+	s.p.wakeN(nchunks)
 	return out
 }

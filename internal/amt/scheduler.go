@@ -18,6 +18,17 @@
 // thieves steal from the top (FIFO). Tasks submitted from outside the pool
 // are distributed round-robin across worker queues. Idle workers first scan
 // every queue and then park on a condition variable; producers wake them.
+//
+// # Job contexts
+//
+// A Scheduler value is a *front-end* onto a shared worker pool. NewScheduler
+// creates a pool plus its root front-end; NewJob derives additional
+// front-ends that multiplex independent task graphs — "jobs" — onto the same
+// workers. Each front-end carries its own phase tag, its own task sink and
+// its own in-flight count, so concurrent jobs keep isolated perf attribution
+// and can Quiesce independently, while placement, stealing and park/wake
+// stay pool-global. This is the multi-tenant substrate of the luleshd
+// control plane: thousands of simulation jobs as task graphs on one pool.
 package amt
 
 import (
@@ -32,20 +43,21 @@ import (
 // Task is the unit of work executed by the scheduler.
 type Task func()
 
-// Scheduler runs tasks on a fixed set of worker goroutines.
-// It must be created with NewScheduler and released with Close.
-type Scheduler struct {
+// pool is the shared substance of a scheduler: the workers, their deques,
+// the park/wake protocol and the activity counters. Every front-end
+// (Scheduler) spawning into the pool shares all of it.
+type pool struct {
 	workers []*worker
 	nw      int
 
-	// pending counts queued-but-not-yet-started tasks. It is the ticket
-	// that keeps the park/wake protocol free of lost wakeups: producers
-	// increment it before checking for sleepers, and workers re-check it
-	// under the lock before sleeping.
+	// pending counts queued-but-not-yet-started tasks across all jobs. It
+	// is the ticket that keeps the park/wake protocol free of lost
+	// wakeups: producers increment it before checking for sleepers, and
+	// workers re-check it under the lock before sleeping.
 	pending atomic.Int64
 
-	// inflight counts tasks that have been submitted and not yet finished
-	// executing. Quiesce waits for it to reach zero.
+	// inflight counts tasks submitted and not yet finished, across all
+	// jobs. Close waits for it to reach zero before stopping the workers.
 	inflight atomic.Int64
 
 	rr atomic.Uint64 // round-robin cursor for external submissions
@@ -63,6 +75,28 @@ type Scheduler struct {
 
 	observer atomic.Pointer[func(worker int, start time.Time, dur time.Duration)]
 
+	wg sync.WaitGroup
+}
+
+// Scheduler is one job's front-end onto a (possibly shared) worker pool.
+// It must be created with NewScheduler — which also creates the pool — or
+// derived from an existing scheduler with NewJob, and released with Close.
+//
+// The per-front-end state is exactly what distinguishes concurrent jobs:
+// the phase tag stamped onto spawned frames, the task sink their execution
+// records flow to, and the in-flight count Quiesce waits on. Everything
+// else — placement, stealing, waking, worker counters — is pool-global.
+type Scheduler struct {
+	p *pool
+
+	// root marks the front-end whose Close tears down the worker pool.
+	// Job front-ends (NewJob) only quiesce their own work on Close.
+	root bool
+
+	// inflight counts this job's submitted-but-unfinished tasks. Quiesce
+	// waits for it to reach zero; other jobs' tasks never block it.
+	inflight atomic.Int64
+
 	// curPhase is the solver phase tag stamped onto newly spawned frames
 	// (SetPhase). Continuation-attach sites capture it at attach time, so
 	// frames created later by a tripping barrier still carry the phase
@@ -72,10 +106,9 @@ type Scheduler struct {
 	// sink receives one record per executed task (worker, phase, span,
 	// queue wait, stolen flag) — the feed for the perf subsystem's
 	// per-phase utilization accounting. nil when profiling is off; the
-	// spawn path then skips the enqueue timestamp entirely.
+	// spawn path then skips the enqueue timestamp entirely. Per job, so
+	// concurrent jobs on one pool keep isolated profilers.
 	sink atomic.Pointer[TaskSink]
-
-	wg sync.WaitGroup
 }
 
 // TaskSink consumes per-task execution records. Implementations must be
@@ -87,7 +120,8 @@ type TaskSink interface {
 	RecordTask(worker int, phase uint32, start time.Time, dur, queueWait time.Duration, stolen bool)
 }
 
-// SetSink installs or removes (nil) the per-task record consumer.
+// SetSink installs or removes (nil) the per-task record consumer for this
+// front-end's tasks. Other jobs sharing the pool are unaffected.
 func (s *Scheduler) SetSink(sink TaskSink) {
 	if sink == nil {
 		s.sink.Store(nil)
@@ -98,15 +132,17 @@ func (s *Scheduler) SetSink(sink TaskSink) {
 
 // SetPhase publishes the phase tag stamped onto subsequently spawned
 // tasks — the solver calls it once per kernel family per timestep. Zero
-// is the untagged default.
+// is the untagged default. Per front-end: concurrent jobs publish phases
+// independently.
 func (s *Scheduler) SetPhase(p uint32) { s.curPhase.Store(p) }
 
 // Phase returns the current phase tag.
 func (s *Scheduler) Phase() uint32 { return s.curPhase.Load() }
 
-// stamp tags a freshly created frame with its phase and, when a sink is
-// installed, the enqueue time for queue-wait accounting.
+// stamp tags a freshly created frame with its owning job, its phase and,
+// when a sink is installed, the enqueue time for queue-wait accounting.
 func (s *Scheduler) stamp(f *frame, ph uint32) {
+	f.job = s
 	f.phase = ph
 	if s.sink.Load() != nil {
 		f.enq = time.Now()
@@ -142,7 +178,8 @@ type config struct {
 // WithObserver installs a hook invoked after every executed task with the
 // worker id and the task's execution span. Used to feed a trace.Recorder
 // (the APEX-style timeline of internal/trace); the hook runs on the worker
-// and must be cheap and concurrency-safe.
+// and must be cheap and concurrency-safe. Pool-global: it observes every
+// job's tasks.
 func WithObserver(fn func(worker int, start time.Time, dur time.Duration)) Option {
 	return func(c *config) { c.observer = fn }
 }
@@ -150,10 +187,10 @@ func WithObserver(fn func(worker int, start time.Time, dur time.Duration)) Optio
 // SetObserver installs or replaces the task observer at runtime.
 func (s *Scheduler) SetObserver(fn func(worker int, start time.Time, dur time.Duration)) {
 	if fn == nil {
-		s.observer.Store(nil)
+		s.p.observer.Store(nil)
 		return
 	}
-	s.observer.Store(&fn)
+	s.p.observer.Store(&fn)
 }
 
 // WithWorkers sets the number of worker goroutines ("execution threads").
@@ -177,36 +214,58 @@ func WithStealHalf(enabled bool) Option {
 	return func(c *config) { c.stealHalf = enabled }
 }
 
-// NewScheduler creates a scheduler with the given options. The default
-// worker count is runtime.GOMAXPROCS(0), mirroring HPX's default of one
-// worker OS-thread per core.
+// NewScheduler creates a worker pool and returns its root front-end. The
+// default worker count is runtime.GOMAXPROCS(0), mirroring HPX's default of
+// one worker OS-thread per core.
 func NewScheduler(opts ...Option) *Scheduler {
 	cfg := config{numWorkers: runtime.GOMAXPROCS(0)}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s := &Scheduler{nw: cfg.numWorkers, stealHalf: cfg.stealHalf, epoch: time.Now()}
+	p := &pool{nw: cfg.numWorkers, stealHalf: cfg.stealHalf, epoch: time.Now()}
 	if cfg.observer != nil {
-		s.observer.Store(&cfg.observer)
+		p.observer.Store(&cfg.observer)
 	}
-	s.cond = sync.NewCond(&s.mu)
-	s.workers = make([]*worker, s.nw)
-	for i := range s.workers {
-		s.workers[i] = &worker{
+	p.cond = sync.NewCond(&p.mu)
+	p.workers = make([]*worker, p.nw)
+	for i := range p.workers {
+		p.workers[i] = &worker{
 			id:       i,
 			rng:      rand.New(rand.NewSource(int64(i)*0x9E3779B9 + 1)),
 			stealBuf: make([]*frame, 0, stealHalfMax),
 		}
 	}
-	s.wg.Add(s.nw)
-	for _, w := range s.workers {
-		go s.run(w)
+	s := &Scheduler{p: p, root: true}
+	p.wg.Add(p.nw)
+	for _, w := range p.workers {
+		go p.run(w)
 	}
 	return s
 }
 
-// Workers reports the number of worker goroutines.
-func (s *Scheduler) Workers() int { return s.nw }
+// NewJob derives a fresh front-end onto this scheduler's worker pool: an
+// isolated job context. The job shares the workers, deques and steal
+// machinery but carries its own phase tag, its own task sink and its own
+// in-flight count, so
+//
+//   - two jobs' perf records never mix (each installs its own profiler),
+//   - a job's Quiesce waits only for that job's tasks,
+//   - a job's Close never tears down the pool other jobs are running on.
+//
+// Futures and combinators created through the job front-end spawn their
+// continuations through it too, so a whole task graph built from one job
+// stays attributed to it. NewJob may be called from any front-end; the
+// result is always a sibling on the same pool.
+func (s *Scheduler) NewJob() *Scheduler {
+	return &Scheduler{p: s.p}
+}
+
+// SharesPoolWith reports whether two front-ends multiplex onto the same
+// worker pool — true for any scheduler and its NewJob derivatives.
+func (s *Scheduler) SharesPoolWith(o *Scheduler) bool { return s.p == o.p }
+
+// Workers reports the number of worker goroutines in the shared pool.
+func (s *Scheduler) Workers() int { return s.p.nw }
 
 // Spawn submits a task for asynchronous execution. It never blocks.
 // Spawning on a closed scheduler panics.
@@ -221,11 +280,10 @@ func (s *Scheduler) spawnPhase(ph uint32, t Task) {
 	f := newFrame()
 	f.fn = t
 	s.stamp(f, ph)
-	s.inflight.Add(1)
-	s.pending.Add(1)
-	i := int(s.rr.Add(1)-1) % s.nw
-	s.workers[i].dq.pushBottom(f)
-	s.wake()
+	s.beginBatch(1)
+	i := int(s.p.rr.Add(1)-1) % s.p.nw
+	s.p.workers[i].dq.pushBottom(f)
+	s.p.wake()
 }
 
 // SpawnAt submits a task with an affinity hint: the frame is placed
@@ -247,15 +305,14 @@ func (s *Scheduler) spawnAtPhase(ph uint32, home int, t Task) {
 		s.spawnPhase(ph, t)
 		return
 	}
-	home %= s.nw
+	home %= s.p.nw
 	f := newFrame()
 	f.fn = t
 	f.home = int32(home)
 	s.stamp(f, ph)
-	s.inflight.Add(1)
-	s.pending.Add(1)
-	s.workers[home].dq.pushBottom(f)
-	s.wake()
+	s.beginBatch(1)
+	s.p.workers[home].dq.pushBottom(f)
+	s.p.wake()
 }
 
 // SpawnBatchAt is SpawnBatch with per-task affinity hints: task ts[i] is
@@ -283,69 +340,24 @@ func (s *Scheduler) spawnBatchAtPhase(ph uint32, ts []Task, homes []int) {
 			panic("amt: SpawnBatchAt called with nil task")
 		}
 	}
-	s.inflight.Add(int64(n))
-	s.pending.Add(int64(n))
-	base := int(s.rr.Add(uint64(n)) - uint64(n))
+	s.beginBatch(n)
+	base := int(s.p.rr.Add(uint64(n)) - uint64(n))
 	frames := make([]*frame, n)
 	targets := make([]int, n)
 	for k, t := range ts {
 		f := newFrame()
 		f.fn = t
-		i := (base + k) % s.nw
+		i := (base + k) % s.p.nw
 		if h := homes[k]; h >= 0 {
-			i = h % s.nw
+			i = h % s.p.nw
 			f.home = int32(i)
 		}
 		s.stamp(f, ph)
 		frames[k] = f
 		targets[k] = i
 	}
-	s.pushInterleaved(frames, targets)
-	s.wakeN(n)
-}
-
-// pushInterleaved pushes pre-counted frames onto their target deques in
-// round-robin order across workers (first frame of every worker, then the
-// second of every worker, ...), preserving submission order within each
-// deque. Launch sites enumerate mesh partitions in ascending order, which
-// under a block-distributed affinity map emits all of worker 0's frames
-// before any of worker 1's; pushed in that order, a worker going idle at a
-// stage boundary sees only *other* workers' hinted frames and steals them
-// — and the owners then steal the thief's late-arriving frames back, so
-// under contention roughly half of all hinted frames migrated (measured
-// ~50% affinity hit rate on 2 workers, i.e. chance). Interleaving makes
-// every worker's first frame land within the first sweep round, so wakers
-// and spinning thieves find their own work before resorting to stealing.
-func (s *Scheduler) pushInterleaved(frames []*frame, targets []int) {
-	// Counting sort by target worker — three fixed-size allocations, no
-	// slice regrowth: start[w] marks worker w's group in sorted, cur[w]
-	// doubles as the fill cursor and then the round-robin walk cursor.
-	n := len(frames)
-	start := make([]int, s.nw+1)
-	for _, w := range targets {
-		start[w+1]++
-	}
-	for w := 0; w < s.nw; w++ {
-		start[w+1] += start[w]
-	}
-	sorted := make([]*frame, n)
-	cur := make([]int, s.nw)
-	copy(cur, start)
-	for k, f := range frames {
-		w := targets[k]
-		sorted[cur[w]] = f
-		cur[w]++
-	}
-	copy(cur, start)
-	for left := n; left > 0; {
-		for w := 0; w < s.nw; w++ {
-			if cur[w] < start[w+1] {
-				s.workers[w].dq.pushBottom(sorted[cur[w]])
-				cur[w]++
-				left--
-			}
-		}
-	}
+	s.p.pushInterleaved(frames, targets)
+	s.p.wakeN(n)
 }
 
 // SpawnHigh submits a high-priority task: workers drain high-priority
@@ -361,11 +373,10 @@ func (s *Scheduler) spawnHighPhase(ph uint32, t Task) {
 	f := newFrame()
 	f.fn = t
 	s.stamp(f, ph)
-	s.inflight.Add(1)
-	s.pending.Add(1)
-	i := int(s.rr.Add(1)-1) % s.nw
-	s.workers[i].hp.pushBottom(f)
-	s.wake()
+	s.beginBatch(1)
+	i := int(s.p.rr.Add(1)-1) % s.p.nw
+	s.p.workers[i].hp.pushBottom(f)
+	s.p.wake()
 }
 
 // SpawnBatch submits every task in ts with one bookkeeping update, one
@@ -385,56 +396,102 @@ func (s *Scheduler) spawnBatchPhase(ph uint32, ts []Task) {
 			panic("amt: SpawnBatch called with nil task")
 		}
 	}
-	s.inflight.Add(int64(n))
-	s.pending.Add(int64(n))
-	base := int(s.rr.Add(uint64(n)) - uint64(n))
+	s.beginBatch(n)
+	base := int(s.p.rr.Add(uint64(n)) - uint64(n))
 	for k, t := range ts {
 		f := newFrame()
 		f.fn = t
 		s.stamp(f, ph)
-		s.workers[(base+k)%s.nw].dq.pushBottom(f)
+		s.p.workers[(base+k)%s.p.nw].dq.pushBottom(f)
 	}
-	s.wakeN(n)
+	s.p.wakeN(n)
 }
 
 // beginBatch raises the pending/inflight tickets for n frames about to be
 // enqueued with enqueueAt. Counts go first so a worker that observes a
-// frame early can never drive the counters negative past a Quiesce.
+// frame early can never drive the counters negative past a Quiesce. The
+// job's own inflight rises alongside the pool's: Quiesce watches the
+// former, Close the latter.
 func (s *Scheduler) beginBatch(n int) {
 	s.inflight.Add(int64(n))
-	s.pending.Add(int64(n))
+	s.p.inflight.Add(int64(n))
+	s.p.pending.Add(int64(n))
 }
 
 // enqueueAt places a pre-counted frame on the queue of worker i, without
 // waking anyone; the batch producer wakes once at the end (wakeN).
 func (s *Scheduler) enqueueAt(i int, f *frame) {
-	s.workers[i%s.nw].dq.pushBottom(f)
+	s.p.workers[i%s.p.nw].dq.pushBottom(f)
 }
 
-func (s *Scheduler) wake() {
-	if s.idle.Load() == 0 {
+func (p *pool) wake() {
+	if p.idle.Load() == 0 {
 		return
 	}
-	s.mu.Lock()
-	s.cond.Signal()
-	s.mu.Unlock()
+	p.mu.Lock()
+	p.cond.Signal()
+	p.mu.Unlock()
 }
 
 // wakeN wakes up to n parked workers with a single lock acquisition —
 // the batch analog of wake.
-func (s *Scheduler) wakeN(n int) {
-	if s.idle.Load() == 0 {
+func (p *pool) wakeN(n int) {
+	if p.idle.Load() == 0 {
 		return
 	}
-	s.mu.Lock()
-	if n >= s.nw {
-		s.cond.Broadcast()
+	p.mu.Lock()
+	if n >= p.nw {
+		p.cond.Broadcast()
 	} else {
 		for ; n > 0; n-- {
-			s.cond.Signal()
+			p.cond.Signal()
 		}
 	}
-	s.mu.Unlock()
+	p.mu.Unlock()
+}
+
+// pushInterleaved pushes pre-counted frames onto their target deques in
+// round-robin order across workers (first frame of every worker, then the
+// second of every worker, ...), preserving submission order within each
+// deque. Launch sites enumerate mesh partitions in ascending order, which
+// under a block-distributed affinity map emits all of worker 0's frames
+// before any of worker 1's; pushed in that order, a worker going idle at a
+// stage boundary sees only *other* workers' hinted frames and steals them
+// — and the owners then steal the thief's late-arriving frames back, so
+// under contention roughly half of all hinted frames migrated (measured
+// ~50% affinity hit rate on 2 workers, i.e. chance). Interleaving makes
+// every worker's first frame land within the first sweep round, so wakers
+// and spinning thieves find their own work before resorting to stealing.
+func (p *pool) pushInterleaved(frames []*frame, targets []int) {
+	// Counting sort by target worker — three fixed-size allocations, no
+	// slice regrowth: start[w] marks worker w's group in sorted, cur[w]
+	// doubles as the fill cursor and then the round-robin walk cursor.
+	n := len(frames)
+	start := make([]int, p.nw+1)
+	for _, w := range targets {
+		start[w+1]++
+	}
+	for w := 0; w < p.nw; w++ {
+		start[w+1] += start[w]
+	}
+	sorted := make([]*frame, n)
+	cur := make([]int, p.nw)
+	copy(cur, start)
+	for k, f := range frames {
+		w := targets[k]
+		sorted[cur[w]] = f
+		cur[w]++
+	}
+	copy(cur, start)
+	for left := n; left > 0; {
+		for w := 0; w < p.nw; w++ {
+			if cur[w] < start[w+1] {
+				p.workers[w].dq.pushBottom(sorted[cur[w]])
+				cur[w]++
+				left--
+			}
+		}
+	}
 }
 
 // spinRounds bounds the busy-wait of an idle worker before it parks,
@@ -442,24 +499,26 @@ func (s *Scheduler) wakeN(n int) {
 const spinRounds = 1 << 12
 
 // run is the worker loop.
-func (s *Scheduler) run(w *worker) {
-	defer s.wg.Done()
+func (p *pool) run(w *worker) {
+	defer p.wg.Done()
 	for {
-		t := s.find(w)
+		t := p.find(w)
 		for spun := 0; t == nil && spun < spinRounds; spun++ {
 			runtime.Gosched()
-			if s.pending.Load() > 0 {
-				t = s.find(w)
+			if p.pending.Load() > 0 {
+				t = p.find(w)
 			}
 		}
 		if t == nil {
-			if s.park(w) {
+			if p.park(w) {
 				return // closed
 			}
 			continue
 		}
-		// Read the tags before run() recycles the frame.
-		home, phase, stolen, enq := t.home, t.phase, t.stolen, t.enq
+		// Read the tags before run() recycles the frame. job identifies
+		// the front-end the frame was spawned through: its sink gets the
+		// record, its inflight count the decrement.
+		job, home, phase, stolen, enq := t.job, t.home, t.phase, t.stolen, t.enq
 		start := time.Now()
 		t.run()
 		dur := time.Since(start)
@@ -472,35 +531,36 @@ func (s *Scheduler) run(w *worker) {
 				w.affMiss.Add(1)
 			}
 		}
-		if obs := s.observer.Load(); obs != nil {
+		if obs := p.observer.Load(); obs != nil {
 			(*obs)(w.id, start, dur)
 		}
-		if sk := s.sink.Load(); sk != nil {
+		if sk := job.sink.Load(); sk != nil {
 			var qw time.Duration
 			if !enq.IsZero() {
 				qw = start.Sub(enq)
 			}
 			(*sk).RecordTask(w.id, phase, start, dur, qw, stolen)
 		}
-		s.inflight.Add(-1)
+		job.inflight.Add(-1)
+		p.inflight.Add(-1)
 	}
 }
 
 // find looks for runnable work: own high-priority queue, every other
 // worker's high-priority queue, own normal queue, then normal steals.
-func (s *Scheduler) find(w *worker) *frame {
+func (p *pool) find(w *worker) *frame {
 	if t := w.hp.popBottom(); t != nil {
-		s.pending.Add(-1)
+		p.pending.Add(-1)
 		return t
 	}
-	off := w.rng.Intn(s.nw)
-	for k := 0; k < s.nw; k++ {
-		v := s.workers[(off+k)%s.nw]
+	off := w.rng.Intn(p.nw)
+	for k := 0; k < p.nw; k++ {
+		v := p.workers[(off+k)%p.nw]
 		if v == w {
 			continue
 		}
 		if t := v.hp.popTop(); t != nil {
-			s.pending.Add(-1)
+			p.pending.Add(-1)
 			w.steal.Add(1)
 			w.stolen.Add(1)
 			t.stolen = true
@@ -508,23 +568,23 @@ func (s *Scheduler) find(w *worker) *frame {
 		}
 	}
 	if t := w.dq.popBottom(); t != nil {
-		s.pending.Add(-1)
+		p.pending.Add(-1)
 		return t
 	}
 	// Steal: scan victims starting from a random offset so thieves spread.
-	for k := 0; k < s.nw; k++ {
-		v := s.workers[(off+k)%s.nw]
+	for k := 0; k < p.nw; k++ {
+		v := p.workers[(off+k)%p.nw]
 		if v == w {
 			continue
 		}
-		if s.stealHalf {
-			if t := s.stealHalfFrom(w, v); t != nil {
+		if p.stealHalf {
+			if t := p.stealHalfFrom(w, v); t != nil {
 				return t
 			}
 			continue
 		}
 		if t := v.dq.popTop(); t != nil {
-			s.pending.Add(-1)
+			p.pending.Add(-1)
 			w.steal.Add(1)
 			w.stolen.Add(1)
 			t.stolen = true
@@ -540,7 +600,7 @@ func (s *Scheduler) find(w *worker) *frame {
 // count — the re-queued frames are still queued work, merely relocated, so
 // the park/wake ticket protocol is untouched and other thieves can steal
 // them onward from w.
-func (s *Scheduler) stealHalfFrom(w, v *worker) *frame {
+func (p *pool) stealHalfFrom(w, v *worker) *frame {
 	buf := v.dq.stealHalf(w.stealBuf[:0])
 	w.stealBuf = buf
 	if len(buf) == 0 {
@@ -557,7 +617,7 @@ func (s *Scheduler) stealHalfFrom(w, v *worker) *frame {
 		buf[i] = nil
 	}
 	buf[0] = nil
-	s.pending.Add(-1)
+	p.pending.Add(-1)
 	w.steal.Add(1)
 	w.stolen.Add(int64(len(buf)))
 	return f
@@ -568,52 +628,65 @@ func (s *Scheduler) stealHalfFrom(w, v *worker) *frame {
 // is accounted on the worker (parks, parkNs) — the measured side of the
 // idle-rate counter, splitting "idle because parked" from "idle because
 // spinning between steals".
-func (s *Scheduler) park(w *worker) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (p *pool) park(w *worker) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for {
-		if s.closed {
+		if p.closed {
 			return true
 		}
 		// Register as idle before re-checking pending: producers bump
 		// pending before inspecting the idle count, so one side always
 		// sees the other (no lost wakeup).
-		s.idle.Add(1)
-		if s.pending.Load() > 0 {
-			s.idle.Add(-1)
+		p.idle.Add(1)
+		if p.pending.Load() > 0 {
+			p.idle.Add(-1)
 			return false
 		}
 		t0 := time.Now()
 		w.parks.Add(1)
-		s.cond.Wait()
+		p.cond.Wait()
 		w.parkNs.Add(int64(time.Since(t0)))
-		s.idle.Add(-1)
+		p.idle.Add(-1)
 	}
 }
 
-// Quiesce blocks until every submitted task (including continuations spawned
-// by running tasks) has finished executing. It may be called from outside
-// the pool only.
+// Quiesce blocks until every task submitted *through this front-end*
+// (including continuations spawned by running tasks) has finished
+// executing. Other jobs sharing the pool neither block it nor are waited
+// for. It may be called from outside the pool only.
 func (s *Scheduler) Quiesce() {
 	for s.inflight.Load() != 0 {
 		runtime.Gosched()
 	}
 }
 
-// Close shuts the scheduler down and waits for the workers to exit.
-// All submitted work is allowed to drain first.
+// Close releases the front-end. On the root scheduler it drains every
+// job's outstanding work, shuts the pool down and waits for the workers to
+// exit; the pool is unusable afterwards. On a job front-end (NewJob) it
+// only quiesces the job's own tasks — the pool and its other jobs keep
+// running, which is what lets a finished job release its backend while the
+// server keeps serving.
 func (s *Scheduler) Close() {
-	s.Quiesce()
-	s.mu.Lock()
-	s.closed = true
-	s.cond.Broadcast()
-	s.mu.Unlock()
-	s.wg.Wait()
+	if !s.root {
+		s.Quiesce()
+		return
+	}
+	for s.p.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+	s.p.mu.Lock()
+	s.p.closed = true
+	s.p.cond.Broadcast()
+	s.p.mu.Unlock()
+	s.p.wg.Wait()
 }
 
 // Counters is a snapshot of scheduler activity since the last ResetCounters
 // (or scheduler creation). It mirrors the HPX idle-rate performance counter
-// the paper uses for Figure 11.
+// the paper uses for Figure 11. Counters are pool-global: under
+// multi-tenant use they aggregate every job on the pool (per-job
+// attribution flows through the per-job task sinks instead).
 type Counters struct {
 	Workers         int           // number of workers
 	Wall            time.Duration // wall time covered by the snapshot
@@ -691,9 +764,10 @@ func (c Counters) String() string {
 	return out
 }
 
-// ResetCounters starts a new measurement epoch.
+// ResetCounters starts a new measurement epoch for the whole pool.
 func (s *Scheduler) ResetCounters() {
-	for _, w := range s.workers {
+	p := s.p
+	for _, w := range p.workers {
 		w.busy.Store(0)
 		w.tasks.Store(0)
 		w.steal.Store(0)
@@ -703,22 +777,23 @@ func (s *Scheduler) ResetCounters() {
 		w.parks.Store(0)
 		w.parkNs.Store(0)
 	}
-	s.mu.Lock()
-	s.epoch = time.Now()
-	s.mu.Unlock()
+	p.mu.Lock()
+	p.epoch = time.Now()
+	p.mu.Unlock()
 }
 
 // CountersSnapshot returns activity accumulated since the last ResetCounters.
 func (s *Scheduler) CountersSnapshot() Counters {
-	s.mu.Lock()
-	epoch := s.epoch
-	s.mu.Unlock()
-	c := Counters{Workers: s.nw, Wall: time.Since(epoch)}
-	c.PerWorker = make([]time.Duration, s.nw)
-	c.PerWorkerTasks = make([]int64, s.nw)
-	c.PerWorkerSteals = make([]int64, s.nw)
-	c.PerWorkerParked = make([]time.Duration, s.nw)
-	for i, w := range s.workers {
+	p := s.p
+	p.mu.Lock()
+	epoch := p.epoch
+	p.mu.Unlock()
+	c := Counters{Workers: p.nw, Wall: time.Since(epoch)}
+	c.PerWorker = make([]time.Duration, p.nw)
+	c.PerWorkerTasks = make([]int64, p.nw)
+	c.PerWorkerSteals = make([]int64, p.nw)
+	c.PerWorkerParked = make([]time.Duration, p.nw)
+	for i, w := range p.workers {
 		b := time.Duration(w.busy.Load())
 		c.PerWorker[i] = b
 		c.Busy += b
@@ -733,10 +808,14 @@ func (s *Scheduler) CountersSnapshot() Counters {
 		c.AffMisses += w.affMiss.Load()
 		c.Parks += w.parks.Load()
 	}
-	c.Utilizable = c.Wall * time.Duration(s.nw)
+	c.Utilizable = c.Wall * time.Duration(p.nw)
 	return c
 }
 
-// Inflight reports the number of submitted-but-unfinished tasks. Intended
-// for tests and debugging assertions.
+// Inflight reports the number of this front-end's submitted-but-unfinished
+// tasks. Intended for tests and debugging assertions.
 func (s *Scheduler) Inflight() int64 { return s.inflight.Load() }
+
+// PoolInflight reports the number of submitted-but-unfinished tasks across
+// every job on the pool.
+func (s *Scheduler) PoolInflight() int64 { return s.p.inflight.Load() }

@@ -121,7 +121,18 @@ type RunConfig struct {
 	// number, simulation time and time increment — the reference's -p
 	// per-iteration printout, decoupled from I/O.
 	Progress func(cycle int, time, dt float64)
+
+	// Interrupt, when non-nil, is polled before every cycle; a true
+	// return stops the run at that step boundary with ErrInterrupted.
+	// This is the cancellation point for served jobs: between cycles no
+	// tasks are in flight, so stopping here never strands a latch or a
+	// future, and the domain is left in a consistent post-cycle state.
+	Interrupt func() bool
 }
+
+// ErrInterrupted is returned by Run when RunConfig.Interrupt stopped the
+// run before reaching the stop time or the iteration cap.
+var ErrInterrupted = fmt.Errorf("run interrupted")
 
 // Run drives d to completion (or the iteration cap) using backend b and
 // returns run statistics. Counters are reset at the start so Utilization
@@ -132,6 +143,9 @@ func Run(d *domain.Domain, b Backend, cfg RunConfig) (Result, error) {
 	for d.Time < d.Par.StopTime {
 		if cfg.MaxIterations > 0 && d.Cycle >= cfg.MaxIterations {
 			break
+		}
+		if cfg.Interrupt != nil && cfg.Interrupt() {
+			return Result{}, ErrInterrupted
 		}
 		TimeIncrement(d)
 		if err := b.Step(d); err != nil {

@@ -1,5 +1,7 @@
 package core
 
+import "lulesh/internal/amt"
+
 // Options configures the task backend (and, where applicable, the other
 // parallel backends). The partition sizes correspond to the paper's
 // Table I; the boolean toggles correspond to the successive code
@@ -71,6 +73,16 @@ type Options struct {
 	// TargetIdle is the idle-rate setpoint of the AdaptiveGrain
 	// controller. 0 means DefaultTargetIdle.
 	TargetIdle float64
+
+	// Scheduler, when non-nil, makes the task backend run on this
+	// externally owned front-end instead of creating a private worker
+	// pool — the multi-tenant mode of the luleshd control plane, where
+	// many concurrent simulations each pass a NewJob front-end onto one
+	// shared pool. The backend then takes its worker count from the pool,
+	// ignores StealHalf (pool-level, fixed at pool creation) and its
+	// Close only quiesces the job instead of shutting workers down. The
+	// caller retains ownership of the pool.
+	Scheduler *amt.Scheduler
 
 	// PrioritizeHeavyRegions schedules the expensive material chains
 	// (EOS repetition factor >= 10, the "very expensive regions" of the

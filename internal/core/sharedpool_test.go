@@ -1,0 +1,162 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"lulesh/internal/amt"
+	"lulesh/internal/domain"
+)
+
+// TestSharedPoolConcurrentJobsBitwise is the multi-tenancy correctness
+// property behind luleshd: >=8 task-backend simulations multiplexed
+// concurrently onto ONE shared amt worker pool must produce domains
+// bitwise identical to the same problems run serially. Concurrency may
+// reorder task *execution* across jobs, but each job's dependency graph
+// and per-datum floating-point order are fixed, so any divergence means
+// job state leaked across contexts. Run under -race this also proves the
+// job front-ends are data-race-free.
+func TestSharedPoolConcurrentJobsBitwise(t *testing.T) {
+	const jobs = 9
+	const steps = 10
+
+	// Heterogeneous job mix: sizes and scenarios differ so the jobs'
+	// task graphs interleave irregularly on the pool.
+	type spec struct {
+		scenario string
+		size     int
+	}
+	specs := make([]spec, jobs)
+	for i := range specs {
+		specs[i] = spec{
+			scenario: []string{"sedov", "piston", "multimat"}[i%3],
+			size:     4 + i%3, // 4..6
+		}
+	}
+
+	build := func(sp spec) *domain.Domain {
+		d, err := domain.BuildScenarioCube(
+			domain.ScenarioSpec{Name: sp.scenario},
+			domain.DefaultConfig(sp.size))
+		if err != nil {
+			t.Fatalf("build %v: %v", sp, err)
+		}
+		return d
+	}
+
+	// Ground truth: each job run to completion on the serial backend.
+	refs := make([]*domain.Domain, jobs)
+	for i, sp := range specs {
+		d := build(sp)
+		b := NewBackendSerial(d)
+		if _, err := Run(d, b, RunConfig{MaxIterations: steps}); err != nil {
+			t.Fatalf("serial job %d: %v", i, err)
+		}
+		b.Close()
+		refs[i] = d
+	}
+
+	// Concurrent: all jobs overlap on one 4-worker pool, each through its
+	// own NewJob front-end.
+	pool := amt.NewScheduler(amt.WithWorkers(4), amt.WithStealHalf(true))
+	defer pool.Close()
+
+	got := make([]*domain.Domain, jobs)
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	errCh := make(chan error, jobs)
+	for i, sp := range specs {
+		i, sp := i, sp
+		go func() {
+			defer wg.Done()
+			d := build(sp)
+			opt := DefaultOptions(sp.size, 4)
+			opt.Scheduler = pool.NewJob()
+			b := NewBackendTask(d, opt)
+			defer b.Close()
+			if _, err := Run(d, b, RunConfig{MaxIterations: steps}); err != nil {
+				errCh <- fmt.Errorf("concurrent job %d: %w", i, err)
+				return
+			}
+			got[i] = d
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	for i := range specs {
+		compareDomains(t, fmt.Sprintf("job-%d(%s,s=%d)", i,
+			specs[i].scenario, specs[i].size), refs[i], got[i])
+	}
+	if inf := pool.PoolInflight(); inf != 0 {
+		t.Fatalf("pool inflight after all jobs quiesced: %d", inf)
+	}
+}
+
+// TestSharedPoolBackendCloseLeavesPool: a task backend in shared-pool
+// mode must not tear down the external pool on Close, and must report the
+// pool's worker count rather than Options.Threads.
+func TestSharedPoolBackendCloseLeavesPool(t *testing.T) {
+	pool := amt.NewScheduler(amt.WithWorkers(3))
+	defer pool.Close()
+
+	cfg := domain.DefaultConfig(4)
+	d := domain.NewSedov(cfg)
+	opt := DefaultOptions(4, 99) // Threads deliberately wrong
+	opt.Scheduler = pool.NewJob()
+	b := NewBackendTask(d, opt)
+	if b.Threads() != 3 {
+		t.Fatalf("shared-pool backend Threads() = %d, want pool's 3", b.Threads())
+	}
+	if _, err := Run(d, b, RunConfig{MaxIterations: 3}); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+
+	// The pool must still execute work for other front-ends.
+	d2 := domain.NewSedov(cfg)
+	opt2 := DefaultOptions(4, 0)
+	opt2.Scheduler = pool.NewJob()
+	b2 := NewBackendTask(d2, opt2)
+	defer b2.Close()
+	if _, err := Run(d2, b2, RunConfig{MaxIterations: 3}); err != nil {
+		t.Fatalf("pool unusable after sibling backend Close: %v", err)
+	}
+}
+
+// TestRunInterrupt: the Interrupt hook stops the run at a step boundary
+// with ErrInterrupted, leaving the domain in a consistent mid-run state.
+func TestRunInterrupt(t *testing.T) {
+	cfg := domain.DefaultConfig(4)
+	d := domain.NewSedov(cfg)
+	b := NewBackendSerial(d)
+	defer b.Close()
+
+	stopAfter := 5
+	_, err := Run(d, b, RunConfig{
+		MaxIterations: 50,
+		Interrupt:     func() bool { return d.Cycle >= stopAfter },
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if d.Cycle != stopAfter {
+		t.Fatalf("stopped at cycle %d, want %d", d.Cycle, stopAfter)
+	}
+
+	// Never-true interrupt must not change behavior.
+	d2 := domain.NewSedov(cfg)
+	b2 := NewBackendSerial(d2)
+	defer b2.Close()
+	if _, err := Run(d2, b2, RunConfig{MaxIterations: 5, Interrupt: func() bool { return false }}); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Cycle != 5 {
+		t.Fatalf("cycle = %d, want 5", d2.Cycle)
+	}
+}

@@ -89,6 +89,11 @@ func (sc *hgScratch) ensure(n int) {
 
 // NewBackendTask creates the many-task backend for domains shaped like d.
 func NewBackendTask(d *domain.Domain, opt Options) *BackendTask {
+	if opt.Scheduler != nil {
+		// Shared-pool mode: the worker count is the pool's, not ours to
+		// choose, and grain heuristics must see the real parallelism.
+		opt.Threads = opt.Scheduler.Workers()
+	}
 	if opt.Threads < 1 {
 		opt.Threads = 1
 	}
@@ -104,9 +109,13 @@ func NewBackendTask(d *domain.Domain, opt Options) *BackendTask {
 	ne := d.NumElem()
 	// 5 element-sized planes + 6 corner-sized (8·ne) planes + vnewc.
 	a := kernels.NewArena((5 + 6*8 + 1) * ne)
+	sched := opt.Scheduler
+	if sched == nil {
+		sched = amt.NewScheduler(amt.WithWorkers(opt.Threads),
+			amt.WithStealHalf(opt.StealHalf))
+	}
 	b := &BackendTask{
-		s: amt.NewScheduler(amt.WithWorkers(opt.Threads),
-			amt.WithStealHalf(opt.StealHalf)),
+		s:       sched,
 		opt:     opt,
 		arena:   a,
 		sigxx:   a.Take(ne),
@@ -203,7 +212,10 @@ func (b *BackendTask) Utilization() (float64, bool) {
 // ResetCounters restarts utilization accounting.
 func (b *BackendTask) ResetCounters() { b.s.ResetCounters() }
 
-// Close shuts the scheduler down.
+// Close releases the backend's scheduler front-end. With a private pool
+// (Options.Scheduler nil) this shuts the workers down; in shared-pool mode
+// it only quiesces this backend's outstanding tasks — the externally owned
+// pool keeps serving its other jobs.
 func (b *BackendTask) Close() { b.s.Close() }
 
 // Options returns the backend's configuration.

@@ -123,6 +123,38 @@ func ParseScenarioSpec(in string) (ScenarioSpec, error) {
 	return spec, nil
 }
 
+// UnknownScenarioError reports a spec naming a scenario that is not in the
+// registry. It carries the sorted list of registered names so callers
+// surfacing the error to users — luleshd's HTTP 400 responses in
+// particular — can present the valid choices structurally instead of
+// parsing the message.
+type UnknownScenarioError struct {
+	Name  string   // the unknown scenario name
+	Known []string // registered scenario names, sorted
+}
+
+func (e *UnknownScenarioError) Error() string {
+	return fmt.Sprintf("scenario: unknown scenario %q (have %s)",
+		e.Name, strings.Join(e.Known, ", "))
+}
+
+// UnknownOptionError reports an option key a scenario does not document.
+// Allowed lists the scenario's valid keys (empty when it takes none) so an
+// HTTP 400 can tell the client exactly what would have been accepted.
+type UnknownOptionError struct {
+	Scenario string   // the scenario that rejected the key
+	Key      string   // the unknown option key
+	Allowed  []string // the scenario's documented keys, in doc order
+}
+
+func (e *UnknownOptionError) Error() string {
+	if len(e.Allowed) == 0 {
+		return fmt.Sprintf("scenario: %s takes no options, got %q", e.Scenario, e.Key)
+	}
+	return fmt.Sprintf("scenario: %s has no option %q (have %s)",
+		e.Scenario, e.Key, strings.Join(e.Allowed, ", "))
+}
+
 // OptionDoc documents one scenario option for -h output and the README.
 type OptionDoc struct {
 	Key     string
@@ -187,8 +219,7 @@ func BuildScenario(spec ScenarioSpec, cfg BoxConfig) (*Domain, error) {
 	}
 	s, ok := scenarios[name]
 	if !ok {
-		return nil, fmt.Errorf("scenario: unknown scenario %q (have %s)",
-			name, strings.Join(ScenarioNames(), ", "))
+		return nil, &UnknownScenarioError{Name: name, Known: ScenarioNames()}
 	}
 	return s.Build(cfg, spec.Options)
 }
@@ -258,9 +289,16 @@ func optInt(opts map[string]string, key string, def, min, max int) (int, error) 
 	return v, nil
 }
 
-// checkKnown rejects option keys the scenario does not document.
+// checkKnown rejects option keys the scenario does not document. Keys are
+// examined in sorted order so the reported offender is deterministic when
+// several are unknown.
 func checkKnown(name string, opts map[string]string, docs []OptionDoc) error {
+	keys := make([]string, 0, len(opts))
 	for k := range opts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
 		known := false
 		for _, d := range docs {
 			if d.Key == k {
@@ -273,11 +311,7 @@ func checkKnown(name string, opts map[string]string, docs []OptionDoc) error {
 			for i, d := range docs {
 				allowed[i] = d.Key
 			}
-			if len(allowed) == 0 {
-				return fmt.Errorf("scenario: %s takes no options, got %q", name, k)
-			}
-			return fmt.Errorf("scenario: %s has no option %q (have %s)",
-				name, k, strings.Join(allowed, ", "))
+			return &UnknownOptionError{Scenario: name, Key: k, Allowed: allowed}
 		}
 	}
 	return nil

@@ -32,7 +32,16 @@ type BenchRecord struct {
 	GrindUsZC  float64            `json:"grind_us_zc,omitempty"` // microseconds per zone per cycle
 	Phases     []PhaseStats       `json:"phases,omitempty"`
 	Counters   map[string]float64 `json:"counters,omitempty"`
-	Build      BuildInfo          `json:"build"`
+
+	// JobID and QueueWaitUs are stamped by luleshd on served-job results:
+	// the job's server-assigned identifier and the time the job spent in
+	// the admission queue before its first cycle (microseconds). Both are
+	// omitempty, so CLI-produced records and all committed baselines are
+	// byte-identical to the pre-field format.
+	JobID       string  `json:"job_id,omitempty"`
+	QueueWaitUs float64 `json:"queue_wait_us,omitempty"`
+
+	Build BuildInfo `json:"build"`
 }
 
 // Validate checks the invariants every written record must satisfy; the
@@ -53,6 +62,8 @@ func (r BenchRecord) Validate() error {
 		return fmt.Errorf("perf: record %q has FOM %v", r.Name, r.FOM)
 	case r.GrindUsZC < 0:
 		return fmt.Errorf("perf: record %q has grind %v", r.Name, r.GrindUsZC)
+	case r.QueueWaitUs < 0:
+		return fmt.Errorf("perf: record %q has queue wait %v", r.Name, r.QueueWaitUs)
 	case r.Build.GoVersion == "":
 		return fmt.Errorf("perf: record %q missing build info", r.Name)
 	}

@@ -30,7 +30,9 @@ func goldenRecord() BenchRecord {
 		Phases: []PhaseStats{
 			{ID: 1, Name: "CalcForceForNodes", Count: 231, Steals: 3, Busy: 900 * 1e6, QueueWait: 5e6, P50: 3e6, P95: 4e6, P99: 5e6},
 		},
-		Counters: map[string]float64{"steals": 42},
+		Counters:    map[string]float64{"steals": 42},
+		JobID:       "job-000042",
+		QueueWaitUs: 1250,
 		Build: BuildInfo{
 			GoVersion: "go1.22.0",
 			GOOS:      "linux",
@@ -97,7 +99,8 @@ func TestBenchRecordKeyOrderStable(t *testing.T) {
 	wantOrder := []string{
 		`"name"`, `"timestamp"`, `"scenario"`, `"backend"`, `"workers"`,
 		`"size"`, `"regions"`, `"iterations"`, `"elapsed_sec"`, `"fom_zps"`,
-		`"grind_us_zc"`, `"phases"`, `"counters"`, `"build"`,
+		`"grind_us_zc"`, `"phases"`, `"counters"`, `"job_id"`,
+		`"queue_wait_us"`, `"build"`,
 	}
 	s := string(a)
 	pos := -1
@@ -127,6 +130,7 @@ func TestBenchRecordValidate(t *testing.T) {
 		"elapsed":    func(r *BenchRecord) { r.ElapsedSec = 0 },
 		"fom":        func(r *BenchRecord) { r.FOM = -1 },
 		"grind":      func(r *BenchRecord) { r.GrindUsZC = -0.5 },
+		"queue_wait": func(r *BenchRecord) { r.QueueWaitUs = -1 },
 		"build":      func(r *BenchRecord) { r.Build = BuildInfo{} },
 	}
 	for name, mutate := range mutations {
@@ -166,6 +170,12 @@ func TestBenchRecordLegacyCompat(t *testing.T) {
 	}
 	if g := r.Grind(); g <= 0 {
 		t.Errorf("legacy grind = %v, want derived from FOM", g)
+	}
+	// Re-marshaling a record that never had the served-job fields must not
+	// emit them: committed pre-field baselines stay byte-stable.
+	out := marshalRecord(t, r)
+	if strings.Contains(string(out), "job_id") || strings.Contains(string(out), "queue_wait_us") {
+		t.Errorf("legacy record re-marshal grew served-job keys:\n%s", out)
 	}
 }
 

@@ -31,6 +31,21 @@ type Server struct {
 	p      atomic.Pointer[Profiler]
 	labels atomic.Value // rendered base label set, e.g. `rank="3"`
 	peers  atomic.Value // func() []string: fleet scrape targets (rank 0)
+	text   atomic.Value // func(io.Writer): raw exposition appended per scrape
+}
+
+// SetTextSource installs a hook invoked on every /metrics scrape after the
+// profiler series; whatever it writes is appended verbatim to the
+// exposition. This is the escape hatch for producers whose series carry
+// their *own* per-sample labels — luleshd appends one block per live job
+// with job="<id>" — which the extra-gauges hook (bare names, server-wide
+// labels only) cannot express. The hook runs on the scrape goroutine and
+// must be concurrency-safe; nil removes it.
+func (s *Server) SetTextSource(fn func(w io.Writer)) {
+	if fn == nil {
+		fn = func(io.Writer) {}
+	}
+	s.text.Store(fn)
 }
 
 // SetLabels attaches constant labels to every Prometheus series the
@@ -76,6 +91,9 @@ func StartServer(addr string, p *Profiler, extra func() map[string]float64) (*Se
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		w.Header().Set("Cache-Control", "no-store")
 		writePrometheus(w, s.snapshot(), callExtra(extra), s.baseLabels())
+		if fn, ok := s.text.Load().(func(w io.Writer)); ok {
+			fn(w)
+		}
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

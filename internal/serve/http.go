@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"lulesh/internal/domain"
+)
+
+// Handler returns the control plane's HTTP API:
+//
+//	POST   /jobs             submit a JobSpec, 202 + status (429/503 on admission)
+//	GET    /jobs             list all jobs
+//	GET    /jobs/{id}        job status
+//	GET    /jobs/{id}/events SSE stream: state / progress / terminal frames
+//	GET    /jobs/{id}/result completed result (perf.BenchRecord JSON)
+//	DELETE /jobs/{id}        cancel (idempotent)
+//	GET    /healthz          liveness + drain state
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", m.handleSubmit)
+	mux.HandleFunc("GET /jobs", m.handleList)
+	mux.HandleFunc("GET /jobs/{id}", m.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/events", m.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/result", m.handleResult)
+	mux.HandleFunc("DELETE /jobs/{id}", m.handleCancel)
+	mux.HandleFunc("GET /healthz", m.handleHealth)
+	return mux
+}
+
+// apiError is the JSON error envelope. Scenario spec mistakes carry the
+// structured detail from the domain package: the offending key plus the
+// valid alternatives, so a 400 is actionable without reading server code.
+type apiError struct {
+	Error      string   `json:"error"`
+	Scenario   string   `json:"scenario,omitempty"`    // scenario that rejected an option
+	UnknownKey string   `json:"unknown_key,omitempty"` // offending option key or scenario name
+	Valid      []string `json:"valid,omitempty"`       // accepted names/keys
+	RetryAfter int      `json:"retry_after_sec,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError maps an admission/validation error to its HTTP shape.
+func writeError(w http.ResponseWriter, err error) {
+	var adm *AdmissionError
+	if errors.As(err, &adm) {
+		resp := apiError{Error: adm.Reason}
+		if adm.RetryAfter > 0 {
+			sec := int(adm.RetryAfter.Round(time.Second).Seconds())
+			if sec < 1 {
+				sec = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(sec))
+			resp.RetryAfter = sec
+		}
+		writeJSON(w, adm.Code, resp)
+		return
+	}
+	var use *domain.UnknownScenarioError
+	if errors.As(err, &use) {
+		writeJSON(w, http.StatusBadRequest, apiError{
+			Error: err.Error(), UnknownKey: use.Name, Valid: use.Known})
+		return
+	}
+	var uoe *domain.UnknownOptionError
+	if errors.As(err, &uoe) {
+		writeJSON(w, http.StatusBadRequest, apiError{
+			Error: err.Error(), Scenario: uoe.Scenario,
+			UnknownKey: uoe.Key, Valid: uoe.Allowed})
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+}
+
+const maxSpecBytes = 1 << 20
+
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sp JobSpec
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "read body: " + err.Error()})
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &sp); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "parse spec: " + err.Error()})
+			return
+		}
+	}
+	j, err := m.Submit(sp)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, m.Status(j))
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{m.List()})
+}
+
+func (m *Manager) jobFromPath(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job " + r.PathValue("id")})
+		return nil, false
+	}
+	return j, true
+}
+
+func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := m.jobFromPath(w, r); ok {
+		writeJSON(w, http.StatusOK, m.Status(j))
+	}
+}
+
+func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := m.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	m.Cancel(j.ID)
+	writeJSON(w, http.StatusOK, m.Status(j))
+}
+
+func (m *Manager) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := m.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	st := m.Status(j)
+	switch st.State {
+	case StateDone:
+		rec, ok, err := m.store.Get(j.ID)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+			return
+		}
+		if !ok {
+			writeJSON(w, http.StatusNotFound, apiError{Error: "result not persisted"})
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	case StateFailed, StateCancelled:
+		writeJSON(w, http.StatusGone, apiError{Error: fmt.Sprintf("job %s: %s", st.State, st.Error)})
+	default:
+		// Not finished yet: tell the client when to look again.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusConflict, apiError{
+			Error: "job not finished (state " + string(st.State) + ")", RetryAfter: 1})
+	}
+}
+
+// handleEvents streams the job's SSE feed: replay of the recent ring,
+// then live frames until the job reaches a terminal state or the client
+// disconnects.
+func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := m.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, apiError{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	backlog, ch := j.hub.subscribe(64)
+	for _, ev := range backlog {
+		if writeSSE(w, ev) != nil {
+			if ch != nil {
+				j.hub.unsubscribe(ch)
+			}
+			return
+		}
+	}
+	fl.Flush()
+	if ch == nil {
+		return // stream already ended; backlog carried the terminal event
+	}
+	defer j.hub.unsubscribe(ch)
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return // terminal event delivered, hub closed
+			}
+			if writeSSE(w, ev) != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (m *Manager) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if m.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, struct {
+		Status string `json:"status"`
+	}{status})
+}
+
+// WriteJobMetrics renders per-job Prometheus series with job="<id>"
+// labels — the perf.Server text-source hook. Queued and running jobs are
+// always exported; terminal jobs export until scraped off the books by
+// retention (they stay while the manager lives, letting one final scrape
+// observe the terminal state).
+func (m *Manager) WriteJobMetrics(w io.Writer) {
+	type row struct {
+		j  *Job
+		st JobStatus
+	}
+	m.mu.Lock()
+	rows := make([]row, 0, len(m.order))
+	for _, id := range m.order {
+		if j, ok := m.jobs[id]; ok {
+			rows = append(rows, row{j: j})
+		}
+	}
+	m.mu.Unlock()
+	for i := range rows {
+		rows[i].st = m.Status(rows[i].j)
+	}
+
+	fmt.Fprintf(w, "# TYPE lulesh_job_state gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "lulesh_job_state{job=%q,tenant=%q,state=%q,backend=%q} 1\n",
+			r.st.ID, r.st.Tenant, r.st.State, r.st.Backend)
+	}
+	fmt.Fprintf(w, "# TYPE lulesh_job_cycle gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "lulesh_job_cycle{job=%q} %d\n", r.st.ID, r.st.Cycle)
+	}
+	fmt.Fprintf(w, "# TYPE lulesh_job_queue_wait_seconds gauge\n")
+	for _, r := range rows {
+		if r.st.QueueWaitUs > 0 {
+			fmt.Fprintf(w, "lulesh_job_queue_wait_seconds{job=%q} %g\n",
+				r.st.ID, r.st.QueueWaitUs/1e6)
+		}
+	}
+	fmt.Fprintf(w, "# TYPE lulesh_job_elapsed_seconds gauge\n")
+	for _, r := range rows {
+		if r.st.ElapsedSec > 0 {
+			fmt.Fprintf(w, "lulesh_job_elapsed_seconds{job=%q} %g\n", r.st.ID, r.st.ElapsedSec)
+		}
+	}
+	// Per-job busy time from the isolated profilers: the attribution the
+	// job-context refactor exists for.
+	fmt.Fprintf(w, "# TYPE lulesh_job_busy_seconds gauge\n")
+	for _, r := range rows {
+		if r.j.prof != nil {
+			fmt.Fprintf(w, "lulesh_job_busy_seconds{job=%q} %g\n",
+				r.st.ID, r.j.prof.Snapshot().Busy.Seconds())
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one Server-Sent-Events frame of a job's stream: a named event
+// with a JSON payload and a monotonically increasing id (the SSE `id:`
+// field, so reconnecting clients can spot gaps).
+type Event struct {
+	ID   int64
+	Name string // "progress", "state", "done", "failed", "cancelled"
+	Data string // JSON payload
+}
+
+// eventHub fans a job's event stream out to any number of SSE subscribers.
+// A bounded replay ring keeps the most recent events so a subscriber that
+// attaches mid-run (or reconnects) sees recent history plus everything
+// live from that point; the terminal event is always retained, so a
+// subscriber attaching after completion still receives it and a proper
+// stream end instead of a hang.
+type eventHub struct {
+	mu     sync.Mutex
+	ring   []Event // last ringCap events, oldest first
+	cap    int
+	nextID int64
+	subs   map[chan Event]struct{}
+	closed bool
+}
+
+func newEventHub(ringCap int) *eventHub {
+	if ringCap < 1 {
+		ringCap = 1
+	}
+	return &eventHub{cap: ringCap, subs: make(map[chan Event]struct{})}
+}
+
+// publish appends an event to the ring and delivers it to every live
+// subscriber. A subscriber whose channel is full has its oldest pending
+// events displaced — progress frames are samples, and a slow reader must
+// not stall the simulation's Progress callback.
+func (h *eventHub) publish(name, data string) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	ev := Event{ID: h.nextID, Name: name, Data: data}
+	h.nextID++
+	if len(h.ring) == h.cap {
+		copy(h.ring, h.ring[1:])
+		h.ring[len(h.ring)-1] = ev
+	} else {
+		h.ring = append(h.ring, ev)
+	}
+	for ch := range h.subs {
+		for {
+			select {
+			case ch <- ev:
+			default:
+				select {
+				case <-ch: // drop the oldest pending frame
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+	h.mu.Unlock()
+}
+
+// close ends the stream after a terminal event has been published:
+// subscriber channels are closed so their SSE handlers return.
+func (h *eventHub) close() {
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		for ch := range h.subs {
+			close(ch)
+		}
+		h.subs = nil
+	}
+	h.mu.Unlock()
+}
+
+// subscribe returns the replay backlog plus a live channel (nil when the
+// stream has already closed — the backlog then ends with the terminal
+// event). unsubscribe must be called unless the channel was nil.
+func (h *eventHub) subscribe(buf int) (backlog []Event, ch chan Event) {
+	if buf < 1 {
+		buf = 1 // an unbuffered channel would deadlock publish's drop-oldest loop
+	}
+	h.mu.Lock()
+	backlog = append(backlog, h.ring...)
+	if !h.closed {
+		ch = make(chan Event, buf)
+		h.subs[ch] = struct{}{}
+	}
+	h.mu.Unlock()
+	return backlog, ch
+}
+
+func (h *eventHub) unsubscribe(ch chan Event) {
+	h.mu.Lock()
+	if _, ok := h.subs[ch]; ok {
+		delete(h.subs, ch)
+		close(ch)
+	}
+	h.mu.Unlock()
+}
+
+// writeSSE renders one event in the SSE wire format.
+func writeSSE(w io.Writer, ev Event) error {
+	_, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Name, ev.Data)
+	return err
+}

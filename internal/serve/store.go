@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lulesh/internal/perf"
+)
+
+// Store persists completed job results as perf.BenchRecord JSON, one
+// JOB_<id>.json per job — the served counterpart of luleshbench's
+// committed BENCH_<n>.json trajectory, sharing the schema so the same
+// tooling (benchgate readers, Validate) consumes both. Writes are
+// write-through and atomic (tmp + rename); Flush additionally commits an
+// INDEX.json manifest, which the drain path calls before exit.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	index map[string]string // job id -> file path
+}
+
+// OpenStore creates dir if needed and indexes any results a previous
+// server life left there.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, index: make(map[string]string)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "JOB_") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(strings.TrimPrefix(name, "JOB_"), ".json")
+		s.index[id] = filepath.Join(dir, name)
+	}
+	return s, nil
+}
+
+// Put validates and persists a job's result record, stamping the
+// timestamp and toolchain build info the same way the bench writer does.
+func (s *Store) Put(rec perf.BenchRecord) error {
+	if rec.JobID == "" {
+		return fmt.Errorf("serve: result record has no job id")
+	}
+	if rec.Timestamp == "" {
+		rec.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	}
+	if rec.Build == (perf.BuildInfo{}) {
+		rec.Build = perf.CurrentBuildInfo()
+	}
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	path := filepath.Join(s.dir, "JOB_"+rec.JobID+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.index[rec.JobID] = path
+	s.mu.Unlock()
+	return nil
+}
+
+// Get loads one job's record; the bool reports whether it exists.
+func (s *Store) Get(jobID string) (perf.BenchRecord, bool, error) {
+	s.mu.Lock()
+	path, ok := s.index[jobID]
+	s.mu.Unlock()
+	if !ok {
+		return perf.BenchRecord{}, false, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return perf.BenchRecord{}, false, err
+	}
+	var rec perf.BenchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return perf.BenchRecord{}, false, err
+	}
+	return rec, true, nil
+}
+
+// Len reports how many results are stored.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Flush commits INDEX.json: the sorted job-id → file manifest. Individual
+// results are already durable (Put is write-through); the manifest gives
+// scrapers and the next server life a one-read view of what completed.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.index))
+	for id := range s.index {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	manifest := struct {
+		Results []string `json:"results"`
+	}{Results: ids}
+	data, err := json.MarshalIndent(manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := filepath.Join(s.dir, "INDEX.json.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, "INDEX.json"))
+}

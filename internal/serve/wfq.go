@@ -1,0 +1,94 @@
+package serve
+
+import "container/heap"
+
+// fairQueue implements start-time fair queueing (SFQ) across tenants: each
+// job is tagged with a virtual start time — the maximum of the global
+// virtual time and its tenant's last finish tag — and a virtual finish
+// time start + cost/weight. Jobs dispatch in ascending finish-tag order.
+//
+// The effect is weighted max-min fairness over queue *service*, not FIFO:
+// a tenant that dumps a thousand jobs advances its own finish tags far
+// into the virtual future, so a second tenant submitting one small job
+// immediately sorts ahead of the backlog — thousands of concurrent small
+// jobs share the pool without one tenant starving the rest. Cost is the
+// job's zone-cycle volume (zones × iterations), so fairness is in work,
+// not job count; weight buys a tenant proportionally more of the pool.
+//
+// Not goroutine-safe: the Manager serializes access under its own lock.
+type fairQueue struct {
+	vtime   float64            // virtual start tag of the job most recently dispatched
+	tenants map[string]float64 // per-tenant last virtual finish tag
+	h       jobHeap
+}
+
+func newFairQueue() *fairQueue {
+	return &fairQueue{tenants: make(map[string]float64)}
+}
+
+// push tags j and inserts it. cost and weight must be positive.
+func (q *fairQueue) push(j *Job) {
+	start := q.vtime
+	if last, ok := q.tenants[j.tenant]; ok && last > start {
+		start = last
+	}
+	j.vstart = start
+	j.vfinish = start + j.cost/j.weight
+	q.tenants[j.tenant] = j.vfinish
+	heap.Push(&q.h, j)
+}
+
+// pop removes and returns the job with the smallest finish tag, advancing
+// the virtual clock to its start tag (the SFQ rule: v(t) is the start tag
+// of the job in service). Returns nil when empty.
+func (q *fairQueue) pop() *Job {
+	if len(q.h) == 0 {
+		return nil
+	}
+	j := heap.Pop(&q.h).(*Job)
+	if j.vstart > q.vtime {
+		q.vtime = j.vstart
+	}
+	// Prune tenants whose backlog has fully drained past the clock —
+	// their next job restarts from vtime anyway, and dropping the entry
+	// keeps the map bounded on a long-lived server with many one-shot
+	// tenants.
+	if last, ok := q.tenants[j.tenant]; ok && last <= q.vtime && q.tenantIdle(j.tenant) {
+		delete(q.tenants, j.tenant)
+	}
+	return j
+}
+
+// tenantIdle reports whether no queued job belongs to the tenant.
+func (q *fairQueue) tenantIdle(tenant string) bool {
+	for _, j := range q.h {
+		if j.tenant == tenant {
+			return false
+		}
+	}
+	return true
+}
+
+func (q *fairQueue) len() int { return len(q.h) }
+
+// jobHeap is a min-heap ordered by virtual finish tag; submission sequence
+// breaks ties so equal-tag jobs dispatch in arrival order.
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, k int) bool {
+	if h[i].vfinish != h[k].vfinish {
+		return h[i].vfinish < h[k].vfinish
+	}
+	return h[i].seq < h[k].seq
+}
+func (h jobHeap) Swap(i, k int) { h[i], h[k] = h[k], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
